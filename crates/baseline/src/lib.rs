@@ -1,0 +1,23 @@
+//! # tind-baseline
+//!
+//! The two baselines the paper evaluates against:
+//!
+//! * [`many`] — MANY-style **static** IND discovery on a single snapshot
+//!   (Tschirschnitz et al.); the basis for the "static INDs on the latest
+//!   snapshot" comparisons in §5.2/§5.5 and for Table 2's buckets.
+//! * [`kmany`] — **k-MANY** (§5.1): the straightforward temporal adaptation
+//!   of MANY that builds `k` Bloom matrices on randomly chosen snapshots.
+//!   Because a single snapshot can only ever witness one timestamp's worth
+//!   of violation, it can almost never prune within a realistic ε, and so
+//!   must track violations for *every* attribute per query — the memory
+//!   blow-up that makes it run out of memory at paper scale (Figure 7).
+//!   The [`memory`] module's budget accountant reproduces that OOM
+//!   behaviourally without exhausting the host machine.
+
+pub mod kmany;
+pub mod many;
+pub mod memory;
+
+pub use kmany::{KManyError, KManyIndex};
+pub use many::ManyIndex;
+pub use memory::MemoryBudget;

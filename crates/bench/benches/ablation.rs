@@ -1,0 +1,57 @@
+//! Ablation: contribution of each Algorithm-1 pruning stage.
+//!
+//! DESIGN.md calls out the three-stage candidate pipeline (required values
+//! vs `M_T`, time-slice violation tracking, exact Bloom-FP filtering) as
+//! the core design choice; this bench measures query latency with each
+//! stage disabled. Expected: disabling the required-values stage is
+//! catastrophic (everything reaches validation); disabling slices hurts
+//! moderately; disabling the exact filter hurts only when Bloom false
+//! positives are common (small m).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tind_bench::{bench_dataset, bench_queries};
+use tind_core::{IndexConfig, SearchOptions, TindIndex, TindParams};
+
+fn bench_ablation(c: &mut Criterion) {
+    let dataset = bench_dataset(1500, 21);
+    let queries = bench_queries(dataset.len(), 20);
+    let params = TindParams::paper_default();
+    let index = TindIndex::build(dataset.clone(), IndexConfig::default());
+
+    let cases: [(&str, SearchOptions); 5] = [
+        ("full_pipeline", SearchOptions::default()),
+        (
+            "no_required_values",
+            SearchOptions { use_required_values: false, ..SearchOptions::default() },
+        ),
+        ("no_time_slices", SearchOptions { use_time_slices: false, ..SearchOptions::default() }),
+        ("no_exact_filter", SearchOptions { use_exact_filter: false, ..SearchOptions::default() }),
+        (
+            "validation_only",
+            SearchOptions {
+                use_required_values: false,
+                use_time_slices: false,
+                use_exact_filter: false,
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablation");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for (name, options) in cases {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(index.search_with_options(q, &params, &options).results.len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

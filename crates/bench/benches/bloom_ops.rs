@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the Bloom substrate: bit-vector algebra, filter
+//! construction, and matrix candidate queries (the inner loops of §4.1).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tind_bloom::{BitVec, BloomFilter, BloomMatrixBuilder};
+
+fn bench_bitvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitvec");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for bits in [4_096usize, 65_536, 1_048_576] {
+        let a = BitVec::ones(bits);
+        let mut b = BitVec::ones(bits);
+        group.bench_with_input(BenchmarkId::new("and_assign", bits), &bits, |bench, _| {
+            bench.iter(|| {
+                b.and_assign(black_box(&a));
+                black_box(b.count_ones())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_filter");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let values: Vec<u32> = (0..28).collect(); // paper's mean cardinality
+    for m in [512u32, 4096] {
+        group.bench_with_input(BenchmarkId::new("from_values", m), &m, |bench, &m| {
+            bench.iter(|| BloomFilter::from_values(black_box(&values), m, 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_matrix");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let cols = 50_000;
+    let m = 4096;
+    let mut builder = BloomMatrixBuilder::new(m, cols, 2);
+    for col in 0..cols {
+        let base = (col * 7) as u32;
+        let values: Vec<u32> = (base..base + 28).collect();
+        builder.insert_column(col, &values);
+    }
+    let matrix = builder.build();
+    let query: Vec<u32> = (70..98).collect();
+    let qf = matrix.query_filter(&query);
+
+    group.bench_function("superset_query_50k_cols", |bench| {
+        bench.iter(|| {
+            let mut candidates = BitVec::ones(cols);
+            matrix.narrow_to_supersets(black_box(&qf), &mut candidates);
+            black_box(candidates.count_ones())
+        })
+    });
+    group.bench_function("subset_query_50k_cols", |bench| {
+        bench.iter(|| {
+            let mut candidates = BitVec::ones(cols);
+            matrix.narrow_to_subsets(black_box(&qf), &mut candidates);
+            black_box(candidates.count_ones())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitvec, bench_filter, bench_matrix_query);
+criterion_main!(benches);

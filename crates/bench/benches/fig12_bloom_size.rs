@@ -1,0 +1,53 @@
+//! Figure 12 at bench scale: runtime vs Bloom filter size m.
+//!
+//! Expected shape: forward search gets faster with m, reverse search gets
+//! slower.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tind_bench::{bench_dataset, bench_queries};
+use tind_core::{IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind_model::WeightFn;
+
+fn bench_bloom_size(c: &mut Criterion) {
+    let dataset = bench_dataset(1000, 12);
+    let queries = bench_queries(dataset.len(), 20);
+    let params = TindParams::paper_default();
+
+    let mut group = c.benchmark_group("fig12_bloom_size");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+
+    for m in [512u32, 2048, 8192] {
+        let fwd = TindIndex::build(dataset.clone(), IndexConfig { m, ..IndexConfig::default() });
+        group.bench_with_input(BenchmarkId::new("search", m), &m, |bench, _| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(fwd.search(q, &params).results.len());
+                }
+            })
+        });
+
+        let rev = TindIndex::build(
+            dataset.clone(),
+            IndexConfig {
+                m,
+                slices: SliceConfig::reverse_default(3.0, WeightFn::constant_one(), 7),
+                build_reverse: true,
+                ..IndexConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reverse", m), &m, |bench, _| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(rev.reverse_search(q, &params).results.len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom_size);
+criterion_main!(benches);

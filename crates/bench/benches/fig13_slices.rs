@@ -1,0 +1,83 @@
+//! Figures 13/14 at bench scale: runtime vs slice count k and selection
+//! strategy, for forward and reverse search.
+//!
+//! Expected shape: forward search benefits from more slices; reverse
+//! search peaks at k = 2.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tind_bench::{bench_dataset, bench_queries};
+use tind_core::{IndexConfig, SliceConfig, SliceStrategy, TindIndex, TindParams};
+use tind_model::WeightFn;
+
+fn slice_config(k: usize, strategy: SliceStrategy, reverse: bool) -> SliceConfig {
+    SliceConfig {
+        k,
+        strategy,
+        sizing_eps: 3.0,
+        sizing_weights: WeightFn::constant_one(),
+        max_delta: 7,
+        expanded_disjoint: reverse,
+        start_stride: 4,
+        attr_sample: 64,
+    }
+}
+
+fn bench_slices(c: &mut Criterion) {
+    let dataset = bench_dataset(1000, 13);
+    let queries = bench_queries(dataset.len(), 20);
+    let params = TindParams::paper_default();
+
+    let mut group = c.benchmark_group("fig13_fig14_slices");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+
+    for (strategy, name) in
+        [(SliceStrategy::Random, "random"), (SliceStrategy::WeightedRandom, "weighted")]
+    {
+        for k in [1usize, 4, 16] {
+            let fwd = TindIndex::build(
+                dataset.clone(),
+                IndexConfig {
+                    slices: slice_config(k, strategy, false),
+                    ..IndexConfig::default()
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("search_{name}"), k),
+                &k,
+                |bench, _| {
+                    bench.iter(|| {
+                        for &q in &queries {
+                            black_box(fwd.search(q, &params).results.len());
+                        }
+                    })
+                },
+            );
+        }
+    }
+
+    for k in [1usize, 2, 8] {
+        let rev = TindIndex::build(
+            dataset.clone(),
+            IndexConfig {
+                m: 512,
+                slices: slice_config(k, SliceStrategy::WeightedRandom, true),
+                build_reverse: true,
+                ..IndexConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reverse_weighted", k), &k, |bench, _| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(rev.reverse_search(q, &params).results.len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slices);
+criterion_main!(benches);

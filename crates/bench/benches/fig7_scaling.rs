@@ -1,0 +1,58 @@
+//! Figure 7 at bench scale: per-query latency of tIND search, reverse
+//! search, and k-MANY for growing numbers of indexed attributes.
+//!
+//! Expected shape: search fastest, reverse ~2× slower, k-MANY an order of
+//! magnitude slower; all grow slowly with |D|.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tind_baseline::{KManyIndex, MemoryBudget};
+use tind_bench::{bench_dataset, bench_queries};
+use tind_core::{IndexConfig, TindIndex, TindParams};
+
+fn bench_scaling(c: &mut Criterion) {
+    let params = TindParams::paper_default();
+    let mut group = c.benchmark_group("fig7_scaling");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+
+    for n in [500usize, 1000, 2000] {
+        let dataset = bench_dataset(n, 7);
+        let queries = bench_queries(dataset.len(), 20);
+
+        let fwd = TindIndex::build(dataset.clone(), IndexConfig::default());
+        group.bench_with_input(BenchmarkId::new("search", n), &n, |bench, _| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(fwd.search(q, &params).results.len());
+                }
+            })
+        });
+
+        let rev = TindIndex::build(dataset.clone(), IndexConfig::reverse_default());
+        group.bench_with_input(BenchmarkId::new("reverse", n), &n, |bench, _| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(rev.reverse_search(q, &params).results.len());
+                }
+            })
+        });
+
+        let kmany = KManyIndex::build(dataset.clone(), 16, 4096, 2, params.delta, 7);
+        let budget = MemoryBudget::unlimited();
+        group.bench_with_input(BenchmarkId::new("k-MANY", n), &n, |bench, _| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(
+                        kmany.search(q, &params, &budget).expect("unlimited budget").results.len(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

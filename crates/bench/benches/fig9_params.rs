@@ -1,0 +1,60 @@
+//! Figure 9 at bench scale: query runtime for varying ε and δ.
+//!
+//! Expected shape: runtime grows ~linearly with ε; δ nearly flat until
+//! very large settings.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tind_bench::{bench_dataset, bench_queries};
+use tind_core::{IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind_model::WeightFn;
+
+fn bench_params(c: &mut Criterion) {
+    let dataset = bench_dataset(1000, 9);
+    let queries = bench_queries(dataset.len(), 20);
+
+    let mut group = c.benchmark_group("fig9_params");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+
+    for eps in [0.0f64, 3.0, 15.0, 39.0] {
+        let index = TindIndex::build(
+            dataset.clone(),
+            IndexConfig {
+                slices: SliceConfig::search_default(eps, WeightFn::constant_one(), 7),
+                ..IndexConfig::default()
+            },
+        );
+        let params = TindParams::weighted(eps, 7, WeightFn::constant_one());
+        group.bench_with_input(BenchmarkId::new("eps", format!("{eps}")), &eps, |bench, _| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(index.search(q, &params).results.len());
+                }
+            })
+        });
+    }
+
+    for delta in [0u32, 7, 31, 365] {
+        let index = TindIndex::build(
+            dataset.clone(),
+            IndexConfig {
+                slices: SliceConfig::search_default(3.0, WeightFn::constant_one(), delta),
+                ..IndexConfig::default()
+            },
+        );
+        let params = TindParams::weighted(3.0, delta, WeightFn::constant_one());
+        group.bench_with_input(BenchmarkId::new("delta", delta), &delta, |bench, _| {
+            bench.iter(|| {
+                for &q in &queries {
+                    black_box(index.search(q, &params).results.len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_params);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Algorithm 2 (interval-partitioned validation) vs the naive
+//! per-timestamp validator — the speedup that makes per-candidate
+//! validation affordable (§4.3).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tind_core::validate::{naive_violation_weight, violation_weight};
+use tind_core::TindParams;
+use tind_model::{DatasetBuilder, Timeline};
+
+fn fixture() -> (tind_model::Dataset, Timeline) {
+    let tl = Timeline::new(6000); // paper-scale timeline
+    let mut b = DatasetBuilder::new(tl);
+    // ~15 versions each, overlapping value sets.
+    let q_versions: Vec<(u32, Vec<String>)> = (0..15)
+        .map(|i| (i * 380, (0..25 + i).map(|v| format!("v{v}")).collect()))
+        .collect();
+    let a_versions: Vec<(u32, Vec<String>)> = (0..15)
+        .map(|i| (i * 380 + 5, (0..40 + i).map(|v| format!("v{v}")).collect()))
+        .collect();
+    b.add_attribute("q", &q_versions, 5999);
+    b.add_attribute("a", &a_versions, 5999);
+    (b.build(), tl)
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let (d, tl) = fixture();
+    let q = d.attribute(0);
+    let a = d.attribute(1);
+    let params = TindParams::paper_default();
+
+    let mut group = c.benchmark_group("validation");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("algorithm2", |bench| {
+        bench.iter(|| black_box(violation_weight(q, a, &params, tl, false)))
+    });
+    group.bench_function("algorithm2_early_exit", |bench| {
+        bench.iter(|| black_box(violation_weight(q, a, &params, tl, true)))
+    });
+    group.bench_function("naive_per_timestamp", |bench| {
+        bench.iter(|| black_box(naive_violation_weight(q, a, &params, tl)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

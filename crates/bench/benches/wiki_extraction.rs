@@ -1,0 +1,48 @@
+//! Wiki-substrate benchmarks: wikitext table parsing and the end-to-end
+//! extraction pipeline (the preprocessing effort §5.1 implies).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tind_datagen::{generate, revisions::render_revisions, GeneratorConfig};
+use tind_wiki::{extract_dataset, parse_tables, PipelineConfig};
+
+fn render_page(rows: usize) -> String {
+    let mut text = String::from("{| class=\"wikitable\"\n|+ Bench\n! Name !! Year !! Place\n");
+    for i in 0..rows {
+        text.push_str(&format!("|-\n| [[Entity {i}]] || {} || City {}\n", 1990 + i % 30, i % 50));
+    }
+    text.push_str("|}\n");
+    text
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wikitext_parse");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for rows in [10usize, 100, 1000] {
+        let page = render_page(rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bench, _| {
+            bench.iter(|| black_box(parse_tables(black_box(&page)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let generated = generate(&GeneratorConfig::small(200, 5));
+    let revisions = render_revisions(&generated.dataset);
+    let config = PipelineConfig::new(730);
+    let mut group = c.benchmark_group("wiki_pipeline");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group.bench_function("extract_200_attributes", |bench| {
+        bench.iter(|| {
+            let (dataset, _) = extract_dataset(revisions.clone(), &config);
+            black_box(dataset.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench regenerates one of the paper's runtime figures at bench
+//! scale; the full-size reproductions live in `tind-eval` (run them with
+//! `tind experiment <id>`).
+
+use std::sync::Arc;
+
+use tind_datagen::{generate, GeneratorConfig};
+use tind_model::{AttrId, Dataset};
+
+/// Generates a bench-sized paper-shaped dataset.
+pub fn bench_dataset(num_attributes: usize, seed: u64) -> Arc<Dataset> {
+    let mut cfg = GeneratorConfig::paper_shaped(num_attributes, seed);
+    cfg.timeline_days = 1000;
+    cfg.mean_lifespan_days = 400.0;
+    Arc::new(generate(&cfg).dataset)
+}
+
+/// Deterministic query sample.
+pub fn bench_queries(num_attributes: usize, count: usize) -> Vec<AttrId> {
+    // Evenly spread ids: deterministic without an RNG, covers sources,
+    // derived and noise attributes alike.
+    let step = (num_attributes / count.max(1)).max(1);
+    (0..num_attributes).step_by(step).take(count).map(|i| i as AttrId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = bench_dataset(80, 1);
+        let b = bench_dataset(80, 1);
+        assert_eq!(a.len(), b.len());
+        let q = bench_queries(100, 10);
+        assert_eq!(q.len(), 10);
+        assert!(q.iter().all(|&i| i < 100));
+    }
+}

@@ -1,0 +1,326 @@
+//! A fixed-length bit vector with word-parallel boolean algebra.
+//!
+//! Used both for candidate sets over attributes (`|D|` bits) and for the
+//! rows/filters of Bloom matrices. All bulk operations work on `u64` words;
+//! bits past `len` in the final word are kept zero as an invariant so that
+//! `count_ones`/`iter_ones` need no masking.
+
+/// A fixed-length vector of bits.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec(len={}, ones={})", self.len, self.count_ones())
+    }
+}
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+impl BitVec {
+    /// Creates a vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { words: vec![0; words_for(len)], len }
+    }
+
+    /// Creates a vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec { words: vec![u64::MAX; words_for(len)], len };
+        v.mask_tail();
+        v
+    }
+
+    /// Zeroes any bits beyond `len` in the last word (internal invariant).
+    #[inline]
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i` to 0.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Sets all bits to 0.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets all bits to 1.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Copies `other`'s bits into `self` without reallocating.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// `self &= other`.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other`.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= !other` — the negated-row conjunction used for subset
+    /// candidate search.
+    pub fn andnot_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self &= words`, where `words` is a raw row of the same word length.
+    pub fn and_assign_words(&mut self, words: &[u64]) {
+        assert_eq!(self.words.len(), words.len(), "word length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !words` for a raw row. The caller guarantees `words` has no
+    /// bits set beyond `len` (Bloom-matrix rows maintain this).
+    pub fn andnot_assign_words(&mut self, words: &[u64]) {
+        assert_eq!(self.words.len(), words.len(), "word length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(words) {
+            *a &= !b;
+        }
+        self.mask_tail();
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Iterates the indices of zero bits in ascending order.
+    pub fn iter_zeros(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| !self.get(i))
+    }
+
+    /// Raw word storage (read-only).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Heap bytes used by the word storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Iterator over set-bit indices; see [`BitVec::iter_ones`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert!(v.is_zero());
+        v.set(0);
+        v.set(64);
+        v.set(129);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+        v.clear(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_constructor_masks_tail() {
+        let v = BitVec::ones(70);
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v.words().len(), 2);
+        assert_eq!(v.words()[1], (1u64 << 6) - 1);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut a = BitVec::zeros(100);
+        let mut b = BitVec::zeros(100);
+        for i in (0..100).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..100).step_by(3) {
+            b.set(i);
+        }
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert!(and.iter_ones().all(|i| i % 6 == 0));
+        assert_eq!(and.count_ones(), 17); // multiples of 6 in 0..100
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or.count_ones(), 50 + 34 - 17);
+
+        let mut diff = a.clone();
+        diff.andnot_assign(&b);
+        assert!(diff.iter_ones().all(|i| i % 2 == 0 && i % 3 != 0));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let mut small = BitVec::zeros(80);
+        let mut big = BitVec::zeros(80);
+        small.set(3);
+        small.set(70);
+        big.set(3);
+        big.set(70);
+        big.set(40);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(BitVec::zeros(80).is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let mut v = BitVec::zeros(200);
+        let idx = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idx {
+            v.set(i);
+        }
+        let collected: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(collected, idx);
+    }
+
+    #[test]
+    fn iter_zeros_complements_iter_ones() {
+        let mut v = BitVec::ones(70);
+        v.clear(5);
+        v.clear(69);
+        let zeros: Vec<usize> = v.iter_zeros().collect();
+        assert_eq!(zeros, vec![5, 69]);
+    }
+
+    #[test]
+    fn set_all_then_clear_all() {
+        let mut v = BitVec::zeros(67);
+        v.set_all();
+        assert_eq!(v.count_ones(), 67);
+        v.clear_all();
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn raw_word_operations() {
+        let mut v = BitVec::ones(64);
+        v.and_assign_words(&[0b1010]);
+        assert_eq!(v.count_ones(), 2);
+        v.andnot_assign_words(&[0b0010]);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_rejects_length_mismatch() {
+        let mut a = BitVec::zeros(10);
+        a.and_assign(&BitVec::zeros(11));
+    }
+
+    #[test]
+    fn empty_bitvec() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.iter_ones().count(), 0);
+    }
+}

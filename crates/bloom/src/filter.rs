@@ -1,0 +1,193 @@
+//! Bloom filters over interned value sets.
+//!
+//! The hash function `h` maps a value set to a bit vector of `m` bits via
+//! `k` double-hashing probes per value (Kirsch–Mitzenmacher). The property
+//! the whole index rests on: `A ⊆ B ⇒ h(A) bitwise-⊆ h(B)` — inserting a
+//! superset can only set *more* bits.
+
+use crate::bitvec::BitVec;
+use tind_model::hash::Hash128;
+use tind_model::ValueId;
+
+/// A Bloom filter of `m` bits with `k` hash probes per value.
+///
+/// # Examples
+///
+/// ```
+/// use tind_bloom::BloomFilter;
+///
+/// let small = BloomFilter::from_values(&[1, 2, 3], 512, 2);
+/// let big = BloomFilter::from_values(&[1, 2, 3, 4, 5], 512, 2);
+/// // Subset relations are preserved — the basis of the MANY matrix trick.
+/// assert!(small.may_be_subset_of(&big));
+/// assert!(small.may_contain(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: BitVec,
+    k_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `k_hashes == 0`.
+    pub fn new(m: u32, k_hashes: u32) -> Self {
+        assert!(m > 0, "filter size must be positive");
+        assert!(k_hashes > 0, "need at least one hash probe");
+        BloomFilter { bits: BitVec::zeros(m as usize), k_hashes }
+    }
+
+    /// Builds a filter directly from a value set.
+    pub fn from_values(values: &[ValueId], m: u32, k_hashes: u32) -> Self {
+        let mut f = BloomFilter::new(m, k_hashes);
+        f.insert_all(values);
+        f
+    }
+
+    /// Filter size `m` in bits.
+    pub fn m(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// Number of hash probes per value.
+    pub fn k_hashes(&self) -> u32 {
+        self.k_hashes
+    }
+
+    /// Inserts one value.
+    pub fn insert(&mut self, value: ValueId) {
+        let h = Hash128::of_key(u64::from(value));
+        for i in 0..self.k_hashes {
+            self.bits.set(h.probe(i, self.m()) as usize);
+        }
+    }
+
+    /// Inserts every value of a set.
+    pub fn insert_all(&mut self, values: &[ValueId]) {
+        for &v in values {
+            self.insert(v);
+        }
+    }
+
+    /// Whether `value` *may* be present (no false negatives).
+    pub fn may_contain(&self, value: ValueId) -> bool {
+        let h = Hash128::of_key(u64::from(value));
+        (0..self.k_hashes).all(|i| self.bits.get(h.probe(i, self.m()) as usize))
+    }
+
+    /// Whether this filter's value set *may* be a subset of `other`'s
+    /// (bitwise containment; no false negatives).
+    pub fn may_be_subset_of(&self, other: &BloomFilter) -> bool {
+        debug_assert_eq!(self.m(), other.m(), "filters must share m");
+        debug_assert_eq!(self.k_hashes, other.k_hashes, "filters must share k");
+        self.bits.is_subset_of(&other.bits)
+    }
+
+    /// The underlying bit vector.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Number of set bits (load of the filter).
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// The set-bit row indices; the rows a matrix query must AND together.
+    pub fn set_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter_ones()
+    }
+
+    /// The zero-bit row indices; the rows a subset-direction matrix query
+    /// must AND-NOT together.
+    pub fn zero_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter_zeros()
+    }
+
+    /// Sets a raw bit position directly; used by
+    /// [`crate::BloomMatrix::column_filter`] to reconstruct a column.
+    pub(crate) fn set_raw_bit(&mut self, row: usize) {
+        self.bits.set(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = BloomFilter::new(256, 2);
+        for v in 0..20 {
+            f.insert(v);
+        }
+        for v in 0..20 {
+            assert!(f.may_contain(v), "no false negatives");
+        }
+    }
+
+    #[test]
+    fn subset_preservation() {
+        let m = 512;
+        let small: Vec<ValueId> = (0..10).collect();
+        let big: Vec<ValueId> = (0..40).collect();
+        let fs = BloomFilter::from_values(&small, m, 2);
+        let fb = BloomFilter::from_values(&big, m, 2);
+        assert!(fs.may_be_subset_of(&fb));
+        assert!(fs.may_be_subset_of(&fs));
+    }
+
+    #[test]
+    fn disjoint_sets_usually_not_subset() {
+        // With m large relative to cardinality, a disjoint set should not
+        // appear contained.
+        let a: Vec<ValueId> = (0..8).collect();
+        let b: Vec<ValueId> = (1000..1008).collect();
+        let fa = BloomFilter::from_values(&a, 4096, 2);
+        let fb = BloomFilter::from_values(&b, 4096, 2);
+        assert!(!fa.may_be_subset_of(&fb));
+    }
+
+    #[test]
+    fn empty_filter_is_subset_of_everything() {
+        let empty = BloomFilter::new(128, 3);
+        let full = BloomFilter::from_values(&[1, 2, 3], 128, 3);
+        assert!(empty.may_be_subset_of(&full));
+        assert!(empty.may_be_subset_of(&empty));
+        assert_eq!(empty.count_ones(), 0);
+    }
+
+    #[test]
+    fn k_probes_set_at_most_k_bits() {
+        let mut f = BloomFilter::new(1 << 16, 4);
+        f.insert(42);
+        let ones = f.count_ones();
+        assert!((1..=4).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn set_and_zero_rows_partition() {
+        let f = BloomFilter::from_values(&[5, 9, 100], 64, 2);
+        let set: Vec<usize> = f.set_rows().collect();
+        let zero: Vec<usize> = f.zero_rows().collect();
+        assert_eq!(set.len() + zero.len(), 64);
+        for r in &set {
+            assert!(!zero.contains(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn rejects_zero_m() {
+        BloomFilter::new(0, 2);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let f1 = BloomFilter::from_values(&[1, 2, 3], 256, 2);
+        let f2 = BloomFilter::from_values(&[3, 2, 1], 256, 2);
+        assert_eq!(f1, f2, "same set, same filter regardless of insert order");
+    }
+}

@@ -1,0 +1,410 @@
+//! The Bloom filter matrix: MANY's candidate index (Section 4.1).
+//!
+//! An `m × |D|` bit matrix whose `j`-th *column* is the Bloom filter of
+//! attribute `j`'s value set, stored row-major so a query touches whole
+//! rows:
+//!
+//! * **Superset candidates** (who may contain `Q`): AND together the rows
+//!   where `h(Q)` is 1. A column that survives has every query bit set.
+//! * **Subset candidates** (who may be contained in `Q`): AND together the
+//!   *complements* of the rows where `h(Q)` is 0. A column that survives has
+//!   no bit outside `h(Q)`.
+
+use crate::bitvec::BitVec;
+use crate::filter::BloomFilter;
+use tind_model::hash::Hash128;
+use tind_model::ValueId;
+
+/// An immutable `m × num_cols` Bloom filter matrix.
+///
+/// # Examples
+///
+/// ```
+/// use tind_bloom::{BitVec, BloomMatrixBuilder};
+///
+/// let mut builder = BloomMatrixBuilder::new(512, 2, 2);
+/// builder.insert_column(0, &[1, 2, 3]);
+/// builder.insert_column(1, &[100, 200]);
+/// let matrix = builder.build();
+///
+/// // Which columns may contain {1, 2}? Only column 0.
+/// let query = matrix.query_filter(&[1, 2]);
+/// let mut candidates = BitVec::ones(2);
+/// matrix.narrow_to_supersets(&query, &mut candidates);
+/// assert!(candidates.get(0));
+/// assert!(!candidates.get(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomMatrix {
+    m: u32,
+    num_cols: usize,
+    k_hashes: u32,
+    words_per_row: usize,
+    rows: Vec<u64>,
+}
+
+/// Mutable assembly stage for a [`BloomMatrix`].
+#[derive(Debug)]
+pub struct BloomMatrixBuilder {
+    matrix: BloomMatrix,
+}
+
+impl BloomMatrixBuilder {
+    /// Creates an all-zero matrix of `m` rows and `num_cols` columns.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `k_hashes == 0`.
+    pub fn new(m: u32, num_cols: usize, k_hashes: u32) -> Self {
+        assert!(m > 0, "matrix needs at least one row");
+        assert!(k_hashes > 0, "need at least one hash probe");
+        let words_per_row = num_cols.div_ceil(64);
+        BloomMatrixBuilder {
+            matrix: BloomMatrix {
+                m,
+                num_cols,
+                k_hashes,
+                words_per_row,
+                rows: vec![0u64; m as usize * words_per_row],
+            },
+        }
+    }
+
+    /// Inserts `values` into column `col` (the attribute's Bloom filter).
+    /// May be called repeatedly for the same column; bits accumulate.
+    pub fn insert_column(&mut self, col: usize, values: &[ValueId]) {
+        assert!(col < self.matrix.num_cols, "column {col} out of range");
+        let m = self.matrix.m;
+        let (word, bit) = (col / 64, col % 64);
+        for &v in values {
+            let h = Hash128::of_key(u64::from(v));
+            for i in 0..self.matrix.k_hashes {
+                let row = h.probe(i, m) as usize;
+                self.matrix.rows[row * self.matrix.words_per_row + word] |= 1u64 << bit;
+            }
+        }
+    }
+
+    /// Finalizes the matrix.
+    pub fn build(self) -> BloomMatrix {
+        self.matrix
+    }
+}
+
+impl BloomMatrix {
+    /// Number of rows `m` (the Bloom filter size).
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of columns (attributes).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Hash probes per value.
+    pub fn k_hashes(&self) -> u32 {
+        self.k_hashes
+    }
+
+    /// Hashes a value set into a query filter compatible with this matrix.
+    pub fn query_filter(&self, values: &[ValueId]) -> BloomFilter {
+        BloomFilter::from_values(values, self.m, self.k_hashes)
+    }
+
+    #[inline]
+    fn row_words(&self, row: usize) -> &[u64] {
+        &self.rows[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Narrows `candidates` to columns that may be **supersets** of the
+    /// queried value set: `candidates &= ⋀_{r: h(Q)[r]=1} M[r]`.
+    ///
+    /// No false negatives: a column whose value set truly contains the query
+    /// set is never cleared.
+    pub fn narrow_to_supersets(&self, query: &BloomFilter, candidates: &mut BitVec) {
+        self.check_query(query, candidates);
+        for row in query.set_rows() {
+            candidates.and_assign_words(self.row_words(row));
+            if candidates.is_zero() {
+                return;
+            }
+        }
+    }
+
+    /// Narrows `candidates` to columns that may be **subsets** of the
+    /// queried value set: `candidates &= ⋀_{r: h(Q)[r]=0} ¬M[r]`.
+    pub fn narrow_to_subsets(&self, query: &BloomFilter, candidates: &mut BitVec) {
+        self.check_query(query, candidates);
+        for row in query.zero_rows() {
+            candidates.andnot_assign_words(self.row_words(row));
+            if candidates.is_zero() {
+                return;
+            }
+        }
+    }
+
+    #[inline]
+    fn check_query(&self, query: &BloomFilter, candidates: &BitVec) {
+        assert_eq!(query.m(), self.m, "query filter size must match matrix rows");
+        assert_eq!(query.k_hashes(), self.k_hashes, "query probe count must match matrix");
+        assert_eq!(candidates.len(), self.num_cols, "candidate set must cover all columns");
+    }
+
+    /// Whether column `col`'s filter may contain all `values`
+    /// (per-candidate check without materializing the column).
+    pub fn column_may_contain_all(&self, col: usize, values: &[ValueId]) -> bool {
+        debug_assert!(col < self.num_cols);
+        let (word, bit) = (col / 64, col % 64);
+        for &v in values {
+            let h = Hash128::of_key(u64::from(v));
+            for i in 0..self.k_hashes {
+                let row = h.probe(i, self.m) as usize;
+                if self.rows[row * self.words_per_row + word] >> bit & 1 == 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether every set bit of column `col` lies within `filter` — the
+    /// per-candidate subset-direction test (equivalent to surviving
+    /// [`BloomMatrix::narrow_to_subsets`], but O(m) per column instead of
+    /// O(zero-bits · |D|/64) for the whole matrix).
+    pub fn column_within_filter(&self, col: usize, filter: &BloomFilter) -> bool {
+        debug_assert!(col < self.num_cols);
+        debug_assert_eq!(filter.m(), self.m);
+        let (word, bit) = (col / 64, col % 64);
+        for row in 0..self.m as usize {
+            if self.rows[row * self.words_per_row + word] >> bit & 1 == 1
+                && !filter.bits().get(row)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Extracts column `col` as a standalone Bloom filter (diagnostics and
+    /// reverse-search violation checks).
+    pub fn column_filter(&self, col: usize) -> BloomFilter {
+        debug_assert!(col < self.num_cols);
+        let (word, bit) = (col / 64, col % 64);
+        let mut f = BloomFilter::new(self.m, self.k_hashes);
+        for row in 0..self.m as usize {
+            if self.rows[row * self.words_per_row + word] >> bit & 1 == 1 {
+                f.set_raw_bit(row);
+            }
+        }
+        f
+    }
+
+    /// Heap bytes used by the row storage — the `(k+1)·|D|·m / 8` of the
+    /// paper's memory-tradeoff discussion (Section 4.2.2).
+    pub fn heap_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Serializes the matrix (for index persistence).
+    pub fn encode(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        use tind_model::binio::put_varint;
+        put_varint(buf, u64::from(self.m));
+        put_varint(buf, self.num_cols as u64);
+        put_varint(buf, u64::from(self.k_hashes));
+        for &w in &self.rows {
+            buf.put_u64_le(w);
+        }
+    }
+
+    /// Deserializes a matrix written by [`BloomMatrix::encode`].
+    pub fn decode(buf: &mut bytes::Bytes) -> Result<Self, tind_model::binio::BinIoError> {
+        use bytes::Buf;
+        use tind_model::binio::{get_varint, BinIoError};
+        let m = u32::try_from(get_varint(buf)?)
+            .map_err(|_| BinIoError::Corrupt("matrix m overflow".into()))?;
+        let num_cols = get_varint(buf)? as usize;
+        let k_hashes = u32::try_from(get_varint(buf)?)
+            .map_err(|_| BinIoError::Corrupt("matrix k overflow".into()))?;
+        if m == 0 || k_hashes == 0 {
+            return Err(BinIoError::Corrupt("degenerate matrix dimensions".into()));
+        }
+        let words_per_row = num_cols.div_ceil(64);
+        let total_words = (m as usize)
+            .checked_mul(words_per_row)
+            .ok_or_else(|| BinIoError::Corrupt("matrix size overflow".into()))?;
+        if buf.remaining() < total_words * 8 {
+            return Err(BinIoError::Corrupt("truncated matrix rows".into()));
+        }
+        let mut rows = Vec::with_capacity(total_words);
+        for _ in 0..total_words {
+            rows.push(buf.get_u64_le());
+        }
+        Ok(BloomMatrix { m, num_cols, k_hashes, words_per_row, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three attributes: 0 = {0..10}, 1 = {0..5}, 2 = {100..110}.
+    fn sample_matrix(m: u32) -> BloomMatrix {
+        let mut b = BloomMatrixBuilder::new(m, 3, 2);
+        let a0: Vec<ValueId> = (0..10).collect();
+        let a1: Vec<ValueId> = (0..5).collect();
+        let a2: Vec<ValueId> = (100..110).collect();
+        b.insert_column(0, &a0);
+        b.insert_column(1, &a1);
+        b.insert_column(2, &a2);
+        b.build()
+    }
+
+    #[test]
+    fn superset_search_finds_true_supersets() {
+        let m = sample_matrix(1024);
+        let query: Vec<ValueId> = (0..5).collect();
+        let qf = m.query_filter(&query);
+        let mut cands = BitVec::ones(3);
+        m.narrow_to_supersets(&qf, &mut cands);
+        assert!(cands.get(0), "0..10 contains 0..5");
+        assert!(cands.get(1), "0..5 contains itself");
+        assert!(!cands.get(2), "100..110 disjoint (bloom should prune at this size)");
+    }
+
+    #[test]
+    fn subset_search_finds_true_subsets() {
+        let m = sample_matrix(1024);
+        let query: Vec<ValueId> = (0..10).collect();
+        let qf = m.query_filter(&query);
+        let mut cands = BitVec::ones(3);
+        m.narrow_to_subsets(&qf, &mut cands);
+        assert!(cands.get(0));
+        assert!(cands.get(1));
+        assert!(!cands.get(2));
+    }
+
+    #[test]
+    fn no_false_negatives_even_with_tiny_filters() {
+        // With m = 8 there will be many collisions, but a true superset can
+        // never be pruned.
+        let m = sample_matrix(8);
+        let query: Vec<ValueId> = (0..10).collect();
+        let qf = m.query_filter(&query);
+        let mut cands = BitVec::ones(3);
+        m.narrow_to_supersets(&qf, &mut cands);
+        assert!(cands.get(0), "true superset survived");
+    }
+
+    #[test]
+    fn column_may_contain_all_matches_column_semantics() {
+        let m = sample_matrix(2048);
+        assert!(m.column_may_contain_all(0, &[0, 5, 9]));
+        assert!(m.column_may_contain_all(1, &[0, 4]));
+        assert!(!m.column_may_contain_all(1, &[0, 4, 99]));
+        assert!(!m.column_may_contain_all(2, &[0]));
+        assert!(m.column_may_contain_all(2, &[105]));
+    }
+
+    #[test]
+    fn column_within_filter_matches_subset_search() {
+        let m = sample_matrix(512);
+        for query in [(0u32..10).collect::<Vec<_>>(), (0..5).collect(), (100..110).collect()] {
+            let qf = m.query_filter(&query);
+            let mut cands = BitVec::ones(3);
+            m.narrow_to_subsets(&qf, &mut cands);
+            for col in 0..3 {
+                assert_eq!(
+                    m.column_within_filter(col, &qf),
+                    cands.get(col),
+                    "probe and row mode disagree on column {col} for query {query:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn column_filter_roundtrip() {
+        let m = sample_matrix(256);
+        let col0 = m.column_filter(0);
+        let direct = BloomFilter::from_values(&(0..10).collect::<Vec<_>>(), 256, 2);
+        assert_eq!(col0, direct);
+    }
+
+    #[test]
+    fn empty_query_keeps_all_superset_candidates() {
+        let m = sample_matrix(512);
+        let qf = m.query_filter(&[]);
+        let mut cands = BitVec::ones(3);
+        m.narrow_to_supersets(&qf, &mut cands);
+        assert_eq!(cands.count_ones(), 3, "empty set contained everywhere");
+    }
+
+    #[test]
+    fn incremental_column_insertion_accumulates() {
+        let mut b = BloomMatrixBuilder::new(512, 1, 2);
+        b.insert_column(0, &[1, 2]);
+        b.insert_column(0, &[3]);
+        let m = b.build();
+        assert!(m.column_may_contain_all(0, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn many_columns_across_word_boundaries() {
+        let n = 200;
+        let mut b = BloomMatrixBuilder::new(1024, n, 2);
+        for col in 0..n {
+            b.insert_column(col, &[col as ValueId, (col + 1) as ValueId]);
+        }
+        let m = b.build();
+        // Query {70, 71} — only column 70 has both.
+        let qf = m.query_filter(&[70, 71]);
+        let mut cands = BitVec::ones(n);
+        m.narrow_to_supersets(&qf, &mut cands);
+        assert!(cands.get(70));
+        // Surviving candidates must at least bloom-contain the query.
+        for c in cands.iter_ones() {
+            assert!(m.column_may_contain_all(c, &[70, 71]));
+        }
+    }
+
+    #[test]
+    fn heap_bytes_matches_paper_formula() {
+        let m = BloomMatrixBuilder::new(4096, 128, 2).build();
+        // 4096 rows × ceil(128/64)=2 words × 8 bytes.
+        assert_eq!(m.heap_bytes(), 4096 * 2 * 8);
+    }
+
+    #[test]
+    fn matrix_encode_decode_roundtrip() {
+        let m = sample_matrix(512);
+        let mut buf = bytes::BytesMut::new();
+        m.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let m2 = BloomMatrix::decode(&mut bytes).expect("decodes");
+        assert_eq!(m2.m(), m.m());
+        assert_eq!(m2.num_cols(), m.num_cols());
+        assert_eq!(m2.k_hashes(), m.k_hashes());
+        for col in 0..3 {
+            assert_eq!(m2.column_filter(col), m.column_filter(col));
+        }
+        assert!(!bytes::Buf::has_remaining(&bytes));
+    }
+
+    #[test]
+    fn matrix_decode_rejects_truncation() {
+        let m = sample_matrix(128);
+        let mut buf = bytes::BytesMut::new();
+        m.encode(&mut buf);
+        let full = buf.freeze();
+        let mut truncated = full.slice(0..full.len() / 2);
+        assert!(BloomMatrix::decode(&mut truncated).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_rejects_bad_column() {
+        let mut b = BloomMatrixBuilder::new(64, 2, 2);
+        b.insert_column(2, &[1]);
+    }
+}

@@ -1,0 +1,844 @@
+//! Command implementations. Every command returns its full textual output
+//! so the layer is unit-testable; `main` only prints.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tind_core::{discover_all_pairs, AllPairsOptions, IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind_datagen::{generate, GeneratorConfig};
+use tind_eval::{ExpContext, Scale};
+use tind_model::binio::{read_dataset_file, write_dataset_file, BinIoError};
+use tind_model::stats::DatasetStats;
+use tind_model::{AttrId, Dataset, WeightFn};
+
+use crate::args::{ArgError, Args};
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Unknown command or experiment.
+    Unknown(String),
+    /// Dataset file I/O or decoding failure.
+    Data(BinIoError),
+    /// Other I/O failure (CSV output, ...).
+    Io(std::io::Error),
+    /// Anything else worth telling the user.
+    Message(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "argument error: {e}"),
+            CliError::Unknown(what) => write!(f, "unknown {what} (try `tind help`)"),
+            CliError::Data(e) => write!(f, "dataset error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<BinIoError> for CliError {
+    fn from(e: BinIoError) -> Self {
+        CliError::Data(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Dispatches a full command line (without the program name).
+pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = raw.split_first() else {
+        return Ok(crate::USAGE.to_string());
+    };
+    let args = Args::parse(rest.iter().cloned())?;
+    match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "search" => cmd_search(&args, false),
+        "reverse-search" => cmd_search(&args, true),
+        "partial-search" => cmd_partial_search(&args),
+        "top-k" => cmd_top_k(&args),
+        "explain" => cmd_explain(&args),
+        "index" => cmd_index(&args),
+        "explore" => cmd_explore(&args),
+        "all-pairs" => cmd_all_pairs(&args),
+        "pipeline" => cmd_pipeline(&args),
+        "experiment" => cmd_experiment(&args),
+        "list-experiments" => Ok(list_experiments()),
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        other => Err(CliError::Unknown(format!("command '{other}'"))),
+    }
+}
+
+fn load_dataset(args: &Args) -> Result<Arc<Dataset>, CliError> {
+    let path: PathBuf = args.required::<String>("data")?.into();
+    Ok(Arc::new(read_dataset_file(&path)?))
+}
+
+fn parse_params(args: &Args, dataset: &Dataset) -> Result<TindParams, CliError> {
+    let eps = args.opt_or("eps", 3.0)?;
+    let delta = args.opt_or("delta", 7u32)?;
+    let weights = match args.opt::<f64>("decay")? {
+        Some(a) => WeightFn::exponential(a, dataset.timeline()),
+        None => WeightFn::constant_one(),
+    };
+    Ok(TindParams::weighted(eps, delta, weights))
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let attributes = args.opt_or("attributes", 1000usize)?;
+    let seed = args.opt_or("seed", 42u64)?;
+    let preset = args.opt_or("preset", "paper".to_string())?;
+    let out: PathBuf = args.required::<String>("out")?.into();
+    let cfg = match preset.as_str() {
+        "small" => GeneratorConfig::small(attributes, seed),
+        "paper" => GeneratorConfig::paper_shaped(attributes, seed),
+        other => return Err(CliError::Unknown(format!("preset '{other}'"))),
+    };
+    let generated = generate(&cfg);
+    write_dataset_file(&generated.dataset, &out)?;
+    let mut extra = String::new();
+    if let Some(truth_path) = args.opt::<String>("truth-out")? {
+        let mut csv = String::from("lhs,rhs,lhs_name,rhs_name\n");
+        for &(lhs, rhs) in generated.truth.genuine_pairs() {
+            csv.push_str(&format!(
+                "{lhs},{rhs},{},{}\n",
+                generated.dataset.attribute(lhs).name(),
+                generated.dataset.attribute(rhs).name()
+            ));
+        }
+        std::fs::write(&truth_path, csv)?;
+        extra = format!("ground truth written to {truth_path}\n");
+    }
+    let stats = DatasetStats::compute(&generated.dataset);
+    Ok(format!(
+        "wrote {} attributes ({} genuine pairs planted) to {}\n{extra}{stats}\n",
+        generated.dataset.len(),
+        generated.truth.genuine_pairs().len(),
+        out.display()
+    ))
+}
+
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    Ok(format!("{}\n", DatasetStats::compute(&dataset)))
+}
+
+fn resolve_query(args: &Args, dataset: &Dataset) -> Result<AttrId, CliError> {
+    let raw = args.required::<String>("query")?;
+    if let Some((id, _)) = dataset.attribute_by_name(&raw) {
+        return Ok(id);
+    }
+    if let Ok(id) = raw.parse::<AttrId>() {
+        if (id as usize) < dataset.len() {
+            return Ok(id);
+        }
+    }
+    Err(CliError::Message(format!("query attribute '{raw}' not found (name or id)")))
+}
+
+/// Builds the index for ad-hoc queries, or loads a persisted one when
+/// `--index FILE` is given (the file's fingerprint must match the data).
+fn obtain_index(
+    args: &Args,
+    dataset: &Arc<Dataset>,
+    config: IndexConfig,
+) -> Result<(TindIndex, std::time::Duration), CliError> {
+    match args.opt::<String>("index")? {
+        Some(path) => {
+            let path: PathBuf = path.into();
+            Ok(tind_eval::stats::time_it(|| {
+                tind_core::persist::read_index_file(&path, dataset.clone())
+            }))
+            .and_then(|(res, d)| res.map(|i| (i, d)).map_err(CliError::Data))
+        }
+        None => Ok(tind_eval::stats::time_it(|| TindIndex::build(dataset.clone(), config))),
+    }
+}
+
+fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let params = parse_params(args, &dataset)?;
+    let limit = args.opt_or("limit", 20usize)?;
+    let query = resolve_query(args, &dataset)?;
+
+    let config = if reverse {
+        IndexConfig {
+            slices: SliceConfig::reverse_default(params.eps, params.weights.clone(), params.delta),
+            ..IndexConfig::reverse_default()
+        }
+    } else {
+        IndexConfig {
+            slices: SliceConfig::search_default(params.eps, params.weights.clone(), params.delta),
+            ..IndexConfig::default()
+        }
+    };
+    let (index, build) = obtain_index(args, &dataset, config)?;
+    let start = std::time::Instant::now();
+    let outcome =
+        if reverse { index.reverse_search(query, &params) } else { index.search(query, &params) };
+    let elapsed = start.elapsed();
+
+    let mut out = String::new();
+    let direction = if reverse { "⊇" } else { "⊆" };
+    writeln!(
+        out,
+        "{} results for '{}' {direction} · (ε={}, δ={}), query took {} (index build {})",
+        outcome.results.len(),
+        dataset.attribute(query).name(),
+        params.eps,
+        params.delta,
+        tind_eval::report::fmt_duration(elapsed),
+        tind_eval::report::fmt_duration(build),
+    )
+    .expect("write to string");
+    for &id in outcome.results.iter().take(limit) {
+        writeln!(out, "  {}", dataset.attribute(id).name()).expect("write to string");
+    }
+    if outcome.results.len() > limit {
+        writeln!(out, "  … and {} more (raise --limit)", outcome.results.len() - limit)
+            .expect("write to string");
+    }
+    let s = &outcome.stats;
+    writeln!(
+        out,
+        "pruning: {} → {} (required values) → {} (time slices) → {} (exact) → {} valid",
+        s.initial, s.after_required, s.after_slices, s.after_exact, s.validated
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
+fn cmd_partial_search(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let base = parse_params(args, &dataset)?;
+    let sigma = args.opt_or("sigma", 0.8f64)?;
+    if !(sigma > 0.0 && sigma <= 1.0) {
+        return Err(CliError::Message(format!("--sigma must be in (0, 1], got {sigma}")));
+    }
+    let limit = args.opt_or("limit", 20usize)?;
+    let query = resolve_query(args, &dataset)?;
+    let params = tind_core::partial::PartialParams::new(base, sigma);
+    let index = TindIndex::build(dataset.clone(), IndexConfig::default());
+    let start = std::time::Instant::now();
+    let outcome = tind_core::partial::partial_search(&index, query, &params);
+    let elapsed = start.elapsed();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} σ-partial results for '{}' (σ={}, ε={}, δ={}), query took {}",
+        outcome.results.len(),
+        dataset.attribute(query).name(),
+        sigma,
+        params.base.eps,
+        params.base.delta,
+        tind_eval::report::fmt_duration(elapsed),
+    )
+    .expect("write to string");
+    for &id in outcome.results.iter().take(limit) {
+        writeln!(out, "  {}", dataset.attribute(id).name()).expect("write to string");
+    }
+    if outcome.results.len() > limit {
+        writeln!(out, "  … and {} more (raise --limit)", outcome.results.len() - limit)
+            .expect("write to string");
+    }
+    Ok(out)
+}
+
+fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let params = parse_params(args, &dataset)?;
+    let threads = args.opt_or("threads", 0usize)?;
+    let config = IndexConfig {
+        slices: SliceConfig::search_default(params.eps, params.weights.clone(), params.delta),
+        ..IndexConfig::default()
+    };
+    let (index, build) = tind_eval::stats::time_it(|| TindIndex::build(dataset.clone(), config));
+    let outcome = discover_all_pairs(&index, &params, &AllPairsOptions { threads });
+    Ok(format!(
+        "{} tINDs among {} attributes (ε={}, δ={})\nindex build {}, discovery {}, {} validations\n",
+        outcome.pairs.len(),
+        dataset.len(),
+        params.eps,
+        params.delta,
+        tind_eval::report::fmt_duration(build),
+        tind_eval::report::fmt_duration(outcome.elapsed),
+        outcome.validations_run,
+    ))
+}
+
+fn cmd_top_k(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let k = args.opt_or("k", 5usize)?;
+    let delta = args.opt_or("delta", 7u32)?;
+    let weights = match args.opt::<f64>("decay")? {
+        Some(a) => tind_model::WeightFn::exponential(a, dataset.timeline()),
+        None => tind_model::WeightFn::constant_one(),
+    };
+    let query = resolve_query(args, &dataset)?;
+    let config = IndexConfig {
+        slices: SliceConfig::search_default(3.0, weights.clone(), delta),
+        ..IndexConfig::default()
+    };
+    let (index, _) = obtain_index(args, &dataset, config)?;
+    let start = std::time::Instant::now();
+    let ranked = tind_core::topk::top_k_search(&index, query, k, delta, &weights);
+    let elapsed = start.elapsed();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "top-{k} right-hand sides for '{}' by violation weight (δ={delta}), {} elapsed:",
+        dataset.attribute(query).name(),
+        tind_eval::report::fmt_duration(elapsed),
+    )
+    .expect("write to string");
+    for r in &ranked {
+        writeln!(
+            out,
+            "  {:<40} violation {:.3}",
+            dataset.attribute(r.rhs).name(),
+            r.violation
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+fn cmd_explain(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let params = parse_params(args, &dataset)?;
+    let lhs = {
+        let raw = args.required::<String>("lhs")?;
+        resolve_named(&raw, &dataset)?
+    };
+    let rhs = {
+        let raw = args.required::<String>("rhs")?;
+        resolve_named(&raw, &dataset)?
+    };
+    let explanation = tind_core::explain::explain(
+        dataset.attribute(lhs),
+        dataset.attribute(rhs),
+        &params,
+        dataset.timeline(),
+    );
+    Ok(format!(
+        "{} ⊆ {} (ε={}, δ={}):\n{}",
+        dataset.attribute(lhs).name(),
+        dataset.attribute(rhs).name(),
+        params.eps,
+        params.delta,
+        explanation.render(&dataset)
+    ))
+}
+
+fn resolve_named(raw: &str, dataset: &Dataset) -> Result<AttrId, CliError> {
+    if let Some((id, _)) = dataset.attribute_by_name(raw) {
+        return Ok(id);
+    }
+    if let Ok(id) = raw.parse::<AttrId>() {
+        if (id as usize) < dataset.len() {
+            return Ok(id);
+        }
+    }
+    Err(CliError::Message(format!("attribute '{raw}' not found (name or id)")))
+}
+
+fn cmd_index(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let out: PathBuf = args.required::<String>("out")?.into();
+    let m = args.opt_or("m", 4096u32)?;
+    let eps = args.opt_or("eps", 3.0f64)?;
+    let delta = args.opt_or("delta", 7u32)?;
+    let reverse = args.opt_or("reverse", false)?;
+    let config = if reverse {
+        IndexConfig {
+            m,
+            slices: SliceConfig::reverse_default(eps, tind_model::WeightFn::constant_one(), delta),
+            build_reverse: true,
+            ..IndexConfig::reverse_default()
+        }
+    } else {
+        IndexConfig {
+            m,
+            slices: SliceConfig::search_default(eps, tind_model::WeightFn::constant_one(), delta),
+            ..IndexConfig::default()
+        }
+    };
+    let (index, build) = tind_eval::stats::time_it(|| TindIndex::build(dataset.clone(), config));
+    tind_core::persist::write_index_file(&index, &out)?;
+    Ok(format!(
+        "indexed {} attributes in {} -> {}\n{}\n",
+        dataset.len(),
+        tind_eval::report::fmt_duration(build),
+        out.display(),
+        index.diagnostics(),
+    ))
+}
+
+/// Interactive exploration loop; reads commands from `input`, writes
+/// responses to the returned transcript. Used by `tind explore` with
+/// stdin and by the tests with canned input.
+pub fn explore_session(
+    dataset: Arc<Dataset>,
+    index: &TindIndex,
+    input: impl std::io::BufRead,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exploring {} attributes — commands: q <attr> [eps] [delta] | rq <attr> [eps] [delta] | top <attr> [k] | stats | quit",
+        dataset.len()
+    );
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            [] => continue,
+            ["quit" | "exit" | "q!"] => break,
+            ["stats"] => {
+                let _ = writeln!(out, "{}", tind_model::stats::DatasetStats::compute(&dataset));
+            }
+            ["q" | "rq", rest @ ..] if !rest.is_empty() => {
+                let name = rest[0];
+                let eps: f64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+                let delta: u32 = rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+                let Some((id, _)) = dataset.attribute_by_name(name) else {
+                    let _ = writeln!(out, "unknown attribute '{name}'");
+                    continue;
+                };
+                let params =
+                    TindParams::weighted(eps, delta, tind_model::WeightFn::constant_one());
+                let reverse = tokens[0] == "rq";
+                let start = std::time::Instant::now();
+                let outcome = if reverse {
+                    index.reverse_search(id, &params)
+                } else {
+                    index.search(id, &params)
+                };
+                let _ = writeln!(
+                    out,
+                    "{} result(s) in {} (ε={eps}, δ={delta}):",
+                    outcome.results.len(),
+                    tind_eval::report::fmt_duration(start.elapsed())
+                );
+                for rid in outcome.results.iter().take(15) {
+                    let _ = writeln!(out, "  {}", dataset.attribute(*rid).name());
+                }
+            }
+            ["top", rest @ ..] if !rest.is_empty() => {
+                let name = rest[0];
+                let k: usize = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+                let Some((id, _)) = dataset.attribute_by_name(name) else {
+                    let _ = writeln!(out, "unknown attribute '{name}'");
+                    continue;
+                };
+                let ranked = tind_core::topk::top_k_search(
+                    index,
+                    id,
+                    k,
+                    7,
+                    &tind_model::WeightFn::constant_one(),
+                );
+                for r in ranked {
+                    let _ = writeln!(
+                        out,
+                        "  {:<40} violation {:.2}",
+                        dataset.attribute(r.rhs).name(),
+                        r.violation
+                    );
+                }
+            }
+            _ => {
+                let _ = writeln!(out, "unrecognized command: {line}");
+            }
+        }
+    }
+    out
+}
+
+fn cmd_explore(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let (index, build) = obtain_index(&args.clone(), &dataset, IndexConfig::default())?;
+    eprintln!("index ready in {}", tind_eval::report::fmt_duration(build));
+    let stdin = std::io::stdin();
+    Ok(explore_session(dataset, &index, stdin.lock()))
+}
+
+fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
+    // Real-input mode: parse a MediaWiki XML export.
+    if let Some(dump_path) = args.opt::<String>("dump")? {
+        let timeline = args.opt_or("timeline", 6148u32)?;
+        let revisions = tind_wiki::dump::read_dump_file(
+            std::path::Path::new(&dump_path),
+            &tind_wiki::dump::DumpConfig::default(),
+        )
+        .map_err(|e| CliError::Message(format!("dump error: {e}")))?;
+        let n_revs = revisions.len();
+        let (dataset, report) = tind_wiki::extract_dataset(
+            revisions,
+            &tind_wiki::PipelineConfig::new(timeline).with_vandalism_filter(),
+        );
+        let stats_block = if dataset.is_empty() {
+            "(no attributes survived the filters)".to_string()
+        } else {
+            DatasetStats::compute(&dataset).to_string()
+        };
+        let mut out = format!(
+            "parsed {n_revs} revisions from {dump_path}\n\
+             pipeline: {} pages, {} tables, {} columns tracked; {} vandalized revisions dropped; \
+             {} attributes kept of {}\n{stats_block}\n",
+            report.pages,
+            report.tables_tracked,
+            report.columns_tracked,
+            report.vandalism_dropped,
+            report.attributes_kept,
+            report.attributes_before_filters,
+        );
+        if let Some(out_path) = args.opt::<String>("out")? {
+            write_dataset_file(&dataset, std::path::Path::new(&out_path))?;
+            out.push_str(&format!("dataset written to {out_path}\n"));
+        }
+        return Ok(out);
+    }
+    if !args.switch("demo") {
+        return Err(CliError::Message(
+            "pass --dump FILE for a MediaWiki XML export, or --demo for a synthetic \
+             revision stream (real Wikipedia dumps are not shipped)"
+                .to_string(),
+        ));
+    }
+    let attributes = args.opt_or("attributes", 200usize)?;
+    let seed = args.opt_or("seed", 42u64)?;
+    let cfg = GeneratorConfig::small(attributes, seed);
+    let generated = generate(&cfg);
+    let revisions = tind_datagen::revisions::render_revisions(&generated.dataset);
+    let n_revs = revisions.len();
+    let (extracted, report) = tind_wiki::extract_dataset(
+        revisions,
+        &tind_wiki::PipelineConfig::new(cfg.timeline_days),
+    );
+    let stats = DatasetStats::compute(&extracted);
+    Ok(format!(
+        "rendered {n_revs} page revisions from {} attributes\n\
+         pipeline: {} pages, {} tables, {} columns tracked; {} attributes kept of {}\n{stats}\n",
+        generated.dataset.len(),
+        report.pages,
+        report.tables_tracked,
+        report.columns_tracked,
+        report.attributes_kept,
+        report.attributes_before_filters,
+    ))
+}
+
+fn list_experiments() -> String {
+    let mut out = String::from("available experiments:\n");
+    for (id, description, _) in tind_eval::experiments::all() {
+        writeln!(out, "  {id:<10} {description}").expect("write to string");
+    }
+    out
+}
+
+fn cmd_experiment(args: &Args) -> Result<String, CliError> {
+    let Some(id) = args.positional().first() else {
+        return Err(CliError::Message("experiment id required (see `tind list-experiments`)".into()));
+    };
+    let scale_name = args.opt_or("scale", "quick".to_string())?;
+    let scale = Scale::parse(&scale_name)
+        .ok_or_else(|| CliError::Unknown(format!("scale '{scale_name}'")))?;
+    let mut ctx = ExpContext::at_scale(scale);
+    ctx.seed = args.opt_or("seed", ctx.seed)?;
+    ctx.threads = args.opt_or("threads", 0usize)?;
+    ctx.attributes_override = args.opt("attributes")?;
+    ctx.queries_override = args.opt("queries")?;
+    let csv_dir: Option<PathBuf> = args.opt::<String>("csv-dir")?.map(Into::into);
+
+    let ids: Vec<&str> = if id == "all" {
+        tind_eval::experiments::all().iter().map(|(i, _, _)| *i).collect()
+    } else {
+        vec![id.as_str()]
+    };
+
+    let mut out = String::new();
+    for id in ids {
+        let report = tind_eval::experiments::run_by_id(id, &ctx)
+            .ok_or_else(|| CliError::Unknown(format!("experiment '{id}'")))?;
+        writeln!(out, "{report}").expect("write to string");
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("{id}.csv"));
+            std::fs::write(&path, report.table.to_csv())?;
+            writeln!(out, "  (csv written to {})", path.display()).expect("write to string");
+            if let Some(figure) = &report.figure {
+                let svg_path = dir.join(format!("{id}.svg"));
+                std::fs::write(&svg_path, figure.render_svg())?;
+                writeln!(out, "  (figure written to {})", svg_path.display())
+                    .expect("write to string");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        dispatch(&raw)
+    }
+
+    fn temp_file(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tind-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&["help"]).expect("help").contains("USAGE"));
+        assert!(run(&[]).expect("no args → usage").contains("USAGE"));
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Unknown(_))));
+    }
+
+    #[test]
+    fn list_experiments_names_all() {
+        let out = run(&["list-experiments"]).expect("lists");
+        for id in ["fig7", "fig15", "table2", "allpairs", "latency"] {
+            assert!(out.contains(id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn generate_stats_search_roundtrip() {
+        let path = temp_file("cli-roundtrip.tind");
+        let path_str = path.to_str().expect("utf8 path");
+        let truth = temp_file("cli-roundtrip-truth.csv");
+        let truth_str = truth.to_str().expect("utf8 path");
+        let out = run(&[
+            "generate", "--attributes", "120", "--seed", "5", "--preset", "small", "--out",
+            path_str, "--truth-out", truth_str,
+        ])
+        .expect("generates");
+        assert!(out.contains("wrote"));
+        let truth_csv = std::fs::read_to_string(&truth).expect("truth file");
+        assert!(truth_csv.starts_with("lhs,rhs,"));
+        assert!(truth_csv.lines().count() > 10, "truth rows: {}", truth_csv.lines().count());
+        std::fs::remove_file(&truth).ok();
+
+        let stats = run(&["stats", "--data", path_str]).expect("stats");
+        assert!(stats.contains("attributes:"));
+
+        // Generous parameters: they must recover the planted source even
+        // for a dirty derived attribute (delays up to 45 days).
+        let search = run(&[
+            "search", "--data", path_str, "--query", "derived-0-of-0", "--eps", "150", "--delta",
+            "45",
+        ])
+        .expect("searches");
+        assert!(search.contains("results for"), "{search}");
+        assert!(search.contains("pruning:"));
+        assert!(search.contains("source-0"), "planted source should be found: {search}");
+
+        let reverse = run(&["reverse-search", "--data", path_str, "--query", "source-0", "--eps", "10", "--delta", "14"])
+            .expect("reverse searches");
+        assert!(reverse.contains("results for"));
+
+        let pairs = run(&["all-pairs", "--data", path_str, "--threads", "2"]).expect("all pairs");
+        assert!(pairs.contains("tINDs among"));
+
+        let partial = run(&[
+            "partial-search", "--data", path_str, "--query", "derived-0-of-0", "--sigma", "0.7",
+            "--eps", "150", "--delta", "45",
+        ])
+        .expect("partial search");
+        assert!(partial.contains("σ-partial results"), "{partial}");
+        assert!(partial.contains("source-0"), "σ < 1 must still find the planted source");
+
+        let bad_sigma = run(&[
+            "partial-search", "--data", path_str, "--query", "derived-0-of-0", "--sigma", "1.5",
+        ])
+        .expect_err("rejects sigma > 1");
+        assert!(bad_sigma.to_string().contains("sigma"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_command_reports_violations() {
+        let path = temp_file("cli-explain.tind");
+        let path_str = path.to_str().expect("utf8 path");
+        run(&["generate", "--attributes", "60", "--preset", "small", "--seed", "21", "--out", path_str])
+            .expect("generates");
+        let out = run(&[
+            "explain", "--data", path_str, "--lhs", "derived-0-of-0", "--rhs", "source-0",
+            "--eps", "200", "--delta", "45",
+        ])
+        .expect("explains");
+        assert!(out.contains("VALID") || out.contains("INVALID"), "{out}");
+        assert!(out.contains("ε=200"), "{out}");
+        // Unrelated pair is invalid with concrete evidence.
+        let out = run(&["explain", "--data", path_str, "--lhs", "source-0", "--rhs", "noise-0-c0"])
+            .expect("explains");
+        assert!(out.contains("INVALID"), "{out}");
+        assert!(out.contains("missing"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn search_rejects_unknown_query() {
+        let path = temp_file("cli-unknown-query.tind");
+        let path_str = path.to_str().expect("utf8 path");
+        run(&["generate", "--attributes", "40", "--preset", "small", "--out", path_str])
+            .expect("generates");
+        let err = run(&["search", "--data", path_str, "--query", "no-such-attribute"])
+            .expect_err("unknown query");
+        assert!(err.to_string().contains("not found"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn index_persistence_and_top_k() {
+        let data = temp_file("cli-index.tind");
+        let data_str = data.to_str().expect("utf8 path");
+        run(&["generate", "--attributes", "80", "--preset", "small", "--seed", "9", "--out", data_str])
+            .expect("generates");
+
+        let idx = temp_file("cli-index.tidx");
+        let idx_str = idx.to_str().expect("utf8 path");
+        let out = run(&["index", "--data", data_str, "--out", idx_str]).expect("indexes");
+        assert!(out.contains("indexed 80 attributes"), "{out}");
+        assert!(out.contains("M_T load"), "diagnostics missing: {out}");
+
+        // Search through the persisted index.
+        let search = run(&[
+            "search", "--data", data_str, "--index", idx_str, "--query", "derived-0-of-0",
+            "--eps", "150", "--delta", "7",
+        ])
+        .expect("searches via index file");
+        assert!(search.contains("results for"), "{search}");
+
+        // Top-k ranking.
+        let topk = run(&[
+            "top-k", "--data", data_str, "--index", idx_str, "--query", "derived-0-of-0", "--k",
+            "3",
+        ])
+        .expect("ranks");
+        assert!(topk.contains("top-3"), "{topk}");
+        assert!(topk.contains("violation"), "{topk}");
+
+        // A stale index (different dataset) is rejected.
+        let other = temp_file("cli-index-other.tind");
+        let other_str = other.to_str().expect("utf8 path");
+        run(&["generate", "--attributes", "60", "--preset", "small", "--seed", "10", "--out", other_str])
+            .expect("generates other");
+        let err = run(&["search", "--data", other_str, "--index", idx_str, "--query", "0"])
+            .expect_err("fingerprint mismatch");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&idx).ok();
+        std::fs::remove_file(&other).ok();
+    }
+
+    #[test]
+    fn explore_session_executes_commands() {
+        use std::sync::Arc;
+        let generated = tind_datagen::generate(&tind_datagen::GeneratorConfig::small(60, 4));
+        let dataset = Arc::new(generated.dataset);
+        let index = TindIndex::build(dataset.clone(), IndexConfig::default());
+        let input = "q derived-0-of-0 150 45\nstats\ntop derived-0-of-0 2\nbogus cmd\nquit\nq never-reached\n";
+        let transcript =
+            super::explore_session(dataset, &index, std::io::Cursor::new(input.as_bytes()));
+        assert!(transcript.contains("result(s) in"), "{transcript}");
+        assert!(transcript.contains("attributes:"), "stats output missing: {transcript}");
+        assert!(transcript.contains("violation"), "top output missing: {transcript}");
+        assert!(transcript.contains("unrecognized command"), "{transcript}");
+        assert!(!transcript.contains("never-reached"), "quit must stop the loop");
+    }
+
+    #[test]
+    fn pipeline_demo_runs() {
+        let out = run(&["pipeline", "--demo", "--attributes", "40", "--seed", "3"])
+            .expect("pipeline demo");
+        assert!(out.contains("pipeline:"), "{out}");
+        assert!(out.contains("attributes kept"));
+    }
+
+    #[test]
+    fn pipeline_without_demo_explains() {
+        let err = run(&["pipeline"]).expect_err("needs --demo or --dump");
+        assert!(err.to_string().contains("--demo"));
+        assert!(err.to_string().contains("--dump"));
+    }
+
+    #[test]
+    fn pipeline_ingests_xml_dump() {
+        let dump = temp_file("cli-dump.xml");
+        let mut xml = String::from("<mediawiki><page><title>T</title><id>1</id>");
+        let games = ["Red", "Blue", "Gold", "Silver", "Crystal", "Ruby", "Sapphire", "Emerald", "Pearl", "Diamond"];
+        for i in 0..6 {
+            let mut table = String::from("{|\n! Game\n");
+            for g in &games[..5 + i] {
+                table.push_str(&format!("|-\n| {g}\n"));
+            }
+            table.push_str("|}");
+            xml.push_str(&format!(
+                "<revision><timestamp>2001-0{}-01T00:00:00Z</timestamp><text>{}</text></revision>",
+                i + 2,
+                table
+            ));
+        }
+        xml.push_str("</page></mediawiki>");
+        std::fs::write(&dump, xml).expect("write dump");
+        let out = run(&["pipeline", "--dump", dump.to_str().expect("utf8")]).expect("ingests");
+        assert!(out.contains("parsed 6 revisions"), "{out}");
+        assert!(out.contains("1 attributes kept") || out.contains("attributes kept"), "{out}");
+        std::fs::remove_file(&dump).ok();
+    }
+
+    #[test]
+    fn experiment_with_tiny_overrides() {
+        let out = run(&[
+            "experiment",
+            "latency",
+            "--scale",
+            "quick",
+            "--attributes",
+            "150",
+            "--queries",
+            "25",
+            "--threads",
+            "2",
+        ])
+        .expect("runs latency experiment");
+        assert!(out.contains("== latency"), "{out}");
+        assert!(out.contains("mean"));
+    }
+
+    #[test]
+    fn experiment_rejects_unknown() {
+        assert!(matches!(
+            run(&["experiment", "fig99"]),
+            Err(CliError::Unknown(_))
+        ));
+        assert!(matches!(
+            run(&["experiment", "fig7", "--scale", "mega"]),
+            Err(CliError::Unknown(_))
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+//! # tind-cli
+//!
+//! The `tind` command-line tool: dataset generation, interactive tIND
+//! search, all-pairs discovery, the wiki extraction pipeline, and the full
+//! experiment suite.
+//!
+//! ```text
+//! tind generate --attributes 5000 --seed 1 --out data.tind
+//! tind stats --data data.tind
+//! tind search --data data.tind --query source-3 --eps 3 --delta 7
+//! tind reverse-search --data data.tind --query source-3
+//! tind all-pairs --data data.tind --threads 8
+//! tind pipeline --demo --attributes 200
+//! tind experiment fig7 --scale quick
+//! tind experiment all --scale standard
+//! tind list-experiments
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use commands::{dispatch, CliError};
+
+/// Usage text shown by `tind help`.
+pub const USAGE: &str = "\
+tind — temporal inclusion dependency discovery (EDBT 2024 reproduction)
+
+USAGE:
+  tind <command> [options]
+
+COMMANDS:
+  generate          generate a synthetic Wikipedia-shaped dataset
+                      --attributes N  (default 1000)
+                      --seed S        (default 42)
+                      --preset small|paper (default paper)
+                      --out FILE      (required)
+                      [--truth-out FILE]  export genuine pairs as CSV
+  stats             print dataset statistics
+                      --data FILE
+  search            tIND search for one query attribute
+                      --data FILE --query NAME-OR-ID
+                      [--eps DAYS=3] [--delta DAYS=7] [--decay A] [--limit K=20]
+  reverse-search    reverse tIND search (who is contained in the query)
+                      same options as search
+  partial-search    σ-partial tIND search (future-work extension: only a
+                    fraction σ of the LHS must be δ-contained per timestamp)
+                      same options as search, plus [--sigma S=0.8]
+  explain           show where and why a candidate (in)validates
+                      --data FILE --lhs NAME-OR-ID --rhs NAME-OR-ID
+                      [--eps DAYS=3] [--delta DAYS=7] [--decay A]
+  top-k             rank right-hand sides by violation weight
+                      --data FILE --query NAME-OR-ID [--k K=5] [--delta D=7] [--decay A]
+  all-pairs         discover all tINDs
+                      --data FILE [--eps DAYS=3] [--delta DAYS=7] [--threads T]
+  index             build and persist an index file
+                      --data FILE --out FILE [--m M=4096] [--eps E=3] [--delta D=7]
+                      [--reverse true]
+                    (search/reverse-search/top-k/explore accept --index FILE)
+  explore           interactive query loop on stdin
+                      --data FILE [--index FILE]
+  pipeline          run the wiki extraction pipeline
+                      --demo [--attributes N=200] [--seed S]
+                      --dump FILE [--timeline N=6148] [--out FILE]
+                    (ingests a MediaWiki XML export with vandalism filtering)
+  experiment        run a paper experiment (or 'all')
+                      <id|all> [--scale quick|standard|full] [--seed S]
+                      [--threads T] [--attributes N] [--queries Q] [--csv-dir DIR]
+  list-experiments  list experiment ids and descriptions
+  help              show this message
+";

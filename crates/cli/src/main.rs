@@ -1,0 +1,12 @@
+//! The `tind` binary: thin wrapper over [`tind_cli::dispatch`].
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match tind_cli::dispatch(&raw) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

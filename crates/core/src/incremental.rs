@@ -1,0 +1,432 @@
+//! Incremental index maintenance for evolving datasets.
+//!
+//! The paper indexes a fixed extraction of Wikipedia history, but its
+//! related work (Shaabani et al.) highlights the practical need to keep
+//! dependency information current as data keeps changing. This module adds
+//! a main+delta design on top of [`TindIndex`]:
+//!
+//! * the **base** is an immutable `TindIndex` over a dataset snapshot;
+//! * a **delta** holds new attributes and *superseding* versions of
+//!   existing attributes (attribute histories are append-only in practice:
+//!   an update extends a history with new versions);
+//! * queries run against the base index with superseded attributes masked
+//!   out, then brute-force over the small delta — results are exactly what
+//!   a full rebuild would return (asserted in the tests);
+//! * once the delta exceeds a threshold, [`IncrementalIndex::compact`]
+//!   merges everything into a fresh base index.
+//!
+//! New value strings are interned into a dictionary extension so ids stay
+//! consistent with the base (Bloom hashes are id-stable, §4.1).
+
+use std::sync::Arc;
+
+use tind_model::hash::FastMap;
+use tind_model::{AttrId, AttributeHistory, Dataset, DatasetBuilder, Dictionary, ValueId};
+
+use crate::index::{IndexConfig, TindIndex};
+use crate::params::TindParams;
+use crate::search::SearchStats;
+use crate::validate;
+
+/// Result of an incremental search: attribute names (delta attributes have
+/// no stable id until compaction).
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    /// Names of attributes satisfying the dependency, sorted.
+    pub results: Vec<String>,
+    /// Pruning statistics of the base-index portion plus delta
+    /// validations.
+    pub stats: SearchStats,
+}
+
+/// A tIND index that accepts updates between compactions.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tind_core::incremental::IncrementalIndex;
+/// use tind_core::{IndexConfig, TindParams};
+/// use tind_model::{DatasetBuilder, HistoryBuilder, Timeline};
+///
+/// let mut b = DatasetBuilder::new(Timeline::new(30));
+/// b.add_attribute("games", &[(0, vec!["red"])], 29);
+/// let mut index = IncrementalIndex::build(Arc::new(b.build()), IndexConfig::default());
+///
+/// // A new attribute arrives later.
+/// let red = index.intern("red");
+/// let mut hb = HistoryBuilder::new("catalog");
+/// hb.push(0, vec![red]);
+/// index.upsert(hb.finish(29));
+///
+/// let hits = index.search("games", &TindParams::strict()).unwrap();
+/// assert_eq!(hits.results, vec!["catalog".to_string()]);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalIndex {
+    base: TindIndex,
+    /// Dictionary extension covering base values plus newly interned ones.
+    dictionary: Dictionary,
+    /// New or superseding attributes, keyed by name.
+    delta: Vec<AttributeHistory>,
+    delta_by_name: FastMap<String, usize>,
+    /// Base attribute ids masked out because a delta entry supersedes them.
+    superseded: FastMap<AttrId, usize>,
+    /// Delta size (attributes) that triggers automatic compaction.
+    compact_threshold: usize,
+    config: IndexConfig,
+}
+
+/// Where an attribute lives in an [`IncrementalIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// Indexed in the base.
+    Base(AttrId),
+    /// Pending in the delta.
+    Delta(usize),
+}
+
+impl IncrementalIndex {
+    /// Wraps an existing dataset in an incremental index.
+    pub fn build(dataset: Arc<Dataset>, config: IndexConfig) -> Self {
+        let dictionary = dataset.dictionary().clone();
+        let base = TindIndex::build(dataset, config.clone());
+        IncrementalIndex {
+            base,
+            dictionary,
+            delta: Vec::new(),
+            delta_by_name: FastMap::default(),
+            superseded: FastMap::default(),
+            compact_threshold: 256,
+            config,
+        }
+    }
+
+    /// Sets the delta size that triggers automatic compaction (default
+    /// 256).
+    pub fn set_compact_threshold(&mut self, threshold: usize) {
+        self.compact_threshold = threshold.max(1);
+    }
+
+    /// Interns a value string, returning an id consistent with the base.
+    pub fn intern(&mut self, value: &str) -> ValueId {
+        self.dictionary.intern(value)
+    }
+
+    /// The current base index.
+    pub fn base(&self) -> &TindIndex {
+        &self.base
+    }
+
+    /// Number of pending delta attributes.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Total number of live attributes (base minus superseded plus delta).
+    pub fn len(&self) -> usize {
+        self.base.dataset().len() - self.superseded.len() + self.delta.len()
+    }
+
+    /// Whether the index holds no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Locates an attribute by name (delta supersedes base).
+    pub fn locate(&self, name: &str) -> Option<Location> {
+        if let Some(&i) = self.delta_by_name.get(name) {
+            return Some(Location::Delta(i));
+        }
+        self.base
+            .dataset()
+            .attribute_by_name(name)
+            .filter(|(id, _)| !self.superseded.contains_key(id))
+            .map(|(id, _)| Location::Base(id))
+    }
+
+    /// The history behind a [`Location`].
+    pub fn history(&self, location: Location) -> &AttributeHistory {
+        match location {
+            Location::Base(id) => self.base.dataset().attribute(id),
+            Location::Delta(i) => &self.delta[i],
+        }
+    }
+
+    /// Inserts a new attribute or supersedes the same-named existing one.
+    /// Values must have been interned through [`IncrementalIndex::intern`]
+    /// (or stem from the base dictionary). Triggers compaction when the
+    /// delta exceeds the threshold.
+    ///
+    /// # Panics
+    /// Panics if the history extends beyond the base timeline — the
+    /// observation window is fixed at build time (weight functions and
+    /// slice sizing depend on it).
+    pub fn upsert(&mut self, history: AttributeHistory) {
+        assert!(
+            self.base.dataset().timeline().contains(history.last_observed()),
+            "history '{}' extends beyond the indexed timeline",
+            history.name()
+        );
+        let name = history.name().to_owned();
+        if let Some(&i) = self.delta_by_name.get(&name) {
+            self.delta[i] = history;
+        } else {
+            if let Some((id, _)) = self.base.dataset().attribute_by_name(&name) {
+                self.superseded.insert(id, self.delta.len());
+            }
+            self.delta_by_name.insert(name, self.delta.len());
+            self.delta.push(history);
+        }
+        if self.delta.len() > self.compact_threshold {
+            self.compact();
+        }
+    }
+
+    /// Convenience: extends an existing attribute with one appended
+    /// version at `start` (must follow its current last version) and a new
+    /// `last_observed`.
+    ///
+    /// # Panics
+    /// Panics if the attribute is unknown or `start` does not extend it.
+    pub fn append_version(&mut self, name: &str, start: u32, values: Vec<ValueId>, last_observed: u32) {
+        let location = self
+            .locate(name)
+            .unwrap_or_else(|| panic!("attribute '{name}' not found"));
+        let current = self.history(location);
+        let mut builder = tind_model::HistoryBuilder::new(name);
+        for v in current.versions() {
+            builder.push(v.start, v.values.clone());
+        }
+        builder.push(start, values);
+        self.upsert(builder.finish(last_observed));
+    }
+
+    /// tIND search (Definition 3.7) over base plus delta; exactly what a
+    /// full rebuild would return. Results are attribute *names* (delta
+    /// attributes have no stable [`AttrId`] until compaction), sorted.
+    pub fn search(&self, name: &str, params: &TindParams) -> Option<IncrementalOutcome> {
+        let location = self.locate(name)?;
+        let q = self.history(location);
+        let timeline = self.base.dataset().timeline();
+
+        // Base: masked index search.
+        let base_outcome = match location {
+            Location::Base(id) => self.base.search(id, params),
+            Location::Delta(_) => self.base.search_history(q, params),
+        };
+        let mut stats = base_outcome.stats.clone();
+        let mut results: Vec<String> = base_outcome
+            .results
+            .into_iter()
+            .filter(|id| !self.superseded.contains_key(id))
+            .map(|id| self.base.dataset().attribute(id).name().to_owned())
+            .collect();
+
+        // Delta: brute force (the delta is small by construction).
+        for (i, candidate) in self.delta.iter().enumerate() {
+            if Location::Delta(i) == location {
+                continue;
+            }
+            stats.validations_run += 1;
+            if validate::validate(q, candidate, params, timeline) {
+                results.push(candidate.name().to_owned());
+            }
+        }
+        results.sort_unstable();
+        stats.validated = results.len();
+        Some(IncrementalOutcome { results, stats })
+    }
+
+    /// Merges base and delta into a fresh base index.
+    pub fn compact(&mut self) {
+        let old = self.base.dataset();
+        let mut builder = DatasetBuilder::new(old.timeline());
+        // Preserve the dictionary (ids must stay stable).
+        *builder.dictionary_mut() = self.dictionary.clone();
+        for (id, h) in old.iter() {
+            if self.superseded.contains_key(&id) {
+                continue;
+            }
+            builder.add_history(h.clone());
+        }
+        for h in self.delta.drain(..) {
+            builder.add_history(h);
+        }
+        self.delta_by_name.clear();
+        self.superseded.clear();
+        let dataset = Arc::new(builder.build());
+        self.base = TindIndex::build(dataset, self.config.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tind_model::{HistoryBuilder, Timeline};
+
+    fn base_dataset() -> Arc<Dataset> {
+        let mut b = DatasetBuilder::new(Timeline::new(100));
+        b.add_attribute("games", &[(0, vec!["red", "blue"])], 99);
+        b.add_attribute("catalog", &[(0, vec!["red", "blue", "gold"])], 99);
+        b.add_attribute("cities", &[(0, vec!["pallet"])], 99);
+        Arc::new(b.build())
+    }
+
+    fn incremental() -> IncrementalIndex {
+        IncrementalIndex::build(base_dataset(), IndexConfig { m: 256, ..IndexConfig::default() })
+    }
+
+    /// Reference: rebuild a full dataset from the incremental state and
+    /// search it.
+    fn rebuild_and_search(inc: &IncrementalIndex, name: &str, params: &TindParams) -> Vec<String> {
+        let old = inc.base.dataset();
+        let mut b = DatasetBuilder::new(old.timeline());
+        *b.dictionary_mut() = inc.dictionary.clone();
+        for (id, h) in old.iter() {
+            if !inc.superseded.contains_key(&id) {
+                b.add_history(h.clone());
+            }
+        }
+        for h in &inc.delta {
+            b.add_history(h.clone());
+        }
+        let dataset = Arc::new(b.build());
+        let index = TindIndex::build(dataset.clone(), IndexConfig { m: 256, ..IndexConfig::default() });
+        let (qid, _) = dataset.attribute_by_name(name).expect("query exists");
+        let mut names: Vec<String> = index
+            .search(qid, params)
+            .results
+            .into_iter()
+            .map(|id| dataset.attribute(id).name().to_owned())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    #[test]
+    fn fresh_incremental_equals_base() {
+        let inc = incremental();
+        let p = TindParams::strict();
+        let out = inc.search("games", &p).expect("query exists");
+        assert_eq!(out.results, vec!["catalog".to_string()]);
+        assert_eq!(inc.len(), 3);
+        assert_eq!(inc.delta_len(), 0);
+    }
+
+    #[test]
+    fn inserting_new_attribute_is_searchable_both_ways() {
+        let mut inc = incremental();
+        let red = inc.intern("red");
+        let blue = inc.intern("blue");
+        let silver = inc.intern("silver");
+        let mut hb = HistoryBuilder::new("museum");
+        hb.push(0, vec![red, blue, silver]);
+        inc.upsert(hb.finish(99));
+
+        let p = TindParams::strict();
+        // New attribute as RHS.
+        let out = inc.search("games", &p).expect("games");
+        assert_eq!(out.results, vec!["catalog".to_string(), "museum".to_string()]);
+        // New attribute as LHS.
+        let out = inc.search("museum", &p).expect("museum");
+        assert!(out.results.is_empty(), "silver not contained anywhere: {:?}", out.results);
+        // Matches a full rebuild.
+        assert_eq!(out.results, rebuild_and_search(&inc, "museum", &p));
+    }
+
+    #[test]
+    fn superseding_changes_results() {
+        let mut inc = incremental();
+        let p = TindParams::paper_default();
+        assert_eq!(inc.search("games", &p).expect("games").results, vec!["catalog".to_string()]);
+
+        // "catalog" loses "blue" late in the timeline → strict/paper-eps
+        // containment of games breaks for the last 20 days.
+        let red = inc.intern("red");
+        let gold = inc.intern("gold");
+        let blue = inc.intern("blue");
+        let mut hb = HistoryBuilder::new("catalog");
+        hb.push(0, vec![red, blue, gold]);
+        hb.push(80, vec![red, gold]);
+        inc.upsert(hb.finish(99));
+        assert_eq!(inc.len(), 3, "supersede must not grow the index");
+
+        let got = inc.search("games", &p).expect("games").results;
+        assert!(got.is_empty(), "superseded catalog no longer qualifies: {got:?}");
+        assert_eq!(got, rebuild_and_search(&inc, "games", &p));
+    }
+
+    #[test]
+    fn append_version_extends_history() {
+        let mut inc = incremental();
+        let red = inc.intern("red");
+        let blue = inc.intern("blue");
+        let ruby = inc.intern("ruby");
+        inc.append_version("games", 50, vec![red, blue, ruby], 99);
+        let games = inc.history(inc.locate("games").expect("exists"));
+        assert_eq!(games.versions().len(), 2);
+        assert_eq!(games.values_at(60).len(), 3);
+
+        // catalog lacks "ruby" → strict containment now fails.
+        let p = TindParams::strict();
+        let out = inc.search("games", &p).expect("games");
+        assert!(out.results.is_empty());
+        assert_eq!(out.results, rebuild_and_search(&inc, "games", &p));
+    }
+
+    #[test]
+    fn compaction_preserves_results() {
+        let mut inc = incremental();
+        let red = inc.intern("red");
+        let mut hb = HistoryBuilder::new("tiny");
+        hb.push(10, vec![red]);
+        inc.upsert(hb.finish(60));
+        let p = TindParams::paper_default();
+        let before = inc.search("tiny", &p).expect("tiny").results;
+        assert!(!before.is_empty(), "red is everywhere");
+        inc.compact();
+        assert_eq!(inc.delta_len(), 0);
+        let after = inc.search("tiny", &p).expect("tiny").results;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_at_threshold() {
+        let mut inc = incremental();
+        inc.set_compact_threshold(2);
+        let red = inc.intern("red");
+        for i in 0..4 {
+            let mut hb = HistoryBuilder::new(format!("n{i}"));
+            hb.push(0, vec![red]);
+            inc.upsert(hb.finish(99));
+        }
+        assert!(inc.delta_len() <= 2, "delta {} exceeds threshold", inc.delta_len());
+        assert_eq!(inc.len(), 7);
+        // All four additions are queryable via the (possibly compacted) index.
+        let out = inc.search("n3", &TindParams::strict()).expect("n3");
+        assert!(out.results.contains(&"games".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the indexed timeline")]
+    fn rejects_history_past_timeline() {
+        let mut inc = incremental();
+        let red = inc.intern("red");
+        let mut hb = HistoryBuilder::new("late");
+        hb.push(0, vec![red]);
+        inc.upsert(hb.finish(100));
+    }
+
+    #[test]
+    fn locate_prefers_delta() {
+        let mut inc = incremental();
+        assert_eq!(inc.locate("games"), Some(Location::Base(0)));
+        assert_eq!(inc.locate("nonexistent"), None);
+        let red = inc.intern("red");
+        let mut hb = HistoryBuilder::new("games");
+        hb.push(0, vec![red]);
+        inc.upsert(hb.finish(99));
+        assert_eq!(inc.locate("games"), Some(Location::Delta(0)));
+    }
+}

@@ -1,0 +1,375 @@
+//! The chained Bloom-matrix index for tIND search (Section 4.2).
+//!
+//! A [`TindIndex`] bundles:
+//!
+//! * `M_T` — one Bloom filter per attribute over its **full-history** value
+//!   set `A[T]`; queried with the required values `R_{ε,w}(Q)` for the
+//!   initial pruning step (§4.2.1). Parameter-free.
+//! * `M_{I_1..I_k}` — one Bloom matrix per selected time slice `I_j`, each
+//!   column holding `A[I_j^δ]` for the *maximum* δ the index supports
+//!   (§4.2.2). Violations detected here are genuine for any query
+//!   `δ' ≤ δ`; queries with larger δ' skip the slices (§4.4).
+//! * `M_R` (optional) — one Bloom filter per attribute over its required
+//!   values under the index-time (ε, w); enables reverse search (§4.5) for
+//!   queries with `ε' ≤ ε`.
+//!
+//! The exact value universes `A[T]` are cached alongside to discard Bloom
+//! false positives before full validation (Algorithm 1, line 16).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tind_bloom::{BloomMatrix, BloomMatrixBuilder};
+use tind_model::{AttrId, AttributeHistory, Dataset, Interval, ValueSet, WeightFn};
+
+use crate::params::TindParams;
+use crate::required::required_values;
+use crate::search::{self, SearchOutcome};
+use crate::slices::{select_slices, SliceConfig};
+
+/// Construction-time configuration of a [`TindIndex`].
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Bloom filter size `m` in bits (matrix rows). Paper default for tIND
+    /// search: 4096 (§5.4; 1024–2048 when the same index must also serve
+    /// reverse queries).
+    pub m: u32,
+    /// Hash probes per value.
+    pub k_hashes: u32,
+    /// Time-slice selection; also carries the index-time (ε, w) used for
+    /// slice sizing and the maximum supported δ.
+    pub slices: SliceConfig,
+    /// RNG seed for slice selection (reproducible builds).
+    pub seed: u64,
+    /// Whether to build `M_R` for reverse tIND search.
+    pub build_reverse: bool,
+}
+
+impl Default for IndexConfig {
+    /// The paper's best settings for forward tIND search: `m = 4096`,
+    /// `k = 16` random slices, sized for ε = 3 days / constant weights,
+    /// maximum δ = 7 days (§5.1, §5.4).
+    fn default() -> Self {
+        IndexConfig {
+            m: 4096,
+            k_hashes: 2,
+            slices: SliceConfig::search_default(3.0, WeightFn::constant_one(), 7),
+            seed: 0x7e1d_0001,
+            build_reverse: false,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// The paper's best settings when the index must serve reverse queries:
+    /// `m = 512`, `k = 2` weighted-random slices with disjoint expansions
+    /// (§5.1, §5.4), `M_R` enabled.
+    pub fn reverse_default() -> Self {
+        IndexConfig {
+            m: 512,
+            k_hashes: 2,
+            slices: SliceConfig::reverse_default(3.0, WeightFn::constant_one(), 7),
+            seed: 0x7e1d_0002,
+            build_reverse: true,
+        }
+    }
+}
+
+/// One indexed time slice: the interval, its δ-expansion, and the Bloom
+/// matrix over every attribute's values within the expansion.
+#[derive(Debug)]
+pub struct TimeSlice {
+    /// The slice interval `I_j`.
+    pub interval: Interval,
+    /// `I_j^δ`, the value window indexed per attribute.
+    pub expanded: Interval,
+    /// `m × |D|` matrix; column `j` holds `h(A_j[I^δ])`.
+    pub matrix: BloomMatrix,
+}
+
+/// Structural index diagnostics; see [`TindIndex::diagnostics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexDiagnostics {
+    /// Number of indexed attributes.
+    pub num_attributes: usize,
+    /// Number of time slices.
+    pub num_slices: usize,
+    /// Bloom filter size in bits.
+    pub m: u32,
+    /// Fraction of set bits in `M_T` (filter load factor).
+    pub m_t_load: f64,
+    /// Mean load factor across time-slice matrices.
+    pub mean_slice_load: f64,
+    /// Fraction of the timeline covered by slice intervals.
+    pub slice_coverage: f64,
+    /// Total Bloom-matrix bytes.
+    pub bloom_bytes: usize,
+}
+
+impl std::fmt::Display for IndexDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "attributes:      {}", self.num_attributes)?;
+        writeln!(f, "bloom size m:    {} bits", self.m)?;
+        writeln!(f, "M_T load:        {:.1}%", self.m_t_load * 100.0)?;
+        writeln!(f, "slices:          {}", self.num_slices)?;
+        writeln!(f, "mean slice load: {:.1}%", self.mean_slice_load * 100.0)?;
+        writeln!(f, "slice coverage:  {:.1}% of timeline", self.slice_coverage * 100.0)?;
+        write!(f, "bloom memory:    {:.1} MiB", self.bloom_bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// The tIND search index over a dataset.
+#[derive(Debug)]
+pub struct TindIndex {
+    pub(crate) dataset: Arc<Dataset>,
+    pub(crate) config: IndexConfig,
+    pub(crate) m_t: BloomMatrix,
+    pub(crate) time_slices: Vec<TimeSlice>,
+    pub(crate) universes: Vec<ValueSet>,
+    pub(crate) m_r: Option<BloomMatrix>,
+}
+
+impl TindIndex {
+    /// Builds the index; deterministic given `config.seed`.
+    pub fn build(dataset: Arc<Dataset>, config: IndexConfig) -> Self {
+        let num_attrs = dataset.len();
+        let timeline = dataset.timeline();
+
+        let mut universes: Vec<ValueSet> = Vec::with_capacity(num_attrs);
+        let mut mt_builder = BloomMatrixBuilder::new(config.m, num_attrs, config.k_hashes);
+        for (id, hist) in dataset.iter() {
+            let universe = hist.value_universe();
+            mt_builder.insert_column(id as usize, &universe);
+            universes.push(universe);
+        }
+        let m_t = mt_builder.build();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let intervals = select_slices(&dataset, &config.slices, &mut rng);
+        let time_slices = intervals
+            .into_iter()
+            .map(|interval| {
+                let expanded = interval.expand(config.slices.max_delta, timeline);
+                let mut b = BloomMatrixBuilder::new(config.m, num_attrs, config.k_hashes);
+                for (id, hist) in dataset.iter() {
+                    let values = hist.values_in(expanded);
+                    if !values.is_empty() {
+                        b.insert_column(id as usize, &values);
+                    }
+                }
+                TimeSlice { interval, expanded, matrix: b.build() }
+            })
+            .collect();
+
+        let m_r = config.build_reverse.then(|| {
+            let sizing = TindParams::weighted(
+                config.slices.sizing_eps,
+                0,
+                config.slices.sizing_weights.clone(),
+            );
+            let mut b = BloomMatrixBuilder::new(config.m, num_attrs, config.k_hashes);
+            for (id, hist) in dataset.iter() {
+                let req = required_values(hist, &sizing, timeline);
+                if !req.is_empty() {
+                    b.insert_column(id as usize, &req);
+                }
+            }
+            b.build()
+        });
+
+        TindIndex { dataset, config, m_t, time_slices, universes, m_r }
+    }
+
+    /// The indexed dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The full-history matrix `M_T`.
+    pub fn m_t(&self) -> &BloomMatrix {
+        &self.m_t
+    }
+
+    /// The required-values matrix `M_R`, if built.
+    pub fn m_r(&self) -> Option<&BloomMatrix> {
+        self.m_r.as_ref()
+    }
+
+    /// The indexed time slices.
+    pub fn time_slices(&self) -> &[TimeSlice] {
+        &self.time_slices
+    }
+
+    /// Cached exact value universe `A[T]` of an attribute.
+    pub fn universe(&self, id: AttrId) -> &ValueSet {
+        &self.universes[id as usize]
+    }
+
+    /// The maximum query δ the time slices support.
+    pub fn max_delta(&self) -> u32 {
+        self.config.slices.max_delta
+    }
+
+    /// The ε the index was sized for (also the maximum reverse-query ε).
+    pub fn sizing_eps(&self) -> f64 {
+        self.config.slices.sizing_eps
+    }
+
+    /// Total heap footprint of the Bloom matrices in bytes — the
+    /// `(k+1)·|D|·m/8` trade-off of §4.2.2 (plus `M_R` when present).
+    pub fn bloom_bytes(&self) -> usize {
+        self.m_t.heap_bytes()
+            + self.time_slices.iter().map(|s| s.matrix.heap_bytes()).sum::<usize>()
+            + self.m_r.as_ref().map_or(0, BloomMatrix::heap_bytes)
+    }
+
+    /// Structural diagnostics: matrix load factors and slice coverage.
+    /// Useful for sizing `m` (overloaded filters prune poorly) and judging
+    /// slice placement.
+    pub fn diagnostics(&self) -> IndexDiagnostics {
+        let load = |m: &BloomMatrix| {
+            let total_bits = m.m() as usize * m.num_cols();
+            if total_bits == 0 {
+                return 0.0;
+            }
+            let set: usize = (0..m.num_cols()).map(|c| m.column_filter(c).count_ones()).sum();
+            set as f64 / total_bits as f64
+        };
+        let timeline = self.dataset.timeline();
+        let covered: u32 = self.time_slices.iter().map(|s| s.interval.len()).sum();
+        IndexDiagnostics {
+            num_attributes: self.dataset.len(),
+            num_slices: self.time_slices.len(),
+            m: self.config.m,
+            m_t_load: load(&self.m_t),
+            mean_slice_load: if self.time_slices.is_empty() {
+                0.0
+            } else {
+                self.time_slices.iter().map(|s| load(&s.matrix)).sum::<f64>()
+                    / self.time_slices.len() as f64
+            },
+            slice_coverage: f64::from(covered) / f64::from(timeline.len()),
+            bloom_bytes: self.bloom_bytes(),
+        }
+    }
+
+    /// tIND search (Definition 3.7): all `A ∈ D` with `Q ⊆_{w,ε,δ} A`,
+    /// where `Q` is the indexed attribute `query`. The reflexive result is
+    /// excluded.
+    pub fn search(&self, query: AttrId, params: &TindParams) -> SearchOutcome {
+        search::run_search(self, self.dataset.attribute(query), Some(query), params)
+    }
+
+    /// tIND search for an external query history. The history must be
+    /// interned against this dataset's dictionary.
+    pub fn search_history(&self, query: &AttributeHistory, params: &TindParams) -> SearchOutcome {
+        search::run_search(self, query, None, params)
+    }
+
+    /// tIND search with individual pruning stages toggled — results are
+    /// always identical to [`TindIndex::search`]; only runtime differs
+    /// (the basis of the ablation benches).
+    pub fn search_with_options(
+        &self,
+        query: AttrId,
+        params: &TindParams,
+        options: &search::SearchOptions,
+    ) -> SearchOutcome {
+        search::run_search_with(self, self.dataset.attribute(query), Some(query), params, options)
+    }
+
+    /// Reverse tIND search (Definition 3.8): all `A ∈ D` with
+    /// `A ⊆_{w,ε,δ} Q` (§4.5). The reflexive result is excluded.
+    pub fn reverse_search(&self, query: AttrId, params: &TindParams) -> SearchOutcome {
+        crate::reverse::run_reverse(self, self.dataset.attribute(query), Some(query), params)
+    }
+
+    /// Reverse tIND search for an external query history.
+    pub fn reverse_search_history(
+        &self,
+        query: &AttributeHistory,
+        params: &TindParams,
+    ) -> SearchOutcome {
+        crate::reverse::run_reverse(self, query, None, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tind_model::{DatasetBuilder, Timeline};
+
+    fn dataset() -> Arc<Dataset> {
+        let mut b = DatasetBuilder::new(Timeline::new(60));
+        b.add_attribute("sub", &[(0, vec!["a", "b"])], 59);
+        b.add_attribute("super", &[(0, vec!["a", "b", "c"])], 59);
+        b.add_attribute("other", &[(0, vec!["x", "y"])], 59);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn build_produces_expected_shapes() {
+        let d = dataset();
+        let cfg = IndexConfig { m: 256, ..IndexConfig::default() };
+        let idx = TindIndex::build(d.clone(), cfg);
+        assert_eq!(idx.m_t().num_cols(), 3);
+        assert_eq!(idx.m_t().m(), 256);
+        assert!(idx.m_r().is_none());
+        assert!(!idx.time_slices().is_empty());
+        assert!(idx.time_slices().len() <= 16);
+        assert_eq!(idx.universe(1), &vec![
+            d.dictionary().get("a").unwrap(),
+            d.dictionary().get("b").unwrap(),
+            d.dictionary().get("c").unwrap()
+        ]);
+        assert!(idx.bloom_bytes() > 0);
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let d = dataset();
+        let idx1 = TindIndex::build(d.clone(), IndexConfig::default());
+        let idx2 = TindIndex::build(d.clone(), IndexConfig::default());
+        let i1: Vec<Interval> = idx1.time_slices().iter().map(|s| s.interval).collect();
+        let i2: Vec<Interval> = idx2.time_slices().iter().map(|s| s.interval).collect();
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn slices_are_expanded_by_max_delta() {
+        let d = dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig::default());
+        let tl = d.timeline();
+        for s in idx.time_slices() {
+            assert_eq!(s.expanded, s.interval.expand(idx.max_delta(), tl));
+        }
+    }
+
+    #[test]
+    fn diagnostics_are_sane() {
+        let d = dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig { m: 256, ..IndexConfig::default() });
+        let diag = idx.diagnostics();
+        assert_eq!(diag.num_attributes, 3);
+        assert_eq!(diag.m, 256);
+        assert!(diag.m_t_load > 0.0 && diag.m_t_load < 0.5, "load {}", diag.m_t_load);
+        assert!(diag.slice_coverage > 0.0 && diag.slice_coverage <= 1.0);
+        assert_eq!(diag.bloom_bytes, idx.bloom_bytes());
+        let rendered = diag.to_string();
+        assert!(rendered.contains("M_T load"));
+    }
+
+    #[test]
+    fn reverse_config_builds_m_r() {
+        let d = dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig::reverse_default());
+        assert!(idx.m_r().is_some());
+        assert_eq!(idx.m_r().unwrap().m(), 512);
+    }
+}

@@ -1,0 +1,142 @@
+//! The (ε, δ, w) parameter triple of relaxed temporal INDs (Section 3.3).
+//!
+//! Each paper variant is a specialization of the most general form
+//! (Definition 3.6); the constructors here encode exactly the
+//! specialization chain spelled out at the end of Section 3.3:
+//!
+//! * strict tIND        = ε = 0, δ = 0, any weights
+//! * ε-relaxed tIND     = δ = 0, `w(t) = 1/|T|` (relative ε)
+//! * ε,δ-relaxed tIND   = `w(t) = 1/|T|`
+//! * wεδ-tIND           = free choice of all three
+
+use tind_model::{Timeline, WeightFn};
+
+/// Tolerance used when comparing accumulated violation weight against ε.
+///
+/// Constant weights sum exactly in f64; decay weights accumulate rounding in
+/// the last bits. The tolerance makes "violation == ε" robustly count as
+/// *valid* ("at most ε", Definition 3.6).
+pub const EPS_TOLERANCE: f64 = 1e-9;
+
+/// Parameters of a w-weighted ε,δ-relaxed temporal inclusion dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TindParams {
+    /// Violation budget: the summed weight of violated timestamps may be at
+    /// most ε.
+    pub eps: f64,
+    /// Temporal slack: `Q[t]` need only be contained in
+    /// `A[[t-δ, t+δ]]` (Definition 3.4).
+    pub delta: u32,
+    /// Timestamp weight function.
+    pub weights: WeightFn,
+}
+
+impl TindParams {
+    /// Strict tIND (Definition 3.2): no violation allowed, no temporal
+    /// slack.
+    pub fn strict() -> Self {
+        TindParams { eps: 0.0, delta: 0, weights: WeightFn::constant_one() }
+    }
+
+    /// ε-relaxed tIND (Definition 3.3): `eps_fraction` is the maximum
+    /// *share* of violated timestamps.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ eps_fraction ≤ 1`.
+    pub fn eps_relaxed(eps_fraction: f64, timeline: Timeline) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&eps_fraction),
+            "ε must be a fraction in [0, 1], got {eps_fraction}"
+        );
+        TindParams {
+            eps: eps_fraction,
+            delta: 0,
+            weights: WeightFn::uniform_normalized(timeline),
+        }
+    }
+
+    /// ε,δ-relaxed tIND (Definition 3.5) with relative ε.
+    pub fn eps_delta_relaxed(eps_fraction: f64, delta: u32, timeline: Timeline) -> Self {
+        let mut p = Self::eps_relaxed(eps_fraction, timeline);
+        p.delta = delta;
+        p
+    }
+
+    /// The paper's default experimental setting (§5.1): `ε = 3` days,
+    /// `δ = 7` days, constant weights `w(t) = 1` (ε counted in days).
+    pub fn paper_default() -> Self {
+        TindParams { eps: 3.0, delta: 7, weights: WeightFn::constant_one() }
+    }
+
+    /// Fully general wεδ-tIND (Definition 3.6) with an absolute ε budget.
+    pub fn weighted(eps: f64, delta: u32, weights: WeightFn) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "ε must be finite and non-negative, got {eps}");
+        TindParams { eps, delta, weights }
+    }
+
+    /// Whether an accumulated violation weight still satisfies the budget.
+    #[inline]
+    pub fn within_budget(&self, violation: f64) -> bool {
+        violation <= self.eps + EPS_TOLERANCE
+    }
+
+    /// Whether an accumulated violation weight definitely exceeds the
+    /// budget (the index's pruning condition — strict inequality so a
+    /// candidate sitting exactly at ε is never falsely pruned).
+    #[inline]
+    pub fn exceeds_budget(&self, violation: f64) -> bool {
+        violation > self.eps + EPS_TOLERANCE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_has_zero_budget() {
+        let p = TindParams::strict();
+        assert_eq!(p.eps, 0.0);
+        assert_eq!(p.delta, 0);
+        assert!(p.within_budget(0.0));
+        assert!(!p.within_budget(0.5));
+    }
+
+    #[test]
+    fn eps_relaxed_uses_normalized_weights() {
+        let tl = Timeline::new(100);
+        let p = TindParams::eps_relaxed(0.1, tl);
+        assert!((p.weights.total(tl) - 1.0).abs() < 1e-12);
+        assert_eq!(p.delta, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0, 1]")]
+    fn eps_relaxed_rejects_out_of_range() {
+        TindParams::eps_relaxed(1.5, Timeline::new(10));
+    }
+
+    #[test]
+    fn budget_boundary_counts_as_valid() {
+        let p = TindParams::weighted(3.0, 7, WeightFn::constant_one());
+        assert!(p.within_budget(3.0));
+        assert!(p.within_budget(3.0 + 1e-12));
+        assert!(!p.within_budget(3.1));
+        assert!(!p.exceeds_budget(3.0));
+        assert!(p.exceeds_budget(3.000001));
+    }
+
+    #[test]
+    fn paper_default_matches_section_5_1() {
+        let p = TindParams::paper_default();
+        assert_eq!(p.eps, 3.0);
+        assert_eq!(p.delta, 7);
+        assert_eq!(p.weights, WeightFn::constant_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn weighted_rejects_negative_eps() {
+        TindParams::weighted(-1.0, 0, WeightFn::constant_one());
+    }
+}

@@ -1,0 +1,294 @@
+//! Index persistence: build once, query many sessions.
+//!
+//! Index construction over a large dataset takes orders of magnitude
+//! longer than a single query, so the CLI supports saving a built
+//! [`TindIndex`] to disk. The file embeds a fingerprint of the dataset it
+//! was built over; loading verifies the fingerprint so a stale index can
+//! never silently answer queries for different data.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tind_bloom::BloomMatrix;
+use tind_model::binio::{
+    dataset_fingerprint, get_varint, get_weight_fn, put_varint, put_weight_fn, BinIoError,
+};
+use tind_model::{Dataset, Interval, ValueId, ValueSet};
+
+use crate::index::{IndexConfig, TimeSlice, TindIndex};
+use crate::slices::{SliceConfig, SliceStrategy};
+
+/// Magic bytes identifying a serialized index, including a format version.
+pub const INDEX_MAGIC: &[u8; 8] = b"TINDIX\x00\x01";
+
+fn corrupt(msg: impl Into<String>) -> BinIoError {
+    BinIoError::Corrupt(msg.into())
+}
+
+fn put_interval(buf: &mut BytesMut, i: Interval) {
+    put_varint(buf, u64::from(i.start));
+    put_varint(buf, u64::from(i.end - i.start));
+}
+
+fn get_interval(buf: &mut Bytes) -> Result<Interval, BinIoError> {
+    let start = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("interval start overflow"))?;
+    let len = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("interval length overflow"))?;
+    Ok(Interval::new(start, start + len))
+}
+
+fn put_value_set(buf: &mut BytesMut, set: &[ValueId]) {
+    put_varint(buf, set.len() as u64);
+    let mut prev = 0u64;
+    for &v in set {
+        put_varint(buf, u64::from(v) - prev);
+        prev = u64::from(v);
+    }
+}
+
+fn get_value_set(buf: &mut Bytes) -> Result<ValueSet, BinIoError> {
+    let len = get_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut acc = 0u64;
+    for i in 0..len {
+        let d = get_varint(buf)?;
+        if i > 0 && d == 0 {
+            return Err(corrupt("duplicate value in set"));
+        }
+        acc += d;
+        out.push(u32::try_from(acc).map_err(|_| corrupt("value id overflow"))?);
+    }
+    Ok(out)
+}
+
+/// Serializes `index` into a byte buffer.
+pub fn encode_index(index: &TindIndex) -> Bytes {
+    let mut buf = BytesMut::with_capacity(index.bloom_bytes() + (1 << 16));
+    buf.put_slice(INDEX_MAGIC);
+    buf.put_u64_le(dataset_fingerprint(index.dataset()));
+
+    // Configuration.
+    let cfg = index.config();
+    put_varint(&mut buf, u64::from(cfg.m));
+    put_varint(&mut buf, u64::from(cfg.k_hashes));
+    put_varint(&mut buf, cfg.seed);
+    buf.put_u8(u8::from(cfg.build_reverse));
+    let s = &cfg.slices;
+    put_varint(&mut buf, s.k as u64);
+    buf.put_u8(match s.strategy {
+        SliceStrategy::Random => 0,
+        SliceStrategy::WeightedRandom => 1,
+    });
+    buf.put_f64(s.sizing_eps);
+    put_weight_fn(&mut buf, &s.sizing_weights);
+    put_varint(&mut buf, u64::from(s.max_delta));
+    buf.put_u8(u8::from(s.expanded_disjoint));
+    put_varint(&mut buf, u64::from(s.start_stride));
+    put_varint(&mut buf, s.attr_sample as u64);
+
+    // Structures.
+    index.m_t.encode(&mut buf);
+    put_varint(&mut buf, index.time_slices.len() as u64);
+    for slice in &index.time_slices {
+        put_interval(&mut buf, slice.interval);
+        put_interval(&mut buf, slice.expanded);
+        slice.matrix.encode(&mut buf);
+    }
+    put_varint(&mut buf, index.universes.len() as u64);
+    for u in &index.universes {
+        put_value_set(&mut buf, u);
+    }
+    match &index.m_r {
+        Some(m) => {
+            buf.put_u8(1);
+            m.encode(&mut buf);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.freeze()
+}
+
+/// Deserializes an index and re-binds it to `dataset`, verifying the
+/// embedded fingerprint.
+pub fn decode_index(bytes: Bytes, dataset: Arc<Dataset>) -> Result<TindIndex, BinIoError> {
+    let mut buf = bytes;
+    if buf.remaining() < INDEX_MAGIC.len() || &buf.copy_to_bytes(INDEX_MAGIC.len())[..] != INDEX_MAGIC
+    {
+        return Err(corrupt("bad index magic header"));
+    }
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated fingerprint"));
+    }
+    let fingerprint = buf.get_u64_le();
+    if fingerprint != dataset_fingerprint(&dataset) {
+        return Err(corrupt(
+            "index fingerprint does not match the dataset (stale or mismatched files)",
+        ));
+    }
+
+    let m = u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("m overflow"))?;
+    let k_hashes = u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("k overflow"))?;
+    let seed = get_varint(&mut buf)?;
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated config"));
+    }
+    let build_reverse = buf.get_u8() != 0;
+    let k = get_varint(&mut buf)? as usize;
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated strategy"));
+    }
+    let strategy = match buf.get_u8() {
+        0 => SliceStrategy::Random,
+        1 => SliceStrategy::WeightedRandom,
+        other => return Err(corrupt(format!("unknown slice strategy {other}"))),
+    };
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated sizing eps"));
+    }
+    let sizing_eps = buf.get_f64();
+    let sizing_weights = get_weight_fn(&mut buf)?;
+    let max_delta = u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("δ overflow"))?;
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated disjoint flag"));
+    }
+    let expanded_disjoint = buf.get_u8() != 0;
+    let start_stride =
+        u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("stride overflow"))?;
+    let attr_sample = get_varint(&mut buf)? as usize;
+
+    let config = IndexConfig {
+        m,
+        k_hashes,
+        seed,
+        build_reverse,
+        slices: SliceConfig {
+            k,
+            strategy,
+            sizing_eps,
+            sizing_weights,
+            max_delta,
+            expanded_disjoint,
+            start_stride,
+            attr_sample,
+        },
+    };
+
+    let m_t = BloomMatrix::decode(&mut buf)?;
+    let num_slices = get_varint(&mut buf)? as usize;
+    let mut time_slices = Vec::with_capacity(num_slices);
+    for _ in 0..num_slices {
+        let interval = get_interval(&mut buf)?;
+        let expanded = get_interval(&mut buf)?;
+        let matrix = BloomMatrix::decode(&mut buf)?;
+        time_slices.push(TimeSlice { interval, expanded, matrix });
+    }
+    let num_universes = get_varint(&mut buf)? as usize;
+    if num_universes != dataset.len() {
+        return Err(corrupt("universe count does not match dataset"));
+    }
+    let mut universes = Vec::with_capacity(num_universes);
+    for _ in 0..num_universes {
+        universes.push(get_value_set(&mut buf)?);
+    }
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated m_r flag"));
+    }
+    let m_r = match buf.get_u8() {
+        0 => None,
+        1 => Some(BloomMatrix::decode(&mut buf)?),
+        other => return Err(corrupt(format!("bad m_r flag {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes after index"));
+    }
+    if m_t.num_cols() != dataset.len() {
+        return Err(corrupt("matrix width does not match dataset"));
+    }
+    Ok(TindIndex { dataset, config, m_t, time_slices, universes, m_r })
+}
+
+/// Writes `index` to the file at `path`.
+pub fn write_index_file(index: &TindIndex, path: &std::path::Path) -> Result<(), BinIoError> {
+    std::fs::write(path, encode_index(index))?;
+    Ok(())
+}
+
+/// Reads an index from `path`, binding it to `dataset`.
+pub fn read_index_file(
+    path: &std::path::Path,
+    dataset: Arc<Dataset>,
+) -> Result<TindIndex, BinIoError> {
+    let raw = std::fs::read(path)?;
+    decode_index(Bytes::from(raw), dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TindParams;
+    use tind_model::{DatasetBuilder, Timeline};
+
+    fn dataset() -> Arc<Dataset> {
+        let mut b = DatasetBuilder::new(Timeline::new(80));
+        b.add_attribute("q", &[(0, vec!["a", "b"]), (40, vec!["a", "b", "c"])], 79);
+        b.add_attribute("big", &[(0, vec!["a", "b", "c", "d"])], 79);
+        b.add_attribute("other", &[(5, vec!["x", "y"])], 60);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let d = dataset();
+        for config in [IndexConfig::default(), IndexConfig::reverse_default()] {
+            let index = TindIndex::build(d.clone(), config);
+            let bytes = encode_index(&index);
+            let loaded = decode_index(bytes, d.clone()).expect("decodes");
+            assert_eq!(loaded.m_t().m(), index.m_t().m());
+            assert_eq!(loaded.time_slices().len(), index.time_slices().len());
+            assert_eq!(loaded.m_r().is_some(), index.m_r().is_some());
+            let p = TindParams::paper_default();
+            for q in 0..d.len() as u32 {
+                assert_eq!(loaded.search(q, &p).results, index.search(q, &p).results);
+                assert_eq!(
+                    loaded.reverse_search(q, &p).results,
+                    index.reverse_search(q, &p).results
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let d = dataset();
+        let index = TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let bytes = encode_index(&index);
+        let mut b2 = DatasetBuilder::new(Timeline::new(80));
+        b2.add_attribute("different", &[(0, vec!["z"])], 79);
+        let other = Arc::new(b2.build());
+        let err = decode_index(bytes, other).expect_err("must reject");
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let d = dataset();
+        let index = TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let bytes = encode_index(&index);
+        for cut in [4usize, 16, bytes.len() / 2, bytes.len() - 1] {
+            let t = bytes.slice(0..cut);
+            assert!(decode_index(t, d.clone()).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = dataset();
+        let index = TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = std::env::temp_dir().join("tind-core-persist-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("index.tidx");
+        write_index_file(&index, &path).expect("write");
+        let loaded = read_index_file(&path, d.clone()).expect("read");
+        assert_eq!(loaded.config().m, 128);
+        std::fs::remove_file(&path).ok();
+    }
+}

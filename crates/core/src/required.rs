@@ -1,0 +1,141 @@
+//! Required values `R_{ε,w}(Q)` (Section 4.2.1).
+//!
+//! A value whose summed occurrence weight in `Q` exceeds ε must appear in
+//! any valid right-hand side at least once: were it missing from `A[T]`
+//! entirely, every timestamp where `Q` carries it would be violated — more
+//! than the budget allows, for any δ. Querying the required values against
+//! the full-history matrix `M_T` is therefore a sound first pruning step,
+//! independent of δ.
+
+use tind_model::hash::FastMap;
+use tind_model::{AttributeHistory, Timeline, ValueId, ValueSet};
+
+use crate::params::{TindParams, EPS_TOLERANCE};
+
+/// Summed occurrence weight `w_v(Q)` for every value of `Q` (Equation 6).
+pub fn occurrence_weights(
+    q: &AttributeHistory,
+    params: &TindParams,
+    timeline: Timeline,
+) -> FastMap<ValueId, f64> {
+    let mut weights: FastMap<ValueId, f64> = FastMap::default();
+    let _ = timeline; // validity intervals are already clipped to the timeline
+    for (i, version) in q.versions().iter().enumerate() {
+        let validity = q.version_validity(i);
+        let w = params.weights.interval_weight(validity);
+        for &v in &version.values {
+            *weights.entry(v).or_insert(0.0) += w;
+        }
+    }
+    weights
+}
+
+/// The required values `R_{ε,w}(Q) = {v | w_v(Q) > ε}` (Equation 7), as a
+/// canonical sorted set.
+///
+/// The comparison uses a small tolerance *above* ε so that float noise can
+/// never promote a borderline value into the required set (which could
+/// wrongly prune a valid candidate); the cost of leaving a borderline value
+/// out is only slightly weaker pruning, never a false negative.
+pub fn required_values(
+    q: &AttributeHistory,
+    params: &TindParams,
+    timeline: Timeline,
+) -> ValueSet {
+    let weights = occurrence_weights(q, params, timeline);
+    let mut required: ValueSet = weights
+        .into_iter()
+        .filter(|&(_, w)| w > params.eps + EPS_TOLERANCE)
+        .map(|(v, _)| v)
+        .collect();
+    required.sort_unstable();
+    required
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tind_model::{DatasetBuilder, WeightFn};
+
+    fn history() -> (tind_model::Dataset, Timeline) {
+        let tl = Timeline::new(20);
+        let mut b = DatasetBuilder::new(tl);
+        // "stable" present whole life [0,19] (weight 20); "brief" only
+        // [0,2] (weight 3); "late" only [15,19] (weight 5).
+        b.add_attribute(
+            "q",
+            &[
+                (0, vec!["stable", "brief"]),
+                (3, vec!["stable"]),
+                (15, vec!["stable", "late"]),
+            ],
+            19,
+        );
+        (b.build(), tl)
+    }
+
+    #[test]
+    fn occurrence_weights_sum_validity_intervals() {
+        let (d, tl) = history();
+        let q = d.attribute(0);
+        let p = TindParams::weighted(0.0, 0, WeightFn::constant_one());
+        let w = occurrence_weights(q, &p, tl);
+        let dict = d.dictionary();
+        assert!((w[&dict.get("stable").unwrap()] - 20.0).abs() < 1e-9);
+        assert!((w[&dict.get("brief").unwrap()] - 3.0).abs() < 1e-9);
+        assert!((w[&dict.get("late").unwrap()] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_values_filter_by_eps() {
+        let (d, tl) = history();
+        let q = d.attribute(0);
+        let dict = d.dictionary();
+        let stable = dict.get("stable").unwrap();
+        let brief = dict.get("brief").unwrap();
+        let late = dict.get("late").unwrap();
+
+        let all = required_values(q, &TindParams::weighted(0.0, 0, WeightFn::constant_one()), tl);
+        assert_eq!(all, tind_model::value::canonicalize(vec![stable, brief, late]));
+
+        let eps3 = required_values(q, &TindParams::paper_default(), tl);
+        assert!(!eps3.contains(&brief), "weight 3 does not exceed ε = 3");
+        assert!(eps3.contains(&late));
+        assert!(eps3.contains(&stable));
+
+        let eps10 = required_values(q, &TindParams::weighted(10.0, 0, WeightFn::constant_one()), tl);
+        assert_eq!(eps10, vec![stable]);
+    }
+
+    #[test]
+    fn exact_eps_boundary_is_not_required() {
+        // w_v = ε must NOT make v required ("more than ε" in the paper).
+        let (d, tl) = history();
+        let q = d.attribute(0);
+        let dict = d.dictionary();
+        let brief = dict.get("brief").unwrap();
+        let p = TindParams::weighted(3.0, 0, WeightFn::constant_one());
+        assert!(!required_values(q, &p, tl).contains(&brief));
+    }
+
+    #[test]
+    fn decay_weights_demote_old_values() {
+        let (d, tl) = history();
+        let q = d.attribute(0);
+        let dict = d.dictionary();
+        let w = WeightFn::exponential(0.5, tl);
+        // "brief" lives in [0,2]; with decay its total weight is tiny.
+        let p = TindParams::weighted(0.001, 0, w);
+        let req = required_values(q, &p, tl);
+        assert!(!req.contains(&dict.get("brief").unwrap()));
+        assert!(req.contains(&dict.get("late").unwrap()));
+    }
+
+    #[test]
+    fn required_values_of_self_are_subset_of_universe() {
+        let (d, tl) = history();
+        let q = d.attribute(0);
+        let req = required_values(q, &TindParams::strict(), tl);
+        assert!(tind_model::value::is_subset(&req, &q.value_universe()));
+    }
+}

@@ -1,0 +1,416 @@
+//! tIND search with candidate pruning (Section 4.2, Algorithm 1).
+//!
+//! Pipeline for a query attribute `Q`:
+//!
+//! 1. **Required values vs `M_T`** — any candidate missing a value that `Q`
+//!    carries for more than ε total weight is pruned.
+//! 2. **Time slices** — for every slice `I_j` and every distinct version of
+//!    `Q` within it, candidates whose slice filter cannot contain the
+//!    version accumulate the version's (query-weighted) violation; once a
+//!    candidate's tracked violation strictly exceeds ε it is pruned.
+//!    Skipped entirely when the query's δ exceeds the index's maximum δ
+//!    (slice evidence would no longer be sound, §4.4).
+//! 3. **Exact Bloom-false-positive filtering** — surviving candidates are
+//!    re-checked against the exact cached universes (Algorithm 1, line 16).
+//! 4. **Validation** — Algorithm 2 on each remaining candidate.
+//!
+//! Note one deliberate deviation from the paper's pseudocode: Algorithm 1
+//! prunes at `VIO[c] ≥ ε`, but a candidate whose true violation weight is
+//! *exactly* ε is still valid under Definition 3.6 ("at most ε"). We prune
+//! only at `VIO[c] > ε` to guarantee zero false negatives.
+
+use tind_bloom::BitVec;
+use tind_model::hash::FastMap;
+use tind_model::{AttrId, AttributeHistory};
+
+use crate::index::TindIndex;
+use crate::params::TindParams;
+use crate::required::required_values;
+use crate::validate;
+
+/// Counters describing how the candidate set narrowed per stage; the basis
+/// of the pruning-power experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// `|D|` (minus the excluded self, if any).
+    pub initial: usize,
+    /// Candidates surviving the required-values pass over `M_T`.
+    pub after_required: usize,
+    /// Candidates surviving time-slice violation tracking.
+    pub after_slices: usize,
+    /// Candidates surviving exact (non-Bloom) subset re-checks.
+    pub after_exact: usize,
+    /// Candidates that passed full validation — `|results|`.
+    pub validated: usize,
+    /// Whether the time slices were usable (query δ ≤ index δ).
+    pub slices_used: bool,
+    /// Number of full (Algorithm 2) validations executed.
+    pub validations_run: usize,
+}
+
+/// Result of a (reverse) tIND search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Ids of attributes satisfying the dependency, ascending.
+    pub results: Vec<AttrId>,
+    /// Per-stage pruning statistics.
+    pub stats: SearchStats,
+}
+
+/// Toggles for the individual pruning stages — used by the ablation
+/// benches to measure each stage's contribution. Disabling stages never
+/// changes results (validation is authoritative), only runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Stage 1: required values vs `M_T`.
+    pub use_required_values: bool,
+    /// Stage 2: time-slice violation tracking.
+    pub use_time_slices: bool,
+    /// Stage 3: exact re-check against cached universes.
+    pub use_exact_filter: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { use_required_values: true, use_time_slices: true, use_exact_filter: true }
+    }
+}
+
+/// Executes tIND search for `q` against the index. `exclude` removes the
+/// reflexive result when `q` is itself an indexed attribute.
+pub(crate) fn run_search(
+    index: &TindIndex,
+    q: &AttributeHistory,
+    exclude: Option<AttrId>,
+    params: &TindParams,
+) -> SearchOutcome {
+    run_search_with(index, q, exclude, params, &SearchOptions::default())
+}
+
+/// [`run_search`] with stage toggles.
+pub(crate) fn run_search_with(
+    index: &TindIndex,
+    q: &AttributeHistory,
+    exclude: Option<AttrId>,
+    params: &TindParams,
+    options: &SearchOptions,
+) -> SearchOutcome {
+    let dataset = index.dataset();
+    let timeline = dataset.timeline();
+    let num_attrs = dataset.len();
+    let mut stats = SearchStats {
+        initial: num_attrs - usize::from(exclude.is_some()),
+        ..SearchStats::default()
+    };
+
+    let mut candidates = BitVec::ones(num_attrs);
+    if let Some(x) = exclude {
+        candidates.clear(x as usize);
+    }
+
+    // Stage 1: required values against M_T.
+    let required = required_values(q, params, timeline);
+    if options.use_required_values && !required.is_empty() {
+        let qf = index.m_t().query_filter(&required);
+        index.m_t().narrow_to_supersets(&qf, &mut candidates);
+    }
+    stats.after_required = candidates.count_ones();
+
+    // Stage 2: time-slice violation tracking.
+    //
+    // Two equivalent evaluation modes (both apply the same per-column
+    // Bloom test, so results are identical):
+    // * row mode — AND whole matrix rows into a scratch set; cost
+    //   O(query-bits · |D|/64) regardless of how many candidates remain.
+    // * probe mode — test each remaining candidate's column bits
+    //   individually; cost O(candidates · |values| · k). Once `M_T` has
+    //   narrowed the field to a handful, probing is far cheaper than
+    //   touching full rows — this keeps large k affordable on large |D|.
+    stats.slices_used = options.use_time_slices && params.delta <= index.max_delta();
+    if stats.slices_used && !candidates.is_zero() {
+        let probe_threshold = (num_attrs / 64).max(8);
+        let mut violations: FastMap<u32, f64> = FastMap::default();
+        let mut scratch = BitVec::zeros(num_attrs);
+        let mut alive = candidates.count_ones();
+        'slices: for slice in index.time_slices() {
+            let range = q.version_range_in(slice.interval);
+            for vi in range {
+                let Some(validity) = q.version_validity(vi).intersect(&slice.interval) else {
+                    continue;
+                };
+                let values = &q.versions()[vi].values;
+                if values.is_empty() {
+                    continue;
+                }
+                let w = params.weights.interval_weight(validity);
+                let mut pruned_any = false;
+                if alive <= probe_threshold {
+                    // Probe mode.
+                    for c in candidates.iter_ones() {
+                        if slice.matrix.column_may_contain_all(c, values) {
+                            continue;
+                        }
+                        let v = violations.entry(c as u32).or_insert(0.0);
+                        *v += w;
+                        if params.exceeds_budget(*v) {
+                            pruned_any = true;
+                        }
+                    }
+                } else {
+                    // Row mode: scratch = candidates ∧ slice-contained;
+                    // anything cleared relative to `candidates` is a
+                    // detected partial violation.
+                    scratch.copy_from(&candidates);
+                    let qf = slice.matrix.query_filter(values);
+                    slice.matrix.narrow_to_supersets(&qf, &mut scratch);
+                    for c in candidates.iter_ones() {
+                        if scratch.get(c) {
+                            continue;
+                        }
+                        let v = violations.entry(c as u32).or_insert(0.0);
+                        *v += w;
+                        if params.exceeds_budget(*v) {
+                            pruned_any = true;
+                        }
+                    }
+                }
+                if pruned_any {
+                    for (&c, &v) in &violations {
+                        if params.exceeds_budget(v) && candidates.get(c as usize) {
+                            candidates.clear(c as usize);
+                            alive -= 1;
+                        }
+                    }
+                    if candidates.is_zero() {
+                        break 'slices;
+                    }
+                }
+            }
+        }
+    }
+    stats.after_slices = candidates.count_ones();
+
+    // Stage 3: exact subset re-check of the required values against the
+    // cached universes — discards Bloom false positives cheaply before the
+    // expensive full validation (Algorithm 1, line 16).
+    if options.use_exact_filter && !required.is_empty() {
+        let survivors: Vec<usize> = candidates.iter_ones().collect();
+        for c in survivors {
+            if !tind_model::value::is_subset(&required, index.universe(c as u32)) {
+                candidates.clear(c);
+            }
+        }
+    }
+    stats.after_exact = candidates.count_ones();
+
+    // Stage 4: full validation (Algorithm 2).
+    let mut results = Vec::new();
+    for c in candidates.iter_ones() {
+        stats.validations_run += 1;
+        let a = dataset.attribute(c as u32);
+        if validate::validate(q, a, params, timeline) {
+            results.push(c as u32);
+        }
+    }
+    stats.validated = results.len();
+    SearchOutcome { results, stats }
+}
+
+/// Brute-force reference: validates `q` against every attribute. Used to
+/// verify the index never loses a result.
+pub fn brute_force_search(
+    index: &TindIndex,
+    q: &AttributeHistory,
+    exclude: Option<AttrId>,
+    params: &TindParams,
+) -> Vec<AttrId> {
+    let dataset = index.dataset();
+    let timeline = dataset.timeline();
+    dataset
+        .iter()
+        .filter(|(id, _)| Some(*id) != exclude)
+        .filter(|(_, a)| validate::validate(q, a, params, timeline))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use std::sync::Arc;
+    use tind_model::{Dataset, DatasetBuilder, Timeline, WeightFn};
+
+    fn pokemonish() -> Arc<Dataset> {
+        let mut b = DatasetBuilder::new(Timeline::new(100));
+        // Q: list of games, grows over time.
+        b.add_attribute(
+            "games",
+            &[
+                (0, vec!["red", "blue"]),
+                (30, vec!["red", "blue", "gold"]),
+                (60, vec!["red", "blue", "gold", "ruby"]),
+            ],
+            99,
+        );
+        // Superset that follows with delay 5.
+        b.add_attribute(
+            "all-titles",
+            &[
+                (0, vec!["red", "blue", "pinball"]),
+                (35, vec!["red", "blue", "gold", "pinball"]),
+                (65, vec!["red", "blue", "gold", "ruby", "pinball"]),
+            ],
+            99,
+        );
+        // Perfect superset, always in sync.
+        b.add_attribute(
+            "catalog",
+            &[
+                (0, vec!["red", "blue", "gold", "ruby", "crystal"]),
+            ],
+            99,
+        );
+        // Disjoint attribute.
+        b.add_attribute("cities", &[(0, vec!["pallet", "viridian"])], 99);
+        // Subset of Q (should appear only in reverse search).
+        b.add_attribute("early-games", &[(0, vec!["red"])], 99);
+        Arc::new(b.build())
+    }
+
+    fn index(d: &Arc<Dataset>) -> TindIndex {
+        let cfg = IndexConfig { m: 1024, ..IndexConfig::default() };
+        crate::index::TindIndex::build(d.clone(), cfg)
+    }
+
+    #[test]
+    fn strict_search_finds_only_synced_superset() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let out = idx.search(0, &TindParams::strict());
+        assert_eq!(out.results, vec![2], "only 'catalog' holds strictly");
+        assert_eq!(out.stats.validated, 1);
+        assert!(out.stats.after_required <= out.stats.initial);
+    }
+
+    #[test]
+    fn delta_search_also_finds_delayed_superset() {
+        let d = pokemonish();
+        let idx = index(&d);
+        // Delay is 5 timestamps; δ = 5, ε = 0.
+        let p = TindParams::weighted(0.0, 5, WeightFn::constant_one());
+        let out = idx.search(0, &p);
+        assert_eq!(out.results, vec![1, 2]);
+    }
+
+    #[test]
+    fn eps_search_absorbs_delay_weight() {
+        let d = pokemonish();
+        let idx = index(&d);
+        // Two delays of 5 timestamps each = 10 violated days; ε = 10, δ = 0.
+        let p = TindParams::weighted(10.0, 0, WeightFn::constant_one());
+        let out = idx.search(0, &p);
+        assert_eq!(out.results, vec![1, 2]);
+        let tight = TindParams::weighted(9.0, 0, WeightFn::constant_one());
+        assert_eq!(idx.search(0, &tight).results, vec![2]);
+    }
+
+    #[test]
+    fn search_matches_brute_force_on_all_attributes() {
+        let d = pokemonish();
+        let idx = index(&d);
+        for qid in 0..d.len() as u32 {
+            for p in [
+                TindParams::strict(),
+                TindParams::paper_default(),
+                TindParams::weighted(20.0, 3, WeightFn::constant_one()),
+                TindParams::weighted(0.05, 2, WeightFn::uniform_normalized(d.timeline())),
+            ] {
+                let fast = idx.search(qid, &p).results;
+                let brute =
+                    brute_force_search(&idx, d.attribute(qid), Some(qid), &p);
+                assert_eq!(fast, brute, "query {qid} params {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_delta_above_index_max_skips_slices_but_stays_correct() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let p = TindParams::weighted(0.0, 40, WeightFn::constant_one());
+        assert!(p.delta > idx.max_delta());
+        let out = idx.search(0, &p);
+        assert!(!out.stats.slices_used);
+        let brute = brute_force_search(&idx, d.attribute(0), Some(0), &p);
+        assert_eq!(out.results, brute);
+    }
+
+    #[test]
+    fn external_history_query() {
+        let d = pokemonish();
+        let idx = index(&d);
+        // Build an external query using the same dictionary ids.
+        let red = d.dictionary().get("red").unwrap();
+        let blue = d.dictionary().get("blue").unwrap();
+        let mut hb = tind_model::HistoryBuilder::new("external");
+        hb.push(0, vec![red, blue]);
+        let h = hb.finish(99);
+        let out = idx.search_history(&h, &TindParams::strict());
+        // {red, blue} held throughout: contained in games(0), all-titles(1),
+        // catalog(2).
+        assert_eq!(out.results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_stages_are_monotone() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let out = idx.search(0, &TindParams::paper_default());
+        let s = &out.stats;
+        assert!(s.after_required <= s.initial);
+        assert!(s.after_slices <= s.after_required);
+        assert!(s.after_exact <= s.after_slices);
+        assert!(s.validated <= s.after_exact);
+        assert_eq!(s.validations_run, s.after_exact);
+    }
+
+    #[test]
+    fn stage_toggles_never_change_results() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let p = TindParams::paper_default();
+        let baseline = idx.search(0, &p).results;
+        for (req, slices, exact) in [
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+            (false, false, false),
+        ] {
+            let options = SearchOptions {
+                use_required_values: req,
+                use_time_slices: slices,
+                use_exact_filter: exact,
+            };
+            let out = idx.search_with_options(0, &p, &options);
+            assert_eq!(out.results, baseline, "options {options:?} changed results");
+            if !req && !slices && !exact {
+                assert_eq!(
+                    out.stats.validations_run,
+                    out.stats.initial,
+                    "with all stages off, everything reaches validation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_is_excluded() {
+        let d = pokemonish();
+        let idx = index(&d);
+        for qid in 0..d.len() as u32 {
+            let out = idx.search(qid, &TindParams::paper_default());
+            assert!(!out.results.contains(&qid));
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! tIND validation (Section 4.3, Algorithm 2).
+//!
+//! The naive validator checks δ-containment at every timestamp — `O(n)`
+//! containment checks. Algorithm 2 instead partitions the timeline into
+//! intervals within which (a) `Q` has a single version and (b) the
+//! δ-window union `A[[t-δ, t+δ]]` is provably constant, so one containment
+//! check per interval suffices. Interval boundaries are the change points of
+//! `Q` plus each change point of `A` shifted by ±δ (the `V_A^δ` of the
+//! paper). A sliding window over `A`'s versions makes the sequence of
+//! checks amortized linear in the number of versions.
+
+use tind_model::hash::FastMap;
+use tind_model::{AttributeHistory, Interval, Timeline, Timestamp, ValueId};
+
+use crate::params::TindParams;
+
+/// Whether `Q[t] ⊆ A[[t-δ, t+δ]]` (Definition 3.4). Direct evaluation;
+/// meant for spot checks and documentation, not hot loops.
+pub fn delta_contained_at(
+    q: &AttributeHistory,
+    a: &AttributeHistory,
+    t: Timestamp,
+    delta: u32,
+    timeline: Timeline,
+) -> bool {
+    let qv = q.values_at(t);
+    if qv.is_empty() {
+        return true;
+    }
+    let window = timeline.delta_window(t, delta);
+    let av = a.values_in(window);
+    tind_model::value::is_subset(qv, &av)
+}
+
+/// Reference validator: sums violation weights timestamp by timestamp.
+/// Quadratic-ish and allocation-heavy — used to cross-check Algorithm 2 in
+/// tests and nowhere else.
+pub fn naive_violation_weight(
+    q: &AttributeHistory,
+    a: &AttributeHistory,
+    params: &TindParams,
+    timeline: Timeline,
+) -> f64 {
+    timeline
+        .iter()
+        .filter(|&t| !delta_contained_at(q, a, t, params.delta, timeline))
+        .map(|t| params.weights.weight(t))
+        .sum()
+}
+
+/// Reference validity check via [`naive_violation_weight`].
+pub fn naive_validate(
+    q: &AttributeHistory,
+    a: &AttributeHistory,
+    params: &TindParams,
+    timeline: Timeline,
+) -> bool {
+    params.within_budget(naive_violation_weight(q, a, params, timeline))
+}
+
+/// Sliding union of `A`'s versions over a monotonically advancing window.
+///
+/// Tracks, for every value, in how many window-overlapping versions it
+/// occurs; a value is in the union while its count is positive.
+struct WindowUnion<'a> {
+    a: &'a AttributeHistory,
+    counts: FastMap<ValueId, u32>,
+    /// Version index range currently overlapping the window.
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a> WindowUnion<'a> {
+    fn new(a: &'a AttributeHistory) -> Self {
+        WindowUnion { a, counts: FastMap::default(), lo: 0, hi: 0 }
+    }
+
+    /// Advances the window to `[ws, we]`. Both bounds must be monotonically
+    /// non-decreasing across calls.
+    fn advance(&mut self, ws: Timestamp, we: Timestamp) {
+        let versions = self.a.versions();
+        // Admit versions that start within the new window end.
+        while self.hi < versions.len() && versions[self.hi].start <= we {
+            for &v in &versions[self.hi].values {
+                *self.counts.entry(v).or_insert(0) += 1;
+            }
+            self.hi += 1;
+        }
+        // Retire versions whose validity ended before the new window start.
+        while self.lo < self.hi && self.a.version_validity(self.lo).end < ws {
+            for &v in &versions[self.lo].values {
+                match self.counts.get_mut(&v) {
+                    Some(c) if *c > 1 => *c -= 1,
+                    Some(_) => {
+                        self.counts.remove(&v);
+                    }
+                    None => unreachable!("retiring a value that was never admitted"),
+                }
+            }
+            self.lo += 1;
+        }
+    }
+
+    /// Whether every value of `set` is in the current union. An `A` that is
+    /// entirely unobservable in the window yields an empty union.
+    fn contains_all(&self, set: &[ValueId]) -> bool {
+        if set.len() > self.counts.len() {
+            return false;
+        }
+        set.iter().all(|v| self.counts.contains_key(v))
+    }
+}
+
+/// The interval partition of Algorithm 2: boundaries where δ-containment may
+/// change. Returns sorted, deduplicated interval start points (always
+/// beginning with 0); interval `i` spans `[starts[i], starts[i+1] - 1]`,
+/// the final one ending at `n - 1`.
+pub fn critical_starts(
+    q: &AttributeHistory,
+    a: &AttributeHistory,
+    delta: u32,
+    timeline: Timeline,
+) -> Vec<Timestamp> {
+    let n = timeline.len();
+    let mut starts: Vec<Timestamp> = Vec::with_capacity(q.versions().len() + 2 * a.versions().len() + 3);
+    starts.push(0);
+    // Q's version structure changes at its change points (incl. its
+    // disappearance at last_observed + 1).
+    starts.extend(q.change_points(n));
+    // A's window union changes when a change point enters (t = c - δ) or a
+    // previous run fully leaves (t = c + δ) the window.
+    for c in a.change_points(n) {
+        starts.push(c.saturating_sub(delta));
+        let enter = c.saturating_add(delta);
+        if enter < n {
+            starts.push(enter);
+        }
+    }
+    starts.retain(|&t| t < n);
+    starts.sort_unstable();
+    starts.dedup();
+    starts
+}
+
+/// Computes the exact violation weight of the candidate `Q ⊆_{w,ε,δ} A`
+/// via Algorithm 2. If `early_exit` is true, returns as soon as the budget
+/// is provably exceeded (the returned value is then only a lower bound).
+pub fn violation_weight(
+    q: &AttributeHistory,
+    a: &AttributeHistory,
+    params: &TindParams,
+    timeline: Timeline,
+    early_exit: bool,
+) -> f64 {
+    let n = timeline.len();
+    let starts = critical_starts(q, a, params.delta, timeline);
+    let mut window = WindowUnion::new(a);
+    let mut violation = 0.0;
+    for (i, &s) in starts.iter().enumerate() {
+        let e = starts.get(i + 1).map_or(n - 1, |&next| next - 1);
+        let qv = q.values_at(s);
+        if qv.is_empty() {
+            continue; // unobservable or genuinely empty Q never violates
+        }
+        let ws = s.saturating_sub(params.delta);
+        let we = s.saturating_add(params.delta).min(n - 1);
+        window.advance(ws, we);
+        if !window.contains_all(qv) {
+            violation += params.weights.interval_weight(Interval::new(s, e));
+            if early_exit && params.exceeds_budget(violation) {
+                return violation;
+            }
+        }
+    }
+    violation
+}
+
+/// Whether `Q ⊆_{w,ε,δ} A` holds (Definition 3.6), via Algorithm 2.
+///
+/// # Examples
+///
+/// ```
+/// use tind_core::validate::validate;
+/// use tind_core::TindParams;
+/// use tind_model::{DatasetBuilder, Timeline, WeightFn};
+///
+/// let tl = Timeline::new(20);
+/// let mut b = DatasetBuilder::new(tl);
+/// b.add_attribute("q", &[(0, vec!["x"]), (5, vec!["x", "new"])], 19);
+/// b.add_attribute("a", &[(0, vec!["x"]), (8, vec!["x", "new"])], 19); // 3 days late
+/// let d = b.build();
+///
+/// // Strictly, the 3-day lag violates containment ...
+/// assert!(!validate(d.attribute(0), d.attribute(1), &TindParams::strict(), tl));
+/// // ... but δ = 3 heals it (Definition 3.4/3.5).
+/// let relaxed = TindParams::weighted(0.0, 3, WeightFn::constant_one());
+/// assert!(validate(d.attribute(0), d.attribute(1), &relaxed, tl));
+/// ```
+pub fn validate(
+    q: &AttributeHistory,
+    a: &AttributeHistory,
+    params: &TindParams,
+    timeline: Timeline,
+) -> bool {
+    params.within_budget(violation_weight(q, a, params, timeline, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tind_model::{DatasetBuilder, WeightFn};
+
+    /// One attribute spec: (name, versions, last_observed).
+    type AttrSpec<'a> = (&'a str, &'a [(Timestamp, &'a [&'a str])], Timestamp);
+
+    /// Figure 2's running example, re-created: Q with versions over a short
+    /// timeline, candidates with and without violations.
+    fn build(timeline_len: u32, specs: &[AttrSpec<'_>]) -> (tind_model::Dataset, Timeline) {
+        let tl = Timeline::new(timeline_len);
+        let mut b = DatasetBuilder::new(tl);
+        for (name, versions, last) in specs {
+            let versions: Vec<(Timestamp, Vec<&str>)> =
+                versions.iter().map(|(t, vs)| (*t, vs.to_vec())).collect();
+            b.add_attribute(name, &versions, *last);
+        }
+        (b.build(), tl)
+    }
+
+    #[test]
+    fn strict_tind_requires_containment_everywhere() {
+        let (d, tl) = build(
+            10,
+            &[
+                ("q", &[(0, &["a", "b"])], 9),
+                ("good", &[(0, &["a", "b", "c"])], 9),
+                ("bad", &[(0, &["a", "b"]), (5, &["a"])], 9),
+            ],
+        );
+        let p = TindParams::strict();
+        assert!(validate(d.attribute(0), d.attribute(1), &p, tl));
+        assert!(!validate(d.attribute(0), d.attribute(2), &p, tl));
+        assert!(naive_validate(d.attribute(0), d.attribute(1), &p, tl));
+        assert!(!naive_validate(d.attribute(0), d.attribute(2), &p, tl));
+    }
+
+    #[test]
+    fn eps_budget_tolerates_brief_errors() {
+        // "bad" is missing "b" for timestamps 5..=9 (5 violations).
+        let (d, tl) = build(
+            10,
+            &[("q", &[(0, &["a", "b"])], 9), ("bad", &[(0, &["a", "b"]), (5, &["a"])], 9)],
+        );
+        let q = d.attribute(0);
+        let a = d.attribute(1);
+        assert!((naive_violation_weight(q, a, &TindParams::strict(), tl) - 5.0).abs() < 1e-9);
+        let lenient = TindParams::weighted(5.0, 0, WeightFn::constant_one());
+        assert!(validate(q, a, &lenient, tl));
+        let tight = TindParams::weighted(4.0, 0, WeightFn::constant_one());
+        assert!(!validate(q, a, &tight, tl));
+    }
+
+    #[test]
+    fn exact_budget_boundary_is_valid() {
+        let (d, tl) = build(
+            10,
+            &[("q", &[(0, &["a"])], 9), ("a", &[(0, &[] as &[&str]), (3, &["a"])], 9)],
+        );
+        // Violated at t = 0, 1, 2 → weight 3.
+        let p = TindParams::weighted(3.0, 0, WeightFn::constant_one());
+        assert!(validate(d.attribute(0), d.attribute(1), &p, tl));
+    }
+
+    #[test]
+    fn delta_heals_temporal_shifts() {
+        // Q gains value "new" at t=5; A follows at t=7 (delay of 2).
+        let (d, tl) = build(
+            20,
+            &[
+                ("q", &[(0, &["x"]), (5, &["x", "new"])], 19),
+                ("a", &[(0, &["x"]), (7, &["x", "new"])], 19),
+            ],
+        );
+        let q = d.attribute(0);
+        let a = d.attribute(1);
+        // Without δ: violated at t = 5, 6.
+        let strict = TindParams::strict();
+        assert!(!validate(q, a, &strict, tl));
+        assert!((naive_violation_weight(q, a, &strict, tl) - 2.0).abs() < 1e-9);
+        // δ = 2 heals it: at t = 5, window [3,7] includes A[7] ∋ "new".
+        let healed = TindParams::weighted(0.0, 2, WeightFn::constant_one());
+        assert!(validate(q, a, &healed, tl));
+        assert!(naive_validate(q, a, &healed, tl));
+        // δ = 1 is not enough: at t = 5, window [4,6] misses it.
+        let partial = TindParams::weighted(0.0, 1, WeightFn::constant_one());
+        assert!(!validate(q, a, &partial, tl));
+        assert!((naive_violation_weight(q, a, &partial, tl) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_looks_backward_too() {
+        // A had the value early and lost it; Q requires it later.
+        let (d, tl) = build(
+            20,
+            &[
+                ("q", &[(10, &["v"])], 10),
+                ("a", &[(0, &["v"]), (8, &["w"])], 19),
+            ],
+        );
+        let q = d.attribute(0);
+        let a = d.attribute(1);
+        // At t=10, window [10-3, 10+3] = [7,13] includes A[7] ∋ v.
+        let p3 = TindParams::weighted(0.0, 3, WeightFn::constant_one());
+        assert!(validate(q, a, &p3, tl));
+        let p2 = TindParams::weighted(0.0, 2, WeightFn::constant_one());
+        assert!(!validate(q, a, &p2, tl), "window [8,12] misses v (A changed at 8)");
+    }
+
+    #[test]
+    fn unobservable_query_periods_never_violate() {
+        let (d, tl) = build(
+            30,
+            &[("q", &[(10, &["z"])], 15), ("a", &[(10, &["z"])], 15)],
+        );
+        let p = TindParams::strict();
+        assert!(validate(d.attribute(0), d.attribute(1), &p, tl));
+        assert_eq!(naive_violation_weight(d.attribute(0), d.attribute(1), &p, tl), 0.0);
+    }
+
+    #[test]
+    fn rhs_disappearance_causes_violations() {
+        // A vanishes at t=5; Q continues to exist until 9.
+        let (d, tl) = build(
+            10,
+            &[("q", &[(0, &["k"])], 9), ("a", &[(0, &["k"])], 4)],
+        );
+        let q = d.attribute(0);
+        let a = d.attribute(1);
+        let strict = TindParams::strict();
+        // Violated at t = 5..=9.
+        assert!((naive_violation_weight(q, a, &strict, tl) - 5.0).abs() < 1e-9);
+        assert!(!validate(q, a, &strict, tl));
+        // δ = 5 reaches back to A[4] from t = 9.
+        let healed = TindParams::weighted(0.0, 5, WeightFn::constant_one());
+        assert!(validate(q, a, &healed, tl));
+    }
+
+    #[test]
+    fn exponential_weights_discount_old_violations() {
+        let tl_len = 50;
+        // Violation only at t = 0..=4 (A starts empty, gains value at 5).
+        let (d, tl) = build(
+            tl_len,
+            &[("q", &[(0, &["v"])], 49), ("a", &[(0, &[] as &[&str]), (5, &["v"])], 49)],
+        );
+        let q = d.attribute(0);
+        let a = d.attribute(1);
+        let w = WeightFn::exponential(0.5, tl);
+        // Old violations weigh ~nothing under decay.
+        let decayed = TindParams::weighted(1e-9, 0, w);
+        assert!(validate(q, a, &decayed, tl));
+        // Same ε with constant weights fails (5 full violations).
+        let flat = TindParams::weighted(1e-9, 0, WeightFn::constant_one());
+        assert!(!validate(q, a, &flat, tl));
+    }
+
+    #[test]
+    fn algorithm2_matches_naive_on_figure2_style_histories() {
+        let (d, tl) = build(
+            30,
+            &[
+                ("q", &[(0, &["ita", "pol"]), (8, &["ita", "pol", "usa"]), (15, &["ita"])], 25),
+                ("a", &[(2, &["ita", "pol", "ger"]), (10, &["ita", "usa", "pol"]), (20, &["ita", "fra"])], 29),
+            ],
+        );
+        let q = d.attribute(0);
+        let a = d.attribute(1);
+        for delta in [0u32, 1, 2, 5, 10, 40] {
+            for eps in [0.0, 1.0, 3.0, 10.0] {
+                let p = TindParams::weighted(eps, delta, WeightFn::constant_one());
+                let fast = violation_weight(q, a, &p, tl, false);
+                let naive = naive_violation_weight(q, a, &p, tl);
+                assert!(
+                    (fast - naive).abs() < 1e-9,
+                    "δ={delta}: algorithm2 {fast} vs naive {naive}"
+                );
+                assert_eq!(validate(q, a, &p, tl), naive_validate(q, a, &p, tl));
+            }
+        }
+    }
+
+    #[test]
+    fn critical_starts_are_sorted_unique_and_cover_zero() {
+        let (d, tl) = build(
+            30,
+            &[("q", &[(3, &["a"]), (9, &["b"])], 20), ("a", &[(5, &["a"])], 25)],
+        );
+        let starts = critical_starts(d.attribute(0), d.attribute(1), 2, tl);
+        assert_eq!(starts[0], 0);
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        assert!(starts.iter().all(|&t| t < 30));
+        // Q's change points 3, 9, 21 present.
+        for t in [3, 9, 21] {
+            assert!(starts.contains(&t), "missing Q change point {t}");
+        }
+        // A's change points 5, 26 shifted by ±2.
+        for t in [3, 7, 24, 28] {
+            assert!(starts.contains(&t), "missing shifted A change point {t}");
+        }
+    }
+
+    #[test]
+    fn early_exit_returns_lower_bound() {
+        let (d, tl) = build(
+            100,
+            &[("q", &[(0, &["v"])], 99), ("a", &[(0, &["other"])], 99)],
+        );
+        let p = TindParams::strict();
+        let bounded = violation_weight(d.attribute(0), d.attribute(1), &p, tl, true);
+        let exact = violation_weight(d.attribute(0), d.attribute(1), &p, tl, false);
+        assert!(p.exceeds_budget(bounded));
+        assert!((exact - 100.0).abs() < 1e-9);
+        assert!(bounded <= exact);
+    }
+
+    #[test]
+    fn reflexivity_holds_for_all_params() {
+        let (d, tl) = build(
+            20,
+            &[("q", &[(2, &["a", "b"]), (9, &["c"])], 17)],
+        );
+        let q = d.attribute(0);
+        for p in [
+            TindParams::strict(),
+            TindParams::paper_default(),
+            TindParams::eps_relaxed(0.0, tl),
+            TindParams::weighted(0.0, 3, WeightFn::exponential(0.9, tl)),
+        ] {
+            assert!(validate(q, q, &p, tl), "reflexivity failed for {p:?}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Ground truth: what the generator planted.
+//!
+//! Substitutes the paper's manual annotation (§5.5): an IND `(lhs, rhs)` is
+//! *genuine* iff `lhs` was generated as a derived attribute of `rhs`. Every
+//! other discovered IND — however persistent — counts as spurious, mirroring
+//! the paper's labelling rule ("should hold if the respective tables were
+//! complete and both columns have the same semantic type").
+
+use tind_model::AttrId;
+
+/// What role an attribute plays in the generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrKind {
+    /// Authoritative entity list.
+    Source,
+    /// Genuinely included in `source`.
+    Derived {
+        /// The attribute this one is derived from.
+        source: AttrId,
+        /// Whether the attribute was generated with the dirty profile
+        /// (long delays, slow error fixes).
+        dirty: bool,
+        /// Whether one entity was permanently renamed mid-life (§3.3);
+        /// such pairs stay genuine but need σ-partial containment to be
+        /// rediscovered.
+        renamed: bool,
+    },
+    /// Drawn from the shared noise pool; any INDs it takes part in are
+    /// coincidental.
+    Noise,
+}
+
+/// Ground-truth labels for a generated dataset.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    kinds: Vec<AttrKind>,
+    /// Sorted list of genuine `(lhs, rhs)` pairs.
+    genuine: Vec<(AttrId, AttrId)>,
+}
+
+impl GroundTruth {
+    /// Assembles ground truth from per-attribute kinds.
+    pub fn from_kinds(kinds: Vec<AttrKind>) -> Self {
+        let mut genuine: Vec<(AttrId, AttrId)> = kinds
+            .iter()
+            .enumerate()
+            .filter_map(|(id, k)| match k {
+                AttrKind::Derived { source, .. } => Some((id as AttrId, *source)),
+                _ => None,
+            })
+            .collect();
+        genuine.sort_unstable();
+        GroundTruth { kinds, genuine }
+    }
+
+    /// The role of an attribute.
+    pub fn kind(&self, id: AttrId) -> AttrKind {
+        self.kinds[id as usize]
+    }
+
+    /// Number of labelled attributes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether no attribute is labelled.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Whether the IND `lhs ⊆ rhs` is genuine.
+    pub fn is_genuine(&self, lhs: AttrId, rhs: AttrId) -> bool {
+        self.genuine.binary_search(&(lhs, rhs)).is_ok()
+    }
+
+    /// All genuine pairs, sorted.
+    pub fn genuine_pairs(&self) -> &[(AttrId, AttrId)] {
+        &self.genuine
+    }
+
+    /// Ids of all attributes of a kind-class.
+    pub fn ids_where(&self, mut pred: impl FnMut(AttrKind) -> bool) -> Vec<AttrId> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| pred(k))
+            .map(|(id, _)| id as AttrId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genuine_pairs_follow_derivation() {
+        let truth = GroundTruth::from_kinds(vec![
+            AttrKind::Source,
+            AttrKind::Derived { source: 0, dirty: false, renamed: false },
+            AttrKind::Derived { source: 0, dirty: true, renamed: false },
+            AttrKind::Noise,
+        ]);
+        assert_eq!(truth.len(), 4);
+        assert!(truth.is_genuine(1, 0));
+        assert!(truth.is_genuine(2, 0));
+        assert!(!truth.is_genuine(0, 1), "direction matters");
+        assert!(!truth.is_genuine(1, 2), "siblings are not genuine");
+        assert!(!truth.is_genuine(3, 0));
+        assert_eq!(truth.genuine_pairs(), &[(1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn ids_where_selects_by_kind() {
+        let truth = GroundTruth::from_kinds(vec![
+            AttrKind::Source,
+            AttrKind::Derived { source: 0, dirty: true, renamed: false },
+            AttrKind::Noise,
+        ]);
+        assert_eq!(truth.ids_where(|k| matches!(k, AttrKind::Noise)), vec![2]);
+        assert_eq!(
+            truth.ids_where(|k| matches!(k, AttrKind::Derived { dirty: true, .. })),
+            vec![1]
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Experiment scaling and shared context.
+//!
+//! The paper runs on 1.3 M attributes and a 32-thread Xeon server; this
+//! harness scales every experiment by a [`Scale`] factor so the same code
+//! answers "does the shape hold?" in seconds (`Quick`), minutes
+//! (`Standard`), or as close to the paper as the machine allows (`Full`).
+
+/// How large the experiment workloads are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long runs for CI and smoke tests.
+    Quick,
+    /// The default for EXPERIMENTS.md numbers.
+    Standard,
+    /// Stress scale; hours.
+    Full,
+}
+
+impl Scale {
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "standard" => Some(Scale::Standard),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Attribute count of the main generated dataset.
+    pub fn num_attributes(&self) -> usize {
+        match self {
+            Scale::Quick => 1_500,
+            Scale::Standard => 12_000,
+            Scale::Full => 80_000,
+        }
+    }
+
+    /// Timeline length in days (the paper uses 6148).
+    pub fn timeline_days(&self) -> u32 {
+        match self {
+            Scale::Quick => 1_000,
+            Scale::Standard => 3_000,
+            Scale::Full => 6_148,
+        }
+    }
+
+    /// Number of sampled search queries per measurement (paper: 30 000).
+    pub fn num_queries(&self) -> usize {
+        match self {
+            Scale::Quick => 150,
+            Scale::Standard => 1_500,
+            Scale::Full => 30_000,
+        }
+    }
+}
+
+/// Shared context passed to every experiment runner.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Base RNG seed; experiments derive sub-seeds deterministically.
+    pub seed: u64,
+    /// Worker threads for all-pairs discovery (0 = all cores).
+    pub threads: usize,
+    /// Overrides the scale's attribute count (tests, custom runs).
+    pub attributes_override: Option<usize>,
+    /// Overrides the scale's query count.
+    pub queries_override: Option<usize>,
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        ExpContext {
+            scale: Scale::Quick,
+            seed: 0xEDB7_2024,
+            threads: 0,
+            attributes_override: None,
+            queries_override: None,
+        }
+    }
+}
+
+impl ExpContext {
+    /// Context at a given scale with default seed/threads.
+    pub fn at_scale(scale: Scale) -> Self {
+        ExpContext { scale, ..ExpContext::default() }
+    }
+
+    /// A deliberately tiny context for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        ExpContext {
+            scale: Scale::Quick,
+            seed,
+            threads: 2,
+            attributes_override: Some(160),
+            queries_override: Some(30),
+        }
+    }
+
+    /// Effective attribute count.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes_override.unwrap_or_else(|| self.scale.num_attributes())
+    }
+
+    /// Effective query count.
+    pub fn num_queries(&self) -> usize {
+        self.queries_override.unwrap_or_else(|| self.scale.num_queries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("STANDARD"), Some(Scale::Standard));
+        assert_eq!(Scale::parse("Full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Quick.num_attributes() < Scale::Standard.num_attributes());
+        assert!(Scale::Standard.num_attributes() < Scale::Full.num_attributes());
+        assert!(Scale::Quick.num_queries() < Scale::Full.num_queries());
+    }
+}

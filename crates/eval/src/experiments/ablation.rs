@@ -1,0 +1,89 @@
+//! Ablation of the Algorithm-1 pruning stages (a design-choice study
+//! beyond the paper's figures; see DESIGN.md).
+//!
+//! Measures query latency and surviving-candidate counts with each pruning
+//! stage disabled. Expected: the required-values stage does the heavy
+//! lifting (disabling it forces |D| validations); time slices and the
+//! exact filter trim the remainder.
+
+use tind_core::{IndexConfig, SearchOptions, TindIndex, TindParams};
+
+use crate::context::ExpContext;
+use crate::report::{fmt_duration, Report, TextTable};
+use crate::stats::LatencySummary;
+use crate::workload::{build_dataset, dataset_arc, sample_queries};
+
+/// Runs the stage ablation.
+pub fn run(ctx: &ExpContext) -> Report {
+    let generated = build_dataset(ctx, None);
+    let dataset = dataset_arc(&generated);
+    let index = TindIndex::build(dataset.clone(), IndexConfig { seed: ctx.seed, ..IndexConfig::default() });
+    let queries = sample_queries(dataset.len(), ctx.num_queries(), ctx.seed + 4);
+    let params = TindParams::paper_default();
+
+    let cases: [(&str, SearchOptions); 5] = [
+        ("full pipeline", SearchOptions::default()),
+        (
+            "no required values",
+            SearchOptions { use_required_values: false, ..SearchOptions::default() },
+        ),
+        ("no time slices", SearchOptions { use_time_slices: false, ..SearchOptions::default() }),
+        ("no exact filter", SearchOptions { use_exact_filter: false, ..SearchOptions::default() }),
+        (
+            "validation only",
+            SearchOptions {
+                use_required_values: false,
+                use_time_slices: false,
+                use_exact_filter: false,
+            },
+        ),
+    ];
+
+    let mut table =
+        TextTable::new(["configuration", "mean", "median", "p99", "validations/query"]);
+    let mut baseline: Option<Vec<Vec<u32>>> = None;
+    for (name, options) in cases {
+        let mut durations = Vec::with_capacity(queries.len());
+        let mut validations = 0usize;
+        let mut results: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+        for &qid in &queries {
+            let start = std::time::Instant::now();
+            let out = index.search_with_options(qid, &params, &options);
+            durations.push(start.elapsed());
+            validations += out.stats.validations_run;
+            results.push(out.results);
+        }
+        // Correctness invariant: every configuration returns identical
+        // results — stages only prune provably invalid candidates.
+        match &baseline {
+            None => baseline = Some(results),
+            Some(expected) => assert_eq!(expected, &results, "ablation changed results: {name}"),
+        }
+        let s = LatencySummary::compute(durations);
+        table.push_row([
+            name.to_string(),
+            fmt_duration(s.mean),
+            fmt_duration(s.median),
+            fmt_duration(s.p99),
+            format!("{:.1}", validations as f64 / queries.len() as f64),
+        ]);
+    }
+
+    let mut report = Report::new("ablation", "Contribution of each pruning stage", table);
+    report.note("expected: required values prune the bulk; disabling everything validates |D| candidates per query");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_reports_all_configurations() {
+        let report = run(&ExpContext::tiny(40));
+        assert_eq!(report.table.num_rows(), 5);
+        let full: f64 = report.table.rows()[0][4].parse().expect("validations");
+        let none: f64 = report.table.rows()[4][4].parse().expect("validations");
+        assert!(none > full, "validation-only must validate more ({none} vs {full})");
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 12: impact of the Bloom filter size m.
+//!
+//! Paper expectations: larger m → faster tIND search (fewer false-positive
+//! candidates), but *slower* reverse search (sparser filters mean more
+//! zero rows to AND-NOT per subset query).
+
+use tind_core::{IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind_model::WeightFn;
+
+use crate::context::ExpContext;
+use crate::experiments::{time_reverse_searches, time_searches};
+use crate::report::{fmt_duration, Report, TextTable};
+use crate::stats::LatencySummary;
+use crate::workload::{build_dataset, dataset_arc, sample_queries};
+
+/// Bloom filter sizes swept (paper: 512 – 4096 plus our extremes).
+pub const M_SWEEP: [u32; 6] = [256, 512, 1024, 2048, 4096, 8192];
+
+/// Runs the m sweep for both query directions.
+pub fn run(ctx: &ExpContext) -> Report {
+    let generated = build_dataset(ctx, None);
+    let dataset = dataset_arc(&generated);
+    let queries = sample_queries(dataset.len(), ctx.num_queries(), ctx.seed + 12);
+    let params = TindParams::paper_default();
+
+    let mut table =
+        TextTable::new(["m", "search mean", "search p99", "reverse mean", "reverse p99"]);
+    let mut fwd_series: Vec<(f64, f64)> = Vec::new();
+    let mut rev_series: Vec<(f64, f64)> = Vec::new();
+    for &m in &M_SWEEP {
+        let fwd_index = TindIndex::build(
+            dataset.clone(),
+            IndexConfig { m, seed: ctx.seed, ..IndexConfig::default() },
+        );
+        let (fwd, _) = time_searches(&fwd_index, &queries, &params);
+        let fwd = LatencySummary::compute(fwd);
+
+        let rev_index = TindIndex::build(
+            dataset.clone(),
+            IndexConfig {
+                m,
+                slices: SliceConfig::reverse_default(3.0, WeightFn::constant_one(), 7),
+                seed: ctx.seed,
+                build_reverse: true,
+                ..IndexConfig::default()
+            },
+        );
+        let (rev, _) = time_reverse_searches(&rev_index, &queries, &params);
+        let rev = LatencySummary::compute(rev);
+        fwd_series.push((f64::from(m), crate::report::as_micros(fwd.mean)));
+        rev_series.push((f64::from(m), crate::report::as_micros(rev.mean)));
+
+        table.push_row([
+            m.to_string(),
+            fmt_duration(fwd.mean),
+            fmt_duration(fwd.p99),
+            fmt_duration(rev.mean),
+            fmt_duration(rev.p99),
+        ]);
+    }
+
+    let mut report = Report::new("fig12", "Impact of Bloom filter size m on runtime", table);
+    report.note("paper shape: search mean falls with m; reverse mean rises with m (fewer severe outliers)");
+    report.set_figure(crate::figure::FigureSpec {
+        title: "Query runtime vs Bloom filter size m".into(),
+        x_label: "m (bits)".into(),
+        y_label: "mean query time (µs)".into(),
+        log_y: true,
+        log_x: true,
+        series: vec![
+            crate::figure::Series { label: "tIND search".into(), points: fwd_series },
+            crate::figure::Series { label: "reverse search".into(), points: rev_series },
+        ],
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_covers_all_sizes() {
+        let report = run(&ExpContext::tiny(12));
+        assert_eq!(report.table.num_rows(), M_SWEEP.len());
+    }
+}

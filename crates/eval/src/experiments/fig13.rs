@@ -1,0 +1,125 @@
+//! Figure 13: search runtime vs number of time slices k and slice
+//! selection strategy.
+//!
+//! Paper expectations: more slices help tIND search (diminishing returns);
+//! weighted-random wins for small k, plain random wins for large k (less
+//! slice redundancy). Like the paper, three query sets × three seeds.
+
+use tind_core::{IndexConfig, SliceConfig, SliceStrategy, TindIndex, TindParams};
+use tind_model::WeightFn;
+
+use crate::context::ExpContext;
+use crate::experiments::time_searches;
+use crate::report::{fmt_duration, Report, TextTable};
+use crate::stats::LatencySummary;
+use crate::workload::{build_dataset, dataset_arc, sample_queries};
+
+/// Slice counts swept.
+pub const K_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Measures mean runtime for one (k, strategy) cell across 3 seeds × 3
+/// query sets; returns (mean of means, min, max).
+pub(crate) fn measure_cell(
+    ctx: &ExpContext,
+    dataset: &std::sync::Arc<tind_model::Dataset>,
+    k: usize,
+    strategy: SliceStrategy,
+    reverse: bool,
+) -> (std::time::Duration, std::time::Duration, std::time::Duration) {
+    let params = TindParams::paper_default();
+    let queries_per_set = (ctx.num_queries() / 3).max(10);
+    let mut means = Vec::new();
+    for seed_offset in 0..3u64 {
+        let slices = SliceConfig {
+            k,
+            strategy,
+            sizing_eps: 3.0,
+            sizing_weights: WeightFn::constant_one(),
+            max_delta: 7,
+            expanded_disjoint: reverse,
+            start_stride: 4,
+            attr_sample: 64,
+        };
+        let index = TindIndex::build(
+            dataset.clone(),
+            IndexConfig {
+                m: if reverse { 512 } else { 4096 },
+                slices,
+                seed: ctx.seed ^ (seed_offset + 1),
+                build_reverse: reverse,
+                ..IndexConfig::default()
+            },
+        );
+        for qset in 0..3u64 {
+            let queries =
+                sample_queries(dataset.len(), queries_per_set, ctx.seed + 1000 + qset);
+            let (durations, _) = if reverse {
+                crate::experiments::time_reverse_searches(&index, &queries, &params)
+            } else {
+                time_searches(&index, &queries, &params)
+            };
+            means.push(LatencySummary::compute(durations).mean);
+        }
+    }
+    let min = *means.iter().min().expect("9 runs");
+    let max = *means.iter().max().expect("9 runs");
+    let mean = means.iter().sum::<std::time::Duration>() / means.len() as u32;
+    (mean, min, max)
+}
+
+/// Runs the (k × strategy) grid for forward search.
+pub fn run(ctx: &ExpContext) -> Report {
+    let generated = build_dataset(ctx, None);
+    let dataset = dataset_arc(&generated);
+
+    let mut table = TextTable::new(["k", "strategy", "mean of means", "min", "max"]);
+    let mut random_series: Vec<(f64, f64)> = Vec::new();
+    let mut weighted_series: Vec<(f64, f64)> = Vec::new();
+    for &k in &K_SWEEP {
+        for (strategy, name) in
+            [(SliceStrategy::Random, "random"), (SliceStrategy::WeightedRandom, "weighted")]
+        {
+            let (mean, min, max) = measure_cell(ctx, &dataset, k, strategy, false);
+            let point = (k as f64, crate::report::as_micros(mean));
+            if strategy == SliceStrategy::Random {
+                random_series.push(point);
+            } else {
+                weighted_series.push(point);
+            }
+            table.push_row([
+                k.to_string(),
+                name.to_string(),
+                fmt_duration(mean),
+                fmt_duration(min),
+                fmt_duration(max),
+            ]);
+        }
+    }
+
+    let mut report =
+        Report::new("fig13", "Search runtime vs slice count k and selection strategy", table);
+    report.note("paper shape: runtime falls with k; weighted better at small k, random better at k = 16");
+    report.set_figure(crate::figure::FigureSpec {
+        title: "Search runtime vs slice count k".into(),
+        x_label: "time slices k".into(),
+        y_label: "mean query time (µs)".into(),
+        log_y: false,
+        log_x: false,
+        series: vec![
+            crate::figure::Series { label: "random".into(), points: random_series },
+            crate::figure::Series { label: "weighted random".into(), points: weighted_series },
+        ],
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_grid_complete() {
+        let report = run(&ExpContext::tiny(13));
+        assert_eq!(report.table.num_rows(), K_SWEEP.len() * 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 14: reverse-search runtime vs number of time slices k.
+//!
+//! Paper expectation: unlike forward search, more than two slices *hurt*
+//! reverse queries — subset-direction slice checks are weak (only the
+//! minimum single-version weight can be charged) and each extra slice adds
+//! AND-NOT work.
+
+use tind_core::SliceStrategy;
+
+use crate::context::ExpContext;
+use crate::experiments::fig13::measure_cell;
+use crate::report::{fmt_duration, Report, TextTable};
+use crate::workload::{build_dataset, dataset_arc};
+
+/// Slice counts swept for reverse search.
+pub const K_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Runs the (k × strategy) grid for reverse search.
+pub fn run(ctx: &ExpContext) -> Report {
+    let generated = build_dataset(ctx, None);
+    let dataset = dataset_arc(&generated);
+
+    let mut table = TextTable::new(["k", "strategy", "mean of means", "min", "max"]);
+    let mut random_series: Vec<(f64, f64)> = Vec::new();
+    let mut weighted_series: Vec<(f64, f64)> = Vec::new();
+    for &k in &K_SWEEP {
+        for (strategy, name) in
+            [(SliceStrategy::Random, "random"), (SliceStrategy::WeightedRandom, "weighted")]
+        {
+            let (mean, min, max) = measure_cell(ctx, &dataset, k, strategy, true);
+            let point = (k as f64, crate::report::as_micros(mean));
+            if strategy == SliceStrategy::Random {
+                random_series.push(point);
+            } else {
+                weighted_series.push(point);
+            }
+            table.push_row([
+                k.to_string(),
+                name.to_string(),
+                fmt_duration(mean),
+                fmt_duration(min),
+                fmt_duration(max),
+            ]);
+        }
+    }
+
+    let mut report = Report::new("fig14", "Reverse-search runtime vs slice count k", table);
+    report.note("paper shape: k = 2 is the sweet spot; larger k increases runtime");
+    report.set_figure(crate::figure::FigureSpec {
+        title: "Reverse-search runtime vs slice count k".into(),
+        x_label: "time slices k".into(),
+        y_label: "mean query time (µs)".into(),
+        log_y: false,
+        log_x: false,
+        series: vec![
+            crate::figure::Series { label: "random".into(), points: random_series },
+            crate::figure::Series { label: "weighted random".into(), points: weighted_series },
+        ],
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_grid_complete() {
+        let report = run(&ExpContext::tiny(14));
+        assert_eq!(report.table.num_rows(), K_SWEEP.len() * 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 7: query runtimes for different numbers of indexed attributes.
+//!
+//! Paper expectations: median tIND search stays under ~100 ms at every
+//! input size; reverse search is ~2× slower but scales the same way;
+//! k-MANY is more than an order of magnitude slower and runs out of memory
+//! at the largest input sizes (reproduced here via the memory budget, see
+//! DESIGN.md).
+
+use tind_baseline::{KManyIndex, MemoryBudget};
+use tind_core::{IndexConfig, TindIndex, TindParams};
+
+use crate::context::ExpContext;
+use crate::experiments::{time_reverse_searches, time_searches};
+use crate::report::{fmt_duration, Report, TextTable};
+use crate::stats::LatencySummary;
+use crate::workload::{build_dataset, dataset_arc, sample_queries};
+
+/// Runs the scaling ladder.
+pub fn run(ctx: &ExpContext) -> Report {
+    let max_n = ctx.num_attributes();
+    let ladder = [max_n / 8, max_n / 4, max_n / 2, max_n];
+    // k-MANY must track one f64 per attribute per in-flight query; give it
+    // a budget that admits the smaller rungs but breaks at the last one —
+    // the scaled analogue of the paper machine OOMing from 1.2 M of 1.3 M
+    // attributes onwards.
+    let budget_bytes = (max_n as f64 * 0.92) as usize * tind_baseline::kmany::TRACKING_BYTES_PER_CANDIDATE;
+
+    let mut table = TextTable::new([
+        "attributes",
+        "search mean",
+        "search median",
+        "search p99",
+        "reverse mean",
+        "reverse median",
+        "k-MANY mean",
+    ]);
+    let params = TindParams::paper_default();
+    let mut fwd_series: Vec<(f64, f64)> = Vec::new();
+    let mut rev_series: Vec<(f64, f64)> = Vec::new();
+    let mut kmany_series: Vec<(f64, f64)> = Vec::new();
+
+    for (i, &n) in ladder.iter().enumerate() {
+        let generated = build_dataset(&ctx.clone_with_seed(ctx.seed + i as u64), Some(n));
+        let dataset = dataset_arc(&generated);
+        let queries = sample_queries(dataset.len(), ctx.num_queries(), ctx.seed + 77);
+
+        let fwd_index = TindIndex::build(dataset.clone(), IndexConfig::default());
+        let (fwd, _) = time_searches(&fwd_index, &queries, &params);
+        let fwd = LatencySummary::compute(fwd);
+
+        let rev_index = TindIndex::build(dataset.clone(), IndexConfig::reverse_default());
+        let (rev, _) = time_reverse_searches(&rev_index, &queries, &params);
+        let rev = LatencySummary::compute(rev);
+
+        let kmany = KManyIndex::build(dataset.clone(), 16, 4096, 2, params.delta, ctx.seed);
+        let budget = MemoryBudget::new(budget_bytes);
+        let mut kmany_durations = Vec::new();
+        let mut oom = false;
+        for &q in &queries {
+            let start = std::time::Instant::now();
+            match kmany.search(q, &params, &budget) {
+                Ok(_) => kmany_durations.push(start.elapsed()),
+                Err(_) => {
+                    oom = true;
+                    break;
+                }
+            }
+        }
+        let kmany_cell = if oom {
+            "OOM".to_string()
+        } else {
+            let mean = LatencySummary::compute(kmany_durations).mean;
+            kmany_series.push((n as f64, crate::report::as_micros(mean)));
+            fmt_duration(mean)
+        };
+        fwd_series.push((n as f64, crate::report::as_micros(fwd.mean)));
+        rev_series.push((n as f64, crate::report::as_micros(rev.mean)));
+
+        table.push_row([
+            n.to_string(),
+            fmt_duration(fwd.mean),
+            fmt_duration(fwd.median),
+            fmt_duration(fwd.p99),
+            fmt_duration(rev.mean),
+            fmt_duration(rev.median),
+            kmany_cell,
+        ]);
+    }
+
+    let mut report = Report::new(
+        "fig7",
+        "Runtimes for different numbers of indexed attributes",
+        table,
+    );
+    report.note(format!(
+        "k-MANY memory budget: {budget_bytes} bytes of violation-tracking state \
+         (breaks at the largest rung, mirroring the paper's OOM at 1.2M/1.3M attributes)"
+    ));
+    report.note("paper shape: search median < 100ms at all sizes; reverse ≈ 2× search; k-MANY ≥ 10× slower");
+    report.set_figure(crate::figure::FigureSpec {
+        title: "Mean query runtime vs indexed attributes".into(),
+        x_label: "attributes".into(),
+        y_label: "mean query time (µs)".into(),
+        log_y: true,
+        log_x: true,
+        series: vec![
+            crate::figure::Series { label: "tIND search".into(), points: fwd_series },
+            crate::figure::Series { label: "reverse search".into(), points: rev_series },
+            crate::figure::Series { label: "k-MANY".into(), points: kmany_series },
+        ],
+    });
+    report
+}
+
+impl ExpContext {
+    /// Clone with a different base seed (rung-specific datasets).
+    pub(crate) fn clone_with_seed(&self, seed: u64) -> ExpContext {
+        ExpContext { seed, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end run; asserts structure, not absolute times.
+    #[test]
+    fn fig7_smoke() {
+        let report = run(&ExpContext::tiny(11));
+        assert_eq!(report.table.num_rows(), 4);
+        let last = report.table.rows().last().expect("4 rows");
+        assert_eq!(last[6], "OOM", "largest rung must OOM");
+        // Smaller rungs must not OOM.
+        for row in &report.table.rows()[..3] {
+            assert_ne!(row[6], "OOM", "rung {} unexpectedly OOMed", row[0]);
+        }
+    }
+}

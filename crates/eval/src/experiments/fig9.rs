@@ -1,0 +1,93 @@
+//! Figure 9: average query runtime for varying ε and δ.
+//!
+//! Paper expectations: runtime grows roughly linearly with ε; δ has a much
+//! smaller effect except for very large settings (δ = 365), and even the
+//! most lenient combination stays interactive.
+
+use tind_core::{IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind_model::WeightFn;
+
+use crate::context::ExpContext;
+use crate::experiments::fig8::{delta_sweep, EPS_SWEEP};
+use crate::experiments::time_searches;
+use crate::report::{fmt_duration, Report, TextTable};
+use crate::stats::LatencySummary;
+use crate::workload::{build_dataset, dataset_arc, sample_queries};
+
+/// Runs the runtime sweep.
+pub fn run(ctx: &ExpContext) -> Report {
+    let generated = build_dataset(ctx, None);
+    let dataset = dataset_arc(&generated);
+    let queries = sample_queries(dataset.len(), ctx.num_queries(), ctx.seed + 9);
+
+    let mut table =
+        TextTable::new(["sweep", "ε (days)", "δ (days)", "mean", "median", "p99"]);
+    let mut eps_series: Vec<(f64, f64)> = Vec::new();
+    let mut delta_series: Vec<(f64, f64)> = Vec::new();
+
+    let mut measure = |sweep: &str, eps: f64, delta: u32| {
+        let index = TindIndex::build(
+            dataset.clone(),
+            IndexConfig {
+                slices: SliceConfig::search_default(eps, WeightFn::constant_one(), delta),
+                seed: ctx.seed,
+                ..IndexConfig::default()
+            },
+        );
+        let params = TindParams::weighted(eps, delta, WeightFn::constant_one());
+        let (durations, _) = time_searches(&index, &queries, &params);
+        let s = LatencySummary::compute(durations);
+        let point = (if sweep == "ε" { eps } else { f64::from(delta) }, crate::report::as_micros(s.mean));
+        if sweep == "ε" {
+            eps_series.push(point);
+        } else {
+            delta_series.push(point);
+        }
+        table.push_row([
+            sweep.to_string(),
+            format!("{eps}"),
+            delta.to_string(),
+            fmt_duration(s.mean),
+            fmt_duration(s.median),
+            fmt_duration(s.p99),
+        ]);
+    };
+
+    for &eps in &EPS_SWEEP {
+        measure("ε", eps, 7);
+    }
+    for delta in delta_sweep(ctx) {
+        measure("δ", 3.0, delta);
+    }
+
+    let mut report = Report::new("fig9", "Mean runtimes for varying ε and δ", table);
+    report.note("paper shape: ~linear growth in ε; δ nearly flat except very large settings");
+    report.set_figure(crate::figure::FigureSpec {
+        title: "Mean query runtime vs ε and δ".into(),
+        x_label: "parameter value (days)".into(),
+        y_label: "mean query time (µs)".into(),
+        log_y: true,
+        log_x: false,
+        series: vec![
+            crate::figure::Series { label: "ε sweep (δ=7)".into(), points: eps_series },
+            crate::figure::Series { label: "δ sweep (ε=3)".into(), points: delta_series },
+        ],
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_produces_all_rows() {
+        let ctx = ExpContext::tiny(9);
+        let report = run(&ctx);
+        let expected = EPS_SWEEP.len() + delta_sweep(&ctx).len();
+        assert_eq!(report.table.num_rows(), expected);
+        for row in report.table.rows() {
+            assert!(!row[3].is_empty());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! In-text latency claims (§5.2): mean 63 ms over 1.3 M attributes; 86.3%
+//! of queries under 100 ms; 99.8% under 1 s.
+
+use std::time::Duration;
+
+use tind_core::{IndexConfig, TindIndex, TindParams};
+
+use crate::context::ExpContext;
+use crate::experiments::time_searches;
+use crate::report::{fmt_duration, Report, TextTable};
+use crate::stats::LatencySummary;
+use crate::workload::{build_dataset, dataset_arc, sample_queries};
+
+/// Runs the latency distribution measurement at default parameters.
+pub fn run(ctx: &ExpContext) -> Report {
+    let generated = build_dataset(ctx, None);
+    let dataset = dataset_arc(&generated);
+    let index = TindIndex::build(dataset.clone(), IndexConfig { seed: ctx.seed, ..IndexConfig::default() });
+    let queries = sample_queries(dataset.len(), ctx.num_queries(), ctx.seed + 63);
+    let (durations, total_results) = time_searches(&index, &queries, &TindParams::paper_default());
+
+    let under_100ms = LatencySummary::fraction_within(&durations, Duration::from_millis(100));
+    let under_1s = LatencySummary::fraction_within(&durations, Duration::from_secs(1));
+    let histogram = crate::stats::ascii_histogram(&durations, 30);
+    let s = LatencySummary::compute(durations);
+
+    let mut table = TextTable::new(["metric", "value"]);
+    table.push_row(["attributes".to_string(), dataset.len().to_string()]);
+    table.push_row(["queries".to_string(), s.count.to_string()]);
+    table.push_row(["mean".to_string(), fmt_duration(s.mean)]);
+    table.push_row(["median".to_string(), fmt_duration(s.median)]);
+    table.push_row(["p99".to_string(), fmt_duration(s.p99)]);
+    table.push_row(["max".to_string(), fmt_duration(s.max)]);
+    table.push_row(["< 100ms".to_string(), format!("{:.1}%", under_100ms * 100.0)]);
+    table.push_row(["< 1s".to_string(), format!("{:.1}%", under_1s * 100.0)]);
+    table.push_row(["total results".to_string(), total_results.to_string()]);
+
+    let mut report = Report::new("latency", "Single-query latency at default parameters", table);
+    report.note("paper (1.3M attributes): mean 63ms, 86.3% < 100ms, 99.8% < 1s");
+    report.note(format!("latency distribution (log buckets):\n{histogram}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_report_is_fast_at_tiny_scale() {
+        let report = run(&ExpContext::tiny(63));
+        let under_1s = report
+            .table
+            .rows()
+            .iter()
+            .find(|r| r[0] == "< 1s")
+            .expect("metric present")[1]
+            .trim_end_matches('%')
+            .parse::<f64>()
+            .expect("percentage");
+        assert!(under_1s >= 99.0, "tiny-scale queries must be interactive, got {under_1s}%");
+    }
+}

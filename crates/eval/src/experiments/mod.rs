@@ -1,0 +1,100 @@
+//! The experiment registry: one runner per paper table/figure.
+
+use std::time::Duration;
+
+use tind_core::{TindIndex, TindParams};
+use tind_model::AttrId;
+
+use crate::context::ExpContext;
+use crate::report::Report;
+
+pub mod ablation;
+pub mod allpairs;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod latency;
+pub mod table2;
+
+/// An experiment runner.
+pub type Runner = fn(&ExpContext) -> Report;
+
+/// All registered experiments: `(id, description, runner)`.
+pub fn all() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        ("fig7", "query runtime vs number of indexed attributes (search / reverse / k-MANY)", fig7::run),
+        ("fig8", "number of tINDs found vs ε and δ", fig8::run),
+        ("fig9", "mean query runtime vs ε and δ", fig9::run),
+        ("fig10", "runtime impact of building the index for larger ε than queried", fig10::run),
+        ("fig11", "runtime impact of building the index for larger δ than queried", fig11::run),
+        ("fig12", "runtime vs Bloom filter size m (search and reverse)", fig12::run),
+        ("fig13", "search runtime vs slice count k and selection strategy", fig13::run),
+        ("fig14", "reverse-search runtime vs slice count k", fig14::run),
+        ("fig15", "precision-recall of genuine-IND discovery per tIND variant", fig15::run),
+        ("table2", "share of genuine static INDs per change-count bucket", table2::run),
+        ("allpairs", "all-pairs tIND discovery vs static IND discovery", allpairs::run),
+        ("latency", "single-query latency distribution at default parameters", latency::run),
+        ("ablation", "contribution of each Algorithm-1 pruning stage (beyond the paper)", ablation::run),
+    ]
+}
+
+/// Runs an experiment by id.
+pub fn run_by_id(id: &str, ctx: &ExpContext) -> Option<Report> {
+    all().into_iter().find(|(eid, _, _)| *eid == id).map(|(_, _, runner)| runner(ctx))
+}
+
+/// Times one forward search per query id.
+pub(crate) fn time_searches(
+    index: &TindIndex,
+    queries: &[AttrId],
+    params: &TindParams,
+) -> (Vec<Duration>, usize) {
+    let mut durations = Vec::with_capacity(queries.len());
+    let mut total_results = 0usize;
+    for &q in queries {
+        let start = std::time::Instant::now();
+        let out = index.search(q, params);
+        durations.push(start.elapsed());
+        total_results += out.results.len();
+    }
+    (durations, total_results)
+}
+
+/// Times one reverse search per query id.
+pub(crate) fn time_reverse_searches(
+    index: &TindIndex,
+    queries: &[AttrId],
+    params: &TindParams,
+) -> (Vec<Duration>, usize) {
+    let mut durations = Vec::with_capacity(queries.len());
+    let mut total_results = 0usize;
+    for &q in queries {
+        let start = std::time::Instant::now();
+        let out = index.reverse_search(q, params);
+        durations.push(start.elapsed());
+        total_results += out.results.len();
+    }
+    (durations, total_results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_resolvable() {
+        let reg = all();
+        assert_eq!(reg.len(), 13);
+        let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13, "duplicate experiment ids");
+        assert!(run_by_id("nonexistent", &ExpContext::default()).is_none());
+    }
+}

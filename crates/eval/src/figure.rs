@@ -1,0 +1,332 @@
+//! Minimal SVG line-chart rendering — regenerating the paper's *figures*,
+//! not just their data tables.
+//!
+//! Hand-rolled (no plotting dependency): linear or log₁₀ y-axis, nice-number
+//! ticks, multi-series polylines with point markers, and a legend. The
+//! output is a standalone `.svg` file.
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates, ascending x.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure specification.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Render the y-axis in log₁₀ scale.
+    pub log_y: bool,
+    /// Render the x-axis in log₁₀ scale.
+    pub log_x: bool,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+/// Categorical palette (color-blind friendly).
+const COLORS: [&str; 7] =
+    ["#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#000000"];
+
+/// Computes ~`target` "nice" tick positions covering `[lo, hi]`.
+fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target.max(1) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        let s = format!("{v:.1}");
+        s.strip_suffix(".0").map(str::to_string).unwrap_or(s)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+impl FigureSpec {
+    /// Renders the figure as a standalone SVG document.
+    ///
+    /// # Panics
+    /// Panics if no series contains a point, or a log axis sees a
+    /// non-positive coordinate.
+    pub fn render_svg(&self) -> String {
+        use std::fmt::Write as _;
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        assert!(!all.is_empty(), "figure needs at least one data point");
+
+        let tx = |v: f64| if self.log_x { v.log10() } else { v };
+        let ty = |v: f64| if self.log_y { v.log10() } else { v };
+        if self.log_y {
+            assert!(all.iter().all(|&(_, y)| y > 0.0), "log y-axis needs positive values");
+        }
+        if self.log_x {
+            assert!(all.iter().all(|&(x, _)| x > 0.0), "log x-axis needs positive values");
+        }
+
+        let (mut x_lo, mut x_hi) = all
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(tx(x)), hi.max(tx(x))));
+        let (mut y_lo, mut y_hi) = all
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(ty(y)), hi.max(ty(y))));
+        if x_hi - x_lo < 1e-12 {
+            x_lo -= 0.5;
+            x_hi += 0.5;
+        }
+        if y_hi - y_lo < 1e-12 {
+            y_lo -= 0.5;
+            y_hi += 0.5;
+        }
+        // Breathing room on the y-axis.
+        let pad = (y_hi - y_lo) * 0.06;
+        y_lo -= pad;
+        y_hi += pad;
+
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (tx(x) - x_lo) / (x_hi - x_lo) * plot_w;
+        let py = |y: f64| MARGIN_T + plot_h - (ty(y) - y_lo) / (y_hi - y_lo) * plot_h;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+             viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">"
+        );
+        let _ = writeln!(svg, "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>");
+        let _ = writeln!(
+            svg,
+            "<text x=\"{:.1}\" y=\"22\" text-anchor=\"middle\" font-size=\"15\" font-weight=\"bold\">{}</text>",
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+
+        // Gridlines + ticks.
+        for t in nice_ticks(y_lo, y_hi, 6) {
+            let y = MARGIN_T + plot_h - (t - y_lo) / (y_hi - y_lo) * plot_h;
+            let label = if self.log_y { fmt_tick(10f64.powf(t)) } else { fmt_tick(t) };
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#dddddd\"/>",
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{label}</text>",
+                MARGIN_L - 6.0,
+                y + 4.0
+            );
+        }
+        for t in nice_ticks(x_lo, x_hi, 7) {
+            let x = MARGIN_L + (t - x_lo) / (x_hi - x_lo) * plot_w;
+            let label = if self.log_x { fmt_tick(10f64.powf(t)) } else { fmt_tick(t) };
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{x:.1}\" y1=\"{MARGIN_T}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#eeeeee\"/>",
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                svg,
+                "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{label}</text>",
+                MARGIN_T + plot_h + 18.0
+            );
+        }
+
+        // Axes.
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{plot_w:.1}\" height=\"{plot_h:.1}\" \
+             fill=\"none\" stroke=\"#333333\"/>"
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"16\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {:.1})\">{}</text>",
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series.
+        for (si, series) in self.series.iter().enumerate() {
+            let color = COLORS[si % COLORS.len()];
+            if series.points.is_empty() {
+                continue;
+            }
+            let path: Vec<String> =
+                series.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y))).collect();
+            let _ = writeln!(
+                svg,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>",
+                path.join(" ")
+            );
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    svg,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>",
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + si as f64 * 18.0;
+            let lx = MARGIN_L + plot_w + 12.0;
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{lx:.1}\" y1=\"{ly:.1}\" x2=\"{:.1}\" y2=\"{ly:.1}\" stroke=\"{color}\" stroke-width=\"2\"/>",
+                lx + 18.0
+            );
+            let _ = writeln!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+                lx + 24.0,
+                ly + 4.0,
+                escape(&series.label)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FigureSpec {
+        FigureSpec {
+            title: "Latency vs <attributes>".into(),
+            x_label: "attributes".into(),
+            y_label: "mean µs".into(),
+            log_y: false,
+            log_x: false,
+            series: vec![
+                Series { label: "search".into(), points: vec![(1.0, 10.0), (2.0, 12.0), (4.0, 15.0)] },
+                Series { label: "reverse".into(), points: vec![(1.0, 20.0), (2.0, 25.0), (4.0, 40.0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = spec().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("search"));
+        assert!(svg.contains("reverse"));
+        assert!(svg.contains("&lt;attributes&gt;"), "title must be escaped");
+    }
+
+    #[test]
+    fn log_scale_ticks_are_powers() {
+        let mut s = spec();
+        s.log_y = true;
+        s.series[0].points = vec![(1.0, 1.0), (2.0, 100.0), (4.0, 10_000.0)];
+        s.series.truncate(1);
+        let svg = s.render_svg();
+        assert!(svg.contains(">100<") || svg.contains(">1e2<"), "{svg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn log_scale_rejects_zero() {
+        let mut s = spec();
+        s.log_y = true;
+        s.series[0].points.push((8.0, 0.0));
+        s.render_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data point")]
+    fn empty_figure_rejected() {
+        let s = FigureSpec {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_y: false,
+            log_x: false,
+            series: vec![],
+        };
+        s.render_svg();
+    }
+
+    #[test]
+    fn nice_ticks_cover_the_range() {
+        let ticks = nice_ticks(0.0, 100.0, 5);
+        assert!(ticks.len() >= 4 && ticks.len() <= 8, "{ticks:?}");
+        assert!(ticks.windows(2).all(|w| w[1] > w[0]));
+        assert!(*ticks.first().unwrap() >= 0.0);
+        assert!(*ticks.last().unwrap() <= 100.0 + 1e-9);
+        assert_eq!(nice_ticks(5.0, 5.0, 4), vec![5.0]);
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let s = FigureSpec {
+            title: "point".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_y: false,
+            log_x: false,
+            series: vec![Series { label: "p".into(), points: vec![(3.0, 7.0)] }],
+        };
+        let svg = s.render_svg();
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # tind-eval
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 5) on synthetic, paper-shaped data.
+//!
+//! Each experiment is a named runner producing a [`report::Report`] whose
+//! rows correspond to the series the paper plots:
+//!
+//! | id | paper artifact |
+//! |---|---|
+//! | `fig7` | query runtimes vs number of indexed attributes (search, reverse, k-MANY incl. OOM) |
+//! | `fig8` | number of tINDs found vs ε and δ |
+//! | `fig9` | mean query runtime vs ε and δ |
+//! | `fig10` | runtime with index built for larger ε than queried |
+//! | `fig11` | runtime with index built for larger δ than queried |
+//! | `fig12` | runtime vs Bloom filter size m (search and reverse) |
+//! | `fig13` | runtime vs slice count k and selection strategy (search) |
+//! | `fig14` | runtime vs slice count k (reverse) |
+//! | `fig15` | precision-recall of static/strict/ε/εδ/wεδ variants |
+//! | `table2` | % genuine static INDs per change-count bucket |
+//! | `allpairs` | all-pairs discovery; tIND vs static IND counts |
+//! | `latency` | single-query latency distribution at default parameters |
+//! | `ablation` | (beyond the paper) per-stage pruning contributions |
+//!
+//! Experiments scale with [`context::Scale`]; `Quick` finishes in seconds
+//! for CI, `Standard`/`Full` approach the paper's shape trends.
+
+pub mod context;
+pub mod experiments;
+pub mod figure;
+pub mod prcurve;
+pub mod report;
+pub mod stats;
+pub mod workload;
+
+pub use context::{ExpContext, Scale};
+pub use report::Report;

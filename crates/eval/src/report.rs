@@ -1,0 +1,201 @@
+//! Plain-text and CSV report rendering.
+
+/// A rectangular results table with named columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header count.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as RFC-4180-style CSV (quotes fields containing separators).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let render = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect();
+            writeln!(f, "| {} |", line.join(" | "))
+        };
+        render(f, &self.headers)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", sep.join("-+-"))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// One experiment's full output.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `fig7`.
+    pub id: String,
+    /// Human-readable title (what the paper artifact shows).
+    pub title: String,
+    /// The result rows.
+    pub table: TextTable,
+    /// Free-form annotations: paper-expectation reminders, scaling notes.
+    pub notes: Vec<String>,
+    /// Renderable figure, when the experiment maps naturally onto a chart.
+    pub figure: Option<crate::figure::FigureSpec>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, table: TextTable) -> Self {
+        Report { id: id.into(), title: title.into(), table, notes: Vec::new(), figure: None }
+    }
+
+    /// Appends an annotation line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches a figure.
+    pub fn set_figure(&mut self, figure: crate::figure::FigureSpec) -> &mut Self {
+        self.figure = Some(figure);
+        self
+    }
+}
+
+/// Microseconds of a duration as f64 (figure y-values).
+pub fn as_micros(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        write!(f, "{}", self.table)?;
+        for n in &self.notes {
+            writeln!(f, "  * {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a duration in adaptive units (µs / ms / s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.0}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["metric", "value"]);
+        t.push_row(["mean", "63ms"]);
+        t.push_row(["a-much-longer-metric-name", "1"]);
+        let s = t.to_string();
+        assert!(s.contains("| metric"));
+        assert!(s.lines().count() == 4);
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines same width: {widths:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_fields() {
+        let mut t = TextTable::new(["name", "note"]);
+        t.push_row(["plain", "a,b"]);
+        t.push_row(["quo\"te", "line"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"quo\"\"te\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn report_display_includes_notes() {
+        let mut t = TextTable::new(["x"]);
+        t.push_row(["1"]);
+        let mut r = Report::new("fig0", "demo", t);
+        r.note("expect monotone growth");
+        let s = r.to_string();
+        assert!(s.contains("== fig0"));
+        assert!(s.contains("* expect monotone growth"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_duration(Duration::from_millis(63)), "63.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

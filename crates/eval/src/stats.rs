@@ -1,0 +1,210 @@
+//! Latency statistics: the distribution summaries behind the paper's
+//! boxplots and in-text percentages ("86.3% of all queries are answered in
+//! under 100 milliseconds").
+
+use std::time::Duration;
+
+/// Summary of a latency sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Number of measurements.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Minimum.
+    pub min: Duration,
+    /// 25th percentile.
+    pub p25: Duration,
+    /// Median.
+    pub median: Duration,
+    /// 75th percentile.
+    pub p75: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Computes the summary; consumes and sorts the sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn compute(mut sample: Vec<Duration>) -> Self {
+        assert!(!sample.is_empty(), "cannot summarize an empty latency sample");
+        sample.sort_unstable();
+        let count = sample.len();
+        let total: Duration = sample.iter().sum();
+        LatencySummary {
+            count,
+            mean: total / count as u32,
+            min: sample[0],
+            p25: percentile_sorted(&sample, 25.0),
+            median: percentile_sorted(&sample, 50.0),
+            p75: percentile_sorted(&sample, 75.0),
+            p99: percentile_sorted(&sample, 99.0),
+            max: sample[count - 1],
+        }
+    }
+
+    /// Fraction of the sample at or below `threshold`; requires the
+    /// original sample.
+    pub fn fraction_within(sample: &[Duration], threshold: Duration) -> f64 {
+        if sample.is_empty() {
+            return 0.0;
+        }
+        sample.iter().filter(|&&d| d <= threshold).count() as f64 / sample.len() as f64
+    }
+}
+
+/// Nearest-rank percentile over a sorted sample.
+pub fn percentile_sorted(sorted: &[Duration], pct: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&pct));
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Times a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Renders a log-scale ASCII histogram of a latency sample (one line per
+/// decade bucket between the sample's min and max), for at-a-glance
+/// distribution views in experiment reports.
+pub fn ascii_histogram(sample: &[Duration], max_bar: usize) -> String {
+    use std::fmt::Write as _;
+    if sample.is_empty() {
+        return "(empty sample)\n".to_string();
+    }
+    let min_us = sample.iter().map(Duration::as_micros).min().expect("non-empty").max(1) as f64;
+    let max_us = sample.iter().map(Duration::as_micros).max().expect("non-empty").max(1) as f64;
+    // Half-decade buckets across the observed span.
+    let lo = min_us.log10().floor() * 2.0;
+    let hi = max_us.log10().ceil() * 2.0;
+    let n_buckets = ((hi - lo) as usize).max(1);
+    let mut counts = vec![0usize; n_buckets];
+    for d in sample {
+        let us = (d.as_micros().max(1)) as f64;
+        let idx = (((us.log10() * 2.0) - lo) as usize).min(n_buckets - 1);
+        counts[idx] += 1;
+    }
+    let peak = *counts.iter().max().expect("non-empty").max(&1);
+    let mut out = String::new();
+    for (i, &count) in counts.iter().enumerate() {
+        let lo_us = 10f64.powf((lo + i as f64) / 2.0);
+        let hi_us = 10f64.powf((lo + i as f64 + 1.0) / 2.0);
+        let bar = "#".repeat((count * max_bar).div_ceil(peak).min(max_bar) * usize::from(count > 0));
+        let _ = writeln!(
+            out,
+            "{:>9} – {:<9} |{bar:<width$}| {count}",
+            fmt_duration(Duration::from_micros(lo_us as u64)),
+            fmt_duration(Duration::from_micros(hi_us as u64)),
+            width = max_bar
+        );
+    }
+    out
+}
+
+use crate::report::fmt_duration;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn summary_of_uniform_sample() {
+        let sample: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = LatencySummary::compute(sample.clone());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(s.median, ms(50));
+        assert_eq!(s.p25, ms(25));
+        assert_eq!(s.p75, ms(75));
+        assert_eq!(s.p99, ms(99));
+        assert_eq!(s.mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn summary_of_single_element() {
+        let s = LatencySummary::compute(vec![ms(7)]);
+        assert_eq!(s.min, ms(7));
+        assert_eq!(s.median, ms(7));
+        assert_eq!(s.p99, ms(7));
+        assert_eq!(s.max, ms(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty latency sample")]
+    fn summary_rejects_empty() {
+        LatencySummary::compute(Vec::new());
+    }
+
+    #[test]
+    fn fraction_within_threshold() {
+        let sample: Vec<Duration> = (1..=10).map(ms).collect();
+        assert_eq!(LatencySummary::fraction_within(&sample, ms(5)), 0.5);
+        assert_eq!(LatencySummary::fraction_within(&sample, ms(100)), 1.0);
+        assert_eq!(LatencySummary::fraction_within(&sample, Duration::ZERO), 0.0);
+        assert_eq!(LatencySummary::fraction_within(&[], ms(1)), 0.0);
+    }
+
+    #[test]
+    fn time_it_measures_and_returns() {
+        let (v, d) = time_it(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_sample() {
+        let sample: Vec<Duration> = vec![
+            ms(1),
+            ms(1),
+            ms(2),
+            ms(10),
+            ms(50),
+            ms(400),
+        ];
+        let h = ascii_histogram(&sample, 20);
+        // Every sample lands in some bucket: counts on the right sum to 6.
+        let total: usize = h
+            .lines()
+            .filter_map(|l| l.rsplit('|').next())
+            .filter_map(|c| c.trim().parse::<usize>().ok())
+            .sum();
+        assert_eq!(total, 6, "histogram:\n{h}");
+        assert!(h.contains('#'));
+        assert_eq!(ascii_histogram(&[], 10), "(empty sample)\n");
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let h = ascii_histogram(&[ms(5), ms(5)], 10);
+        let total: usize = h
+            .lines()
+            .filter_map(|l| l.rsplit('|').next())
+            .filter_map(|c| c.trim().parse::<usize>().ok())
+            .sum();
+        assert_eq!(total, 2, "histogram:\n{h}");
+    }
+
+    #[test]
+    fn percentile_unsorted_order_independent_after_sort() {
+        let mut sample: Vec<Duration> = vec![ms(9), ms(1), ms(5)];
+        sample.sort_unstable();
+        assert_eq!(percentile_sorted(&sample, 0.0), ms(1));
+        assert_eq!(percentile_sorted(&sample, 100.0), ms(9));
+    }
+}

@@ -1,0 +1,422 @@
+//! Compact hand-rolled binary serialization for datasets.
+//!
+//! Datasets at experiment scale hold millions of versions; a dedicated
+//! binary format (varints, delta-encoded timestamps and value ids) keeps
+//! files small and loading fast without pulling in a serialization
+//! framework. The format is versioned via a magic header.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::history::HistoryBuilder;
+use crate::time::Timeline;
+use crate::value::ValueId;
+
+/// Magic bytes identifying a serialized dataset, including a format version.
+pub const MAGIC: &[u8; 8] = b"TINDDS\x00\x01";
+
+/// Errors arising while decoding a serialized dataset.
+#[derive(Debug)]
+pub enum BinIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The byte stream does not conform to the format.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for BinIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinIoError::Io(e) => write!(f, "i/o error: {e}"),
+            BinIoError::Corrupt(msg) => write!(f, "corrupt dataset file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BinIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BinIoError::Io(e) => Some(e),
+            BinIoError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BinIoError {
+    fn from(e: std::io::Error) -> Self {
+        BinIoError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> BinIoError {
+    BinIoError::Corrupt(msg.into())
+}
+
+/// LEB128-style unsigned varint encoding.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decodes a varint, failing on truncation or overlong (>10 byte) encodings.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, BinIoError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(corrupt("truncated varint"));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(corrupt("varint overflows u64"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, BinIoError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("truncated string"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| corrupt("invalid utf-8 in string"))
+}
+
+/// Serializes `dataset` into a byte buffer.
+pub fn encode_dataset(dataset: &Dataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 20);
+    buf.put_slice(MAGIC);
+    put_varint(&mut buf, u64::from(dataset.timeline().len()));
+    // Dictionary, in id order so ids are implicit.
+    put_varint(&mut buf, dataset.dictionary().len() as u64);
+    for (_, s) in dataset.dictionary().iter() {
+        put_str(&mut buf, s);
+    }
+    put_varint(&mut buf, dataset.len() as u64);
+    for h in dataset.attributes() {
+        put_str(&mut buf, h.name());
+        put_varint(&mut buf, u64::from(h.last_observed()));
+        put_varint(&mut buf, h.versions().len() as u64);
+        let mut prev_start = 0u32;
+        for v in h.versions() {
+            put_varint(&mut buf, u64::from(v.start - prev_start));
+            prev_start = v.start;
+            put_varint(&mut buf, v.values.len() as u64);
+            let mut prev_val: u64 = 0;
+            for &val in &v.values {
+                // Values are sorted ascending; delta-encode.
+                put_varint(&mut buf, u64::from(val) - prev_val);
+                prev_val = u64::from(val);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a dataset from bytes produced by [`encode_dataset`].
+pub fn decode_dataset(bytes: Bytes) -> Result<Dataset, BinIoError> {
+    let mut buf = bytes;
+    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err(corrupt("bad magic header"));
+    }
+    let timeline_len =
+        u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("timeline length overflow"))?;
+    if timeline_len == 0 {
+        return Err(corrupt("zero-length timeline"));
+    }
+    let mut builder = DatasetBuilder::new(Timeline::new(timeline_len));
+    let dict_len = get_varint(&mut buf)? as usize;
+    for expected_id in 0..dict_len {
+        let s = get_str(&mut buf)?;
+        let id = builder.dictionary_mut().intern(&s);
+        if id as usize != expected_id {
+            return Err(corrupt(format!("duplicate dictionary entry '{s}'")));
+        }
+    }
+    let num_attrs = get_varint(&mut buf)? as usize;
+    for _ in 0..num_attrs {
+        let name = get_str(&mut buf)?;
+        let last_observed =
+            u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("last_observed overflow"))?;
+        let num_versions = get_varint(&mut buf)? as usize;
+        if num_versions == 0 {
+            return Err(corrupt(format!("attribute '{name}' has no versions")));
+        }
+        let mut hb = HistoryBuilder::new(&name);
+        let mut start = 0u32;
+        for vi in 0..num_versions {
+            let delta =
+                u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("start delta overflow"))?;
+            if vi > 0 && delta == 0 {
+                return Err(corrupt(format!("attribute '{name}': non-increasing version start")));
+            }
+            start += delta;
+            let card = get_varint(&mut buf)? as usize;
+            let mut values: Vec<ValueId> = Vec::with_capacity(card);
+            let mut val: u64 = 0;
+            for ci in 0..card {
+                let d = get_varint(&mut buf)?;
+                if ci > 0 && d == 0 {
+                    return Err(corrupt("duplicate value id in version"));
+                }
+                val += d;
+                let id = u32::try_from(val).map_err(|_| corrupt("value id overflow"))?;
+                if id as usize >= dict_len {
+                    return Err(corrupt(format!("value id {id} outside dictionary")));
+                }
+                values.push(id);
+            }
+            hb.push(start, values);
+        }
+        if last_observed < start || last_observed >= timeline_len {
+            return Err(corrupt(format!("attribute '{name}': invalid last_observed")));
+        }
+        builder.add_history(hb.finish(last_observed));
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes after dataset"));
+    }
+    Ok(builder.build())
+}
+
+/// Serializes a weight function (tag byte + payload).
+pub fn put_weight_fn(buf: &mut BytesMut, w: &crate::WeightFn) {
+    use crate::WeightFn;
+    match w {
+        WeightFn::Constant { per_timestamp } => {
+            buf.put_u8(0);
+            buf.put_f64(*per_timestamp);
+        }
+        WeightFn::ExponentialDecay { a, n } => {
+            buf.put_u8(1);
+            buf.put_f64(*a);
+            put_varint(buf, u64::from(*n));
+        }
+        WeightFn::LinearDecay { n } => {
+            buf.put_u8(2);
+            put_varint(buf, u64::from(*n));
+        }
+        WeightFn::Piecewise { prefix } => {
+            buf.put_u8(3);
+            put_varint(buf, prefix.len() as u64);
+            for &p in prefix.iter() {
+                buf.put_f64(p);
+            }
+        }
+    }
+}
+
+/// Deserializes a weight function written by [`put_weight_fn`].
+pub fn get_weight_fn(buf: &mut Bytes) -> Result<crate::WeightFn, BinIoError> {
+    use crate::WeightFn;
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated weight function"));
+    }
+    let tag = buf.get_u8();
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(corrupt("truncated weight function payload"))
+        } else {
+            Ok(())
+        }
+    };
+    match tag {
+        0 => {
+            need(buf, 8)?;
+            Ok(WeightFn::Constant { per_timestamp: buf.get_f64() })
+        }
+        1 => {
+            need(buf, 8)?;
+            let a = buf.get_f64();
+            let n = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("n overflow"))?;
+            if !(a > 0.0 && a < 1.0) {
+                return Err(corrupt("decay base out of range"));
+            }
+            Ok(WeightFn::ExponentialDecay { a, n })
+        }
+        2 => {
+            let n = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("n overflow"))?;
+            Ok(WeightFn::LinearDecay { n })
+        }
+        3 => {
+            let len = get_varint(buf)? as usize;
+            need(buf, len.checked_mul(8).ok_or_else(|| corrupt("prefix overflow"))?)?;
+            let mut prefix = Vec::with_capacity(len);
+            for _ in 0..len {
+                prefix.push(buf.get_f64());
+            }
+            if prefix.windows(2).any(|w| w[1] < w[0]) || prefix.first() != Some(&0.0) {
+                return Err(corrupt("invalid weight prefix sums"));
+            }
+            Ok(WeightFn::Piecewise { prefix: std::sync::Arc::new(prefix) })
+        }
+        other => Err(corrupt(format!("unknown weight function tag {other}"))),
+    }
+}
+
+/// A 64-bit fingerprint of a dataset's serialized form; persisted indexes
+/// store it so a stale index cannot silently be used with a different
+/// dataset.
+pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
+    crate::hash::hash_bytes(&encode_dataset(dataset))
+}
+
+/// Writes `dataset` to the file at `path`.
+pub fn write_dataset_file(dataset: &Dataset, path: &std::path::Path) -> Result<(), BinIoError> {
+    std::fs::write(path, encode_dataset(dataset))?;
+    Ok(())
+}
+
+/// Reads a dataset from the file at `path`.
+pub fn read_dataset_file(path: &std::path::Path) -> Result<Dataset, BinIoError> {
+    let raw = std::fs::read(path)?;
+    decode_dataset(Bytes::from(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timeline;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new(Timeline::new(100));
+        b.add_attribute(
+            "games",
+            &[(0, vec!["red", "blue"]), (40, vec!["red", "blue", "gold"])],
+            99,
+        );
+        b.add_attribute("devs", &[(10, vec!["masuda", "morimoto"])], 80);
+        b.add_attribute("empty-ish", &[(5, Vec::<&str>::new())], 9);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = sample();
+        let bytes = encode_dataset(&d);
+        let d2 = decode_dataset(bytes).expect("decodes");
+        assert_eq!(d2.timeline(), d.timeline());
+        assert_eq!(d2.len(), d.len());
+        assert_eq!(d2.dictionary().len(), d.dictionary().len());
+        for (id, h) in d.iter() {
+            let h2 = d2.attribute(id);
+            assert_eq!(h2.name(), h.name());
+            assert_eq!(h2.versions(), h.versions());
+            assert_eq!(h2.last_observed(), h.last_observed());
+        }
+        // Interning must produce identical ids after roundtrip.
+        assert_eq!(d.dictionary().get("gold"), d2.dictionary().get("gold"));
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = BytesMut::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for &v in &values {
+            assert_eq!(get_varint(&mut bytes).expect("decodes"), v);
+        }
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = decode_dataset(Bytes::from_static(b"NOTADATASET")).expect_err("must fail");
+        assert!(matches!(err, BinIoError::Corrupt(_)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode_dataset(&sample());
+        for cut in [MAGIC.len(), bytes.len() / 2, bytes.len() - 1] {
+            let truncated = bytes.slice(0..cut);
+            assert!(decode_dataset(truncated).is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut raw = encode_dataset(&sample()).to_vec();
+        raw.push(0x42);
+        assert!(decode_dataset(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("tind-model-binio-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("sample.tind");
+        let d = sample();
+        write_dataset_file(&d, &path).expect("write");
+        let d2 = read_dataset_file(&path).expect("read");
+        assert_eq!(d2.len(), d.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weight_fn_roundtrip() {
+        let tl = Timeline::new(30);
+        let fns = [
+            crate::WeightFn::constant_one(),
+            crate::WeightFn::uniform_normalized(tl),
+            crate::WeightFn::exponential(0.97, tl),
+            crate::WeightFn::linear(tl),
+            crate::WeightFn::piecewise(&[1.0, 0.5, 0.0, 2.0]),
+        ];
+        for w in fns {
+            let mut buf = BytesMut::new();
+            put_weight_fn(&mut buf, &w);
+            let mut bytes = buf.freeze();
+            let w2 = get_weight_fn(&mut bytes).expect("roundtrip decodes");
+            assert_eq!(w, w2);
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn weight_fn_rejects_garbage() {
+        assert!(get_weight_fn(&mut Bytes::from_static(&[9])).is_err());
+        assert!(get_weight_fn(&mut Bytes::new()).is_err());
+        assert!(get_weight_fn(&mut Bytes::from_static(&[1, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_datasets() {
+        let a = sample();
+        let mut b = DatasetBuilder::new(Timeline::new(100));
+        b.add_attribute("other", &[(0, vec!["x", "y", "z", "w", "v"])], 99);
+        let b = b.build();
+        assert_eq!(dataset_fingerprint(&a), dataset_fingerprint(&a));
+        assert_ne!(dataset_fingerprint(&a), dataset_fingerprint(&b));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = corrupt("boom");
+        assert!(e.to_string().contains("boom"));
+        let io: BinIoError = std::io::Error::other("disk on fire").into();
+        assert!(io.to_string().contains("disk on fire"));
+        use std::error::Error;
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,191 @@
+//! Version diffing: histories as change streams.
+//!
+//! Attribute histories store full value sets per version; change-oriented
+//! consumers (incremental maintenance, update-stream replay, storage
+//! compaction) want the *deltas*. This module converts both ways and
+//! proves the conversions inverse in its property tests.
+
+use crate::history::{AttributeHistory, HistoryBuilder};
+use crate::time::Timestamp;
+use crate::value::{self, ValueId, ValueSet};
+
+/// One change to an attribute's value set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionDelta {
+    /// Timestamp the change takes effect.
+    pub at: Timestamp,
+    /// Values added (canonical set).
+    pub added: ValueSet,
+    /// Values removed (canonical set).
+    pub removed: ValueSet,
+}
+
+impl VersionDelta {
+    /// Total number of touched values.
+    pub fn churn(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// Computes the canonical added/removed sets between two versions.
+pub fn set_delta(before: &[ValueId], after: &[ValueId]) -> (ValueSet, ValueSet) {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < before.len() && j < after.len() {
+        match before[i].cmp(&after[j]) {
+            std::cmp::Ordering::Less => {
+                removed.push(before[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(after[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend_from_slice(&before[i..]);
+    added.extend_from_slice(&after[j..]);
+    (added, removed)
+}
+
+/// Decomposes a history into its initial version plus a delta stream.
+pub fn to_deltas(history: &AttributeHistory) -> (ValueSet, Vec<VersionDelta>) {
+    let versions = history.versions();
+    let initial = versions[0].values.clone();
+    let deltas = versions
+        .windows(2)
+        .map(|w| {
+            let (added, removed) = set_delta(&w[0].values, &w[1].values);
+            VersionDelta { at: w[1].start, added, removed }
+        })
+        .collect();
+    (initial, deltas)
+}
+
+/// Reassembles a history from an initial set and a delta stream.
+///
+/// # Panics
+/// Panics if deltas are out of order, start before `first_observed`, or a
+/// delta is a no-op (the inverse of [`to_deltas`] never produces those).
+pub fn from_deltas(
+    name: &str,
+    first_observed: Timestamp,
+    initial: ValueSet,
+    deltas: &[VersionDelta],
+    last_observed: Timestamp,
+) -> AttributeHistory {
+    let mut builder = HistoryBuilder::new(name);
+    let mut current = value::canonicalize(initial);
+    builder.push(first_observed, current.clone());
+    for d in deltas {
+        let mut set: std::collections::BTreeSet<ValueId> = current.iter().copied().collect();
+        for &v in &d.removed {
+            set.remove(&v);
+        }
+        for &v in &d.added {
+            set.insert(v);
+        }
+        current = set.into_iter().collect();
+        builder.push(d.at, current.clone());
+    }
+    builder.finish(last_observed)
+}
+
+/// Summary statistics of a history's change stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnStats {
+    /// Number of deltas (changes).
+    pub changes: usize,
+    /// Total values added across all changes.
+    pub total_added: usize,
+    /// Total values removed.
+    pub total_removed: usize,
+    /// Mean touched values per change.
+    pub mean_churn: f64,
+    /// Net growth (|last version| − |first version|).
+    pub net_growth: i64,
+}
+
+/// Computes churn statistics for a history.
+pub fn churn_stats(history: &AttributeHistory) -> ChurnStats {
+    let (initial, deltas) = to_deltas(history);
+    let total_added: usize = deltas.iter().map(|d| d.added.len()).sum();
+    let total_removed: usize = deltas.iter().map(|d| d.removed.len()).sum();
+    let last_len = history.versions().last().expect("non-empty").values.len();
+    ChurnStats {
+        changes: deltas.len(),
+        total_added,
+        total_removed,
+        mean_churn: if deltas.is_empty() {
+            0.0
+        } else {
+            (total_added + total_removed) as f64 / deltas.len() as f64
+        },
+        net_growth: last_len as i64 - initial.len() as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> AttributeHistory {
+        let mut b = HistoryBuilder::new("h");
+        b.push(2, vec![1, 2, 3]);
+        b.push(5, vec![1, 3, 4]); // +4, -2
+        b.push(9, vec![1, 3, 4, 5, 6]); // +5, +6
+        b.finish(12)
+    }
+
+    #[test]
+    fn set_delta_basics() {
+        assert_eq!(set_delta(&[1, 2, 3], &[1, 3, 4]), (vec![4], vec![2]));
+        assert_eq!(set_delta(&[], &[7]), (vec![7], vec![]));
+        assert_eq!(set_delta(&[7], &[]), (vec![], vec![7]));
+        assert_eq!(set_delta(&[1, 2], &[1, 2]), (vec![], vec![]));
+    }
+
+    #[test]
+    fn to_deltas_extracts_changes() {
+        let (initial, deltas) = to_deltas(&history());
+        assert_eq!(initial, vec![1, 2, 3]);
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0], VersionDelta { at: 5, added: vec![4], removed: vec![2] });
+        assert_eq!(deltas[1], VersionDelta { at: 9, added: vec![5, 6], removed: vec![] });
+        assert_eq!(deltas[1].churn(), 2);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let h = history();
+        let (initial, deltas) = to_deltas(&h);
+        let back = from_deltas("h", h.first_observed(), initial, &deltas, h.last_observed());
+        assert_eq!(back.versions(), h.versions());
+        assert_eq!(back.last_observed(), h.last_observed());
+    }
+
+    #[test]
+    fn churn_stats_summarize() {
+        let s = churn_stats(&history());
+        assert_eq!(s.changes, 2);
+        assert_eq!(s.total_added, 3);
+        assert_eq!(s.total_removed, 1);
+        assert!((s.mean_churn - 2.0).abs() < 1e-12);
+        assert_eq!(s.net_growth, 2);
+    }
+
+    #[test]
+    fn single_version_has_no_churn() {
+        let mut b = HistoryBuilder::new("solo");
+        b.push(0, vec![1]);
+        let s = churn_stats(&b.finish(4));
+        assert_eq!(s.changes, 0);
+        assert_eq!(s.mean_churn, 0.0);
+        assert_eq!(s.net_growth, 0);
+    }
+}

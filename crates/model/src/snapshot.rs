@@ -1,0 +1,109 @@
+//! Point-in-time snapshots of a dataset.
+//!
+//! A snapshot is the classical *static* view: `A[t]` for every attribute at a
+//! single timestamp `t`. Static IND discovery (the paper's baseline and the
+//! input to `k`-MANY) operates on snapshots.
+
+use crate::dataset::{AttrId, Dataset};
+use crate::time::Timestamp;
+use crate::value::ValueId;
+
+/// A borrowed view of every attribute's value set at one timestamp.
+///
+/// Attributes that are unobservable at `t` have an empty value set.
+#[derive(Debug)]
+pub struct Snapshot<'a> {
+    timestamp: Timestamp,
+    values: Vec<&'a [ValueId]>,
+}
+
+impl<'a> Snapshot<'a> {
+    /// Materializes the snapshot of `dataset` at `t`.
+    pub fn of(dataset: &'a Dataset, t: Timestamp) -> Self {
+        assert!(dataset.timeline().contains(t), "snapshot timestamp {t} outside timeline");
+        let values = dataset.attributes().iter().map(|h| h.values_at(t)).collect();
+        Snapshot { timestamp: t, values }
+    }
+
+    /// The snapshot's timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        self.timestamp
+    }
+
+    /// `A[t]` for the attribute with the given id.
+    pub fn values(&self, id: AttrId) -> &'a [ValueId] {
+        self.values[id as usize]
+    }
+
+    /// Number of attributes in the snapshot (present or not).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot covers no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Ids of attributes that are non-empty at this timestamp.
+    pub fn present(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, _)| i as AttrId)
+    }
+
+    /// Whether the static IND `lhs[t] ⊆ rhs[t]` holds (Definition 3.1).
+    ///
+    /// Note the empty-set convention: an absent left-hand side is contained
+    /// in everything.
+    pub fn static_ind_holds(&self, lhs: AttrId, rhs: AttrId) -> bool {
+        crate::value::is_subset(self.values(lhs), self.values(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::time::Timeline;
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new(Timeline::new(10));
+        b.add_attribute("q", &[(2, vec!["x", "y"])], 6); // observable [2,6]
+        b.add_attribute("a", &[(0, vec!["x", "y", "z"])], 9);
+        b.add_attribute("b", &[(0, vec!["x"]), (5, vec!["q"])], 9);
+        b.build()
+    }
+
+    #[test]
+    fn snapshot_reflects_observability() {
+        let d = dataset();
+        let s0 = d.snapshot_at(0);
+        assert!(s0.values(0).is_empty());
+        assert_eq!(s0.present().collect::<Vec<_>>(), vec![1, 2]);
+        let s3 = d.snapshot_at(3);
+        assert_eq!(s3.values(0).len(), 2);
+        assert_eq!(s3.timestamp(), 3);
+        assert_eq!(s3.len(), 3);
+    }
+
+    #[test]
+    fn static_ind_check() {
+        let d = dataset();
+        let s3 = d.snapshot_at(3);
+        assert!(s3.static_ind_holds(0, 1)); // {x,y} ⊆ {x,y,z}
+        assert!(!s3.static_ind_holds(1, 0));
+        assert!(!s3.static_ind_holds(0, 2)); // {x,y} ⊄ {x}
+        let s0 = d.snapshot_at(0);
+        assert!(s0.static_ind_holds(0, 2), "empty set contained in everything");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside timeline")]
+    fn snapshot_requires_valid_timestamp() {
+        let d = dataset();
+        let _ = d.snapshot_at(10);
+    }
+}

@@ -1,0 +1,317 @@
+//! Temporal *tables*: row-aligned version histories.
+//!
+//! The unary model ([`crate::history`]) flattens each column into a value
+//! set per version — all the paper's algorithms need. n-ary dependencies
+//! (the paper's §6 future work) additionally need *row alignment*: the
+//! projection of a table on a column list is a set of **tuples**, not a
+//! set of independent values. [`TemporalTable`] keeps that alignment, and
+//! [`TupleInterner`] maps projected tuples into ordinary [`ValueId`]s so
+//! the entire unary machinery (Algorithm 2, indexes) applies unchanged to
+//! n-ary projections.
+
+use crate::hash::FastMap;
+use crate::time::{Interval, Timestamp};
+use crate::value::{ValueId, ValueSet};
+
+/// One version of a table: the full row set valid from `start` until the
+/// next version. Cells are `None` when empty/missing in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableVersion {
+    /// First timestamp at which this version is valid.
+    pub start: Timestamp,
+    /// Rows; every row has exactly one cell per column.
+    pub rows: Vec<Vec<Option<ValueId>>>,
+}
+
+/// A table's full observable history with stable, row-aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use tind_model::{TableVersion, TemporalTable, TupleInterner};
+///
+/// let table = TemporalTable::new(
+///     "games",
+///     vec!["Game".into(), "Composer".into()],
+///     vec![TableVersion {
+///         start: 0,
+///         rows: vec![vec![Some(1), Some(20)], vec![Some(2), None]],
+///     }],
+///     9,
+/// );
+/// // Projection on both columns keeps only complete tuples.
+/// assert_eq!(table.project_version(0, &[0, 1]), vec![vec![1, 20]]);
+/// // Tuple interning turns the projection into a unary history.
+/// let mut interner = TupleInterner::new();
+/// let history = table.project_history(&[0, 1], &mut interner);
+/// assert_eq!(history.values_at(5).len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalTable {
+    name: String,
+    columns: Vec<String>,
+    versions: Vec<TableVersion>,
+    last_observed: Timestamp,
+}
+
+impl TemporalTable {
+    /// Assembles a table history.
+    ///
+    /// # Panics
+    /// Panics if there are no versions, versions are not strictly
+    /// increasing in `start`, a row's width differs from the column count,
+    /// or `last_observed` precedes the final version.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<String>,
+        versions: Vec<TableVersion>,
+        last_observed: Timestamp,
+    ) -> Self {
+        assert!(!versions.is_empty(), "table needs at least one version");
+        assert!(!columns.is_empty(), "table needs at least one column");
+        for w in versions.windows(2) {
+            assert!(w[0].start < w[1].start, "versions must be strictly increasing");
+        }
+        for (vi, v) in versions.iter().enumerate() {
+            for row in &v.rows {
+                assert_eq!(
+                    row.len(),
+                    columns.len(),
+                    "version {vi}: row width {} != {} columns",
+                    row.len(),
+                    columns.len()
+                );
+            }
+        }
+        let final_start = versions.last().expect("non-empty").start;
+        assert!(last_observed >= final_start, "last_observed precedes final version");
+        TemporalTable { name: name.into(), columns, versions, last_observed }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// All versions in order.
+    pub fn versions(&self) -> &[TableVersion] {
+        &self.versions
+    }
+
+    /// First observed timestamp.
+    pub fn first_observed(&self) -> Timestamp {
+        self.versions[0].start
+    }
+
+    /// Last observed timestamp (inclusive).
+    pub fn last_observed(&self) -> Timestamp {
+        self.last_observed
+    }
+
+    /// Validity interval of version `i`.
+    pub fn version_validity(&self, i: usize) -> Interval {
+        let start = self.versions[i].start;
+        let end = match self.versions.get(i + 1) {
+            Some(next) => next.start - 1,
+            None => self.last_observed,
+        };
+        Interval::new(start, end)
+    }
+
+    /// The projection of version `i` on `cols`: the set of complete tuples
+    /// (rows with a `None` in any projected column are skipped, the usual
+    /// n-ary IND convention for nulls).
+    pub fn project_version(&self, i: usize, cols: &[usize]) -> Vec<Vec<ValueId>> {
+        assert!(cols.iter().all(|&c| c < self.columns.len()), "column index out of range");
+        let mut tuples: Vec<Vec<ValueId>> = self.versions[i]
+            .rows
+            .iter()
+            .filter_map(|row| cols.iter().map(|&c| row[c]).collect::<Option<Vec<ValueId>>>())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        tuples
+    }
+
+    /// Projects the whole history on `cols`, interning each tuple through
+    /// `interner`, yielding an ordinary unary [`crate::AttributeHistory`]
+    /// over tuple ids — ready for Algorithm 2 and the tIND index.
+    pub fn project_history(
+        &self,
+        cols: &[usize],
+        interner: &mut TupleInterner,
+    ) -> crate::AttributeHistory {
+        let label = cols
+            .iter()
+            .map(|&c| self.columns[c].as_str())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut builder =
+            crate::HistoryBuilder::new(format!("{} ▸ ({label})", self.name));
+        for i in 0..self.versions.len() {
+            let tuples = self.project_version(i, cols);
+            let ids: ValueSet =
+                tuples.into_iter().map(|t| interner.intern(&t)).collect();
+            builder.push(self.versions[i].start, ids);
+        }
+        builder.finish(self.last_observed)
+    }
+}
+
+/// Interns value-id tuples into fresh dense ids, so tuple sets behave like
+/// ordinary value sets. Shared across all projections taking part in one
+/// discovery run (ids must be consistent between LHS and RHS).
+#[derive(Debug, Default)]
+pub struct TupleInterner {
+    by_tuple: FastMap<Vec<ValueId>, ValueId>,
+    tuples: Vec<Vec<ValueId>>,
+}
+
+impl TupleInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns one tuple.
+    pub fn intern(&mut self, tuple: &[ValueId]) -> ValueId {
+        if let Some(&id) = self.by_tuple.get(tuple) {
+            return id;
+        }
+        let id = u32::try_from(self.tuples.len()).expect("too many distinct tuples");
+        self.by_tuple.insert(tuple.to_vec(), id);
+        self.tuples.push(tuple.to_vec());
+        id
+    }
+
+    /// Resolves a tuple id.
+    pub fn resolve(&self, id: ValueId) -> &[ValueId] {
+        &self.tuples[id as usize]
+    }
+
+    /// Number of distinct tuples interned.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> Option<ValueId> {
+        Some(id)
+    }
+
+    fn sample() -> TemporalTable {
+        TemporalTable::new(
+            "games",
+            vec!["Game".into(), "Year".into(), "Composer".into()],
+            vec![
+                TableVersion {
+                    start: 0,
+                    rows: vec![
+                        vec![v(1), v(10), v(20)],
+                        vec![v(2), v(11), None],
+                    ],
+                },
+                TableVersion {
+                    start: 5,
+                    rows: vec![
+                        vec![v(1), v(10), v(20)],
+                        vec![v(2), v(11), v(21)],
+                        vec![v(3), v(11), v(20)],
+                    ],
+                },
+            ],
+            9,
+        )
+    }
+
+    #[test]
+    fn projection_skips_incomplete_tuples() {
+        let t = sample();
+        assert_eq!(t.project_version(0, &[0, 2]), vec![vec![1, 20]]);
+        assert_eq!(t.project_version(0, &[0, 1]), vec![vec![1, 10], vec![2, 11]]);
+        assert_eq!(t.project_version(1, &[0, 2]).len(), 3);
+    }
+
+    #[test]
+    fn projection_dedups_tuples() {
+        let t = TemporalTable::new(
+            "dup",
+            vec!["A".into(), "B".into()],
+            vec![TableVersion {
+                start: 0,
+                rows: vec![vec![v(1), v(2)], vec![v(1), v(2)], vec![v(3), v(2)]],
+            }],
+            3,
+        );
+        assert_eq!(t.project_version(0, &[0, 1]), vec![vec![1, 2], vec![3, 2]]);
+        assert_eq!(t.project_version(0, &[1]), vec![vec![2]]);
+    }
+
+    #[test]
+    fn project_history_builds_unary_attribute() {
+        let t = sample();
+        let mut interner = TupleInterner::new();
+        let h = t.project_history(&[0, 1], &mut interner);
+        assert_eq!(h.name(), "games ▸ (Game, Year)");
+        assert_eq!(h.versions().len(), 2);
+        assert_eq!(h.first_observed(), 0);
+        assert_eq!(h.last_observed(), 9);
+        assert_eq!(h.values_at(0).len(), 2);
+        assert_eq!(h.values_at(6).len(), 3);
+        // The (1, 10) tuple is in both versions → same interned id.
+        let id = interner.intern(&[1, 10]);
+        assert!(h.values_at(0).contains(&id));
+        assert!(h.values_at(6).contains(&id));
+    }
+
+    #[test]
+    fn validity_intervals() {
+        let t = sample();
+        assert_eq!(t.version_validity(0), Interval::new(0, 4));
+        assert_eq!(t.version_validity(1), Interval::new(5, 9));
+        assert_eq!(t.first_observed(), 0);
+        assert_eq!(t.last_observed(), 9);
+    }
+
+    #[test]
+    fn tuple_interner_is_idempotent() {
+        let mut i = TupleInterner::new();
+        let a = i.intern(&[1, 2]);
+        let b = i.intern(&[2, 1]);
+        assert_ne!(a, b, "order matters in tuples");
+        assert_eq!(i.intern(&[1, 2]), a);
+        assert_eq!(i.resolve(b), &[2, 1]);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        TemporalTable::new(
+            "bad",
+            vec!["A".into(), "B".into()],
+            vec![TableVersion { start: 0, rows: vec![vec![v(1)]] }],
+            3,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn rejects_bad_projection() {
+        sample().project_version(0, &[5]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Timestamps, closed intervals, and the global timeline.
+//!
+//! The paper models time as a sequence of equidistant timestamps
+//! `T = {t_1, .., t_n}` and overloads interval notation `I = [s, e]` to also
+//! denote the set of timestamps it contains (Section 3.1). We index
+//! timestamps from `0`, so a timeline of length `n` covers `0..=n-1`.
+
+/// A point on the global timeline. At the paper's granularity one unit is one
+/// day, but nothing in the library depends on that interpretation.
+pub type Timestamp = u32;
+
+/// The global, equidistant timeline `{0, 1, .., len-1}` shared by all
+/// attributes of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Timeline {
+    len: u32,
+}
+
+impl Timeline {
+    /// Creates a timeline with `len` timestamps.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`; an empty timeline has no valid timestamps and
+    /// every downstream definition (weights, containment) would be vacuous.
+    pub fn new(len: u32) -> Self {
+        assert!(len > 0, "timeline must contain at least one timestamp");
+        Timeline { len }
+    }
+
+    /// Number of timestamps `n = |T|`.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Always false; kept for clippy's `len_without_is_empty` convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The last valid timestamp `n - 1`.
+    #[inline]
+    pub fn last(&self) -> Timestamp {
+        self.len - 1
+    }
+
+    /// Whether `t` lies on this timeline.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t < self.len
+    }
+
+    /// The full interval `[0, n-1]`.
+    #[inline]
+    pub fn full_interval(&self) -> Interval {
+        Interval::new(0, self.last())
+    }
+
+    /// Clamps `t` onto the timeline.
+    #[inline]
+    pub fn clamp(&self, t: i64) -> Timestamp {
+        t.clamp(0, i64::from(self.last())) as Timestamp
+    }
+
+    /// The δ-expansion `[t - δ, t + δ]` of a single timestamp, clipped to the
+    /// timeline (Definition 3.4 uses this window for δ-containment).
+    #[inline]
+    pub fn delta_window(&self, t: Timestamp, delta: u32) -> Interval {
+        Interval::new(t.saturating_sub(delta), (t.saturating_add(delta)).min(self.last()))
+    }
+
+    /// Iterator over all timestamps.
+    pub fn iter(&self) -> impl Iterator<Item = Timestamp> {
+        0..self.len
+    }
+}
+
+/// A closed interval `[start, end]` of timestamps; both endpoints inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// First timestamp in the interval.
+    pub start: Timestamp,
+    /// Last timestamp in the interval (inclusive).
+    pub end: Timestamp,
+}
+
+impl Interval {
+    /// Creates `[start, end]`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    #[inline]
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(start <= end, "interval start {start} must be <= end {end}");
+        Interval { start, end }
+    }
+
+    /// A single-timestamp interval `[t, t]`.
+    #[inline]
+    pub fn point(t: Timestamp) -> Self {
+        Interval { start: t, end: t }
+    }
+
+    /// Number of timestamps contained.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start + 1
+    }
+
+    /// Closed intervals are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `t ∈ [start, end]`.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether the two intervals share at least one timestamp.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection, or `None` if disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(Interval { start, end })
+    }
+
+    /// The δ-expansion `[start - δ, end + δ]`, clipped to `timeline`.
+    ///
+    /// This is the `I^δ` of Section 4.2.2: the value window indexed for a
+    /// time slice `I` so that violations detected in the slice are genuine
+    /// for every `t ∈ I`.
+    #[inline]
+    pub fn expand(&self, delta: u32, timeline: Timeline) -> Interval {
+        Interval {
+            start: self.start.saturating_sub(delta),
+            end: self.end.saturating_add(delta).min(timeline.last()),
+        }
+    }
+
+    /// Iterator over the contained timestamps.
+    pub fn iter(&self) -> impl Iterator<Item = Timestamp> {
+        self.start..=self.end
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_basics() {
+        let tl = Timeline::new(10);
+        assert_eq!(tl.len(), 10);
+        assert_eq!(tl.last(), 9);
+        assert!(tl.contains(0));
+        assert!(tl.contains(9));
+        assert!(!tl.contains(10));
+        assert_eq!(tl.full_interval(), Interval::new(0, 9));
+        assert_eq!(tl.iter().count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestamp")]
+    fn timeline_rejects_zero_length() {
+        Timeline::new(0);
+    }
+
+    #[test]
+    fn delta_window_clips_at_boundaries() {
+        let tl = Timeline::new(10);
+        assert_eq!(tl.delta_window(0, 3), Interval::new(0, 3));
+        assert_eq!(tl.delta_window(5, 2), Interval::new(3, 7));
+        assert_eq!(tl.delta_window(9, 4), Interval::new(5, 9));
+        assert_eq!(tl.delta_window(4, 0), Interval::point(4));
+    }
+
+    #[test]
+    fn delta_window_larger_than_timeline() {
+        let tl = Timeline::new(5);
+        assert_eq!(tl.delta_window(2, 100), Interval::new(0, 4));
+    }
+
+    #[test]
+    fn interval_len_and_contains() {
+        let i = Interval::new(3, 7);
+        assert_eq!(i.len(), 5);
+        assert!(i.contains(3));
+        assert!(i.contains(7));
+        assert!(!i.contains(2));
+        assert!(!i.contains(8));
+        assert_eq!(Interval::point(4).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be <=")]
+    fn interval_rejects_inverted_bounds() {
+        Interval::new(5, 4);
+    }
+
+    #[test]
+    fn interval_overlap_and_intersection() {
+        let a = Interval::new(2, 6);
+        let b = Interval::new(6, 9);
+        let c = Interval::new(7, 9);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersect(&b), Some(Interval::point(6)));
+        assert_eq!(a.intersect(&c), None);
+        assert_eq!(a.intersect(&Interval::new(0, 100)), Some(a));
+    }
+
+    #[test]
+    fn interval_expand_clips() {
+        let tl = Timeline::new(20);
+        let i = Interval::new(5, 8);
+        assert_eq!(i.expand(0, tl), i);
+        assert_eq!(i.expand(3, tl), Interval::new(2, 11));
+        assert_eq!(i.expand(10, tl), Interval::new(0, 18));
+        assert_eq!(i.expand(100, tl), Interval::new(0, 19));
+    }
+
+    #[test]
+    fn interval_display() {
+        assert_eq!(Interval::new(1, 4).to_string(), "[1, 4]");
+    }
+
+    #[test]
+    fn timeline_clamp() {
+        let tl = Timeline::new(10);
+        assert_eq!(tl.clamp(-5), 0);
+        assert_eq!(tl.clamp(4), 4);
+        assert_eq!(tl.clamp(1000), 9);
+    }
+}

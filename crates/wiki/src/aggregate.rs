@@ -1,0 +1,164 @@
+//! Daily snapshot aggregation (§5.1).
+//!
+//! Wikipedia pages can receive many edits per day; vandalism in particular
+//! tends to live for minutes. The paper aggregates to daily granularity by
+//! keeping, for each day, the version that was **valid for the longest
+//! time on that day**. We model within-day validity by revision order: a
+//! day with revisions at sequence positions `s_0 < s_1 < ..` is split into
+//! equal-length segments per revision, with the last revision's state also
+//! covering the remainder of the day (so a vandalized-then-reverted page
+//! keeps its clean state).
+
+use tind_model::Timestamp;
+
+/// One observation of a column's value set: a day, the within-day sequence
+/// number, and the observed values (unsorted, raw strings).
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Day index.
+    pub day: Timestamp,
+    /// Within-day revision order.
+    pub seq_in_day: u32,
+    /// The column's values at this revision (`None` when the column was
+    /// absent from the revision, e.g. its table was deleted).
+    pub values: Option<Vec<String>>,
+}
+
+/// The aggregated daily state of a column: for each day with at least one
+/// revision, the state valid longest during that day.
+///
+/// Returns `(day, values)` pairs, strictly increasing in day. `None`
+/// values mean the column was absent for most of that day.
+pub fn aggregate_daily(mut observations: Vec<Observation>) -> Vec<(Timestamp, Option<Vec<String>>)> {
+    observations.sort_by_key(|o| (o.day, o.seq_in_day));
+    let mut out: Vec<(Timestamp, Option<Vec<String>>)> = Vec::new();
+    let mut i = 0;
+    while i < observations.len() {
+        let day = observations[i].day;
+        let mut j = i;
+        while j < observations.len() && observations[j].day == day {
+            j += 1;
+        }
+        let day_obs = &observations[i..j];
+        // Under the equal-segment validity model (k revisions split the day
+        // into k+1 segments; the final state also covers the trailing
+        // segment), the day's final revision always holds the longest —
+        // which is exactly what makes sub-day vandalism disappear.
+        out.push((day, day_obs[day_obs.len() - 1].values.clone()));
+        i = j;
+    }
+    out
+}
+
+/// Builds an attribute history from aggregated daily states, interning
+/// values through `intern`. Days between observations inherit the previous
+/// state (standard run-length semantics); the history ends at the last day
+/// the column was present, or is `None` if it never carried a non-empty
+/// value set.
+pub fn build_history<F>(
+    name: &str,
+    daily: &[(Timestamp, Option<Vec<String>>)],
+    mut intern: F,
+) -> Option<tind_model::AttributeHistory>
+where
+    F: FnMut(&str) -> tind_model::ValueId,
+{
+    // Trim leading absence and find the last day of presence.
+    let first_present = daily.iter().position(|(_, v)| v.is_some())?;
+    let last_present = daily.iter().rposition(|(_, v)| v.is_some())?;
+    let mut b = tind_model::HistoryBuilder::new(name);
+    for (day, values) in &daily[first_present..=last_present] {
+        match values {
+            Some(vals) => {
+                let ids: Vec<tind_model::ValueId> = vals.iter().map(|s| intern(s)).collect();
+                b.push(*day, ids);
+            }
+            // Mid-history absence: an empty version (the table was gone for
+            // at least a day).
+            None => {
+                b.push(*day, Vec::new());
+            }
+        }
+    }
+    Some(b.finish(daily[last_present].0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(day: u32, seq: u32, values: Option<&[&str]>) -> Observation {
+        Observation {
+            day,
+            seq_in_day: seq,
+            values: values.map(|v| v.iter().map(|s| s.to_string()).collect()),
+        }
+    }
+
+    #[test]
+    fn single_revision_days_pass_through() {
+        let daily = aggregate_daily(vec![obs(3, 0, Some(&["a"])), obs(7, 0, Some(&["a", "b"]))]);
+        assert_eq!(daily.len(), 2);
+        assert_eq!(daily[0].0, 3);
+        assert_eq!(daily[1].0, 7);
+        assert_eq!(daily[1].1.as_deref().map(<[String]>::len), Some(2));
+    }
+
+    #[test]
+    fn vandalized_then_reverted_day_keeps_clean_state() {
+        // Day 5: clean edit, vandalism, revert — the final (reverted) state
+        // is valid longest.
+        let daily = aggregate_daily(vec![
+            obs(5, 0, Some(&["clean"])),
+            obs(5, 1, Some(&["VANDAL"])),
+            obs(5, 2, Some(&["clean"])),
+        ]);
+        assert_eq!(daily.len(), 1);
+        assert_eq!(daily[0].1.as_deref().map(|v| v[0].as_str()), Some("clean"));
+    }
+
+    #[test]
+    fn unsorted_observations_are_handled() {
+        let daily = aggregate_daily(vec![obs(9, 1, Some(&["later"])), obs(9, 0, Some(&["earlier"]))]);
+        assert_eq!(daily[0].1.as_deref().map(|v| v[0].as_str()), Some("later"));
+    }
+
+    #[test]
+    fn build_history_runs_and_absences() {
+        let daily = vec![
+            (2u32, Some(vec!["a".to_string()])),
+            (5, Some(vec!["a".to_string(), "b".to_string()])),
+            (8, None),
+            (10, Some(vec!["a".to_string()])),
+        ];
+        let mut dict = tind_model::Dictionary::new();
+        let h = build_history("col", &daily, |s| dict.intern(s)).expect("has presence");
+        assert_eq!(h.first_observed(), 2);
+        assert_eq!(h.last_observed(), 10);
+        assert_eq!(h.values_at(3).len(), 1);
+        assert_eq!(h.values_at(6).len(), 2);
+        assert!(h.values_at(8).is_empty(), "absent day yields empty set");
+        assert!(h.values_at(9).is_empty());
+        assert_eq!(h.values_at(10).len(), 1);
+    }
+
+    #[test]
+    fn build_history_trims_leading_and_trailing_absence() {
+        let daily = vec![
+            (0u32, None),
+            (4, Some(vec!["x".to_string()])),
+            (9, None),
+        ];
+        let mut dict = tind_model::Dictionary::new();
+        let h = build_history("col", &daily, |s| dict.intern(s)).expect("present at 4");
+        assert_eq!(h.first_observed(), 4);
+        assert_eq!(h.last_observed(), 4);
+    }
+
+    #[test]
+    fn build_history_none_when_never_present() {
+        let daily = vec![(0u32, None), (3, None)];
+        let mut dict = tind_model::Dictionary::new();
+        assert!(build_history("col", &daily, |s| dict.intern(s)).is_none());
+    }
+}

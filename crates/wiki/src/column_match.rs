@@ -1,0 +1,189 @@
+//! Matching columns across versions of one (tracked) table.
+//!
+//! Within a matched table history, columns must be linked across revisions
+//! to form *attribute histories*. Matching is by exact (case-insensitive)
+//! header name first; renamed columns fall back to value-set similarity.
+
+use crate::table_match::jaccard;
+use crate::wikitext::RawTable;
+
+#[derive(Debug)]
+struct TrackedColumn {
+    id: u32,
+    header_lower: String,
+    last_values: Vec<String>,
+}
+
+/// Stateful column matcher for one tracked table.
+#[derive(Debug, Default)]
+pub struct ColumnMatcher {
+    next_id: u32,
+    tracked: Vec<TrackedColumn>,
+}
+
+/// Minimum value-set similarity for a renamed column to keep its identity.
+const VALUE_MATCH_THRESHOLD: f64 = 0.4;
+
+impl ColumnMatcher {
+    /// Creates a matcher with no known columns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns a stable column id to every column of the table version.
+    pub fn match_table(&mut self, table: &RawTable) -> Vec<u32> {
+        let mut assignment: Vec<Option<u32>> = vec![None; table.headers.len()];
+        let mut taken = vec![false; self.tracked.len()];
+
+        // Pass 1: exact header-name matches.
+        for (ci, header) in table.headers.iter().enumerate() {
+            let lower = header.to_lowercase();
+            let found = self
+                .tracked
+                .iter()
+                .enumerate()
+                .find(|(ti, t)| !taken[*ti] && t.header_lower == lower)
+                .map(|(ti, _)| ti);
+            if let Some(ti) = found {
+                taken[ti] = true;
+                assignment[ci] = Some(self.tracked[ti].id);
+                self.refresh(ti, header, table, ci);
+            }
+        }
+
+        // Pass 2: value-overlap matches for renamed columns.
+        for (ci, header) in table.headers.iter().enumerate() {
+            if assignment[ci].is_some() {
+                continue;
+            }
+            let values = table.column_values(ci);
+            let mut best: Option<(f64, usize)> = None;
+            for (ti, tracked) in self.tracked.iter().enumerate() {
+                if taken[ti] {
+                    continue;
+                }
+                let sim = jaccard(
+                    tracked.last_values.iter().map(String::as_str),
+                    values.iter().copied(),
+                );
+                if sim >= VALUE_MATCH_THRESHOLD && best.is_none_or(|(b, _)| sim > b) {
+                    best = Some((sim, ti));
+                }
+            }
+            if let Some((_, ti)) = best {
+                taken[ti] = true;
+                assignment[ci] = Some(self.tracked[ti].id);
+                self.refresh(ti, header, table, ci);
+            }
+        }
+
+        // Pass 3: new columns.
+        assignment
+            .into_iter()
+            .enumerate()
+            .map(|(ci, assigned)| {
+                assigned.unwrap_or_else(|| {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.tracked.push(TrackedColumn {
+                        id,
+                        header_lower: table.headers[ci].to_lowercase(),
+                        last_values: table
+                            .column_values(ci)
+                            .into_iter()
+                            .map(str::to_string)
+                            .collect(),
+                    });
+                    id
+                })
+            })
+            .collect()
+    }
+
+    fn refresh(&mut self, ti: usize, header: &str, table: &RawTable, ci: usize) {
+        self.tracked[ti].header_lower = header.to_lowercase();
+        self.tracked[ti].last_values =
+            table.column_values(ci).into_iter().map(str::to_string).collect();
+    }
+
+    /// Number of distinct columns seen so far.
+    pub fn columns_seen(&self) -> usize {
+        self.next_id as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(headers: &[&str], columns: &[&[&str]]) -> RawTable {
+        assert_eq!(headers.len(), columns.len());
+        let height = columns.iter().map(|c| c.len()).max().unwrap_or(0);
+        let rows = (0..height)
+            .map(|r| {
+                columns
+                    .iter()
+                    .map(|c| c.get(r).copied().unwrap_or("").to_string())
+                    .collect()
+            })
+            .collect();
+        RawTable {
+            caption: None,
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn exact_header_match_is_stable() {
+        let mut m = ColumnMatcher::new();
+        let t = table(&["Game", "Year"], &[&["red", "blue"], &["1996", "1996"]]);
+        let ids1 = m.match_table(&t);
+        let ids2 = m.match_table(&t);
+        assert_eq!(ids1, vec![0, 1]);
+        assert_eq!(ids1, ids2);
+    }
+
+    #[test]
+    fn case_insensitive_header_match() {
+        let mut m = ColumnMatcher::new();
+        let ids1 = m.match_table(&table(&["Game"], &[&["red"]]));
+        let ids2 = m.match_table(&table(&["GAME"], &[&["red", "blue"]]));
+        assert_eq!(ids1, ids2);
+    }
+
+    #[test]
+    fn column_reorder_keeps_identity() {
+        let mut m = ColumnMatcher::new();
+        let ids1 = m.match_table(&table(&["Game", "Year"], &[&["red"], &["1996"]]));
+        let ids2 = m.match_table(&table(&["Year", "Game"], &[&["1996"], &["red"]]));
+        assert_eq!(ids2, vec![ids1[1], ids1[0]]);
+    }
+
+    #[test]
+    fn rename_with_value_overlap_keeps_identity() {
+        let mut m = ColumnMatcher::new();
+        let ids1 = m.match_table(&table(&["Game"], &[&["red", "blue", "gold"]]));
+        let ids2 = m.match_table(&table(&["Title"], &[&["red", "blue", "gold", "ruby"]]));
+        assert_eq!(ids1, ids2, "renamed column with 3/4 value overlap keeps id");
+    }
+
+    #[test]
+    fn rename_without_overlap_is_a_new_column() {
+        let mut m = ColumnMatcher::new();
+        let ids1 = m.match_table(&table(&["Game"], &[&["red", "blue"]]));
+        let ids2 = m.match_table(&table(&["Publisher"], &[&["nintendo"]]));
+        assert_ne!(ids1[0], ids2[0]);
+        assert_eq!(m.columns_seen(), 2);
+    }
+
+    #[test]
+    fn added_column_gets_fresh_id() {
+        let mut m = ColumnMatcher::new();
+        let ids1 = m.match_table(&table(&["Game"], &[&["red"]]));
+        let ids2 =
+            m.match_table(&table(&["Game", "Composer"], &[&["red"], &["masuda"]]));
+        assert_eq!(ids2[0], ids1[0]);
+        assert_eq!(ids2[1], 1);
+    }
+}

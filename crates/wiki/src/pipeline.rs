@@ -1,0 +1,380 @@
+//! End-to-end extraction: page revisions → attribute-history dataset.
+//!
+//! Orchestrates the §5.1 steps: parse each revision's tables, match tables
+//! across revisions, match columns across table versions, record
+//! per-column observations (including absences, so deleted tables close
+//! their histories), aggregate to daily granularity, clean values, and
+//! apply the attribute filters.
+
+use std::collections::BTreeMap;
+
+use tind_model::{Dataset, DatasetBuilder, Timeline};
+
+use crate::aggregate::{aggregate_daily, build_history, Observation};
+use crate::column_match::ColumnMatcher;
+use crate::preprocess::{clean_value, AttributeFilters};
+use crate::revision::{canonicalize_stream, PageRevision};
+use crate::table_match::TableMatcher;
+use crate::wikitext::parse_tables;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Global timeline length; every revision day must be below it.
+    pub timeline_days: u32,
+    /// Attribute-level filters (§5.1).
+    pub filters: AttributeFilters,
+    /// Drop revisions classified as vandalism *before* aggregation
+    /// (explicit cleaning on top of the daily last-wins rule; see
+    /// [`crate::vandalism`]).
+    pub drop_vandalism: bool,
+}
+
+impl PipelineConfig {
+    /// Standard configuration over a timeline of `timeline_days`.
+    pub fn new(timeline_days: u32) -> Self {
+        PipelineConfig {
+            timeline_days,
+            filters: AttributeFilters::default(),
+            drop_vandalism: false,
+        }
+    }
+
+    /// Enables explicit vandalism filtering.
+    pub fn with_vandalism_filter(mut self) -> Self {
+        self.drop_vandalism = true;
+        self
+    }
+}
+
+/// What the pipeline did, for logging and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Distinct pages processed.
+    pub pages: usize,
+    /// Revisions processed.
+    pub revisions: usize,
+    /// Revisions dropped by the explicit vandalism filter (0 when the
+    /// filter is off).
+    pub vandalism_dropped: usize,
+    /// Distinct tables tracked across all pages.
+    pub tables_tracked: usize,
+    /// Distinct columns tracked across all tables.
+    pub columns_tracked: usize,
+    /// Column histories assembled before filtering.
+    pub attributes_before_filters: usize,
+    /// Attributes surviving the §5.1 filters (the dataset size).
+    pub attributes_kept: usize,
+}
+
+#[derive(Default)]
+struct ColumnState {
+    header: String,
+    observations: Vec<Observation>,
+}
+
+#[derive(Default)]
+struct TableState {
+    caption: Option<String>,
+    col_matcher: ColumnMatcher,
+    columns: BTreeMap<u32, ColumnState>,
+}
+
+/// Runs the full extraction pipeline.
+pub fn extract_dataset(
+    revisions: Vec<PageRevision>,
+    config: &PipelineConfig,
+) -> (Dataset, PipelineReport) {
+    let total_in = revisions.len();
+    let revisions = if config.drop_vandalism {
+        let (kept, _) = crate::vandalism::filter_vandalism(revisions);
+        kept
+    } else {
+        canonicalize_stream(revisions)
+    };
+    let mut report = PipelineReport {
+        revisions: revisions.len(),
+        vandalism_dropped: total_in - revisions.len(),
+        ..PipelineReport::default()
+    };
+
+    let mut builder = DatasetBuilder::new(Timeline::new(config.timeline_days));
+    // (page title, table id → state); pages arrive contiguously.
+    let mut i = 0;
+    while i < revisions.len() {
+        let page_id = revisions[i].page_id;
+        let mut j = i;
+        while j < revisions.len() && revisions[j].page_id == page_id {
+            j += 1;
+        }
+        let page_revs = &revisions[i..j];
+        report.pages += 1;
+        process_page(page_revs, config, &mut builder, &mut report);
+        i = j;
+    }
+    (builder.build(), report)
+}
+
+fn process_page(
+    page_revs: &[PageRevision],
+    config: &PipelineConfig,
+    builder: &mut DatasetBuilder,
+    report: &mut PipelineReport,
+) {
+    let title = &page_revs.last().expect("non-empty page group").title;
+    let mut table_matcher = TableMatcher::new();
+    let mut tables: BTreeMap<u32, TableState> = BTreeMap::new();
+
+    for rev in page_revs {
+        assert!(
+            rev.day < config.timeline_days,
+            "revision day {} beyond timeline {}",
+            rev.day,
+            config.timeline_days
+        );
+        let raw_tables = parse_tables(&rev.wikitext);
+        let table_ids = table_matcher.match_revision(&raw_tables);
+        let present: std::collections::HashSet<u32> = table_ids.iter().copied().collect();
+
+        for (raw, &tid) in raw_tables.iter().zip(&table_ids) {
+            let state = tables.entry(tid).or_default();
+            if raw.caption.is_some() {
+                state.caption = raw.caption.clone();
+            }
+            let col_ids = state.col_matcher.match_table(raw);
+            let seen: std::collections::HashSet<u32> = col_ids.iter().copied().collect();
+            for (ci, &cid) in col_ids.iter().enumerate() {
+                let values: Vec<String> =
+                    raw.column_values(ci).into_iter().filter_map(clean_value).collect();
+                let col = state.columns.entry(cid).or_default();
+                col.header = raw.headers[ci].clone();
+                col.observations.push(Observation {
+                    day: rev.day,
+                    seq_in_day: rev.seq_in_day,
+                    values: Some(values),
+                });
+            }
+            // Columns of this table that vanished in this revision.
+            for (&cid, col) in state.columns.iter_mut() {
+                if !seen.contains(&cid) {
+                    col.observations.push(Observation {
+                        day: rev.day,
+                        seq_in_day: rev.seq_in_day,
+                        values: None,
+                    });
+                }
+            }
+        }
+        // Whole tables absent from this revision.
+        for (&tid, state) in tables.iter_mut() {
+            if !present.contains(&tid) {
+                for col in state.columns.values_mut() {
+                    col.observations.push(Observation {
+                        day: rev.day,
+                        seq_in_day: rev.seq_in_day,
+                        values: None,
+                    });
+                }
+            }
+        }
+    }
+
+    report.tables_tracked += tables.len();
+    for (tid, state) in tables {
+        let table_label =
+            state.caption.clone().unwrap_or_else(|| format!("table{}", tid + 1));
+        report.columns_tracked += state.columns.len();
+        for (_cid, col) in state.columns {
+            let daily = aggregate_daily(col.observations);
+            let name = format!("{title} ▸ {table_label} ▸ {}", col.header);
+            let dict = builder.dictionary_mut();
+            let Some(history) = build_history(&name, &daily, |s| dict.intern(s)) else {
+                continue;
+            };
+            report.attributes_before_filters += 1;
+            let keep = {
+                let dict = builder.dictionary();
+                config.filters.keep(&history, |v| dict.resolve(v).to_string())
+            };
+            if keep {
+                builder.add_history(history);
+                report.attributes_kept += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Renders a one-table page with the given column of games.
+    fn games_page(day: u32, seq: u32, games: &[&str], year_col: bool) -> PageRevision {
+        let mut text = String::from("{| class=\"wikitable\"\n|+ Games\n! Game");
+        if year_col {
+            text.push_str(" !! Year");
+        }
+        text.push('\n');
+        for (i, g) in games.iter().enumerate() {
+            text.push_str("|-\n");
+            if year_col {
+                text.push_str(&format!("| [[{g}]] || {}\n", 1996 + i));
+            } else {
+                text.push_str(&format!("| [[{g}]]\n"));
+            }
+        }
+        text.push_str("|}\n");
+        PageRevision {
+            page_id: 1,
+            title: "Pokémon video games".to_string(),
+            day,
+            seq_in_day: seq,
+            wikitext: text,
+        }
+    }
+
+    #[test]
+    fn extracts_growing_column_history() {
+        // Six revisions so the Game column passes the ≥5-version filter.
+        let revs = vec![
+            games_page(0, 0, &["Red", "Blue", "Green", "Yellow", "Gold"], true),
+            games_page(10, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver"], true),
+            games_page(20, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal"], true),
+            games_page(30, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby"], true),
+            games_page(40, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby", "Sapphire"], true),
+            games_page(50, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby", "Sapphire", "Emerald"], true),
+        ];
+        let (dataset, report) = extract_dataset(revs, &PipelineConfig::new(100));
+        assert_eq!(report.pages, 1);
+        assert_eq!(report.revisions, 6);
+        assert_eq!(report.tables_tracked, 1);
+        assert_eq!(report.columns_tracked, 2, "Game and Year");
+        // Year is numeric → filtered; Game survives.
+        assert_eq!(report.attributes_kept, 1);
+        assert_eq!(dataset.len(), 1);
+        let (_, h) = dataset
+            .attribute_by_name("Pokémon video games ▸ Games ▸ Game")
+            .expect("named attribute");
+        assert_eq!(h.versions().len(), 6);
+        assert_eq!(h.first_observed(), 0);
+        assert_eq!(h.last_observed(), 50);
+        assert_eq!(h.values_at(15).len(), 6);
+        // Links resolved: value is the page title.
+        let dict = dataset.dictionary();
+        assert!(dict.get("Red").is_some());
+    }
+
+    #[test]
+    fn same_day_vandalism_is_aggregated_away() {
+        let clean = &["Red", "Blue", "Green", "Yellow", "Gold"];
+        let mut revs = vec![
+            games_page(0, 0, clean, false),
+            games_page(10, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver"], false),
+            games_page(20, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal"], false),
+            games_page(30, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby"], false),
+            games_page(40, 0, &["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby", "Sapphire"], false),
+        ];
+        // Day 25: vandal blanks the list, revert restores it.
+        revs.push(games_page(25, 0, &["VANDALISM_JUNK", "MORE_JUNK", "X", "Y", "Z"], false));
+        revs.push(games_page(
+            25,
+            1,
+            &["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal"],
+            false,
+        ));
+        let (dataset, _) = extract_dataset(revs, &PipelineConfig::new(100));
+        let (_, h) = dataset
+            .attribute_by_name("Pokémon video games ▸ Games ▸ Game")
+            .expect("attribute");
+        let dict = dataset.dictionary();
+        // The junk never makes it into the daily history.
+        assert!(dict.get("VANDALISM_JUNK").is_none() || {
+            let junk = dict.get("VANDALISM_JUNK").unwrap();
+            !h.value_universe().contains(&junk)
+        });
+    }
+
+    #[test]
+    fn deleted_table_closes_the_history() {
+        let with_table: Vec<PageRevision> = (0..5)
+            .map(|i| {
+                games_page(
+                    i * 5,
+                    0,
+                    &["Red", "Blue", "Green", "Yellow", "Gold", "Silver"][..5 + (i as usize % 2)],
+                    false,
+                )
+            })
+            .collect();
+        let mut revs = with_table;
+        revs.push(PageRevision {
+            page_id: 1,
+            title: "Pokémon video games".to_string(),
+            day: 30,
+            seq_in_day: 0,
+            wikitext: "The table is gone.".to_string(),
+        });
+        let (dataset, _) = extract_dataset(revs, &PipelineConfig::new(100));
+        if let Some((_, h)) = dataset.attribute_by_name("Pokémon video games ▸ Games ▸ Game") {
+            // History must not extend past the deletion day.
+            assert!(h.last_observed() <= 30);
+        }
+    }
+
+    #[test]
+    fn multiple_pages_are_independent() {
+        let all = ["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby", "Sapphire"];
+        let mut revs = Vec::new();
+        for (pid, title) in [(1u32, "Page A"), (2, "Page B")] {
+            for i in 0..5u32 {
+                let mut r = games_page(i * 7, 0, &all[..5 + i as usize], false);
+                r.page_id = pid;
+                r.title = title.to_string();
+                // Vary page B's values so columns differ.
+                if pid == 2 {
+                    r.wikitext = r.wikitext.replace("Red", "Mario");
+                }
+                revs.push(r);
+            }
+        }
+        let (dataset, report) = extract_dataset(revs, &PipelineConfig::new(100));
+        assert_eq!(report.pages, 2);
+        assert_eq!(dataset.len(), 2);
+        assert!(dataset.attribute_by_name("Page A ▸ Games ▸ Game").is_some());
+        assert!(dataset.attribute_by_name("Page B ▸ Games ▸ Game").is_some());
+    }
+
+    #[test]
+    fn vandalism_filter_option_drops_reverted_revisions() {
+        let all = ["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby", "Sapphire", "Emerald"];
+        let mut revs = Vec::new();
+        for i in 0..6u32 {
+            revs.push(games_page(i * 10, 0, &all[..5 + i as usize], false));
+            // vandalize and revert on the same day (distinct junk each
+            // time — identical repeated vandalism would itself look like a
+            // revert to the fingerprint heuristic)
+            let junk: Vec<String> = (0..5).map(|j| format!("JUNK{i}-{j}")).collect();
+            let junk_refs: Vec<&str> = junk.iter().map(String::as_str).collect();
+            let mut vandal = games_page(i * 10 + 1, 0, &junk_refs, false);
+            vandal.seq_in_day = 0;
+            let mut revert = games_page(i * 10 + 1, 1, &all[..5 + i as usize], false);
+            revert.seq_in_day = 1;
+            revs.push(vandal);
+            revs.push(revert);
+        }
+        let config = PipelineConfig::new(100).with_vandalism_filter();
+        let (dataset, report) = extract_dataset(revs, &config);
+        assert_eq!(report.vandalism_dropped, 6);
+        let dict = dataset.dictionary();
+        assert!(dict.get("JUNK0-0").is_none(), "filtered content must not be interned");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let revs = vec![games_page(0, 0, &["Red", "Blue", "Green", "Yellow", "Gold"], true)];
+        let (dataset, report) = extract_dataset(revs, &PipelineConfig::new(10));
+        assert_eq!(report.attributes_kept, dataset.len());
+        assert!(report.attributes_before_filters >= report.attributes_kept);
+        assert_eq!(dataset.len(), 0, "single-revision columns are filtered out");
+    }
+}

@@ -1,0 +1,322 @@
+//! Row-aligned table extraction: revision streams → [`TemporalTable`]s.
+//!
+//! The column-level pipeline ([`crate::pipeline`]) flattens each column
+//! into a value-set history — all the paper's unary algorithms need. n-ary
+//! discovery (`tind_core::nary`) additionally needs row alignment, so this
+//! module extracts whole-table histories: tables matched across revisions,
+//! columns matched across versions, rows kept as tuples, daily
+//! last-revision-wins aggregation, and value cleaning.
+
+use std::collections::BTreeMap;
+
+use tind_model::{Dictionary, TableVersion, TemporalTable, Timestamp, ValueId};
+
+use crate::column_match::ColumnMatcher;
+use crate::pipeline::PipelineConfig;
+use crate::preprocess::clean_value;
+use crate::revision::{canonicalize_stream, PageRevision};
+use crate::table_match::TableMatcher;
+use crate::wikitext::parse_tables;
+
+/// One observed table state: rows as (column id → cleaned cell) maps.
+type RowsById = Vec<BTreeMap<u32, ValueId>>;
+
+/// Daily last-revision-wins aggregation over arbitrary payloads.
+fn aggregate_last_of_day<T>(mut observations: Vec<(Timestamp, u32, T)>) -> Vec<(Timestamp, T)> {
+    observations.sort_by_key(|(day, seq, _)| (*day, *seq));
+    let mut out: Vec<(Timestamp, T)> = Vec::new();
+    for (day, _, payload) in observations {
+        match out.last_mut() {
+            Some((last_day, slot)) if *last_day == day => *slot = payload,
+            _ => out.push((day, payload)),
+        }
+    }
+    out
+}
+
+/// Extracts every tracked table as a row-aligned [`TemporalTable`].
+/// Returns the tables together with the dictionary interning their cell
+/// values. Tables whose history never carries a complete row are dropped.
+pub fn extract_temporal_tables(
+    revisions: Vec<PageRevision>,
+    config: &PipelineConfig,
+) -> (Vec<TemporalTable>, Dictionary) {
+    let revisions = canonicalize_stream(revisions);
+    let mut dictionary = Dictionary::new();
+    let mut tables_out = Vec::new();
+
+    let mut i = 0;
+    while i < revisions.len() {
+        let page_id = revisions[i].page_id;
+        let mut j = i;
+        while j < revisions.len() && revisions[j].page_id == page_id {
+            j += 1;
+        }
+        extract_page(&revisions[i..j], config, &mut dictionary, &mut tables_out);
+        i = j;
+    }
+    (tables_out, dictionary)
+}
+
+struct TrackedTableState {
+    caption: Option<String>,
+    col_matcher: ColumnMatcher,
+    headers: BTreeMap<u32, String>,
+    /// (day, seq, rows) — `None` rows mean the table was absent.
+    observations: Vec<(Timestamp, u32, Option<RowsById>)>,
+}
+
+fn extract_page(
+    page_revs: &[PageRevision],
+    config: &PipelineConfig,
+    dictionary: &mut Dictionary,
+    out: &mut Vec<TemporalTable>,
+) {
+    let title = &page_revs.last().expect("non-empty page group").title;
+    let mut matcher = TableMatcher::new();
+    let mut tracked: BTreeMap<u32, TrackedTableState> = BTreeMap::new();
+
+    for rev in page_revs {
+        assert!(rev.day < config.timeline_days, "revision beyond timeline");
+        let raw_tables = parse_tables(&rev.wikitext);
+        let ids = matcher.match_revision(&raw_tables);
+        let present: std::collections::HashSet<u32> = ids.iter().copied().collect();
+
+        for (raw, &tid) in raw_tables.iter().zip(&ids) {
+            let state = tracked.entry(tid).or_insert_with(|| TrackedTableState {
+                caption: None,
+                col_matcher: ColumnMatcher::new(),
+                headers: BTreeMap::new(),
+                observations: Vec::new(),
+            });
+            if raw.caption.is_some() {
+                state.caption = raw.caption.clone();
+            }
+            let col_ids = state.col_matcher.match_table(raw);
+            for (pos, &cid) in col_ids.iter().enumerate() {
+                state.headers.insert(cid, raw.headers[pos].clone());
+            }
+            let rows: RowsById = raw
+                .rows
+                .iter()
+                .map(|row| {
+                    let mut mapped = BTreeMap::new();
+                    for (pos, cell) in row.iter().enumerate() {
+                        if let Some(&cid) = col_ids.get(pos) {
+                            if let Some(clean) = clean_value(cell) {
+                                mapped.insert(cid, dictionary.intern(&clean));
+                            }
+                        }
+                    }
+                    mapped
+                })
+                .collect();
+            state.observations.push((rev.day, rev.seq_in_day, Some(rows)));
+        }
+        for (&tid, state) in tracked.iter_mut() {
+            if !present.contains(&tid) {
+                state.observations.push((rev.day, rev.seq_in_day, None));
+            }
+        }
+    }
+
+    for (tid, state) in tracked {
+        let daily = aggregate_last_of_day(state.observations);
+        let Some(table) = assemble_table(title, tid, state.caption, &state.headers, daily) else {
+            continue;
+        };
+        out.push(table);
+    }
+}
+
+fn assemble_table(
+    title: &str,
+    tid: u32,
+    caption: Option<String>,
+    headers: &BTreeMap<u32, String>,
+    daily: Vec<(Timestamp, Option<RowsById>)>,
+) -> Option<TemporalTable> {
+    // Column order: ascending column id (first-seen order).
+    let col_ids: Vec<u32> = headers.keys().copied().collect();
+    let columns: Vec<String> = col_ids.iter().map(|cid| headers[cid].clone()).collect();
+
+    let first = daily.iter().position(|(_, rows)| rows.is_some())?;
+    let last = daily.iter().rposition(|(_, rows)| rows.is_some())?;
+    let mut versions: Vec<TableVersion> = Vec::new();
+    for (day, rows) in &daily[first..=last] {
+        let mut materialized: Vec<Vec<Option<ValueId>>> = match rows {
+            None => Vec::new(), // table absent for (most of) the day
+            Some(rows) => rows
+                .iter()
+                .map(|mapped| col_ids.iter().map(|cid| mapped.get(cid).copied()).collect())
+                .collect(),
+        };
+        // Canonical row order so version deduplication is by content.
+        materialized.sort_unstable();
+        materialized.dedup();
+        if versions.last().is_some_and(|prev: &TableVersion| prev.rows == materialized) {
+            continue;
+        }
+        versions.push(TableVersion { start: *day, rows: materialized });
+    }
+    if versions.iter().all(|v| v.rows.is_empty()) {
+        return None;
+    }
+    let label = caption.unwrap_or_else(|| format!("table{}", tid + 1));
+    Some(TemporalTable::new(
+        format!("{title} ▸ {label}"),
+        columns,
+        versions,
+        daily[last].0,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rev(page: u32, title: &str, day: u32, wikitext: &str) -> PageRevision {
+        PageRevision {
+            page_id: page,
+            title: title.to_string(),
+            day,
+            seq_in_day: 0,
+            wikitext: wikitext.to_string(),
+        }
+    }
+
+    const GAMES_V1: &str = "\
+{| class=\"wikitable\"
+|+ Games
+! Game !! Composer
+|-
+| Red || Masuda
+|-
+| Gold || Masuda
+|}";
+
+    const GAMES_V2: &str = "\
+{| class=\"wikitable\"
+|+ Games
+! Game !! Composer
+|-
+| Red || Masuda
+|-
+| Gold || Masuda
+|-
+| Ruby || Ichinose
+|}";
+
+    #[test]
+    fn extracts_row_aligned_versions() {
+        let revs = vec![rev(1, "Page", 0, GAMES_V1), rev(1, "Page", 10, GAMES_V2)];
+        let (tables, dict) = extract_temporal_tables(revs, &PipelineConfig::new(50));
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.name(), "Page ▸ Games");
+        assert_eq!(t.columns(), &["Game".to_string(), "Composer".to_string()]);
+        assert_eq!(t.versions().len(), 2);
+        assert_eq!(t.versions()[0].rows.len(), 2);
+        assert_eq!(t.versions()[1].rows.len(), 3);
+        // Row alignment: (Ruby, Ichinose) is one tuple.
+        let ruby = dict.get("Ruby").expect("interned");
+        let ichinose = dict.get("Ichinose").expect("interned");
+        assert!(t.versions()[1].rows.contains(&vec![Some(ruby), Some(ichinose)]));
+    }
+
+    #[test]
+    fn identical_consecutive_states_dedupe() {
+        let revs = vec![
+            rev(1, "Page", 0, GAMES_V1),
+            rev(1, "Page", 5, GAMES_V1),
+            rev(1, "Page", 9, GAMES_V2),
+        ];
+        let (tables, _) = extract_temporal_tables(revs, &PipelineConfig::new(50));
+        assert_eq!(tables[0].versions().len(), 2, "no-op revision must not add a version");
+    }
+
+    #[test]
+    fn same_day_edits_keep_last_state() {
+        let mut second = rev(1, "Page", 3, GAMES_V2);
+        second.seq_in_day = 1;
+        let revs = vec![rev(1, "Page", 3, GAMES_V1), second];
+        let (tables, _) = extract_temporal_tables(revs, &PipelineConfig::new(50));
+        assert_eq!(tables[0].versions().len(), 1);
+        assert_eq!(tables[0].versions()[0].rows.len(), 3, "day aggregates to the final edit");
+    }
+
+    #[test]
+    fn absent_table_becomes_empty_version() {
+        let revs = vec![
+            rev(1, "Page", 0, GAMES_V1),
+            rev(1, "Page", 5, "Table removed."),
+            rev(1, "Page", 9, GAMES_V1),
+        ];
+        let (tables, _) = extract_temporal_tables(revs, &PipelineConfig::new(50));
+        let t = &tables[0];
+        assert_eq!(t.versions().len(), 3);
+        assert!(t.versions()[1].rows.is_empty());
+        assert_eq!(t.last_observed(), 9);
+    }
+
+    #[test]
+    fn null_cells_become_none() {
+        let text = "\
+{|
+! Game !! Composer
+|-
+| Red || n/a
+|}";
+        let revs = vec![rev(1, "P", 0, text)];
+        let (tables, dict) = extract_temporal_tables(revs, &PipelineConfig::new(10));
+        let t = &tables[0];
+        let red = dict.get("Red").expect("interned");
+        assert_eq!(t.versions()[0].rows, vec![vec![Some(red), None]]);
+    }
+
+    #[test]
+    fn feeds_nary_discovery_end_to_end() {
+        use tind_core::nary::{discover_nary, NaryInd};
+        use tind_core::TindParams;
+        // One page with a catalog, another with a credits subset.
+        let catalog = "\
+{|
+|+ Catalog
+! Game !! Composer
+|-
+| Red || Masuda
+|-
+| Gold || Masuda
+|-
+| Ruby || Ichinose
+|}";
+        let credits = "\
+{|
+|+ Credits
+! Game !! Composer
+|-
+| Red || Masuda
+|-
+| Ruby || Ichinose
+|}";
+        let revs = vec![
+            rev(1, "Catalog page", 0, catalog),
+            rev(1, "Catalog page", 30, catalog),
+            rev(2, "Credits page", 0, credits),
+            rev(2, "Credits page", 30, credits),
+        ];
+        let (tables, _) = extract_temporal_tables(revs, &PipelineConfig::new(40));
+        assert_eq!(tables.len(), 2);
+        let timeline = tind_model::Timeline::new(40);
+        let results = discover_nary(&tables, timeline, &TindParams::strict(), 2);
+        let credits_idx =
+            tables.iter().position(|t| t.name().contains("Credits")).expect("credits table");
+        let catalog_idx = 1 - credits_idx;
+        let want = NaryInd { lhs: (credits_idx, vec![0, 1]), rhs: (catalog_idx, vec![0, 1]) };
+        assert!(
+            results.levels[1].contains(&want),
+            "binary IND missing: {:?}",
+            results.levels[1].iter().map(|i| i.describe(&tables)).collect::<Vec<_>>()
+        );
+    }
+}

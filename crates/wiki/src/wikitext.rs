@@ -1,0 +1,460 @@
+//! Wikitext table parsing.
+//!
+//! Parses the MediaWiki pipe-table syntax used by the overwhelming
+//! majority of Wikipedia tables:
+//!
+//! ```text
+//! {| class="wikitable"
+//! |+ Caption
+//! ! Header A !! Header B
+//! |-
+//! | cell 1 || cell 2
+//! |-
+//! | cell 3 || cell 4
+//! |}
+//! ```
+//!
+//! The parser is deliberately tolerant: malformed rows are skipped rather
+//! than failing the page (sixteen years of hand-edited wikitext contain
+//! every imaginable mistake). Cell attribute prefixes
+//! (`style="..." | value`) are stripped.
+
+/// A parsed table: caption, headers, and row-major cells.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RawTable {
+    /// Table caption (`|+ ...`), if present.
+    pub caption: Option<String>,
+    /// Column headers in order.
+    pub headers: Vec<String>,
+    /// Data rows; each row has at most `headers.len()` retained cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl RawTable {
+    /// The distinct non-empty values of column `c`, in first-seen order.
+    pub fn column_values(&self, c: usize) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if let Some(cell) = row.get(c) {
+                if !cell.is_empty() && seen.insert(cell.as_str()) {
+                    out.push(cell.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of columns (headers).
+    pub fn width(&self) -> usize {
+        self.headers.len()
+    }
+}
+
+/// Strips a `style="..."` / `align=...` attribute prefix from a cell: the
+/// part before a single `|` (not `||`) is attributes when it contains `=`.
+fn strip_cell_attributes(cell: &str) -> &str {
+    if let Some(pos) = cell.find('|') {
+        // `||` separators were already split away; a lone `|` after an
+        // attribute-looking prefix separates attributes from content.
+        let (prefix, rest) = cell.split_at(pos);
+        if prefix.contains('=') && !prefix.contains("[[") {
+            return &rest[1..];
+        }
+    }
+    cell
+}
+
+/// Extracts a numeric cell attribute like `colspan="2"` / `rowspan=3` from
+/// the (pre-strip) cell text. Values are clamped to a sane range.
+fn cell_span(cell: &str, attr: &str) -> u32 {
+    let Some(pos) = cell.find(attr) else { return 1 };
+    let rest = &cell[pos + attr.len()..];
+    let rest = rest.trim_start().trim_start_matches('=').trim_start();
+    let rest = rest.trim_start_matches('"').trim_start_matches('\'');
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse::<u32>().map_or(1, |v| v.clamp(1, 64))
+}
+
+/// A parsed data cell with its spans.
+struct Cell {
+    content: String,
+    colspan: u32,
+    rowspan: u32,
+}
+
+fn parse_data_cell(raw: &str) -> Cell {
+    let raw = raw.trim();
+    // Spans live in the attribute prefix (before the content separator);
+    // scanning the whole cell is harmless because `colspan=`/`rowspan=`
+    // cannot appear in rendered content.
+    let colspan = cell_span(raw, "colspan");
+    let rowspan = cell_span(raw, "rowspan");
+    let content = strip_cell_attributes(raw).trim().to_string();
+    Cell { content, colspan, rowspan }
+}
+
+/// Row assembly with rowspan carry-over: `pending[col]` holds a value that
+/// earlier rows project into this column, with its remaining row count.
+#[derive(Default)]
+struct RowAssembler {
+    pending: Vec<Option<(u32, String)>>,
+}
+
+impl RowAssembler {
+    /// Fills contiguously carried columns at the current row position.
+    fn fill_carries(&mut self, row: &mut Vec<String>) {
+        loop {
+            let col = row.len();
+            match self.pending.get_mut(col) {
+                Some(slot @ Some(_)) => {
+                    let (remaining, value) = slot.take().expect("checked above");
+                    row.push(value.clone());
+                    if remaining > 1 {
+                        *slot = Some((remaining - 1, value));
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Places one parsed cell, honoring colspan and registering rowspan
+    /// carry-over.
+    fn place(&mut self, row: &mut Vec<String>, cell: Cell) {
+        self.fill_carries(row);
+        for _ in 0..cell.colspan {
+            let col = row.len();
+            row.push(cell.content.clone());
+            if cell.rowspan > 1 {
+                if self.pending.len() <= col {
+                    self.pending.resize(col + 1, None);
+                }
+                self.pending[col] = Some((cell.rowspan - 1, cell.content.clone()));
+            }
+        }
+        self.fill_carries(row);
+    }
+
+    /// Completes a row: trailing carried columns are materialized.
+    fn finish(&mut self, row: &mut Vec<String>) {
+        self.fill_carries(row);
+    }
+}
+
+/// Splits a header or data line on its multi-cell separator (`!!` / `||`).
+fn split_cells<'a>(line: &'a str, sep: &str) -> Vec<&'a str> {
+    line.split(sep).collect()
+}
+
+/// Parses all tables in a page's wikitext. Nested tables are not
+/// descended into (matching the paper's extraction granularity); their
+/// content is ignored.
+///
+/// # Examples
+///
+/// ```
+/// let page = "\
+/// {| class=\"wikitable\"
+/// |+ Games
+/// ! Game !! Year
+/// |-
+/// | [[Pokémon Red|Red]] || 1996
+/// |}";
+/// let tables = tind_wiki::parse_tables(page);
+/// assert_eq!(tables.len(), 1);
+/// assert_eq!(tables[0].headers, vec!["Game", "Year"]);
+/// assert_eq!(tables[0].column_values(1), vec!["1996"]);
+/// ```
+pub fn parse_tables(wikitext: &str) -> Vec<RawTable> {
+    let mut tables = Vec::new();
+    let mut lines = wikitext.lines().peekable();
+    while let Some(line) = lines.next() {
+        if !line.trim_start().starts_with("{|") {
+            continue;
+        }
+        let mut table = RawTable::default();
+        let mut current_row: Option<Vec<String>> = None;
+        let mut assembler = RowAssembler::default();
+        let mut depth = 1;
+        for line in lines.by_ref() {
+            let t = line.trim();
+            if t.starts_with("{|") {
+                // Nested table: skip until it closes.
+                depth += 1;
+                continue;
+            }
+            if t.starts_with("|}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                continue;
+            }
+            if depth > 1 {
+                continue;
+            }
+            if let Some(rest) = t.strip_prefix("|+") {
+                let caption = rest.trim();
+                if !caption.is_empty() {
+                    table.caption = Some(caption.to_string());
+                }
+            } else if t.starts_with("|-") {
+                if let Some(mut row) = current_row.take() {
+                    assembler.finish(&mut row);
+                    if !row.is_empty() {
+                        table.rows.push(row);
+                    }
+                }
+            } else if let Some(rest) = t.strip_prefix('!') {
+                // Header line; may carry several cells via `!!`.
+                for cell in split_cells(rest, "!!") {
+                    let clean = strip_cell_attributes(cell.trim()).trim();
+                    table.headers.push(clean.to_string());
+                }
+            } else if let Some(rest) = t.strip_prefix('|') {
+                let row = current_row.get_or_insert_with(Vec::new);
+                for cell in split_cells(rest, "||") {
+                    assembler.place(row, parse_data_cell(cell));
+                }
+            }
+            // Prose lines inside a table are ignored.
+        }
+        if let Some(mut row) = current_row.take() {
+            assembler.finish(&mut row);
+            if !row.is_empty() {
+                table.rows.push(row);
+            }
+        }
+        // Keep only tables that are actually tables.
+        if !table.headers.is_empty() && !table.rows.is_empty() {
+            // Clip ragged rows to the header width.
+            for row in &mut table.rows {
+                row.truncate(table.headers.len());
+            }
+            tables.push(table);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = "\
+Intro prose.
+{| class=\"wikitable\"
+|+ Pokémon games
+! Game !! Year
+|-
+| [[Pokémon Red|Red]] || 1996
+|-
+| Gold || 1999
+|}
+Outro prose.";
+
+    #[test]
+    fn parses_a_simple_table() {
+        let tables = parse_tables(SIMPLE);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.caption.as_deref(), Some("Pokémon games"));
+        assert_eq!(t.headers, vec!["Game", "Year"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0], vec!["[[Pokémon Red|Red]]", "1996"]);
+        assert_eq!(t.column_values(1), vec!["1996", "1999"]);
+    }
+
+    #[test]
+    fn parses_multiple_tables_per_page() {
+        let text = format!("{SIMPLE}\n\n{SIMPLE}");
+        assert_eq!(parse_tables(&text).len(), 2);
+    }
+
+    #[test]
+    fn one_cell_per_line_syntax() {
+        let text = "\
+{|
+! A
+! B
+|-
+| 1
+| 2
+|-
+| 3
+| 4
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.headers, vec!["A", "B"]);
+        assert_eq!(t.rows, vec![vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn strips_cell_attributes() {
+        let text = "\
+{|
+! Name
+|-
+| style=\"background:red\" | Apple
+|-
+| align=center | Pear
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.rows, vec![vec!["Apple"], vec!["Pear"]]);
+    }
+
+    #[test]
+    fn keeps_piped_links_intact() {
+        let text = "\
+{|
+! Name
+|-
+| [[Some Page|displayed]]
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.rows[0][0], "[[Some Page|displayed]]");
+    }
+
+    #[test]
+    fn skips_headerless_and_empty_tables() {
+        assert!(parse_tables("{|\n|-\n| lonely cell\n|}").is_empty());
+        assert!(parse_tables("{|\n! Header only\n|}").is_empty());
+        assert!(parse_tables("no table here").is_empty());
+    }
+
+    #[test]
+    fn tolerates_unclosed_table() {
+        let text = "{|\n! H\n|-\n| v";
+        let t = parse_tables(text);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].rows, vec![vec!["v"]]);
+    }
+
+    #[test]
+    fn ignores_nested_tables() {
+        let text = "\
+{|
+! Outer
+|-
+| before
+{|
+! Inner
+|-
+| hidden
+|}
+|-
+| after
+|}";
+        let tables = parse_tables(text);
+        assert_eq!(tables.len(), 1);
+        let values = tables[0].column_values(0);
+        assert!(values.contains(&"before") && values.contains(&"after"));
+        assert!(!values.contains(&"hidden"));
+    }
+
+    #[test]
+    fn ragged_rows_are_clipped() {
+        let text = "\
+{|
+! A !! B
+|-
+| 1 || 2 || 3 || 4
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.rows[0], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn colspan_duplicates_the_value_across_columns() {
+        let text = "\
+{|
+! A !! B !! C
+|-
+| colspan=\"2\" | wide || solo
+|-
+| 1 || 2 || 3
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.rows[0], vec!["wide", "wide", "solo"]);
+        assert_eq!(t.rows[1], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn rowspan_carries_the_value_down() {
+        let text = "\
+{|
+! Country !! City
+|-
+| rowspan=2 | Japan || Tokyo
+|-
+| Osaka
+|-
+| France || Paris
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.rows[0], vec!["Japan", "Tokyo"]);
+        assert_eq!(t.rows[1], vec!["Japan", "Osaka"]);
+        assert_eq!(t.rows[2], vec!["France", "Paris"]);
+        assert_eq!(t.column_values(0), vec!["Japan", "France"]);
+    }
+
+    #[test]
+    fn rowspan_in_middle_column() {
+        let text = "\
+{|
+! A !! B !! C
+|-
+| a1 || rowspan=\"2\" | shared || c1
+|-
+| a2 || c2
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.rows[0], vec!["a1", "shared", "c1"]);
+        assert_eq!(t.rows[1], vec!["a2", "shared", "c2"]);
+    }
+
+    #[test]
+    fn combined_col_and_rowspan() {
+        let text = "\
+{|
+! A !! B !! C
+|-
+| colspan=2 rowspan=2 | block || c1
+|-
+| c2
+|-
+| x || y || z
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.rows[0], vec!["block", "block", "c1"]);
+        assert_eq!(t.rows[1], vec!["block", "block", "c2"]);
+        assert_eq!(t.rows[2], vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn cell_span_parsing_is_robust() {
+        assert_eq!(cell_span("colspan=\"3\" | v", "colspan"), 3);
+        assert_eq!(cell_span("rowspan = 2 | v", "rowspan"), 2);
+        assert_eq!(cell_span("plain cell", "colspan"), 1);
+        assert_eq!(cell_span("colspan=abc | v", "colspan"), 1);
+        assert_eq!(cell_span("colspan=9999 | v", "colspan"), 64, "clamped");
+    }
+
+    #[test]
+    fn column_values_dedup_preserving_order() {
+        let text = "\
+{|
+! X
+|-
+| b
+|-
+| a
+|-
+| b
+|}";
+        let t = &parse_tables(text)[0];
+        assert_eq!(t.column_values(0), vec!["b", "a"]);
+        assert!(t.column_values(5).is_empty());
+    }
+}

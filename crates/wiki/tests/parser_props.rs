@@ -1,0 +1,89 @@
+//! Property tests for the wikitext table parser: rendering an arbitrary
+//! table and parsing it back must round-trip.
+
+use proptest::prelude::*;
+use tind_wiki::{parse_tables, RawTable};
+
+/// A safe cell string: non-empty after trimming, no wikitext control
+/// characters.
+fn cell_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9][a-zA-Z0-9 _.-]{0,14}")
+        .expect("valid regex")
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty after trim", |s| !s.is_empty())
+}
+
+fn table_strategy() -> impl Strategy<Value = (Vec<String>, Vec<Vec<String>>)> {
+    (1usize..5, 1usize..8).prop_flat_map(|(width, height)| {
+        (
+            proptest::collection::vec(cell_strategy(), width..=width),
+            proptest::collection::vec(
+                proptest::collection::vec(cell_strategy(), width..=width),
+                height..=height,
+            ),
+        )
+    })
+}
+
+fn render(headers: &[String], rows: &[Vec<String>], multi_cell_lines: bool) -> String {
+    let mut text = String::from("{| class=\"wikitable\"\n");
+    if multi_cell_lines {
+        text.push_str(&format!("! {}\n", headers.join(" !! ")));
+    } else {
+        for h in headers {
+            text.push_str(&format!("! {h}\n"));
+        }
+    }
+    for row in rows {
+        text.push_str("|-\n");
+        if multi_cell_lines {
+            text.push_str(&format!("| {}\n", row.join(" || ")));
+        } else {
+            for cell in row {
+                text.push_str(&format!("| {cell}\n"));
+            }
+        }
+    }
+    text.push_str("|}\n");
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn render_parse_roundtrip((headers, rows) in table_strategy(), multi in any::<bool>()) {
+        let text = render(&headers, &rows, multi);
+        let parsed = parse_tables(&text);
+        prop_assert_eq!(parsed.len(), 1, "exactly one table in:\n{}", text);
+        let t: &RawTable = &parsed[0];
+        prop_assert_eq!(&t.headers, &headers);
+        prop_assert_eq!(&t.rows, &rows);
+    }
+
+    #[test]
+    fn surrounding_prose_is_ignored(
+        (headers, rows) in table_strategy(),
+        prose in proptest::string::string_regex("[a-zA-Z0-9 .,\n]{0,80}").expect("valid regex"),
+    ) {
+        // Prose must not contain table markers to stay out of the grammar.
+        let prose = prose.replace("{|", "(|").replace("|}", "|)");
+        let text = format!("{prose}\n{}\n{prose}", render(&headers, &rows, true));
+        let parsed = parse_tables(&text);
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0].headers, &headers);
+    }
+
+    #[test]
+    fn concatenated_tables_parse_independently(
+        (h1, r1) in table_strategy(),
+        (h2, r2) in table_strategy(),
+    ) {
+        let text = format!("{}\n{}", render(&h1, &r1, true), render(&h2, &r2, false));
+        let parsed = parse_tables(&text);
+        prop_assert_eq!(parsed.len(), 2);
+        prop_assert_eq!(&parsed[0].headers, &h1);
+        prop_assert_eq!(&parsed[1].headers, &h2);
+        prop_assert_eq!(&parsed[1].rows, &r2);
+    }
+}

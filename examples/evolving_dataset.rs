@@ -1,0 +1,64 @@
+//! Keeping tIND results current as the data evolves — the incremental
+//! main+delta index (see `tind_core::incremental`).
+//!
+//! Wikipedia never stops changing: new tables appear and existing columns
+//! gain versions. Instead of rebuilding the whole Bloom-matrix index per
+//! edit, updates land in a small delta that is searched exactly and folded
+//! into the base index on compaction.
+//!
+//! ```sh
+//! cargo run --release --example evolving_dataset
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tind::core::incremental::IncrementalIndex;
+use tind::core::{IndexConfig, TindParams};
+use tind::datagen::{generate, GeneratorConfig};
+use tind::model::WeightFn;
+
+fn main() {
+    // Start from a generated corpus...
+    let generated = generate(&GeneratorConfig::small(400, 11));
+    let dataset = Arc::new(generated.dataset);
+    let timeline_end = dataset.timeline().last();
+    let start = Instant::now();
+    let mut index = IncrementalIndex::build(dataset.clone(), IndexConfig::default());
+    println!("base index over {} attributes built in {:.2?}", index.len(), start.elapsed());
+
+    let params = TindParams::weighted(10.0, 14, WeightFn::constant_one());
+    let before = index.search("derived-0-of-0", &params).expect("exists");
+    println!("\n'derived-0-of-0' is included in {} attributes", before.results.len());
+
+    // ... a new page with a table appears: a fan wiki mirroring source-0.
+    let source_values: Vec<u32> = dataset.attribute(0).value_universe();
+    let mut hb = tind::model::HistoryBuilder::new("fan-wiki mirror");
+    hb.push(0, source_values);
+    let start = Instant::now();
+    index.upsert(hb.finish(timeline_end));
+    println!("\nupserted 'fan-wiki mirror' in {:.2?} (delta size {})", start.elapsed(), index.delta_len());
+
+    let after = index.search("derived-0-of-0", &params).expect("exists");
+    println!(
+        "'derived-0-of-0' is now included in {} attributes: {:?}",
+        after.results.len(),
+        after.results.iter().filter(|n| n.contains("fan-wiki")).collect::<Vec<_>>()
+    );
+
+    // An existing attribute gains a version (someone edits the table).
+    let novelty = index.intern("Brand-New-Entity");
+    let mut extended: Vec<u32> = dataset.attribute(0).values_at(timeline_end).to_vec();
+    extended.push(novelty);
+    index.append_version("source-0", timeline_end, extended, timeline_end);
+    println!("\nappended a version to 'source-0' (delta size {})", index.delta_len());
+
+    // Compact: fold the delta back into a fresh base index.
+    let start = Instant::now();
+    index.compact();
+    println!("compacted into a {}-attribute base in {:.2?}", index.len(), start.elapsed());
+
+    let final_out = index.search("derived-0-of-0", &params).expect("exists");
+    assert_eq!(after.results, final_out.results, "compaction must not change results");
+    println!("results identical before and after compaction ✓");
+}

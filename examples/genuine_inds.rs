@@ -1,0 +1,58 @@
+//! Genuine-IND discovery (§5.5 in miniature).
+//!
+//! Following the paper's methodology, the evaluation universe is the set
+//! of static INDs discovered on the *latest snapshot* (the paper
+//! hand-annotated a 900-IND sample of it; here the generator's ground
+//! truth labels every pair). Each tIND variant then classifies every
+//! labelled IND — the temporal variants trade a little recall for a large
+//! precision gain, the paper's central claim.
+//!
+//! ```sh
+//! cargo run --release --example genuine_inds
+//! ```
+
+use tind::datagen::{generate, GeneratorConfig};
+use tind::eval::prcurve::{evaluate_families, GridSpec, LabelledUniverse};
+
+fn main() {
+    let generated = generate(&GeneratorConfig::paper_shaped(1200, 99));
+    println!(
+        "{} attributes, {} genuine (planted) pairs overall\n",
+        generated.dataset.len(),
+        generated.truth.genuine_pairs().len()
+    );
+
+    // The labelled universe: static INDs at the latest snapshot.
+    let universe = LabelledUniverse::build(&generated, 4096);
+    println!(
+        "labelled universe: {} static INDs at the latest snapshot, {} genuine ({:.1}% — \
+         the paper measured 11%)\n",
+        universe.len(),
+        universe.genuine_count,
+        100.0 * universe.genuine_count as f64 / universe.len() as f64
+    );
+
+    // Sweep the variant families over a parameter grid.
+    let grid = GridSpec {
+        eps_values: vec![0.0, 1.0, 3.0, 7.0, 15.0, 39.0],
+        deltas: vec![0, 7, 31],
+        decay_bases: vec![0.999],
+    };
+    let (curves, _) = evaluate_families(&generated, &grid);
+
+    println!("Pareto frontiers (precision / recall within the labelled universe):\n");
+    for curve in &curves {
+        println!("  {}", curve.family);
+        for p in &curve.points {
+            println!(
+                "    {:<28} precision {:>5.1}%   recall {:>5.1}%",
+                p.label,
+                p.precision * 100.0,
+                p.recall * 100.0
+            );
+        }
+    }
+
+    println!("\npaper shape: static is the low-precision/recall-1 baseline; strict tINDs are");
+    println!("precise but recall-starved; each relaxation (ε → εδ → wεδ) extends the frontier.");
+}

@@ -1,0 +1,75 @@
+//! The paper's headline use-case: *interactive* exploration. One index,
+//! many queries with user-tuned parameters — each answered in
+//! milliseconds, so the user can converge on a useful (ε, δ, w) setting.
+//!
+//! ```sh
+//! cargo run --release --example interactive_exploration
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tind::core::{IndexConfig, TindIndex, TindParams};
+use tind::datagen::{generate, GeneratorConfig};
+use tind::model::WeightFn;
+
+fn main() {
+    let n = 4000;
+    println!("generating {n} Wikipedia-shaped attributes ...");
+    let generated = generate(&GeneratorConfig::paper_shaped(n, 7));
+    let dataset = Arc::new(generated.dataset);
+    let timeline = dataset.timeline();
+
+    let start = Instant::now();
+    let index = TindIndex::build(dataset.clone(), IndexConfig::default());
+    println!(
+        "index built in {:.2?} ({} time slices, {:.1} MiB of Bloom matrices)\n",
+        start.elapsed(),
+        index.time_slices().len(),
+        index.bloom_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // A user exploring one attribute, iterating on parameters.
+    let (query, hist) = dataset.attribute_by_name("derived-0-of-0").expect("exists");
+    println!("exploring '{}' ({} versions over {} days):\n", hist.name(), hist.versions().len(), hist.lifespan());
+
+    let settings = [
+        ("strict", TindParams::strict()),
+        ("ε=3d", TindParams::weighted(3.0, 0, WeightFn::constant_one())),
+        ("ε=3d δ=7d (paper default)", TindParams::paper_default()),
+        ("ε=15d δ=31d", TindParams::weighted(15.0, 31, WeightFn::constant_one())),
+        (
+            "ε=5 δ=7d, recent-weighted (a=0.999)",
+            TindParams::weighted(5.0, 7, WeightFn::exponential(0.999, timeline)),
+        ),
+    ];
+    for (label, params) in &settings {
+        let start = Instant::now();
+        let outcome = index.search(query, params);
+        let elapsed = start.elapsed();
+        let s = &outcome.stats;
+        println!(
+            "{label:<38} {} results in {elapsed:>9.2?}  (candidates {} -> {} -> {} -> {})",
+            outcome.results.len(),
+            s.initial,
+            s.after_required,
+            s.after_slices,
+            s.after_exact,
+        );
+    }
+
+    // Batch latency at the default setting.
+    let params = TindParams::paper_default();
+    let queries: Vec<u32> = (0..dataset.len() as u32).step_by(dataset.len() / 200).collect();
+    let start = Instant::now();
+    let mut total_results = 0usize;
+    for &q in &queries {
+        total_results += index.search(q, &params).results.len();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "\n{} queries in {elapsed:.2?} ({:.2} ms/query on average, {total_results} total results)",
+        queries.len(),
+        elapsed.as_secs_f64() * 1000.0 / queries.len() as f64,
+    );
+}

@@ -1,0 +1,116 @@
+//! n-ary temporal IND discovery — the paper's §6 future-work item, built
+//! on row-aligned temporal tables and tuple projection.
+//!
+//! The scenario shows why arity matters: two columns can each be contained
+//! unary-wise while their *pairing* is wrong (a composer credited for the
+//! wrong game). Only the binary tIND over (Game, Composer) tuples
+//! separates the genuine credits table from the scrambled one.
+//!
+//! ```sh
+//! cargo run --example nary_discovery
+//! ```
+
+use tind::core::nary::discover_nary;
+use tind::core::TindParams;
+use tind::model::{Timeline, WeightFn};
+use tind::wiki::{extract_temporal_tables, PageRevision, PipelineConfig};
+
+fn rev(page: u32, title: &str, day: u32, wikitext: &str) -> PageRevision {
+    PageRevision {
+        page_id: page,
+        title: title.to_string(),
+        day,
+        seq_in_day: 0,
+        wikitext: wikitext.to_string(),
+    }
+}
+
+fn main() {
+    // The authoritative catalog page, growing over time.
+    let catalog_v1 = "\
+{|
+|+ All games
+! Game !! Composer !! Year
+|-
+| Red || Masuda || 1996
+|-
+| Gold || Masuda || 1999
+|}";
+    let catalog_v2 = "\
+{|
+|+ All games
+! Game !! Composer !! Year
+|-
+| Red || Masuda || 1996
+|-
+| Gold || Masuda || 1999
+|-
+| Ruby || Ichinose || 2002
+|}";
+    // A credits table: correct (game, composer) pairings, follows the
+    // catalog with a 3-day delay.
+    let credits_v1 = "\
+{|
+|+ Credits
+! Game !! Composer
+|-
+| Red || Masuda
+|}";
+    let credits_v2 = "\
+{|
+|+ Credits
+! Game !! Composer
+|-
+| Red || Masuda
+|-
+| Ruby || Ichinose
+|}";
+    // A scrambled fan page: same games, same composers — wrong pairing.
+    let scrambled = "\
+{|
+|+ Fan trivia
+! Game !! Composer
+|-
+| Red || Ichinose
+|-
+| Ruby || Masuda
+|}";
+
+    let revisions = vec![
+        rev(1, "Catalog", 0, catalog_v1),
+        rev(1, "Catalog", 20, catalog_v2),
+        rev(2, "Credits", 0, credits_v1),
+        rev(2, "Credits", 23, credits_v2),
+        rev(3, "Fan page", 0, scrambled),
+        rev(3, "Fan page", 30, scrambled),
+    ];
+    let (tables, _dict) = extract_temporal_tables(revisions, &PipelineConfig::new(60));
+    println!("extracted {} temporal tables:", tables.len());
+    for t in &tables {
+        println!(
+            "  {} — columns {:?}, {} versions",
+            t.name(),
+            t.columns(),
+            t.versions().len()
+        );
+    }
+
+    let timeline = Timeline::new(60);
+    let params = TindParams::weighted(0.0, 7, WeightFn::constant_one());
+    let results = discover_nary(&tables, timeline, &params, 3);
+
+    for (level, inds) in results.levels.iter().enumerate() {
+        println!(
+            "\n{}-ary tINDs (ε=0, δ=7) — {} candidates checked, {} valid:",
+            level + 1,
+            results.candidates_checked[level],
+            inds.len()
+        );
+        for ind in inds {
+            println!("  {}", ind.describe(&tables));
+        }
+    }
+
+    println!("\nnote: the fan page's unary columns are contained, but no binary tIND");
+    println!("links it to the catalog — tuple pairing exposes the scrambled data.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a tiny temporal dataset by hand, search it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use tind::core::{IndexConfig, TindIndex, TindParams};
+use tind::model::{DatasetBuilder, Timeline, WeightFn};
+
+fn main() {
+    // A 30-day timeline with three attributes.
+    let timeline = Timeline::new(30);
+    let mut builder = DatasetBuilder::new(timeline);
+
+    // "games": the query — a list that gains a title on day 10.
+    builder.add_attribute(
+        "games",
+        &[(0, vec!["Red", "Blue"]), (10, vec!["Red", "Blue", "Gold"])],
+        29,
+    );
+    // "catalog": always a superset → strict tIND.
+    builder.add_attribute("catalog", &[(0, vec!["Red", "Blue", "Gold", "Silver"])], 29);
+    // "retailer": follows the new title only on day 14 → needs δ ≥ 4 (or ε ≥ 4).
+    builder.add_attribute(
+        "retailer",
+        &[(0, vec!["Red", "Blue"]), (14, vec!["Red", "Blue", "Gold"])],
+        29,
+    );
+    let dataset = Arc::new(builder.build());
+
+    // Build the index once; query it with different relaxations.
+    let index = TindIndex::build(dataset.clone(), IndexConfig::default());
+    let (games, _) = dataset.attribute_by_name("games").expect("exists");
+
+    let print_results = |label: &str, params: &TindParams| {
+        let outcome = index.search(games, params);
+        let names: Vec<&str> =
+            outcome.results.iter().map(|&id| dataset.attribute(id).name()).collect();
+        println!("{label:<28} -> {names:?}");
+    };
+
+    println!("searching for attributes containing 'games':\n");
+    print_results("strict (ε=0, δ=0)", &TindParams::strict());
+    print_results("ε=4 days", &TindParams::weighted(4.0, 0, WeightFn::constant_one()));
+    print_results("δ=4 days", &TindParams::weighted(0.0, 4, WeightFn::constant_one()));
+    print_results("paper default (ε=3, δ=7)", &TindParams::paper_default());
+
+    // Reverse search: who is contained in the catalog?
+    let (catalog, _) = dataset.attribute_by_name("catalog").expect("exists");
+    let reverse = index.reverse_search(catalog, &TindParams::paper_default());
+    let names: Vec<&str> =
+        reverse.results.iter().map(|&id| dataset.attribute(id).name()).collect();
+    println!("\ncontained in 'catalog' (paper default): {names:?}");
+}

@@ -1,0 +1,16 @@
+//! # tind — temporal inclusion dependency discovery
+//!
+//! Facade crate re-exporting the full public API of the workspace: a Rust
+//! implementation of *"Efficient Discovery of Temporal Inclusion
+//! Dependencies in Wikipedia Tables"* (EDBT 2024).
+//!
+//! See the workspace README for a quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use tind_baseline as baseline;
+pub use tind_bloom as bloom;
+pub use tind_core as core;
+pub use tind_datagen as datagen;
+pub use tind_eval as eval;
+pub use tind_model as model;
+pub use tind_wiki as wiki;

@@ -1,0 +1,90 @@
+//! End-to-end integration: generator → wikitext revision stream → wiki
+//! extraction pipeline → tIND index → discovery, with ground truth checked
+//! at the far end.
+
+use std::sync::Arc;
+
+use tind::core::{IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind::datagen::{generate, revisions::render_revisions, GeneratorConfig};
+use tind::model::WeightFn;
+use tind::wiki::{extract_dataset, PipelineConfig};
+
+#[test]
+fn extracted_dataset_supports_tind_discovery_of_planted_pairs() {
+    let cfg = GeneratorConfig::small(60, 31);
+    let generated = generate(&cfg);
+    let revisions = render_revisions(&generated.dataset);
+    let (extracted, report) = extract_dataset(revisions, &PipelineConfig::new(cfg.timeline_days));
+    assert_eq!(report.attributes_kept, generated.dataset.len());
+
+    let extracted = Arc::new(extracted);
+    let index = TindIndex::build(
+        extracted.clone(),
+        IndexConfig {
+            slices: SliceConfig::search_default(200.0, WeightFn::constant_one(), 45),
+            ..IndexConfig::default()
+        },
+    );
+    let generous = TindParams::weighted(200.0, 45, WeightFn::constant_one());
+
+    // Every planted pair must be rediscoverable on the *extracted* dataset
+    // (ids differ; map through names). Renamed pairs are exempt: they are
+    // deliberately undiscoverable without σ-partial containment.
+    for &(lhs, rhs) in generated.truth.genuine_pairs() {
+        if matches!(
+            generated.truth.kind(lhs),
+            tind::datagen::AttrKind::Derived { renamed: true, .. }
+        ) {
+            continue;
+        }
+        let lhs_name =
+            format!("Page {} ▸ Data ▸ Value", generated.dataset.attribute(lhs).name());
+        let rhs_name =
+            format!("Page {} ▸ Data ▸ Value", generated.dataset.attribute(rhs).name());
+        let (lhs_id, _) = extracted.attribute_by_name(&lhs_name).expect("lhs extracted");
+        let (rhs_id, _) = extracted.attribute_by_name(&rhs_name).expect("rhs extracted");
+        let results = index.search(lhs_id, &generous).results;
+        assert!(
+            results.contains(&rhs_id),
+            "planted pair {lhs_name} ⊆ {rhs_name} lost through the pipeline"
+        );
+    }
+}
+
+#[test]
+fn pipeline_report_is_consistent_with_dataset() {
+    let cfg = GeneratorConfig::small(40, 8);
+    let generated = generate(&cfg);
+    let revisions = render_revisions(&generated.dataset);
+    let total_revisions = revisions.len();
+    let (extracted, report) = extract_dataset(revisions, &PipelineConfig::new(cfg.timeline_days));
+    assert_eq!(report.revisions, total_revisions);
+    assert_eq!(report.pages, generated.dataset.len());
+    assert_eq!(report.attributes_kept, extracted.len());
+    assert!(report.attributes_before_filters >= report.attributes_kept);
+    assert!(report.columns_tracked >= report.attributes_before_filters);
+}
+
+#[test]
+fn dataset_file_roundtrip_preserves_search_results() {
+    let cfg = GeneratorConfig::small(50, 12);
+    let generated = generate(&cfg);
+    let dir = std::env::temp_dir().join("tind-integration-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("roundtrip.tind");
+    tind::model::binio::write_dataset_file(&generated.dataset, &path).expect("write");
+    let reloaded = Arc::new(tind::model::binio::read_dataset_file(&path).expect("read"));
+    std::fs::remove_file(&path).ok();
+
+    let original = Arc::new(generated.dataset);
+    let params = TindParams::paper_default();
+    let idx1 = TindIndex::build(original.clone(), IndexConfig::default());
+    let idx2 = TindIndex::build(reloaded.clone(), IndexConfig::default());
+    for q in 0..original.len() as u32 {
+        assert_eq!(
+            idx1.search(q, &params).results,
+            idx2.search(q, &params).results,
+            "query {q} differs after file roundtrip"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Property-based tests over the core invariants, driven by randomly
+//! generated attribute histories (not the workload generator — raw
+//! arbitrary version structures, to hit edge cases the simulator avoids).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use tind::bloom::{BitVec, BloomFilter};
+use tind::core::search::brute_force_search;
+use tind::core::validate::{naive_violation_weight, validate, violation_weight};
+use tind::core::{IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind::model::{
+    binio, DatasetBuilder, Dataset, HistoryBuilder, Interval, Timeline, ValueId, WeightFn,
+};
+
+const TIMELINE: u32 = 60;
+
+/// Strategy: one attribute history over a fixed small timeline and value
+/// universe, as (start, value-set) runs.
+fn history_strategy() -> impl Strategy<Value = Vec<(u32, Vec<ValueId>)>> {
+    // Between 1 and 6 versions; starts in 0..TIMELINE-5; values from 0..12.
+    proptest::collection::vec(
+        (0u32..TIMELINE - 5, proptest::collection::vec(0u32..12, 0..6)),
+        1..6,
+    )
+    .prop_map(|mut versions| {
+        versions.sort_by_key(|(t, _)| *t);
+        versions.dedup_by_key(|(t, _)| *t);
+        versions
+    })
+}
+
+fn build_history(name: &str, versions: &[(u32, Vec<ValueId>)], last: u32) -> tind::model::AttributeHistory {
+    let mut b = HistoryBuilder::new(name);
+    for (t, values) in versions {
+        b.push(*t, values.clone());
+    }
+    b.finish(last.max(versions.last().expect("non-empty").0))
+}
+
+fn dataset_of(histories: Vec<Vec<(u32, Vec<ValueId>)>>) -> Arc<Dataset> {
+    let mut builder = DatasetBuilder::new(Timeline::new(TIMELINE));
+    // Intern ids 0..12 so ValueIds used in strategies are dictionary-valid.
+    for v in 0..12 {
+        builder.dictionary_mut().intern(&format!("value-{v}"));
+    }
+    for (i, versions) in histories.into_iter().enumerate() {
+        builder.add_history(build_history(&format!("attr-{i}"), &versions, TIMELINE - 1));
+    }
+    Arc::new(builder.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 2 must agree with the per-timestamp reference validator
+    /// on arbitrary history pairs and parameters.
+    #[test]
+    fn algorithm2_equals_naive(
+        q in history_strategy(),
+        a in history_strategy(),
+        delta in 0u32..20,
+        eps in 0.0f64..10.0,
+        decay in proptest::option::of(0.5f64..0.99),
+    ) {
+        let d = dataset_of(vec![q, a]);
+        let tl = d.timeline();
+        let weights = match decay {
+            Some(a) => WeightFn::exponential(a, tl),
+            None => WeightFn::constant_one(),
+        };
+        let params = TindParams::weighted(eps, delta, weights);
+        let fast = violation_weight(d.attribute(0), d.attribute(1), &params, tl, false);
+        let naive = naive_violation_weight(d.attribute(0), d.attribute(1), &params, tl);
+        prop_assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
+        prop_assert_eq!(
+            validate(d.attribute(0), d.attribute(1), &params, tl),
+            params.within_budget(naive)
+        );
+    }
+
+    /// Reflexivity (Section 3.4): every attribute is included in itself
+    /// under every parameter setting.
+    #[test]
+    fn reflexivity(q in history_strategy(), delta in 0u32..10, eps in 0.0f64..5.0) {
+        let d = dataset_of(vec![q]);
+        let params = TindParams::weighted(eps, delta, WeightFn::constant_one());
+        prop_assert!(validate(d.attribute(0), d.attribute(0), &params, d.timeline()));
+    }
+
+    /// Violation weight is monotone: growing δ never increases it.
+    #[test]
+    fn delta_monotonicity(q in history_strategy(), a in history_strategy()) {
+        let d = dataset_of(vec![q, a]);
+        let tl = d.timeline();
+        let mut prev = f64::INFINITY;
+        for delta in [0u32, 1, 2, 4, 8, 16] {
+            let params = TindParams::weighted(0.0, delta, WeightFn::constant_one());
+            let w = violation_weight(d.attribute(0), d.attribute(1), &params, tl, false);
+            prop_assert!(w <= prev + 1e-9, "violation grew from {prev} to {w} at δ={delta}");
+            prev = w;
+        }
+    }
+
+    /// Index search with arbitrary small datasets must equal brute force —
+    /// the index may prune only provably invalid candidates.
+    #[test]
+    fn index_search_equals_brute_force(
+        histories in proptest::collection::vec(history_strategy(), 2..8),
+        delta in 0u32..8,
+        eps in 0.0f64..6.0,
+    ) {
+        let d = dataset_of(histories);
+        let index = TindIndex::build(
+            d.clone(),
+            IndexConfig {
+                m: 128,
+                slices: SliceConfig::search_default(eps, WeightFn::constant_one(), 8),
+                ..IndexConfig::default()
+            },
+        );
+        let params = TindParams::weighted(eps, delta, WeightFn::constant_one());
+        for qid in 0..d.len() as u32 {
+            let fast = index.search(qid, &params).results;
+            let brute = brute_force_search(&index, d.attribute(qid), Some(qid), &params);
+            prop_assert_eq!(&fast, &brute, "query {} differs", qid);
+        }
+    }
+
+    /// Bloom filters preserve subsets for arbitrary value sets and sizes.
+    #[test]
+    fn bloom_subset_preservation(
+        small in proptest::collection::btree_set(0u32..500, 0..30),
+        extra in proptest::collection::btree_set(0u32..500, 0..30),
+        m in 8u32..512,
+        k in 1u32..4,
+    ) {
+        let small: Vec<ValueId> = small.into_iter().collect();
+        let mut big = small.clone();
+        big.extend(extra);
+        big.sort_unstable();
+        big.dedup();
+        let fs = BloomFilter::from_values(&small, m, k);
+        let fb = BloomFilter::from_values(&big, m, k);
+        prop_assert!(fs.may_be_subset_of(&fb));
+        for &v in &small {
+            prop_assert!(fs.may_contain(v));
+        }
+    }
+
+    /// BitVec boolean algebra sanity: AND is intersection of one-sets.
+    #[test]
+    fn bitvec_and_is_intersection(
+        xs in proptest::collection::btree_set(0usize..300, 0..60),
+        ys in proptest::collection::btree_set(0usize..300, 0..60),
+    ) {
+        let mut a = BitVec::zeros(300);
+        let mut b = BitVec::zeros(300);
+        for &x in &xs { a.set(x); }
+        for &y in &ys { b.set(y); }
+        let mut and = a.clone();
+        and.and_assign(&b);
+        let expected: Vec<usize> = xs.intersection(&ys).copied().collect();
+        prop_assert_eq!(and.iter_ones().collect::<Vec<_>>(), expected);
+        // Subset relation matches set inclusion.
+        prop_assert_eq!(and.is_subset_of(&a), true);
+        prop_assert_eq!(and.is_subset_of(&b), true);
+    }
+
+    /// Weight functions: closed-form interval sums equal naive sums.
+    #[test]
+    fn weight_interval_sums(
+        start in 0u32..TIMELINE,
+        len in 1u32..TIMELINE,
+        a in 0.5f64..0.999,
+    ) {
+        let tl = Timeline::new(TIMELINE);
+        let end = (start + len - 1).min(tl.last());
+        let interval = Interval::new(start, end);
+        for w in [
+            WeightFn::constant_one(),
+            WeightFn::uniform_normalized(tl),
+            WeightFn::exponential(a, tl),
+            WeightFn::linear(tl),
+        ] {
+            let closed = w.interval_weight(interval);
+            let naive: f64 = interval.iter().map(|t| w.weight(t)).sum();
+            prop_assert!((closed - naive).abs() < 1e-9, "{w:?} on {interval}");
+        }
+    }
+
+    /// History ↔ delta-stream conversion round-trips arbitrary histories.
+    #[test]
+    fn diff_roundtrip(q in history_strategy()) {
+        let h = build_history("h", &q, TIMELINE - 1);
+        let (initial, deltas) = tind::model::diff::to_deltas(&h);
+        let back = tind::model::diff::from_deltas(
+            "h",
+            h.first_observed(),
+            initial,
+            &deltas,
+            h.last_observed(),
+        );
+        prop_assert_eq!(back.versions(), h.versions());
+        // Churn accounting is consistent with the deltas.
+        let stats = tind::model::diff::churn_stats(&h);
+        prop_assert_eq!(stats.changes, deltas.len());
+        prop_assert_eq!(
+            stats.total_added + stats.total_removed,
+            deltas.iter().map(|d| d.churn()).sum::<usize>()
+        );
+    }
+
+    /// σ-partial validity is monotone in σ: lowering σ never invalidates.
+    #[test]
+    fn partial_sigma_monotone(
+        q in history_strategy(),
+        a in history_strategy(),
+        delta in 0u32..6,
+    ) {
+        use tind::core::partial::{partial_validate, PartialParams};
+        let d = dataset_of(vec![q, a]);
+        let tl = d.timeline();
+        let base = TindParams::weighted(2.0, delta, WeightFn::constant_one());
+        let mut prev_valid = false;
+        for sigma in [1.0, 0.8, 0.6, 0.4, 0.2] {
+            let p = PartialParams::new(base.clone(), sigma);
+            let valid = partial_validate(d.attribute(0), d.attribute(1), &p, tl);
+            prop_assert!(!prev_valid || valid, "σ={sigma} invalidated a previously valid pair");
+            prev_valid = valid;
+        }
+    }
+
+    /// Binary serialization round-trips arbitrary datasets.
+    #[test]
+    fn binio_roundtrip(histories in proptest::collection::vec(history_strategy(), 1..6)) {
+        let d = dataset_of(histories);
+        let bytes = binio::encode_dataset(&d);
+        let d2 = binio::decode_dataset(bytes).expect("roundtrip decodes");
+        prop_assert_eq!(d2.len(), d.len());
+        prop_assert_eq!(d2.timeline(), d.timeline());
+        for (id, h) in d.iter() {
+            prop_assert_eq!(d2.attribute(id).versions(), h.versions());
+            prop_assert_eq!(d2.attribute(id).last_observed(), h.last_observed());
+        }
+    }
+}
