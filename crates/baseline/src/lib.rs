@@ -20,4 +20,4 @@ pub mod memory;
 
 pub use kmany::{KManyError, KManyIndex};
 pub use many::ManyIndex;
-pub use memory::MemoryBudget;
+pub use memory::{Charge, MemoryBudget};

@@ -19,7 +19,12 @@ fn bench_allpairs_threads(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
             bench.iter(|| {
-                let out = discover_all_pairs(&index, &params, &AllPairsOptions { threads: t });
+                let out = discover_all_pairs(
+                    &index,
+                    &params,
+                    &AllPairsOptions { threads: t, ..AllPairsOptions::default() },
+                )
+                .expect("no checkpointing configured, discovery cannot fail");
                 black_box(out.pairs.len())
             })
         });

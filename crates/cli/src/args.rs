@@ -31,6 +31,15 @@ pub enum ArgError {
         /// Target type name.
         expected: &'static str,
     },
+    /// An option the command does not understand. Rejected up front so a
+    /// typo'd `--chekpoint` fails at startup instead of silently running a
+    /// long job without checkpointing.
+    UnknownOption {
+        /// The unrecognized option name.
+        option: String,
+        /// Closest known option, if any is plausibly what was meant.
+        suggestion: Option<String>,
+    },
 }
 
 impl std::fmt::Display for ArgError {
@@ -41,6 +50,13 @@ impl std::fmt::Display for ArgError {
             ArgError::BadValue { option, value, expected } => {
                 write!(f, "option --{option}: cannot parse '{value}' as {expected}")
             }
+            ArgError::UnknownOption { option, suggestion } => {
+                write!(f, "unknown option --{option}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean --{s}?)")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -48,7 +64,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["help", "demo", "verbose"];
+const SWITCHES: &[&str] = &["help", "demo", "verbose", "quiet", "resume"];
 
 impl Args {
     /// Parses raw arguments (excluding the program and command names).
@@ -111,6 +127,39 @@ impl Args {
     pub fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
         self.opt(name)?.ok_or_else(|| ArgError::MissingOption(name.to_string()))
     }
+
+    /// Rejects any option or switch not in `allowed`, suggesting the
+    /// closest known name when the typo is near (edit distance ≤ 2).
+    pub fn expect_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        let given = self.options.keys().map(String::as_str).chain(self.switches.iter().map(String::as_str));
+        for name in given {
+            if !allowed.contains(&name) {
+                let suggestion = allowed
+                    .iter()
+                    .map(|a| (edit_distance(name, a), *a))
+                    .filter(|&(d, _)| d <= 2)
+                    .min()
+                    .map(|(_, a)| a.to_string());
+                return Err(ArgError::UnknownOption { option: name.to_string(), suggestion });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Levenshtein distance, for typo suggestions on unknown options.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -145,5 +194,21 @@ mod tests {
         let a = Args::parse::<_, String>([]).expect("empty ok");
         let err = a.required::<u32>("delta").expect_err("missing option");
         assert!(err.to_string().contains("--delta"));
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_with_suggestions() {
+        let a = Args::parse(["--chekpoint", "x.tcp", "--data", "d"]).expect("parses");
+        let err = a.expect_known(&["data", "checkpoint", "resume"]).expect_err("unknown");
+        assert_eq!(
+            err.to_string(),
+            "unknown option --chekpoint (did you mean --checkpoint?)"
+        );
+        a.expect_known(&["data", "chekpoint"]).expect("all known is ok");
+
+        // A switch is checked too, and a wildly wrong name gets no guess.
+        let a = Args::parse(["--resume", "--zzzzzz", "1"]).expect("parses");
+        let err = a.expect_known(&["resume", "data"]).expect_err("unknown");
+        assert_eq!(err.to_string(), "unknown option --zzzzzz");
     }
 }

@@ -4,29 +4,63 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
-use tind_core::{discover_all_pairs, AllPairsOptions, IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind_core::{
+    discover_all_pairs, AllPairsError, AllPairsOptions, CancelToken, Checkpoint, CheckpointPolicy,
+    IndexConfig, SliceConfig, TindIndex, TindParams,
+};
 use tind_datagen::{generate, GeneratorConfig};
 use tind_eval::{ExpContext, Scale};
 use tind_model::binio::{read_dataset_file, write_dataset_file, BinIoError};
 use tind_model::stats::DatasetStats;
-use tind_model::{AttrId, Dataset, WeightFn};
+use tind_model::{AttrId, Dataset, MemoryBudget, WeightFn};
 
 use crate::args::{ArgError, Args};
 
-/// Errors surfaced to the user.
+/// Errors surfaced to the user. Each maps to a stable process exit code
+/// (see [`CliError::exit_code`]) so orchestration scripts can distinguish
+/// "bad invocation" from "corrupt data" from "interrupted run".
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command line.
     Args(ArgError),
     /// Unknown command or experiment.
     Unknown(String),
-    /// Dataset file I/O or decoding failure.
+    /// Dataset file I/O or decoding failure (including checksum
+    /// mismatches on any persisted artifact).
     Data(BinIoError),
     /// Other I/O failure (CSV output, ...).
     Io(std::io::Error),
+    /// Fault-tolerant discovery failed (checkpoint unwritable, resume
+    /// mismatch, or an unquarantined worker panic).
+    Discovery(AllPairsError),
+    /// A long-running command was interrupted (Ctrl-C or deadline) and
+    /// stopped gracefully; `summary` describes the preserved progress.
+    Interrupted {
+        /// Human-readable progress report, including the checkpoint path
+        /// when one was written.
+        summary: String,
+    },
     /// Anything else worth telling the user.
     Message(String),
+}
+
+/// Stable exit codes; documented in DESIGN.md ("Failure model & recovery").
+impl CliError {
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Message(_) => 1,
+            CliError::Args(_) | CliError::Unknown(_) => 2,
+            CliError::Data(_) => 3,
+            CliError::Io(_) => 4,
+            CliError::Discovery(_) => 5,
+            // Convention: 128 + SIGINT, like a shell reports an
+            // interrupted child.
+            CliError::Interrupted { .. } => 130,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -36,6 +70,8 @@ impl std::fmt::Display for CliError {
             CliError::Unknown(what) => write!(f, "unknown {what} (try `tind help`)"),
             CliError::Data(e) => write!(f, "dataset error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Discovery(e) => write!(f, "discovery error: {e}"),
+            CliError::Interrupted { summary } => write!(f, "interrupted: {summary}"),
             CliError::Message(m) => f.write_str(m),
         }
     }
@@ -58,6 +94,45 @@ impl From<std::io::Error> for CliError {
         CliError::Io(e)
     }
 }
+impl From<AllPairsError> for CliError {
+    fn from(e: AllPairsError) -> Self {
+        CliError::Discovery(e)
+    }
+}
+
+/// Options each command understands; anything else is rejected before the
+/// command runs, so a typo'd `--chekpoint` cannot silently strip fault
+/// tolerance from a long job.
+const PARAMS: &[&str] = &["eps", "delta", "decay"];
+fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
+    let mut allowed: Vec<&str> = match command {
+        "generate" => vec!["attributes", "seed", "preset", "out", "truth-out"],
+        "stats" => vec!["data"],
+        "search" | "reverse-search" => vec!["data", "query", "limit", "index"],
+        "partial-search" => vec!["data", "query", "sigma", "limit"],
+        "top-k" => vec!["data", "query", "k", "index"],
+        "explain" => vec!["data", "lhs", "rhs"],
+        "index" => vec!["data", "out", "m", "reverse"],
+        "explore" => vec!["data", "index"],
+        "all-pairs" => vec![
+            "data", "threads", "checkpoint", "checkpoint-every", "deadline", "memory-limit",
+            "resume", "quiet",
+        ],
+        "verify" => vec!["file"],
+        "pipeline" => vec!["dump", "timeline", "out", "demo", "attributes", "seed"],
+        "experiment" => vec!["scale", "seed", "threads", "attributes", "queries", "csv-dir"],
+        "list-experiments" | "help" | "--help" | "-h" => vec![],
+        _ => return None,
+    };
+    if matches!(
+        command,
+        "search" | "reverse-search" | "partial-search" | "top-k" | "explain" | "index" | "all-pairs"
+    ) {
+        allowed.extend_from_slice(PARAMS);
+    }
+    allowed.push("help");
+    Some(allowed)
+}
 
 /// Dispatches a full command line (without the program name).
 pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
@@ -65,6 +140,9 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         return Ok(crate::USAGE.to_string());
     };
     let args = Args::parse(rest.iter().cloned())?;
+    if let Some(allowed) = allowed_options(command.as_str()) {
+        args.expect_known(&allowed)?;
+    }
     match command.as_str() {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
@@ -76,6 +154,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "index" => cmd_index(&args),
         "explore" => cmd_explore(&args),
         "all-pairs" => cmd_all_pairs(&args),
+        "verify" => cmd_verify(&args),
         "pipeline" => cmd_pipeline(&args),
         "experiment" => cmd_experiment(&args),
         "list-experiments" => Ok(list_experiments()),
@@ -195,7 +274,7 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
 
     let mut out = String::new();
     let direction = if reverse { "⊇" } else { "⊆" };
-    writeln!(
+    let _ = writeln!(
         out,
         "{} results for '{}' {direction} · (ε={}, δ={}), query took {} (index build {})",
         outcome.results.len(),
@@ -204,22 +283,19 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         params.delta,
         tind_eval::report::fmt_duration(elapsed),
         tind_eval::report::fmt_duration(build),
-    )
-    .expect("write to string");
+    );
     for &id in outcome.results.iter().take(limit) {
-        writeln!(out, "  {}", dataset.attribute(id).name()).expect("write to string");
+        let _ = writeln!(out, "  {}", dataset.attribute(id).name());
     }
     if outcome.results.len() > limit {
-        writeln!(out, "  … and {} more (raise --limit)", outcome.results.len() - limit)
-            .expect("write to string");
+        let _ = writeln!(out, "  … and {} more (raise --limit)", outcome.results.len() - limit);
     }
     let s = &outcome.stats;
-    writeln!(
+    let _ = writeln!(
         out,
         "pruning: {} → {} (required values) → {} (time slices) → {} (exact) → {} valid",
         s.initial, s.after_required, s.after_slices, s.after_exact, s.validated
-    )
-    .expect("write to string");
+    );
     Ok(out)
 }
 
@@ -238,7 +314,7 @@ fn cmd_partial_search(args: &Args) -> Result<String, CliError> {
     let outcome = tind_core::partial::partial_search(&index, query, &params);
     let elapsed = start.elapsed();
     let mut out = String::new();
-    writeln!(
+    let _ = writeln!(
         out,
         "{} σ-partial results for '{}' (σ={}, ε={}, δ={}), query took {}",
         outcome.results.len(),
@@ -247,14 +323,12 @@ fn cmd_partial_search(args: &Args) -> Result<String, CliError> {
         params.base.eps,
         params.base.delta,
         tind_eval::report::fmt_duration(elapsed),
-    )
-    .expect("write to string");
+    );
     for &id in outcome.results.iter().take(limit) {
-        writeln!(out, "  {}", dataset.attribute(id).name()).expect("write to string");
+        let _ = writeln!(out, "  {}", dataset.attribute(id).name());
     }
     if outcome.results.len() > limit {
-        writeln!(out, "  … and {} more (raise --limit)", outcome.results.len() - limit)
-            .expect("write to string");
+        let _ = writeln!(out, "  … and {} more (raise --limit)", outcome.results.len() - limit);
     }
     Ok(out)
 }
@@ -263,14 +337,67 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
     let dataset = load_dataset(args)?;
     let params = parse_params(args, &dataset)?;
     let threads = args.opt_or("threads", 0usize)?;
+    let checkpoint_path: Option<PathBuf> = args.opt::<String>("checkpoint")?.map(Into::into);
+    let checkpoint_every = args.opt_or("checkpoint-every", 256usize)?;
+    let deadline_secs = args.opt::<f64>("deadline")?;
+    let memory_limit = args.opt::<usize>("memory-limit")?;
+
+    // --resume picks up where an interrupted run's checkpoint left off; a
+    // missing checkpoint file just means "first attempt", so restart
+    // loops can pass --resume unconditionally.
+    let resume_from = if args.switch("resume") {
+        let path = checkpoint_path
+            .as_ref()
+            .ok_or_else(|| CliError::Message("--resume requires --checkpoint FILE".into()))?;
+        if path.exists() {
+            let cp = Checkpoint::read_file(path)?;
+            cp.verify_matches(&dataset, &params)?;
+            Some(cp)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    let resumed = resume_from.as_ref().map_or(0, |cp| cp.completed.len());
+
     let config = IndexConfig {
         slices: SliceConfig::search_default(params.eps, params.weights.clone(), params.delta),
         ..IndexConfig::default()
     };
     let (index, build) = tind_eval::stats::time_it(|| TindIndex::build(dataset.clone(), config));
-    let outcome = discover_all_pairs(&index, &params, &AllPairsOptions { threads });
-    Ok(format!(
-        "{} tINDs among {} attributes (ε={}, δ={})\nindex build {}, discovery {}, {} validations\n",
+
+    let options = AllPairsOptions {
+        threads,
+        checkpoint: checkpoint_path
+            .clone()
+            .map(|p| CheckpointPolicy::new(p).every(checkpoint_every)),
+        resume_from,
+        cancel: Some(CancelToken::install_ctrl_c()),
+        deadline: deadline_secs.map(Duration::from_secs_f64),
+        memory_budget: memory_limit.map(MemoryBudget::new),
+        progress_every: if args.switch("quiet") { 0 } else { (dataset.len() / 10).max(1) },
+        fault_hook: None,
+    };
+    let outcome = discover_all_pairs(&index, &params, &options)?;
+
+    if outcome.cancelled {
+        let checkpoint_note = match (&checkpoint_path, outcome.checkpoint_written) {
+            (Some(p), true) => format!("; progress checkpointed to {}", p.display()),
+            _ => "; no checkpoint configured — progress lost (pass --checkpoint FILE)".into(),
+        };
+        return Err(CliError::Interrupted {
+            summary: format!(
+                "all-pairs stopped after {}/{} queries ({} pairs so far){checkpoint_note}",
+                outcome.completed_queries,
+                outcome.total_queries,
+                outcome.pairs.len(),
+            ),
+        });
+    }
+
+    let mut out = format!(
+        "{} tINDs among {} attributes (ε={}, δ={})\nindex build {}, discovery {}, {} validations, {} worker thread(s)\n",
         outcome.pairs.len(),
         dataset.len(),
         params.eps,
@@ -278,7 +405,80 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
         tind_eval::report::fmt_duration(build),
         tind_eval::report::fmt_duration(outcome.elapsed),
         outcome.validations_run,
-    ))
+        outcome.threads_used,
+    );
+    if resumed > 0 {
+        let _ = writeln!(out, "resumed past {resumed} previously completed queries");
+    }
+    if !outcome.poisoned_queries.is_empty() {
+        let _ = writeln!(
+            out,
+            "WARNING: {} query attribute(s) panicked and were quarantined: {:?}",
+            outcome.poisoned_queries.len(),
+            outcome.poisoned_queries,
+        );
+    }
+    Ok(out)
+}
+
+/// Verifies the integrity (magic, format version, CRC-32 trailer, and
+/// where possible full structure) of a persisted dataset, index, or
+/// checkpoint file.
+fn cmd_verify(args: &Args) -> Result<String, CliError> {
+    let path: PathBuf = match args.positional().first() {
+        Some(p) => p.clone().into(),
+        None => args.required::<String>("file")?.into(),
+    };
+    let raw = std::fs::read(&path)?;
+    let size = raw.len();
+    let bytes = bytes::Bytes::from(raw);
+    if bytes.len() < 8 {
+        return Err(CliError::Data(BinIoError::Corrupt(
+            "file too short to hold a magic header".into(),
+        )));
+    }
+    let kind = &bytes[..7];
+    let detail = if kind == &tind_model::binio::MAGIC[..7] {
+        let dataset = tind_model::binio::decode_dataset(bytes)?;
+        format!(
+            "dataset: {} attributes over a {}-day timeline, {} dictionary entries",
+            dataset.len(),
+            dataset.timeline().len(),
+            dataset.dictionary().len(),
+        )
+    } else if kind == &tind_core::persist::INDEX_MAGIC[..7] {
+        let fingerprint = tind_core::persist::verify_index_container(&bytes)?;
+        match args.opt::<String>("data")? {
+            Some(data_path) => {
+                let dataset = Arc::new(read_dataset_file(std::path::Path::new(&data_path))?);
+                let index = tind_core::persist::decode_index(bytes, dataset)?;
+                format!(
+                    "index: bound to dataset {data_path} (fingerprint {fingerprint:#018x}), {} time slices",
+                    index.time_slices().len(),
+                )
+            }
+            None => format!(
+                "index: container intact, dataset fingerprint {fingerprint:#018x} \
+                 (pass --data FILE to verify the full structure)"
+            ),
+        }
+    } else if kind == &tind_core::checkpoint::CHECKPOINT_MAGIC[..7] {
+        let cp = Checkpoint::decode(bytes)?;
+        format!(
+            "checkpoint: {}/{} queries completed, {} pairs, {} poisoned, dataset fingerprint {:#018x}{}",
+            cp.completed.len(),
+            cp.total_queries,
+            cp.pairs.len(),
+            cp.poisoned.len(),
+            cp.dataset_fingerprint,
+            if cp.is_complete() { " (run complete)" } else { "" },
+        )
+    } else {
+        return Err(CliError::Data(BinIoError::Corrupt(
+            "unrecognized file type (not a tind dataset, index, or checkpoint)".into(),
+        )));
+    };
+    Ok(format!("OK {} ({size} bytes)\n{detail}\n", path.display()))
 }
 
 fn cmd_top_k(args: &Args) -> Result<String, CliError> {
@@ -299,21 +499,19 @@ fn cmd_top_k(args: &Args) -> Result<String, CliError> {
     let ranked = tind_core::topk::top_k_search(&index, query, k, delta, &weights);
     let elapsed = start.elapsed();
     let mut out = String::new();
-    writeln!(
+    let _ = writeln!(
         out,
         "top-{k} right-hand sides for '{}' by violation weight (δ={delta}), {} elapsed:",
         dataset.attribute(query).name(),
         tind_eval::report::fmt_duration(elapsed),
-    )
-    .expect("write to string");
+    );
     for r in &ranked {
-        writeln!(
+        let _ = writeln!(
             out,
             "  {:<40} violation {:.3}",
             dataset.attribute(r.rhs).name(),
             r.violation
-        )
-        .expect("write to string");
+        );
     }
     Ok(out)
 }
@@ -548,7 +746,7 @@ fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
 fn list_experiments() -> String {
     let mut out = String::from("available experiments:\n");
     for (id, description, _) in tind_eval::experiments::all() {
-        writeln!(out, "  {id:<10} {description}").expect("write to string");
+        let _ = writeln!(out, "  {id:<10} {description}");
     }
     out
 }
@@ -577,17 +775,16 @@ fn cmd_experiment(args: &Args) -> Result<String, CliError> {
     for id in ids {
         let report = tind_eval::experiments::run_by_id(id, &ctx)
             .ok_or_else(|| CliError::Unknown(format!("experiment '{id}'")))?;
-        writeln!(out, "{report}").expect("write to string");
+        let _ = writeln!(out, "{report}");
         if let Some(dir) = &csv_dir {
             std::fs::create_dir_all(dir)?;
             let path = dir.join(format!("{id}.csv"));
             std::fs::write(&path, report.table.to_csv())?;
-            writeln!(out, "  (csv written to {})", path.display()).expect("write to string");
+            let _ = writeln!(out, "  (csv written to {})", path.display());
             if let Some(figure) = &report.figure {
                 let svg_path = dir.join(format!("{id}.svg"));
                 std::fs::write(&svg_path, figure.render_svg())?;
-                writeln!(out, "  (figure written to {})", svg_path.display())
-                    .expect("write to string");
+                let _ = writeln!(out, "  (figure written to {})", svg_path.display());
             }
         }
     }
@@ -840,5 +1037,111 @@ mod tests {
             run(&["experiment", "fig7", "--scale", "mega"]),
             Err(CliError::Unknown(_))
         ));
+    }
+
+    /// Writes a small dataset and returns its path as a string.
+    fn small_dataset(name: &str) -> String {
+        let path = temp_file(name);
+        let path_str = path.to_str().expect("utf8 path").to_string();
+        run(&["generate", "--attributes", "60", "--seed", "11", "--preset", "small", "--out",
+            &path_str])
+        .expect("generates");
+        path_str
+    }
+
+    #[test]
+    fn verify_accepts_dataset_and_checkpoint_rejects_corruption() {
+        let data = small_dataset("cli-verify.tind");
+        let out = run(&["verify", &data]).expect("clean dataset verifies");
+        assert!(out.starts_with("OK "), "{out}");
+        assert!(out.contains("dataset: 60 attributes"), "{out}");
+
+        // Bit rot anywhere in the file must surface as a checksum error
+        // (exit code 3), not a garbage decode.
+        let mut rotten = std::fs::read(&data).expect("read");
+        let middle_bit = rotten.len() * 4;
+        tind_core::fault::flip_bit(&mut rotten, middle_bit);
+        let rotten_path = temp_file("cli-verify-rotten.tind");
+        std::fs::write(&rotten_path, &rotten).expect("write");
+        let err = run(&["verify", rotten_path.to_str().expect("utf8")])
+            .expect_err("corruption must be rejected");
+        assert!(matches!(&err, CliError::Data(BinIoError::Checksum { .. })), "{err}");
+        assert_eq!(err.exit_code(), 3);
+
+        assert!(matches!(run(&["verify"]), Err(CliError::Args(_))));
+    }
+
+    #[test]
+    fn all_pairs_deadline_interrupts_and_resume_completes() {
+        let data = small_dataset("cli-resume.tind");
+        let ckpt = temp_file("cli-resume.ckpt");
+        let ckpt_str = ckpt.to_str().expect("utf8 path");
+        let _ = std::fs::remove_file(&ckpt);
+
+        // Deadline of zero: stops at the first query boundary.
+        let err = run(&["all-pairs", "--data", &data, "--checkpoint", ckpt_str, "--deadline",
+            "0", "--quiet"])
+        .expect_err("zero deadline must interrupt");
+        let CliError::Interrupted { summary } = &err else {
+            panic!("expected Interrupted, got {err}");
+        };
+        assert!(summary.contains("progress checkpointed"), "{summary}");
+        assert_eq!(err.exit_code(), 130);
+
+        let out = run(&["verify", ckpt_str]).expect("checkpoint file verifies");
+        assert!(out.contains("checkpoint:"), "{out}");
+
+        // Resuming (twice, to also cover resume-of-complete) finishes the
+        // run and reports the same pairs as an uninterrupted one.
+        let resumed = run(&["all-pairs", "--data", &data, "--checkpoint", ckpt_str, "--resume",
+            "--quiet"])
+        .expect("resume completes");
+        let fresh =
+            run(&["all-pairs", "--data", &data, "--quiet"]).expect("fresh run completes");
+        assert_eq!(
+            resumed.lines().next().expect("first line"),
+            fresh.lines().next().expect("first line"),
+            "resumed pair count must match the uninterrupted run"
+        );
+
+        // --resume without --checkpoint is a usage error.
+        assert!(matches!(
+            run(&["all-pairs", "--data", &data, "--resume"]),
+            Err(CliError::Message(_))
+        ));
+    }
+
+    #[test]
+    fn typoed_options_fail_before_the_command_runs() {
+        // The canonical hazard: --chekpoint would otherwise run a long
+        // discovery with no checkpointing at all.
+        let err = run(&["all-pairs", "--data", "unused.tind", "--chekpoint", "x.tcp"])
+            .expect_err("typo rejected");
+        assert_eq!(err.exit_code(), 2, "unknown option is a usage error");
+        assert!(
+            err.to_string().contains("did you mean --checkpoint?"),
+            "suggestion missing from: {err}"
+        );
+        // Rejection happens before any file i/o: the dataset path above
+        // does not exist, yet the error is about the option, not the file.
+        assert!(err.to_string().contains("--chekpoint"));
+
+        // Options from *other* commands are not accepted cross-command.
+        let err = run(&["stats", "--data", "unused.tind", "--checkpoint", "x.tcp"])
+            .expect_err("foreign option rejected");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(CliError::Message("m".into()).exit_code(), 1);
+        assert_eq!(CliError::Unknown("u".into()).exit_code(), 2);
+        assert_eq!(CliError::Data(BinIoError::Corrupt("c".into())).exit_code(), 3);
+        assert_eq!(CliError::Io(std::io::Error::other("io")).exit_code(), 4);
+        assert_eq!(
+            CliError::Discovery(AllPairsError::Internal("boom")).exit_code(),
+            5
+        );
+        assert_eq!(CliError::Interrupted { summary: String::new() }.exit_code(), 130);
     }
 }

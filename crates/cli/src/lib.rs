@@ -52,6 +52,16 @@ COMMANDS:
                       --data FILE --query NAME-OR-ID [--k K=5] [--delta D=7] [--decay A]
   all-pairs         discover all tINDs
                       --data FILE [--eps DAYS=3] [--delta DAYS=7] [--threads T]
+                      [--checkpoint FILE]    periodically persist progress
+                      [--checkpoint-every N=256]  queries between checkpoints
+                      [--resume]             continue from --checkpoint FILE
+                      [--deadline SECS]      stop gracefully after a wall-clock budget
+                      [--memory-limit BYTES] degrade parallelism under a memory budget
+                      [--quiet]              suppress periodic progress lines
+                    (Ctrl-C checkpoints and exits 130; resumed runs produce
+                    byte-identical results)
+  verify            check a persisted artifact's magic and checksum
+                      <FILE> [--data FILE]   dataset, index, or checkpoint file
   index             build and persist an index file
                       --data FILE --out FILE [--m M=4096] [--eps E=3] [--delta D=7]
                       [--reverse true]
@@ -67,4 +77,8 @@ COMMANDS:
                       [--threads T] [--attributes N] [--queries Q] [--csv-dir DIR]
   list-experiments  list experiment ids and descriptions
   help              show this message
+
+EXIT CODES:
+  0 ok · 1 error · 2 bad usage · 3 corrupt or mismatched data · 4 i/o
+  5 discovery failure · 130 interrupted (progress checkpointed when enabled)
 ";

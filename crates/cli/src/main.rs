@@ -6,7 +6,7 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(err) => {
             eprintln!("error: {err}");
-            std::process::exit(1);
+            std::process::exit(err.exit_code());
         }
     }
 }

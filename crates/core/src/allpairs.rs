@@ -1,24 +1,114 @@
-//! All-pairs tIND discovery (Section 3.5, evaluated in §5.2).
+//! All-pairs tIND discovery (Section 3.5, evaluated in §5.2) with a
+//! fault-tolerance layer for multi-hour runs.
 //!
 //! The all-pairs problem is solved by querying every attribute against the
 //! index. As the paper notes at the end of §4.2.2, the profitable axis of
 //! parallelism is *across queries* (not within one query's validation):
 //! workers pull query ids from a shared atomic cursor and collect result
 //! pairs locally, merging at the end.
+//!
+//! Because a paper-scale run takes hours, the discovery loop is built to
+//! survive the failures such runs actually meet:
+//!
+//! * **Checkpoint/resume** — completed query ids and their pairs are
+//!   periodically persisted ([`crate::checkpoint`]); a run restarted with
+//!   [`AllPairsOptions::resume_from`] skips finished queries and produces
+//!   byte-identical `pairs` to an uninterrupted run.
+//! * **Panic quarantine** — each per-query search runs under
+//!   `catch_unwind`; a panicking query is recorded in
+//!   [`AllPairsOutcome::poisoned_queries`] while the other workers keep
+//!   draining the cursor.
+//! * **Cooperative cancellation and deadlines** — a [`CancelToken`] and an
+//!   optional wall-clock budget are polled at query boundaries, so a
+//!   cancelled run stops in a checkpointable state.
+//! * **Memory-budget degradation** — extra workers charge their scratch
+//!   estimate against an optional [`MemoryBudget`]; when the budget is
+//!   exhausted the run degrades toward sequential execution instead of
+//!   aborting.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use tind_model::AttrId;
+use tind_model::binio::BinIoError;
+use tind_model::{AttrId, MemoryBudget};
 
+use crate::cancel::CancelToken;
+use crate::checkpoint::Checkpoint;
+use crate::fault::FaultHook;
 use crate::index::TindIndex;
 use crate::params::TindParams;
 
+/// Estimated per-candidate scratch bytes a worker needs while validating
+/// one query (violation accumulators, candidate bitsets, result staging).
+/// Deliberately conservative; used only for [`MemoryBudget`] accounting.
+pub const WORKER_SCRATCH_BYTES_PER_ATTR: usize = 48;
+
+/// When and where to persist progress checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (written atomically via temp file + rename).
+    pub path: PathBuf,
+    /// Completed queries between checkpoint writes.
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing to `path` every 256 completed queries.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy { path: path.into(), every: 256 }
+    }
+
+    /// Overrides the checkpoint interval (clamped to at least 1).
+    pub fn every(mut self, every: usize) -> Self {
+        self.every = every.max(1);
+        self
+    }
+}
+
 /// Options for all-pairs discovery.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct AllPairsOptions {
     /// Worker threads. `0` means one per available CPU.
     pub threads: usize,
+    /// Periodic checkpointing of completed queries and accumulated pairs.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume state from an earlier, interrupted run; its dataset
+    /// fingerprint and parameter digest must match or discovery refuses
+    /// to start.
+    pub resume_from: Option<Checkpoint>,
+    /// Cooperative cancellation flag, polled at query boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock budget for this run (measured from the call, not
+    /// including any resumed work). The run stops in a checkpointable
+    /// state when the deadline passes.
+    pub deadline: Option<Duration>,
+    /// Memory accountant; extra workers beyond the first charge their
+    /// scratch estimate and are shed when the budget is exhausted.
+    pub memory_budget: Option<MemoryBudget>,
+    /// Emit a one-line progress report to stderr every this many
+    /// completed queries; `0` (the default) is quiet.
+    pub progress_every: usize,
+    /// Test-only fault injection: invoked with each query id right before
+    /// its search (see [`crate::fault`]).
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl std::fmt::Debug for AllPairsOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllPairsOptions")
+            .field("threads", &self.threads)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume_from", &self.resume_from.as_ref().map(|c| c.completed.len()))
+            .field("cancel", &self.cancel)
+            .field("deadline", &self.deadline)
+            .field("memory_budget", &self.memory_budget)
+            .field("progress_every", &self.progress_every)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
 }
 
 /// Result of all-pairs discovery.
@@ -31,55 +121,266 @@ pub struct AllPairsOutcome {
     pub elapsed: std::time::Duration,
     /// Total number of Algorithm-2 validations across all queries.
     pub validations_run: usize,
+    /// Number of query attributes in the problem.
+    pub total_queries: usize,
+    /// Queries completed by the end of this call (including resumed ones).
+    pub completed_queries: usize,
+    /// Queries skipped because the resume checkpoint already covered them.
+    pub resumed_queries: usize,
+    /// Queries whose search panicked and was quarantined, sorted.
+    pub poisoned_queries: Vec<AttrId>,
+    /// Whether the run stopped early due to cancellation or deadline.
+    pub cancelled: bool,
+    /// Worker threads actually used after memory-budget degradation.
+    pub threads_used: usize,
+    /// Whether a checkpoint file reflecting the final state was written.
+    pub checkpoint_written: bool,
+}
+
+/// Errors from fault-tolerant all-pairs discovery.
+#[derive(Debug)]
+pub enum AllPairsError {
+    /// The resume checkpoint belongs to a different dataset or different
+    /// search parameters.
+    ResumeMismatch(BinIoError),
+    /// A checkpoint could not be written (disk full, permissions, ...).
+    CheckpointWrite(BinIoError),
+    /// A worker panicked outside the per-query quarantine; the run's
+    /// bookkeeping can no longer be trusted.
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for AllPairsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllPairsError::ResumeMismatch(e) => write!(f, "cannot resume: {e}"),
+            AllPairsError::CheckpointWrite(e) => write!(f, "checkpoint write failed: {e}"),
+            AllPairsError::Internal(msg) => write!(f, "internal all-pairs failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AllPairsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllPairsError::ResumeMismatch(e) | AllPairsError::CheckpointWrite(e) => Some(e),
+            AllPairsError::Internal(_) => None,
+        }
+    }
+}
+
+/// Mutable run state shared by the workers (behind one mutex; workers
+/// touch it once per completed query, which is far coarser than the
+/// per-candidate hot path inside a search).
+struct Shared {
+    state: Checkpoint,
+    since_checkpoint: usize,
+    since_progress: usize,
+    last_checkpoint_at: Instant,
+    checkpoint_written: bool,
+    checkpoint_error: Option<BinIoError>,
+    fresh_completed: usize,
+}
+
+impl Shared {
+    /// Sorts the accumulated sets so the state is a valid [`Checkpoint`].
+    fn normalize(&mut self) {
+        self.state.completed.sort_unstable();
+        self.state.poisoned.sort_unstable();
+        self.state.pairs.sort_unstable();
+    }
+
+    fn write_checkpoint(&mut self, policy: &CheckpointPolicy) {
+        self.normalize();
+        match self.state.write_file(&policy.path) {
+            Ok(()) => {
+                self.checkpoint_written = true;
+                self.since_checkpoint = 0;
+                self.last_checkpoint_at = Instant::now();
+            }
+            Err(e) => self.checkpoint_error = Some(e),
+        }
+    }
+
+    fn progress_line(&self, started: Instant) -> String {
+        let done = self.state.completed.len();
+        let total = self.state.total_queries;
+        let elapsed = started.elapsed();
+        let eta = if self.fresh_completed > 0 && done < total {
+            let per_query = elapsed.as_secs_f64() / self.fresh_completed as f64;
+            format!("{:.0}s", per_query * (total - done) as f64)
+        } else {
+            "?".to_string()
+        };
+        let ckpt_age = if self.checkpoint_written {
+            format!("{:.0}s", self.last_checkpoint_at.elapsed().as_secs_f64())
+        } else {
+            "none".to_string()
+        };
+        format!(
+            "all-pairs: {done}/{total} queries, {} pairs, {} poisoned, eta {eta}, checkpoint age {ckpt_age}",
+            self.state.pairs.len(),
+            self.state.poisoned.len(),
+        )
+    }
 }
 
 /// Discovers every valid tIND among the indexed attributes.
+///
+/// With default options this behaves like the original exhaustive pass.
+/// See [`AllPairsOptions`] for checkpointing, resume, cancellation,
+/// deadline, and memory-budget behaviour. The discovered `pairs` are a
+/// pure function of (dataset, params): any interrupted run resumed from
+/// its checkpoint yields exactly the pairs of an uninterrupted run.
 pub fn discover_all_pairs(
     index: &TindIndex,
     params: &TindParams,
     options: &AllPairsOptions,
-) -> AllPairsOutcome {
-    let start = std::time::Instant::now();
+) -> Result<AllPairsOutcome, AllPairsError> {
+    let start = Instant::now();
     let num_attrs = index.dataset().len();
-    let threads = if options.threads == 0 {
+
+    // Resume state: mark already-completed queries so workers skip them.
+    let base = match &options.resume_from {
+        Some(cp) => {
+            cp.verify_matches(index.dataset(), params)
+                .map_err(AllPairsError::ResumeMismatch)?;
+            cp.clone()
+        }
+        None => Checkpoint::fresh(index.dataset(), params),
+    };
+    let resumed_queries = base.completed.len();
+    let mut done = vec![false; num_attrs];
+    for &q in &base.completed {
+        done[q as usize] = true;
+    }
+
+    let requested = if options.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         options.threads
     }
-    .min(num_attrs.max(1));
+    .clamp(1, num_attrs.max(1));
 
+    // Memory-budget degradation: the first worker always runs (sequential
+    // execution is the floor), each additional worker must afford its
+    // scratch estimate.
+    let scratch = num_attrs.saturating_mul(WORKER_SCRATCH_BYTES_PER_ATTR);
+    let mut charges = Vec::new();
+    let threads = match &options.memory_budget {
+        Some(budget) => {
+            let mut granted = 1;
+            for _ in 1..requested {
+                match budget.try_charge(scratch) {
+                    Some(charge) => {
+                        charges.push(charge);
+                        granted += 1;
+                    }
+                    None => break,
+                }
+            }
+            granted
+        }
+        None => requested,
+    };
+
+    let deadline = options.deadline.map(|d| start + d);
     let cursor = AtomicUsize::new(0);
-    let merged: Mutex<Vec<(AttrId, AttrId)>> = Mutex::new(Vec::new());
-    let total_validations = AtomicUsize::new(0);
+    let stopped_early = AtomicBool::new(false);
+    let shared = Mutex::new(Shared {
+        state: base,
+        since_checkpoint: 0,
+        since_progress: 0,
+        last_checkpoint_at: start,
+        checkpoint_written: false,
+        checkpoint_error: None,
+        fresh_completed: 0,
+    });
 
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
-                let mut local: Vec<(AttrId, AttrId)> = Vec::new();
-                let mut local_validations = 0usize;
                 loop {
+                    if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+                        || deadline.is_some_and(|d| Instant::now() >= d)
+                    {
+                        stopped_early.store(true, Ordering::Relaxed);
+                        break;
+                    }
                     let q = cursor.fetch_add(1, Ordering::Relaxed);
                     if q >= num_attrs {
                         break;
                     }
-                    let outcome = index.search(q as AttrId, params);
-                    local_validations += outcome.stats.validations_run;
-                    local.extend(outcome.results.into_iter().map(|rhs| (q as AttrId, rhs)));
+                    if done[q] {
+                        continue;
+                    }
+                    // Quarantine: a panicking query must not take down the
+                    // scope — record it and keep draining the cursor.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(hook) = &options.fault_hook {
+                            hook(q as AttrId);
+                        }
+                        index.search(q as AttrId, params)
+                    }));
+
+                    let mut s = shared.lock();
+                    match result {
+                        Ok(outcome) => {
+                            s.state.validations_run += outcome.stats.validations_run;
+                            s.state
+                                .pairs
+                                .extend(outcome.results.into_iter().map(|rhs| (q as AttrId, rhs)));
+                        }
+                        Err(_) => s.state.poisoned.push(q as AttrId),
+                    }
+                    s.state.completed.push(q as AttrId);
+                    s.fresh_completed += 1;
+                    s.since_checkpoint += 1;
+                    s.since_progress += 1;
+                    if let Some(policy) = &options.checkpoint {
+                        if s.since_checkpoint >= policy.every && s.checkpoint_error.is_none() {
+                            s.write_checkpoint(policy);
+                        }
+                    }
+                    if options.progress_every > 0 && s.since_progress >= options.progress_every {
+                        s.since_progress = 0;
+                        eprintln!("{}", s.progress_line(start));
+                    }
                 }
-                total_validations.fetch_add(local_validations, Ordering::Relaxed);
-                merged.lock().append(&mut local);
             });
         }
-    })
-    .expect("all-pairs worker panicked");
-
-    let mut pairs = merged.into_inner();
-    pairs.sort_unstable();
-    AllPairsOutcome {
-        pairs,
-        elapsed: start.elapsed(),
-        validations_run: total_validations.into_inner(),
+    });
+    if scope_result.is_err() {
+        return Err(AllPairsError::Internal("all-pairs worker panicked outside quarantine"));
     }
+
+    let mut s = shared.into_inner();
+    if let Some(e) = s.checkpoint_error.take() {
+        return Err(AllPairsError::CheckpointWrite(e));
+    }
+    s.normalize();
+    // Final checkpoint so a cancelled (or just-finished) run can always be
+    // resumed/inspected, even when the interval had not elapsed.
+    if let Some(policy) = &options.checkpoint {
+        s.write_checkpoint(policy);
+        if let Some(e) = s.checkpoint_error.take() {
+            return Err(AllPairsError::CheckpointWrite(e));
+        }
+    }
+    let completed_queries = s.state.completed.len();
+    let cancelled = stopped_early.into_inner() && completed_queries < num_attrs;
+    Ok(AllPairsOutcome {
+        pairs: s.state.pairs,
+        elapsed: start.elapsed(),
+        validations_run: s.state.validations_run,
+        total_queries: num_attrs,
+        completed_queries,
+        resumed_queries,
+        poisoned_queries: s.state.poisoned,
+        cancelled,
+        threads_used: threads,
+        checkpoint_written: s.checkpoint_written,
+    })
 }
 
 #[cfg(test)]
@@ -100,13 +401,25 @@ mod tests {
         Arc::new(b.build())
     }
 
+    fn discover(
+        idx: &TindIndex,
+        params: &TindParams,
+        options: &AllPairsOptions,
+    ) -> AllPairsOutcome {
+        discover_all_pairs(idx, params, options).expect("discovery succeeds")
+    }
+
     #[test]
     fn discovers_the_containment_chain() {
         let d = chain_dataset();
         let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
-        let out = discover_all_pairs(&idx, &TindParams::strict(), &AllPairsOptions::default());
+        let out = discover(&idx, &TindParams::strict(), &AllPairsOptions::default());
         assert_eq!(out.pairs, vec![(0, 1), (0, 2), (1, 2)]);
         assert!(out.validations_run >= out.pairs.len());
+        assert_eq!(out.completed_queries, 4);
+        assert_eq!(out.total_queries, 4);
+        assert!(!out.cancelled);
+        assert!(out.poisoned_queries.is_empty());
     }
 
     #[test]
@@ -114,8 +427,8 @@ mod tests {
         let d = chain_dataset();
         let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
         let p = TindParams::paper_default();
-        let one = discover_all_pairs(&idx, &p, &AllPairsOptions { threads: 1 });
-        let many = discover_all_pairs(&idx, &p, &AllPairsOptions { threads: 4 });
+        let one = discover(&idx, &p, &AllPairsOptions { threads: 1, ..Default::default() });
+        let many = discover(&idx, &p, &AllPairsOptions { threads: 4, ..Default::default() });
         assert_eq!(one.pairs, many.pairs);
     }
 
@@ -124,7 +437,7 @@ mod tests {
         let d = chain_dataset();
         let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
         let p = TindParams::paper_default();
-        let out = discover_all_pairs(&idx, &p, &AllPairsOptions::default());
+        let out = discover(&idx, &p, &AllPairsOptions::default());
         let mut expected = Vec::new();
         for (qid, hist) in d.iter() {
             for rhs in brute_force_search(&idx, hist, Some(qid), &p) {
@@ -133,5 +446,183 @@ mod tests {
         }
         expected.sort_unstable();
         assert_eq!(out.pairs, expected);
+    }
+
+    #[test]
+    fn poisoned_query_is_quarantined() {
+        let d = chain_dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
+        let p = TindParams::strict();
+        let out = discover(
+            &idx,
+            &p,
+            &AllPairsOptions {
+                threads: 2,
+                fault_hook: Some(crate::fault::poison_hook(&[1])),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.poisoned_queries, vec![1]);
+        assert_eq!(out.completed_queries, 4, "poisoned query still counts as handled");
+        // Query 1's pairs are lost; everything else is intact.
+        assert_eq!(out.pairs, vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_immediately() {
+        let d = chain_dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
+        let token = CancelToken::new();
+        token.cancel();
+        let out = discover(
+            &idx,
+            &TindParams::strict(),
+            &AllPairsOptions { threads: 2, cancel: Some(token), ..Default::default() },
+        );
+        assert!(out.cancelled);
+        assert_eq!(out.completed_queries, 0);
+        assert!(out.pairs.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_stops_immediately() {
+        let d = chain_dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
+        let out = discover(
+            &idx,
+            &TindParams::strict(),
+            &AllPairsOptions {
+                threads: 1,
+                deadline: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert!(out.cancelled);
+        assert_eq!(out.completed_queries, 0);
+    }
+
+    #[test]
+    fn memory_budget_degrades_to_sequential() {
+        let d = chain_dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
+        // A zero budget cannot afford any extra worker.
+        let out = discover(
+            &idx,
+            &TindParams::strict(),
+            &AllPairsOptions {
+                threads: 4,
+                memory_budget: Some(MemoryBudget::new(0)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.threads_used, 1, "degraded to sequential");
+        assert_eq!(out.pairs, vec![(0, 1), (0, 2), (1, 2)], "results unaffected");
+        // A budget affording exactly one extra worker grants two.
+        let scratch = d.len() * WORKER_SCRATCH_BYTES_PER_ATTR;
+        let budget = MemoryBudget::new(scratch);
+        let out = discover(
+            &idx,
+            &TindParams::strict(),
+            &AllPairsOptions {
+                threads: 4,
+                memory_budget: Some(budget.clone()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.threads_used, 2);
+        assert_eq!(budget.used_bytes(), 0, "charges released after the run");
+    }
+
+    #[test]
+    fn checkpoint_resume_produces_identical_pairs() {
+        let d = chain_dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
+        let p = TindParams::paper_default();
+        let full = discover(&idx, &p, &AllPairsOptions::default());
+
+        let dir = std::env::temp_dir().join("tind-allpairs-ckpt-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.tcp");
+
+        // Cancel after two completed queries (single-threaded so the
+        // boundary is exact), checkpointing every completed query.
+        let token = CancelToken::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let hook: crate::fault::FaultHook = {
+            let token = token.clone();
+            let counter = counter.clone();
+            Arc::new(move |_q| {
+                if counter.fetch_add(1, Ordering::Relaxed) >= 2 {
+                    token.cancel();
+                }
+            })
+        };
+        // The hook fires *before* the search, so cancel lands before the
+        // third query runs; but the cancel check happens at the loop head,
+        // so the third search still executes. Either way the checkpoint
+        // only ever contains fully completed queries.
+        let interrupted = discover(
+            &idx,
+            &p,
+            &AllPairsOptions {
+                threads: 1,
+                cancel: Some(token),
+                checkpoint: Some(CheckpointPolicy::new(&path).every(1)),
+                fault_hook: Some(hook),
+                ..Default::default()
+            },
+        );
+        assert!(interrupted.cancelled);
+        assert!(interrupted.completed_queries < full.total_queries);
+        assert!(interrupted.checkpoint_written);
+
+        let cp = Checkpoint::read_file(&path).expect("checkpoint readable");
+        let resumed = discover(
+            &idx,
+            &p,
+            &AllPairsOptions { threads: 2, resume_from: Some(cp), ..Default::default() },
+        );
+        assert!(!resumed.cancelled);
+        assert_eq!(resumed.pairs, full.pairs, "resume must reproduce the full result");
+        assert_eq!(resumed.resumed_queries, interrupted.completed_queries);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_from_wrong_dataset_is_refused() {
+        let d = chain_dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
+        let p = TindParams::paper_default();
+        let mut other = DatasetBuilder::new(Timeline::new(50));
+        other.add_attribute("x", &[(0, vec!["7"])], 49);
+        let other = Arc::new(other.build());
+        let cp = Checkpoint::fresh(&other, &p);
+        let err = discover_all_pairs(
+            &idx,
+            &p,
+            &AllPairsOptions { resume_from: Some(cp), ..Default::default() },
+        )
+        .expect_err("must refuse");
+        assert!(matches!(err, AllPairsError::ResumeMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_from_complete_checkpoint_is_a_no_op() {
+        let d = chain_dataset();
+        let idx = TindIndex::build(d.clone(), IndexConfig { m: 512, ..IndexConfig::default() });
+        let p = TindParams::paper_default();
+        let full = discover(&idx, &p, &AllPairsOptions::default());
+        let mut cp = Checkpoint::fresh(&d, &p);
+        cp.completed = (0..d.len() as AttrId).collect();
+        cp.pairs = full.pairs.clone();
+        cp.validations_run = full.validations_run;
+        let resumed = discover(
+            &idx,
+            &p,
+            &AllPairsOptions { resume_from: Some(cp), ..Default::default() },
+        );
+        assert_eq!(resumed.pairs, full.pairs);
+        assert_eq!(resumed.resumed_queries, d.len());
+        assert!(!resumed.cancelled);
     }
 }

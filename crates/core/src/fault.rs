@@ -1,0 +1,77 @@
+//! Deterministic fault injection for testing the fault-tolerance layer.
+//!
+//! Robustness claims are only as good as the failures they were tested
+//! against. This module provides the three failure modes the all-pairs
+//! layer defends against, in deterministic, test-controllable form:
+//!
+//! * **Panicking queries** — [`poison_hook`] builds a
+//!   [`FaultHook`] that panics when the worker reaches a planted
+//!   "poison" attribute, exercising the `catch_unwind` quarantine path.
+//! * **Truncation** — [`truncated`] cuts a serialized file short at an
+//!   arbitrary byte, as a crashed writer or full disk would.
+//! * **Bit rot** — [`flip_bit`] flips a single bit, as silent media
+//!   corruption would; the CRC-32 trailer must catch every such flip.
+//!
+//! The hook is a regular (cheap) option on [`crate::AllPairsOptions`]
+//! rather than a `cfg(test)` field so integration tests in dependent
+//! crates can use it; production callers simply leave it `None`.
+
+use std::sync::Arc;
+
+use tind_model::AttrId;
+
+/// A callback run at the start of every per-query search in all-pairs
+/// discovery. Intended for fault injection (panics) and test
+/// instrumentation (counting progress, triggering cancellation at a
+/// chosen boundary).
+pub type FaultHook = Arc<dyn Fn(AttrId) + Send + Sync>;
+
+/// A hook that panics when asked to search any of `poison` — simulating a
+/// query whose validation trips a latent bug (bad history, arithmetic
+/// overflow, ...). All other queries pass through untouched.
+pub fn poison_hook(poison: &[AttrId]) -> FaultHook {
+    let poison = poison.to_vec();
+    Arc::new(move |q| {
+        if poison.contains(&q) {
+            panic!("injected fault: poisoned query {q}");
+        }
+    })
+}
+
+/// Returns `bytes` truncated to its first `keep` bytes.
+pub fn truncated(bytes: &[u8], keep: usize) -> Vec<u8> {
+    bytes[..keep.min(bytes.len())].to_vec()
+}
+
+/// Flips the single bit at `bit_index` (counted from byte 0, LSB first).
+pub fn flip_bit(bytes: &mut [u8], bit_index: usize) {
+    bytes[bit_index / 8] ^= 1 << (bit_index % 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_hook_panics_only_on_planted_ids() {
+        let hook = poison_hook(&[3, 5]);
+        hook(0);
+        hook(4);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook(5)))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("poisoned query 5"), "{msg}");
+    }
+
+    #[test]
+    fn corruption_helpers_do_what_they_say() {
+        let data = vec![0b1010_1010u8, 0xFF, 0x00];
+        assert_eq!(truncated(&data, 2), vec![0b1010_1010, 0xFF]);
+        assert_eq!(truncated(&data, 99), data);
+        let mut flipped = data.clone();
+        flip_bit(&mut flipped, 0);
+        assert_eq!(flipped[0], 0b1010_1011);
+        flip_bit(&mut flipped, 0);
+        assert_eq!(flipped, data, "flipping twice restores");
+    }
+}

@@ -20,7 +20,10 @@
 //! | [`index`] | §4.2 | the chained Bloom-matrix index (`M_T`, `M_{I_1..I_k}`, `M_R`) |
 //! | [`search`] | §4.2, Alg. 1 | tIND search with candidate pruning and violation tracking |
 //! | [`reverse`] | §4.5 | reverse tIND search (`A ⊆ Q`) |
-//! | [`allpairs`] | §3.5 | parallel all-pairs discovery |
+//! | [`allpairs`] | §3.5 | parallel all-pairs discovery (fault-tolerant: checkpoint/resume, panic quarantine, cancellation) |
+//! | [`checkpoint`] | — | checksummed, fingerprint-guarded progress checkpoints |
+//! | [`cancel`] | — | cooperative cancellation tokens (incl. Ctrl-C wiring) |
+//! | [`fault`] | — | deterministic fault injection for tests |
 //!
 //! ## Quick example
 //!
@@ -40,7 +43,10 @@
 //! ```
 
 pub mod allpairs;
+pub mod cancel;
+pub mod checkpoint;
 pub mod explain;
+pub mod fault;
 pub mod incremental;
 pub mod index;
 pub mod nary;
@@ -55,7 +61,11 @@ pub mod validate;
 
 pub mod partial;
 
-pub use allpairs::{discover_all_pairs, AllPairsOptions, AllPairsOutcome};
+pub use allpairs::{
+    discover_all_pairs, AllPairsError, AllPairsOptions, AllPairsOutcome, CheckpointPolicy,
+};
+pub use cancel::CancelToken;
+pub use checkpoint::Checkpoint;
 pub use index::{IndexConfig, TindIndex};
 pub use params::TindParams;
 pub use search::{SearchOptions, SearchOutcome, SearchStats};

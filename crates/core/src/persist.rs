@@ -11,15 +11,19 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tind_bloom::BloomMatrix;
 use tind_model::binio::{
-    dataset_fingerprint, get_varint, get_weight_fn, put_varint, put_weight_fn, BinIoError,
+    check_magic, dataset_fingerprint, get_varint, get_weight_fn, put_varint, put_weight_fn,
+    BinIoError,
 };
+use tind_model::checksum;
 use tind_model::{Dataset, Interval, ValueId, ValueSet};
 
 use crate::index::{IndexConfig, TimeSlice, TindIndex};
 use crate::slices::{SliceConfig, SliceStrategy};
 
 /// Magic bytes identifying a serialized index, including a format version.
-pub const INDEX_MAGIC: &[u8; 8] = b"TINDIX\x00\x01";
+/// Version 2 appended the CRC-32 integrity trailer (see
+/// [`tind_model::checksum`]).
+pub const INDEX_MAGIC: &[u8; 8] = b"TINDIX\x00\x02";
 
 fn corrupt(msg: impl Into<String>) -> BinIoError {
     BinIoError::Corrupt(msg.into())
@@ -104,17 +108,30 @@ pub fn encode_index(index: &TindIndex) -> Bytes {
         }
         None => buf.put_u8(0),
     }
+    checksum::append_trailer(&mut buf);
     buf.freeze()
+}
+
+/// Verifies the container integrity of a serialized index — magic header,
+/// format version, and CRC-32 trailer — without binding it to a dataset.
+/// Returns the embedded dataset fingerprint. Used by `tind verify`, which
+/// has the file but not necessarily the dataset it was built over.
+pub fn verify_index_container(bytes: &Bytes) -> Result<u64, BinIoError> {
+    check_magic(bytes, INDEX_MAGIC, "index")?;
+    let mut buf = checksum::verify_and_strip(bytes.clone())?;
+    buf.advance(INDEX_MAGIC.len());
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated fingerprint"));
+    }
+    Ok(buf.get_u64_le())
 }
 
 /// Deserializes an index and re-binds it to `dataset`, verifying the
 /// embedded fingerprint.
 pub fn decode_index(bytes: Bytes, dataset: Arc<Dataset>) -> Result<TindIndex, BinIoError> {
-    let mut buf = bytes;
-    if buf.remaining() < INDEX_MAGIC.len() || &buf.copy_to_bytes(INDEX_MAGIC.len())[..] != INDEX_MAGIC
-    {
-        return Err(corrupt("bad index magic header"));
-    }
+    check_magic(&bytes, INDEX_MAGIC, "index")?;
+    let mut buf = checksum::verify_and_strip(bytes)?;
+    buf.advance(INDEX_MAGIC.len());
     if buf.remaining() < 8 {
         return Err(corrupt("truncated fingerprint"));
     }

@@ -21,8 +21,12 @@ pub fn run(ctx: &ExpContext) -> Report {
 
     let (index, build_time) =
         time_it(|| TindIndex::build(dataset.clone(), IndexConfig { seed: ctx.seed, ..IndexConfig::default() }));
-    let tind_outcome =
-        discover_all_pairs(&index, &params, &AllPairsOptions { threads: ctx.threads });
+    let tind_outcome = discover_all_pairs(
+        &index,
+        &params,
+        &AllPairsOptions { threads: ctx.threads, ..AllPairsOptions::default() },
+    )
+    .expect("no checkpointing configured, discovery cannot fail");
     let tinds = &tind_outcome.pairs;
 
     let (static_pairs, static_time) = time_it(|| {

@@ -13,7 +13,8 @@ use crate::time::Timeline;
 use crate::value::ValueId;
 
 /// Magic bytes identifying a serialized dataset, including a format version.
-pub const MAGIC: &[u8; 8] = b"TINDDS\x00\x01";
+/// Version 2 appended the CRC-32 integrity trailer (see [`crate::checksum`]).
+pub const MAGIC: &[u8; 8] = b"TINDDS\x00\x02";
 
 /// Errors arising while decoding a serialized dataset.
 #[derive(Debug)]
@@ -22,6 +23,14 @@ pub enum BinIoError {
     Io(std::io::Error),
     /// The byte stream does not conform to the format.
     Corrupt(String),
+    /// The integrity trailer does not match the payload: the file was
+    /// truncated or bit-flipped after it was written.
+    Checksum {
+        /// CRC-32 stored in the trailer.
+        stored: u32,
+        /// CRC-32 recomputed over the payload.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for BinIoError {
@@ -29,6 +38,11 @@ impl std::fmt::Display for BinIoError {
         match self {
             BinIoError::Io(e) => write!(f, "i/o error: {e}"),
             BinIoError::Corrupt(msg) => write!(f, "corrupt dataset file: {msg}"),
+            BinIoError::Checksum { stored, computed } => write!(
+                f,
+                "checksum mismatch: trailer says {stored:#010x} but payload hashes to \
+                 {computed:#010x} (file truncated or corrupted)"
+            ),
         }
     }
 }
@@ -37,7 +51,7 @@ impl std::error::Error for BinIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BinIoError::Io(e) => Some(e),
-            BinIoError::Corrupt(_) => None,
+            BinIoError::Corrupt(_) | BinIoError::Checksum { .. } => None,
         }
     }
 }
@@ -50,6 +64,24 @@ impl From<std::io::Error> for BinIoError {
 
 fn corrupt(msg: impl Into<String>) -> BinIoError {
     BinIoError::Corrupt(msg.into())
+}
+
+/// Validates an 8-byte magic header (7-byte identifier + version byte),
+/// distinguishing "not this kind of file" from "right file, wrong
+/// version" so operators see an actionable message.
+pub fn check_magic(bytes: &[u8], magic: &[u8; 8], what: &str) -> Result<(), BinIoError> {
+    if bytes.len() < magic.len() || bytes[..magic.len() - 1] != magic[..magic.len() - 1] {
+        return Err(corrupt(format!("bad {what} magic header")));
+    }
+    let version = bytes[magic.len() - 1];
+    if version != magic[magic.len() - 1] {
+        return Err(corrupt(format!(
+            "unsupported {what} format version {version} (this build reads version {}; \
+             re-generate the file)",
+            magic[magic.len() - 1]
+        )));
+    }
+    Ok(())
 }
 
 /// LEB128-style unsigned varint encoding.
@@ -127,15 +159,15 @@ pub fn encode_dataset(dataset: &Dataset) -> Bytes {
             }
         }
     }
+    crate::checksum::append_trailer(&mut buf);
     buf.freeze()
 }
 
 /// Deserializes a dataset from bytes produced by [`encode_dataset`].
 pub fn decode_dataset(bytes: Bytes) -> Result<Dataset, BinIoError> {
-    let mut buf = bytes;
-    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
-        return Err(corrupt("bad magic header"));
-    }
+    check_magic(&bytes, MAGIC, "dataset")?;
+    let mut buf = crate::checksum::verify_and_strip(bytes)?;
+    buf.advance(MAGIC.len());
     let timeline_len =
         u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("timeline length overflow"))?;
     if timeline_len == 0 {

@@ -1,0 +1,162 @@
+//! Hand-rolled CRC-32 integrity trailers for persisted files.
+//!
+//! Every on-disk artifact (datasets, indexes, checkpoints) ends with a
+//! 4-byte little-endian CRC-32 (ISO-HDLC polynomial, the zlib/PNG variant)
+//! computed over everything before the trailer. Structural decoding alone
+//! catches malformed files, but not silent truncation at a value boundary
+//! or single-bit rot inside a varint run; the trailer turns both into a
+//! typed [`BinIoError::Checksum`] instead of a garbage decode.
+//!
+//! The implementation is table-driven and dependency-free per the
+//! workspace policy (see DESIGN.md).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::binio::BinIoError;
+
+/// Size in bytes of the checksum trailer appended to persisted files.
+pub const TRAILER_LEN: usize = 4;
+
+/// The 256-entry CRC-32 table for the reflected polynomial `0xEDB88320`,
+/// generated at compile time.
+const CRC_TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (ISO-HDLC / zlib variant) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut state = Crc32::new();
+    state.update(bytes);
+    state.finish()
+}
+
+/// Incremental CRC-32 state, for hashing data produced in chunks.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state (equivalent to hashing zero bytes).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finalizes and returns the checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Appends the CRC-32 of everything currently in `buf` as a 4-byte
+/// little-endian trailer.
+pub fn append_trailer(buf: &mut BytesMut) {
+    let crc = crc32(&buf[..]);
+    buf.put_u32_le(crc);
+}
+
+/// Verifies the trailing CRC-32 of `bytes` and returns the payload with
+/// the trailer stripped.
+///
+/// Fails with [`BinIoError::Corrupt`] if the buffer is too short to hold a
+/// trailer at all, and with [`BinIoError::Checksum`] if the stored and
+/// recomputed values disagree (truncation, bit rot, or concatenated
+/// garbage).
+pub fn verify_and_strip(bytes: Bytes) -> Result<Bytes, BinIoError> {
+    if bytes.len() < TRAILER_LEN {
+        return Err(BinIoError::Corrupt("file too short for checksum trailer".into()));
+    }
+    let split = bytes.len() - TRAILER_LEN;
+    let stored = u32::from_le_bytes(bytes[split..].try_into().expect("4-byte slice"));
+    let computed = crc32(&bytes[..split]);
+    if stored != computed {
+        return Err(BinIoError::Checksum { stored, computed });
+    }
+    Ok(bytes.slice(0..split))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"hello checksummed world";
+        let mut inc = Crc32::new();
+        inc.update(&data[..5]);
+        inc.update(&data[5..]);
+        assert_eq!(inc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn trailer_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"payload bytes");
+        append_trailer(&mut buf);
+        let stripped = verify_and_strip(buf.freeze()).expect("valid trailer");
+        assert_eq!(&stripped[..], b"payload bytes");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"some serialized structure follows here");
+        append_trailer(&mut buf);
+        let clean = buf.freeze().to_vec();
+        for bit in 0..clean.len() * 8 {
+            let mut corrupted = clean.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            let err = verify_and_strip(Bytes::from(corrupted))
+                .expect_err("flipped bit must be detected");
+            assert!(matches!(err, BinIoError::Checksum { .. }), "bit {bit}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"0123456789abcdef");
+        append_trailer(&mut buf);
+        let clean = buf.freeze();
+        for cut in 0..clean.len() {
+            assert!(verify_and_strip(clean.slice(0..cut)).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -27,10 +27,12 @@
 //! convention used consistently by `tind-core`'s validators and index.
 
 pub mod binio;
+pub mod checksum;
 pub mod dataset;
 pub mod diff;
 pub mod hash;
 pub mod history;
+pub mod memory;
 pub mod snapshot;
 pub mod stats;
 pub mod table;
@@ -39,6 +41,7 @@ pub mod value;
 pub mod weights;
 
 pub use dataset::{AttrId, Dataset, DatasetBuilder};
+pub use memory::{Charge, MemoryBudget};
 pub use history::{AttributeHistory, HistoryBuilder, Version};
 pub use table::{TableVersion, TemporalTable, TupleInterner};
 pub use time::{Interval, Timeline, Timestamp};

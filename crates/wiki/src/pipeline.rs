@@ -57,6 +57,10 @@ pub struct PipelineReport {
     /// Revisions dropped by the explicit vandalism filter (0 when the
     /// filter is off).
     pub vandalism_dropped: usize,
+    /// Revisions dropped because their day falls outside the configured
+    /// timeline. A malformed timestamp in a multi-GB dump must not abort
+    /// hours of extraction, so these are counted instead of panicking.
+    pub out_of_range_dropped: usize,
     /// Distinct tables tracked across all pages.
     pub tables_tracked: usize,
     /// Distinct columns tracked across all tables.
@@ -121,17 +125,18 @@ fn process_page(
     builder: &mut DatasetBuilder,
     report: &mut PipelineReport,
 ) {
-    let title = &page_revs.last().expect("non-empty page group").title;
+    let Some(last_rev) = page_revs.last() else {
+        return; // empty page group: nothing to extract
+    };
+    let title = &last_rev.title;
     let mut table_matcher = TableMatcher::new();
     let mut tables: BTreeMap<u32, TableState> = BTreeMap::new();
 
     for rev in page_revs {
-        assert!(
-            rev.day < config.timeline_days,
-            "revision day {} beyond timeline {}",
-            rev.day,
-            config.timeline_days
-        );
+        if rev.day >= config.timeline_days {
+            report.out_of_range_dropped += 1;
+            continue;
+        }
         let raw_tables = parse_tables(&rev.wikitext);
         let table_ids = table_matcher.match_revision(&raw_tables);
         let present: std::collections::HashSet<u32> = table_ids.iter().copied().collect();
@@ -367,6 +372,20 @@ mod tests {
         assert_eq!(report.vandalism_dropped, 6);
         let dict = dataset.dictionary();
         assert!(dict.get("JUNK0-0").is_none(), "filtered content must not be interned");
+    }
+
+    #[test]
+    fn out_of_range_revisions_are_dropped_not_fatal() {
+        let all =
+            ["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby", "Sapphire"];
+        let mut revs: Vec<PageRevision> =
+            (0..6u32).map(|i| games_page(i * 10, 0, &all[..4 + i as usize], false)).collect();
+        // A revision with a day beyond the timeline (malformed timestamp).
+        revs.insert(3, games_page(5000, 0, &all, false));
+        let (dataset, report) = extract_dataset(revs, &PipelineConfig::new(100));
+        assert_eq!(report.out_of_range_dropped, 1);
+        assert_eq!(report.pages, 1);
+        assert!(dataset.attribute_by_name("Pokémon video games ▸ Games ▸ Game").is_some());
     }
 
     #[test]

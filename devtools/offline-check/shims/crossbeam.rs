@@ -1,0 +1,33 @@
+//! Minimal stand-in for `crossbeam`, used only by the offline
+//! typecheck/test harness. Provides `crossbeam::scope` on top of
+//! `std::thread::scope`, converting a propagated child panic into the
+//! `Err` the real crate returns. NOT part of the shipped library.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scope handle passed to the `scope` closure; `spawn` closures receive a
+/// reference to it (and may ignore it), as with the real crate.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; joins
+/// them all, returning `Err` if any thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}

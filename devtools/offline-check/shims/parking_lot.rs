@@ -1,0 +1,23 @@
+//! Minimal stand-in for `parking_lot`, used only by the offline
+//! typecheck/test harness. Wraps `std::sync::Mutex` with parking_lot's
+//! non-poisoning API shape. NOT part of the shipped library.
+
+/// Mutex whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;

@@ -1,0 +1,186 @@
+//! Minimal stand-in for the `rand` crate, used only by the offline
+//! typecheck/test harness when the registry is unreachable. Deterministic
+//! xoshiro256++ behind the `rand 0.10` method names this workspace uses
+//! (`seed_from_u64`, `random`, `random_range`, `shuffle`). Streams differ
+//! from the real `StdRng`, so seed-sensitive expectations may differ under
+//! the harness; invariant-style tests are unaffected. NOT part of the
+//! shipped library.
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// The random-value extension surface (`random`, `random_range`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// rand 0.10 splits ergonomics into an extension trait; here it is the
+/// same trait under a second name so both import styles resolve.
+pub use Rng as RngExt;
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod rngs {
+    /// xoshiro256++ — not the real `StdRng` stream, but deterministic.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait Random {
+    fn random<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`]. Like the real crate, these
+/// are two blanket impls over a `SampleUniform` element trait — that
+/// single-impl shape is what lets inference resolve mixed-literal calls
+/// such as `rng.random_range(6..=8).min(len)`.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+pub trait SampleUniform: Copy {
+    fn sample_half_open<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    fn sample_inclusive<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo + (rng.next_u64() % span) as $t
+            }
+            fn sample_inclusive<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        let unit: f64 = Random::random(rng);
+        lo + (hi - lo) * unit
+    }
+    fn sample_inclusive<R: Rng>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        let unit: f64 = Random::random(rng);
+        lo + (hi - lo) * unit
+    }
+}
+
+pub mod seq {
+    /// Fisher–Yates shuffle, matching the one method this workspace uses.
+    pub trait SliceRandom {
+        fn shuffle<R: crate::Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: crate::Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}

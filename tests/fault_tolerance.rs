@@ -1,0 +1,350 @@
+//! Cross-crate fault-tolerance tests: checkpoint/resume determinism,
+//! panic quarantine, and checksummed-persistence corruption rejection.
+//!
+//! The deterministic tests below enumerate *every* kill point
+//! exhaustively; the `proptest!` block at the bottom re-covers the same
+//! invariants under randomized datasets, thread counts, and corruption
+//! offsets (it is skipped by the offline harness, which stubs out
+//! proptest — see `devtools/offline-check/run.sh`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tind::core::checkpoint::Checkpoint;
+use tind::core::fault::{flip_bit, poison_hook, truncated, FaultHook};
+use tind::core::{
+    discover_all_pairs, AllPairsError, AllPairsOptions, CancelToken, CheckpointPolicy,
+    IndexConfig, TindIndex, TindParams,
+};
+use tind::datagen::{generate, GeneratorConfig};
+use tind::model::binio::{decode_dataset, encode_dataset, BinIoError};
+use tind::model::Dataset;
+
+fn small_world(attributes: usize, seed: u64) -> (Arc<Dataset>, TindIndex, TindParams) {
+    let dataset = Arc::new(generate(&GeneratorConfig::small(attributes, seed)).dataset);
+    let index = TindIndex::build(dataset.clone(), IndexConfig::default());
+    (dataset, index, TindParams::paper_default())
+}
+
+fn ckpt_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tind-fault-tolerance-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+/// Runs all-pairs, killing it at the query boundary after `kill_after`
+/// completed queries (threads=1 makes the boundary exact), then resumes
+/// from the checkpoint and returns both outcomes' pairs.
+fn kill_and_resume(
+    index: &TindIndex,
+    params: &TindParams,
+    path: &std::path::Path,
+    kill_after: usize,
+) -> (Vec<(u32, u32)>, usize) {
+    let _ = std::fs::remove_file(path);
+    let token = CancelToken::new();
+    let counter = Arc::new(AtomicUsize::new(0));
+    let hook: FaultHook = {
+        let token = token.clone();
+        let counter = Arc::clone(&counter);
+        Arc::new(move |_q| {
+            if counter.fetch_add(1, Ordering::Relaxed) >= kill_after {
+                token.cancel();
+            }
+        })
+    };
+    let interrupted = discover_all_pairs(
+        index,
+        params,
+        &AllPairsOptions {
+            threads: 1,
+            cancel: Some(token),
+            checkpoint: Some(CheckpointPolicy::new(path).every(1)),
+            fault_hook: Some(hook),
+            ..Default::default()
+        },
+    )
+    .expect("interrupted run still returns an outcome");
+
+    let cp = Checkpoint::read_file(path).expect("checkpoint readable after kill");
+    let resumed = discover_all_pairs(
+        index,
+        params,
+        &AllPairsOptions {
+            resume_from: Some(cp),
+            ..Default::default()
+        },
+    )
+    .expect("resumed run completes");
+    assert!(!resumed.cancelled);
+    (resumed.pairs, interrupted.completed_queries)
+}
+
+#[test]
+fn killing_after_every_checkpoint_boundary_resumes_identically() {
+    let (_dataset, index, params) = small_world(28, 5);
+    let full = discover_all_pairs(&index, &params, &AllPairsOptions::default())
+        .expect("uninterrupted run");
+    assert!(!full.pairs.is_empty(), "test needs a dataset with some tINDs");
+    let path = ckpt_path("every-boundary.tcp");
+
+    // Every possible kill point, including "before the first query" and
+    // "after the last one".
+    for kill_after in 0..=full.total_queries {
+        let (pairs, completed) = kill_and_resume(&index, &params, &path, kill_after);
+        assert_eq!(
+            pairs, full.pairs,
+            "kill after {kill_after} queries ({completed} completed) changed the result"
+        );
+    }
+}
+
+#[test]
+fn resume_skips_completed_queries() {
+    let (_dataset, index, params) = small_world(24, 9);
+    let path = ckpt_path("resume-skips.tcp");
+    let _ = std::fs::remove_file(&path);
+
+    let token = CancelToken::new();
+    let counter = Arc::new(AtomicUsize::new(0));
+    let hook: FaultHook = {
+        let token = token.clone();
+        let counter = Arc::clone(&counter);
+        Arc::new(move |_q| {
+            if counter.fetch_add(1, Ordering::Relaxed) >= 7 {
+                token.cancel();
+            }
+        })
+    };
+    discover_all_pairs(
+        &index,
+        &params,
+        &AllPairsOptions {
+            threads: 1,
+            cancel: Some(token),
+            checkpoint: Some(CheckpointPolicy::new(&path).every(1)),
+            fault_hook: Some(hook),
+            ..Default::default()
+        },
+    )
+    .expect("interrupted run");
+
+    let cp = Checkpoint::read_file(&path).expect("checkpoint");
+    let done_before = cp.completed.len();
+    assert!(done_before >= 7, "checkpoint holds the completed prefix");
+    let resumed = discover_all_pairs(
+        &index,
+        &params,
+        &AllPairsOptions { resume_from: Some(cp), ..Default::default() },
+    )
+    .expect("resumed run");
+    assert_eq!(resumed.resumed_queries, done_before);
+    assert_eq!(
+        resumed.completed_queries,
+        resumed.total_queries,
+        "resume must finish the remainder"
+    );
+}
+
+#[test]
+fn checkpoint_from_different_dataset_or_params_is_refused() {
+    let (dataset_a, index_a, params) = small_world(20, 1);
+    let (dataset_b, index_b, _) = small_world(20, 2);
+
+    let cp = Checkpoint::fresh(&dataset_a, &params);
+    assert!(cp.verify_matches(&dataset_a, &params).is_ok());
+    assert!(matches!(cp.verify_matches(&dataset_b, &params), Err(BinIoError::Corrupt(_))));
+
+    let other_params = TindParams::weighted(99.0, 3, tind::model::WeightFn::constant_one());
+    assert!(matches!(cp.verify_matches(&dataset_a, &other_params), Err(BinIoError::Corrupt(_))));
+
+    // The discovery entry point enforces the same guard.
+    let err = discover_all_pairs(
+        &index_b,
+        &params,
+        &AllPairsOptions { resume_from: Some(cp), ..Default::default() },
+    )
+    .expect_err("foreign checkpoint must be refused");
+    assert!(matches!(err, AllPairsError::ResumeMismatch(_)), "{err}");
+    // Matching everything still works, so the guard is not just "always
+    // refuse".
+    let own = Checkpoint::fresh(&dataset_a, &params);
+    discover_all_pairs(
+        &index_a,
+        &params,
+        &AllPairsOptions { resume_from: Some(own), ..Default::default() },
+    )
+    .expect("own fresh checkpoint resumes fine");
+}
+
+#[test]
+fn poisoned_queries_are_quarantined_and_rest_matches_brute_force() {
+    let (dataset, index, params) = small_world(26, 3);
+    let poison: Vec<u32> = vec![0, 7, 13];
+    let outcome = discover_all_pairs(
+        &index,
+        &params,
+        &AllPairsOptions {
+            threads: 4,
+            fault_hook: Some(poison_hook(&poison)),
+            ..Default::default()
+        },
+    )
+    .expect("quarantine keeps the run alive");
+    assert_eq!(outcome.poisoned_queries, poison, "all planted panics quarantined");
+    assert_eq!(
+        outcome.completed_queries,
+        dataset.len(),
+        "poisoned queries still count as completed (they will not be retried)"
+    );
+
+    // Brute force: per-query search over every healthy query.
+    let mut expected: Vec<(u32, u32)> = Vec::new();
+    for q in 0..dataset.len() as u32 {
+        if poison.contains(&q) {
+            continue;
+        }
+        expected.extend(index.search(q, &params).results.into_iter().map(|rhs| (q, rhs)));
+    }
+    expected.sort_unstable();
+    assert_eq!(outcome.pairs, expected, "healthy queries must be unaffected by the poison");
+}
+
+#[test]
+fn corrupted_dataset_files_are_rejected_with_typed_errors() {
+    let (dataset, _index, _params) = small_world(12, 4);
+    let clean = encode_dataset(&dataset);
+    decode_dataset(clean.clone()).expect("clean bytes decode");
+
+    // Truncation at every length short of the full file.
+    for keep in 0..clean.len() {
+        let cut = truncated(&clean, keep);
+        assert!(
+            decode_dataset(cut.into()).is_err(),
+            "truncation to {keep}/{} bytes must fail",
+            clean.len()
+        );
+    }
+    // A sweep of single-bit flips (every 97th bit keeps it fast): always a
+    // typed checksum error — never a silent wrong decode.
+    let total_bits = clean.len() * 8;
+    for bit in (0..total_bits).step_by(97) {
+        let mut rotten = clean.to_vec();
+        flip_bit(&mut rotten, bit);
+        match decode_dataset(rotten.into()) {
+            Err(BinIoError::Checksum { .. }) => {}
+            // Flips inside the magic header are reported as the more
+            // specific wrong-magic/wrong-version corruption.
+            Err(BinIoError::Corrupt(_)) if bit < 64 => {}
+            other => panic!("bit {bit}: expected checksum rejection, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_index_and_checkpoint_files_are_rejected() {
+    let (dataset, index, params) = small_world(12, 6);
+
+    let index_bytes = tind::core::persist::encode_index(&index);
+    tind::core::persist::decode_index(index_bytes.clone(), dataset.clone())
+        .expect("clean index decodes");
+    // Each rejected flip still costs a full-file CRC scan, so sample a
+    // fixed number of (deterministically spread) bit positions rather
+    // than a fixed stride — index files are large.
+    let total_bits = index_bytes.len() * 8;
+    let stride = (total_bits / 24).max(1) | 1;
+    for bit in (0..total_bits).step_by(stride) {
+        let mut rotten = index_bytes.to_vec();
+        flip_bit(&mut rotten, bit);
+        assert!(
+            tind::core::persist::decode_index(rotten.into(), dataset.clone()).is_err(),
+            "index bit {bit}"
+        );
+    }
+    for keep in [0, 7, 8, index_bytes.len() / 2, index_bytes.len() - 1] {
+        let cut = truncated(&index_bytes, keep);
+        assert!(
+            tind::core::persist::decode_index(cut.into(), dataset.clone()).is_err(),
+            "index truncated to {keep}"
+        );
+    }
+
+    let mut cp = Checkpoint::fresh(&dataset, &params);
+    cp.completed = vec![0, 2, 5];
+    cp.pairs = vec![(0, 1), (2, 4)];
+    let cp_bytes = cp.encode();
+    assert_eq!(Checkpoint::decode(cp_bytes.clone()).expect("clean checkpoint"), cp);
+    for bit in 0..cp_bytes.len() * 8 {
+        let mut rotten = cp_bytes.to_vec();
+        flip_bit(&mut rotten, bit);
+        assert!(Checkpoint::decode(rotten.into()).is_err(), "checkpoint bit {bit}");
+    }
+    for keep in 0..cp_bytes.len() {
+        let cut = truncated(&cp_bytes, keep);
+        assert!(Checkpoint::decode(cut.into()).is_err(), "checkpoint truncated to {keep}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized re-statement of the exhaustive boundary test: any seed,
+    /// any kill point, any resume thread count — resuming yields exactly
+    /// the uninterrupted pairs.
+    #[test]
+    fn prop_kill_anywhere_resume_identical(
+        seed in 0u64..1000,
+        kill_after in 0usize..30,
+        resume_threads in 1usize..5,
+    ) {
+        let (_dataset, index, params) = small_world(22, seed);
+        let full = discover_all_pairs(&index, &params, &AllPairsOptions::default())
+            .expect("uninterrupted run");
+        let path = ckpt_path(&format!("prop-{seed}-{kill_after}-{resume_threads}.tcp"));
+        let _ = std::fs::remove_file(&path);
+
+        let token = CancelToken::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let hook: FaultHook = {
+            let token = token.clone();
+            let counter = Arc::clone(&counter);
+            Arc::new(move |_q| {
+                if counter.fetch_add(1, Ordering::Relaxed) >= kill_after {
+                    token.cancel();
+                }
+            })
+        };
+        discover_all_pairs(&index, &params, &AllPairsOptions {
+            threads: 1,
+            cancel: Some(token),
+            checkpoint: Some(CheckpointPolicy::new(&path).every(1)),
+            fault_hook: Some(hook),
+            ..Default::default()
+        }).expect("interrupted run");
+
+        let cp = Checkpoint::read_file(&path).expect("checkpoint readable");
+        prop_assert!(cp.verify_matches(&_dataset, &params).is_ok());
+        let resumed = discover_all_pairs(&index, &params, &AllPairsOptions {
+            threads: resume_threads,
+            resume_from: Some(cp),
+            ..Default::default()
+        }).expect("resumed run");
+        prop_assert_eq!(resumed.pairs, full.pairs);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Any single bit flip in an encoded checkpoint is rejected.
+    #[test]
+    fn prop_checkpoint_bit_flips_rejected(bit_seed in 0usize..10_000) {
+        let (dataset, _index, params) = small_world(10, 8);
+        let mut cp = Checkpoint::fresh(&dataset, &params);
+        cp.completed = vec![1, 3, 4];
+        cp.pairs = vec![(1, 2)];
+        let bytes = cp.encode();
+        let bit = bit_seed % (bytes.len() * 8);
+        let mut rotten = bytes.to_vec();
+        flip_bit(&mut rotten, bit);
+        prop_assert!(Checkpoint::decode(rotten.into()).is_err());
+    }
+}
