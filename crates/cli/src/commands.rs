@@ -120,6 +120,11 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         ],
         "verify" => vec!["file"],
         "pipeline" => vec!["dump", "timeline", "out", "demo", "attributes", "seed"],
+        "ingest" => vec![
+            "dump", "out", "timeline", "epoch", "max-page-bytes", "max-error-rate",
+            "memory-limit", "checkpoint", "checkpoint-every", "deadline", "quarantine-report",
+            "resume", "quiet",
+        ],
         "experiment" => vec!["scale", "seed", "threads", "attributes", "queries", "csv-dir"],
         "list-experiments" | "help" | "--help" | "-h" => vec![],
         _ => return None,
@@ -156,6 +161,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "all-pairs" => cmd_all_pairs(&args),
         "verify" => cmd_verify(&args),
         "pipeline" => cmd_pipeline(&args),
+        "ingest" => cmd_ingest(&args),
         "experiment" => cmd_experiment(&args),
         "list-experiments" => Ok(list_experiments()),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
@@ -473,9 +479,36 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
             cp.dataset_fingerprint,
             if cp.is_complete() { " (run complete)" } else { "" },
         )
+    } else if kind == &tind_model::quarantine::QUARANTINE_MAGIC[..7] {
+        let q = tind_model::QuarantineReport::decode(bytes)?;
+        format!(
+            "quarantine report: {}/{} pages quarantined ({} sampled), {} of {} revisions dropped, source fingerprint {:#018x}",
+            q.pages_quarantined,
+            q.pages_seen,
+            q.entries.len(),
+            q.revisions_dropped,
+            q.revisions_dropped + q.revisions_kept,
+            q.source_fingerprint,
+        )
+    } else if kind == &tind_wiki::ingest::INGEST_CHECKPOINT_MAGIC[..7] {
+        let cp = tind_wiki::IngestCheckpoint::decode(bytes)?;
+        // The embedded dataset blob is opaque to checkpoint decoding;
+        // verify digs all the way in.
+        let partial = tind_model::binio::decode_dataset(cp.dataset_bytes.clone())?;
+        format!(
+            "ingest checkpoint: resume offset {}, {} pages seen ({} quarantined), \
+             partial dataset {} attributes, source fingerprint {:#018x}",
+            cp.resume_offset,
+            cp.quarantine.pages_seen,
+            cp.quarantine.pages_quarantined,
+            partial.len(),
+            cp.source_fingerprint,
+        )
     } else {
         return Err(CliError::Data(BinIoError::Corrupt(
-            "unrecognized file type (not a tind dataset, index, or checkpoint)".into(),
+            "unrecognized file type (not a tind dataset, index, checkpoint, \
+             ingest checkpoint, or quarantine report)"
+                .into(),
         )));
     };
     Ok(format!("OK {} ({size} bytes)\n{detail}\n", path.display()))
@@ -741,6 +774,161 @@ fn cmd_pipeline(args: &Args) -> Result<String, CliError> {
         report.attributes_kept,
         report.attributes_before_filters,
     ))
+}
+
+/// Resilient dump ingestion: `tind ingest` is `tind pipeline --dump` with
+/// the full failure model — streaming bounded-memory parsing, per-page
+/// quarantine with an error budget, page-granular checkpoint/resume, and
+/// graceful Ctrl-C/deadline handling (exit 130, like all-pairs).
+fn cmd_ingest(args: &Args) -> Result<String, CliError> {
+    use tind_wiki::ingest::{IngestCheckpointPolicy, IngestProgress, StopSignal};
+    use tind_wiki::{ingest_stream, IngestConfig, IngestError, IngestOptions, IngestStatus};
+
+    let dump_path: PathBuf = args.required::<String>("dump")?.into();
+    let out: PathBuf = args.required::<String>("out")?.into();
+    let timeline = args.opt_or("timeline", 6148u32)?;
+    let mut config = IngestConfig::new(timeline);
+    config.pipeline.drop_vandalism = true; // match `pipeline --dump`
+    if let Some(epoch) = args.opt::<String>("epoch")? {
+        let mut parts = epoch.splitn(3, '-');
+        let parsed = (
+            parts.next().and_then(|v| v.parse::<i64>().ok()),
+            parts.next().and_then(|v| v.parse::<u32>().ok()),
+            parts.next().and_then(|v| v.parse::<u32>().ok()),
+        );
+        match parsed {
+            (Some(y), Some(m), Some(d)) if (1..=12).contains(&m) && (1..=31).contains(&d) => {
+                config.dump.epoch = (y, m, d);
+            }
+            _ => {
+                return Err(CliError::Message(format!(
+                    "--epoch must be YYYY-MM-DD, got '{epoch}'"
+                )))
+            }
+        }
+    }
+    config.max_page_bytes = args.opt_or("max-page-bytes", config.max_page_bytes)?;
+    config.max_error_rate = args.opt_or("max-error-rate", config.max_error_rate)?;
+
+    let checkpoint_path: Option<PathBuf> = args.opt::<String>("checkpoint")?.map(Into::into);
+    let checkpoint_every = args.opt_or("checkpoint-every", 512u64)?;
+    let resume = args.switch("resume");
+    if resume && checkpoint_path.is_none() {
+        return Err(CliError::Message("--resume requires --checkpoint FILE".into()));
+    }
+    // A missing checkpoint file just means "first attempt", so restart
+    // loops can pass --resume unconditionally (same contract as all-pairs).
+    let resume = resume && checkpoint_path.as_ref().is_some_and(|p| p.exists());
+
+    let fingerprint = tind_wiki::fingerprint_source(&dump_path)?;
+    let total_bytes = std::fs::metadata(&dump_path)?.len();
+    let src = std::io::BufReader::new(std::fs::File::open(&dump_path)?);
+
+    let cancel = CancelToken::install_ctrl_c();
+    let deadline = args.opt::<f64>("deadline")?.map(Duration::from_secs_f64);
+    let started = std::time::Instant::now();
+    let stop: StopSignal = {
+        let cancel = cancel.clone();
+        Arc::new(move || {
+            cancel.is_cancelled() || deadline.is_some_and(|d| started.elapsed() >= d)
+        })
+    };
+    let progress: Option<Box<dyn FnMut(&IngestProgress)>> = if args.switch("quiet") {
+        None
+    } else {
+        Some(Box::new(move |p: &IngestProgress| {
+            if p.pages_seen % 1000 != 0 {
+                return;
+            }
+            let secs = started.elapsed().as_secs_f64().max(1e-6);
+            let pages_per_sec = p.pages_seen as f64 / secs;
+            let bytes_per_sec = p.offset as f64 / secs;
+            let eta = if bytes_per_sec > 0.0 {
+                total_bytes.saturating_sub(p.offset) as f64 / bytes_per_sec
+            } else {
+                0.0
+            };
+            eprintln!(
+                "ingest: {} pages ({pages_per_sec:.0}/s), {} quarantined, ~{eta:.0}s left",
+                p.pages_seen, p.pages_quarantined,
+            );
+        }))
+    };
+
+    let options = IngestOptions {
+        checkpoint: checkpoint_path
+            .clone()
+            .map(|path| IngestCheckpointPolicy { path, every_pages: checkpoint_every }),
+        resume,
+        memory_budget: match args.opt::<usize>("memory-limit")? {
+            Some(limit) => MemoryBudget::new(limit),
+            None => MemoryBudget::unlimited(),
+        },
+        should_stop: Some(stop),
+        progress,
+        fault_hook: None,
+    };
+
+    let outcome = ingest_stream(src, fingerprint, &config, options).map_err(|e| match e {
+        IngestError::Io(e) => CliError::Io(e),
+        IngestError::Checkpoint(e) => CliError::Data(e),
+        IngestError::ResumeMismatch(m) => CliError::Message(format!("cannot resume: {m}")),
+    })?;
+
+    let q = &outcome.quarantine;
+    if let Some(report_path) = args.opt::<String>("quarantine-report")? {
+        q.write_file(std::path::Path::new(&report_path))?;
+    }
+    let checkpoint_note = match &checkpoint_path {
+        Some(p) => format!("; progress checkpointed to {}", p.display()),
+        None => "; no checkpoint configured — progress lost (pass --checkpoint FILE)".into(),
+    };
+    match outcome.status {
+        IngestStatus::Cancelled => Err(CliError::Interrupted {
+            summary: format!(
+                "ingestion stopped after {} pages ({} quarantined){checkpoint_note}",
+                q.pages_seen, q.pages_quarantined,
+            ),
+        }),
+        IngestStatus::ErrorBudgetExceeded => {
+            let mut msg = format!(
+                "error budget exceeded: {} of {} pages quarantined ({:.1}% > {:.1}% allowed){checkpoint_note}",
+                q.pages_quarantined,
+                q.pages_seen,
+                q.error_rate() * 100.0,
+                config.max_error_rate * 100.0,
+            );
+            for entry in q.entries.iter().take(5) {
+                let _ = write!(msg, "\n  @{} {}: {}", entry.byte_offset, entry.page, entry.error);
+            }
+            Err(CliError::Message(msg))
+        }
+        IngestStatus::Completed => {
+            let dataset = outcome.dataset.expect("completed ingestion carries a dataset");
+            write_dataset_file(&dataset, &out)?;
+            let report = &outcome.pipeline;
+            let mut text = format!(
+                "ingested {} pages ({} quarantined, {} of {} revisions dropped) from {}\n\
+                 pipeline: {} tables, {} columns tracked; {} vandalized revisions dropped; \
+                 {} attributes kept of {}\ndataset written to {}\n",
+                q.pages_kept,
+                q.pages_quarantined,
+                q.revisions_dropped,
+                q.revisions_dropped + q.revisions_kept,
+                dump_path.display(),
+                report.tables_tracked,
+                report.columns_tracked,
+                report.vandalism_dropped,
+                report.attributes_kept,
+                report.attributes_before_filters,
+                out.display(),
+            );
+            if let Some(offset) = outcome.resumed_from {
+                let _ = writeln!(text, "resumed from byte offset {offset}");
+            }
+            Ok(text)
+        }
+    }
 }
 
 fn list_experiments() -> String {
@@ -1130,6 +1318,136 @@ mod tests {
         let err = run(&["stats", "--data", "unused.tind", "--checkpoint", "x.tcp"])
             .expect_err("foreign option rejected");
         assert_eq!(err.exit_code(), 2);
+    }
+
+    /// One well-formed page whose table grows monotonically — six
+    /// revisions, plenty of versions and cardinality for the §5.1 filters.
+    fn ingest_page_xml(title: &str, id: u32) -> String {
+        let games = [
+            "Red", "Blue", "Gold", "Silver", "Crystal", "Ruby", "Sapphire", "Emerald", "Pearl",
+            "Diamond",
+        ];
+        let mut page = format!("<page><title>{title}</title><id>{id}</id>");
+        for i in 0..6 {
+            let mut table = String::from("{|\n! Game\n");
+            for g in &games[..5 + i] {
+                table.push_str(&format!("|-\n| {g}\n"));
+            }
+            table.push_str("|}");
+            page.push_str(&format!(
+                "<revision><timestamp>2001-0{}-01T00:00:00Z</timestamp><text>{table}</text></revision>",
+                i + 2,
+            ));
+        }
+        page.push_str("</page>");
+        page
+    }
+
+    /// A page with no `<title>`: quarantined by ingestion.
+    fn broken_page_xml(id: u32) -> String {
+        format!(
+            "<page><id>{id}</id><revision><timestamp>2001-02-01T00:00:00Z</timestamp>\
+             <text>x</text></revision></page>"
+        )
+    }
+
+    #[test]
+    fn ingest_deadline_interrupts_and_resume_is_byte_identical() {
+        let dump = temp_file("cli-ingest.xml");
+        let mut xml = String::from("<mediawiki>\n");
+        for (i, title) in ["Alpha", "Beta", "Gamma"].iter().enumerate() {
+            xml.push_str(&ingest_page_xml(title, i as u32 + 1));
+            xml.push('\n');
+        }
+        xml.push_str("</mediawiki>");
+        std::fs::write(&dump, xml).expect("write dump");
+        let dump_str = dump.to_str().expect("utf8");
+
+        let fresh = temp_file("cli-ingest-fresh.tind");
+        let fresh_str = fresh.to_str().expect("utf8");
+        let out =
+            run(&["ingest", "--dump", dump_str, "--out", fresh_str, "--quiet"]).expect("ingests");
+        assert!(out.contains("ingested 3 pages (0 quarantined"), "{out}");
+        assert!(out.contains("dataset written to"), "{out}");
+
+        // Deadline of zero: stops before the first page, checkpointing.
+        let ckpt = temp_file("cli-ingest.tic");
+        let ckpt_str = ckpt.to_str().expect("utf8");
+        let _ = std::fs::remove_file(&ckpt);
+        let sink = temp_file("cli-ingest-sink.tind");
+        let err = run(&["ingest", "--dump", dump_str, "--out", sink.to_str().expect("utf8"),
+            "--checkpoint", ckpt_str, "--deadline", "0", "--quiet"])
+        .expect_err("zero deadline must interrupt");
+        let CliError::Interrupted { summary } = &err else {
+            panic!("expected Interrupted, got {err}");
+        };
+        assert!(summary.contains("checkpointed"), "{summary}");
+        assert_eq!(err.exit_code(), 130);
+        let verified = run(&["verify", ckpt_str]).expect("ingest checkpoint verifies");
+        assert!(verified.contains("ingest checkpoint:"), "{verified}");
+
+        // Resume completes and produces a byte-identical dataset file.
+        let resumed = temp_file("cli-ingest-resumed.tind");
+        let resumed_str = resumed.to_str().expect("utf8");
+        let out = run(&["ingest", "--dump", dump_str, "--out", resumed_str, "--checkpoint",
+            ckpt_str, "--resume", "--quiet"])
+        .expect("resume completes");
+        assert!(out.contains("resumed from byte offset"), "{out}");
+        assert_eq!(
+            std::fs::read(&fresh).expect("fresh"),
+            std::fs::read(&resumed).expect("resumed"),
+            "resumed dataset must be byte-identical to the uninterrupted one"
+        );
+
+        // --resume without --checkpoint is a usage error.
+        assert!(matches!(
+            run(&["ingest", "--dump", dump_str, "--out", resumed_str, "--resume"]),
+            Err(CliError::Message(_))
+        ));
+        for f in [&dump, &fresh, &ckpt, &resumed] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn ingest_error_budget_aborts_and_quarantine_report_verifies() {
+        // A dump that is pure garbage trips the error budget (exit 1).
+        let dump = temp_file("cli-ingest-broken.xml");
+        let mut xml = String::from("<mediawiki>");
+        for i in 0..25 {
+            xml.push_str(&broken_page_xml(i));
+        }
+        xml.push_str("</mediawiki>");
+        std::fs::write(&dump, &xml).expect("write dump");
+        let out_path = temp_file("cli-ingest-broken.tind");
+        let err = run(&["ingest", "--dump", dump.to_str().expect("utf8"), "--out",
+            out_path.to_str().expect("utf8"), "--quiet"])
+        .expect_err("error budget must abort");
+        assert_eq!(err.exit_code(), 1, "{err}");
+        assert!(err.to_string().contains("error budget exceeded"), "{err}");
+        std::fs::remove_file(&dump).ok();
+
+        // A few bad pages among good ones: the run completes and the
+        // quarantine report round-trips through `verify`.
+        let dump = temp_file("cli-ingest-mixed.xml");
+        let mut xml = String::from("<mediawiki>");
+        xml.push_str(&ingest_page_xml("Alpha", 1));
+        xml.push_str(&broken_page_xml(99));
+        xml.push_str(&ingest_page_xml("Beta", 2));
+        xml.push_str("</mediawiki>");
+        std::fs::write(&dump, &xml).expect("write dump");
+        let report = temp_file("cli-ingest-mixed.tqr");
+        let report_str = report.to_str().expect("utf8");
+        let out2 = temp_file("cli-ingest-mixed.tind");
+        let out = run(&["ingest", "--dump", dump.to_str().expect("utf8"), "--out",
+            out2.to_str().expect("utf8"), "--quarantine-report", report_str, "--quiet"])
+        .expect("mixed dump completes");
+        assert!(out.contains("ingested 2 pages (1 quarantined"), "{out}");
+        let verified = run(&["verify", report_str]).expect("quarantine report verifies");
+        assert!(verified.contains("quarantine report: 1/3 pages quarantined"), "{verified}");
+        for f in [&dump, &report, &out2, &out_path] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -61,7 +61,8 @@ COMMANDS:
                     (Ctrl-C checkpoints and exits 130; resumed runs produce
                     byte-identical results)
   verify            check a persisted artifact's magic and checksum
-                      <FILE> [--data FILE]   dataset, index, or checkpoint file
+                      <FILE> [--data FILE]   dataset, index, checkpoint,
+                                             ingest-checkpoint, or quarantine file
   index             build and persist an index file
                       --data FILE --out FILE [--m M=4096] [--eps E=3] [--delta D=7]
                       [--reverse true]
@@ -72,6 +73,17 @@ COMMANDS:
                       --demo [--attributes N=200] [--seed S]
                       --dump FILE [--timeline N=6148] [--out FILE]
                     (ingests a MediaWiki XML export with vandalism filtering)
+  ingest            resilient streaming dump ingestion (quarantine + resume)
+                      --dump FILE --out FILE [--timeline N=6148] [--epoch YYYY-MM-DD]
+                      [--max-page-bytes B=8388608]  skip (quarantine) larger pages
+                      [--max-error-rate F=0.05]     abort above this quarantine rate
+                      [--memory-limit BYTES]        bound held page bytes
+                      [--checkpoint FILE]           persist page-granular progress
+                      [--checkpoint-every N=512]    pages between checkpoints
+                      [--resume]                    continue from --checkpoint FILE
+                      [--deadline SECS] [--quarantine-report FILE] [--quiet]
+                    (Ctrl-C checkpoints and exits 130; resumed runs produce
+                    byte-identical datasets; bad pages are quarantined, not fatal)
   experiment        run a paper experiment (or 'all')
                       <id|all> [--scale quick|standard|full] [--seed S]
                       [--threads T] [--attributes N] [--queries Q] [--csv-dir DIR]

@@ -117,12 +117,14 @@ pub fn get_varint(buf: &mut Bytes) -> Result<u64, BinIoError> {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+/// Encodes a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
     put_varint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, BinIoError> {
+/// Decodes a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut Bytes) -> Result<String, BinIoError> {
     let len = get_varint(buf)? as usize;
     if buf.remaining() < len {
         return Err(corrupt("truncated string"));

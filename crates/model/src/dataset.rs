@@ -70,6 +70,18 @@ impl Dataset {
         set.iter().map(|&v| self.dictionary.resolve(v)).collect()
     }
 
+    /// Dissolves the dataset back into a builder so more attributes can be
+    /// appended. Used by checkpointed ingestion: a partial dataset decoded
+    /// from a checkpoint resumes exactly where it left off, preserving the
+    /// dictionary's intern order so the final encoding stays byte-identical.
+    pub fn into_builder(self) -> DatasetBuilder {
+        DatasetBuilder {
+            timeline: self.timeline,
+            dictionary: self.dictionary,
+            attributes: self.attributes,
+        }
+    }
+
     /// Keeps only attributes satisfying `keep`, renumbering ids densely.
     /// Returns the mapping `old AttrId -> new AttrId`.
     pub fn retain<F>(&mut self, mut keep: F) -> FastMap<AttrId, AttrId>
@@ -96,7 +108,10 @@ impl Dataset {
 }
 
 /// Builder assembling a [`Dataset`] from interned histories.
-#[derive(Debug)]
+///
+/// `Clone` so long-running ingestion can snapshot the partial build into a
+/// checkpoint without disturbing the in-progress state.
+#[derive(Debug, Clone)]
 pub struct DatasetBuilder {
     timeline: Timeline,
     dictionary: Dictionary,

@@ -33,6 +33,7 @@ pub mod diff;
 pub mod hash;
 pub mod history;
 pub mod memory;
+pub mod quarantine;
 pub mod snapshot;
 pub mod stats;
 pub mod table;
@@ -42,6 +43,7 @@ pub mod weights;
 
 pub use dataset::{AttrId, Dataset, DatasetBuilder};
 pub use memory::{Charge, MemoryBudget};
+pub use quarantine::{QuarantineEntry, QuarantineReport};
 pub use history::{AttributeHistory, HistoryBuilder, Version};
 pub use table::{TableVersion, TemporalTable, TupleInterner};
 pub use time::{Interval, Timeline, Timestamp};

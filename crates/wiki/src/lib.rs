@@ -16,6 +16,8 @@
 //! | [`aggregate`] | daily snapshots — the version valid longest in a day wins |
 //! | [`preprocess`] | link resolution, null unification, numeric-attribute and version/cardinality filters |
 //! | [`pipeline`] | end-to-end: revisions → [`tind_model::Dataset`] |
+//! | [`dump`] | bounded-memory streaming reader for XML-style dump exports |
+//! | [`ingest`] | resilient ingestion: quarantine, error budget, checkpoint/resume |
 //!
 //! Real Wikipedia dumps are not available in this environment; the
 //! `tind-datagen` crate renders synthetic revision streams with the same
@@ -24,6 +26,7 @@
 pub mod aggregate;
 pub mod column_match;
 pub mod dump;
+pub mod ingest;
 pub mod pipeline;
 pub mod preprocess;
 pub mod revision;
@@ -32,7 +35,12 @@ pub mod tables;
 pub mod vandalism;
 pub mod wikitext;
 
-pub use pipeline::{extract_dataset, PipelineConfig, PipelineReport};
+pub use dump::{DumpConfig, DumpItem, DumpReader};
+pub use ingest::{
+    fingerprint_source, ingest_stream, IngestCheckpoint, IngestCheckpointPolicy, IngestConfig,
+    IngestError, IngestOptions, IngestOutcome, IngestStatus,
+};
+pub use pipeline::{extract_dataset, PipelineConfig, PipelineReport, PipelineSession};
 pub use revision::PageRevision;
 pub use tables::extract_temporal_tables;
 pub use wikitext::{parse_tables, RawTable};

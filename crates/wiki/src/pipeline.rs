@@ -5,15 +5,27 @@
 //! per-column observations (including absences, so deleted tables close
 //! their histories), aggregate to daily granularity, clean values, and
 //! apply the attribute filters.
+//!
+//! Two interfaces:
+//!
+//! * [`extract_dataset`] — eager, over an in-memory revision stream.
+//! * [`PipelineSession`] — incremental, one page group at a time, for
+//!   streaming ingestion ([`crate::ingest`]). Pages are independent, so a
+//!   session can be snapshotted after any page and resumed from a partial
+//!   dataset with byte-identical results. Each page is processed in two
+//!   stages: a pure, panic-isolated stage (parsing, matching,
+//!   aggregation) followed by a commit stage that touches the builder —
+//!   so a panic on a pathological page leaves the session untouched and
+//!   the page can be quarantined.
 
 use std::collections::BTreeMap;
 
-use tind_model::{Dataset, DatasetBuilder, Timeline};
+use tind_model::{Dataset, DatasetBuilder, Timeline, Timestamp};
 
 use crate::aggregate::{aggregate_daily, build_history, Observation};
 use crate::column_match::ColumnMatcher;
 use crate::preprocess::{clean_value, AttributeFilters};
-use crate::revision::{canonicalize_stream, PageRevision};
+use crate::revision::{canonicalize_stream_lossy, PageRevision};
 use crate::table_match::TableMatcher;
 use crate::wikitext::parse_tables;
 
@@ -50,7 +62,7 @@ impl PipelineConfig {
 /// What the pipeline did, for logging and tests.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelineReport {
-    /// Distinct pages processed.
+    /// Distinct pages processed (with at least one surviving revision).
     pub pages: usize,
     /// Revisions processed.
     pub revisions: usize,
@@ -61,6 +73,9 @@ pub struct PipelineReport {
     /// timeline. A malformed timestamp in a multi-GB dump must not abort
     /// hours of extraction, so these are counted instead of panicking.
     pub out_of_range_dropped: usize,
+    /// Revisions dropped because another revision carried the same
+    /// `(page, day, seq)` key (corrupted stream; last occurrence wins).
+    pub duplicate_dropped: usize,
     /// Distinct tables tracked across all pages.
     pub tables_tracked: usize,
     /// Distinct columns tracked across all tables.
@@ -84,57 +99,57 @@ struct TableState {
     columns: BTreeMap<u32, ColumnState>,
 }
 
-/// Runs the full extraction pipeline.
-pub fn extract_dataset(
-    revisions: Vec<PageRevision>,
-    config: &PipelineConfig,
-) -> (Dataset, PipelineReport) {
-    let total_in = revisions.len();
-    let revisions = if config.drop_vandalism {
-        let (kept, _) = crate::vandalism::filter_vandalism(revisions);
-        kept
-    } else {
-        canonicalize_stream(revisions)
-    };
-    let mut report = PipelineReport {
-        revisions: revisions.len(),
-        vandalism_dropped: total_in - revisions.len(),
-        ..PipelineReport::default()
-    };
-
-    let mut builder = DatasetBuilder::new(Timeline::new(config.timeline_days));
-    // (page title, table id → state); pages arrive contiguously.
-    let mut i = 0;
-    while i < revisions.len() {
-        let page_id = revisions[i].page_id;
-        let mut j = i;
-        while j < revisions.len() && revisions[j].page_id == page_id {
-            j += 1;
-        }
-        let page_revs = &revisions[i..j];
-        report.pages += 1;
-        process_page(page_revs, config, &mut builder, &mut report);
-        i = j;
-    }
-    (builder.build(), report)
+/// Result of the pure, panic-isolated stage of one page: everything the
+/// commit stage needs, with no references into the builder.
+struct StagedPage {
+    vandalism_dropped: usize,
+    duplicate_dropped: usize,
+    revisions: usize,
+    out_of_range_dropped: usize,
+    tables_tracked: usize,
+    columns_tracked: usize,
+    columns: Vec<StagedColumn>,
 }
 
-fn process_page(
-    page_revs: &[PageRevision],
-    config: &PipelineConfig,
-    builder: &mut DatasetBuilder,
-    report: &mut PipelineReport,
-) {
-    let Some(last_rev) = page_revs.last() else {
-        return; // empty page group: nothing to extract
+/// One column's aggregated daily states, with values still as strings
+/// (interning happens at commit so a panic never leaves the dictionary
+/// half-updated).
+struct StagedColumn {
+    name: String,
+    daily: Vec<(Timestamp, Option<Vec<String>>)>,
+}
+
+/// Stage A: canonicalize, filter, parse, match, and aggregate one page.
+/// Pure except for allocation — safe to run under `catch_unwind`.
+fn stage_page(page_revs: Vec<PageRevision>, config: &PipelineConfig) -> StagedPage {
+    let (revs, duplicate_dropped) = canonicalize_stream_lossy(page_revs);
+    let total = revs.len();
+    let revs = if config.drop_vandalism {
+        let (kept, _) = crate::vandalism::filter_vandalism(revs);
+        kept
+    } else {
+        revs
     };
-    let title = &last_rev.title;
+    let vandalism_dropped = total - revs.len();
+    let mut staged = StagedPage {
+        vandalism_dropped,
+        duplicate_dropped,
+        revisions: revs.len(),
+        out_of_range_dropped: 0,
+        tables_tracked: 0,
+        columns_tracked: 0,
+        columns: Vec::new(),
+    };
+    let Some(last_rev) = revs.last() else {
+        return staged;
+    };
+    let title = last_rev.title.clone();
     let mut table_matcher = TableMatcher::new();
     let mut tables: BTreeMap<u32, TableState> = BTreeMap::new();
 
-    for rev in page_revs {
+    for rev in &revs {
         if rev.day >= config.timeline_days {
-            report.out_of_range_dropped += 1;
+            staged.out_of_range_dropped += 1;
             continue;
         }
         let raw_tables = parse_tables(&rev.wikitext);
@@ -184,29 +199,154 @@ fn process_page(
         }
     }
 
-    report.tables_tracked += tables.len();
+    staged.tables_tracked = tables.len();
     for (tid, state) in tables {
-        let table_label =
-            state.caption.clone().unwrap_or_else(|| format!("table{}", tid + 1));
-        report.columns_tracked += state.columns.len();
+        let table_label = state.caption.clone().unwrap_or_else(|| format!("table{}", tid + 1));
+        staged.columns_tracked += state.columns.len();
         for (_cid, col) in state.columns {
             let daily = aggregate_daily(col.observations);
             let name = format!("{title} ▸ {table_label} ▸ {}", col.header);
-            let dict = builder.dictionary_mut();
-            let Some(history) = build_history(&name, &daily, |s| dict.intern(s)) else {
-                continue;
-            };
-            report.attributes_before_filters += 1;
-            let keep = {
-                let dict = builder.dictionary();
-                config.filters.keep(&history, |v| dict.resolve(v).to_string())
-            };
-            if keep {
-                builder.add_history(history);
-                report.attributes_kept += 1;
-            }
+            staged.columns.push(StagedColumn { name, daily });
         }
     }
+    staged
+}
+
+/// Stage B: intern, filter, and add the staged columns to the builder.
+fn commit_staged(
+    config: &PipelineConfig,
+    builder: &mut DatasetBuilder,
+    report: &mut PipelineReport,
+    staged: StagedPage,
+) {
+    report.vandalism_dropped += staged.vandalism_dropped;
+    report.duplicate_dropped += staged.duplicate_dropped;
+    if staged.revisions == 0 {
+        return;
+    }
+    report.pages += 1;
+    report.revisions += staged.revisions;
+    report.out_of_range_dropped += staged.out_of_range_dropped;
+    report.tables_tracked += staged.tables_tracked;
+    report.columns_tracked += staged.columns_tracked;
+    for col in staged.columns {
+        let dict = builder.dictionary_mut();
+        let Some(history) = build_history(&col.name, &col.daily, |s| dict.intern(s)) else {
+            continue;
+        };
+        report.attributes_before_filters += 1;
+        let keep = {
+            let dict = builder.dictionary();
+            config.filters.keep(&history, |v| dict.resolve(v).to_string())
+        };
+        if keep {
+            builder.add_history(history);
+            report.attributes_kept += 1;
+        }
+    }
+}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Incremental extraction session: feed one page group at a time.
+///
+/// Pages are processed independently and interned in arrival order, so a
+/// given sequence of `push_page` calls always yields a byte-identical
+/// dataset — including across [`PipelineSession::snapshot`] /
+/// [`PipelineSession::resume`] boundaries, which is what makes
+/// checkpointed ingestion deterministic.
+pub struct PipelineSession {
+    config: PipelineConfig,
+    builder: DatasetBuilder,
+    report: PipelineReport,
+}
+
+impl PipelineSession {
+    /// Starts an empty session.
+    pub fn new(config: PipelineConfig) -> Self {
+        let builder = DatasetBuilder::new(Timeline::new(config.timeline_days));
+        PipelineSession { config, builder, report: PipelineReport::default() }
+    }
+
+    /// Resumes from a snapshot: the partial dataset and report of an
+    /// earlier session (e.g. decoded from an ingestion checkpoint).
+    pub fn resume(config: PipelineConfig, partial: Dataset, report: PipelineReport) -> Self {
+        PipelineSession { config, builder: partial.into_builder(), report }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Progress so far.
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
+    }
+
+    /// Processes all revisions of one page. A panic anywhere in parsing,
+    /// matching, or aggregation is caught *before* any session state is
+    /// touched and returned as `Err(message)` so the caller can
+    /// quarantine the page and continue.
+    pub fn push_page(&mut self, page_revs: Vec<PageRevision>) -> Result<(), String> {
+        let config = self.config.clone();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stage_page(page_revs, &config)
+        })) {
+            Ok(staged) => {
+                commit_staged(&self.config, &mut self.builder, &mut self.report, staged);
+                Ok(())
+            }
+            Err(payload) => Err(panic_message(payload)),
+        }
+    }
+
+    /// [`Self::push_page`] without panic isolation, for eager callers
+    /// that want panics to propagate.
+    fn push_page_uncaught(&mut self, page_revs: Vec<PageRevision>) {
+        let staged = stage_page(page_revs, &self.config);
+        commit_staged(&self.config, &mut self.builder, &mut self.report, staged);
+    }
+
+    /// The dataset as of the pages pushed so far (the session continues).
+    pub fn snapshot(&self) -> Dataset {
+        self.builder.clone().build()
+    }
+
+    /// Finalizes the session.
+    pub fn finish(self) -> (Dataset, PipelineReport) {
+        (self.builder.build(), self.report)
+    }
+}
+
+/// Runs the full extraction pipeline eagerly over an in-memory stream.
+pub fn extract_dataset(
+    mut revisions: Vec<PageRevision>,
+    config: &PipelineConfig,
+) -> (Dataset, PipelineReport) {
+    // Group pages contiguously; per-page dedup/filtering happens inside
+    // the session.
+    revisions.sort_by_key(PageRevision::sort_key);
+    let mut session = PipelineSession::new(config.clone());
+    let mut i = 0;
+    while i < revisions.len() {
+        let page_id = revisions[i].page_id;
+        let mut j = i;
+        while j < revisions.len() && revisions[j].page_id == page_id {
+            j += 1;
+        }
+        session.push_page_uncaught(revisions[i..j].to_vec());
+        i = j;
+    }
+    session.finish()
 }
 
 #[cfg(test)]
@@ -395,5 +535,82 @@ mod tests {
         assert_eq!(report.attributes_kept, dataset.len());
         assert!(report.attributes_before_filters >= report.attributes_kept);
         assert_eq!(dataset.len(), 0, "single-revision columns are filtered out");
+    }
+
+    #[test]
+    fn duplicate_revisions_are_dropped_and_counted() {
+        let all = ["Red", "Blue", "Green", "Yellow", "Gold", "Silver"];
+        let mut revs: Vec<PageRevision> =
+            (0..6u32).map(|i| games_page(i * 10, 0, &all[..5], false)).collect();
+        // A corrupted stream repeats one (page, day, seq) key.
+        revs.push(games_page(20, 0, &all[..5], false));
+        let (_, report) = extract_dataset(revs, &PipelineConfig::new(100));
+        assert_eq!(report.duplicate_dropped, 1);
+        assert_eq!(report.revisions, 6);
+    }
+
+    #[test]
+    fn session_matches_eager_extraction_byte_for_byte() {
+        let all = ["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal", "Ruby", "Sapphire"];
+        let mut revs = Vec::new();
+        for (pid, title) in [(1u32, "Page A"), (2, "Page B")] {
+            for i in 0..6u32 {
+                let mut r = games_page(i * 9, 0, &all[..5 + i as usize % 4], false);
+                r.page_id = pid;
+                r.title = title.to_string();
+                revs.push(r);
+            }
+        }
+        let config = PipelineConfig::new(100);
+        let (eager, eager_report) = extract_dataset(revs.clone(), &config);
+
+        let mut session = PipelineSession::new(config);
+        session.push_page(revs[..6].to_vec()).expect("page A");
+        session.push_page(revs[6..].to_vec()).expect("page B");
+        let (incremental, report) = session.finish();
+        assert_eq!(report, eager_report);
+        assert_eq!(
+            tind_model::binio::encode_dataset(&incremental),
+            tind_model::binio::encode_dataset(&eager),
+            "incremental and eager runs must encode identically"
+        );
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical() {
+        let all = ["Red", "Blue", "Green", "Yellow", "Gold", "Silver", "Crystal"];
+        let page = |pid: u32, title: &str| -> Vec<PageRevision> {
+            (0..6u32)
+                .map(|i| {
+                    let mut r = games_page(i * 9, 0, &all[..5 + i as usize % 3], false);
+                    r.page_id = pid;
+                    r.title = title.to_string();
+                    r
+                })
+                .collect()
+        };
+        let config = PipelineConfig::new(100);
+        // Uninterrupted reference run.
+        let mut full = PipelineSession::new(config.clone());
+        full.push_page(page(1, "A")).expect("a");
+        full.push_page(page(2, "B")).expect("b");
+        full.push_page(page(3, "C")).expect("c");
+        let (reference, ref_report) = full.finish();
+
+        // Interrupted after two pages, resumed from the snapshot.
+        let mut first = PipelineSession::new(config.clone());
+        first.push_page(page(1, "A")).expect("a");
+        first.push_page(page(2, "B")).expect("b");
+        let snap = first.snapshot();
+        let snap_report = first.report().clone();
+        drop(first);
+        let mut resumed = PipelineSession::resume(config, snap, snap_report);
+        resumed.push_page(page(3, "C")).expect("c");
+        let (rebuilt, report) = resumed.finish();
+        assert_eq!(report, ref_report);
+        assert_eq!(
+            tind_model::binio::encode_dataset(&rebuilt),
+            tind_model::binio::encode_dataset(&reference)
+        );
     }
 }

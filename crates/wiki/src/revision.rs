@@ -28,22 +28,35 @@ impl PageRevision {
     }
 }
 
-/// Sorts a revision stream into canonical processing order and verifies
-/// there are no duplicate `(page, day, seq)` keys.
-///
-/// # Panics
-/// Panics on duplicate keys — a corrupted stream.
-pub fn canonicalize_stream(mut revisions: Vec<PageRevision>) -> Vec<PageRevision> {
+/// Sorts a revision stream into canonical processing order, dropping
+/// duplicate `(page, day, seq)` keys (last occurrence wins, matching the
+/// last-edit-wins aggregation model). See [`canonicalize_stream_lossy`]
+/// for the variant that reports how many duplicates were dropped —
+/// duplicates indicate a corrupted stream, but a multi-GB extraction must
+/// not abort over one.
+pub fn canonicalize_stream(revisions: Vec<PageRevision>) -> Vec<PageRevision> {
+    canonicalize_stream_lossy(revisions).0
+}
+
+/// [`canonicalize_stream`] plus the number of duplicate-key revisions
+/// that were dropped.
+pub fn canonicalize_stream_lossy(mut revisions: Vec<PageRevision>) -> (Vec<PageRevision>, usize) {
+    // Stable sort: same-key revisions retain input order, so keeping the
+    // last of each run keeps the latest-seen edit.
     revisions.sort_by_key(PageRevision::sort_key);
-    for w in revisions.windows(2) {
-        assert!(
-            w[0].sort_key() != w[1].sort_key(),
-            "duplicate revision key {:?} for page '{}'",
-            w[0].sort_key(),
-            w[0].title
-        );
+    let before = revisions.len();
+    let mut deduped: Vec<PageRevision> = Vec::with_capacity(revisions.len());
+    for rev in revisions {
+        match deduped.last() {
+            Some(prev) if prev.sort_key() == rev.sort_key() => {
+                let slot = deduped.len() - 1;
+                deduped[slot] = rev;
+            }
+            _ => deduped.push(rev),
+        }
     }
-    revisions
+    let dropped = before - deduped.len();
+    (deduped, dropped)
 }
 
 #[cfg(test)]
@@ -68,8 +81,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate revision key")]
-    fn canonicalize_rejects_duplicates() {
-        canonicalize_stream(vec![rev(0, 1, 0), rev(0, 1, 0)]);
+    fn canonicalize_drops_duplicates_keeping_the_last() {
+        let mut a = rev(0, 1, 0);
+        a.wikitext = "first".into();
+        let mut b = rev(0, 1, 0);
+        b.wikitext = "second".into();
+        let (out, dropped) = canonicalize_stream_lossy(vec![a, b, rev(0, 2, 0)]);
+        assert_eq!(dropped, 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].wikitext, "second", "last duplicate wins");
+        // The panic-free wrapper agrees.
+        assert_eq!(canonicalize_stream(vec![rev(0, 1, 0), rev(0, 1, 0)]).len(), 1);
     }
 }

@@ -68,7 +68,7 @@ impl TableMatcher {
                 }
             }
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
 
         let mut raw_assignment: Vec<Option<u32>> = vec![None; tables.len()];
         let mut tracked_taken = vec![false; self.tracked.len()];

@@ -72,12 +72,17 @@ fn extract_page(
     dictionary: &mut Dictionary,
     out: &mut Vec<TemporalTable>,
 ) {
-    let title = &page_revs.last().expect("non-empty page group").title;
+    let Some(last_rev) = page_revs.last() else {
+        return; // empty page group: nothing to extract
+    };
+    let title = &last_rev.title;
     let mut matcher = TableMatcher::new();
     let mut tracked: BTreeMap<u32, TrackedTableState> = BTreeMap::new();
 
     for rev in page_revs {
-        assert!(rev.day < config.timeline_days, "revision beyond timeline");
+        if rev.day >= config.timeline_days {
+            continue; // out-of-range revision (malformed timestamp): skip, don't abort
+        }
         let raw_tables = parse_tables(&rev.wikitext);
         let ids = matcher.match_revision(&raw_tables);
         let present: std::collections::HashSet<u32> = ids.iter().copied().collect();

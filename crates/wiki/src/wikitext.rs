@@ -106,12 +106,11 @@ impl RowAssembler {
     fn fill_carries(&mut self, row: &mut Vec<String>) {
         loop {
             let col = row.len();
-            match self.pending.get_mut(col) {
-                Some(slot @ Some(_)) => {
-                    let (remaining, value) = slot.take().expect("checked above");
+            match self.pending.get_mut(col).map(Option::take) {
+                Some(Some((remaining, value))) => {
                     row.push(value.clone());
                     if remaining > 1 {
-                        *slot = Some((remaining - 1, value));
+                        self.pending[col] = Some((remaining - 1, value));
                     }
                 }
                 _ => return,

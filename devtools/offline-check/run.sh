@@ -98,6 +98,12 @@ test_bin tind_datagen crates/datagen/src/lib.rs
 test_bin tind_eval crates/eval/src/lib.rs
 test_bin tind_cli crates/cli/src/lib.rs
 
+# Crate-level integration tests. crates/wiki/tests/parser_props.rs uses
+# strategy combinators at module level and needs real proptest (cargo
+# runs it); ingest_adversarial keeps proptest inside `proptest!` blocks,
+# so its plain #[test]s run here too.
+test_bin it_ingest_adversarial crates/wiki/tests/ingest_adversarial.rs
+
 # Workspace integration tests (tests/proptests.rs needs real proptest).
 # sigma_partial_search_recovers_renamed_pairs asserts on how much material
 # a specific rand::StdRng seed generates; the shim RNG is a different
