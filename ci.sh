@@ -12,10 +12,10 @@
 # fall back to `devtools/offline-check/run.sh`, which typechecks the whole
 # workspace and runs the unit/integration tests with plain rustc against
 # minimal in-repo shims (see that script's header for its coverage gaps:
-# proptest! blocks and criterion benches are skipped, and the shim RNG is
-# a different stream). To make the full path work offline, vendor the
-# registry once while networked: `cargo vendor` + the printed
-# `.cargo/config.toml` stanza.
+# proptest! blocks expand to nothing, criterion benches are only
+# smoke-run, and the shim RNG is a different stream). To make the full
+# path work offline, vendor the registry once while networked:
+# `cargo vendor` + the printed `.cargo/config.toml` stanza.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -24,6 +24,9 @@ if cargo metadata --format-version 1 >/dev/null 2>&1; then
     cargo build --release
     cargo test -q
     cargo clippy --workspace --all-targets --no-deps -- -D warnings
+    # Smoke the parallel-build/batched-search bench in Criterion's test
+    # mode (one iteration per point) so the bench targets can't rot.
+    TIND_BENCH_ATTRS=200 cargo bench -p tind-bench --bench batch_search -- --test
     echo "ci: full cargo gate passed"
 else
     echo "ci: cargo cannot reach a registry (offline, nothing vendored);"

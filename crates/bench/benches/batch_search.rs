@@ -1,0 +1,133 @@
+//! Parallel index construction throughput and batched-search QPS.
+//!
+//! Three questions the tentpole kernels must answer with numbers:
+//!
+//! * does `TindIndex::build_with` scale with worker threads while staying
+//!   bit-identical to the sequential build,
+//! * does the blocked batch sweep of `M_T` beat per-query narrowing on
+//!   the same filters, and
+//! * does `search_batch` beat the equivalent per-query `search` loop?
+//!
+//! `TIND_BENCH_ATTRS` overrides the dataset size (default 1500) so the
+//! offline smoke harness can run one iteration at a reduced scale.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tind_bench::{bench_dataset, bench_query_batches};
+use tind_bloom::{BitVec, BloomFilter};
+use tind_core::required::required_values;
+use tind_core::{BatchOptions, BuildOptions, IndexConfig, TindIndex, TindParams};
+
+fn num_attrs() -> usize {
+    std::env::var("TIND_BENCH_ATTRS").ok().and_then(|v| v.parse().ok()).unwrap_or(1500)
+}
+
+fn bench_build_threads(c: &mut Criterion) {
+    let dataset = bench_dataset(num_attrs(), 31);
+
+    let mut group = c.benchmark_group("index_build_threads");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group.bench_function("sequential", |bench| {
+        bench.iter(|| {
+            black_box(TindIndex::build(dataset.clone(), IndexConfig::default()).bloom_bytes())
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
+            bench.iter(|| {
+                let options = BuildOptions { threads: t, ..BuildOptions::default() };
+                black_box(
+                    TindIndex::build_with(dataset.clone(), IndexConfig::default(), &options)
+                        .bloom_bytes(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Stage 1 in isolation: the blocked batch sweep of `M_T` vs. the
+/// per-query narrowing loop, on identical query filters. This is where
+/// the batch path's cache amortization lives — the later stages do the
+/// same per-query work either way (they win through worker threads, not
+/// through batching).
+fn bench_stage1_narrow(c: &mut Criterion) {
+    let dataset = bench_dataset(num_attrs(), 31);
+    let index = TindIndex::build(dataset.clone(), IndexConfig::default());
+    let params = TindParams::paper_default();
+    let timeline = dataset.timeline();
+    let queries = &bench_query_batches(dataset.len(), 64, 1)[0];
+    let filters: Vec<BloomFilter> = queries
+        .iter()
+        .map(|&q| index.m_t().query_filter(&required_values(dataset.attribute(q), &params, timeline)))
+        .collect();
+
+    let mut group = c.benchmark_group("stage1_narrow");
+    group.measurement_time(Duration::from_secs(5)).sample_size(20);
+    group.bench_function("per_query", |bench| {
+        bench.iter(|| {
+            let mut ones = 0usize;
+            for f in &filters {
+                let mut cands = BitVec::ones(dataset.len());
+                index.m_t().narrow_to_supersets(f, &mut cands);
+                ones += cands.count_ones();
+            }
+            black_box(ones)
+        })
+    });
+    group.bench_function("batched", |bench| {
+        bench.iter(|| {
+            let mut cands: Vec<BitVec> =
+                filters.iter().map(|_| BitVec::ones(dataset.len())).collect();
+            index.m_t().narrow_batch_to_supersets(&filters, &mut cands);
+            black_box(cands.iter().map(BitVec::count_ones).sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_qps(c: &mut Criterion) {
+    let dataset = bench_dataset(num_attrs(), 31);
+    let index = TindIndex::build(dataset.clone(), IndexConfig::default());
+    let params = TindParams::paper_default();
+    let batches = bench_query_batches(dataset.len(), 64, 4);
+
+    let mut group = c.benchmark_group("batch_search");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group.bench_function("per_query_loop", |bench| {
+        bench.iter(|| {
+            let mut results = 0usize;
+            for batch in &batches {
+                for &q in batch {
+                    results += index.search(q, &params).results.len();
+                }
+            }
+            black_box(results)
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
+            let options = BatchOptions { threads: t, ..BatchOptions::default() };
+            bench.iter(|| {
+                let mut results = 0usize;
+                for batch in &batches {
+                    let out = index.search_batch_with(batch, &params, &options);
+                    results += out
+                        .outcomes
+                        .iter()
+                        .map(|o| {
+                            o.as_ref().expect("no cancellation configured").results.len()
+                        })
+                        .sum::<usize>();
+                }
+                black_box(results)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_threads, bench_stage1_narrow, bench_batch_qps);
+criterion_main!(benches);

@@ -25,6 +25,23 @@ pub fn bench_queries(num_attributes: usize, count: usize) -> Vec<AttrId> {
     (0..num_attributes).step_by(step).take(count).map(|i| i as AttrId).collect()
 }
 
+/// Deterministic query batches for the batched-search benches and the
+/// batch/per-query differential tests. Strided so batches overlap but are
+/// not identical; duplicate ids within a batch are allowed (the batch API
+/// must handle them).
+pub fn bench_query_batches(
+    num_attributes: usize,
+    batch_size: usize,
+    batches: usize,
+) -> Vec<Vec<AttrId>> {
+    assert!(num_attributes > 0, "need a non-empty dataset");
+    (0..batches)
+        .map(|b| {
+            (0..batch_size).map(|i| ((b * 131 + i * 17) % num_attributes) as AttrId).collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +54,18 @@ mod tests {
         let q = bench_queries(100, 10);
         assert_eq!(q.len(), 10);
         assert!(q.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn query_batches_are_deterministic_and_in_range() {
+        let a = bench_query_batches(100, 16, 3);
+        let b = bench_query_batches(100, 16, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for batch in &a {
+            assert_eq!(batch.len(), 16);
+            assert!(batch.iter().all(|&i| (i as usize) < 100));
+        }
+        assert_ne!(a[0], a[1], "batches should differ");
     }
 }

@@ -142,6 +142,33 @@ impl BitVec {
         self.mask_tail();
     }
 
+    /// Strip-local [`BitVec::and_assign_words`]: ANDs `words` into the word
+    /// range starting at `word_offset`, leaving every other word untouched.
+    /// The basis of the blocked batch-narrowing kernels, which sweep a
+    /// matrix in cache-sized word strips instead of whole rows.
+    pub fn and_assign_words_at(&mut self, word_offset: usize, words: &[u64]) {
+        let end = word_offset
+            .checked_add(words.len())
+            .filter(|&end| end <= self.words.len())
+            .expect("word strip out of bounds");
+        for (a, &b) in self.words[word_offset..end].iter_mut().zip(words) {
+            *a &= b;
+        }
+    }
+
+    /// Strip-local [`BitVec::andnot_assign_words`]. Re-masks the tail so a
+    /// strip covering the final partial word cannot leak bits past `len`.
+    pub fn andnot_assign_words_at(&mut self, word_offset: usize, words: &[u64]) {
+        let end = word_offset
+            .checked_add(words.len())
+            .filter(|&end| end <= self.words.len())
+            .expect("word strip out of bounds");
+        for (a, &b) in self.words[word_offset..end].iter_mut().zip(words) {
+            *a &= !b;
+        }
+        self.mask_tail();
+    }
+
     /// Whether every set bit of `self` is also set in `other`.
     pub fn is_subset_of(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "bitvec length mismatch");
@@ -307,6 +334,47 @@ mod tests {
         assert_eq!(v.count_ones(), 2);
         v.andnot_assign_words(&[0b0010]);
         assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn strip_word_operations_match_full_width() {
+        // Apply the same row word-by-word via strips and in one full-width
+        // call; results must be identical, including the masked tail.
+        let len = 150;
+        let row: Vec<u64> = vec![0xAAAA_AAAA_5555_5555, 0x0F0F_F0F0_1234_5678, u64::MAX];
+        let mut full = BitVec::ones(len);
+        full.and_assign_words(&row);
+        let mut strips = BitVec::ones(len);
+        for (w, chunk) in row.chunks(1).enumerate() {
+            strips.and_assign_words_at(w, chunk);
+        }
+        assert_eq!(full, strips);
+
+        let mut full = BitVec::ones(len);
+        full.andnot_assign_words(&row);
+        let mut strips = BitVec::ones(len);
+        strips.andnot_assign_words_at(0, &row[0..2]);
+        strips.andnot_assign_words_at(2, &row[2..3]);
+        assert_eq!(full, strips);
+        // The u64::MAX strip covered the ragged tail; no bit past len.
+        assert_eq!(strips.count_ones(), full.count_ones());
+        assert!(strips.words()[2] == 0, "tail word fully cleared");
+    }
+
+    #[test]
+    fn strip_andnot_masks_ragged_tail() {
+        let mut v = BitVec::ones(70);
+        v.andnot_assign_words_at(1, &[0]);
+        assert_eq!(v.count_ones(), 70, "andnot with zero strip is a no-op");
+        v.andnot_assign_words_at(1, &[u64::MAX]);
+        assert_eq!(v.count_ones(), 64, "bits 64..70 cleared, none leaked");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn strip_op_rejects_out_of_range() {
+        let mut v = BitVec::zeros(64);
+        v.and_assign_words_at(1, &[0]);
     }
 
     #[test]

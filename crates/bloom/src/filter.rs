@@ -190,4 +190,45 @@ mod tests {
         let f2 = BloomFilter::from_values(&[3, 2, 1], 256, 2);
         assert_eq!(f1, f2, "same set, same filter regardless of insert order");
     }
+
+    /// Statistical guard for the hashing pipeline: the empirical
+    /// false-positive rate must track the analytic `(1 - e^{-kn/m})^k`
+    /// estimate within a binomial confidence bound. A kernel rewrite that
+    /// silently corrupts probing (biased rows, dropped probes, aliased
+    /// lanes) shifts the observed rate far outside these bounds, while an
+    /// intact implementation fails with probability well under 1e-5.
+    #[test]
+    fn empirical_fpr_within_binomial_bound_of_analytic_estimate() {
+        for &(m, k, n) in &[(4096u32, 2u32, 400u32), (2048, 3, 250)] {
+            let analytic =
+                (1.0 - (-(f64::from(k) * f64::from(n)) / f64::from(m)).exp()).powi(k as i32);
+            let trials_per_seed = 4000u32;
+            let mut total_fp = 0u64;
+            let mut total_trials = 0u64;
+            for seed in 1u32..=5 {
+                // Disjoint deterministic value ranges per seed; the value
+                // ids themselves are arbitrary — the hash must spread them.
+                let base = seed * 1_000_000;
+                let inserted: Vec<ValueId> = (base..base + n).collect();
+                let filter = BloomFilter::from_values(&inserted, m, k);
+                let fp = (base + 500_000..base + 500_000 + trials_per_seed)
+                    .filter(|&probe| filter.may_contain(probe))
+                    .count() as u64;
+                let rate = fp as f64 / f64::from(trials_per_seed);
+                let sigma = (analytic * (1.0 - analytic) / f64::from(trials_per_seed)).sqrt();
+                assert!(
+                    (rate - analytic).abs() <= 5.0 * sigma + 0.005,
+                    "m={m} k={k} n={n} seed {seed}: observed FPR {rate:.4}, analytic {analytic:.4}, σ={sigma:.4}"
+                );
+                total_fp += fp;
+                total_trials += u64::from(trials_per_seed);
+            }
+            let rate = total_fp as f64 / total_trials as f64;
+            let sigma = (analytic * (1.0 - analytic) / total_trials as f64).sqrt();
+            assert!(
+                (rate - analytic).abs() <= 4.0 * sigma + 0.003,
+                "m={m} k={k} n={n} aggregate: observed FPR {rate:.4}, analytic {analytic:.4}, σ={sigma:.4}"
+            );
+        }
+    }
 }

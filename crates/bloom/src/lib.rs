@@ -19,4 +19,4 @@ pub mod matrix;
 
 pub use bitvec::BitVec;
 pub use filter::BloomFilter;
-pub use matrix::{BloomMatrix, BloomMatrixBuilder};
+pub use matrix::{BloomColumnStrip, BloomMatrix, BloomMatrixBuilder};

@@ -88,6 +88,77 @@ impl BloomMatrixBuilder {
     pub fn build(self) -> BloomMatrix {
         self.matrix
     }
+
+    /// ORs a pre-built 64-column strip into word-block `block` (columns
+    /// `64·block .. 64·block + 64`). Bit-identical to having called
+    /// [`BloomMatrixBuilder::insert_column`] for each of the strip's lanes:
+    /// every lane's probes land in exactly the same `(row, bit)` positions,
+    /// and because the merge is a pure OR of disjoint word columns, the
+    /// order in which strips are merged is irrelevant. This is what makes
+    /// parallel index construction byte-identical to the sequential build.
+    ///
+    /// Lanes that would fall past `num_cols` (a ragged final block) are
+    /// masked off.
+    pub fn merge_strip(&mut self, block: usize, strip: &BloomColumnStrip) {
+        let m = &mut self.matrix;
+        assert!(block < m.words_per_row, "block {block} out of range");
+        assert_eq!(strip.m, m.m, "strip row count must match matrix");
+        assert_eq!(strip.k_hashes, m.k_hashes, "strip probe count must match matrix");
+        let lanes = m.num_cols - block * 64;
+        let mask = if lanes >= 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        for (row, &w) in strip.words.iter().enumerate() {
+            m.rows[row * m.words_per_row + block] |= w & mask;
+        }
+    }
+}
+
+/// A standalone strip of up to 64 Bloom-matrix columns (`m` rows × one
+/// `u64` of column lanes), built independently of the full matrix so column
+/// blocks can be populated by parallel workers and positionally merged with
+/// [`BloomMatrixBuilder::merge_strip`].
+#[derive(Debug, Clone)]
+pub struct BloomColumnStrip {
+    m: u32,
+    k_hashes: u32,
+    words: Vec<u64>,
+}
+
+impl BloomColumnStrip {
+    /// Creates an all-zero strip compatible with an `(m, k_hashes)` matrix.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `k_hashes == 0`.
+    pub fn new(m: u32, k_hashes: u32) -> Self {
+        assert!(m > 0, "strip needs at least one row");
+        assert!(k_hashes > 0, "need at least one hash probe");
+        BloomColumnStrip { m, k_hashes, words: vec![0u64; m as usize] }
+    }
+
+    /// Inserts `values` into column lane `lane` (`0..64`); bits accumulate,
+    /// exactly like [`BloomMatrixBuilder::insert_column`].
+    pub fn insert_lane(&mut self, lane: usize, values: &[ValueId]) {
+        assert!(lane < 64, "lane {lane} out of range");
+        let m = self.m;
+        for &v in values {
+            let h = Hash128::of_key(u64::from(v));
+            for i in 0..self.k_hashes {
+                let row = h.probe(i, m) as usize;
+                self.words[row] |= 1u64 << lane;
+            }
+        }
+    }
+
+    /// Zeroes every lane so a worker can reuse the buffer for its next
+    /// column block instead of allocating a fresh strip per work unit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Heap bytes held by the strip (one word per row) — the scratch a
+    /// parallel build worker charges against a memory budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
 }
 
 impl BloomMatrix {
@@ -140,6 +211,71 @@ impl BloomMatrix {
             if candidates.is_zero() {
                 return;
             }
+        }
+    }
+
+    /// Batched [`BloomMatrix::narrow_to_supersets`]: narrows one candidate
+    /// set per query in a word-blocked sweep of the matrix.
+    ///
+    /// The candidate width is walked in fixed word strips and every query
+    /// narrows its strip words before the sweep advances, so all row and
+    /// candidate traffic stays within one column slice of the matrix at a
+    /// time — the batch amortization of §4.2.2: on matrices too large for
+    /// cache, a strip's column slice is fetched once per batch instead of
+    /// re-streamed per query. Produces bit-identical candidate sets to the
+    /// per-query loop (a query whose filter has no set rows — e.g. an
+    /// empty value set — narrows nothing, matching the single-query
+    /// path).
+    pub fn narrow_batch_to_supersets(&self, queries: &[BloomFilter], candidates: &mut [BitVec]) {
+        self.narrow_batch(queries, candidates, false);
+    }
+
+    /// Batched [`BloomMatrix::narrow_to_subsets`]; same blocked sweep over
+    /// the complemented rows (the rows where each query's filter is zero).
+    pub fn narrow_batch_to_subsets(&self, queries: &[BloomFilter], candidates: &mut [BitVec]) {
+        self.narrow_batch(queries, candidates, true);
+    }
+
+    fn narrow_batch(&self, queries: &[BloomFilter], candidates: &mut [BitVec], complement: bool) {
+        assert_eq!(queries.len(), candidates.len(), "one candidate set per query");
+        for (query, cands) in queries.iter().zip(candidates.iter()) {
+            self.check_query(query, cands);
+        }
+        // Strip width: 8 words = one 64-byte cache line of candidate bits.
+        const STRIP_WORDS: usize = 8;
+        let strip_live = |c: &BitVec, lo: usize, hi: usize| -> bool {
+            c.words()[lo..hi].iter().any(|&w| w != 0)
+        };
+        let mut strip_start = 0;
+        while strip_start < self.words_per_row {
+            let strip_end = (strip_start + STRIP_WORDS).min(self.words_per_row);
+            for (query, c) in queries.iter().zip(candidates.iter_mut()) {
+                // Candidate words that are all zero in this strip can
+                // never come back under AND / AND-NOT — skip or stop
+                // early, the blocked analogue of the single-query early
+                // exit on an emptied candidate set.
+                if !strip_live(c, strip_start, strip_end) {
+                    continue;
+                }
+                if complement {
+                    for row in query.zero_rows() {
+                        let words = &self.row_words(row)[strip_start..strip_end];
+                        c.andnot_assign_words_at(strip_start, words);
+                        if !strip_live(c, strip_start, strip_end) {
+                            break;
+                        }
+                    }
+                } else {
+                    for row in query.set_rows() {
+                        let words = &self.row_words(row)[strip_start..strip_end];
+                        c.and_assign_words_at(strip_start, words);
+                        if !strip_live(c, strip_start, strip_end) {
+                            break;
+                        }
+                    }
+                }
+            }
+            strip_start = strip_end;
         }
     }
 
@@ -406,5 +542,113 @@ mod tests {
     fn insert_rejects_bad_column() {
         let mut b = BloomMatrixBuilder::new(64, 2, 2);
         b.insert_column(2, &[1]);
+    }
+
+    /// Column `col`'s values in the strip-equivalence tests.
+    fn strip_test_values(col: usize) -> Vec<ValueId> {
+        (0..(col % 7)).map(|i| (col * 13 + i) as ValueId).collect()
+    }
+
+    #[test]
+    fn strip_merge_equals_sequential_insertion() {
+        // 150 columns: two full blocks plus a ragged 22-lane block.
+        let (m, n, k) = (512u32, 150usize, 2u32);
+        let mut sequential = BloomMatrixBuilder::new(m, n, k);
+        for col in 0..n {
+            sequential.insert_column(col, &strip_test_values(col));
+        }
+        let sequential = sequential.build();
+
+        let mut merged = BloomMatrixBuilder::new(m, n, k);
+        // Merge blocks in reverse order to show order-independence.
+        for block in (0..n.div_ceil(64)).rev() {
+            let mut strip = BloomColumnStrip::new(m, k);
+            for col in block * 64..((block + 1) * 64).min(n) {
+                strip.insert_lane(col - block * 64, &strip_test_values(col));
+            }
+            merged.merge_strip(block, &strip);
+        }
+        let merged = merged.build();
+        for col in 0..n {
+            assert_eq!(merged.column_filter(col), sequential.column_filter(col), "column {col}");
+        }
+        // Byte-identical, not merely filter-equivalent.
+        let (mut a, mut b) = (bytes::BytesMut::new(), bytes::BytesMut::new());
+        sequential.encode(&mut a);
+        merged.encode(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strip_merge_masks_ragged_lanes() {
+        // A strip with bits in lanes past num_cols must not corrupt the
+        // matrix: only the 6 valid lanes of the final block survive.
+        let mut b = BloomMatrixBuilder::new(64, 70, 2);
+        let mut strip = BloomColumnStrip::new(64, 2);
+        for lane in 0..64 {
+            strip.insert_lane(lane, &[lane as ValueId]);
+        }
+        b.merge_strip(1, &strip);
+        let m = b.build();
+        let mut cands = BitVec::ones(70);
+        m.narrow_to_subsets(&m.query_filter(&[]), &mut cands);
+        // Columns 0..64 are empty (subset of anything), 64..70 got values;
+        // the masked lanes 6..64 of block 1 must not have leaked anywhere.
+        for col in 64..70 {
+            assert!(m.column_filter(col).count_ones() > 0, "column {col} populated");
+        }
+        assert_eq!(cands.count_ones(), 64, "exactly the 64 empty columns survive");
+    }
+
+    #[test]
+    fn batch_narrowing_matches_per_query_loop() {
+        let n = 200;
+        let mut b = BloomMatrixBuilder::new(256, n, 2);
+        for col in 0..n {
+            let vals: Vec<ValueId> = (0..col % 9).map(|i| (col * 3 + i) as ValueId).collect();
+            b.insert_column(col, &vals);
+        }
+        let m = b.build();
+        let query_sets: Vec<Vec<ValueId>> =
+            vec![(0..5).collect(), vec![], (100..120).collect(), (7..9).collect()];
+        let filters: Vec<BloomFilter> = query_sets.iter().map(|q| m.query_filter(q)).collect();
+
+        for subsets in [false, true] {
+            // Start from distinct candidate sets so per-query state is
+            // genuinely independent.
+            let mut batch: Vec<BitVec> = (0..filters.len())
+                .map(|i| {
+                    let mut c = BitVec::ones(n);
+                    c.clear((i * 31) % n);
+                    c
+                })
+                .collect();
+            let mut reference = batch.clone();
+            if subsets {
+                m.narrow_batch_to_subsets(&filters, &mut batch);
+                for (f, c) in filters.iter().zip(reference.iter_mut()) {
+                    m.narrow_to_subsets(f, c);
+                }
+            } else {
+                m.narrow_batch_to_supersets(&filters, &mut batch);
+                for (f, c) in filters.iter().zip(reference.iter_mut()) {
+                    m.narrow_to_supersets(f, c);
+                }
+            }
+            assert_eq!(batch, reference, "subsets={subsets}");
+        }
+    }
+
+    #[test]
+    fn batch_narrowing_handles_empty_batch_and_empty_candidates() {
+        let m = sample_matrix(512);
+        m.narrow_batch_to_supersets(&[], &mut []);
+        let qf = m.query_filter(&[1, 2]);
+        let mut empty = vec![BitVec::zeros(3)];
+        m.narrow_batch_to_supersets(&[qf.clone()], &mut empty);
+        assert!(empty[0].is_zero(), "an empty candidate set stays empty");
+        let mut empty = vec![BitVec::zeros(3)];
+        m.narrow_batch_to_subsets(&[qf], &mut empty);
+        assert!(empty[0].is_zero());
     }
 }

@@ -31,6 +31,13 @@ pub enum ArgError {
         /// Target type name.
         expected: &'static str,
     },
+    /// Two options that cannot be combined were both given.
+    Conflict {
+        /// First option name.
+        a: &'static str,
+        /// Second option name.
+        b: &'static str,
+    },
     /// An option the command does not understand. Rejected up front so a
     /// typo'd `--chekpoint` fails at startup instead of silently running a
     /// long job without checkpointing.
@@ -49,6 +56,9 @@ impl std::fmt::Display for ArgError {
             ArgError::MissingOption(o) => write!(f, "required option --{o} not given"),
             ArgError::BadValue { option, value, expected } => {
                 write!(f, "option --{option}: cannot parse '{value}' as {expected}")
+            }
+            ArgError::Conflict { a, b } => {
+                write!(f, "options --{a} and --{b} are mutually exclusive")
             }
             ArgError::UnknownOption { option, suggestion } => {
                 write!(f, "unknown option --{option}")?;

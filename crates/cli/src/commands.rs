@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tind_core::{
-    discover_all_pairs, AllPairsError, AllPairsOptions, CancelToken, Checkpoint, CheckpointPolicy,
-    IndexConfig, SliceConfig, TindIndex, TindParams,
+    discover_all_pairs, AllPairsError, AllPairsOptions, BatchOptions, BuildOptions, CancelToken,
+    Checkpoint, CheckpointPolicy, IndexConfig, SliceConfig, TindIndex, TindParams,
 };
 use tind_datagen::{generate, GeneratorConfig};
 use tind_eval::{ExpContext, Scale};
@@ -108,15 +108,18 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
     let mut allowed: Vec<&str> = match command {
         "generate" => vec!["attributes", "seed", "preset", "out", "truth-out"],
         "stats" => vec!["data"],
-        "search" | "reverse-search" => vec!["data", "query", "limit", "index"],
+        "search" => {
+            vec!["data", "query", "limit", "index", "batch", "threads", "build-threads"]
+        }
+        "reverse-search" => vec!["data", "query", "limit", "index", "build-threads"],
         "partial-search" => vec!["data", "query", "sigma", "limit"],
-        "top-k" => vec!["data", "query", "k", "index"],
+        "top-k" => vec!["data", "query", "k", "index", "build-threads"],
         "explain" => vec!["data", "lhs", "rhs"],
-        "index" => vec!["data", "out", "m", "reverse"],
-        "explore" => vec!["data", "index"],
+        "index" => vec!["data", "out", "m", "reverse", "build-threads"],
+        "explore" => vec!["data", "index", "build-threads"],
         "all-pairs" => vec![
             "data", "threads", "checkpoint", "checkpoint-every", "deadline", "memory-limit",
-            "resume", "quiet",
+            "resume", "quiet", "build-threads",
         ],
         "verify" => vec!["file"],
         "pipeline" => vec!["dump", "timeline", "out", "demo", "attributes", "seed"],
@@ -236,6 +239,13 @@ fn resolve_query(args: &Args, dataset: &Dataset) -> Result<AttrId, CliError> {
     Err(CliError::Message(format!("query attribute '{raw}' not found (name or id)")))
 }
 
+/// Build options for ad-hoc index construction: `--build-threads 0`
+/// (the default) uses every core — safe because parallel builds are
+/// bit-identical to sequential ones.
+fn build_options(args: &Args) -> Result<BuildOptions, CliError> {
+    Ok(BuildOptions { threads: args.opt_or("build-threads", 0usize)?, ..BuildOptions::default() })
+}
+
 /// Builds the index for ad-hoc queries, or loads a persisted one when
 /// `--index FILE` is given (the file's fingerprint must match the data).
 fn obtain_index(
@@ -251,15 +261,42 @@ fn obtain_index(
             }))
             .and_then(|(res, d)| res.map(|i| (i, d)).map_err(CliError::Data))
         }
-        None => Ok(tind_eval::stats::time_it(|| TindIndex::build(dataset.clone(), config))),
+        None => {
+            let options = build_options(args)?;
+            Ok(tind_eval::stats::time_it(|| {
+                TindIndex::build_with(dataset.clone(), config, &options)
+            }))
+        }
     }
+}
+
+/// Parses the `--batch` value: comma-separated attribute names or ids.
+fn parse_batch(spec: &str, dataset: &Dataset) -> Result<Vec<AttrId>, CliError> {
+    let queries: Vec<AttrId> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| resolve_named(t, dataset))
+        .collect::<Result<_, _>>()?;
+    if queries.is_empty() {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "batch".into(),
+            value: spec.into(),
+            expected: "at least one comma-separated attribute name or id",
+        }));
+    }
+    Ok(queries)
 }
 
 fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
     let dataset = load_dataset(args)?;
     let params = parse_params(args, &dataset)?;
     let limit = args.opt_or("limit", 20usize)?;
-    let query = resolve_query(args, &dataset)?;
+    let batch = if reverse { None } else { args.opt::<String>("batch")? };
+    if batch.is_some() && args.opt::<String>("query")?.is_some() {
+        return Err(CliError::Args(ArgError::Conflict { a: "batch", b: "query" }));
+    }
+    let query = if batch.is_some() { None } else { Some(resolve_query(args, &dataset)?) };
 
     let config = if reverse {
         IndexConfig {
@@ -273,6 +310,51 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         }
     };
     let (index, build) = obtain_index(args, &dataset, config)?;
+
+    if let Some(spec) = batch {
+        let queries = parse_batch(&spec, &dataset)?;
+        let options =
+            BatchOptions { threads: args.opt_or("threads", 0usize)?, ..BatchOptions::default() };
+        let start = std::time::Instant::now();
+        let outcome = index.search_batch_with(&queries, &params, &options);
+        let elapsed = start.elapsed();
+        let qps = queries.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "batch of {} queries (ε={}, δ={}) took {} — {:.1} queries/s on {} thread(s), index build {}",
+            queries.len(),
+            params.eps,
+            params.delta,
+            tind_eval::report::fmt_duration(elapsed),
+            qps,
+            outcome.threads_used,
+            tind_eval::report::fmt_duration(build),
+        );
+        for (&qid, per_query) in queries.iter().zip(&outcome.outcomes) {
+            let per_query = per_query.as_ref().expect("no cancellation configured");
+            let _ = writeln!(
+                out,
+                "  {}: {} results",
+                dataset.attribute(qid).name(),
+                per_query.results.len()
+            );
+            for &id in per_query.results.iter().take(limit) {
+                let _ = writeln!(out, "    {}", dataset.attribute(id).name());
+            }
+            if per_query.results.len() > limit {
+                let _ = writeln!(
+                    out,
+                    "    … and {} more (raise --limit)",
+                    per_query.results.len() - limit
+                );
+            }
+        }
+        return Ok(out);
+    }
+
+    let query = query.expect("non-batch search resolved a single query");
     let start = std::time::Instant::now();
     let outcome =
         if reverse { index.reverse_search(query, &params) } else { index.search(query, &params) };
@@ -371,7 +453,9 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
         slices: SliceConfig::search_default(params.eps, params.weights.clone(), params.delta),
         ..IndexConfig::default()
     };
-    let (index, build) = tind_eval::stats::time_it(|| TindIndex::build(dataset.clone(), config));
+    let build_opts = build_options(args)?;
+    let (index, build) =
+        tind_eval::stats::time_it(|| TindIndex::build_with(dataset.clone(), config, &build_opts));
 
     let options = AllPairsOptions {
         threads,
@@ -609,7 +693,10 @@ fn cmd_index(args: &Args) -> Result<String, CliError> {
             ..IndexConfig::default()
         }
     };
-    let (index, build) = tind_eval::stats::time_it(|| TindIndex::build(dataset.clone(), config));
+    let options =
+        BuildOptions { progress_every: 32, ..build_options(args)? };
+    let (index, build) =
+        tind_eval::stats::time_it(|| TindIndex::build_with(dataset.clone(), config, &options));
     tind_core::persist::write_index_file(&index, &out)?;
     Ok(format!(
         "indexed {} attributes in {} -> {}\n{}\n",
@@ -999,6 +1086,99 @@ mod tests {
         assert!(run(&["help"]).expect("help").contains("USAGE"));
         assert!(run(&[]).expect("no args → usage").contains("USAGE"));
         assert!(matches!(run(&["frobnicate"]), Err(CliError::Unknown(_))));
+    }
+
+    #[test]
+    fn batch_search_matches_single_queries() {
+        let path = temp_file("cli-batch.tind");
+        let path_str = path.to_str().expect("utf8 path");
+        run(&[
+            "generate", "--attributes", "80", "--seed", "7", "--preset", "small", "--out",
+            path_str,
+        ])
+        .expect("generates");
+        let single = run(&[
+            "search", "--data", path_str, "--query", "source-0", "--eps", "10", "--delta", "14",
+        ])
+        .expect("single");
+        let n_single: usize = single
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse().ok())
+            .expect("single output starts with the result count");
+        let batch = run(&[
+            "search", "--data", path_str, "--batch", "source-0, source-1", "--threads", "2",
+            "--eps", "10", "--delta", "14",
+        ])
+        .expect("batch");
+        assert!(batch.contains("batch of 2 queries"), "{batch}");
+        assert!(batch.contains("queries/s"), "{batch}");
+        assert!(
+            batch.contains(&format!("source-0: {n_single} results")),
+            "batch must report the same count as the single query\n{batch}\n{single}"
+        );
+    }
+
+    #[test]
+    fn batch_flag_misuse_is_rejected() {
+        let path = temp_file("cli-batch-misuse.tind");
+        let path_str = path.to_str().expect("utf8 path");
+        run(&[
+            "generate", "--attributes", "40", "--seed", "3", "--preset", "small", "--out",
+            path_str,
+        ])
+        .expect("generates");
+        let conflict =
+            run(&["search", "--data", path_str, "--batch", "source-0", "--query", "source-1"]);
+        assert!(
+            matches!(&conflict, Err(CliError::Args(ArgError::Conflict { .. }))),
+            "--batch with --query must be rejected as bad usage"
+        );
+        assert_eq!(conflict.expect_err("conflict").exit_code(), 2);
+        let empty = run(&["search", "--data", path_str, "--batch", " , "]);
+        assert!(
+            matches!(&empty, Err(CliError::Args(ArgError::BadValue { .. }))),
+            "an empty --batch list must be rejected as bad usage"
+        );
+        assert_eq!(empty.expect_err("empty").exit_code(), 2);
+        assert!(
+            matches!(
+                run(&[
+                    "reverse-search", "--data", path_str, "--query", "source-0", "--batch",
+                    "source-1"
+                ]),
+                Err(CliError::Args(_))
+            ),
+            "reverse-search must not accept --batch"
+        );
+    }
+
+    #[test]
+    fn index_build_threads_are_byte_identical() {
+        let data = temp_file("cli-bt.tind");
+        let data_str = data.to_str().expect("utf8 path");
+        run(&[
+            "generate", "--attributes", "70", "--seed", "11", "--preset", "small", "--out",
+            data_str,
+        ])
+        .expect("generates");
+        let out1 = temp_file("cli-bt-1.idx");
+        let out3 = temp_file("cli-bt-3.idx");
+        run(&[
+            "index", "--data", data_str, "--out", out1.to_str().expect("utf8"), "--m", "256",
+            "--build-threads", "1",
+        ])
+        .expect("sequential build");
+        run(&[
+            "index", "--data", data_str, "--out", out3.to_str().expect("utf8"), "--m", "256",
+            "--build-threads", "3",
+        ])
+        .expect("parallel build");
+        let b1 = std::fs::read(&out1).expect("read idx 1");
+        let b3 = std::fs::read(&out3).expect("read idx 3");
+        assert!(b1 == b3, "index files differ between --build-threads 1 and 3");
+        std::fs::remove_file(&out1).ok();
+        std::fs::remove_file(&out3).ok();
     }
 
     #[test]

@@ -40,6 +40,11 @@ COMMANDS:
   search            tIND search for one query attribute
                       --data FILE --query NAME-OR-ID
                       [--eps DAYS=3] [--delta DAYS=7] [--decay A] [--limit K=20]
+                      [--batch A,B,C]   search many queries in one batched
+                                        index walk instead of --query
+                      [--threads T=0]   batch worker threads (0 = all cores)
+                      [--build-threads T=0]  index build workers (0 = all cores;
+                                        output is identical at any count)
   reverse-search    reverse tIND search (who is contained in the query)
                       same options as search
   partial-search    σ-partial tIND search (future-work extension: only a
@@ -65,7 +70,7 @@ COMMANDS:
                                              ingest-checkpoint, or quarantine file
   index             build and persist an index file
                       --data FILE --out FILE [--m M=4096] [--eps E=3] [--delta D=7]
-                      [--reverse true]
+                      [--reverse true] [--build-threads T=0]
                     (search/reverse-search/top-k/explore accept --index FILE)
   explore           interactive query loop on stdin
                       --data FILE [--index FILE]

@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use tind_model::binio::BinIoError;
-use tind_model::{AttrId, MemoryBudget};
+use tind_model::{AttrId, Charge, MemoryBudget};
 
 use crate::cancel::CancelToken;
 use crate::checkpoint::Checkpoint;
@@ -45,6 +45,32 @@ use crate::params::TindParams;
 /// one query (violation accumulators, candidate bitsets, result staging).
 /// Deliberately conservative; used only for [`MemoryBudget`] accounting.
 pub const WORKER_SCRATCH_BYTES_PER_ATTR: usize = 48;
+
+/// Grants up to `requested` workers against an optional memory budget.
+/// The first worker always runs (sequential execution is the floor); each
+/// additional worker must afford `scratch_bytes`. The returned charges
+/// release their bytes when dropped, i.e. at the end of the parallel
+/// section. Shared by all-pairs discovery, parallel index construction,
+/// and batched search so thread-shedding semantics stay uniform.
+pub(crate) fn grant_workers(
+    requested: usize,
+    scratch_bytes: usize,
+    budget: Option<&MemoryBudget>,
+) -> (usize, Vec<Charge>) {
+    match budget {
+        Some(budget) => {
+            let mut charges = Vec::new();
+            for _ in 1..requested {
+                match budget.try_charge(scratch_bytes) {
+                    Some(charge) => charges.push(charge),
+                    None => break,
+                }
+            }
+            (1 + charges.len(), charges)
+        }
+        None => (requested, Vec::new()),
+    }
+}
 
 /// When and where to persist progress checkpoints.
 #[derive(Debug, Clone)]
@@ -266,23 +292,8 @@ pub fn discover_all_pairs(
     // execution is the floor), each additional worker must afford its
     // scratch estimate.
     let scratch = num_attrs.saturating_mul(WORKER_SCRATCH_BYTES_PER_ATTR);
-    let mut charges = Vec::new();
-    let threads = match &options.memory_budget {
-        Some(budget) => {
-            let mut granted = 1;
-            for _ in 1..requested {
-                match budget.try_charge(scratch) {
-                    Some(charge) => {
-                        charges.push(charge);
-                        granted += 1;
-                    }
-                    None => break,
-                }
-            }
-            granted
-        }
-        None => requested,
-    };
+    let (threads, _charges) =
+        grant_workers(requested, scratch, options.memory_budget.as_ref());
 
     let deadline = options.deadline.map(|d| start + d);
     let cursor = AtomicUsize::new(0);

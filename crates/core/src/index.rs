@@ -16,12 +16,16 @@
 //! The exact value universes `A[T]` are cached alongside to discard Bloom
 //! false positives before full validation (Algorithm 1, line 16).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tind_bloom::{BloomMatrix, BloomMatrixBuilder};
-use tind_model::{AttrId, AttributeHistory, Dataset, Interval, ValueSet, WeightFn};
+use tind_bloom::{BloomColumnStrip, BloomMatrix, BloomMatrixBuilder};
+use tind_model::{
+    AttrId, AttributeHistory, Dataset, Interval, MemoryBudget, ValueSet, WeightFn,
+};
 
 use crate::params::TindParams;
 use crate::required::required_values;
@@ -74,6 +78,29 @@ impl IndexConfig {
             build_reverse: true,
         }
     }
+}
+
+/// Options controlling how [`TindIndex::build_with`] parallelizes
+/// construction.
+///
+/// The determinism contract: the produced index is **bit-identical** to the
+/// sequential [`TindIndex::build`] at any thread count and under any memory
+/// budget. Slice selection (the only seeded randomness) runs on the calling
+/// thread before workers start, and column hashing is a pure function of
+/// `(config, attribute)`, so the work can be sliced and merged in any
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Worker threads; `0` picks the machine's available parallelism.
+    pub threads: usize,
+    /// Optional memory budget. The first worker always runs (sequential
+    /// construction is the floor); each extra worker must afford its
+    /// column-strip scratch, so a tight budget degrades the build toward
+    /// sequential instead of failing.
+    pub memory_budget: Option<MemoryBudget>,
+    /// Emit a progress line to stderr every this many completed column
+    /// blocks; `0` is silent.
+    pub progress_every: usize,
 }
 
 /// One indexed time slice: the interval, its δ-expansion, and the Bloom
@@ -181,6 +208,152 @@ impl TindIndex {
         TindIndex { dataset, config, m_t, time_slices, universes, m_r }
     }
 
+    /// Builds the index over a worker pool; output is bit-identical to
+    /// [`TindIndex::build`] (see [`BuildOptions`] for the contract).
+    ///
+    /// Work is split into 64-column strips of each target matrix (`M_T`,
+    /// every `M_{I_j}`, `M_R`) so workers never share a cache line of the
+    /// final matrices: each strip owns a disjoint word column and is merged
+    /// positionally once computed.
+    pub fn build_with(dataset: Arc<Dataset>, config: IndexConfig, options: &BuildOptions) -> Self {
+        let num_attrs = dataset.len();
+        let timeline = dataset.timeline();
+
+        // Slice selection consumes the seeded RNG on the calling thread
+        // before any worker exists — the interval sequence, the only
+        // randomized part of construction, cannot depend on thread count.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let intervals = select_slices(&dataset, &config.slices, &mut rng);
+        let num_slices = intervals.len();
+        let expanded: Vec<Interval> =
+            intervals.iter().map(|i| i.expand(config.slices.max_delta, timeline)).collect();
+        let sizing = config.build_reverse.then(|| {
+            TindParams::weighted(config.slices.sizing_eps, 0, config.slices.sizing_weights.clone())
+        });
+
+        // A work unit is one 64-column strip of one target matrix; targets
+        // are M_T (0), the slices (1..=num_slices), then M_R.
+        let blocks = num_attrs.div_ceil(64);
+        let num_targets = 1 + num_slices + usize::from(config.build_reverse);
+        let total_units = num_targets * blocks;
+
+        let requested = if options.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            options.threads
+        }
+        .clamp(1, total_units.max(1));
+        // Per-worker scratch: one m-row strip of words plus value-set slack.
+        let scratch = config.m as usize * 8 + 64 * 1024;
+        let (threads, _charges) =
+            crate::allpairs::grant_workers(requested, scratch, options.memory_budget.as_ref());
+
+        // Shared merge target. `merge_strip` ORs disjoint word columns, so
+        // the order in which workers land their strips cannot change a
+        // single bit of the result.
+        struct MergeState {
+            mt: BloomMatrixBuilder,
+            slices: Vec<BloomMatrixBuilder>,
+            mr: Option<BloomMatrixBuilder>,
+            universes: Vec<ValueSet>,
+        }
+        let merge = Mutex::new(MergeState {
+            mt: BloomMatrixBuilder::new(config.m, num_attrs, config.k_hashes),
+            slices: (0..num_slices)
+                .map(|_| BloomMatrixBuilder::new(config.m, num_attrs, config.k_hashes))
+                .collect(),
+            mr: config
+                .build_reverse
+                .then(|| BloomMatrixBuilder::new(config.m, num_attrs, config.k_hashes)),
+            universes: vec![ValueSet::new(); num_attrs],
+        });
+
+        let cursor = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        {
+            // Each worker owns one strip buffer for its whole run and
+            // merges it as soon as a unit is rendered — no per-unit
+            // allocation, no staging of `total_units` strips.
+            let run_worker = || {
+                let mut strip = BloomColumnStrip::new(config.m, config.k_hashes);
+                loop {
+                    let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                    if unit >= total_units {
+                        break;
+                    }
+                    let target = unit / blocks;
+                    let block = unit % blocks;
+                    let lo = block * 64;
+                    let hi = (lo + 64).min(num_attrs);
+                    strip.clear();
+                    let mut unis = (target == 0).then(|| Vec::with_capacity(hi - lo));
+                    for id in lo..hi {
+                        let hist = dataset.attribute(id as AttrId);
+                        let lane = id - lo;
+                        if let Some(unis) = unis.as_mut() {
+                            let universe = hist.value_universe();
+                            strip.insert_lane(lane, &universe);
+                            unis.push(universe);
+                        } else if target <= num_slices {
+                            let values = hist.values_in(expanded[target - 1]);
+                            if !values.is_empty() {
+                                strip.insert_lane(lane, &values);
+                            }
+                        } else {
+                            let sizing = sizing.as_ref().expect("M_R unit implies reverse sizing");
+                            let req = required_values(hist, sizing, timeline);
+                            if !req.is_empty() {
+                                strip.insert_lane(lane, &req);
+                            }
+                        }
+                    }
+                    {
+                        let mut m = merge.lock();
+                        if let Some(unis) = unis {
+                            m.mt.merge_strip(block, &strip);
+                            for (offset, u) in unis.into_iter().enumerate() {
+                                m.universes[lo + offset] = u;
+                            }
+                        } else if target <= num_slices {
+                            m.slices[target - 1].merge_strip(block, &strip);
+                        } else {
+                            m.mr
+                                .as_mut()
+                                .expect("M_R strip implies builder")
+                                .merge_strip(block, &strip);
+                        }
+                    }
+                    let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                    if options.progress_every > 0 && done % options.progress_every == 0 {
+                        eprintln!("index build: {done}/{total_units} column blocks");
+                    }
+                }
+            };
+            if threads <= 1 {
+                run_worker();
+            } else {
+                crossbeam::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|_| run_worker());
+                    }
+                })
+                .expect("index build worker panicked");
+            }
+        }
+
+        let MergeState { mt, slices, mr, universes } = merge.into_inner();
+        let m_t = mt.build();
+        let time_slices = intervals
+            .into_iter()
+            .zip(expanded)
+            .zip(slices)
+            .map(|((interval, expanded), b)| TimeSlice { interval, expanded, matrix: b.build() })
+            .collect();
+        let m_r = mr.map(BloomMatrixBuilder::build);
+
+        TindIndex { dataset, config, m_t, time_slices, universes, m_r }
+    }
+
     /// The indexed dataset.
     pub fn dataset(&self) -> &Arc<Dataset> {
         &self.dataset
@@ -284,6 +457,30 @@ impl TindIndex {
         search::run_search_with(self, self.dataset.attribute(query), Some(query), params, options)
     }
 
+    /// Batched tIND search: one [`TindIndex::search`]-equivalent outcome
+    /// per query. Stage-1 pruning walks each `M_T` row once for the whole
+    /// batch in word-blocked strips, and the remaining per-query stages fan
+    /// out over a worker pool. Results and stats are identical to calling
+    /// [`TindIndex::search`] per query.
+    pub fn search_batch(&self, queries: &[AttrId], params: &TindParams) -> Vec<SearchOutcome> {
+        self.search_batch_with(queries, params, &search::BatchOptions::default())
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("no cancellation configured"))
+            .collect()
+    }
+
+    /// [`TindIndex::search_batch`] with explicit thread, cancellation, and
+    /// memory-budget control.
+    pub fn search_batch_with(
+        &self,
+        queries: &[AttrId],
+        params: &TindParams,
+        options: &search::BatchOptions,
+    ) -> search::BatchOutcome {
+        search::run_search_batch(self, queries, params, options)
+    }
+
     /// Reverse tIND search (Definition 3.8): all `A ∈ D` with
     /// `A ⊆_{w,ε,δ} Q` (§4.5). The reflexive result is excluded.
     pub fn reverse_search(&self, query: AttrId, params: &TindParams) -> SearchOutcome {
@@ -363,6 +560,38 @@ mod tests {
         assert_eq!(diag.bloom_bytes, idx.bloom_bytes());
         let rendered = diag.to_string();
         assert!(rendered.contains("M_T load"));
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let d = dataset();
+        for cfg in
+            [IndexConfig { m: 256, ..IndexConfig::default() }, IndexConfig::reverse_default()]
+        {
+            let baseline = crate::persist::encode_index(&TindIndex::build(d.clone(), cfg.clone()));
+            for threads in [1, 2, 7] {
+                let opts = BuildOptions { threads, ..BuildOptions::default() };
+                let par = TindIndex::build_with(d.clone(), cfg.clone(), &opts);
+                assert!(
+                    baseline == crate::persist::encode_index(&par),
+                    "threads {threads} diverged from the sequential build"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_memory_budget_build_is_still_identical() {
+        let d = dataset();
+        let cfg = IndexConfig { m: 256, ..IndexConfig::default() };
+        let baseline = crate::persist::encode_index(&TindIndex::build(d.clone(), cfg.clone()));
+        let opts = BuildOptions {
+            threads: 8,
+            memory_budget: Some(MemoryBudget::new(0)),
+            ..BuildOptions::default()
+        };
+        let par = TindIndex::build_with(d.clone(), cfg, &opts);
+        assert!(baseline == crate::persist::encode_index(&par));
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! | [`validate`] | §4.3 | Algorithm 2 (interval-partitioned validation) + a naive reference validator |
 //! | [`required`] | §4.2.1 | required values `R_{ε,w}(Q)` |
 //! | [`slices`] | §4.4 | time-slice interval selection (length sizing, random / weighted-random starts) |
-//! | [`index`] | §4.2 | the chained Bloom-matrix index (`M_T`, `M_{I_1..I_k}`, `M_R`) |
-//! | [`search`] | §4.2, Alg. 1 | tIND search with candidate pruning and violation tracking |
+//! | [`index`] | §4.2 | the chained Bloom-matrix index (`M_T`, `M_{I_1..I_k}`, `M_R`); sequential and parallel (bit-identical) builds |
+//! | [`search`] | §4.2, Alg. 1 | tIND search with candidate pruning and violation tracking; batched multi-query kernel |
 //! | [`reverse`] | §4.5 | reverse tIND search (`A ⊆ Q`) |
 //! | [`allpairs`] | §3.5 | parallel all-pairs discovery (fault-tolerant: checkpoint/resume, panic quarantine, cancellation) |
 //! | [`checkpoint`] | — | checksummed, fingerprint-guarded progress checkpoints |
@@ -66,7 +66,7 @@ pub use allpairs::{
 };
 pub use cancel::CancelToken;
 pub use checkpoint::Checkpoint;
-pub use index::{IndexConfig, TindIndex};
+pub use index::{BuildOptions, IndexConfig, TindIndex};
 pub use params::TindParams;
-pub use search::{SearchOptions, SearchOutcome, SearchStats};
+pub use search::{BatchOptions, BatchOutcome, SearchOptions, SearchOutcome, SearchStats};
 pub use slices::{SliceConfig, SliceStrategy};

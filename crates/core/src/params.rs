@@ -87,6 +87,16 @@ impl TindParams {
     pub fn exceeds_budget(&self, violation: f64) -> bool {
         violation > self.eps + EPS_TOLERANCE
     }
+
+    /// Whether an index whose time slices were expanded for
+    /// `index_max_delta` can soundly use slice evidence for this query
+    /// (§4.4): a violation detected against `A[I^δ]` is only genuine when
+    /// the query's δ does not exceed the index's. Shared by the forward,
+    /// reverse, and batched search paths.
+    #[inline]
+    pub fn slices_usable(&self, index_max_delta: u32) -> bool {
+        self.delta <= index_max_delta
+    }
 }
 
 #[cfg(test)]

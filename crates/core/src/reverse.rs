@@ -63,7 +63,7 @@ pub(crate) fn run_reverse(
     // Stage 2: subset-direction time-slice checks with minimum-weight
     // violation lower bounds.
     stats.slices_used =
-        params.delta <= index.max_delta() && index.config().slices.expanded_disjoint;
+        params.slices_usable(index.max_delta()) && index.config().slices.expanded_disjoint;
     if stats.slices_used && !candidates.is_zero() {
         // Probe mode mirrors forward search: once few candidates remain,
         // test their columns individually (O(m) each) instead of AND-NOTing

@@ -19,10 +19,15 @@
 //! *exactly* ε is still valid under Definition 3.6 ("at most ε"). We prune
 //! only at `VIO[c] > ε` to guarantee zero false negatives.
 
-use tind_bloom::BitVec;
-use tind_model::hash::FastMap;
-use tind_model::{AttrId, AttributeHistory};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
+use tind_bloom::{BitVec, BloomFilter};
+use tind_model::hash::FastMap;
+use tind_model::{AttrId, AttributeHistory, MemoryBudget, ValueId, ValueSet};
+
+use crate::allpairs::{grant_workers, WORKER_SCRATCH_BYTES_PER_ATTR};
+use crate::cancel::CancelToken;
 use crate::index::TindIndex;
 use crate::params::TindParams;
 use crate::required::required_values;
@@ -76,6 +81,34 @@ impl Default for SearchOptions {
     }
 }
 
+/// Options for [`TindIndex::search_batch_with`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Worker threads for the per-query stages; `0` picks the machine's
+    /// available parallelism.
+    pub threads: usize,
+    /// Optional cooperative cancellation, polled at query boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Optional memory budget for worker scratch; extra workers beyond the
+    /// first are shed when the budget cannot cover them (same degradation
+    /// rule as all-pairs discovery).
+    pub memory_budget: Option<MemoryBudget>,
+    /// Per-query stage toggles, applied to every query of the batch.
+    pub search: SearchOptions,
+}
+
+/// Result of a batched tIND search.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One outcome per query, in input order; `None` only for queries
+    /// skipped by cancellation.
+    pub outcomes: Vec<Option<SearchOutcome>>,
+    /// Whether cancellation stopped the batch before every query finished.
+    pub cancelled: bool,
+    /// Worker threads actually used after memory-budget shedding.
+    pub threads_used: usize,
+}
+
 /// Executes tIND search for `q` against the index. `exclude` removes the
 /// reflexive result when `q` is itself an indexed attribute.
 pub(crate) fn run_search(
@@ -95,18 +128,8 @@ pub(crate) fn run_search_with(
     params: &TindParams,
     options: &SearchOptions,
 ) -> SearchOutcome {
-    let dataset = index.dataset();
-    let timeline = dataset.timeline();
-    let num_attrs = dataset.len();
-    let mut stats = SearchStats {
-        initial: num_attrs - usize::from(exclude.is_some()),
-        ..SearchStats::default()
-    };
-
-    let mut candidates = BitVec::ones(num_attrs);
-    if let Some(x) = exclude {
-        candidates.clear(x as usize);
-    }
+    let timeline = index.dataset().timeline();
+    let mut candidates = initial_candidates(index, exclude);
 
     // Stage 1: required values against M_T.
     let required = required_values(q, params, timeline);
@@ -114,7 +137,39 @@ pub(crate) fn run_search_with(
         let qf = index.m_t().query_filter(&required);
         index.m_t().narrow_to_supersets(&qf, &mut candidates);
     }
-    stats.after_required = candidates.count_ones();
+
+    finish_search(index, q, exclude, params, options, &required, candidates)
+}
+
+/// The full candidate set before any pruning (minus the reflexive self).
+fn initial_candidates(index: &TindIndex, exclude: Option<AttrId>) -> BitVec {
+    let mut candidates = BitVec::ones(index.dataset().len());
+    if let Some(x) = exclude {
+        candidates.clear(x as usize);
+    }
+    candidates
+}
+
+/// Stages 2–4 of Algorithm 1, shared by the per-query and batched paths.
+/// `candidates` arrives already narrowed by the stage-1 required-values
+/// pass (or untouched when that stage is disabled).
+fn finish_search(
+    index: &TindIndex,
+    q: &AttributeHistory,
+    exclude: Option<AttrId>,
+    params: &TindParams,
+    options: &SearchOptions,
+    required: &[ValueId],
+    mut candidates: BitVec,
+) -> SearchOutcome {
+    let dataset = index.dataset();
+    let timeline = dataset.timeline();
+    let num_attrs = dataset.len();
+    let mut stats = SearchStats {
+        initial: num_attrs - usize::from(exclude.is_some()),
+        after_required: candidates.count_ones(),
+        ..SearchStats::default()
+    };
 
     // Stage 2: time-slice violation tracking.
     //
@@ -126,7 +181,7 @@ pub(crate) fn run_search_with(
     //   individually; cost O(candidates · |values| · k). Once `M_T` has
     //   narrowed the field to a handful, probing is far cheaper than
     //   touching full rows — this keeps large k affordable on large |D|.
-    stats.slices_used = options.use_time_slices && params.delta <= index.max_delta();
+    stats.slices_used = options.use_time_slices && params.slices_usable(index.max_delta());
     if stats.slices_used && !candidates.is_zero() {
         let probe_threshold = (num_attrs / 64).max(8);
         let mut violations: FastMap<u32, f64> = FastMap::default();
@@ -214,6 +269,102 @@ pub(crate) fn run_search_with(
     }
     stats.validated = results.len();
     SearchOutcome { results, stats }
+}
+
+/// One query's staged state while a batch drains: the stage-1 output waits
+/// in `input` until a worker claims it and replaces it with `outcome`.
+struct BatchSlot {
+    input: Option<(ValueSet, BitVec)>,
+    outcome: Option<SearchOutcome>,
+}
+
+/// Batched tIND search (the kernel behind [`TindIndex::search_batch_with`]).
+///
+/// Stage 1 runs for the whole batch at once: every query's required values
+/// are hashed exactly once, and `M_T` is walked row-by-row in word-blocked
+/// strips, narrowing all candidate sets per row touch instead of re-reading
+/// each row per query. Stages 2–4 stay per-query and fan out over a worker
+/// pool with the all-pairs memory-budget degradation rule. Outcomes are
+/// identical to running [`TindIndex::search`] per query, in input order.
+pub(crate) fn run_search_batch(
+    index: &TindIndex,
+    queries: &[AttrId],
+    params: &TindParams,
+    options: &BatchOptions,
+) -> BatchOutcome {
+    let dataset = index.dataset();
+    let timeline = dataset.timeline();
+
+    // Batched stage 1.
+    let required: Vec<ValueSet> = queries
+        .iter()
+        .map(|&qid| required_values(dataset.attribute(qid), params, timeline))
+        .collect();
+    let mut candidates: Vec<BitVec> =
+        queries.iter().map(|&qid| initial_candidates(index, Some(qid))).collect();
+    if options.search.use_required_values {
+        // An empty required set hashes to a filter with no set rows, which
+        // narrows nothing — matching the per-query `!required.is_empty()`
+        // guard.
+        let filters: Vec<BloomFilter> =
+            required.iter().map(|r| index.m_t().query_filter(r)).collect();
+        index.m_t().narrow_batch_to_supersets(&filters, &mut candidates);
+    }
+
+    let requested = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        options.threads
+    }
+    .clamp(1, queries.len().max(1));
+    let scratch = dataset.len().saturating_mul(WORKER_SCRATCH_BYTES_PER_ATTR);
+    let (threads, _charges) = grant_workers(requested, scratch, options.memory_budget.as_ref());
+
+    let slots: Vec<Mutex<BatchSlot>> = required
+        .into_iter()
+        .zip(candidates)
+        .map(|staged| Mutex::new(BatchSlot { input: Some(staged), outcome: None }))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
+    let drain = || loop {
+        if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            stopped.store(true, Ordering::Relaxed);
+            break;
+        }
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= queries.len() {
+            break;
+        }
+        let (required, candidates) =
+            slots[i].lock().input.take().expect("each slot is claimed exactly once");
+        let outcome = finish_search(
+            index,
+            dataset.attribute(queries[i]),
+            Some(queries[i]),
+            params,
+            &options.search,
+            &required,
+            candidates,
+        );
+        slots[i].lock().outcome = Some(outcome);
+    };
+    if threads <= 1 {
+        drain();
+    } else {
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| drain());
+            }
+        })
+        .expect("batch search worker panicked");
+    }
+
+    let outcomes: Vec<Option<SearchOutcome>> =
+        slots.into_iter().map(|s| s.into_inner().outcome).collect();
+    let cancelled =
+        stopped.load(Ordering::Relaxed) && outcomes.iter().any(Option::is_none);
+    BatchOutcome { outcomes, cancelled, threads_used: threads }
 }
 
 /// Brute-force reference: validates `q` against every attribute. Used to
@@ -402,6 +553,98 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batch_search_matches_per_query_search() {
+        let d = pokemonish();
+        let idx = index(&d);
+        // Duplicate query ids are allowed: each gets its own slot.
+        let queries: Vec<AttrId> = (0..d.len() as u32).chain([0]).collect();
+        for p in [TindParams::strict(), TindParams::paper_default()] {
+            let batch = idx.search_batch(&queries, &p);
+            assert_eq!(batch.len(), queries.len());
+            for (&qid, out) in queries.iter().zip(&batch) {
+                let single = idx.search(qid, &p);
+                assert_eq!(out.results, single.results, "query {qid} params {p:?}");
+                assert_eq!(out.stats, single.stats, "query {qid} params {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_thread_counts_agree() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let queries: Vec<AttrId> = (0..d.len() as u32).collect();
+        let p = TindParams::paper_default();
+        let base = idx.search_batch(&queries, &p);
+        for threads in [1, 2, 7] {
+            let opts = BatchOptions { threads, ..BatchOptions::default() };
+            let got = idx.search_batch_with(&queries, &p, &opts);
+            assert!(!got.cancelled);
+            for (a, b) in base.iter().zip(&got.outcomes) {
+                let b = b.as_ref().expect("uncancelled batch completes every query");
+                assert_eq!(a.results, b.results);
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stage_toggles_never_change_results() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let queries: Vec<AttrId> = (0..d.len() as u32).collect();
+        let p = TindParams::paper_default();
+        let baseline: Vec<Vec<AttrId>> =
+            idx.search_batch(&queries, &p).into_iter().map(|o| o.results).collect();
+        let opts = BatchOptions {
+            search: SearchOptions {
+                use_required_values: false,
+                use_time_slices: false,
+                use_exact_filter: false,
+            },
+            ..BatchOptions::default()
+        };
+        let unpruned = idx.search_batch_with(&queries, &p, &opts);
+        for (base, out) in baseline.iter().zip(&unpruned.outcomes) {
+            assert_eq!(base, &out.as_ref().unwrap().results);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_batch_returns_no_outcomes() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = BatchOptions { cancel: Some(token), ..BatchOptions::default() };
+        let out = idx.search_batch_with(&[0, 1, 2], &TindParams::strict(), &opts);
+        assert!(out.cancelled);
+        assert!(out.outcomes.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn zero_memory_budget_degrades_batch_to_one_worker() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let opts = BatchOptions {
+            threads: 8,
+            memory_budget: Some(MemoryBudget::new(0)),
+            ..BatchOptions::default()
+        };
+        let out = idx.search_batch_with(&[0, 1], &TindParams::strict(), &opts);
+        assert_eq!(out.threads_used, 1, "zero budget sheds every extra worker");
+        assert!(!out.cancelled);
+        assert!(out.outcomes.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let d = pokemonish();
+        let idx = index(&d);
+        assert!(idx.search_batch(&[], &TindParams::strict()).is_empty());
     }
 
     #[test]

@@ -11,7 +11,8 @@
 # Coverage gaps vs. a real `cargo test`:
 #   - `proptest!` blocks expand to nothing (plain #[test]s still run), and
 #     tests/proptests.rs (module-level strategy combinators) is skipped;
-#   - criterion benches are not compiled;
+#   - criterion benches compile against a one-shot shim and are smoke-run
+#     (one iteration at TIND_BENCH_ATTRS=200 scale), not measured;
 #   - the shim StdRng is a different (still deterministic) stream than the
 #     real rand::StdRng, so seed-sensitive expectations can differ.
 #
@@ -39,12 +40,13 @@ shim rand
 shim parking_lot
 shim crossbeam
 shim proptest
+shim criterion
 
 # Every shim and workspace rlib, so each crate (and its tests, which may
 # pull in dev-dependencies) can just receive the full set.
 externs() {
     local flags=""
-    for dep in bytes rand parking_lot crossbeam proptest \
+    for dep in bytes rand parking_lot crossbeam proptest criterion \
         tind_model tind_bloom tind_core tind_baseline tind_wiki \
         tind_datagen tind_eval tind_cli tind_bench tind; do
         [ -f "$OUT/lib$dep.rlib" ] && flags="$flags --extern $dep=$OUT/lib$dep.rlib"
@@ -100,9 +102,10 @@ test_bin tind_cli crates/cli/src/lib.rs
 
 # Crate-level integration tests. crates/wiki/tests/parser_props.rs uses
 # strategy combinators at module level and needs real proptest (cargo
-# runs it); ingest_adversarial keeps proptest inside `proptest!` blocks,
-# so its plain #[test]s run here too.
+# runs it); ingest_adversarial and blocked_kernels keep proptest inside
+# `proptest!` blocks, so their plain #[test]s run here too.
 test_bin it_ingest_adversarial crates/wiki/tests/ingest_adversarial.rs
+test_bin it_blocked_kernels crates/bloom/tests/blocked_kernels.rs
 
 # Workspace integration tests (tests/proptests.rs needs real proptest).
 # sigma_partial_search_recovers_renamed_pairs asserts on how much material
@@ -117,5 +120,21 @@ for t in tests/*.rs; do
         test_bin "it_$name" "$t"
     fi
 done
+
+# Criterion benches against the one-shot shim: every bench target must
+# compile; batch_search is also smoke-run (one iteration per bench point,
+# reduced dataset) to exercise the parallel build / batched search kernels
+# end to end. Real measurements still need `cargo bench`.
+for b in crates/bench/benches/*.rs; do
+    name=$(basename "$b" .rs)
+    echo "bench $name"
+    # shellcheck disable=SC2046
+    $RUSTC --crate-name "bench_$name" --crate-type bin $(externs) \
+        -o "$OUT/bench_$name" "$b"
+done
+if [ "$CHECK_ONLY" = 0 ]; then
+    echo "smoke bench_batch_search (TIND_BENCH_ATTRS=200)"
+    TIND_BENCH_ATTRS=200 "$OUT/bench_batch_search"
+fi
 
 echo "offline check passed"

@@ -1,0 +1,111 @@
+//! Stand-in for `criterion` used only by the offline typecheck/test
+//! harness. Each bench closure runs exactly ONCE (a smoke execution, not a
+//! measurement): enough to typecheck the benches and prove they don't
+//! panic, without Criterion's sampling machinery. NOT part of the shipped
+//! library.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// One-shot stand-in for `criterion::Criterion`.
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        eprintln!("bench group {name}");
+        BenchmarkGroup
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(&id.to_string(), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup;
+
+impl BenchmarkGroup {
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(&id.to_string(), f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_once(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let start = Instant::now();
+    let mut b = Bencher;
+    f(&mut b);
+    eprintln!("  {label}: one iteration in {:?}", start.elapsed());
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine();
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { repr: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { repr: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
