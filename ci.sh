@@ -27,6 +27,7 @@ if cargo metadata --format-version 1 >/dev/null 2>&1; then
     # Smoke the parallel-build/batched-search bench in Criterion's test
     # mode (one iteration per point) so the bench targets can't rot.
     TIND_BENCH_ATTRS=200 cargo bench -p tind-bench --bench batch_search -- --test
+    TIND_BENCH_ATTRS=200 cargo bench -p tind-bench --bench validate_kernel -- --test
     echo "ci: full cargo gate passed"
 else
     echo "ci: cargo cannot reach a registry (offline, nothing vendored);"

@@ -1,0 +1,180 @@
+//! Validation-kernel throughput (pairs/s): the numbers behind the
+//! plan-based fast path.
+//!
+//! Three comparisons:
+//!
+//! * `validate_pairs` — legacy per-pair `validate` (hash-map window, weight
+//!   recomputed per interval) vs a cold `QueryPlan` built per pair vs one
+//!   plan per query reused across all candidates with a shared scratch.
+//! * `weight_families` — plan-reuse throughput under constant, exponential
+//!   and piecewise weights; the prefix-sum table makes all three O(1) per
+//!   interval, so they should land within noise of each other.
+//! * `early_exit` — tight vs generous ε budgets, exercising the
+//!   prove-invalid and prove-valid exits; hit rates are printed once per
+//!   configuration from the scratch counters.
+//!
+//! `TIND_BENCH_ATTRS` overrides the dataset size (default 1500) so the
+//! offline smoke harness can run one iteration at a reduced scale.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tind_bench::bench_dataset;
+use tind_core::validate;
+use tind_core::{QueryPlan, TindParams, ValidationScratch};
+use tind_model::WeightFn;
+
+fn num_attrs() -> usize {
+    std::env::var("TIND_BENCH_ATTRS").ok().and_then(|v| v.parse().ok()).unwrap_or(1500)
+}
+
+/// Every (query, candidate) pair the throughput benches sweep: a fixed
+/// stripe of queries against the whole dataset.
+const QUERY_STRIDE: usize = 100;
+
+fn bench_validate_pairs(c: &mut Criterion) {
+    let dataset = bench_dataset(num_attrs(), 31);
+    let timeline = dataset.timeline();
+    let params = TindParams::paper_default();
+    let queries: Vec<u32> = (0..dataset.len() as u32).step_by(QUERY_STRIDE).collect();
+
+    let mut group = c.benchmark_group("validate_pairs");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group.bench_function("legacy", |bench| {
+        bench.iter(|| {
+            let mut valid = 0usize;
+            for &qid in &queries {
+                let q = dataset.attribute(qid);
+                for aid in 0..dataset.len() as u32 {
+                    valid += usize::from(validate::validate(
+                        q,
+                        dataset.attribute(aid),
+                        &params,
+                        timeline,
+                    ));
+                }
+            }
+            black_box(valid)
+        })
+    });
+    group.bench_function("plan_cold", |bench| {
+        let mut scratch = ValidationScratch::new();
+        bench.iter(|| {
+            let mut valid = 0usize;
+            for &qid in &queries {
+                let q = dataset.attribute(qid);
+                for aid in 0..dataset.len() as u32 {
+                    // A fresh plan per pair: isolates the cost of the plan
+                    // build from the per-candidate win of reusing it.
+                    let plan = QueryPlan::new(q, &params, timeline);
+                    valid += usize::from(plan.validate(dataset.attribute(aid), &mut scratch));
+                }
+            }
+            black_box(valid)
+        })
+    });
+    group.bench_function("plan_reuse", |bench| {
+        let mut scratch = ValidationScratch::new();
+        bench.iter(|| {
+            let mut valid = 0usize;
+            for &qid in &queries {
+                let table = scratch.weight_table(&params.weights, timeline);
+                let plan = QueryPlan::with_table(dataset.attribute(qid), &params, timeline, table);
+                for aid in 0..dataset.len() as u32 {
+                    valid += usize::from(plan.validate(dataset.attribute(aid), &mut scratch));
+                }
+            }
+            black_box(valid)
+        })
+    });
+    group.finish();
+}
+
+fn bench_weight_families(c: &mut Criterion) {
+    let dataset = bench_dataset(num_attrs(), 31);
+    let timeline = dataset.timeline();
+    let queries: Vec<u32> = (0..dataset.len() as u32).step_by(QUERY_STRIDE).collect();
+    let custom: Vec<f64> =
+        (0..timeline.len()).map(|t| 0.25 + 1.5 * f64::from(t % 7) / 7.0).collect();
+    let families = [
+        ("constant", WeightFn::constant_one(), 5.0),
+        ("exponential", WeightFn::exponential(0.995, timeline), 2.0),
+        ("piecewise", WeightFn::piecewise(&custom), 5.0),
+    ];
+
+    let mut group = c.benchmark_group("weight_families");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    for (name, weights, eps) in families {
+        let params = TindParams::weighted(eps, 7, weights);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |bench, params| {
+            let mut scratch = ValidationScratch::new();
+            bench.iter(|| {
+                let mut valid = 0usize;
+                for &qid in &queries {
+                    let table = scratch.weight_table(&params.weights, timeline);
+                    let plan =
+                        QueryPlan::with_table(dataset.attribute(qid), params, timeline, table);
+                    for aid in 0..dataset.len() as u32 {
+                        valid += usize::from(plan.validate(dataset.attribute(aid), &mut scratch));
+                    }
+                }
+                black_box(valid)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_early_exit(c: &mut Criterion) {
+    let dataset = bench_dataset(num_attrs(), 31);
+    let timeline = dataset.timeline();
+    let queries: Vec<u32> = (0..dataset.len() as u32).step_by(QUERY_STRIDE).collect();
+    // Tight budgets make prove-invalid hot; budgets near the total timeline
+    // weight make prove-valid hot.
+    let budgets = [("tight", 5.0), ("loose", 900.0)];
+
+    let mut group = c.benchmark_group("early_exit");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    for (name, eps) in budgets {
+        let params = TindParams::weighted(eps, 7, WeightFn::constant_one());
+
+        // Hit rates, measured once outside the timing loop.
+        let mut probe = ValidationScratch::new();
+        let before = probe.counters();
+        for &qid in &queries {
+            let table = probe.weight_table(&params.weights, timeline);
+            let plan = QueryPlan::with_table(dataset.attribute(qid), &params, timeline, table);
+            for aid in 0..dataset.len() as u32 {
+                plan.validate(dataset.attribute(aid), &mut probe);
+            }
+        }
+        let d = probe.counters().since(&before);
+        eprintln!(
+            "early_exit/{name}: {} validations, {:.1}% proved valid early, {:.1}% proved invalid early",
+            d.validations,
+            100.0 * d.proved_valid_early as f64 / d.validations as f64,
+            100.0 * d.proved_invalid_early as f64 / d.validations as f64,
+        );
+
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |bench, params| {
+            let mut scratch = ValidationScratch::new();
+            bench.iter(|| {
+                let mut valid = 0usize;
+                for &qid in &queries {
+                    let table = scratch.weight_table(&params.weights, timeline);
+                    let plan =
+                        QueryPlan::with_table(dataset.attribute(qid), params, timeline, table);
+                    for aid in 0..dataset.len() as u32 {
+                        valid += usize::from(plan.validate(dataset.attribute(aid), &mut scratch));
+                    }
+                }
+                black_box(valid)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validate_pairs, bench_weight_families, bench_early_exit);
+criterion_main!(benches);

@@ -332,6 +332,21 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
             outcome.threads_used,
             tind_eval::report::fmt_duration(build),
         );
+        let (mut runs, mut ev, mut ei, mut nanos) = (0usize, 0usize, 0usize, 0u64);
+        for per_query in outcome.outcomes.iter().flatten() {
+            runs += per_query.stats.validations_run;
+            ev += per_query.stats.early_valid_exits;
+            ei += per_query.stats.early_invalid_exits;
+            nanos += per_query.stats.validate_nanos;
+        }
+        let _ = writeln!(
+            out,
+            "validation: {} run(s) in {} across workers, early exits: {} proved valid, {} proved invalid",
+            runs,
+            tind_eval::report::fmt_duration(std::time::Duration::from_nanos(nanos)),
+            ev,
+            ei,
+        );
         for (&qid, per_query) in queries.iter().zip(&outcome.outcomes) {
             let per_query = per_query.as_ref().expect("no cancellation configured");
             let _ = writeln!(
@@ -383,6 +398,14 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         out,
         "pruning: {} → {} (required values) → {} (time slices) → {} (exact) → {} valid",
         s.initial, s.after_required, s.after_slices, s.after_exact, s.validated
+    );
+    let _ = writeln!(
+        out,
+        "validation: {} run(s) in {}, early exits: {} proved valid, {} proved invalid",
+        s.validations_run,
+        tind_eval::report::fmt_duration(std::time::Duration::from_nanos(s.validate_nanos)),
+        s.early_valid_exits,
+        s.early_invalid_exits,
     );
     Ok(out)
 }
@@ -496,6 +519,13 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
         tind_eval::report::fmt_duration(outcome.elapsed),
         outcome.validations_run,
         outcome.threads_used,
+    );
+    let _ = writeln!(
+        out,
+        "validation: {} across workers, early exits: {} proved valid, {} proved invalid",
+        tind_eval::report::fmt_duration(Duration::from_nanos(outcome.validate_nanos)),
+        outcome.early_valid_exits,
+        outcome.early_invalid_exits,
     );
     if resumed > 0 {
         let _ = writeln!(out, "resumed past {resumed} previously completed queries");
@@ -1218,6 +1248,8 @@ mod tests {
         .expect("searches");
         assert!(search.contains("results for"), "{search}");
         assert!(search.contains("pruning:"));
+        assert!(search.contains("validation:"), "stage-4 stats line missing: {search}");
+        assert!(search.contains("early exits"), "{search}");
         assert!(search.contains("source-0"), "planted source should be found: {search}");
 
         let reverse = run(&["reverse-search", "--data", path_str, "--query", "source-0", "--eps", "10", "--delta", "14"])
@@ -1226,6 +1258,7 @@ mod tests {
 
         let pairs = run(&["all-pairs", "--data", path_str, "--threads", "2"]).expect("all pairs");
         assert!(pairs.contains("tINDs among"));
+        assert!(pairs.contains("validation:"), "all-pairs stats line missing: {pairs}");
 
         let partial = run(&[
             "partial-search", "--data", path_str, "--query", "derived-0-of-0", "--sigma", "0.7",

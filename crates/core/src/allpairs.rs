@@ -40,6 +40,8 @@ use crate::checkpoint::Checkpoint;
 use crate::fault::FaultHook;
 use crate::index::TindIndex;
 use crate::params::TindParams;
+use crate::search::SearchOptions;
+use crate::validate::ValidationScratch;
 
 /// Estimated per-candidate scratch bytes a worker needs while validating
 /// one query (violation accumulators, candidate bitsets, result staging).
@@ -161,6 +163,14 @@ pub struct AllPairsOutcome {
     pub threads_used: usize,
     /// Whether a checkpoint file reflecting the final state was written.
     pub checkpoint_written: bool,
+    /// Validations ended by the prove-valid early exit during *this* call
+    /// (not part of the checkpoint format, so resumed work contributes 0).
+    pub early_valid_exits: usize,
+    /// Validations ended by the prove-invalid early exit during this call.
+    pub early_invalid_exits: usize,
+    /// Wall-clock nanoseconds spent in stage-4 validation during this
+    /// call, summed across workers (can exceed `elapsed` on multi-core).
+    pub validate_nanos: u64,
 }
 
 /// Errors from fault-tolerant all-pairs discovery.
@@ -206,6 +216,12 @@ struct Shared {
     checkpoint_written: bool,
     checkpoint_error: Option<BinIoError>,
     fresh_completed: usize,
+    /// Early-exit / timing aggregates for this call only — deliberately
+    /// *not* part of `state`: the checkpoint format stays unchanged and
+    /// these counters restart at zero on resume.
+    early_valid_exits: usize,
+    early_invalid_exits: usize,
+    validate_nanos: u64,
 }
 
 impl Shared {
@@ -306,11 +322,19 @@ pub fn discover_all_pairs(
         checkpoint_written: false,
         checkpoint_error: None,
         fresh_completed: 0,
+        early_valid_exits: 0,
+        early_invalid_exits: 0,
+        validate_nanos: 0,
     });
 
     let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
+                // One validation scratch per worker for the whole drain:
+                // the dense window union and cached weight table are
+                // reused across every query this worker claims.
+                let mut scratch = ValidationScratch::new();
+                let search_options = SearchOptions::default();
                 loop {
                     if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
                         || deadline.is_some_and(|d| Instant::now() >= d)
@@ -326,18 +350,30 @@ pub fn discover_all_pairs(
                         continue;
                     }
                     // Quarantine: a panicking query must not take down the
-                    // scope — record it and keep draining the cursor.
+                    // scope — record it and keep draining the cursor. A
+                    // scratch abandoned mid-pair is safe to reuse: the next
+                    // pair's generation bump hides any stale counts.
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         if let Some(hook) = &options.fault_hook {
                             hook(q as AttrId);
                         }
-                        index.search(q as AttrId, params)
+                        crate::search::run_search_scratch(
+                            index,
+                            index.dataset().attribute(q as AttrId),
+                            Some(q as AttrId),
+                            params,
+                            &search_options,
+                            &mut scratch,
+                        )
                     }));
 
                     let mut s = shared.lock();
                     match result {
                         Ok(outcome) => {
                             s.state.validations_run += outcome.stats.validations_run;
+                            s.early_valid_exits += outcome.stats.early_valid_exits;
+                            s.early_invalid_exits += outcome.stats.early_invalid_exits;
+                            s.validate_nanos += outcome.stats.validate_nanos;
                             s.state
                                 .pairs
                                 .extend(outcome.results.into_iter().map(|rhs| (q as AttrId, rhs)));
@@ -391,6 +427,9 @@ pub fn discover_all_pairs(
         cancelled,
         threads_used: threads,
         checkpoint_written: s.checkpoint_written,
+        early_valid_exits: s.early_valid_exits,
+        early_invalid_exits: s.early_invalid_exits,
+        validate_nanos: s.validate_nanos,
     })
 }
 
@@ -427,6 +466,7 @@ mod tests {
         let out = discover(&idx, &TindParams::strict(), &AllPairsOptions::default());
         assert_eq!(out.pairs, vec![(0, 1), (0, 2), (1, 2)]);
         assert!(out.validations_run >= out.pairs.len());
+        assert!(out.early_valid_exits + out.early_invalid_exits <= out.validations_run);
         assert_eq!(out.completed_queries, 4);
         assert_eq!(out.total_queries, 4);
         assert!(!out.cancelled);

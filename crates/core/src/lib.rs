@@ -70,3 +70,4 @@ pub use index::{BuildOptions, IndexConfig, TindIndex};
 pub use params::TindParams;
 pub use search::{BatchOptions, BatchOutcome, SearchOptions, SearchOutcome, SearchStats};
 pub use slices::{SliceConfig, SliceStrategy};
+pub use validate::{QueryPlan, ValidationCounters, ValidationScratch};

@@ -88,6 +88,18 @@ impl TindParams {
         violation > self.eps + EPS_TOLERANCE
     }
 
+    /// Whether a pair is *provably* valid before the timeline is exhausted:
+    /// even if every not-yet-examined timestamp violated, the total
+    /// violation could not leave the budget. `max_remaining` must be an
+    /// upper bound on the weight of everything still unexamined (the
+    /// timeline-suffix weight from [`tind_model::WeightTable`]). This is
+    /// the prove-valid half of the validation kernel's two-sided early
+    /// exit; the prove-invalid half is [`TindParams::exceeds_budget`].
+    #[inline]
+    pub fn provably_within(&self, violation: f64, max_remaining: f64) -> bool {
+        self.within_budget(violation + max_remaining)
+    }
+
     /// Whether an index whose time slices were expanded for
     /// `index_max_delta` can soundly use slice evidence for this query
     /// (§4.4): a violation detected against `A[I^δ]` is only genuine when
@@ -134,6 +146,15 @@ mod tests {
         assert!(!p.within_budget(3.1));
         assert!(!p.exceeds_budget(3.0));
         assert!(p.exceeds_budget(3.000001));
+    }
+
+    #[test]
+    fn provably_within_mirrors_the_budget_check() {
+        let p = TindParams::weighted(3.0, 0, WeightFn::constant_one());
+        assert!(p.provably_within(1.0, 2.0), "1 + 2 ≤ ε");
+        assert!(p.provably_within(3.0, 0.0), "boundary counts as valid");
+        assert!(!p.provably_within(1.0, 2.5), "worst case would exceed ε");
+        assert!(!p.provably_within(3.5, 0.0));
     }
 
     #[test]

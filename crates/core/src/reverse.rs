@@ -25,6 +25,7 @@ use crate::params::{TindParams, EPS_TOLERANCE};
 use crate::required::required_values;
 use crate::search::{SearchOutcome, SearchStats};
 use crate::validate;
+use crate::validate::{QueryPlan, ValidationScratch};
 
 /// Executes reverse tIND search for `q` against the index.
 pub(crate) fn run_reverse(
@@ -47,6 +48,12 @@ pub(crate) fn run_reverse(
     }
 
     let q_universe = q.value_universe();
+
+    // One prefix-sum table serves both the stage-2 minimum-weight bounds
+    // and every stage-4 plan — O(1) interval weights regardless of the
+    // weight function.
+    let mut val_scratch = ValidationScratch::new();
+    let table = val_scratch.weight_table(&params.weights, timeline);
 
     // Stage 1: required values of the candidates vs the query universe, in
     // the subset direction via M_R.
@@ -101,7 +108,7 @@ pub(crate) fn run_reverse(
                 let mut min_w = f64::INFINITY;
                 for vi in a.version_range_in(slice.expanded) {
                     if let Some(validity) = a.version_validity(vi).intersect(&slice.expanded) {
-                        min_w = min_w.min(params.weights.interval_weight(validity));
+                        min_w = min_w.min(table.interval_weight(validity));
                     }
                 }
                 if !min_w.is_finite() {
@@ -143,14 +150,24 @@ pub(crate) fn run_reverse(
     stats.after_exact = candidates.count_ones();
 
     // Stage 4: full validation, with the candidate on the left-hand side.
+    // The plan side changes per pair (the candidate is the LHS), so a plan
+    // is built per candidate — but the scratch and the weight table are
+    // shared across all of them.
+    let started = std::time::Instant::now();
+    let before = val_scratch.counters();
     let mut results = Vec::new();
     for c in candidates.iter_ones() {
         stats.validations_run += 1;
         let a = dataset.attribute(c as u32);
-        if validate::validate(a, q, params, timeline) {
+        let plan = QueryPlan::with_table(a, params, timeline, table.clone());
+        if plan.validate(q, &mut val_scratch) {
             results.push(c as u32);
         }
     }
+    let exits = val_scratch.counters().since(&before);
+    stats.early_valid_exits = exits.proved_valid_early as usize;
+    stats.early_invalid_exits = exits.proved_invalid_early as usize;
+    stats.validate_nanos = started.elapsed().as_nanos() as u64;
     stats.validated = results.len();
     SearchOutcome { results, stats }
 }

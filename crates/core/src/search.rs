@@ -32,10 +32,11 @@ use crate::index::TindIndex;
 use crate::params::TindParams;
 use crate::required::required_values;
 use crate::validate;
+use crate::validate::{QueryPlan, ValidationScratch};
 
 /// Counters describing how the candidate set narrowed per stage; the basis
 /// of the pruning-power experiments.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct SearchStats {
     /// `|D|` (minus the excluded self, if any).
     pub initial: usize,
@@ -51,7 +52,35 @@ pub struct SearchStats {
     pub slices_used: bool,
     /// Number of full (Algorithm 2) validations executed.
     pub validations_run: usize,
+    /// Validations that ended via the prove-valid early exit (violation
+    /// plus remaining suffix weight could no longer exceed ε).
+    pub early_valid_exits: usize,
+    /// Validations that ended via the prove-invalid early exit (violation
+    /// alone already exceeded ε).
+    pub early_invalid_exits: usize,
+    /// Wall-clock nanoseconds spent in stage 4 (plan build + validations).
+    /// Excluded from equality: timing is never deterministic.
+    pub validate_nanos: u64,
 }
+
+/// Equality over the deterministic counters only — `validate_nanos` is
+/// wall-clock noise and deliberately ignored, so batch-vs-sequential
+/// equivalence tests can compare whole stats structs.
+impl PartialEq for SearchStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.initial == other.initial
+            && self.after_required == other.after_required
+            && self.after_slices == other.after_slices
+            && self.after_exact == other.after_exact
+            && self.validated == other.validated
+            && self.slices_used == other.slices_used
+            && self.validations_run == other.validations_run
+            && self.early_valid_exits == other.early_valid_exits
+            && self.early_invalid_exits == other.early_invalid_exits
+    }
+}
+
+impl Eq for SearchStats {}
 
 /// Result of a (reverse) tIND search.
 #[derive(Debug, Clone)]
@@ -120,13 +149,28 @@ pub(crate) fn run_search(
     run_search_with(index, q, exclude, params, &SearchOptions::default())
 }
 
-/// [`run_search`] with stage toggles.
+/// [`run_search`] with stage toggles (one-shot scratch).
 pub(crate) fn run_search_with(
     index: &TindIndex,
     q: &AttributeHistory,
     exclude: Option<AttrId>,
     params: &TindParams,
     options: &SearchOptions,
+) -> SearchOutcome {
+    let mut scratch = ValidationScratch::new();
+    run_search_scratch(index, q, exclude, params, options, &mut scratch)
+}
+
+/// [`run_search_with`] against a caller-owned [`ValidationScratch`] — the
+/// entry point for loops that issue many queries from one worker thread
+/// (all-pairs, batch search) and want zero per-query allocation in stage 4.
+pub(crate) fn run_search_scratch(
+    index: &TindIndex,
+    q: &AttributeHistory,
+    exclude: Option<AttrId>,
+    params: &TindParams,
+    options: &SearchOptions,
+    scratch: &mut ValidationScratch,
 ) -> SearchOutcome {
     let timeline = index.dataset().timeline();
     let mut candidates = initial_candidates(index, exclude);
@@ -138,7 +182,7 @@ pub(crate) fn run_search_with(
         index.m_t().narrow_to_supersets(&qf, &mut candidates);
     }
 
-    finish_search(index, q, exclude, params, options, &required, candidates)
+    finish_search(index, q, exclude, params, options, &required, candidates, scratch)
 }
 
 /// The full candidate set before any pruning (minus the reflexive self).
@@ -153,6 +197,7 @@ fn initial_candidates(index: &TindIndex, exclude: Option<AttrId>) -> BitVec {
 /// Stages 2–4 of Algorithm 1, shared by the per-query and batched paths.
 /// `candidates` arrives already narrowed by the stage-1 required-values
 /// pass (or untouched when that stage is disabled).
+#[allow(clippy::too_many_arguments)]
 fn finish_search(
     index: &TindIndex,
     q: &AttributeHistory,
@@ -161,6 +206,7 @@ fn finish_search(
     options: &SearchOptions,
     required: &[ValueId],
     mut candidates: BitVec,
+    scratch: &mut ValidationScratch,
 ) -> SearchOutcome {
     let dataset = index.dataset();
     let timeline = dataset.timeline();
@@ -258,15 +304,26 @@ fn finish_search(
     }
     stats.after_exact = candidates.count_ones();
 
-    // Stage 4: full validation (Algorithm 2).
+    // Stage 4: full validation through the plan-based kernel — the plan is
+    // built once for `q` and reused across every surviving candidate; the
+    // scratch (and its cached weight table) persists across queries on the
+    // same worker thread.
+    let started = std::time::Instant::now();
+    let table = scratch.weight_table(&params.weights, timeline);
+    let plan = QueryPlan::with_table(q, params, timeline, table);
+    let before = scratch.counters();
     let mut results = Vec::new();
     for c in candidates.iter_ones() {
         stats.validations_run += 1;
         let a = dataset.attribute(c as u32);
-        if validate::validate(q, a, params, timeline) {
+        if plan.validate(a, scratch) {
             results.push(c as u32);
         }
     }
+    let exits = scratch.counters().since(&before);
+    stats.early_valid_exits = exits.proved_valid_early as usize;
+    stats.early_invalid_exits = exits.proved_invalid_early as usize;
+    stats.validate_nanos = started.elapsed().as_nanos() as u64;
     stats.validated = results.len();
     SearchOutcome { results, stats }
 }
@@ -327,27 +384,34 @@ pub(crate) fn run_search_batch(
         .collect();
     let cursor = AtomicUsize::new(0);
     let stopped = AtomicBool::new(false);
-    let drain = || loop {
-        if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-            stopped.store(true, Ordering::Relaxed);
-            break;
+    let drain = || {
+        // One scratch per worker thread: stage 4 of every query this
+        // worker drains reuses the same dense window union and cached
+        // weight table.
+        let mut scratch = ValidationScratch::new();
+        loop {
+            if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                stopped.store(true, Ordering::Relaxed);
+                break;
+            }
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= queries.len() {
+                break;
+            }
+            let (required, candidates) =
+                slots[i].lock().input.take().expect("each slot is claimed exactly once");
+            let outcome = finish_search(
+                index,
+                dataset.attribute(queries[i]),
+                Some(queries[i]),
+                params,
+                &options.search,
+                &required,
+                candidates,
+                &mut scratch,
+            );
+            slots[i].lock().outcome = Some(outcome);
         }
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        if i >= queries.len() {
-            break;
-        }
-        let (required, candidates) =
-            slots[i].lock().input.take().expect("each slot is claimed exactly once");
-        let outcome = finish_search(
-            index,
-            dataset.attribute(queries[i]),
-            Some(queries[i]),
-            params,
-            &options.search,
-            &required,
-            candidates,
-        );
-        slots[i].lock().outcome = Some(outcome);
     };
     if threads <= 1 {
         drain();
@@ -524,6 +588,16 @@ mod tests {
         assert!(s.after_exact <= s.after_slices);
         assert!(s.validated <= s.after_exact);
         assert_eq!(s.validations_run, s.after_exact);
+        assert!(s.early_valid_exits + s.early_invalid_exits <= s.validations_run);
+    }
+
+    #[test]
+    fn stats_equality_ignores_wall_clock() {
+        let mut a = SearchStats { validations_run: 3, validate_nanos: 10, ..Default::default() };
+        let b = SearchStats { validations_run: 3, validate_nanos: 99, ..Default::default() };
+        assert_eq!(a, b, "timing must not participate in equality");
+        a.early_valid_exits = 1;
+        assert_ne!(a, b, "early-exit counters do participate");
     }
 
     #[test]

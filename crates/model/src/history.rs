@@ -16,6 +16,14 @@ pub struct Version {
     /// First timestamp at which this version is valid.
     pub start: Timestamp,
     /// Canonical (sorted, deduplicated) value set.
+    ///
+    /// This canonical form is a load-bearing invariant, not a convention:
+    /// `value::is_subset`, the Bloom matrix builders, and the validation
+    /// kernel's window union all binary-probe or merge these slices
+    /// without re-sorting. [`HistoryBuilder::push`] canonicalizes every
+    /// set it accepts; code constructing `Version`s directly must uphold
+    /// the invariant itself (the validation kernel re-checks it with a
+    /// `debug_assert` at query-plan build time).
     pub values: ValueSet,
 }
 
@@ -98,6 +106,11 @@ impl AttributeHistory {
     }
 
     /// `A[t]`: the value set valid at `t`, empty outside observation.
+    ///
+    /// The returned slice is canonical — sorted ascending and free of
+    /// duplicates (see [`Version::values`]). Consumers such as
+    /// `WindowUnion::contains_all` and the plan-based validation scratch
+    /// rely on this to probe and size-compare sets without normalizing.
     pub fn values_at(&self, t: Timestamp) -> &[ValueId] {
         match self.version_index_at(t) {
             Some(i) => &self.versions[i].values,

@@ -48,4 +48,4 @@ pub use history::{AttributeHistory, HistoryBuilder, Version};
 pub use table::{TableVersion, TemporalTable, TupleInterner};
 pub use time::{Interval, Timeline, Timestamp};
 pub use value::{Dictionary, ValueId, ValueSet};
-pub use weights::WeightFn;
+pub use weights::{WeightFn, WeightTable};

@@ -149,6 +149,13 @@ impl WeightFn {
         self.interval_weight(timeline.full_interval())
     }
 
+    /// Materializes this weight function over a concrete timeline as a
+    /// prefix-sum table — the validation kernel's O(1) source of interval
+    /// and suffix weights for *any* variant (see [`WeightTable`]).
+    pub fn table(&self, timeline: Timeline) -> WeightTable {
+        WeightTable::build(self, timeline)
+    }
+
     /// The smallest interval starting at `start` whose summed weight
     /// strictly exceeds `eps`, or `None` if even the remaining timeline does
     /// not reach it. Used for slice-length sizing (`w(I) > ε`, §4.4.1).
@@ -172,6 +179,99 @@ impl WeightFn {
             }
         }
         Some(Interval::new(start, lo))
+    }
+}
+
+/// A weight function materialized over one concrete timeline as prefix
+/// sums: `prefix[i] = Σ_{t < i} w(t)`, length `n + 1`.
+///
+/// [`WeightFn::interval_weight`] is already O(1) per variant, but the
+/// exponential closed form costs two `powi` evaluations per call — far more
+/// than the two loads and one subtract a prefix table needs. Validation
+/// builds the table once per (weights, timeline) and reuses it across every
+/// pair, which also supplies the O(1) *suffix* weights behind the
+/// prove-valid early exit (violation + max-remaining-suffix ≤ ε).
+///
+/// Cloning is cheap (the table is shared behind an `Arc`), so one table can
+/// serve many query plans concurrently.
+///
+/// Accumulated sums can differ from the closed forms in the final ulps;
+/// the `EPS_TOLERANCE` slack that validation applies to ε comparisons
+/// absorbs this (for `constant_one`, integer sums are exact either way).
+///
+/// # Examples
+///
+/// ```
+/// use tind_model::{Interval, Timeline, WeightFn};
+///
+/// let tl = Timeline::new(100);
+/// let w = WeightFn::exponential(0.9, tl);
+/// let table = w.table(tl);
+/// let i = Interval::new(90, 99);
+/// assert!((table.interval_weight(i) - w.interval_weight(i)).abs() < 1e-9);
+/// assert!((table.suffix_weight(0) - w.total(tl)).abs() < 1e-9);
+/// assert_eq!(table.suffix_weight(100), 0.0, "past the end nothing remains");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightTable {
+    /// `prefix[i] = Σ_{t < i} w(t)`; length `n + 1`.
+    prefix: std::sync::Arc<Vec<f64>>,
+}
+
+impl WeightTable {
+    /// Builds the table for `w` over `timeline` in O(n).
+    pub fn build(w: &WeightFn, timeline: Timeline) -> Self {
+        // Piecewise already *is* a prefix table — share it instead of
+        // re-accumulating (also keeps its sums bit-identical).
+        if let WeightFn::Piecewise { prefix } = w {
+            assert_eq!(
+                prefix.len(),
+                timeline.len() as usize + 1,
+                "piecewise weights cover a different timeline"
+            );
+            return WeightTable { prefix: prefix.clone() };
+        }
+        let n = timeline.len();
+        let mut prefix = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for t in 0..n {
+            acc += w.weight(t);
+            prefix.push(acc);
+        }
+        WeightTable { prefix: std::sync::Arc::new(prefix) }
+    }
+
+    /// Number of timestamps covered (`n`).
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Always false — tables are built from non-empty timelines.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `Σ_{t ∈ I} w(t)`: two loads and a subtract.
+    #[inline]
+    pub fn interval_weight(&self, interval: Interval) -> f64 {
+        debug_assert!((interval.end as usize) < self.prefix.len() - 1);
+        self.prefix[interval.end as usize + 1] - self.prefix[interval.start as usize]
+    }
+
+    /// `Σ_{t ≥ from} w(t)`, zero once `from` runs past the timeline. This is
+    /// the largest weight any set of not-yet-examined timestamps can still
+    /// contribute — the prove-valid early-exit bound.
+    #[inline]
+    pub fn suffix_weight(&self, from: Timestamp) -> f64 {
+        let i = (from as usize).min(self.prefix.len() - 1);
+        self.prefix[self.prefix.len() - 1] - self.prefix[i]
+    }
+
+    /// Total weight of the whole timeline.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.prefix[self.prefix.len() - 1]
     }
 }
 
@@ -262,6 +362,63 @@ mod tests {
         // Not enough timeline left.
         assert_eq!(w.interval_exceeding(98, 3.0, tl), None);
         assert_eq!(w.interval_exceeding(200, 0.0, tl), None);
+    }
+
+    #[test]
+    fn table_matches_closed_forms_for_every_variant() {
+        let tl = Timeline::new(60);
+        for w in [
+            WeightFn::constant_one(),
+            WeightFn::uniform_normalized(tl),
+            WeightFn::exponential(0.9, tl),
+            WeightFn::linear(tl),
+            WeightFn::piecewise(&(0..60).map(|t| (t % 7) as f64 * 0.25).collect::<Vec<_>>()),
+        ] {
+            let table = w.table(tl);
+            assert_eq!(table.len(), 60);
+            for (s, e) in [(0, 59), (0, 0), (59, 59), (13, 41), (55, 59)] {
+                let i = Interval::new(s, e);
+                assert!(
+                    (table.interval_weight(i) - w.interval_weight(i)).abs() < 1e-9,
+                    "{w:?} interval {i}"
+                );
+            }
+            for from in [0u32, 1, 30, 59, 60, 1000] {
+                let naive: f64 = (from..60).map(|t| w.weight(t)).sum();
+                assert!(
+                    (table.suffix_weight(from) - naive).abs() < 1e-9,
+                    "{w:?} suffix from {from}"
+                );
+            }
+            assert!((table.total() - w.total(tl)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table_constant_one_is_exact() {
+        let tl = Timeline::new(4000);
+        let table = WeightFn::constant_one().table(tl);
+        // Integer sums are exact in f64: bit-identical to the multiply form.
+        assert_eq!(table.interval_weight(Interval::new(17, 3016)), 3000.0);
+        assert_eq!(table.suffix_weight(3999), 1.0);
+        assert_eq!(table.total(), 4000.0);
+    }
+
+    #[test]
+    fn table_shares_piecewise_prefix() {
+        let weights: Vec<f64> = vec![1.0, 0.0, 2.5, 0.5, 1.0];
+        let w = WeightFn::piecewise(&weights);
+        let table = w.table(Timeline::new(5));
+        for (s, e) in [(0, 4), (1, 3), (2, 2)] {
+            let i = Interval::new(s, e);
+            assert_eq!(table.interval_weight(i), w.interval_weight(i), "shared prefix is exact");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different timeline")]
+    fn table_rejects_mismatched_piecewise() {
+        WeightFn::piecewise(&[1.0, 2.0]).table(Timeline::new(5));
     }
 
     #[test]

@@ -122,9 +122,10 @@ for t in tests/*.rs; do
 done
 
 # Criterion benches against the one-shot shim: every bench target must
-# compile; batch_search is also smoke-run (one iteration per bench point,
-# reduced dataset) to exercise the parallel build / batched search kernels
-# end to end. Real measurements still need `cargo bench`.
+# compile; batch_search and validate_kernel are also smoke-run (one
+# iteration per bench point, reduced dataset) to exercise the parallel
+# build / batched search / plan-based validation kernels end to end. Real
+# measurements still need `cargo bench`.
 for b in crates/bench/benches/*.rs; do
     name=$(basename "$b" .rs)
     echo "bench $name"
@@ -135,6 +136,8 @@ done
 if [ "$CHECK_ONLY" = 0 ]; then
     echo "smoke bench_batch_search (TIND_BENCH_ATTRS=200)"
     TIND_BENCH_ATTRS=200 "$OUT/bench_batch_search"
+    echo "smoke bench_validate_kernel (TIND_BENCH_ATTRS=200)"
+    TIND_BENCH_ATTRS=200 "$OUT/bench_validate_kernel"
 fi
 
 echo "offline check passed"

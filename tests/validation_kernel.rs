@@ -1,0 +1,271 @@
+//! Differential suite for the plan-based validation kernel: on random and
+//! generated histories, `QueryPlan` + `ValidationScratch` must produce the
+//! same verdicts as both reference tiers (`violation_weight` and
+//! `naive_violation_weight`) across {δ, ε, weight-fn} grids — including
+//! when the two-sided early exit fires.
+//!
+//! Plain `#[test]`s run everywhere (cargo and the offline harness); the
+//! `proptest!` block additionally fuzzes raw version structures under real
+//! `cargo test`.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use tind::core::validate::{
+    naive_validate, naive_violation_weight, validate, violation_weight, QueryPlan,
+    ValidationScratch,
+};
+use tind::core::TindParams;
+use tind::datagen::{generate, GeneratorConfig};
+use tind::model::{Dataset, DatasetBuilder, HistoryBuilder, Timeline, ValueId, WeightFn};
+
+const TIMELINE: u32 = 60;
+
+fn build_history(
+    name: &str,
+    versions: &[(u32, Vec<ValueId>)],
+    last: u32,
+) -> tind::model::AttributeHistory {
+    let mut b = HistoryBuilder::new(name);
+    for (t, values) in versions {
+        b.push(*t, values.clone());
+    }
+    b.finish(last.max(versions.last().expect("non-empty").0))
+}
+
+fn dataset_of(histories: Vec<Vec<(u32, Vec<ValueId>)>>) -> Arc<Dataset> {
+    let mut builder = DatasetBuilder::new(Timeline::new(TIMELINE));
+    for v in 0..12 {
+        builder.dictionary_mut().intern(&format!("value-{v}"));
+    }
+    for (i, versions) in histories.into_iter().enumerate() {
+        builder.add_history(build_history(&format!("attr-{i}"), &versions, TIMELINE - 1));
+    }
+    Arc::new(builder.build())
+}
+
+/// The weight-function grid every differential check sweeps: the three
+/// closed-form families plus an arbitrary per-timestamp table.
+fn weight_grid(tl: Timeline) -> Vec<WeightFn> {
+    let custom: Vec<f64> =
+        (0..tl.len()).map(|t| 0.25 + 1.5 * f64::from(t % 7) / 7.0).collect();
+    vec![
+        WeightFn::constant_one(),
+        WeightFn::uniform_normalized(tl),
+        WeightFn::exponential(0.9, tl),
+        WeightFn::linear(tl),
+        WeightFn::piecewise(&custom),
+    ]
+}
+
+/// Asserts the kernel agrees with both reference tiers on one pair under
+/// one parameter setting: exact violation weight (no early exit) and
+/// verdict (early exits enabled).
+fn assert_kernel_matches(
+    q: &tind::model::AttributeHistory,
+    a: &tind::model::AttributeHistory,
+    params: &TindParams,
+    tl: Timeline,
+    scratch: &mut ValidationScratch,
+) {
+    let plan = QueryPlan::new(q, params, tl);
+    let exact = plan.violation_weight(a, scratch);
+    let legacy = violation_weight(q, a, params, tl, false);
+    let naive = naive_violation_weight(q, a, params, tl);
+    assert!(
+        (exact - legacy).abs() < 1e-9,
+        "{}⊆{} {params:?}: plan {exact} vs legacy {legacy}",
+        q.name(),
+        a.name()
+    );
+    assert!(
+        (exact - naive).abs() < 1e-9,
+        "{}⊆{} {params:?}: plan {exact} vs naive {naive}",
+        q.name(),
+        a.name()
+    );
+    let verdict = plan.validate(a, scratch);
+    assert_eq!(verdict, validate(q, a, params, tl), "{}⊆{} {params:?}", q.name(), a.name());
+    assert_eq!(verdict, naive_validate(q, a, params, tl), "{}⊆{} {params:?}", q.name(), a.name());
+}
+
+#[test]
+fn kernel_matches_references_on_generated_data() {
+    let dataset = Arc::new(generate(&GeneratorConfig::small(40, 11)).dataset);
+    let tl = dataset.timeline();
+    let mut scratch = ValidationScratch::new();
+    for qid in (0..dataset.len() as u32).step_by(5) {
+        let q = dataset.attribute(qid);
+        for aid in (1..dataset.len() as u32).step_by(7) {
+            let a = dataset.attribute(aid);
+            for delta in [0u32, 3, 14] {
+                for eps in [0.0, 3.0, 30.0] {
+                    for w in weight_grid(tl) {
+                        // Scale ε for normalized weight families so both
+                        // verdict outcomes stay reachable.
+                        let eps = if matches!(w, WeightFn::Constant { .. }) {
+                            eps
+                        } else {
+                            eps / tl.len() as f64
+                        };
+                        let params = TindParams::weighted(eps, delta, w);
+                        assert_kernel_matches(q, a, &params, tl, &mut scratch);
+                    }
+                }
+            }
+        }
+    }
+    assert!(scratch.counters().validations > 0);
+    assert_eq!(scratch.counters().invariant_breaches, 0);
+}
+
+#[test]
+fn prove_valid_early_exit_verdicts_equal_exhaustive_evaluation() {
+    let dataset = Arc::new(generate(&GeneratorConfig::small(30, 23)).dataset);
+    let tl = dataset.timeline();
+    let mut scratch = ValidationScratch::new();
+    // Budgets near the full timeline weight make the prove-valid exit hot;
+    // the verdict must still match the exhaustive reference exactly.
+    let before = scratch.counters();
+    for qid in (0..dataset.len() as u32).step_by(3) {
+        let q = dataset.attribute(qid);
+        for eps in [50.0, 200.0, 2000.0] {
+            let params = TindParams::weighted(eps, 7, WeightFn::constant_one());
+            let plan = QueryPlan::new(q, &params, tl);
+            for aid in (0..dataset.len() as u32).step_by(4) {
+                let a = dataset.attribute(aid);
+                assert_eq!(
+                    plan.validate(a, &mut scratch),
+                    naive_validate(q, a, &params, tl),
+                    "query {qid} candidate {aid} ε={eps}"
+                );
+            }
+        }
+    }
+    let exits = scratch.counters().since(&before);
+    assert!(
+        exits.proved_valid_early > 0,
+        "generous budgets never triggered the prove-valid exit ({exits:?})"
+    );
+}
+
+#[test]
+fn scratch_reuse_over_many_pairs_is_deterministic() {
+    let dataset = Arc::new(generate(&GeneratorConfig::small(25, 7)).dataset);
+    let tl = dataset.timeline();
+    let params = TindParams::paper_default();
+    let run = || {
+        let mut scratch = ValidationScratch::new();
+        let mut verdicts = Vec::new();
+        for qid in 0..dataset.len() as u32 {
+            let plan = QueryPlan::new(dataset.attribute(qid), &params, tl);
+            for aid in 0..dataset.len() as u32 {
+                verdicts.push(plan.validate(dataset.attribute(aid), &mut scratch));
+            }
+        }
+        (verdicts, scratch.counters())
+    };
+    let (v1, c1) = run();
+    let (v2, c2) = run();
+    assert_eq!(v1, v2);
+    assert_eq!(c1, c2, "counters are deterministic for a fixed workload");
+}
+
+#[test]
+fn handcrafted_edge_histories_agree_across_all_tiers() {
+    // Late appearance, early disappearance, empty versions, value churn —
+    // the structural edges the three-stream merge must get right.
+    let d = dataset_of(vec![
+        vec![(0, vec![0, 1])],
+        vec![(5, vec![0]), (20, vec![]), (40, vec![0, 1, 2])],
+        vec![(0, vec![3]), (30, vec![0, 1, 3])],
+        vec![(59, vec![0, 1])],
+        vec![(10, vec![2]), (11, vec![0, 2]), (12, vec![1, 2])],
+    ]);
+    let tl = d.timeline();
+    let mut scratch = ValidationScratch::new();
+    for qid in 0..d.len() as u32 {
+        for aid in 0..d.len() as u32 {
+            for delta in [0u32, 1, 5, 30, 200] {
+                for eps in [0.0, 2.0, 25.0] {
+                    for w in weight_grid(tl) {
+                        let params = TindParams::weighted(eps, delta, w);
+                        assert_kernel_matches(
+                            d.attribute(qid),
+                            d.attribute(aid),
+                            &params,
+                            tl,
+                            &mut scratch,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The kernel must agree with both references on arbitrary version
+    /// structures × {δ, ε, weight-fn}, exact weights and verdicts alike.
+    #[test]
+    fn kernel_equals_references_on_random_histories(
+        q in proptest::collection::vec(
+            (0u32..TIMELINE - 5, proptest::collection::vec(0u32..12, 0..6)),
+            1..6,
+        ),
+        a in proptest::collection::vec(
+            (0u32..TIMELINE - 5, proptest::collection::vec(0u32..12, 0..6)),
+            1..6,
+        ),
+        delta in 0u32..20,
+        eps in 0.0f64..10.0,
+        weight_sel in 0usize..5,
+    ) {
+        let canon = |mut v: Vec<(u32, Vec<u32>)>| {
+            v.sort_by_key(|(t, _)| *t);
+            v.dedup_by_key(|(t, _)| *t);
+            v
+        };
+        let d = dataset_of(vec![canon(q), canon(a)]);
+        let tl = d.timeline();
+        let weights = weight_grid(tl).swap_remove(weight_sel);
+        let params = TindParams::weighted(eps, delta, weights);
+        let mut scratch = ValidationScratch::new();
+        let plan = QueryPlan::new(d.attribute(0), &params, tl);
+
+        let exact = plan.violation_weight(d.attribute(1), &mut scratch);
+        let naive = naive_violation_weight(d.attribute(0), d.attribute(1), &params, tl);
+        prop_assert!((exact - naive).abs() < 1e-9, "plan {exact} vs naive {naive}");
+
+        // Verdict with early exits enabled equals the exhaustive verdict.
+        prop_assert_eq!(
+            plan.validate(d.attribute(1), &mut scratch),
+            params.within_budget(naive)
+        );
+        prop_assert_eq!(scratch.counters().invariant_breaches, 0);
+    }
+
+    /// Reflexivity survives the kernel under every weight family.
+    #[test]
+    fn kernel_reflexivity(
+        q in proptest::collection::vec(
+            (0u32..TIMELINE - 5, proptest::collection::vec(0u32..12, 0..6)),
+            1..6,
+        ),
+        delta in 0u32..10,
+        eps in 0.0f64..5.0,
+        weight_sel in 0usize..5,
+    ) {
+        let mut q = q;
+        q.sort_by_key(|(t, _)| *t);
+        q.dedup_by_key(|(t, _)| *t);
+        let d = dataset_of(vec![q]);
+        let tl = d.timeline();
+        let params = TindParams::weighted(eps, delta, weight_grid(tl).swap_remove(weight_sel));
+        let plan = QueryPlan::new(d.attribute(0), &params, tl);
+        let mut scratch = ValidationScratch::new();
+        prop_assert!(plan.validate(d.attribute(0), &mut scratch));
+    }
+}
