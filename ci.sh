@@ -28,6 +28,21 @@ if cargo metadata --format-version 1 >/dev/null 2>&1; then
     # mode (one iteration per point) so the bench targets can't rot.
     TIND_BENCH_ATTRS=200 cargo bench -p tind-bench --bench batch_search -- --test
     TIND_BENCH_ATTRS=200 cargo bench -p tind-bench --bench validate_kernel -- --test
+    # The obs overhead guard (plain binary, asserts <2% span cost) doubles
+    # as the BENCH_obs.json emitter.
+    # (absolute path: cargo bench runs the binary from the package dir)
+    TIND_BENCH_ATTRS=200 TIND_BENCH_OBS_OUT="$PWD/target/BENCH_obs.json" \
+        cargo bench -p tind-bench --bench obs_overhead
+    # Run-report smoke: emit a TINDRR report through the real CLI and
+    # validate it against the checked-in schema.
+    cargo run --release -q -p tind-cli -- generate --attributes 120 --preset small \
+        --seed 5 --out target/report-smoke.tind >/dev/null
+    cargo run --release -q -p tind-cli -- all-pairs --data target/report-smoke.tind \
+        --threads 2 --quiet --report target/report-smoke.json >/dev/null
+    cargo run --release -q -p tind-cli -- verify target/report-smoke.json \
+        --schema devtools/report-schema.json
+    cargo run --release -q -p tind-cli -- verify target/BENCH_obs.json \
+        --schema devtools/report-schema.json
     echo "ci: full cargo gate passed"
 else
     echo "ci: cargo cannot reach a registry (offline, nothing vendored);"

@@ -71,6 +71,7 @@ impl KManyIndex {
         max_delta: u32,
         seed: u64,
     ) -> Self {
+        let _span = tind_obs::span("baseline.kmany.build");
         let timeline = dataset.timeline();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut all: Vec<Timestamp> = timeline.iter().collect();
@@ -115,6 +116,7 @@ impl KManyIndex {
         params: &TindParams,
         budget: &MemoryBudget,
     ) -> Result<SearchOutcome, KManyError> {
+        let _span = tind_obs::span("baseline.kmany.query");
         let num_attrs = self.dataset.len();
         let tracking_bytes = num_attrs * TRACKING_BYTES_PER_CANDIDATE;
         let _charge = budget.try_charge(tracking_bytes).ok_or(KManyError::OutOfMemory {

@@ -23,6 +23,7 @@ pub struct ManyIndex {
 impl ManyIndex {
     /// Builds the index on the snapshot at `t`.
     pub fn build(dataset: Arc<Dataset>, t: Timestamp, m: u32, k_hashes: u32) -> Self {
+        let _span = tind_obs::span("baseline.many.build");
         let snapshot = dataset.snapshot_at(t);
         let mut b = BloomMatrixBuilder::new(m, dataset.len(), k_hashes);
         for id in 0..dataset.len() {
@@ -57,6 +58,7 @@ impl ManyIndex {
     /// empty result for a query that is empty at `t` (an empty left-hand
     /// side holds trivially everywhere and carries no signal).
     pub fn search(&self, query: AttrId) -> Vec<AttrId> {
+        let _span = tind_obs::span("baseline.many.query");
         let snapshot = self.dataset.snapshot_at(self.timestamp);
         let qv = snapshot.values(query);
         if qv.is_empty() {

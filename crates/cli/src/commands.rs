@@ -109,24 +109,24 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         "generate" => vec!["attributes", "seed", "preset", "out", "truth-out"],
         "stats" => vec!["data"],
         "search" => {
-            vec!["data", "query", "limit", "index", "batch", "threads", "build-threads"]
+            vec!["data", "query", "limit", "index", "batch", "threads", "build-threads", "report"]
         }
-        "reverse-search" => vec!["data", "query", "limit", "index", "build-threads"],
+        "reverse-search" => vec!["data", "query", "limit", "index", "build-threads", "report"],
         "partial-search" => vec!["data", "query", "sigma", "limit"],
         "top-k" => vec!["data", "query", "k", "index", "build-threads"],
         "explain" => vec!["data", "lhs", "rhs"],
-        "index" => vec!["data", "out", "m", "reverse", "build-threads"],
+        "index" => vec!["data", "out", "m", "reverse", "build-threads", "report"],
         "explore" => vec!["data", "index", "build-threads"],
         "all-pairs" => vec![
             "data", "threads", "checkpoint", "checkpoint-every", "deadline", "memory-limit",
-            "resume", "quiet", "build-threads",
+            "resume", "quiet", "progress", "build-threads", "report",
         ],
-        "verify" => vec!["file"],
+        "verify" => vec!["file", "data", "schema", "quarantine", "report"],
         "pipeline" => vec!["dump", "timeline", "out", "demo", "attributes", "seed"],
         "ingest" => vec![
             "dump", "out", "timeline", "epoch", "max-page-bytes", "max-error-rate",
             "memory-limit", "checkpoint", "checkpoint-every", "deadline", "quarantine-report",
-            "resume", "quiet",
+            "resume", "quiet", "progress", "report",
         ],
         "experiment" => vec!["scale", "seed", "threads", "attributes", "queries", "csv-dir"],
         "list-experiments" | "help" | "--help" | "-h" => vec![],
@@ -143,29 +143,48 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
 }
 
 /// Dispatches a full command line (without the program name).
+///
+/// One invocation is one observability run: the span/metric registry is
+/// reset here, and `--report PATH` (on the commands that accept it)
+/// snapshots everything into a `TINDRR` report *after* the command
+/// returns, so every `phase.*` guard has been dropped and the report's
+/// own serialization/IO never counts against phase coverage.
 pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = raw.split_first() else {
         return Ok(crate::USAGE.to_string());
     };
+    tind_obs::reset();
+    let run_started = std::time::Instant::now();
     let args = Args::parse(rest.iter().cloned())?;
     if let Some(allowed) = allowed_options(command.as_str()) {
         args.expect_known(&allowed)?;
     }
-    match command.as_str() {
-        "generate" => cmd_generate(&args),
-        "stats" => cmd_stats(&args),
-        "search" => cmd_search(&args, false),
-        "reverse-search" => cmd_search(&args, true),
-        "partial-search" => cmd_partial_search(&args),
-        "top-k" => cmd_top_k(&args),
-        "explain" => cmd_explain(&args),
-        "index" => cmd_index(&args),
-        "explore" => cmd_explore(&args),
-        "all-pairs" => cmd_all_pairs(&args),
-        "verify" => cmd_verify(&args),
-        "pipeline" => cmd_pipeline(&args),
-        "ingest" => cmd_ingest(&args),
-        "experiment" => cmd_experiment(&args),
+    let report_path: Option<PathBuf> = args.opt::<String>("report")?.map(Into::into);
+    let result = run_command(command, &args);
+    if let (Some(path), Ok(_)) = (&report_path, &result) {
+        let wall_ns = run_started.elapsed().as_nanos() as u64;
+        let report = tind_obs::RunReport::collect(command, rest, wall_ns);
+        std::fs::write(path, report.to_json())?;
+    }
+    result
+}
+
+fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
+    match command {
+        "generate" => cmd_generate(args),
+        "stats" => cmd_stats(args),
+        "search" => cmd_search(args, false),
+        "reverse-search" => cmd_search(args, true),
+        "partial-search" => cmd_partial_search(args),
+        "top-k" => cmd_top_k(args),
+        "explain" => cmd_explain(args),
+        "index" => cmd_index(args),
+        "explore" => cmd_explore(args),
+        "all-pairs" => cmd_all_pairs(args),
+        "verify" => cmd_verify(args),
+        "pipeline" => cmd_pipeline(args),
+        "ingest" => cmd_ingest(args),
+        "experiment" => cmd_experiment(args),
         "list-experiments" => Ok(list_experiments()),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Unknown(format!("command '{other}'"))),
@@ -173,6 +192,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
 }
 
 fn load_dataset(args: &Args) -> Result<Arc<Dataset>, CliError> {
+    let _phase = tind_obs::span("phase.load");
     let path: PathBuf = args.required::<String>("data")?.into();
     Ok(Arc::new(read_dataset_file(&path)?))
 }
@@ -253,7 +273,8 @@ fn obtain_index(
     dataset: &Arc<Dataset>,
     config: IndexConfig,
 ) -> Result<(TindIndex, std::time::Duration), CliError> {
-    match args.opt::<String>("index")? {
+    let _phase = tind_obs::span("phase.index_build");
+    let obtained = match args.opt::<String>("index")? {
         Some(path) => {
             let path: PathBuf = path.into();
             Ok(tind_eval::stats::time_it(|| {
@@ -267,7 +288,54 @@ fn obtain_index(
                 TindIndex::build_with(dataset.clone(), config, &options)
             }))
         }
+    }?;
+    record_index_gauges(&obtained.0);
+    Ok(obtained)
+}
+
+/// Sampled attributes per time slice when estimating pruning power.
+const SLICE_SAMPLE_CAP: usize = 256;
+
+/// Mirror the structural health of an index into the metrics registry:
+/// Bloom saturation and the classic `load^k` false-positive estimate for
+/// `M_T` and the slice matrices, total filter bytes, and the slices'
+/// pruning power `p(I)` — the fraction of (sampled) attributes that are
+/// live inside each slice's δ-expanded window, averaged over slices. A
+/// slice only prunes pairs whose LHS is live in it, so a low live
+/// fraction means stage 2 has little to work with.
+fn record_index_gauges(index: &TindIndex) {
+    let d = index.diagnostics();
+    let k = index.config().k_hashes as i32;
+    tind_obs::gauge("index.m").set(f64::from(d.m));
+    tind_obs::gauge("index.bloom_bytes").set(d.bloom_bytes as f64);
+    tind_obs::gauge("index.m_t.load").set(d.m_t_load);
+    tind_obs::gauge("index.m_t.est_fpr").set(d.m_t_load.powi(k));
+    tind_obs::gauge("index.slices.count").set(d.num_slices as f64);
+    tind_obs::gauge("index.slices.mean_load").set(d.mean_slice_load);
+    tind_obs::gauge("index.slices.est_fpr").set(d.mean_slice_load.powi(k));
+    tind_obs::gauge("index.slices.coverage").set(d.slice_coverage);
+
+    let dataset = index.dataset();
+    let n = dataset.len();
+    let slices = index.time_slices();
+    if n == 0 || slices.is_empty() {
+        return;
     }
+    let step = (n / SLICE_SAMPLE_CAP.min(n)).max(1);
+    let mut live_fraction_sum = 0.0;
+    for slice in slices {
+        let mut sampled = 0u32;
+        let mut live = 0u32;
+        for id in (0..n).step_by(step) {
+            sampled += 1;
+            if !dataset.attribute(id as AttrId).values_in(slice.expanded).is_empty() {
+                live += 1;
+            }
+        }
+        live_fraction_sum += f64::from(live) / f64::from(sampled.max(1));
+    }
+    tind_obs::gauge("index.slices.mean_live_fraction")
+        .set(live_fraction_sum / slices.len() as f64);
 }
 
 /// Parses the `--batch` value: comma-separated attribute names or ids.
@@ -315,38 +383,32 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         let queries = parse_batch(&spec, &dataset)?;
         let options =
             BatchOptions { threads: args.opt_or("threads", 0usize)?, ..BatchOptions::default() };
+        let phase = tind_obs::span("phase.search");
         let start = std::time::Instant::now();
         let outcome = index.search_batch_with(&queries, &params, &options);
         let elapsed = start.elapsed();
-        let qps = queries.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        drop(phase);
 
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "batch of {} queries (ε={}, δ={}) took {} — {:.1} queries/s on {} thread(s), index build {}",
+            "batch of {} queries (ε={}, δ={}) took {} — {} on {} thread(s), index build {}",
             queries.len(),
             params.eps,
             params.delta,
-            tind_eval::report::fmt_duration(elapsed),
-            qps,
+            tind_obs::fmt_duration_ns(elapsed.as_nanos() as u64),
+            tind_obs::fmt_rate(queries.len() as u64, elapsed.as_secs_f64(), "queries"),
             outcome.threads_used,
-            tind_eval::report::fmt_duration(build),
+            tind_obs::fmt_duration_ns(build.as_nanos() as u64),
         );
-        let (mut runs, mut ev, mut ei, mut nanos) = (0usize, 0usize, 0usize, 0u64);
+        let (mut runs, mut ev, mut ei, mut nanos) = (0u64, 0u64, 0u64, 0u64);
         for per_query in outcome.outcomes.iter().flatten() {
-            runs += per_query.stats.validations_run;
-            ev += per_query.stats.early_valid_exits;
-            ei += per_query.stats.early_invalid_exits;
+            runs += per_query.stats.validations_run as u64;
+            ev += per_query.stats.early_valid_exits as u64;
+            ei += per_query.stats.early_invalid_exits as u64;
             nanos += per_query.stats.validate_nanos;
         }
-        let _ = writeln!(
-            out,
-            "validation: {} run(s) in {} across workers, early exits: {} proved valid, {} proved invalid",
-            runs,
-            tind_eval::report::fmt_duration(std::time::Duration::from_nanos(nanos)),
-            ev,
-            ei,
-        );
+        let _ = writeln!(out, "{}", tind_obs::fmt_validation_summary(runs, ev, ei, nanos));
         for (&qid, per_query) in queries.iter().zip(&outcome.outcomes) {
             let per_query = per_query.as_ref().expect("no cancellation configured");
             let _ = writeln!(
@@ -370,10 +432,12 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
     }
 
     let query = query.expect("non-batch search resolved a single query");
+    let phase = tind_obs::span("phase.search");
     let start = std::time::Instant::now();
     let outcome =
         if reverse { index.reverse_search(query, &params) } else { index.search(query, &params) };
     let elapsed = start.elapsed();
+    drop(phase);
 
     let mut out = String::new();
     let direction = if reverse { "⊇" } else { "⊆" };
@@ -384,8 +448,8 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         dataset.attribute(query).name(),
         params.eps,
         params.delta,
-        tind_eval::report::fmt_duration(elapsed),
-        tind_eval::report::fmt_duration(build),
+        tind_obs::fmt_duration_ns(elapsed.as_nanos() as u64),
+        tind_obs::fmt_duration_ns(build.as_nanos() as u64),
     );
     for &id in outcome.results.iter().take(limit) {
         let _ = writeln!(out, "  {}", dataset.attribute(id).name());
@@ -396,16 +460,24 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
     let s = &outcome.stats;
     let _ = writeln!(
         out,
-        "pruning: {} → {} (required values) → {} (time slices) → {} (exact) → {} valid",
-        s.initial, s.after_required, s.after_slices, s.after_exact, s.validated
+        "pruning: {}",
+        tind_obs::fmt_pipeline(&[
+            ("initial", s.initial as u64),
+            ("required", s.after_required as u64),
+            ("slices", s.after_slices as u64),
+            ("exact", s.after_exact as u64),
+            ("valid", s.validated as u64),
+        ])
     );
     let _ = writeln!(
         out,
-        "validation: {} run(s) in {}, early exits: {} proved valid, {} proved invalid",
-        s.validations_run,
-        tind_eval::report::fmt_duration(std::time::Duration::from_nanos(s.validate_nanos)),
-        s.early_valid_exits,
-        s.early_invalid_exits,
+        "{}",
+        tind_obs::fmt_validation_summary(
+            s.validations_run as u64,
+            s.early_valid_exits as u64,
+            s.early_invalid_exits as u64,
+            s.validate_nanos,
+        )
     );
     Ok(out)
 }
@@ -477,9 +549,16 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
         ..IndexConfig::default()
     };
     let build_opts = build_options(args)?;
+    let build_phase = tind_obs::span("phase.index_build");
     let (index, build) =
         tind_eval::stats::time_it(|| TindIndex::build_with(dataset.clone(), config, &build_opts));
+    record_index_gauges(&index);
+    drop(build_phase);
 
+    let reporter = tind_obs::Reporter::new(
+        args.switch("quiet"),
+        args.opt_or("progress", (dataset.len() / 10).max(1))?,
+    );
     let options = AllPairsOptions {
         threads,
         checkpoint: checkpoint_path
@@ -489,10 +568,12 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
         cancel: Some(CancelToken::install_ctrl_c()),
         deadline: deadline_secs.map(Duration::from_secs_f64),
         memory_budget: memory_limit.map(MemoryBudget::new),
-        progress_every: if args.switch("quiet") { 0 } else { (dataset.len() / 10).max(1) },
+        progress_every: reporter.every(),
         fault_hook: None,
     };
+    let discover_phase = tind_obs::span("phase.discover");
     let outcome = discover_all_pairs(&index, &params, &options)?;
+    drop(discover_phase);
 
     if outcome.cancelled {
         let checkpoint_note = match (&checkpoint_path, outcome.checkpoint_written) {
@@ -510,22 +591,29 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
     }
 
     let mut out = format!(
-        "{} tINDs among {} attributes (ε={}, δ={})\nindex build {}, discovery {}, {} validations, {} worker thread(s)\n",
+        "{} tINDs among {} attributes (ε={}, δ={})\nindex build {}, discovery {} ({}), {} worker thread(s)\n",
         outcome.pairs.len(),
         dataset.len(),
         params.eps,
         params.delta,
-        tind_eval::report::fmt_duration(build),
-        tind_eval::report::fmt_duration(outcome.elapsed),
-        outcome.validations_run,
+        tind_obs::fmt_duration_ns(build.as_nanos() as u64),
+        tind_obs::fmt_duration_ns(outcome.elapsed.as_nanos() as u64),
+        tind_obs::fmt_rate(
+            outcome.completed_queries as u64,
+            outcome.elapsed.as_secs_f64(),
+            "queries"
+        ),
         outcome.threads_used,
     );
     let _ = writeln!(
         out,
-        "validation: {} across workers, early exits: {} proved valid, {} proved invalid",
-        tind_eval::report::fmt_duration(Duration::from_nanos(outcome.validate_nanos)),
-        outcome.early_valid_exits,
-        outcome.early_invalid_exits,
+        "{}",
+        tind_obs::fmt_validation_summary(
+            outcome.validations_run as u64,
+            outcome.early_valid_exits as u64,
+            outcome.early_invalid_exits as u64,
+            outcome.validate_nanos,
+        )
     );
     if resumed > 0 {
         let _ = writeln!(out, "resumed past {resumed} previously completed queries");
@@ -545,6 +633,7 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
 /// where possible full structure) of a persisted dataset, index, or
 /// checkpoint file.
 fn cmd_verify(args: &Args) -> Result<String, CliError> {
+    let _phase = tind_obs::span("phase.verify");
     let path: PathBuf = match args.positional().first() {
         Some(p) => p.clone().into(),
         None => args.required::<String>("file")?.into(),
@@ -556,6 +645,9 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Data(BinIoError::Corrupt(
             "file too short to hold a magic header".into(),
         )));
+    }
+    if bytes.starts_with(tind_obs::REPORT_PREFIX.as_bytes()) {
+        return verify_run_report(args, &path, &bytes, size);
     }
     let kind = &bytes[..7];
     let detail = if kind == &tind_model::binio::MAGIC[..7] {
@@ -625,6 +717,96 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
                 .into(),
         )));
     };
+    Ok(format!("OK {} ({size} bytes)\n{detail}\n", path.display()))
+}
+
+/// Looks up a gauge value in a report payload's `metrics.gauges` section.
+fn report_gauge(payload: &tind_obs::Value, name: &str) -> Option<f64> {
+    payload
+        .get("metrics")?
+        .get("gauges")?
+        .as_arr()?
+        .iter()
+        .find(|g| g.get("name").and_then(tind_obs::Value::as_str) == Some(name))?
+        .get("value")?
+        .as_f64()
+}
+
+/// `tind verify` on a `TINDRR` run report: checks the CRC envelope, then
+/// optionally validates the payload against a JSON schema (`--schema`)
+/// and cross-checks the report's running `ingest.quarantined_total`
+/// gauge against a quarantine artifact (`--quarantine`).
+fn verify_run_report(
+    args: &Args,
+    path: &std::path::Path,
+    bytes: &[u8],
+    size: usize,
+) -> Result<String, CliError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| CliError::Data(BinIoError::Corrupt(format!("run report is not UTF-8: {e}"))))?;
+    let payload = tind_obs::verify_report(text)
+        .map_err(|e| CliError::Data(BinIoError::Corrupt(format!("run report: {e}"))))?;
+    let command = payload.get("command").and_then(tind_obs::Value::as_str).unwrap_or("?");
+    let wall_ns = payload.get("wall_ns").and_then(tind_obs::Value::as_f64).unwrap_or(0.0) as u64;
+    let coverage =
+        payload.get("phase_coverage").and_then(tind_obs::Value::as_f64).unwrap_or(0.0);
+    let phases = payload.get("phases").and_then(tind_obs::Value::as_arr).map_or(0, <[_]>::len);
+
+    let mut detail = format!(
+        "run report: `{command}` in {}, {phases} phase(s) covering {:.0}% of wall time",
+        tind_obs::fmt_duration_ns(wall_ns),
+        coverage * 100.0,
+    );
+
+    if let Some(schema_path) = args.opt::<String>("schema")? {
+        let schema_text = std::fs::read_to_string(&schema_path)?;
+        let schema = tind_obs::json::parse(&schema_text).map_err(|e| {
+            CliError::Data(BinIoError::Corrupt(format!("schema {schema_path}: {e}")))
+        })?;
+        let errors = tind_obs::validate_schema(&payload, &schema);
+        if !errors.is_empty() {
+            return Err(CliError::Message(format!(
+                "report does not match {schema_path} ({} error(s)):\n  {}",
+                errors.len(),
+                errors.join("\n  "),
+            )));
+        }
+        let _ = write!(detail, "\nschema: conforms to {schema_path}");
+    }
+
+    if let Some(q_path) = args.opt::<String>("quarantine")? {
+        let q_bytes = bytes::Bytes::from(std::fs::read(&q_path)?);
+        let q = tind_model::QuarantineReport::decode(q_bytes)?;
+        let gauge = report_gauge(&payload, "ingest.quarantined_total").ok_or_else(|| {
+            CliError::Message(
+                "report carries no ingest.quarantined_total gauge — was it produced by \
+                 `tind ingest --report`?"
+                    .into(),
+            )
+        })?;
+        if gauge != q.pages_quarantined as f64 {
+            return Err(CliError::Message(format!(
+                "quarantine mismatch: report gauge ingest.quarantined_total = {gauge}, \
+                 artifact {q_path} records {} quarantined page(s)",
+                q.pages_quarantined,
+            )));
+        }
+        if q.entries.len() as u64 > q.pages_quarantined {
+            return Err(CliError::Message(format!(
+                "quarantine artifact {q_path} is inconsistent: {} sampled entries exceed \
+                 its own total of {} quarantined page(s)",
+                q.entries.len(),
+                q.pages_quarantined,
+            )));
+        }
+        let _ = write!(
+            detail,
+            "\nquarantine: gauge matches {q_path} ({} quarantined, {} sampled)",
+            q.pages_quarantined,
+            q.entries.len(),
+        );
+    }
+
     Ok(format!("OK {} ({size} bytes)\n{detail}\n", path.display()))
 }
 
@@ -725,9 +907,15 @@ fn cmd_index(args: &Args) -> Result<String, CliError> {
     };
     let options =
         BuildOptions { progress_every: 32, ..build_options(args)? };
+    let build_phase = tind_obs::span("phase.index_build");
     let (index, build) =
         tind_eval::stats::time_it(|| TindIndex::build_with(dataset.clone(), config, &options));
-    tind_core::persist::write_index_file(&index, &out)?;
+    record_index_gauges(&index);
+    drop(build_phase);
+    {
+        let _phase = tind_obs::span("phase.write_output");
+        tind_core::persist::write_index_file(&index, &out)?;
+    }
     Ok(format!(
         "indexed {} attributes in {} -> {}\n{}\n",
         dataset.len(),
@@ -950,25 +1138,29 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
             cancel.is_cancelled() || deadline.is_some_and(|d| started.elapsed() >= d)
         })
     };
-    let progress: Option<Box<dyn FnMut(&IngestProgress)>> = if args.switch("quiet") {
+    let reporter =
+        tind_obs::Reporter::new(args.switch("quiet"), args.opt_or("progress", 1000usize)?);
+    let progress: Option<Box<dyn FnMut(&IngestProgress)>> = if reporter.every() == 0 {
         None
     } else {
         Some(Box::new(move |p: &IngestProgress| {
-            if p.pages_seen % 1000 != 0 {
+            if !reporter.tick(p.pages_seen as usize) {
                 return;
             }
             let secs = started.elapsed().as_secs_f64().max(1e-6);
-            let pages_per_sec = p.pages_seen as f64 / secs;
             let bytes_per_sec = p.offset as f64 / secs;
             let eta = if bytes_per_sec > 0.0 {
                 total_bytes.saturating_sub(p.offset) as f64 / bytes_per_sec
             } else {
-                0.0
+                f64::NAN
             };
-            eprintln!(
-                "ingest: {} pages ({pages_per_sec:.0}/s), {} quarantined, ~{eta:.0}s left",
-                p.pages_seen, p.pages_quarantined,
-            );
+            reporter.progress(format!(
+                "ingest: {} pages, {} quarantined, {}, {}",
+                p.pages_seen,
+                p.pages_quarantined,
+                tind_obs::fmt_rate(p.pages_seen, secs, "pages"),
+                tind_obs::fmt_eta_secs(eta),
+            ));
         }))
     };
 
@@ -986,11 +1178,13 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
         fault_hook: None,
     };
 
+    let ingest_phase = tind_obs::span("phase.ingest");
     let outcome = ingest_stream(src, fingerprint, &config, options).map_err(|e| match e {
         IngestError::Io(e) => CliError::Io(e),
         IngestError::Checkpoint(e) => CliError::Data(e),
         IngestError::ResumeMismatch(m) => CliError::Message(format!("cannot resume: {m}")),
     })?;
+    drop(ingest_phase);
 
     let q = &outcome.quarantine;
     if let Some(report_path) = args.opt::<String>("quarantine-report")? {
@@ -1022,7 +1216,10 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
         }
         IngestStatus::Completed => {
             let dataset = outcome.dataset.expect("completed ingestion carries a dataset");
-            write_dataset_file(&dataset, &out)?;
+            {
+                let _phase = tind_obs::span("phase.write_output");
+                write_dataset_file(&dataset, &out)?;
+            }
             let report = &outcome.pipeline;
             let mut text = format!(
                 "ingested {} pages ({} quarantined, {} of {} revisions dropped) from {}\n\
@@ -1249,7 +1446,7 @@ mod tests {
         assert!(search.contains("results for"), "{search}");
         assert!(search.contains("pruning:"));
         assert!(search.contains("validation:"), "stage-4 stats line missing: {search}");
-        assert!(search.contains("early exits"), "{search}");
+        assert!(search.contains("early-valid"), "{search}");
         assert!(search.contains("source-0"), "planted source should be found: {search}");
 
         let reverse = run(&["reverse-search", "--data", path_str, "--query", "source-0", "--eps", "10", "--delta", "14"])

@@ -45,6 +45,7 @@ COMMANDS:
                       [--threads T=0]   batch worker threads (0 = all cores)
                       [--build-threads T=0]  index build workers (0 = all cores;
                                         output is identical at any count)
+                      [--report FILE]   write a TINDRR run report (see below)
   reverse-search    reverse tIND search (who is contained in the query)
                       same options as search
   partial-search    σ-partial tIND search (future-work extension: only a
@@ -63,14 +64,22 @@ COMMANDS:
                       [--deadline SECS]      stop gracefully after a wall-clock budget
                       [--memory-limit BYTES] degrade parallelism under a memory budget
                       [--quiet]              suppress periodic progress lines
+                      [--progress N]         progress line every N queries
+                      [--report FILE]        write a TINDRR run report
                     (Ctrl-C checkpoints and exits 130; resumed runs produce
                     byte-identical results)
   verify            check a persisted artifact's magic and checksum
                       <FILE> [--data FILE]   dataset, index, checkpoint,
-                                             ingest-checkpoint, or quarantine file
+                                             ingest-checkpoint, quarantine,
+                                             or TINDRR run-report file
+                      [--schema FILE]        validate a run report against a
+                                             JSON schema (devtools/report-schema.json)
+                      [--quarantine FILE]    cross-check a run report's
+                                             ingest.quarantined_total gauge
+                                             against a quarantine artifact
   index             build and persist an index file
                       --data FILE --out FILE [--m M=4096] [--eps E=3] [--delta D=7]
-                      [--reverse true] [--build-threads T=0]
+                      [--reverse true] [--build-threads T=0] [--report FILE]
                     (search/reverse-search/top-k/explore accept --index FILE)
   explore           interactive query loop on stdin
                       --data FILE [--index FILE]
@@ -87,6 +96,7 @@ COMMANDS:
                       [--checkpoint-every N=512]    pages between checkpoints
                       [--resume]                    continue from --checkpoint FILE
                       [--deadline SECS] [--quarantine-report FILE] [--quiet]
+                      [--progress N=1000] [--report FILE]
                     (Ctrl-C checkpoints and exits 130; resumed runs produce
                     byte-identical datasets; bad pages are quarantined, not fatal)
   experiment        run a paper experiment (or 'all')
@@ -94,6 +104,12 @@ COMMANDS:
                       [--threads T] [--attributes N] [--queries Q] [--csv-dir DIR]
   list-experiments  list experiment ids and descriptions
   help              show this message
+
+OBSERVABILITY:
+  Commands accepting --report FILE write a one-line checksummed JSON run
+  report (magic TINDRR1): phase timings, span aggregates, and the full
+  metrics registry. `tind verify report.json --schema devtools/report-schema.json`
+  checks it; DESIGN.md §Observability documents the span and metric names.
 
 EXIT CODES:
   0 ok · 1 error · 2 bad usage · 3 corrupt or mismatched data · 4 i/o

@@ -248,11 +248,14 @@ impl Shared {
         let done = self.state.completed.len();
         let total = self.state.total_queries;
         let elapsed = started.elapsed();
+        // Rate and ETA use the shared obs formatting so this line matches
+        // the ingest/search progress shapes exactly.
+        let rate = tind_obs::fmt_rate(self.fresh_completed as u64, elapsed.as_secs_f64(), "queries");
         let eta = if self.fresh_completed > 0 && done < total {
             let per_query = elapsed.as_secs_f64() / self.fresh_completed as f64;
-            format!("{:.0}s", per_query * (total - done) as f64)
+            tind_obs::fmt_eta_secs(per_query * (total - done) as f64)
         } else {
-            "?".to_string()
+            "~? left".to_string()
         };
         let ckpt_age = if self.checkpoint_written {
             format!("{:.0}s", self.last_checkpoint_at.elapsed().as_secs_f64())
@@ -260,7 +263,7 @@ impl Shared {
             "none".to_string()
         };
         format!(
-            "all-pairs: {done}/{total} queries, {} pairs, {} poisoned, eta {eta}, checkpoint age {ckpt_age}",
+            "all-pairs: {done}/{total} queries, {} pairs, {} poisoned, {rate}, {eta}, checkpoint age {ckpt_age}",
             self.state.pairs.len(),
             self.state.poisoned.len(),
         )
@@ -279,6 +282,7 @@ pub fn discover_all_pairs(
     params: &TindParams,
     options: &AllPairsOptions,
 ) -> Result<AllPairsOutcome, AllPairsError> {
+    let _run_span = tind_obs::span("core.allpairs.run");
     let start = Instant::now();
     let num_attrs = index.dataset().len();
 
@@ -310,6 +314,8 @@ pub fn discover_all_pairs(
     let scratch = num_attrs.saturating_mul(WORKER_SCRATCH_BYTES_PER_ATTR);
     let (threads, _charges) =
         grant_workers(requested, scratch, options.memory_budget.as_ref());
+    tind_obs::gauge("allpairs.workers_requested").set(requested as f64);
+    tind_obs::gauge("allpairs.workers_granted").set(threads as f64);
 
     let deadline = options.deadline.map(|d| start + d);
     let cursor = AtomicUsize::new(0);
@@ -327,6 +333,9 @@ pub fn discover_all_pairs(
         validate_nanos: 0,
     });
 
+    let pairs_found = tind_obs::counter("allpairs.pairs");
+    let poisoned = tind_obs::counter("allpairs.poisoned");
+    let queries_completed = tind_obs::counter("allpairs.queries_completed");
     let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
@@ -374,12 +383,17 @@ pub fn discover_all_pairs(
                             s.early_valid_exits += outcome.stats.early_valid_exits;
                             s.early_invalid_exits += outcome.stats.early_invalid_exits;
                             s.validate_nanos += outcome.stats.validate_nanos;
+                            pairs_found.add(outcome.results.len() as u64);
                             s.state
                                 .pairs
                                 .extend(outcome.results.into_iter().map(|rhs| (q as AttrId, rhs)));
                         }
-                        Err(_) => s.state.poisoned.push(q as AttrId),
+                        Err(_) => {
+                            poisoned.incr();
+                            s.state.poisoned.push(q as AttrId);
+                        }
                     }
+                    queries_completed.incr();
                     s.state.completed.push(q as AttrId);
                     s.fresh_completed += 1;
                     s.since_checkpoint += 1;
@@ -416,6 +430,10 @@ pub fn discover_all_pairs(
     }
     let completed_queries = s.state.completed.len();
     let cancelled = stopped_early.into_inner() && completed_queries < num_attrs;
+    if let Some(budget) = options.memory_budget.as_ref() {
+        tind_obs::gauge("memory.peak_bytes").set_max(budget.peak_bytes() as f64);
+        tind_obs::gauge("memory.limit_bytes").set(budget.limit_bytes() as f64);
+    }
     Ok(AllPairsOutcome {
         pairs: s.state.pairs,
         elapsed: start.elapsed(),

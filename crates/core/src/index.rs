@@ -160,9 +160,11 @@ pub struct TindIndex {
 impl TindIndex {
     /// Builds the index; deterministic given `config.seed`.
     pub fn build(dataset: Arc<Dataset>, config: IndexConfig) -> Self {
+        let _build_span = tind_obs::span("core.index.build");
         let num_attrs = dataset.len();
         let timeline = dataset.timeline();
 
+        let mt_span = tind_obs::span("core.index.m_t");
         let mut universes: Vec<ValueSet> = Vec::with_capacity(num_attrs);
         let mut mt_builder = BloomMatrixBuilder::new(config.m, num_attrs, config.k_hashes);
         for (id, hist) in dataset.iter() {
@@ -171,7 +173,9 @@ impl TindIndex {
             universes.push(universe);
         }
         let m_t = mt_builder.build();
+        drop(mt_span);
 
+        let slices_span = tind_obs::span("core.index.slices");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let intervals = select_slices(&dataset, &config.slices, &mut rng);
         let time_slices = intervals
@@ -188,7 +192,9 @@ impl TindIndex {
                 TimeSlice { interval, expanded, matrix: b.build() }
             })
             .collect();
+        drop(slices_span);
 
+        let _mr_span = tind_obs::span("core.index.m_r");
         let m_r = config.build_reverse.then(|| {
             let sizing = TindParams::weighted(
                 config.slices.sizing_eps,
@@ -216,6 +222,7 @@ impl TindIndex {
     /// final matrices: each strip owns a disjoint word column and is merged
     /// positionally once computed.
     pub fn build_with(dataset: Arc<Dataset>, config: IndexConfig, options: &BuildOptions) -> Self {
+        let _build_span = tind_obs::span("core.index.build");
         let num_attrs = dataset.len();
         let timeline = dataset.timeline();
 
@@ -247,6 +254,8 @@ impl TindIndex {
         let scratch = config.m as usize * 8 + 64 * 1024;
         let (threads, _charges) =
             crate::allpairs::grant_workers(requested, scratch, options.memory_budget.as_ref());
+        tind_obs::gauge("index.build.workers_requested").set(requested as f64);
+        tind_obs::gauge("index.build.workers_granted").set(threads as f64);
 
         // Shared merge target. `merge_strip` ORs disjoint word columns, so
         // the order in which workers land their strips cannot change a
@@ -274,6 +283,7 @@ impl TindIndex {
             // Each worker owns one strip buffer for its whole run and
             // merges it as soon as a unit is rendered — no per-unit
             // allocation, no staging of `total_units` strips.
+            let strips_rendered = tind_obs::counter("index.strips_rendered");
             let run_worker = || {
                 let mut strip = BloomColumnStrip::new(config.m, config.k_hashes);
                 loop {
@@ -281,6 +291,7 @@ impl TindIndex {
                     if unit >= total_units {
                         break;
                     }
+                    let _strip_span = tind_obs::span("core.index.strip");
                     let target = unit / blocks;
                     let block = unit % blocks;
                     let lo = block * 64;
@@ -323,6 +334,7 @@ impl TindIndex {
                                 .merge_strip(block, &strip);
                         }
                     }
+                    strips_rendered.incr();
                     let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
                     if options.progress_every > 0 && done % options.progress_every == 0 {
                         eprintln!("index build: {done}/{total_units} column blocks");

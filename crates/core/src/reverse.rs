@@ -34,6 +34,7 @@ pub(crate) fn run_reverse(
     exclude: Option<AttrId>,
     params: &TindParams,
 ) -> SearchOutcome {
+    let _query_span = tind_obs::span("core.reverse.query");
     let dataset = index.dataset();
     let timeline = dataset.timeline();
     let num_attrs = dataset.len();
@@ -61,6 +62,7 @@ pub(crate) fn run_reverse(
         && params.eps <= index.sizing_eps() + EPS_TOLERANCE
         && params.weights == index.config().slices.sizing_weights;
     if m_r_usable {
+        let _stage1 = tind_obs::span("core.reverse.stage1");
         let m_r = index.m_r().expect("checked above");
         let qf = m_r.query_filter(&q_universe);
         m_r.narrow_to_subsets(&qf, &mut candidates);
@@ -72,6 +74,7 @@ pub(crate) fn run_reverse(
     stats.slices_used =
         params.slices_usable(index.max_delta()) && index.config().slices.expanded_disjoint;
     if stats.slices_used && !candidates.is_zero() {
+        let _stage2 = tind_obs::span("core.reverse.stage2");
         // Probe mode mirrors forward search: once few candidates remain,
         // test their columns individually (O(m) each) instead of AND-NOTing
         // every zero row of the query filter across all of |D|.
@@ -139,6 +142,7 @@ pub(crate) fn run_reverse(
     // Stage 3: exact check — the candidate's required values (under the
     // query parameters) must appear somewhere in Q's history.
     {
+        let _stage3 = tind_obs::span("core.reverse.stage3");
         let survivors: Vec<usize> = candidates.iter_ones().collect();
         for c in survivors {
             let req = required_values(dataset.attribute(c as u32), params, timeline);
@@ -153,6 +157,7 @@ pub(crate) fn run_reverse(
     // The plan side changes per pair (the candidate is the LHS), so a plan
     // is built per candidate — but the scratch and the weight table are
     // shared across all of them.
+    let stage4 = tind_obs::span("core.reverse.stage4");
     let started = std::time::Instant::now();
     let before = val_scratch.counters();
     let mut results = Vec::new();
@@ -169,6 +174,8 @@ pub(crate) fn run_reverse(
     stats.early_invalid_exits = exits.proved_invalid_early as usize;
     stats.validate_nanos = started.elapsed().as_nanos() as u64;
     stats.validated = results.len();
+    drop(stage4);
+    crate::search::record_search_metrics(&stats);
     SearchOutcome { results, stats }
 }
 

@@ -34,6 +34,49 @@ use crate::required::required_values;
 use crate::validate;
 use crate::validate::{QueryPlan, ValidationScratch};
 
+/// Cached handles into the metrics registry — resolved once, then each
+/// query pays only relaxed atomic adds (see DESIGN.md §7 for the names).
+struct SearchMetrics {
+    queries: &'static tind_obs::Counter,
+    validations: &'static tind_obs::Counter,
+    early_valid: &'static tind_obs::Counter,
+    early_invalid: &'static tind_obs::Counter,
+    pruned_required: &'static tind_obs::Counter,
+    pruned_slices: &'static tind_obs::Counter,
+    pruned_exact: &'static tind_obs::Counter,
+    pairs_valid: &'static tind_obs::Counter,
+    candidates_validated: &'static tind_obs::Histogram,
+}
+
+fn search_metrics() -> &'static SearchMetrics {
+    static METRICS: std::sync::OnceLock<SearchMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| SearchMetrics {
+        queries: tind_obs::counter("search.queries"),
+        validations: tind_obs::counter("search.validations"),
+        early_valid: tind_obs::counter("search.early_valid_exits"),
+        early_invalid: tind_obs::counter("search.early_invalid_exits"),
+        pruned_required: tind_obs::counter("search.pruned.required"),
+        pruned_slices: tind_obs::counter("search.pruned.slices"),
+        pruned_exact: tind_obs::counter("search.pruned.exact"),
+        pairs_valid: tind_obs::counter("search.pairs_valid"),
+        candidates_validated: tind_obs::histogram("search.candidates_validated"),
+    })
+}
+
+/// Mirror one query's pruning funnel into the global registry.
+pub(crate) fn record_search_metrics(stats: &SearchStats) {
+    let m = search_metrics();
+    m.queries.incr();
+    m.validations.add(stats.validations_run as u64);
+    m.early_valid.add(stats.early_valid_exits as u64);
+    m.early_invalid.add(stats.early_invalid_exits as u64);
+    m.pruned_required.add((stats.initial - stats.after_required) as u64);
+    m.pruned_slices.add((stats.after_required - stats.after_slices) as u64);
+    m.pruned_exact.add((stats.after_slices - stats.after_exact) as u64);
+    m.pairs_valid.add(stats.validated as u64);
+    m.candidates_validated.record(stats.after_exact as u64);
+}
+
 /// Counters describing how the candidate set narrowed per stage; the basis
 /// of the pruning-power experiments.
 #[derive(Debug, Clone, Default)]
@@ -172,12 +215,14 @@ pub(crate) fn run_search_scratch(
     options: &SearchOptions,
     scratch: &mut ValidationScratch,
 ) -> SearchOutcome {
+    let _query_span = tind_obs::span("core.search.query");
     let timeline = index.dataset().timeline();
     let mut candidates = initial_candidates(index, exclude);
 
     // Stage 1: required values against M_T.
     let required = required_values(q, params, timeline);
     if options.use_required_values && !required.is_empty() {
+        let _s1 = tind_obs::span("core.search.stage1");
         let qf = index.m_t().query_filter(&required);
         index.m_t().narrow_to_supersets(&qf, &mut candidates);
     }
@@ -229,6 +274,7 @@ fn finish_search(
     //   touching full rows — this keeps large k affordable on large |D|.
     stats.slices_used = options.use_time_slices && params.slices_usable(index.max_delta());
     if stats.slices_used && !candidates.is_zero() {
+        let _s2 = tind_obs::span("core.search.stage2");
         let probe_threshold = (num_attrs / 64).max(8);
         let mut violations: FastMap<u32, f64> = FastMap::default();
         let mut scratch = BitVec::zeros(num_attrs);
@@ -295,6 +341,7 @@ fn finish_search(
     // cached universes — discards Bloom false positives cheaply before the
     // expensive full validation (Algorithm 1, line 16).
     if options.use_exact_filter && !required.is_empty() {
+        let _s3 = tind_obs::span("core.search.stage3");
         let survivors: Vec<usize> = candidates.iter_ones().collect();
         for c in survivors {
             if !tind_model::value::is_subset(&required, index.universe(c as u32)) {
@@ -308,9 +355,13 @@ fn finish_search(
     // built once for `q` and reused across every surviving candidate; the
     // scratch (and its cached weight table) persists across queries on the
     // same worker thread.
+    let _s4 = tind_obs::span("core.search.stage4");
     let started = std::time::Instant::now();
-    let table = scratch.weight_table(&params.weights, timeline);
-    let plan = QueryPlan::with_table(q, params, timeline, table);
+    let plan = {
+        let _plan_span = tind_obs::span("core.validate.plan_build");
+        let table = scratch.weight_table(&params.weights, timeline);
+        QueryPlan::with_table(q, params, timeline, table)
+    };
     let before = scratch.counters();
     let mut results = Vec::new();
     for c in candidates.iter_ones() {
@@ -325,6 +376,7 @@ fn finish_search(
     stats.early_invalid_exits = exits.proved_invalid_early as usize;
     stats.validate_nanos = started.elapsed().as_nanos() as u64;
     stats.validated = results.len();
+    record_search_metrics(&stats);
     SearchOutcome { results, stats }
 }
 
@@ -353,6 +405,7 @@ pub(crate) fn run_search_batch(
     let timeline = dataset.timeline();
 
     // Batched stage 1.
+    let batch_stage1 = tind_obs::span("core.search.batch_stage1");
     let required: Vec<ValueSet> = queries
         .iter()
         .map(|&qid| required_values(dataset.attribute(qid), params, timeline))
@@ -367,6 +420,7 @@ pub(crate) fn run_search_batch(
             required.iter().map(|r| index.m_t().query_filter(r)).collect();
         index.m_t().narrow_batch_to_supersets(&filters, &mut candidates);
     }
+    drop(batch_stage1);
 
     let requested = if options.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())

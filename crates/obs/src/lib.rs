@@ -1,0 +1,91 @@
+//! # tind-obs — hand-rolled observability for the tIND workspace
+//!
+//! Spans, a metrics registry, and checksummed `TINDRR` run reports, built
+//! on `std` alone so the offline rustc harness (and the air-gapped CI
+//! path) keeps working — no `tracing`, no `metrics`, no serde.
+//!
+//! * [`span`] — hierarchical wall-time spans with allocation-free
+//!   enter/exit; per-thread ring buffers + aggregates, merged at run end.
+//! * [`metrics`] — named counters (sharded atomics), gauges, and
+//!   log2-bucket histograms behind an interning registry.
+//! * [`report`] — the `TINDRR` JSON artifact (`--report <path>`): phase
+//!   timings, span aggregates, metric values, CRC-32 checksum, plus a
+//!   schema-subset validator for `devtools/report-schema.json`.
+//! * [`reporter`] — shared progress/stats line policy and formatting for
+//!   the CLI (quiet/interval handling, uniform duration/rate/ETA shapes).
+//! * [`json`] — the minimal canonical JSON model the above ride on.
+//!
+//! Span/metric state is process-global by design: one CLI invocation is
+//! one run. [`reset`] clears it (the CLI calls this as dispatch starts).
+//!
+//! Building with the `obs-off` feature compiles spans and metrics down to
+//! no-ops (zero-sized guards, inert shared metric handles); reports can
+//! still be emitted but carry only wall time. A bench
+//! (`crates/bench/benches/obs_overhead.rs`) asserts the enabled layer
+//! stays under 2% of stage-4 validation cost.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod reporter;
+pub mod span;
+
+pub use json::Value;
+pub use metrics::{counter, gauge, histogram, metrics_snapshot, Counter, Gauge, Histogram,
+    MetricSnapshot, MetricValue};
+pub use report::{crc32, validate_schema, verify_report, RunReport, REPORT_MAGIC, REPORT_PREFIX,
+    SCHEMA_VERSION};
+pub use reporter::{fmt_duration_ns, fmt_eta_secs, fmt_pipeline, fmt_rate,
+    fmt_validation_summary, Reporter};
+pub use span::{recent_spans, span, span_snapshot, SpanEvent, SpanGuard, SpanStats};
+
+/// Clear all recorded spans and zero all metrics. Call once at the start
+/// of a run (the CLI does this in `dispatch`); `&'static` metric handles
+/// stay valid.
+pub fn reset() {
+    span::reset_spans();
+    metrics::reset_metrics();
+}
+
+/// Serializes tests that touch the process-global span/metric state.
+#[cfg(test)]
+#[allow(dead_code)] // unused when `obs-off` compiles the stateful tests out
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn reset_clears_spans_and_metrics_together() {
+        let _g = crate::test_guard();
+        crate::counter("test.lib.reset").add(5);
+        {
+            let _s = crate::span("test.lib.reset_span");
+        }
+        crate::reset();
+        assert_eq!(crate::counter("test.lib.reset").value(), 0);
+        assert!(crate::span_snapshot().iter().all(|s| s.name != "test.lib.reset_span"));
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn obs_off_is_inert_but_api_complete() {
+        let c = crate::counter("test.lib.off");
+        c.add(5);
+        assert_eq!(c.value(), 0);
+        {
+            let _s = crate::span("test.lib.off_span");
+        }
+        assert!(crate::span_snapshot().is_empty());
+        crate::gauge("g").set(1.0);
+        assert_eq!(crate::gauge("g").get(), 0.0);
+        crate::histogram("h").record(7);
+        assert_eq!(crate::histogram("h").count(), 0);
+        crate::reset();
+        let report = crate::RunReport::collect("off", &[], 100);
+        assert!(crate::verify_report(&report.to_json()).is_ok());
+    }
+}

@@ -1,0 +1,328 @@
+//! Lightweight hierarchical wall-time spans.
+//!
+//! `span("core.search.stage4")` returns a guard; dropping it records the
+//! elapsed time into the calling thread's state: a bounded ring buffer of
+//! recent raw events plus per-name aggregates (count / total / max).
+//! Thread states register themselves in a global list on first use, so
+//! the enter/exit path touches only the thread's own mutex — uncontended
+//! except while a snapshot or reset is walking the registry — and
+//! allocates nothing (names are `&'static str`, aggregate slots are
+//! reused, the ring is preallocated).
+//!
+//! With the `obs-off` feature the guard is a zero-sized no-op and every
+//! query function returns empty data.
+
+#[cfg(not(feature = "obs-off"))]
+pub use enabled::{recent_spans, reset_spans, span, span_snapshot, SpanGuard};
+
+#[cfg(feature = "obs-off")]
+pub use disabled::{recent_spans, reset_spans, span, span_snapshot, SpanGuard};
+
+/// Capacity of each thread's ring buffer of raw span events.
+pub const RING_CAPACITY: usize = 1024;
+
+/// One completed span occurrence, relative to the process-wide epoch
+/// (the instant the span layer was first touched).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    pub name: &'static str,
+    /// Nesting depth at entry on the recording thread (0 = thread-top-level).
+    pub depth: u32,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// Per-name aggregate merged across all threads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStats {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+#[cfg(not(feature = "obs-off"))]
+mod enabled {
+    use super::{SpanEvent, SpanStats, RING_CAPACITY};
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+    use std::time::Instant;
+
+    struct Agg {
+        name: &'static str,
+        count: u64,
+        total_ns: u64,
+        max_ns: u64,
+    }
+
+    struct ThreadSpans {
+        depth: u32,
+        ring: Vec<SpanEvent>,
+        /// Next ring slot to overwrite once the ring is full.
+        ring_next: usize,
+        aggs: Vec<Agg>,
+    }
+
+    impl ThreadSpans {
+        fn new() -> Self {
+            ThreadSpans { depth: 0, ring: Vec::new(), ring_next: 0, aggs: Vec::new() }
+        }
+
+        fn record(&mut self, event: SpanEvent) {
+            // Linear scan: a run touches a few dozen distinct span names,
+            // and pointer equality short-circuits the common case.
+            let name = event.name;
+            match self
+                .aggs
+                .iter_mut()
+                .find(|a| std::ptr::eq(a.name, name) || a.name == name)
+            {
+                Some(agg) => {
+                    agg.count += 1;
+                    agg.total_ns += event.dur_ns;
+                    agg.max_ns = agg.max_ns.max(event.dur_ns);
+                }
+                None => self.aggs.push(Agg {
+                    name,
+                    count: 1,
+                    total_ns: event.dur_ns,
+                    max_ns: event.dur_ns,
+                }),
+            }
+            if self.ring.len() < RING_CAPACITY {
+                self.ring.push(event);
+            } else {
+                self.ring[self.ring_next] = event;
+                self.ring_next = (self.ring_next + 1) % RING_CAPACITY;
+            }
+        }
+    }
+
+    type Shared = Arc<Mutex<ThreadSpans>>;
+
+    fn registry() -> &'static Mutex<Vec<Shared>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Shared>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// A poisoned lock only means a panic elsewhere while holding it; the
+    /// span data is still sound enough for diagnostics, so keep going.
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    thread_local! {
+        static STATE: Shared = {
+            let state = Arc::new(Mutex::new(ThreadSpans::new()));
+            lock(registry()).push(state.clone());
+            state
+        };
+    }
+
+    /// RAII guard: records the span on drop.
+    pub struct SpanGuard {
+        name: &'static str,
+        depth: u32,
+        start: Instant,
+    }
+
+    /// Open a span. Cheap (two thread-local mutex ops + two clock reads);
+    /// safe to call on any thread, including inside worker pools.
+    #[inline]
+    pub fn span(name: &'static str) -> SpanGuard {
+        epoch(); // pin the epoch before taking `start`
+        let depth = STATE.with(|s| {
+            let mut t = lock(s);
+            t.depth += 1;
+            t.depth - 1
+        });
+        SpanGuard { name, depth, start: Instant::now() }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let dur_ns = self.start.elapsed().as_nanos() as u64;
+            let start_ns =
+                self.start.saturating_duration_since(epoch()).as_nanos() as u64;
+            let event =
+                SpanEvent { name: self.name, depth: self.depth, start_ns, dur_ns };
+            STATE.with(|s| {
+                let mut t = lock(s);
+                t.depth = t.depth.saturating_sub(1);
+                t.record(event);
+            });
+        }
+    }
+
+    /// Merge per-name aggregates across every registered thread, sorted
+    /// by name.
+    pub fn span_snapshot() -> Vec<SpanStats> {
+        let mut merged: Vec<SpanStats> = Vec::new();
+        for shared in lock(registry()).iter() {
+            let state = lock(shared);
+            for agg in &state.aggs {
+                match merged.iter_mut().find(|s| s.name == agg.name) {
+                    Some(s) => {
+                        s.count += agg.count;
+                        s.total_ns += agg.total_ns;
+                        s.max_ns = s.max_ns.max(agg.max_ns);
+                    }
+                    None => merged.push(SpanStats {
+                        name: agg.name,
+                        count: agg.count,
+                        total_ns: agg.total_ns,
+                        max_ns: agg.max_ns,
+                    }),
+                }
+            }
+        }
+        merged.sort_by(|a, b| a.name.cmp(b.name));
+        merged
+    }
+
+    /// The most recent raw events across all threads (ring buffers merged,
+    /// ordered by start time, truncated to the last `limit`).
+    pub fn recent_spans(limit: usize) -> Vec<SpanEvent> {
+        let mut events: Vec<SpanEvent> = Vec::new();
+        for shared in lock(registry()).iter() {
+            events.extend(lock(shared).ring.iter().cloned());
+        }
+        events.sort_by_key(|e| e.start_ns);
+        if events.len() > limit {
+            events.drain(..events.len() - limit);
+        }
+        events
+    }
+
+    /// Clear all recorded spans and drop state for threads that have
+    /// exited. Call at the start of a run; active depth on live threads is
+    /// preserved so in-flight guards stay balanced.
+    pub fn reset_spans() {
+        let mut reg = lock(registry());
+        // strong_count == 1 means the owning thread's TLS slot is gone.
+        reg.retain(|shared| Arc::strong_count(shared) > 1);
+        for shared in reg.iter() {
+            let mut state = lock(shared);
+            state.ring.clear();
+            state.ring_next = 0;
+            state.aggs.clear();
+        }
+    }
+}
+
+#[cfg(feature = "obs-off")]
+mod disabled {
+    use super::{SpanEvent, SpanStats};
+
+    /// Zero-sized no-op guard.
+    pub struct SpanGuard;
+
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    pub fn span_snapshot() -> Vec<SpanStats> {
+        Vec::new()
+    }
+
+    pub fn recent_spans(_limit: usize) -> Vec<SpanEvent> {
+        Vec::new()
+    }
+
+    pub fn reset_spans() {}
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    // Span state is process-global; serialize the tests that assert on it.
+    use crate::test_guard as guard;
+
+    #[test]
+    fn records_nested_spans_with_depth() {
+        let _g = guard();
+        reset_spans();
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        let stats = span_snapshot();
+        let outer = stats.iter().find(|s| s.name == "test.outer").unwrap();
+        let inner = stats.iter().find(|s| s.name == "test.inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Inner closes before outer, so it can never exceed it.
+        assert!(inner.total_ns <= outer.total_ns);
+
+        let events = recent_spans(16);
+        let outer_ev = events.iter().find(|e| e.name == "test.outer").unwrap();
+        let inner_ev = events.iter().find(|e| e.name == "test.inner").unwrap();
+        assert_eq!(outer_ev.depth, 0);
+        assert_eq!(inner_ev.depth, 1);
+    }
+
+    #[test]
+    fn aggregates_repeated_spans() {
+        let _g = guard();
+        reset_spans();
+        for _ in 0..10 {
+            let _s = span("test.repeat");
+        }
+        let stats = span_snapshot();
+        let s = stats.iter().find(|s| s.name == "test.repeat").unwrap();
+        assert_eq!(s.count, 10);
+        assert!(s.max_ns <= s.total_ns);
+    }
+
+    #[test]
+    fn merges_across_threads() {
+        let _g = guard();
+        reset_spans();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..25 {
+                        let _s = span("test.worker");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = span_snapshot();
+        let s = stats.iter().find(|s| s.name == "test.worker").unwrap();
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _g = guard();
+        reset_spans();
+        for _ in 0..(RING_CAPACITY + 50) {
+            let _s = span("test.flood");
+        }
+        assert!(recent_spans(usize::MAX).len() <= RING_CAPACITY + 64);
+        let stats = span_snapshot();
+        let s = stats.iter().find(|s| s.name == "test.flood").unwrap();
+        // Aggregates keep counting even after the ring wraps.
+        assert_eq!(s.count, (RING_CAPACITY + 50) as u64);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _g = guard();
+        {
+            let _s = span("test.cleared");
+        }
+        reset_spans();
+        assert!(span_snapshot().iter().all(|s| s.name != "test.cleared"));
+        assert!(recent_spans(usize::MAX).iter().all(|e| e.name != "test.cleared"));
+    }
+}

@@ -418,6 +418,7 @@ impl<R: Read> Iterator for DumpReader<R> {
         if self.finished {
             return None;
         }
+        let _span = tind_obs::span("wiki.dump.read_page");
         // Phase 1: locate the next `<page` open tag, discarding preamble
         // (siteinfo, inter-page whitespace) as it is scanned.
         loop {

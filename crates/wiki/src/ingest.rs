@@ -432,6 +432,12 @@ pub fn ingest_stream<R: Read>(
     config: &IngestConfig,
     mut options: IngestOptions,
 ) -> Result<IngestOutcome, IngestError> {
+    let _run_span = tind_obs::span("wiki.ingest.run");
+    let pages_seen_c = tind_obs::counter("ingest.pages_seen");
+    let pages_kept_c = tind_obs::counter("ingest.pages_kept");
+    // Running mirror of `QuarantineReport::pages_quarantined`; `tind verify
+    // --quarantine` cross-checks the reported value against the artifact.
+    let quarantined_g = tind_obs::gauge("ingest.quarantined_total");
     let config_digest = config.digest();
     let mut resumed_from = None;
     let mut base_offset = 0u64;
@@ -464,6 +470,8 @@ pub fn ingest_stream<R: Read>(
             QuarantineReport::new(source_fingerprint, config.sample_cap),
         )
     };
+
+    quarantined_g.set(quarantine.pages_quarantined as f64);
 
     let mut reader = DumpReader::new(src, config.dump.clone())
         .with_max_page_bytes(config.max_page_bytes)
@@ -516,11 +524,14 @@ pub fn ingest_stream<R: Read>(
                 return Err(IngestError::Io(e));
             }
         };
+        let _page_span = tind_obs::span("wiki.ingest.page");
         let page_ordinal = quarantine.pages_seen;
         quarantine.pages_seen += 1;
+        pages_seen_c.incr();
         match item {
             DumpItem::Quarantined(q) => {
                 quarantine.record(q.byte_offset, q.page, q.error.to_string());
+                quarantined_g.set(quarantine.pages_quarantined as f64);
             }
             DumpItem::Page(group) => {
                 quarantine.revisions_dropped += group.revisions_dropped;
@@ -546,6 +557,7 @@ pub fn ingest_stream<R: Read>(
                     Ok(()) => {
                         quarantine.pages_kept += 1;
                         quarantine.revisions_kept += revisions;
+                        pages_kept_c.incr();
                     }
                     Err(msg) => {
                         quarantine.record(
@@ -553,6 +565,7 @@ pub fn ingest_stream<R: Read>(
                             title,
                             format!("page processing panicked: {msg}"),
                         );
+                        quarantined_g.set(quarantine.pages_quarantined as f64);
                     }
                 }
             }

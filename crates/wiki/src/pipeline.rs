@@ -297,6 +297,7 @@ impl PipelineSession {
     /// touched and returned as `Err(message)` so the caller can
     /// quarantine the page and continue.
     pub fn push_page(&mut self, page_revs: Vec<PageRevision>) -> Result<(), String> {
+        let _span = tind_obs::span("wiki.pipeline.page");
         let config = self.config.clone();
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             stage_page(page_revs, &config)

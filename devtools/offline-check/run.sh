@@ -47,7 +47,7 @@ shim criterion
 externs() {
     local flags=""
     for dep in bytes rand parking_lot crossbeam proptest criterion \
-        tind_model tind_bloom tind_core tind_baseline tind_wiki \
+        tind_obs tind_model tind_bloom tind_core tind_baseline tind_wiki \
         tind_datagen tind_eval tind_cli tind_bench tind; do
         [ -f "$OUT/lib$dep.rlib" ] && flags="$flags --extern $dep=$OUT/lib$dep.rlib"
     done
@@ -74,6 +74,7 @@ test_bin() { # crate_name path [extra libtest args...]
 }
 
 # Dependency order.
+lib tind_obs crates/obs/src/lib.rs
 lib tind_model crates/model/src/lib.rs
 lib tind_bloom crates/bloom/src/lib.rs
 lib tind_core crates/core/src/lib.rs
@@ -90,7 +91,16 @@ echo "check tind (bin)"
 $RUSTC --crate-name tind_bin --crate-type bin $(externs) \
     -o "$OUT/tind" crates/cli/src/main.rs
 
+# The obs-off feature must keep every instrumented crate compiling: spans
+# and metrics become no-ops, so this is a metadata-only typecheck pass.
+echo "check tind_obs (obs-off)"
+# shellcheck disable=SC2046
+$RUSTC --crate-name tind_obs --crate-type rlib --emit=metadata \
+    --cfg 'feature="obs-off"' $(externs) \
+    -o "$OUT/libtind_obs_off.rmeta" crates/obs/src/lib.rs
+
 # Unit tests, crate by crate.
+test_bin tind_obs crates/obs/src/lib.rs
 test_bin tind_model crates/model/src/lib.rs
 test_bin tind_bloom crates/bloom/src/lib.rs
 test_bin tind_core crates/core/src/lib.rs
@@ -138,6 +148,21 @@ if [ "$CHECK_ONLY" = 0 ]; then
     TIND_BENCH_ATTRS=200 "$OUT/bench_batch_search"
     echo "smoke bench_validate_kernel (TIND_BENCH_ATTRS=200)"
     TIND_BENCH_ATTRS=200 "$OUT/bench_validate_kernel"
+    echo "smoke bench_obs_overhead (TIND_BENCH_ATTRS=200)"
+    TIND_BENCH_ATTRS=200 TIND_BENCH_OBS_OUT="$OUT/BENCH_obs.json" \
+        "$OUT/bench_obs_overhead"
+    "$OUT/tind" verify "$OUT/BENCH_obs.json" \
+        --schema devtools/report-schema.json
+
+    # Run-report smoke: an all-pairs run must emit a TINDRR report that
+    # passes checksum + schema verification end to end through the CLI.
+    echo "smoke run report (all-pairs --report)"
+    "$OUT/tind" generate --attributes 120 --preset small --seed 5 \
+        --out "$OUT/report-smoke.tind" >/dev/null
+    "$OUT/tind" all-pairs --data "$OUT/report-smoke.tind" --threads 2 \
+        --quiet --report "$OUT/report-smoke.json" >/dev/null
+    "$OUT/tind" verify "$OUT/report-smoke.json" \
+        --schema devtools/report-schema.json
 fi
 
 echo "offline check passed"

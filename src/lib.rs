@@ -8,6 +8,7 @@
 //! inventory.
 
 pub use tind_baseline as baseline;
+pub use tind_obs as obs;
 pub use tind_bloom as bloom;
 pub use tind_core as core;
 pub use tind_datagen as datagen;
