@@ -43,6 +43,9 @@ if cargo metadata --format-version 1 >/dev/null 2>&1; then
         --schema devtools/report-schema.json
     cargo run --release -q -p tind-cli -- verify target/BENCH_obs.json \
         --schema devtools/report-schema.json
+    # Serve smoke: boot the query daemon, hit it over TCP, SIGINT-drain
+    # it, and schema-verify the report it flushes on the way down.
+    devtools/serve-smoke.sh target/release/tind target
     echo "ci: full cargo gate passed"
 else
     echo "ci: cargo cannot reach a registry (offline, nothing vendored);"

@@ -15,6 +15,7 @@ use tind_eval::{ExpContext, Scale};
 use tind_model::binio::{read_dataset_file, write_dataset_file, BinIoError};
 use tind_model::stats::DatasetStats;
 use tind_model::{AttrId, Dataset, MemoryBudget, WeightFn};
+use tind_serve::{Engine, ServeConfig, Server};
 
 use crate::args::{ArgError, Args};
 
@@ -117,6 +118,12 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         "explain" => vec!["data", "lhs", "rhs"],
         "index" => vec!["data", "out", "m", "reverse", "build-threads", "report"],
         "explore" => vec!["data", "index", "build-threads"],
+        "serve" => vec![
+            "data", "host", "port", "port-file", "workers", "readers", "queue", "coalesce",
+            "deadline-ms", "max-deadline-ms", "read-timeout-ms", "write-timeout-ms",
+            "max-body-bytes", "memory-limit", "drain-grace-ms", "build-threads", "report",
+            "quiet",
+        ],
         "all-pairs" => vec![
             "data", "threads", "checkpoint", "checkpoint-every", "deadline", "memory-limit",
             "resume", "quiet", "progress", "build-threads", "report",
@@ -134,7 +141,14 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
     };
     if matches!(
         command,
-        "search" | "reverse-search" | "partial-search" | "top-k" | "explain" | "index" | "all-pairs"
+        "search"
+            | "reverse-search"
+            | "partial-search"
+            | "top-k"
+            | "explain"
+            | "index"
+            | "all-pairs"
+            | "serve"
     ) {
         allowed.extend_from_slice(PARAMS);
     }
@@ -161,7 +175,12 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
     }
     let report_path: Option<PathBuf> = args.opt::<String>("report")?.map(Into::into);
     let result = run_command(command, &args);
-    if let (Some(path), Ok(_)) = (&report_path, &result) {
+    // Interrupted runs stopped *gracefully* — their partial-progress
+    // report is exactly what an operator wants to inspect afterwards, so
+    // `--report` is honored for them too (a drained `tind serve` flushes
+    // its final report this way).
+    let reportable = matches!(&result, Ok(_) | Err(CliError::Interrupted { .. }));
+    if let (Some(path), true) = (&report_path, reportable) {
         let wall_ns = run_started.elapsed().as_nanos() as u64;
         let report = tind_obs::RunReport::collect(command, rest, wall_ns);
         std::fs::write(path, report.to_json())?;
@@ -180,6 +199,7 @@ fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
         "explain" => cmd_explain(args),
         "index" => cmd_index(args),
         "explore" => cmd_explore(args),
+        "serve" => cmd_serve(args),
         "all-pairs" => cmd_all_pairs(args),
         "verify" => cmd_verify(args),
         "pipeline" => cmd_pipeline(args),
@@ -410,7 +430,13 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         }
         let _ = writeln!(out, "{}", tind_obs::fmt_validation_summary(runs, ev, ei, nanos));
         for (&qid, per_query) in queries.iter().zip(&outcome.outcomes) {
-            let per_query = per_query.as_ref().expect("no cancellation configured");
+            let Some(per_query) = per_query.as_ref() else {
+                return Err(CliError::Message(
+                    "internal: batch search skipped a query although no \
+                     cancellation was configured"
+                        .into(),
+                ));
+            };
             let _ = writeln!(
                 out,
                 "  {}: {} results",
@@ -431,7 +457,11 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         return Ok(out);
     }
 
-    let query = query.expect("non-batch search resolved a single query");
+    let Some(query) = query else {
+        return Err(CliError::Message(
+            "internal: single search did not resolve a query attribute".into(),
+        ));
+    };
     let phase = tind_obs::span("phase.search");
     let start = std::time::Instant::now();
     let outcome =
@@ -1129,14 +1159,20 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
     let total_bytes = std::fs::metadata(&dump_path)?.len();
     let src = std::io::BufReader::new(std::fs::File::open(&dump_path)?);
 
-    let cancel = CancelToken::install_ctrl_c();
     let deadline = args.opt::<f64>("deadline")?.map(Duration::from_secs_f64);
     let started = std::time::Instant::now();
+    // One token carries both stop causes; its latched reason later tells
+    // the user *why* the run stopped (Ctrl-C vs deadline), deterministically.
+    let cancel = {
+        let token = CancelToken::install_ctrl_c();
+        match deadline {
+            Some(d) => token.with_deadline(started + d),
+            None => token,
+        }
+    };
     let stop: StopSignal = {
         let cancel = cancel.clone();
-        Arc::new(move || {
-            cancel.is_cancelled() || deadline.is_some_and(|d| started.elapsed() >= d)
-        })
+        Arc::new(move || cancel.is_cancelled())
     };
     let reporter =
         tind_obs::Reporter::new(args.switch("quiet"), args.opt_or("progress", 1000usize)?);
@@ -1195,12 +1231,15 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
         None => "; no checkpoint configured — progress lost (pass --checkpoint FILE)".into(),
     };
     match outcome.status {
-        IngestStatus::Cancelled => Err(CliError::Interrupted {
-            summary: format!(
-                "ingestion stopped after {} pages ({} quarantined){checkpoint_note}",
-                q.pages_seen, q.pages_quarantined,
-            ),
-        }),
+        IngestStatus::Cancelled => {
+            let why = cancel.reason().map_or("stopped", |r| r.label());
+            Err(CliError::Interrupted {
+                summary: format!(
+                    "ingestion stopped ({why}) after {} pages ({} quarantined){checkpoint_note}",
+                    q.pages_seen, q.pages_quarantined,
+                ),
+            })
+        }
         IngestStatus::ErrorBudgetExceeded => {
             let mut msg = format!(
                 "error budget exceeded: {} of {} pages quarantined ({:.1}% > {:.1}% allowed){checkpoint_note}",
@@ -1215,7 +1254,11 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
             Err(CliError::Message(msg))
         }
         IngestStatus::Completed => {
-            let dataset = outcome.dataset.expect("completed ingestion carries a dataset");
+            let Some(dataset) = outcome.dataset else {
+                return Err(CliError::Message(
+                    "internal: ingestion reported completion without a dataset".into(),
+                ));
+            };
             {
                 let _phase = tind_obs::span("phase.write_output");
                 write_dataset_file(&dataset, &out)?;
@@ -1243,6 +1286,87 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
             Ok(text)
         }
     }
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let data: PathBuf = args.required::<String>("data")?.into();
+    let host = args.opt_or("host", "127.0.0.1".to_string())?;
+    let port = args.opt_or("port", 7171u16)?;
+    let port_file: Option<PathBuf> = args.opt::<String>("port-file")?.map(Into::into);
+    let quiet = args.switch("quiet");
+
+    let mut config = ServeConfig::default();
+    config.workers = args.opt_or("workers", 0usize)?;
+    config.readers = args.opt_or("readers", 0usize)?;
+    config.queue_capacity = args.opt_or("queue", config.queue_capacity)?;
+    config.coalesce = args.opt_or("coalesce", config.coalesce)?;
+    config.default_deadline =
+        Duration::from_millis(args.opt_or("deadline-ms", config.default_deadline.as_millis() as u64)?);
+    config.max_deadline =
+        Duration::from_millis(args.opt_or("max-deadline-ms", config.max_deadline.as_millis() as u64)?);
+    config.read_timeout =
+        Duration::from_millis(args.opt_or("read-timeout-ms", config.read_timeout.as_millis() as u64)?);
+    config.write_timeout = Duration::from_millis(
+        args.opt_or("write-timeout-ms", config.write_timeout.as_millis() as u64)?,
+    );
+    config.max_body_bytes = args.opt_or("max-body-bytes", config.max_body_bytes)?;
+    config.memory_budget = args.opt::<usize>("memory-limit")?.map(MemoryBudget::new);
+    config.drain_grace =
+        Duration::from_millis(args.opt_or("drain-grace-ms", config.drain_grace.as_millis() as u64)?);
+
+    let eps = args.opt_or("eps", 3.0)?;
+    let delta = args.opt_or("delta", 7u32)?;
+    let decay = args.opt::<f64>("decay")?;
+    let build_threads = args.opt_or("build-threads", 0usize)?;
+
+    let server = Server::bind(&format!("{host}:{port}"), config)?;
+    let addr = server.local_addr();
+    // The port file exists before the index finishes loading; clients
+    // poll /healthz for readiness (`"status":"serving"`).
+    if let Some(path) = &port_file {
+        std::fs::write(path, format!("{}\n", addr.port()))?;
+    }
+    if !quiet {
+        eprintln!("tind serve listening on {addr} (loading index; poll /healthz for readiness)");
+    }
+
+    // SIGINT *and* SIGTERM both drain: a supervisor's stop and an
+    // operator's Ctrl-C behave identically.
+    let shutdown = CancelToken::install_terminate();
+    let started = std::time::Instant::now();
+    let outcome = server
+        .run(
+            || {
+                let load = tind_obs::span("phase.load");
+                let dataset =
+                    Arc::new(read_dataset_file(&data).map_err(|e| format!("dataset error: {e}"))?);
+                drop(load);
+                let _build = tind_obs::span("phase.build");
+                Ok(Engine::build(dataset, eps, delta, decay, build_threads))
+            },
+            shutdown.clone(),
+        )
+        .map_err(CliError::Message)?;
+
+    let summary = format!(
+        "served {} requests ({} ok, {} errors, {} shed, {} panics quarantined, \
+         {} deadline timeouts; {} waves, {} coalesced) in {}; drain {}",
+        outcome.requests,
+        outcome.ok,
+        outcome.errors,
+        outcome.shed,
+        outcome.panics,
+        outcome.deadline_timeouts,
+        outcome.waves,
+        outcome.coalesced_requests,
+        tind_obs::fmt_duration_ns(started.elapsed().as_nanos() as u64),
+        if outcome.drained_clean { "clean" } else { "forced after grace period" },
+    );
+    // `run` only returns after the shutdown token tripped, so a serve
+    // run always "ends interrupted" — exit 130, like every other
+    // gracefully-stopped long-running command. `--report` still flushes
+    // (dispatch honors it for Interrupted).
+    Err(CliError::Interrupted { summary })
 }
 
 fn list_experiments() -> String {

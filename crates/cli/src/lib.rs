@@ -10,6 +10,7 @@
 //! tind search --data data.tind --query source-3 --eps 3 --delta 7
 //! tind reverse-search --data data.tind --query source-3
 //! tind all-pairs --data data.tind --threads 8
+//! tind serve --data data.tind --port 0 --port-file port.txt
 //! tind pipeline --demo --attributes 200
 //! tind experiment fig7 --scale quick
 //! tind experiment all --scale standard
@@ -83,6 +84,21 @@ COMMANDS:
                     (search/reverse-search/top-k/explore accept --index FILE)
   explore           interactive query loop on stdin
                       --data FILE [--index FILE]
+  serve             fault-contained HTTP query daemon on a hot index
+                      --data FILE [--host H=127.0.0.1] [--port P=7171]
+                      [--port-file FILE]   write the bound port (0 = ephemeral)
+                      [--eps E=3] [--delta D=7] [--decay A]  index sizing defaults
+                      [--workers N=0] [--readers N=0] [--queue N=64]
+                      [--coalesce N=16]    max searches batched into one wave
+                      [--deadline-ms MS=2000] [--max-deadline-ms MS=30000]
+                      [--read-timeout-ms MS=2000] [--write-timeout-ms MS=2000]
+                      [--max-body-bytes B=1048576] [--memory-limit BYTES]
+                      [--drain-grace-ms MS=5000] [--build-threads T=0]
+                      [--quiet] [--report FILE]
+                    (POST /search /reverse-search /explain, GET /healthz /metrics;
+                    overload sheds with 429 + retry_after_ms, deadlines return 504,
+                    panics are quarantined as 500; SIGINT/SIGTERM drains, flushes
+                    --report, and exits 130)
   pipeline          run the wiki extraction pipeline
                       --demo [--attributes N=200] [--seed S]
                       --dump FILE [--timeline N=6148] [--out FILE]

@@ -1,0 +1,189 @@
+//! Subprocess tests for `tind serve`: the signal path (SIGINT/SIGTERM →
+//! graceful drain → exit 130) and the `--report` flush can only be
+//! observed against the real binary, so these tests spawn it.
+//!
+//! The binary is located via `CARGO_BIN_EXE_tind` (cargo) or the
+//! `TIND_BIN` env var (the offline-check harness). When neither is
+//! present the tests skip rather than fail.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tind_bin() -> Option<PathBuf> {
+    if let Some(path) = option_env!("CARGO_BIN_EXE_tind") {
+        return Some(path.into());
+    }
+    std::env::var_os("TIND_BIN").map(Into::into)
+}
+
+/// The report schema ships in-repo; its location depends on the test
+/// runner's working directory (crate dir under cargo, repo root under
+/// the offline harness).
+fn schema_path() -> Option<PathBuf> {
+    if let Some(path) = std::env::var_os("TIND_SCHEMA") {
+        return Some(path.into());
+    }
+    ["devtools/report-schema.json", "../../devtools/report-schema.json"]
+        .iter()
+        .map(PathBuf::from)
+        .find(|p| p.is_file())
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tind-serve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Sends one raw HTTP request to the daemon, returns `(status, body)`.
+fn request(port: u16, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    let head = format!("{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).expect("write");
+    stream.write_all(body.as_bytes()).expect("write body");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status = raw.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status");
+    (status, raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+}
+
+/// Generates a small dataset file with the binary itself.
+fn generate_dataset(bin: &PathBuf, dir: &PathBuf) -> PathBuf {
+    let data = dir.join("world.tind");
+    let status = Command::new(bin)
+        .args(["generate", "--attributes", "80", "--seed", "7", "--preset", "small", "--out"])
+        .arg(&data)
+        .stdout(Stdio::null())
+        .status()
+        .expect("run generate");
+    assert!(status.success(), "generate failed");
+    data
+}
+
+/// Waits for the daemon to publish its ephemeral port and report
+/// `"serving"` on /healthz.
+fn wait_ready(port_file: &PathBuf, child: &mut Child) -> u16 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let port = loop {
+        if let Some(code) = child.try_wait().expect("try_wait") {
+            panic!("daemon exited early: {code:?}");
+        }
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                if port != 0 {
+                    break port;
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "port file never appeared");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    loop {
+        if let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut raw = String::new();
+            let _ = stream.read_to_string(&mut raw);
+            if raw.contains("\"serving\"") {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never reached serving");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    port
+}
+
+fn signal(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill {sig} failed");
+}
+
+#[test]
+fn sigint_drains_flushes_the_report_and_exits_130() {
+    let Some(bin) = tind_bin() else {
+        eprintln!("skipped: no tind binary (set TIND_BIN)");
+        return;
+    };
+    let dir = scratch("sigint");
+    let data = generate_dataset(&bin, &dir);
+    let port_file = dir.join("port.txt");
+    let report = dir.join("report.json");
+
+    let mut child = Command::new(&bin)
+        .args(["serve", "--port", "0", "--quiet", "--data"])
+        .arg(&data)
+        .arg("--port-file")
+        .arg(&port_file)
+        .arg("--report")
+        .arg(&report)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let port = wait_ready(&port_file, &mut child);
+
+    let (status, body) = request(port, "POST", "/search", "{\"query\":\"source-1\",\"limit\":5}");
+    assert_eq!(status, 200, "search failed: {body}");
+    assert!(body.contains("\"result_count\""), "unexpected body: {body}");
+
+    signal(&child, "-INT");
+    let exit = child.wait().expect("wait");
+    assert_eq!(exit.code(), Some(130), "serve must exit 130 on SIGINT");
+
+    let written = std::fs::metadata(&report).expect("report written").len();
+    assert!(written > 0, "report is empty");
+    if let Some(schema) = schema_path() {
+        let verify = Command::new(&bin)
+            .arg("verify")
+            .arg(&report)
+            .arg("--schema")
+            .arg(schema)
+            .output()
+            .expect("run verify");
+        assert!(
+            verify.status.success(),
+            "report failed schema verification: {}",
+            String::from_utf8_lossy(&verify.stdout)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_is_honoured_like_sigint() {
+    let Some(bin) = tind_bin() else {
+        eprintln!("skipped: no tind binary (set TIND_BIN)");
+        return;
+    };
+    let dir = scratch("sigterm");
+    let data = generate_dataset(&bin, &dir);
+    let port_file = dir.join("port.txt");
+
+    let mut child = Command::new(&bin)
+        .args(["serve", "--port", "0", "--quiet", "--data"])
+        .arg(&data)
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let port = wait_ready(&port_file, &mut child);
+
+    let (status, _) = request(port, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+
+    signal(&child, "-TERM");
+    let exit = child.wait().expect("wait");
+    assert_eq!(exit.code(), Some(130), "serve must exit 130 on SIGTERM");
+    let _ = std::fs::remove_dir_all(&dir);
+}

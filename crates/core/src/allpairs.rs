@@ -35,7 +35,7 @@ use parking_lot::Mutex;
 use tind_model::binio::BinIoError;
 use tind_model::{AttrId, Charge, MemoryBudget};
 
-use crate::cancel::CancelToken;
+use crate::cancel::{CancelReason, CancelToken};
 use crate::checkpoint::Checkpoint;
 use crate::fault::FaultHook;
 use crate::index::TindIndex;
@@ -159,6 +159,10 @@ pub struct AllPairsOutcome {
     pub poisoned_queries: Vec<AttrId>,
     /// Whether the run stopped early due to cancellation or deadline.
     pub cancelled: bool,
+    /// Why the run stopped early, when `cancelled` is set: the single
+    /// latched [`CancelReason`] (deadline expiry and explicit cancel can
+    /// race; the first cause to latch wins deterministically).
+    pub stop_reason: Option<CancelReason>,
     /// Worker threads actually used after memory-budget degradation.
     pub threads_used: usize,
     /// Whether a checkpoint file reflecting the final state was written.
@@ -317,7 +321,18 @@ pub fn discover_all_pairs(
     tind_obs::gauge("allpairs.workers_requested").set(requested as f64);
     tind_obs::gauge("allpairs.workers_granted").set(threads as f64);
 
-    let deadline = options.deadline.map(|d| start + d);
+    // One token is the single source of truth for "why we stopped": the
+    // caller's cancel flag (if any) with the wall-clock deadline folded
+    // in. Deadline expiry and explicit cancellation latch the same
+    // reason cell, so 504-vs-interrupt accounting is exact even when the
+    // two race at a query boundary.
+    let effective_cancel = {
+        let base = options.cancel.clone().unwrap_or_default();
+        match options.deadline {
+            Some(d) => base.with_deadline(start + d),
+            None => base,
+        }
+    };
     let cursor = AtomicUsize::new(0);
     let stopped_early = AtomicBool::new(false);
     let shared = Mutex::new(Shared {
@@ -345,9 +360,7 @@ pub fn discover_all_pairs(
                 let mut scratch = ValidationScratch::new();
                 let search_options = SearchOptions::default();
                 loop {
-                    if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
-                        || deadline.is_some_and(|d| Instant::now() >= d)
-                    {
+                    if effective_cancel.is_cancelled() {
                         stopped_early.store(true, Ordering::Relaxed);
                         break;
                     }
@@ -430,6 +443,7 @@ pub fn discover_all_pairs(
     }
     let completed_queries = s.state.completed.len();
     let cancelled = stopped_early.into_inner() && completed_queries < num_attrs;
+    let stop_reason = if cancelled { effective_cancel.reason() } else { None };
     if let Some(budget) = options.memory_budget.as_ref() {
         tind_obs::gauge("memory.peak_bytes").set_max(budget.peak_bytes() as f64);
         tind_obs::gauge("memory.limit_bytes").set(budget.limit_bytes() as f64);
@@ -443,6 +457,7 @@ pub fn discover_all_pairs(
         resumed_queries,
         poisoned_queries: s.state.poisoned,
         cancelled,
+        stop_reason,
         threads_used: threads,
         checkpoint_written: s.checkpoint_written,
         early_valid_exits: s.early_valid_exits,
@@ -549,6 +564,7 @@ mod tests {
             &AllPairsOptions { threads: 2, cancel: Some(token), ..Default::default() },
         );
         assert!(out.cancelled);
+        assert_eq!(out.stop_reason, Some(CancelReason::Interrupt));
         assert_eq!(out.completed_queries, 0);
         assert!(out.pairs.is_empty());
     }
@@ -567,6 +583,7 @@ mod tests {
             },
         );
         assert!(out.cancelled);
+        assert_eq!(out.stop_reason, Some(CancelReason::Deadline));
         assert_eq!(out.completed_queries, 0);
     }
 

@@ -6,22 +6,73 @@
 //! work after which a checkpoint can represent progress exactly — so a
 //! cancelled run always stops in a resumable state.
 //!
+//! The token latches a [`CancelReason`] the first time any stop cause is
+//! observed: an explicit [`CancelToken::cancel`], an expired deadline
+//! attached via [`CancelToken::with_deadline`], or a process signal. The
+//! latch is a single compare-and-swap cell, so "why we stopped" has
+//! exactly one answer even when a deadline expires in the same instant an
+//! operator hits Ctrl-C — callers that must account 504-vs-interrupt
+//! exactly (checkpointing, the serve daemon) read [`CancelToken::reason`]
+//! and get a deterministic verdict.
+//!
 //! [`CancelToken::install_ctrl_c`] wires the process SIGINT handler to a
 //! token (hand-rolled `signal(2)` binding; the workspace adds no external
 //! dependencies). The first Ctrl-C requests a graceful, checkpointing
 //! stop; a second Ctrl-C falls back to the default disposition and kills
 //! the process for operators who really mean it.
+//! [`CancelToken::install_terminate`] additionally listens for SIGTERM —
+//! the shape a supervised daemon (`tind serve`) is told to shut down in.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a [`CancelToken`] tripped. The first observed cause wins and is
+/// latched for the lifetime of the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Explicit cancellation: `cancel()`, Ctrl-C / SIGTERM.
+    Interrupt = 1,
+    /// The deadline attached with [`CancelToken::with_deadline`] passed.
+    Deadline = 2,
+    /// A graceful drain asked in-flight work to stop (serve shutdown).
+    Drain = 3,
+}
+
+const LIVE: u8 = 0;
+
+impl CancelReason {
+    fn from_u8(raw: u8) -> Option<CancelReason> {
+        match raw {
+            1 => Some(CancelReason::Interrupt),
+            2 => Some(CancelReason::Deadline),
+            3 => Some(CancelReason::Drain),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case label for logs and JSON payloads.
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelReason::Interrupt => "interrupt",
+            CancelReason::Deadline => "deadline",
+            CancelReason::Drain => "drain",
+        }
+    }
+}
 
 /// A clonable cancellation flag shared between a controller (signal
 /// handler, deadline watcher, test harness) and discovery workers.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    /// `LIVE` (0) until the first cause latches its `CancelReason`.
+    reason: Arc<AtomicU8>,
+    /// Deadline this handle checks on `is_cancelled`. Per-handle (not
+    /// shared through clones made *before* `with_deadline`), but expiry
+    /// latches into the shared `reason` cell so every clone agrees.
+    deadline: Option<Instant>,
     /// Additional static flag this token mirrors; set only for the
-    /// process Ctrl-C token, whose signal handler can touch nothing but a
+    /// process signal token, whose handler can touch nothing but a
     /// `static AtomicBool`.
     signal_flag: Option<&'static AtomicBool>,
 }
@@ -32,16 +83,72 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Requests cancellation. Idempotent; safe from any thread.
+    /// Requests cancellation (an operator-style interrupt). Idempotent;
+    /// safe from any thread. An earlier latched reason is preserved.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        self.cancel_with(CancelReason::Interrupt);
     }
 
-    /// Whether cancellation has been requested (programmatically or, for
-    /// the Ctrl-C token, by SIGINT).
+    /// Requests cancellation with an explicit reason. The first reason to
+    /// latch wins; later calls (and later deadline expiry) are no-ops.
+    pub fn cancel_with(&self, reason: CancelReason) {
+        let _ = self.reason.compare_exchange(
+            LIVE,
+            reason as u8,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether cancellation has been requested (programmatically, by an
+    /// expired deadline, or — for signal tokens — by SIGINT/SIGTERM).
+    ///
+    /// Polling is what latches passive causes: a pending signal or an
+    /// expired deadline is converted into the shared reason here, so the
+    /// first poll to observe a cause fixes the verdict for all clones.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
-            || self.signal_flag.is_some_and(|f| f.load(Ordering::Relaxed))
+        if self.reason.load(Ordering::Relaxed) != LIVE {
+            return true;
+        }
+        if self.signal_flag.is_some_and(|f| f.load(Ordering::Relaxed)) {
+            self.cancel_with(CancelReason::Interrupt);
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.cancel_with(CancelReason::Deadline);
+            return true;
+        }
+        false
+    }
+
+    /// The latched reason, if the token has tripped. `None` while live.
+    ///
+    /// Passive causes (signal, deadline) latch on [`is_cancelled`] polls;
+    /// callers that stopped because `is_cancelled()` returned true can
+    /// rely on `reason()` being `Some` afterwards.
+    ///
+    /// [`is_cancelled`]: CancelToken::is_cancelled
+    pub fn reason(&self) -> Option<CancelReason> {
+        CancelReason::from_u8(self.reason.load(Ordering::Relaxed))
+    }
+
+    /// Returns this token with a deadline attached: `is_cancelled`
+    /// reports true (latching [`CancelReason::Deadline`]) once `deadline`
+    /// passes. The latch cell stays shared with the original token and
+    /// all clones, so an explicit `cancel()` racing the expiry still
+    /// yields a single deterministic reason.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(match self.deadline {
+            Some(existing) => existing.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// The deadline attached to this handle, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// Returns a token tripped by Ctrl-C (SIGINT), installing the process
@@ -51,19 +158,41 @@ impl CancelToken {
     /// On non-Unix platforms the returned token is never tripped by a
     /// signal but can still be cancelled programmatically.
     pub fn install_ctrl_c() -> CancelToken {
-        CancelToken { flag: Arc::new(AtomicBool::new(false)), signal_flag: Some(sigint_flag()) }
+        CancelToken {
+            reason: Arc::new(AtomicU8::new(LIVE)),
+            deadline: None,
+            signal_flag: Some(signal_flag(false)),
+        }
+    }
+
+    /// Like [`install_ctrl_c`], but the token also trips on SIGTERM —
+    /// the conventional "please drain" signal for a supervised daemon.
+    /// Both signals restore their default disposition after the first
+    /// delivery, so a repeat signal terminates a stuck process.
+    ///
+    /// [`install_ctrl_c`]: CancelToken::install_ctrl_c
+    pub fn install_terminate() -> CancelToken {
+        CancelToken {
+            reason: Arc::new(AtomicU8::new(LIVE)),
+            deadline: None,
+            signal_flag: Some(signal_flag(true)),
+        }
     }
 }
 
-/// The static flag set by the SIGINT handler; installing is idempotent.
+/// The static flag set by the signal handler; installing is idempotent.
+/// `with_sigterm` widens the installation to SIGTERM as well (once
+/// widened it stays widened — both dispositions reset after first use).
 #[cfg(unix)]
-fn sigint_flag() -> &'static AtomicBool {
+fn signal_flag(with_sigterm: bool) -> &'static AtomicBool {
     use std::sync::OnceLock;
 
     static FLAG: AtomicBool = AtomicBool::new(false);
-    static INSTALLED: OnceLock<()> = OnceLock::new();
+    static INT_INSTALLED: OnceLock<()> = OnceLock::new();
+    static TERM_INSTALLED: OnceLock<()> = OnceLock::new();
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     const SIG_DFL: usize = 0;
 
     extern "C" {
@@ -71,24 +200,29 @@ fn sigint_flag() -> &'static AtomicBool {
         fn signal(signum: i32, handler: usize) -> usize;
     }
 
-    extern "C" fn on_sigint(_sig: i32) {
+    extern "C" fn on_signal(sig: i32) {
         // Only async-signal-safe operations: an atomic store, and
-        // restoring the default disposition so a second Ctrl-C terminates
+        // restoring the default disposition so a second signal terminates
         // the process even if the graceful path is stuck.
         FLAG.store(true, Ordering::Relaxed);
         unsafe {
-            signal(SIGINT, SIG_DFL);
+            signal(sig, SIG_DFL);
         }
     }
 
-    INSTALLED.get_or_init(|| unsafe {
-        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    INT_INSTALLED.get_or_init(|| unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
     });
+    if with_sigterm {
+        TERM_INSTALLED.get_or_init(|| unsafe {
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        });
+    }
     &FLAG
 }
 
 #[cfg(not(unix))]
-fn sigint_flag() -> &'static AtomicBool {
+fn signal_flag(_with_sigterm: bool) -> &'static AtomicBool {
     static FLAG: AtomicBool = AtomicBool::new(false);
     &FLAG
 }
@@ -96,15 +230,18 @@ fn sigint_flag() -> &'static AtomicBool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn starts_clear_and_latches() {
         let t = CancelToken::new();
         assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
         t.cancel();
         assert!(t.is_cancelled());
         t.cancel();
         assert!(t.is_cancelled(), "idempotent");
+        assert_eq!(t.reason(), Some(CancelReason::Interrupt));
     }
 
     #[test]
@@ -113,6 +250,65 @@ mod tests {
         let u = t.clone();
         u.cancel();
         assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Interrupt));
+    }
+
+    #[test]
+    fn first_reason_wins() {
+        let t = CancelToken::new();
+        t.cancel_with(CancelReason::Drain);
+        t.cancel();
+        t.cancel_with(CancelReason::Deadline);
+        assert_eq!(t.reason(), Some(CancelReason::Drain));
+    }
+
+    #[test]
+    fn deadline_latches_deterministically() {
+        let t = CancelToken::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+        // An explicit cancel after the deadline latched does not rewrite
+        // history.
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn explicit_cancel_beats_an_expired_but_unpolled_deadline() {
+        // The deadline has passed in wall-clock terms, but nothing polled
+        // the token yet; an explicit cancel that latches first is the
+        // single source of truth.
+        let t = CancelToken::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Interrupt));
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let t = CancelToken::new().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+    }
+
+    #[test]
+    fn with_deadline_keeps_the_earlier_deadline() {
+        let near = Instant::now() - Duration::from_millis(1);
+        let far = Instant::now() + Duration::from_secs(3600);
+        let t = CancelToken::new().with_deadline(near).with_deadline(far);
+        assert!(t.is_cancelled(), "earlier deadline governs");
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn deadline_clone_shares_the_latch_with_its_parent() {
+        let parent = CancelToken::new();
+        let child = parent.clone().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(child.is_cancelled());
+        // The parent handle has no deadline of its own but sees the
+        // latched verdict.
+        assert!(parent.is_cancelled());
+        assert_eq!(parent.reason(), Some(CancelReason::Deadline));
     }
 
     #[test]
@@ -121,10 +317,15 @@ mod tests {
         let b = CancelToken::install_ctrl_c();
         assert!(!a.is_cancelled());
         // Simulate what the handler does.
-        sigint_flag().store(true, Ordering::Relaxed);
+        signal_flag(false).store(true, Ordering::Relaxed);
         assert!(a.is_cancelled());
         assert!(b.is_cancelled());
-        sigint_flag().store(false, Ordering::Relaxed);
-        assert!(!a.is_cancelled(), "programmatic flag stays independent");
+        assert_eq!(a.reason(), Some(CancelReason::Interrupt));
+        signal_flag(false).store(false, Ordering::Relaxed);
+        // `a` polled while the flag was up, so its verdict is latched…
+        assert!(a.is_cancelled(), "signal observation is sticky");
+        // …but a token that never saw the flag stays live.
+        let c = CancelToken::install_ctrl_c();
+        assert!(!c.is_cancelled());
     }
 }

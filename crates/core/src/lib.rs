@@ -64,7 +64,7 @@ pub mod partial;
 pub use allpairs::{
     discover_all_pairs, AllPairsError, AllPairsOptions, AllPairsOutcome, CheckpointPolicy,
 };
-pub use cancel::CancelToken;
+pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::Checkpoint;
 pub use index::{BuildOptions, IndexConfig, TindIndex};
 pub use params::TindParams;

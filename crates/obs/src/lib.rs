@@ -18,6 +18,20 @@
 //! Span/metric state is process-global by design: one CLI invocation is
 //! one run. [`reset`] clears it (the CLI calls this as dispatch starts).
 //!
+//! ## Metric families
+//!
+//! Producers register names lazily, so the registry only carries what a
+//! run touched. Established families: `search.*` / `allpairs.*` /
+//! `index.*` / `ingest.*` / `memory.*` from the pipeline crates, and the
+//! `tind-serve` daemon's `serve.*` family — `serve.connections`,
+//! `serve.requests`, `serve.responses_ok`, `serve.responses_error`,
+//! `serve.shed_queue`, `serve.shed_memory`, `serve.panics`,
+//! `serve.deadline_timeouts`, `serve.draining_rejects`, `serve.waves`,
+//! `serve.coalesced_requests` (counters), `serve.queue_depth` (gauge),
+//! and `serve.wave_size` / `serve.request_latency_ns` (histograms).
+//! [`metrics_value`] snapshots the registry in the exact JSON shape the
+//! `TINDRR` report embeds, which is also what `/metrics` serves.
+//!
 //! Building with the `obs-off` feature compiles spans and metrics down to
 //! no-ops (zero-sized guards, inert shared metric handles); reports can
 //! still be emitted but carry only wall time. A bench
@@ -33,8 +47,8 @@ pub mod span;
 pub use json::Value;
 pub use metrics::{counter, gauge, histogram, metrics_snapshot, Counter, Gauge, Histogram,
     MetricSnapshot, MetricValue};
-pub use report::{crc32, validate_schema, verify_report, RunReport, REPORT_MAGIC, REPORT_PREFIX,
-    SCHEMA_VERSION};
+pub use report::{crc32, metrics_value, validate_schema, verify_report, RunReport, REPORT_MAGIC,
+    REPORT_PREFIX, SCHEMA_VERSION};
 pub use reporter::{fmt_duration_ns, fmt_eta_secs, fmt_pipeline, fmt_rate,
     fmt_validation_summary, Reporter};
 pub use span::{recent_spans, span, span_snapshot, SpanEvent, SpanGuard, SpanStats};

@@ -53,6 +53,62 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Snapshot the whole metric registry as the canonical `metrics` JSON
+/// object: `{"counters":[...],"gauges":[...],"histograms":[...]}`.
+///
+/// This is the same shape embedded in a `TINDRR` report payload; the
+/// serve daemon's `/metrics` endpoint returns it directly so a scrape
+/// and a final report agree field-for-field.
+pub fn metrics_value() -> Value {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for m in metrics_snapshot() {
+        match m.value {
+            MetricValue::Counter { total, shards } => counters.push(Value::obj([
+                ("name", Value::str(m.name)),
+                ("total", Value::num(total as f64)),
+                (
+                    "shards",
+                    Value::Arr(shards.into_iter().map(|s| Value::num(s as f64)).collect()),
+                ),
+            ])),
+            MetricValue::Gauge(v) => gauges.push(Value::obj([
+                ("name", Value::str(m.name)),
+                ("value", Value::num(v)),
+            ])),
+            MetricValue::Histogram { count, sum, buckets } => {
+                histograms.push(Value::obj([
+                    ("name", Value::str(m.name)),
+                    ("count", Value::num(count as f64)),
+                    ("sum", Value::num(sum as f64)),
+                    (
+                        "buckets",
+                        Value::Arr(
+                            buckets
+                                .into_iter()
+                                .map(|(bound, n)| {
+                                    // u64::MAX exceeds f64's exact range;
+                                    // bounds ride along as hex strings.
+                                    Value::obj([
+                                        ("le", Value::str(format!("{bound:#x}"))),
+                                        ("count", Value::num(n as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]))
+            }
+        }
+    }
+    Value::obj([
+        ("counters", Value::Arr(counters)),
+        ("gauges", Value::Arr(gauges)),
+        ("histograms", Value::Arr(histograms)),
+    ])
+}
+
 /// An in-memory run report: the payload object, ready to extend with
 /// command-specific sections and serialize.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,49 +149,6 @@ impl RunReport {
             .map(|s| span_value(s.name, s.count, s.total_ns, s.max_ns))
             .collect();
 
-        let mut counters = Vec::new();
-        let mut gauges = Vec::new();
-        let mut histograms = Vec::new();
-        for m in metrics_snapshot() {
-            match m.value {
-                MetricValue::Counter { total, shards } => counters.push(Value::obj([
-                    ("name", Value::str(m.name)),
-                    ("total", Value::num(total as f64)),
-                    (
-                        "shards",
-                        Value::Arr(shards.into_iter().map(|s| Value::num(s as f64)).collect()),
-                    ),
-                ])),
-                MetricValue::Gauge(v) => gauges.push(Value::obj([
-                    ("name", Value::str(m.name)),
-                    ("value", Value::num(v)),
-                ])),
-                MetricValue::Histogram { count, sum, buckets } => {
-                    histograms.push(Value::obj([
-                        ("name", Value::str(m.name)),
-                        ("count", Value::num(count as f64)),
-                        ("sum", Value::num(sum as f64)),
-                        (
-                            "buckets",
-                            Value::Arr(
-                                buckets
-                                    .into_iter()
-                                    .map(|(bound, n)| {
-                                        // u64::MAX exceeds f64's exact range;
-                                        // bounds ride along as hex strings.
-                                        Value::obj([
-                                            ("le", Value::str(format!("{bound:#x}"))),
-                                            ("count", Value::num(n as f64)),
-                                        ])
-                                    })
-                                    .collect(),
-                            ),
-                        ),
-                    ]))
-                }
-            }
-        }
-
         let payload = Value::obj([
             ("schema_version", Value::num(SCHEMA_VERSION as f64)),
             ("command", Value::str(command)),
@@ -144,14 +157,7 @@ impl RunReport {
             ("phase_coverage", Value::num(coverage)),
             ("phases", Value::Arr(phases)),
             ("spans", Value::Arr(all_spans)),
-            (
-                "metrics",
-                Value::obj([
-                    ("counters", Value::Arr(counters)),
-                    ("gauges", Value::Arr(gauges)),
-                    ("histograms", Value::Arr(histograms)),
-                ]),
-            ),
+            ("metrics", metrics_value()),
         ]);
         RunReport { payload }
     }

@@ -1,0 +1,172 @@
+//! Bounded admission queue: the single backpressure point of the serve
+//! pipeline.
+//!
+//! `try_push` never blocks — when the queue is at capacity the item
+//! comes straight back to the caller, which turns it into a typed 429
+//! with a `retry_after_ms` hint derived from the depth. `pop_wait`
+//! blocks consumers on a condvar; `close()` wakes everyone, after which
+//! the queue drains to empty and then yields `None`. `drain_matching`
+//! lets a worker pull queued *compatible* jobs into the wave it is about
+//! to execute (request coalescing).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A bounded MPMC queue with explicit shedding and close-to-drain
+/// semantics.
+pub struct Admission<T> {
+    inner: Mutex<Inner<T>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Admission<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Admission<T> {
+        Admission {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues `item`, returning the new depth, or hands it back when
+    /// the queue is full or closed — the caller owns the shed response.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.cond.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// empty (`None`). Closed-but-nonempty queues keep yielding items,
+    /// which is what lets a graceful drain finish queued work.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            // Timed wait as a spurious-wakeup / missed-notify backstop.
+            let (guard, _) = self
+                .cond
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Removes up to `max` queued items satisfying `pred`, preserving the
+    /// relative order of everything else.
+    pub fn drain_matching(&self, mut pred: impl FnMut(&T) -> bool, max: usize) -> Vec<T> {
+        let mut inner = self.lock();
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(inner.items.len());
+        while let Some(item) = inner.items.pop_front() {
+            if taken.len() < max && pred(&item) {
+                taken.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        inner.items = kept;
+        taken
+    }
+
+    /// Removes and returns everything currently queued (drain-grace
+    /// shedding).
+    pub fn drain_all(&self) -> Vec<T> {
+        self.lock().items.drain(..).collect()
+    }
+
+    /// Stops admission and wakes all consumers; queued items still drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_at_capacity() {
+        let q = Admission::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3), "third item is shed, not queued");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let q = Admission::new(4);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        q.close();
+        assert_eq!(q.try_push(3), Err(3), "closed queue admits nothing");
+        assert_eq!(q.pop_wait(), Some(1), "queued items still drain");
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn drain_matching_preserves_order_of_the_rest() {
+        let q = Admission::new(8);
+        for i in 1..=6 {
+            q.try_push(i).expect("push");
+        }
+        let even = q.drain_matching(|v| v % 2 == 0, 2);
+        assert_eq!(even, vec![2, 4]);
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), Some(3));
+        assert_eq!(q.pop_wait(), Some(5));
+        assert_eq!(q.pop_wait(), Some(6), "beyond-max match stays queued");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(Admission::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop_wait() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(7).expect("push");
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().expect("join"), vec![7]);
+    }
+}

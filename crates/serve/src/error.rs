@@ -1,0 +1,160 @@
+//! Typed serve errors: every failure a client can observe maps to one
+//! stable `(status, code)` pair and a canonical JSON body. Nothing else
+//! ever reaches the wire — the fault-injection suite asserts the daemon
+//! answers hostile input with exactly these shapes, never a hang or a
+//! torn response.
+
+use tind_obs::Value;
+
+/// A client-visible serve failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable code, independent of the message text.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Back-off hint for load-shedding responses, derived from queue
+    /// depth (`retry_unit × depth`): deeper queue, longer hint.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ServeError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError { status, code, message: message.into(), retry_after_ms: None }
+    }
+
+    /// 400 — unparsable JSON, unknown field, bad parameter, unknown
+    /// attribute.
+    pub fn bad_request(message: impl Into<String>) -> ServeError {
+        Self::new(400, "bad_request", message)
+    }
+
+    /// 404 — no route for the path.
+    pub fn not_found(path: &str) -> ServeError {
+        Self::new(404, "not_found", format!("no route for '{path}'"))
+    }
+
+    /// 405 — route exists but not for this method.
+    pub fn method_not_allowed(method: &str, path: &str) -> ServeError {
+        Self::new(405, "method_not_allowed", format!("method {method} not allowed for '{path}'"))
+    }
+
+    /// 408 — the client fed the request slower than the read budget
+    /// (slow-loris defense).
+    pub fn request_timeout(budget_ms: u64) -> ServeError {
+        Self::new(408, "request_timeout", format!("request not received within {budget_ms} ms"))
+    }
+
+    /// 413 — declared body exceeds the configured cap; rejected before
+    /// the body is read.
+    pub fn payload_too_large(got: usize, limit: usize) -> ServeError {
+        Self::new(413, "payload_too_large", format!("body of {got} bytes exceeds limit {limit}"))
+    }
+
+    /// 431 — request head exceeds the configured cap.
+    pub fn header_too_large(limit: usize) -> ServeError {
+        Self::new(431, "header_too_large", format!("request head exceeds limit {limit} bytes"))
+    }
+
+    /// 429 — admission queue full; carries a depth-derived back-off hint.
+    pub fn overloaded(retry_after_ms: u64) -> ServeError {
+        ServeError {
+            retry_after_ms: Some(retry_after_ms),
+            ..Self::new(429, "overloaded", "admission queue full, request shed")
+        }
+    }
+
+    /// 500 — the request panicked inside the worker; the panic was
+    /// quarantined and the worker lives on.
+    pub fn internal_panic() -> ServeError {
+        Self::new(500, "internal_panic", "request panicked and was quarantined")
+    }
+
+    /// 503 — the index is still loading; liveness is up, readiness is not.
+    pub fn loading() -> ServeError {
+        ServeError {
+            retry_after_ms: Some(500),
+            ..Self::new(503, "loading", "index is loading, not ready for queries")
+        }
+    }
+
+    /// 503 — the daemon is draining after SIGINT/SIGTERM.
+    pub fn draining() -> ServeError {
+        Self::new(503, "draining", "server is draining, not accepting new queries")
+    }
+
+    /// 503 — the memory budget cannot cover even an uncoalesced request.
+    pub fn overloaded_memory(retry_after_ms: u64) -> ServeError {
+        ServeError {
+            retry_after_ms: Some(retry_after_ms),
+            ..Self::new(503, "overloaded_memory", "memory budget exhausted, request shed")
+        }
+    }
+
+    /// 504 — the per-request deadline expired before (or while) the
+    /// query ran; the `CancelToken` latched `Deadline` as the reason.
+    pub fn deadline_exceeded() -> ServeError {
+        Self::new(504, "deadline_exceeded", "request deadline expired")
+    }
+
+    /// The canonical JSON body: `{"error":{...}}`.
+    pub fn to_value(&self) -> Value {
+        let mut inner = Value::obj([
+            ("code", Value::str(self.code)),
+            ("status", Value::num(f64::from(self.status))),
+            ("message", Value::str(self.message.clone())),
+        ]);
+        if let Some(ms) = self.retry_after_ms {
+            inner.set("retry_after_ms", Value::num(ms as f64));
+        }
+        Value::obj([("error", inner)])
+    }
+}
+
+/// Reason phrase for the status line; only the statuses serve emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_carry_stable_codes() {
+        let e = ServeError::overloaded(75);
+        let body = e.to_value().to_json();
+        assert!(body.contains("\"code\":\"overloaded\""));
+        assert!(body.contains("\"status\":429"));
+        assert!(body.contains("\"retry_after_ms\":75"));
+    }
+
+    #[test]
+    fn non_shedding_errors_have_no_retry_hint() {
+        let e = ServeError::deadline_exceeded();
+        assert_eq!(e.retry_after_ms, None);
+        assert!(!e.to_value().to_json().contains("retry_after_ms"));
+    }
+
+    #[test]
+    fn every_emitted_status_has_a_reason_phrase() {
+        for status in [200, 400, 404, 405, 408, 413, 429, 431, 500, 503, 504] {
+            assert_ne!(reason_phrase(status), "Unknown", "status {status}");
+        }
+    }
+}

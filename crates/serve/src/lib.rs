@@ -1,0 +1,40 @@
+//! `tind-serve` — a fault-contained concurrent query daemon over a hot
+//! in-memory tIND index.
+//!
+//! The one-shot CLI rebuilds its index per invocation; this crate keeps
+//! the index resident and serves `search`, `reverse-search`, and
+//! `explain` over a hand-rolled HTTP/1.1 JSON interface (no external
+//! dependencies — `std::net` only). The design goal is *robustness
+//! under misuse*, in the same spirit as the ingestion pipeline's
+//! quarantine model:
+//!
+//! * **Admission control** — both pipeline queues are bounded; overload
+//!   sheds with typed 429s carrying depth-derived `retry_after_ms`
+//!   hints instead of buffering until collapse.
+//! * **Deadlines** — every request carries a [`tind_core::CancelToken`]
+//!   deadline propagated into the engine; expiry is a typed 504, never
+//!   a hung socket.
+//! * **Hostile transport** — slow-loris clients hit a read budget
+//!   (408), oversized bodies are rejected on their *declared* length
+//!   (413), malformed requests get typed 400s.
+//! * **Panic containment** — a panicking query is quarantined into a
+//!   typed 500; the worker thread survives.
+//! * **Graceful degradation** — under a [`tind_model::MemoryBudget`],
+//!   request coalescing shrinks first, then whole requests shed (503).
+//! * **Graceful drain** — SIGINT/SIGTERM stops admission, finishes or
+//!   deadline-cancels in-flight work (reason `Drain` past the grace
+//!   period), and reports whether the drain was clean.
+//!
+//! Responses are deterministic modulo the `elapsed_ms` field: the
+//! differential suite pins serve output byte-equal to one-shot CLI
+//! output on the same index and parameters.
+
+pub mod admission;
+pub mod error;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use error::{reason_phrase, ServeError};
+pub use router::{ApiCall, ExplainSpec, QuerySpec};
+pub use server::{Engine, ServeConfig, ServeFaultHook, ServeOutcome, Server};

@@ -1,0 +1,267 @@
+//! Route table and request-body parsing.
+//!
+//! Five routes, mirroring the one-shot CLI verbs they wrap:
+//!
+//! | method | path              | call                          |
+//! |--------|-------------------|-------------------------------|
+//! | GET    | `/healthz`        | liveness + readiness          |
+//! | GET    | `/metrics`        | `tind-obs` registry snapshot  |
+//! | POST   | `/search`         | forward tIND search           |
+//! | POST   | `/reverse-search` | reverse tIND search           |
+//! | POST   | `/explain`        | pairwise violation narrative  |
+//!
+//! Bodies are strict JSON: unknown fields are rejected the same way the
+//! CLI rejects unknown options (a typo'd `"epd"` must not silently run
+//! with defaults), and every parse failure is a typed 400.
+
+use tind_obs::json;
+
+use crate::error::ServeError;
+use crate::http::Request;
+
+/// One parsed, routable request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiCall {
+    Healthz,
+    Metrics,
+    Search(QuerySpec),
+    ReverseSearch(QuerySpec),
+    Explain(ExplainSpec),
+}
+
+/// Body of `/search` and `/reverse-search`. Parameters left `None` take
+/// the server's defaults (the ones its indices were sized for).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Attribute name or numeric id.
+    pub query: String,
+    pub eps: Option<f64>,
+    pub delta: Option<u32>,
+    pub decay: Option<f64>,
+    /// Result names to render (full count is always reported).
+    pub limit: Option<usize>,
+    /// Per-request deadline override, clamped to the server maximum.
+    pub timeout_ms: Option<u64>,
+}
+
+/// Body of `/explain`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainSpec {
+    pub lhs: String,
+    pub rhs: String,
+    pub eps: Option<f64>,
+    pub delta: Option<u32>,
+    pub decay: Option<f64>,
+    pub timeout_ms: Option<u64>,
+}
+
+impl ApiCall {
+    /// The client-requested deadline override, if the call carries one.
+    pub fn timeout_ms(&self) -> Option<u64> {
+        match self {
+            ApiCall::Search(q) | ApiCall::ReverseSearch(q) => q.timeout_ms,
+            ApiCall::Explain(e) => e.timeout_ms,
+            _ => None,
+        }
+    }
+}
+
+/// Resolves a request to a call, or to the typed error the client gets.
+pub fn route(req: &Request) -> Result<ApiCall, ServeError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(ApiCall::Healthz),
+        ("GET", "/metrics") => Ok(ApiCall::Metrics),
+        ("POST", "/search") => Ok(ApiCall::Search(parse_query_spec(&req.body)?)),
+        ("POST", "/reverse-search") => Ok(ApiCall::ReverseSearch(parse_query_spec(&req.body)?)),
+        ("POST", "/explain") => Ok(ApiCall::Explain(parse_explain_spec(&req.body)?)),
+        (_, "/healthz" | "/metrics" | "/search" | "/reverse-search" | "/explain") => {
+            Err(ServeError::method_not_allowed(&req.method, &req.path))
+        }
+        _ => Err(ServeError::not_found(&req.path)),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Vec<(String, json::Value)>, ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::bad_request("body is not UTF-8"))?;
+    let value = json::parse(text)
+        .map_err(|e| ServeError::bad_request(format!("body is not valid JSON: {e}")))?;
+    match value {
+        json::Value::Obj(fields) => Ok(fields),
+        _ => Err(ServeError::bad_request("body must be a JSON object")),
+    }
+}
+
+fn num_field<T>(
+    name: &str,
+    value: &json::Value,
+    convert: impl FnOnce(f64) -> Option<T>,
+) -> Result<T, ServeError> {
+    value
+        .as_f64()
+        .and_then(convert)
+        .ok_or_else(|| ServeError::bad_request(format!("field '{name}' has the wrong type")))
+}
+
+fn parse_query_spec(body: &[u8]) -> Result<QuerySpec, ServeError> {
+    let mut spec = QuerySpec {
+        query: String::new(),
+        eps: None,
+        delta: None,
+        decay: None,
+        limit: None,
+        timeout_ms: None,
+    };
+    let mut saw_query = false;
+    for (key, value) in parse_body(body)? {
+        match key.as_str() {
+            "query" => {
+                spec.query = value
+                    .as_str()
+                    .ok_or_else(|| ServeError::bad_request("field 'query' must be a string"))?
+                    .to_string();
+                saw_query = true;
+            }
+            "eps" => spec.eps = Some(num_field("eps", &value, Some)?),
+            "delta" => {
+                spec.delta = Some(num_field("delta", &value, |v| {
+                    (v >= 0.0 && v.fract() == 0.0 && v <= f64::from(u32::MAX)).then_some(v as u32)
+                })?);
+            }
+            "decay" => spec.decay = Some(num_field("decay", &value, Some)?),
+            "limit" => {
+                spec.limit = Some(num_field("limit", &value, |v| {
+                    (v >= 0.0 && v.fract() == 0.0).then_some(v as usize)
+                })?);
+            }
+            "timeout_ms" => {
+                spec.timeout_ms = Some(num_field("timeout_ms", &value, |v| {
+                    (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+                })?);
+            }
+            other => {
+                return Err(ServeError::bad_request(format!("unknown field '{other}'")));
+            }
+        }
+    }
+    if !saw_query {
+        return Err(ServeError::bad_request("missing required field 'query'"));
+    }
+    Ok(spec)
+}
+
+fn parse_explain_spec(body: &[u8]) -> Result<ExplainSpec, ServeError> {
+    let mut spec = ExplainSpec {
+        lhs: String::new(),
+        rhs: String::new(),
+        eps: None,
+        delta: None,
+        decay: None,
+        timeout_ms: None,
+    };
+    let (mut saw_lhs, mut saw_rhs) = (false, false);
+    for (key, value) in parse_body(body)? {
+        match key.as_str() {
+            "lhs" => {
+                spec.lhs = value
+                    .as_str()
+                    .ok_or_else(|| ServeError::bad_request("field 'lhs' must be a string"))?
+                    .to_string();
+                saw_lhs = true;
+            }
+            "rhs" => {
+                spec.rhs = value
+                    .as_str()
+                    .ok_or_else(|| ServeError::bad_request("field 'rhs' must be a string"))?
+                    .to_string();
+                saw_rhs = true;
+            }
+            "eps" => spec.eps = Some(num_field("eps", &value, Some)?),
+            "delta" => {
+                spec.delta = Some(num_field("delta", &value, |v| {
+                    (v >= 0.0 && v.fract() == 0.0 && v <= f64::from(u32::MAX)).then_some(v as u32)
+                })?);
+            }
+            "decay" => spec.decay = Some(num_field("decay", &value, Some)?),
+            "timeout_ms" => {
+                spec.timeout_ms = Some(num_field("timeout_ms", &value, |v| {
+                    (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+                })?);
+            }
+            other => {
+                return Err(ServeError::bad_request(format!("unknown field '{other}'")));
+            }
+        }
+    }
+    if !saw_lhs || !saw_rhs {
+        return Err(ServeError::bad_request("missing required fields 'lhs' and 'rhs'"));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request { method: method.into(), path: path.into(), body: body.as_bytes().to_vec() }
+    }
+
+    #[test]
+    fn routes_the_full_table() {
+        assert_eq!(route(&req("GET", "/healthz", "")), Ok(ApiCall::Healthz));
+        assert_eq!(route(&req("GET", "/metrics", "")), Ok(ApiCall::Metrics));
+        assert!(matches!(
+            route(&req("POST", "/search", "{\"query\":\"a\"}")),
+            Ok(ApiCall::Search(_))
+        ));
+        assert!(matches!(
+            route(&req("POST", "/reverse-search", "{\"query\":\"a\"}")),
+            Ok(ApiCall::ReverseSearch(_))
+        ));
+        assert!(matches!(
+            route(&req("POST", "/explain", "{\"lhs\":\"a\",\"rhs\":\"b\"}")),
+            Ok(ApiCall::Explain(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_method_is_405_and_unknown_path_404() {
+        assert_eq!(route(&req("POST", "/healthz", "")).unwrap_err().status, 405);
+        assert_eq!(route(&req("GET", "/search", "")).unwrap_err().status, 405);
+        assert_eq!(route(&req("GET", "/nope", "")).unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn full_query_spec_parses() {
+        let call = route(&req(
+            "POST",
+            "/search",
+            "{\"query\":\"source-1\",\"eps\":2.5,\"delta\":14,\"decay\":0.1,\"limit\":5,\"timeout_ms\":250}",
+        ))
+        .expect("route");
+        let ApiCall::Search(spec) = call else { panic!("not a search") };
+        assert_eq!(spec.query, "source-1");
+        assert_eq!(spec.eps, Some(2.5));
+        assert_eq!(spec.delta, Some(14));
+        assert_eq!(spec.decay, Some(0.1));
+        assert_eq!(spec.limit, Some(5));
+        assert_eq!(spec.timeout_ms, Some(250));
+    }
+
+    #[test]
+    fn malformed_json_unknown_field_and_bad_types_are_400() {
+        for body in [
+            "{not json",
+            "[1,2]",
+            "{\"query\":\"a\",\"epd\":1}",
+            "{\"query\":7}",
+            "{\"query\":\"a\",\"delta\":1.5}",
+            "{\"eps\":1}",
+        ] {
+            let err = route(&req("POST", "/search", body)).unwrap_err();
+            assert_eq!(err.status, 400, "body {body:?} → {err:?}");
+            assert_eq!(err.code, "bad_request");
+        }
+    }
+}

@@ -1,0 +1,956 @@
+//! The serve pipeline: acceptor → reader pool → admission queue →
+//! worker pool, with a drain watchdog alongside.
+//!
+//! ```text
+//!   accept loop ──► conns queue ──► readers (parse + route)
+//!                     (bounded)       │  healthz/metrics answered inline
+//!                                     ▼
+//!                                  jobs queue ──► workers (coalesce +
+//!                                    (bounded)     execute + respond)
+//! ```
+//!
+//! Every stage is fault-contained:
+//!
+//! * both queues are bounded; a full queue turns into an immediate typed
+//!   429 with a depth-derived `retry_after_ms` (load shedding, not
+//!   buffering until collapse);
+//! * each admitted request gets a [`CancelToken`] carrying its deadline;
+//!   expiry inside the engine latches `Deadline` and surfaces as a typed
+//!   504 — a client never waits on a socket longer than its deadline
+//!   plus one write;
+//! * workers run requests under `catch_unwind`: a panicking query is
+//!   quarantined into a typed 500 and the worker thread survives;
+//! * a [`MemoryBudget`] degrades service smoothly — coalescing shrinks
+//!   first, then whole requests shed with a typed 503;
+//! * compatible concurrent searches coalesce into one `search_batch`
+//!   wave (identical per-query results — batch equivalence is pinned by
+//!   core tests), so a burst is served at batch throughput;
+//! * shutdown (SIGINT/SIGTERM → the shutdown token) drains: the
+//!   acceptor stops, queued requests finish or are deadline-cancelled,
+//!   and past `drain_grace` the watchdog force-cancels in-flight waves
+//!   with reason `Drain` and sheds the rest.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use tind_core::{
+    BatchOptions, BuildOptions, CancelReason, CancelToken, IndexConfig, SearchOutcome,
+    SliceConfig, TindIndex, TindParams,
+};
+use tind_model::{AttrId, Dataset, MemoryBudget, WeightFn};
+use tind_obs::Value;
+
+use crate::admission::Admission;
+use crate::error::{reason_phrase, ServeError};
+use crate::http::{self, HttpError, HttpLimits};
+use crate::router::{self, ApiCall, ExplainSpec, QuerySpec};
+
+/// Test-only fault injection: invoked with each call right before it
+/// executes on a worker (inside the panic quarantine, so a panicking
+/// hook exercises containment end to end).
+pub type ServeFaultHook = Arc<dyn Fn(&ApiCall) + Send + Sync>;
+
+/// Results rendered per response when the request doesn't say.
+const DEFAULT_LIMIT: usize = 20;
+
+/// Tuning and robustness knobs for [`Server`].
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Executor threads; `0` picks `min(available_parallelism, 8)`.
+    pub workers: usize,
+    /// Parse/route threads; `0` picks 2.
+    pub readers: usize,
+    /// Accepted-connection queue bound.
+    pub conn_capacity: usize,
+    /// Parsed-request admission queue bound.
+    pub queue_capacity: usize,
+    /// Deadline for requests that don't send `timeout_ms`.
+    pub default_deadline: Duration,
+    /// Hard cap on client-requested deadlines.
+    pub max_deadline: Duration,
+    /// Budget for receiving one complete request (slow-loris bound).
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Request head cap in bytes.
+    pub max_header_bytes: usize,
+    /// Declared-body cap in bytes.
+    pub max_body_bytes: usize,
+    /// Max compatible searches coalesced into one batch wave.
+    pub coalesce: usize,
+    /// Optional memory accountant: coalescing shrinks, then requests
+    /// shed, when charges stop fitting.
+    pub memory_budget: Option<MemoryBudget>,
+    /// How long a drain may run before in-flight work is force-cancelled
+    /// with reason `Drain`.
+    pub drain_grace: Duration,
+    /// Unit for `retry_after_ms` hints: `retry_unit × (depth + 1)`.
+    pub retry_unit: Duration,
+    /// Test-only fault injection hook.
+    pub fault_hook: Option<ServeFaultHook>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            readers: 0,
+            conn_capacity: 128,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+            coalesce: 16,
+            memory_budget: None,
+            drain_grace: Duration::from_secs(5),
+            retry_unit: Duration::from_millis(25),
+            fault_hook: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("workers", &self.workers)
+            .field("readers", &self.readers)
+            .field("conn_capacity", &self.conn_capacity)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("default_deadline", &self.default_deadline)
+            .field("max_deadline", &self.max_deadline)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("max_header_bytes", &self.max_header_bytes)
+            .field("max_body_bytes", &self.max_body_bytes)
+            .field("coalesce", &self.coalesce)
+            .field("memory_budget", &self.memory_budget)
+            .field("drain_grace", &self.drain_grace)
+            .field("retry_unit", &self.retry_unit)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+/// The hot query state: one dataset, both index directions, and the
+/// default parameters the indices were sized for.
+///
+/// The configs mirror the one-shot CLI exactly (`tind search` /
+/// `tind reverse-search` with the same ε/δ/decay), which is what makes
+/// serve responses differentially comparable to one-shot runs.
+pub struct Engine {
+    dataset: Arc<Dataset>,
+    forward: TindIndex,
+    reverse: TindIndex,
+    default_eps: f64,
+    default_delta: u32,
+    default_decay: Option<f64>,
+}
+
+impl Engine {
+    /// Builds both directions' indices for `dataset`, sized for the
+    /// given default parameters. `build_threads: 0` uses every core.
+    pub fn build(
+        dataset: Arc<Dataset>,
+        eps: f64,
+        delta: u32,
+        decay: Option<f64>,
+        build_threads: usize,
+    ) -> Engine {
+        let weights = match decay {
+            Some(a) => WeightFn::exponential(a, dataset.timeline()),
+            None => WeightFn::constant_one(),
+        };
+        let options = BuildOptions { threads: build_threads, ..BuildOptions::default() };
+        let forward_config = IndexConfig {
+            slices: SliceConfig::search_default(eps, weights.clone(), delta),
+            ..IndexConfig::default()
+        };
+        let reverse_config = IndexConfig {
+            slices: SliceConfig::reverse_default(eps, weights.clone(), delta),
+            ..IndexConfig::reverse_default()
+        };
+        let forward = TindIndex::build_with(dataset.clone(), forward_config, &options);
+        let reverse = TindIndex::build_with(dataset.clone(), reverse_config, &options);
+        Engine {
+            dataset,
+            forward,
+            reverse,
+            default_eps: eps,
+            default_delta: delta,
+            default_decay: decay,
+        }
+    }
+
+    /// The dataset this engine serves.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The forward-direction index.
+    pub fn forward(&self) -> &TindIndex {
+        &self.forward
+    }
+
+    /// The reverse-direction index.
+    pub fn reverse(&self) -> &TindIndex {
+        &self.reverse
+    }
+
+    /// Resolve request parameters against the defaults. The key
+    /// identifies the resolved parameter set for coalescing: only
+    /// requests with bit-identical parameters share a batch wave.
+    fn resolve_params(
+        &self,
+        eps: Option<f64>,
+        delta: Option<u32>,
+        decay: Option<f64>,
+    ) -> (TindParams, ParamsKey) {
+        let eps = eps.unwrap_or(self.default_eps);
+        let delta = delta.unwrap_or(self.default_delta);
+        let decay = decay.or(self.default_decay);
+        let weights = match decay {
+            Some(a) => WeightFn::exponential(a, self.dataset.timeline()),
+            None => WeightFn::constant_one(),
+        };
+        (TindParams::weighted(eps, delta, weights), (eps.to_bits(), delta, decay.map(f64::to_bits)))
+    }
+
+    /// Resolve an attribute by name or numeric id, as the CLI does.
+    fn resolve_attr(&self, raw: &str) -> Result<AttrId, ServeError> {
+        if let Some((id, _)) = self.dataset.attribute_by_name(raw) {
+            return Ok(id);
+        }
+        if let Ok(id) = raw.parse::<AttrId>() {
+            if (id as usize) < self.dataset.len() {
+                return Ok(id);
+            }
+        }
+        Err(ServeError::bad_request(format!("attribute '{raw}' not found (name or id)")))
+    }
+
+    /// Rough per-request scratch estimate charged against the memory
+    /// budget: candidate tracking is O(|D|), plus a fixed overhead.
+    fn request_cost(&self) -> usize {
+        self.dataset.len() * 64 + 4096
+    }
+}
+
+/// Bit-exact identity of a resolved parameter set.
+type ParamsKey = (u64, u32, Option<u64>);
+
+/// Lifecycle states surfaced by `/healthz`.
+const STATE_LOADING: u8 = 0;
+const STATE_SERVING: u8 = 1;
+const STATE_DRAINING: u8 = 2;
+
+/// One admitted request waiting for (or undergoing) execution.
+struct Job {
+    call: ApiCall,
+    stream: TcpStream,
+    token: CancelToken,
+    deadline: Instant,
+    received: Instant,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    deadline_timeouts: AtomicU64,
+    waves: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Aggregate statistics returned when the server finishes draining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Requests parsed and routed (including `/healthz` and `/metrics`).
+    pub requests: u64,
+    /// 200 responses written.
+    pub ok: u64,
+    /// Typed error responses written (every non-200).
+    pub errors: u64,
+    /// Requests shed by admission control (429) or memory pressure (503).
+    pub shed: u64,
+    /// Requests quarantined after panicking (500); no worker died.
+    pub panics: u64,
+    /// Requests that hit their deadline (504).
+    pub deadline_timeouts: u64,
+    /// Executed batch waves.
+    pub waves: u64,
+    /// Requests that rode an existing wave instead of forming their own.
+    pub coalesced_requests: u64,
+    /// True when the drain finished without the grace-period watchdog
+    /// force-cancelling anything.
+    pub drained_clean: bool,
+}
+
+/// Shared state of one running server; borrowed by every pipeline thread.
+struct Runtime {
+    config: ServeConfig,
+    engine: OnceLock<Engine>,
+    state: AtomicU8,
+    conns: Admission<TcpStream>,
+    jobs: Admission<Job>,
+    shutdown: CancelToken,
+    /// Per-worker slot holding the cancel token of the wave in flight,
+    /// so the drain watchdog can cancel stragglers with reason `Drain`.
+    active: Vec<Mutex<Option<CancelToken>>>,
+    workers_live: AtomicUsize,
+    forced_drain: AtomicBool,
+    started: Instant,
+    c: Counters,
+}
+
+impl Runtime {
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    fn set_state(&self, s: u8) {
+        self.state.store(s, Ordering::Release);
+    }
+
+    fn retry_hint_ms(&self, depth: usize) -> u64 {
+        self.config.retry_unit.as_millis() as u64 * (depth as u64 + 1)
+    }
+
+    /// Writes a typed error response and counts it.
+    fn respond_error(&self, stream: &mut TcpStream, err: &ServeError) {
+        self.c.errors.fetch_add(1, Ordering::Relaxed);
+        tind_obs::counter("serve.responses_error").incr();
+        let body = err.to_value().to_json();
+        let _ = http::write_response(stream, err.status, reason_phrase(err.status), &body);
+    }
+
+    /// Writes a 200 response and counts it.
+    fn respond_ok(&self, stream: &mut TcpStream, body: &Value) {
+        self.c.ok.fetch_add(1, Ordering::Relaxed);
+        tind_obs::counter("serve.responses_ok").incr();
+        let _ = http::write_response(stream, 200, reason_phrase(200), &body.to_json());
+    }
+
+    fn shed(&self, stream: &mut TcpStream, err: &ServeError, counter: &'static str) {
+        self.c.shed.fetch_add(1, Ordering::Relaxed);
+        tind_obs::counter(counter).incr();
+        self.respond_error(stream, err);
+    }
+}
+
+/// A bound-but-not-yet-running serve daemon.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port). The
+    /// listener is live immediately — connections queue in the kernel
+    /// backlog until [`Server::run`] starts the pipeline.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server { listener, addr, config })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the pipeline until `shutdown` trips, then drains and returns
+    /// the aggregate outcome. `loader` builds the [`Engine`] on the
+    /// calling thread while `/healthz` already answers (readiness
+    /// `loading`); API calls get typed 503s until it completes.
+    pub fn run(
+        self,
+        loader: impl FnOnce() -> Result<Engine, String>,
+        shutdown: CancelToken,
+    ) -> Result<ServeOutcome, String> {
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get()).min(8)
+        } else {
+            self.config.workers
+        };
+        let readers = if self.config.readers == 0 { 2 } else { self.config.readers };
+
+        let rt = Runtime {
+            conns: Admission::new(self.config.conn_capacity),
+            jobs: Admission::new(self.config.queue_capacity),
+            config: self.config,
+            engine: OnceLock::new(),
+            state: AtomicU8::new(STATE_LOADING),
+            shutdown,
+            active: (0..workers).map(|_| Mutex::new(None)).collect(),
+            workers_live: AtomicUsize::new(0),
+            forced_drain: AtomicBool::new(false),
+            started: Instant::now(),
+            c: Counters::default(),
+        };
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener nonblocking mode failed: {e}"))?;
+
+        let mut load_error: Option<String> = None;
+        let rt = &rt;
+        let listener = &self.listener;
+        std::thread::scope(|s| {
+            let acceptor = s.spawn(move || acceptor_loop(rt, listener));
+            let reader_handles: Vec<_> =
+                (0..readers).map(|_| s.spawn(move || reader_loop(rt))).collect();
+            let worker_handles: Vec<_> =
+                (0..workers).map(|w| s.spawn(move || worker_loop(rt, w))).collect();
+            let watchdog = s.spawn(move || drain_watchdog(rt));
+
+            match loader() {
+                Ok(engine) => {
+                    let _ = rt.engine.set(engine);
+                    rt.set_state(STATE_SERVING);
+                    while !rt.shutdown.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+                Err(e) => load_error = Some(e),
+            }
+
+            // Drain: stop accepting, let readers reject queued
+            // connections, let workers finish queued jobs.
+            rt.set_state(STATE_DRAINING);
+            let _ = acceptor.join();
+            rt.conns.close();
+            for h in reader_handles {
+                let _ = h.join();
+            }
+            rt.jobs.close();
+            for h in worker_handles {
+                let _ = h.join();
+            }
+            let _ = watchdog.join();
+        });
+
+        if let Some(e) = load_error {
+            return Err(e);
+        }
+        Ok(ServeOutcome {
+            requests: rt.c.requests.load(Ordering::Relaxed),
+            ok: rt.c.ok.load(Ordering::Relaxed),
+            errors: rt.c.errors.load(Ordering::Relaxed),
+            shed: rt.c.shed.load(Ordering::Relaxed),
+            panics: rt.c.panics.load(Ordering::Relaxed),
+            deadline_timeouts: rt.c.deadline_timeouts.load(Ordering::Relaxed),
+            waves: rt.c.waves.load(Ordering::Relaxed),
+            coalesced_requests: rt.c.coalesced.load(Ordering::Relaxed),
+            drained_clean: !rt.forced_drain.load(Ordering::Relaxed),
+        })
+    }
+}
+
+fn acceptor_loop(rt: &Runtime, listener: &TcpListener) {
+    loop {
+        if rt.state() == STATE_DRAINING || rt.shutdown.is_cancelled() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                tind_obs::counter("serve.connections").incr();
+                let _ = stream.set_write_timeout(Some(rt.config.write_timeout));
+                let _ = stream.set_nodelay(true);
+                if let Err(mut stream) = rt.conns.try_push(stream) {
+                    let hint = rt.retry_hint_ms(rt.conns.depth());
+                    rt.shed(&mut stream, &ServeError::overloaded(hint), "serve.shed_queue");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn reader_loop(rt: &Runtime) {
+    let limits = HttpLimits {
+        max_header_bytes: rt.config.max_header_bytes,
+        max_body_bytes: rt.config.max_body_bytes,
+        read_budget: rt.config.read_timeout,
+    };
+    while let Some(mut stream) = rt.conns.pop_wait() {
+        let req = match http::read_request(&mut stream, &limits) {
+            Ok(req) => req,
+            Err(HttpError::Closed) => continue,
+            Err(e) => {
+                let err = match e {
+                    HttpError::Timeout => {
+                        ServeError::request_timeout(limits.read_budget.as_millis() as u64)
+                    }
+                    HttpError::HeaderTooLarge => {
+                        ServeError::header_too_large(limits.max_header_bytes)
+                    }
+                    HttpError::BodyTooLarge { got } => {
+                        ServeError::payload_too_large(got, limits.max_body_bytes)
+                    }
+                    HttpError::Malformed(why) => {
+                        ServeError::bad_request(format!("malformed request: {why}"))
+                    }
+                    HttpError::Closed | HttpError::Io(_) => continue,
+                };
+                rt.respond_error(&mut stream, &err);
+                // The request was never fully read; discard what the
+                // peer already sent so the close is a FIN, not an RST
+                // that would destroy the error response in flight.
+                http::drain_before_close(&mut stream);
+                continue;
+            }
+        };
+        rt.c.requests.fetch_add(1, Ordering::Relaxed);
+        tind_obs::counter("serve.requests").incr();
+        match router::route(&req) {
+            Err(err) => rt.respond_error(&mut stream, &err),
+            Ok(ApiCall::Healthz) => {
+                let body = healthz_body(rt);
+                rt.respond_ok(&mut stream, &body);
+            }
+            Ok(ApiCall::Metrics) => {
+                let body = tind_obs::metrics_value();
+                rt.respond_ok(&mut stream, &body);
+            }
+            Ok(call) => match rt.state() {
+                STATE_LOADING => rt.respond_error(&mut stream, &ServeError::loading()),
+                STATE_DRAINING => {
+                    tind_obs::counter("serve.draining_rejects").incr();
+                    rt.respond_error(&mut stream, &ServeError::draining());
+                }
+                _ => {
+                    let timeout = call
+                        .timeout_ms()
+                        .map_or(rt.config.default_deadline, Duration::from_millis)
+                        .min(rt.config.max_deadline);
+                    let deadline = Instant::now() + timeout;
+                    let job = Job {
+                        call,
+                        stream,
+                        token: CancelToken::new().with_deadline(deadline),
+                        deadline,
+                        received: Instant::now(),
+                    };
+                    match rt.jobs.try_push(job) {
+                        Ok(depth) => {
+                            tind_obs::gauge("serve.queue_depth").set(depth as f64);
+                        }
+                        Err(mut job) => {
+                            let hint = rt.retry_hint_ms(rt.jobs.depth());
+                            rt.shed(
+                                &mut job.stream,
+                                &ServeError::overloaded(hint),
+                                "serve.shed_queue",
+                            );
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+fn healthz_body(rt: &Runtime) -> Value {
+    let state = rt.state();
+    let status = match state {
+        STATE_LOADING => "loading",
+        STATE_SERVING => "serving",
+        _ => "draining",
+    };
+    Value::obj([
+        ("status", Value::str(status)),
+        ("ready", Value::Bool(state == STATE_SERVING)),
+        ("queue_depth", Value::num(rt.jobs.depth() as f64)),
+        ("uptime_ms", Value::num(rt.started.elapsed().as_millis() as f64)),
+    ])
+}
+
+/// Whether two queued calls may share one batch wave: same direction,
+/// bit-identical resolved parameters.
+fn compatible(engine: &Engine, a: &ApiCall, b: &ApiCall) -> bool {
+    let key = |spec: &QuerySpec| engine.resolve_params(spec.eps, spec.delta, spec.decay).1;
+    match (a, b) {
+        (ApiCall::Search(x), ApiCall::Search(y)) => key(x) == key(y),
+        (ApiCall::ReverseSearch(x), ApiCall::ReverseSearch(y)) => key(x) == key(y),
+        _ => false,
+    }
+}
+
+fn worker_loop(rt: &Runtime, slot: usize) {
+    rt.workers_live.fetch_add(1, Ordering::AcqRel);
+    while let Some(job) = rt.jobs.pop_wait() {
+        tind_obs::gauge("serve.queue_depth").set(rt.jobs.depth() as f64);
+        let Some(engine) = rt.engine.get() else {
+            // Unreachable in practice: jobs are only admitted once the
+            // engine is set. Kept total for robustness.
+            let mut job = job;
+            rt.respond_error(&mut job.stream, &ServeError::loading());
+            continue;
+        };
+
+        // Memory degradation step 2: shed whole requests when even one
+        // uncoalesced execution cannot charge its scratch.
+        let cost = engine.request_cost();
+        let mut charges = Vec::new();
+        if let Some(budget) = &rt.config.memory_budget {
+            match budget.try_charge(cost) {
+                Some(c) => charges.push(c),
+                None => {
+                    let mut job = job;
+                    let hint = rt.retry_hint_ms(rt.jobs.depth());
+                    rt.shed(
+                        &mut job.stream,
+                        &ServeError::overloaded_memory(hint),
+                        "serve.shed_memory",
+                    );
+                    continue;
+                }
+            }
+        }
+
+        // Coalesce compatible queued searches into this wave. Memory
+        // degradation step 1: each extra member must charge; when the
+        // budget runs dry the wave just stays small.
+        let mut wave = vec![job];
+        if matches!(wave[0].call, ApiCall::Search(_) | ApiCall::ReverseSearch(_)) {
+            while wave.len() < rt.config.coalesce.max(1) {
+                if let Some(budget) = &rt.config.memory_budget {
+                    match budget.try_charge(cost) {
+                        Some(c) => charges.push(c),
+                        None => break,
+                    }
+                }
+                let mut more =
+                    rt.jobs.drain_matching(|j| compatible(engine, &j.call, &wave[0].call), 1);
+                match more.pop() {
+                    Some(j) => {
+                        rt.c.coalesced.fetch_add(1, Ordering::Relaxed);
+                        tind_obs::counter("serve.coalesced_requests").incr();
+                        wave.push(j);
+                    }
+                    None => {
+                        if rt.config.memory_budget.is_some() {
+                            charges.pop();
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        execute_wave(rt, engine, slot, wave);
+        drop(charges);
+    }
+    rt.workers_live.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Executes one wave (1..=coalesce members, all compatible) and writes
+/// every member's response. Panics are quarantined here.
+fn execute_wave(rt: &Runtime, engine: &Engine, slot: usize, mut wave: Vec<Job>) {
+    rt.c.waves.fetch_add(1, Ordering::Relaxed);
+    tind_obs::counter("serve.waves").incr();
+    tind_obs::histogram("serve.wave_size").record(wave.len() as u64);
+
+    // Drop members whose deadline already passed in the queue.
+    let mut pending = Vec::with_capacity(wave.len());
+    for mut job in wave.drain(..) {
+        if job.token.is_cancelled() {
+            let reason = job.token.reason();
+            respond_cancelled(rt, &mut job, reason);
+        } else {
+            pending.push(job);
+        }
+    }
+    if pending.is_empty() {
+        return;
+    }
+
+    // One token governs the wave: its deadline is the latest member
+    // deadline, and the drain watchdog can cancel it with reason
+    // `Drain`. Work already finished is still answered normally.
+    let max_deadline =
+        pending.iter().map(|j| j.deadline).max().unwrap_or_else(|| Instant::now());
+    let wave_token = CancelToken::new().with_deadline(max_deadline);
+    *lock(&rt.active[slot]) = Some(wave_token.clone());
+
+    match &pending[0].call {
+        ApiCall::Explain(_) => {
+            // Explain never coalesces: `pending` is a single member.
+            let mut job = pending.pop().expect("nonempty wave");
+            let ApiCall::Explain(spec) = job.call.clone() else { unreachable!() };
+            run_explain(rt, engine, &mut job, &spec, &wave_token);
+        }
+        ApiCall::Search(_) | ApiCall::ReverseSearch(_) => {
+            run_search_wave(rt, engine, pending, &wave_token);
+        }
+        ApiCall::Healthz | ApiCall::Metrics => unreachable!("answered by readers"),
+    }
+
+    *lock(&rt.active[slot]) = None;
+}
+
+fn run_explain(
+    rt: &Runtime,
+    engine: &Engine,
+    job: &mut Job,
+    spec: &ExplainSpec,
+    wave_token: &CancelToken,
+) {
+    let (params, _) = engine.resolve_params(spec.eps, spec.delta, spec.decay);
+    let (lhs, rhs) = match (engine.resolve_attr(&spec.lhs), engine.resolve_attr(&spec.rhs)) {
+        (Ok(l), Ok(r)) => (l, r),
+        (Err(e), _) | (_, Err(e)) => {
+            rt.respond_error(&mut job.stream, &e);
+            return;
+        }
+    };
+    let hook = rt.config.fault_hook.clone();
+    let call = job.call.clone();
+    let dataset = engine.dataset().clone();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(hook) = &hook {
+            hook(&call);
+        }
+        let explanation = tind_core::explain::explain(
+            dataset.attribute(lhs),
+            dataset.attribute(rhs),
+            &params,
+            dataset.timeline(),
+        );
+        let rendered = explanation.render(&dataset);
+        (explanation, rendered)
+    }));
+    match result {
+        Err(_) => quarantine(rt, std::slice::from_mut(job)),
+        Ok((explanation, rendered)) => {
+            if wave_token.is_cancelled() {
+                respond_cancelled(rt, job, wave_token.reason());
+                return;
+            }
+            let body = Value::obj([
+                ("lhs", Value::str(engine.dataset.attribute(lhs).name())),
+                ("rhs", Value::str(engine.dataset.attribute(rhs).name())),
+                ("eps", Value::num(params.eps)),
+                ("delta", Value::num(f64::from(params.delta))),
+                ("valid", Value::Bool(explanation.valid)),
+                ("violation", Value::num(explanation.violation)),
+                ("violated_intervals", Value::num(explanation.violated.len() as f64)),
+                ("rendered", Value::str(rendered)),
+                ("elapsed_ms", Value::num(elapsed_ms(job))),
+            ]);
+            finish_ok(rt, job, &body);
+        }
+    }
+}
+
+fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token: &CancelToken) {
+    let reverse = matches!(wave[0].call, ApiCall::ReverseSearch(_));
+    let spec_of = |call: &ApiCall| -> QuerySpec {
+        match call {
+            ApiCall::Search(s) | ApiCall::ReverseSearch(s) => s.clone(),
+            _ => unreachable!("search wave holds only searches"),
+        }
+    };
+    let (params, _) = {
+        let head = spec_of(&wave[0].call);
+        engine.resolve_params(head.eps, head.delta, head.decay)
+    };
+
+    // Resolve every member's query attribute; unknown names answer 400
+    // and leave the wave.
+    let mut members: Vec<(Job, QuerySpec, AttrId)> = Vec::with_capacity(wave.len());
+    for mut job in wave.drain(..) {
+        let spec = spec_of(&job.call);
+        match engine.resolve_attr(&spec.query) {
+            Ok(id) => members.push((job, spec, id)),
+            Err(e) => rt.respond_error(&mut job.stream, &e),
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+
+    let ids: Vec<AttrId> = members.iter().map(|(_, _, id)| *id).collect();
+    let hook = rt.config.fault_hook.clone();
+    let calls: Vec<ApiCall> = members.iter().map(|(j, _, _)| j.call.clone()).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| -> Vec<Option<SearchOutcome>> {
+        if let Some(hook) = &hook {
+            for call in &calls {
+                hook(call);
+            }
+        }
+        if reverse {
+            // No batch entry point for reverse search; the wave still
+            // amortizes queue round-trips and shares the deadline token.
+            ids.iter()
+                .map(|&id| {
+                    if wave_token.is_cancelled() {
+                        None
+                    } else {
+                        Some(engine.reverse.reverse_search(id, &params))
+                    }
+                })
+                .collect()
+        } else {
+            engine
+                .forward
+                .search_batch_with(
+                    &ids,
+                    &params,
+                    &BatchOptions {
+                        threads: 1, // the worker itself is the unit of parallelism
+                        cancel: Some(wave_token.clone()),
+                        memory_budget: rt.config.memory_budget.clone(),
+                        ..BatchOptions::default()
+                    },
+                )
+                .outcomes
+        }
+    }));
+
+    match result {
+        Err(_) => {
+            let mut jobs: Vec<Job> = members.into_iter().map(|(j, _, _)| j).collect();
+            quarantine(rt, &mut jobs);
+        }
+        Ok(outcomes) => {
+            let direction = if reverse { "reverse" } else { "forward" };
+            for ((mut job, spec, id), outcome) in members.into_iter().zip(outcomes) {
+                match outcome {
+                    Some(outcome) => {
+                        let body =
+                            search_body(engine, &spec, id, direction, &params, &outcome, &job);
+                        finish_ok(rt, &mut job, &body);
+                    }
+                    None => respond_cancelled(rt, &mut job, wave_token.reason()),
+                }
+            }
+        }
+    }
+}
+
+/// Renders the canonical search response. Everything except
+/// `elapsed_ms` is deterministic for a given index and parameter set —
+/// the differential suite strips that one field and byte-compares.
+fn search_body(
+    engine: &Engine,
+    spec: &QuerySpec,
+    id: AttrId,
+    direction: &str,
+    params: &TindParams,
+    outcome: &SearchOutcome,
+    job: &Job,
+) -> Value {
+    let limit = spec.limit.unwrap_or(DEFAULT_LIMIT);
+    let results: Vec<Value> = outcome
+        .results
+        .iter()
+        .take(limit)
+        .map(|&r| {
+            Value::obj([
+                ("id", Value::num(f64::from(r))),
+                ("name", Value::str(engine.dataset.attribute(r).name())),
+            ])
+        })
+        .collect();
+    let s = &outcome.stats;
+    Value::obj([
+        ("query", Value::str(engine.dataset.attribute(id).name())),
+        ("direction", Value::str(direction)),
+        ("eps", Value::num(params.eps)),
+        ("delta", Value::num(f64::from(params.delta))),
+        ("result_count", Value::num(outcome.results.len() as f64)),
+        ("results", Value::Arr(results)),
+        (
+            "stats",
+            Value::obj([
+                ("initial", Value::num(s.initial as f64)),
+                ("after_required", Value::num(s.after_required as f64)),
+                ("after_slices", Value::num(s.after_slices as f64)),
+                ("after_exact", Value::num(s.after_exact as f64)),
+                ("validated", Value::num(s.validated as f64)),
+                ("slices_used", Value::Bool(s.slices_used)),
+                ("validations_run", Value::num(s.validations_run as f64)),
+                ("early_valid_exits", Value::num(s.early_valid_exits as f64)),
+                ("early_invalid_exits", Value::num(s.early_invalid_exits as f64)),
+            ]),
+        ),
+        ("elapsed_ms", Value::num(elapsed_ms(job))),
+    ])
+}
+
+fn elapsed_ms(job: &Job) -> f64 {
+    job.received.elapsed().as_secs_f64() * 1e3
+}
+
+fn finish_ok(rt: &Runtime, job: &mut Job, body: &Value) {
+    tind_obs::histogram("serve.request_latency_ns")
+        .record(job.received.elapsed().as_nanos() as u64);
+    rt.respond_ok(&mut job.stream, body);
+}
+
+/// Answers a cancelled member by the token's latched reason: drain →
+/// 503, anything else (deadline, or an interrupt that raced) → 504.
+fn respond_cancelled(rt: &Runtime, job: &mut Job, reason: Option<CancelReason>) {
+    let err = match reason {
+        Some(CancelReason::Drain) => ServeError::draining(),
+        _ => {
+            rt.c.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+            tind_obs::counter("serve.deadline_timeouts").incr();
+            ServeError::deadline_exceeded()
+        }
+    };
+    rt.respond_error(&mut job.stream, &err);
+}
+
+/// Answers every member of a panicked wave with a typed 500. The worker
+/// thread that caught the panic keeps running.
+fn quarantine(rt: &Runtime, jobs: &mut [Job]) {
+    for job in jobs {
+        rt.c.panics.fetch_add(1, Ordering::Relaxed);
+        tind_obs::counter("serve.panics").incr();
+        rt.respond_error(&mut job.stream, &ServeError::internal_panic());
+    }
+}
+
+/// Bounds how long a drain may take: past `drain_grace`, in-flight wave
+/// tokens are cancelled with reason `Drain` and still-queued jobs are
+/// shed, so the process always exits.
+fn drain_watchdog(rt: &Runtime) {
+    while rt.state() != STATE_DRAINING {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let drain_started = Instant::now();
+    while rt.workers_live.load(Ordering::Acquire) > 0 {
+        if drain_started.elapsed() >= rt.config.drain_grace {
+            rt.forced_drain.store(true, Ordering::Relaxed);
+            for slot in &rt.active {
+                if let Some(token) = lock(slot).as_ref() {
+                    token.cancel_with(CancelReason::Drain);
+                }
+            }
+            for mut job in rt.jobs.drain_all() {
+                tind_obs::counter("serve.draining_rejects").incr();
+                rt.respond_error(&mut job.stream, &ServeError::draining());
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

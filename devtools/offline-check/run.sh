@@ -47,8 +47,8 @@ shim criterion
 externs() {
     local flags=""
     for dep in bytes rand parking_lot crossbeam proptest criterion \
-        tind_obs tind_model tind_bloom tind_core tind_baseline tind_wiki \
-        tind_datagen tind_eval tind_cli tind_bench tind; do
+        tind_obs tind_model tind_bloom tind_core tind_serve tind_baseline \
+        tind_wiki tind_datagen tind_eval tind_cli tind_bench tind; do
         [ -f "$OUT/lib$dep.rlib" ] && flags="$flags --extern $dep=$OUT/lib$dep.rlib"
     done
     echo "$flags"
@@ -78,6 +78,7 @@ lib tind_obs crates/obs/src/lib.rs
 lib tind_model crates/model/src/lib.rs
 lib tind_bloom crates/bloom/src/lib.rs
 lib tind_core crates/core/src/lib.rs
+lib tind_serve crates/serve/src/lib.rs
 lib tind_baseline crates/baseline/src/lib.rs
 lib tind_wiki crates/wiki/src/lib.rs
 lib tind_datagen crates/datagen/src/lib.rs
@@ -104,6 +105,7 @@ test_bin tind_obs crates/obs/src/lib.rs
 test_bin tind_model crates/model/src/lib.rs
 test_bin tind_bloom crates/bloom/src/lib.rs
 test_bin tind_core crates/core/src/lib.rs
+test_bin tind_serve crates/serve/src/lib.rs
 test_bin tind_baseline crates/baseline/src/lib.rs
 test_bin tind_wiki crates/wiki/src/lib.rs
 test_bin tind_datagen crates/datagen/src/lib.rs
@@ -116,6 +118,11 @@ test_bin tind_cli crates/cli/src/lib.rs
 # `proptest!` blocks, so their plain #[test]s run here too.
 test_bin it_ingest_adversarial crates/wiki/tests/ingest_adversarial.rs
 test_bin it_blocked_kernels crates/bloom/tests/blocked_kernels.rs
+
+# The serve CLI tests exercise the real binary's signal path (SIGINT /
+# SIGTERM → drain → exit 130); point them at the rustc-built binary.
+export TIND_BIN="$OUT/tind"
+test_bin it_serve_cli crates/cli/tests/serve_cli.rs
 
 # Workspace integration tests (tests/proptests.rs needs real proptest).
 # sigma_partial_search_recovers_renamed_pairs asserts on how much material
@@ -163,6 +170,11 @@ if [ "$CHECK_ONLY" = 0 ]; then
         --quiet --report "$OUT/report-smoke.json" >/dev/null
     "$OUT/tind" verify "$OUT/report-smoke.json" \
         --schema devtools/report-schema.json
+
+    # Serve smoke: boot the daemon, query it, SIGINT-drain it, and verify
+    # the flushed report (see devtools/serve-smoke.sh).
+    echo "smoke tind serve (ephemeral port, SIGINT drain)"
+    devtools/serve-smoke.sh "$OUT/tind" "$OUT"
 fi
 
 echo "offline check passed"

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end smoke for `tind serve`: boot the daemon on an ephemeral
+# port, query it over raw TCP (no curl dependency — bash /dev/tcp), drain
+# it with SIGINT, assert the 130 exit code, and schema-verify the flushed
+# TINDRR report.
+#
+# Usage: devtools/serve-smoke.sh path/to/tind [scratch-dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIND="$1"
+SCRATCH="${2:-$(dirname "$TIND")}"
+DATA="$SCRATCH/serve-smoke.tind"
+PORT_FILE="$SCRATCH/serve-smoke-port.txt"
+REPORT="$SCRATCH/serve-smoke-report.json"
+rm -f "$PORT_FILE" "$REPORT"
+
+"$TIND" generate --attributes 80 --preset small --seed 7 \
+    --out "$DATA" >/dev/null
+
+"$TIND" serve --data "$DATA" --port 0 --port-file "$PORT_FILE" \
+    --report "$REPORT" --quiet &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
+
+fail() { echo "serve-smoke: $1" >&2; exit 1; }
+
+PORT=""
+for _ in $(seq 1 200); do
+    kill -0 "$PID" 2>/dev/null || fail "daemon died during startup"
+    if [ -s "$PORT_FILE" ]; then
+        PORT=$(tr -d '[:space:]' <"$PORT_FILE")
+        [ -n "$PORT" ] && break
+    fi
+    sleep 0.05
+done
+[ -n "$PORT" ] || fail "no port published within 10s"
+
+# One HTTP exchange over /dev/tcp; the server closes the connection after
+# each response, so reading to EOF captures the whole reply.
+http() { # method path body
+    local body="${3:-}"
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    printf '%s %s HTTP/1.1\r\nContent-Length: %s\r\n\r\n%s' \
+        "$1" "$2" "${#body}" "$body" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+for _ in $(seq 1 200); do
+    http GET /healthz | grep -q '"serving"' && break
+    sleep 0.05
+done
+http GET /healthz | grep -q '"serving"' || fail "daemon never reached serving"
+
+http POST /search '{"query":"source-1","limit":5}' \
+    | grep -q '"result_count"' || fail "search response malformed"
+http GET /metrics | grep -q 'serve\.' || fail "metrics missing serve.* family"
+
+kill -INT "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+trap - EXIT
+[ "$EXIT" = 130 ] || fail "expected exit 130 after SIGINT, got $EXIT"
+
+[ -s "$REPORT" ] || fail "report was not flushed on drain"
+"$TIND" verify "$REPORT" --schema devtools/report-schema.json
+
+echo "serve-smoke: passed (port $PORT, exit $EXIT, report verified)"

@@ -14,4 +14,5 @@ pub use tind_core as core;
 pub use tind_datagen as datagen;
 pub use tind_eval as eval;
 pub use tind_model as model;
+pub use tind_serve as serve;
 pub use tind_wiki as wiki;

@@ -1,0 +1,213 @@
+//! Differential oracle for the serve daemon: the concurrent server must
+//! be an *observationally pure* wrapper around the one-shot engine.
+//!
+//! Three layers of equality, strongest first:
+//!
+//! 1. serve responses are byte-identical across worker counts {1, N}
+//!    once the single wall-clock field (`elapsed_ms`) is stripped;
+//! 2. serve search responses carry exactly the results and pruning
+//!    stats of a direct `TindIndex` search on an identically-configured
+//!    index;
+//! 3. serve result counts agree with the one-shot CLI (`tind search`)
+//!    run against the same dataset file and parameters.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tind::core::{CancelToken, IndexConfig, SliceConfig, TindIndex, TindParams};
+use tind::datagen::{generate, GeneratorConfig};
+use tind::model::{Dataset, WeightFn};
+use tind::obs::json;
+use tind::serve::{Engine, ServeConfig, Server};
+
+const EPS: f64 = 3.0;
+const DELTA: u32 = 7;
+
+fn world() -> Arc<Dataset> {
+    Arc::new(generate(&GeneratorConfig::small(90, 23)).dataset)
+}
+
+/// Sends one HTTP request, returns `(status, body)`.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!("{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).expect("write");
+    stream.write_all(body.as_bytes()).expect("write body");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status = raw.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status");
+    (status, raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+}
+
+/// Drops the one wall-clock field, keeping everything else byte-exact.
+fn strip_elapsed(body: &str) -> String {
+    match json::parse(body).expect("serve responses are valid JSON") {
+        json::Value::Obj(fields) => {
+            json::Value::Obj(fields.into_iter().filter(|(k, _)| k != "elapsed_ms").collect())
+                .to_json()
+        }
+        other => other.to_json(),
+    }
+}
+
+/// The fixed probe workload: forward + reverse searches over several
+/// attributes (with parameter overrides exercised), plus explains.
+fn workload() -> Vec<(&'static str, String)> {
+    let mut calls = Vec::new();
+    for q in ["source-1", "source-2", "source-3", "source-4", "source-5"] {
+        calls.push(("/search", format!("{{\"query\":\"{q}\",\"limit\":50}}")));
+        calls.push(("/reverse-search", format!("{{\"query\":\"{q}\",\"limit\":50}}")));
+    }
+    calls.push(("/search", "{\"query\":\"source-1\",\"eps\":1.5,\"delta\":3,\"limit\":50}".into()));
+    calls.push(("/explain", "{\"lhs\":\"source-1\",\"rhs\":\"source-2\"}".into()));
+    calls.push(("/explain", "{\"lhs\":\"source-3\",\"rhs\":\"source-1\",\"eps\":9}".into()));
+    calls
+}
+
+/// Runs the workload against a fresh server with `workers` executor
+/// threads and returns the elapsed-stripped response bodies in order.
+fn serve_workload(dataset: Arc<Dataset>, workers: usize) -> Vec<String> {
+    let config = ServeConfig { workers, ..ServeConfig::default() };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = CancelToken::new();
+    let handle = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            server.run(move || Ok(Engine::build(dataset, EPS, DELTA, None, 0)), shutdown)
+        })
+    };
+    let ready = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        if status == 200 && body.contains("\"serving\"") {
+            break;
+        }
+        assert!(Instant::now() < ready, "server never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut responses = Vec::new();
+    for (path, body) in workload() {
+        let (status, response) = request(addr, "POST", path, &body);
+        assert_eq!(status, 200, "{path} {body} → {response}");
+        responses.push(strip_elapsed(&response));
+    }
+    shutdown.cancel();
+    handle.join().expect("server thread").expect("outcome");
+    responses
+}
+
+#[test]
+fn responses_are_byte_identical_across_worker_counts() {
+    let dataset = world();
+    let single = serve_workload(dataset.clone(), 1);
+    let multi = serve_workload(dataset, 4);
+    assert_eq!(single.len(), multi.len());
+    for (i, (a, b)) in single.iter().zip(&multi).enumerate() {
+        assert_eq!(a, b, "workload item {i} diverged between workers=1 and workers=4");
+    }
+}
+
+#[test]
+fn serve_search_matches_a_direct_index_search_exactly() {
+    let dataset = world();
+    let responses = serve_workload(dataset.clone(), 2);
+
+    // The oracle: an index configured exactly as Engine::build configures
+    // its forward index, queried directly.
+    let params = TindParams::weighted(EPS, DELTA, WeightFn::constant_one());
+    let config = IndexConfig {
+        slices: SliceConfig::search_default(EPS, WeightFn::constant_one(), DELTA),
+        ..IndexConfig::default()
+    };
+    let index = TindIndex::build(dataset.clone(), config);
+
+    for (response, (path, body)) in responses.iter().zip(workload()) {
+        if path != "/search" || body.contains("\"eps\"") {
+            continue;
+        }
+        let parsed = json::parse(response).expect("json");
+        let name = parsed.get("query").and_then(|v| v.as_str()).expect("query").to_string();
+        let (qid, _) = dataset.attribute_by_name(&name).expect("known attribute");
+        let outcome = index.search(qid, &params);
+
+        let served: Vec<String> = parsed
+            .get("results")
+            .and_then(|v| v.as_arr())
+            .expect("results")
+            .iter()
+            .map(|r| r.get("name").and_then(|v| v.as_str()).expect("name").to_string())
+            .collect();
+        let direct: Vec<String> =
+            outcome.results.iter().map(|&id| dataset.attribute(id).name().to_string()).collect();
+        assert_eq!(served, direct, "result set diverged for '{name}'");
+        assert_eq!(
+            parsed.get("result_count").and_then(|v| v.as_f64()),
+            Some(outcome.results.len() as f64)
+        );
+
+        let stats = parsed.get("stats").expect("stats");
+        let expected: &[(&str, f64)] = &[
+            ("initial", outcome.stats.initial as f64),
+            ("after_required", outcome.stats.after_required as f64),
+            ("after_slices", outcome.stats.after_slices as f64),
+            ("after_exact", outcome.stats.after_exact as f64),
+            ("validated", outcome.stats.validated as f64),
+            ("validations_run", outcome.stats.validations_run as f64),
+            ("early_valid_exits", outcome.stats.early_valid_exits as f64),
+            ("early_invalid_exits", outcome.stats.early_invalid_exits as f64),
+        ];
+        for &(field, want) in expected {
+            assert_eq!(
+                stats.get(field).and_then(|v| v.as_f64()),
+                Some(want),
+                "stat '{field}' diverged for '{name}'"
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_agrees_with_the_one_shot_cli() {
+    let dataset = world();
+    let dir = std::env::temp_dir().join("tind-serve-differential");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let data = dir.join("world.tind");
+    tind::model::binio::write_dataset_file(&dataset, &data).expect("write dataset");
+    let data_str = data.to_str().expect("utf8 path");
+
+    let responses = serve_workload(dataset.clone(), 2);
+    for (response, (path, body)) in responses.iter().zip(workload()) {
+        if path == "/explain" || body.contains("\"eps\"") {
+            continue;
+        }
+        let parsed = json::parse(response).expect("json");
+        let name = parsed.get("query").and_then(|v| v.as_str()).expect("query").to_string();
+        let count = parsed.get("result_count").and_then(|v| v.as_f64()).expect("count") as usize;
+
+        let verb = if path == "/search" { "search" } else { "reverse-search" };
+        let cli = tind_cli::dispatch(&[
+            verb.to_string(),
+            "--data".into(),
+            data_str.into(),
+            "--query".into(),
+            name.clone(),
+            "--limit".into(),
+            "50".into(),
+        ])
+        .expect("cli run");
+        let first = cli.lines().next().expect("cli output");
+        assert!(
+            first.starts_with(&format!("{count} results for '{name}'")),
+            "CLI disagreed for {verb} '{name}': serve={count}, cli line: {first}"
+        );
+        // Every served result name appears in the CLI listing.
+        for r in parsed.get("results").and_then(|v| v.as_arr()).expect("results") {
+            let rname = r.get("name").and_then(|v| v.as_str()).expect("name");
+            assert!(cli.contains(rname), "result '{rname}' missing from CLI output");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Fault-injection suite for the `tind-serve` daemon.
+//!
+//! Every test drives a real in-process server over real TCP sockets and
+//! asserts the *contract* of the failure model: hostile or unlucky input
+//! always produces a typed JSON error with the documented status, no
+//! worker thread ever dies, and a drain always terminates.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tind_core::CancelToken;
+use tind_datagen::{generate, GeneratorConfig};
+use tind_model::MemoryBudget;
+use tind_serve::{ApiCall, Engine, ServeConfig, ServeOutcome, Server};
+
+fn engine() -> Engine {
+    let generated = generate(&GeneratorConfig::small(60, 11));
+    Engine::build(Arc::new(generated.dataset), 3.0, 7, None, 0)
+}
+
+/// A running server plus the handles needed to stop it and inspect the
+/// outcome.
+struct Harness {
+    addr: std::net::SocketAddr,
+    shutdown: CancelToken,
+    handle: std::thread::JoinHandle<Result<ServeOutcome, String>>,
+}
+
+impl Harness {
+    fn start(config: ServeConfig) -> Harness {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral");
+        let addr = server.local_addr();
+        let shutdown = CancelToken::new();
+        let handle = {
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || server.run(|| Ok(engine()), shutdown))
+        };
+        let h = Harness { addr, shutdown, handle };
+        h.wait_ready();
+        h
+    }
+
+    fn wait_ready(&self) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (status, body) = request(self.addr, "GET", "/healthz", "");
+            if status == 200 && body.contains("\"serving\"") {
+                return;
+            }
+            assert!(Instant::now() < deadline, "server never became ready");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn stop(self) -> ServeOutcome {
+        self.shutdown.cancel();
+        self.handle.join().expect("server thread").expect("serve outcome")
+    }
+}
+
+/// Sends one HTTP request and returns `(status, body)`.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!("{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn tight_timeouts() -> ServeConfig {
+    ServeConfig {
+        read_timeout: Duration::from_millis(200),
+        max_body_bytes: 2048,
+        max_header_bytes: 1024,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn slow_loris_is_cut_off_with_408() {
+    let h = Harness::start(tight_timeouts());
+    let mut stream = TcpStream::connect(h.addr).expect("connect");
+    // Dribble a valid prefix and stall past the read budget.
+    stream.write_all(b"POST /sea").expect("write");
+    let (status, body) = read_response(&mut stream);
+    assert_eq!(status, 408, "{body}");
+    assert!(body.contains("\"request_timeout\""), "{body}");
+    // The reader that handled the loris still serves the next client.
+    let (status, _) = request(h.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    h.stop();
+}
+
+#[test]
+fn oversized_declared_body_is_413_before_transfer() {
+    let h = Harness::start(tight_timeouts());
+    let mut stream = TcpStream::connect(h.addr).expect("connect");
+    // Declared length is over the cap; no body byte is ever sent.
+    stream
+        .write_all(b"POST /search HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+        .expect("write");
+    let (status, body) = read_response(&mut stream);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"payload_too_large\""), "{body}");
+    h.stop();
+}
+
+#[test]
+fn oversized_head_is_431() {
+    let h = Harness::start(tight_timeouts());
+    let mut stream = TcpStream::connect(h.addr).expect("connect");
+    let padded = format!("GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(4096));
+    stream.write_all(padded.as_bytes()).expect("write");
+    let (status, body) = read_response(&mut stream);
+    assert_eq!(status, 431, "{body}");
+    h.stop();
+}
+
+#[test]
+fn malformed_inputs_are_typed_400s_404s_405s() {
+    let h = Harness::start(ServeConfig::default());
+    for (method, path, body, want) in [
+        ("POST", "/search", "{not json", 400),
+        ("POST", "/search", "[1,2,3]", 400),
+        ("POST", "/search", "{\"query\":\"source-1\",\"epd\":1}", 400),
+        ("POST", "/search", "{\"delta\":7}", 400),
+        ("POST", "/search", "{\"query\":\"no-such-attribute\"}", 400),
+        ("POST", "/explain", "{\"lhs\":\"source-1\"}", 400),
+        ("GET", "/nope", "", 404),
+        ("DELETE", "/search", "", 405),
+    ] {
+        let (status, response) = request(h.addr, method, path, body);
+        assert_eq!(status, want, "{method} {path} {body} → {response}");
+        assert!(response.contains("\"error\""), "{response}");
+    }
+    let outcome = h.stop();
+    assert_eq!(outcome.panics, 0);
+}
+
+#[test]
+fn queue_full_burst_sheds_with_429_and_retry_hint() {
+    // One worker, minimal queue, and every executed call stalls briefly:
+    // a concurrent burst must overflow admission and shed typed 429s.
+    let config = ServeConfig {
+        workers: 1,
+        readers: 2,
+        queue_capacity: 1,
+        coalesce: 1,
+        fault_hook: Some(Arc::new(|_call: &ApiCall| {
+            std::thread::sleep(Duration::from_millis(150));
+        })),
+        ..ServeConfig::default()
+    };
+    let h = Harness::start(config);
+    let addr = h.addr;
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                request(addr, "POST", "/search", "{\"query\":\"source-1\"}")
+            })
+        })
+        .collect();
+    let mut statuses: Vec<u16> = Vec::new();
+    let mut saw_retry_hint = false;
+    for c in clients {
+        let (status, body) = c.join().expect("client");
+        if status == 429 {
+            assert!(body.contains("\"overloaded\""), "{body}");
+            saw_retry_hint |= body.contains("\"retry_after_ms\"");
+        }
+        statuses.push(status);
+    }
+    assert!(statuses.iter().any(|&s| s == 429), "burst never shed: {statuses:?}");
+    assert!(statuses.iter().any(|&s| s == 200), "burst all shed: {statuses:?}");
+    assert!(saw_retry_hint, "429 bodies must carry retry_after_ms");
+    // Every shed was load, not damage: the daemon still serves.
+    let (status, _) = request(addr, "POST", "/search", "{\"query\":\"source-1\"}");
+    assert_eq!(status, 200);
+    let outcome = h.stop();
+    assert_eq!(outcome.panics, 0, "no worker died during the burst");
+    assert!(outcome.shed > 0);
+}
+
+#[test]
+fn expired_deadline_in_queue_is_a_typed_504() {
+    // The single worker stalls on the first request; the second carries a
+    // 10 ms deadline and expires while queued, so the pre-execution check
+    // answers it 504 deterministically.
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        coalesce: 1,
+        fault_hook: Some(Arc::new(|_call: &ApiCall| {
+            std::thread::sleep(Duration::from_millis(300));
+        })),
+        ..ServeConfig::default()
+    };
+    let h = Harness::start(config);
+    let addr = h.addr;
+    let staller = std::thread::spawn(move || {
+        request(addr, "POST", "/search", "{\"query\":\"source-1\"}")
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let (status, body) =
+        request(addr, "POST", "/search", "{\"query\":\"source-2\",\"timeout_ms\":10}");
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("\"deadline_exceeded\""), "{body}");
+    let (status, _) = staller.join().expect("staller");
+    assert_eq!(status, 200, "the stalled request itself still completes");
+    let outcome = h.stop();
+    assert!(outcome.deadline_timeouts >= 1);
+}
+
+#[test]
+fn panicking_request_is_quarantined_and_the_worker_survives() {
+    let trip = Arc::new(AtomicBool::new(true));
+    let config = ServeConfig {
+        workers: 1,
+        fault_hook: Some(Arc::new({
+            let trip = Arc::clone(&trip);
+            move |_call: &ApiCall| {
+                if trip.swap(false, Ordering::SeqCst) {
+                    panic!("injected query panic");
+                }
+            }
+        })),
+        ..ServeConfig::default()
+    };
+    let h = Harness::start(config);
+    let (status, body) = request(h.addr, "POST", "/search", "{\"query\":\"source-1\"}");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("\"internal_panic\""), "{body}");
+    // Same worker (there is only one), next request: business as usual.
+    let (status, body) = request(h.addr, "POST", "/search", "{\"query\":\"source-1\"}");
+    assert_eq!(status, 200, "{body}");
+    let outcome = h.stop();
+    assert_eq!(outcome.panics, 1);
+    assert_eq!(outcome.drained_clean, true);
+}
+
+#[test]
+fn memory_pressure_sheds_with_typed_503() {
+    // A ~60-attribute engine charges len*64+4096 ≈ 8 KiB per request; a
+    // 1-byte budget can never cover it, so every query sheds.
+    let config = ServeConfig {
+        memory_budget: Some(MemoryBudget::new(1)),
+        ..ServeConfig::default()
+    };
+    let h = Harness::start(config);
+    let (status, body) = request(h.addr, "POST", "/search", "{\"query\":\"source-1\"}");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"overloaded_memory\""), "{body}");
+    assert!(body.contains("\"retry_after_ms\""), "{body}");
+    // Health endpoints don't charge the budget and still answer.
+    let (status, _) = request(h.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let outcome = h.stop();
+    assert!(outcome.shed >= 1);
+}
+
+#[test]
+fn drain_cancels_stuck_work_after_the_grace_period() {
+    // The worker stalls far past the drain grace; the watchdog must
+    // cancel the in-flight wave with reason `Drain` (503) and the server
+    // must still terminate, reporting the forced drain.
+    let config = ServeConfig {
+        workers: 1,
+        drain_grace: Duration::from_millis(100),
+        fault_hook: Some(Arc::new(|_call: &ApiCall| {
+            std::thread::sleep(Duration::from_millis(600));
+        })),
+        ..ServeConfig::default()
+    };
+    let h = Harness::start(config);
+    let addr = h.addr;
+    let inflight = std::thread::spawn(move || {
+        request(addr, "POST", "/search", "{\"query\":\"source-1\",\"timeout_ms\":30000}")
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let outcome = h.stop();
+    let (status, body) = inflight.join().expect("in-flight client");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"draining\""), "{body}");
+    assert_eq!(outcome.drained_clean, false, "grace expiry must be reported");
+}
+
+#[test]
+fn idle_drain_is_clean_and_new_requests_get_draining_503() {
+    let h = Harness::start(ServeConfig::default());
+    let (status, _) = request(h.addr, "POST", "/search", "{\"query\":\"source-1\"}");
+    assert_eq!(status, 200);
+    let outcome = h.stop();
+    assert!(outcome.drained_clean);
+    assert_eq!(outcome.requests, outcome.ok + outcome.errors);
+}
+
+#[test]
+fn healthz_reports_loading_before_the_engine_is_up() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = CancelToken::new();
+    let handle = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            server.run(
+                || {
+                    std::thread::sleep(Duration::from_millis(400));
+                    Ok(engine())
+                },
+                shutdown,
+            )
+        })
+    };
+    // While the loader sleeps: liveness yes, readiness no, queries 503.
+    std::thread::sleep(Duration::from_millis(50));
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"loading\""), "{body}");
+    assert!(body.contains("\"ready\":false"), "{body}");
+    let (status, body) = request(addr, "POST", "/search", "{\"query\":\"source-1\"}");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"loading\""), "{body}");
+    // After loading completes the same request succeeds.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, _) = request(addr, "POST", "/search", "{\"query\":\"source-1\"}");
+        if status == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    shutdown.cancel();
+    handle.join().expect("thread").expect("outcome");
+}
+
+#[test]
+fn failed_load_tears_the_server_down_with_the_error() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let shutdown = CancelToken::new();
+    let err = server
+        .run(|| Err("dataset error: file vanished".to_string()), shutdown)
+        .expect_err("load failure must surface");
+    assert!(err.contains("file vanished"));
+}
+
+#[test]
+fn metrics_endpoint_exposes_serve_families() {
+    let h = Harness::start(ServeConfig::default());
+    let (status, _) = request(h.addr, "POST", "/search", "{\"query\":\"source-1\"}");
+    assert_eq!(status, 200);
+    let (status, body) = request(h.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for family in ["serve.connections", "serve.requests", "serve.responses_ok"] {
+        assert!(body.contains(family), "metrics missing {family}: {body}");
+    }
+    h.stop();
+}
