@@ -159,6 +159,25 @@ impl BloomColumnStrip {
     pub fn heap_bytes(&self) -> usize {
         self.words.len() * std::mem::size_of::<u64>()
     }
+
+    /// Reconstitutes a strip from raw row words (one `u64` of column lanes
+    /// per row), the inverse of [`BloomColumnStrip::words`]. Used by the
+    /// sharded index store, which persists strips as plain word arrays.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`, `k_hashes == 0`, or `words.len() != m`.
+    pub fn from_words(m: u32, k_hashes: u32, words: Vec<u64>) -> Self {
+        assert!(m > 0, "strip needs at least one row");
+        assert!(k_hashes > 0, "need at least one hash probe");
+        assert_eq!(words.len(), m as usize, "one word of lanes per row");
+        BloomColumnStrip { m, k_hashes, words }
+    }
+
+    /// The strip's raw row words: element `r` holds the 64 column lanes of
+    /// row `r`.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 impl BloomMatrix {
@@ -339,6 +358,22 @@ impl BloomMatrix {
     /// paper's memory-tradeoff discussion (Section 4.2.2).
     pub fn heap_bytes(&self) -> usize {
         self.rows.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Extracts word-block `block` (columns `64·block .. 64·block + 64`) as
+    /// a standalone strip — the exact inverse of
+    /// [`BloomMatrixBuilder::merge_strip`], so
+    /// `merge_strip(b, &extract_strip(b))` on an all-zero builder
+    /// reproduces the block bit-for-bit. The sharded index store uses this
+    /// to slice a built matrix into per-shard payloads.
+    ///
+    /// # Panics
+    /// Panics if `block` is past the matrix's word width.
+    pub fn extract_strip(&self, block: usize) -> BloomColumnStrip {
+        assert!(block < self.words_per_row, "block {block} out of range");
+        let words =
+            (0..self.m as usize).map(|row| self.rows[row * self.words_per_row + block]).collect();
+        BloomColumnStrip { m: self.m, k_hashes: self.k_hashes, words }
     }
 
     /// Serializes the matrix (for index persistence).
@@ -598,6 +633,30 @@ mod tests {
             assert!(m.column_filter(col).count_ones() > 0, "column {col} populated");
         }
         assert_eq!(cands.count_ones(), 64, "exactly the 64 empty columns survive");
+    }
+
+    #[test]
+    fn extract_strip_inverts_merge_strip() {
+        // 150 columns: two full blocks plus a ragged 22-lane block.
+        let (m, n, k) = (512u32, 150usize, 2u32);
+        let mut b = BloomMatrixBuilder::new(m, n, k);
+        for col in 0..n {
+            b.insert_column(col, &strip_test_values(col));
+        }
+        let original = b.build();
+        let mut rebuilt = BloomMatrixBuilder::new(m, n, k);
+        for block in 0..n.div_ceil(64) {
+            rebuilt.merge_strip(block, &original.extract_strip(block));
+        }
+        let rebuilt = rebuilt.build();
+        let (mut a, mut c) = (bytes::BytesMut::new(), bytes::BytesMut::new());
+        original.encode(&mut a);
+        rebuilt.encode(&mut c);
+        assert_eq!(a, c, "extract → merge must reproduce the matrix bit-for-bit");
+        // from_words(words().to_vec()) is the identity on strips.
+        let strip = original.extract_strip(1);
+        let copy = BloomColumnStrip::from_words(m, k, strip.words().to_vec());
+        assert_eq!(strip.words(), copy.words());
     }
 
     #[test]

@@ -7,8 +7,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tind_core::{
-    discover_all_pairs, AllPairsError, AllPairsOptions, BatchOptions, BuildOptions, CancelToken,
-    Checkpoint, CheckpointPolicy, IndexConfig, SliceConfig, TindIndex, TindParams,
+    discover_all_pairs, open_store, pack_store, repair_store, verify_store, AllPairsError,
+    AllPairsOptions, BatchOptions, BuildOptions, CancelToken, Checkpoint, CheckpointPolicy,
+    IndexConfig, PackOptions, RepairOptions, SliceConfig, StoreError, TindIndex, TindParams,
 };
 use tind_datagen::{generate, GeneratorConfig};
 use tind_eval::{ExpContext, Scale};
@@ -110,19 +111,27 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         "generate" => vec!["attributes", "seed", "preset", "out", "truth-out"],
         "stats" => vec!["data"],
         "search" => {
-            vec!["data", "query", "limit", "index", "batch", "threads", "build-threads", "report"]
+            vec![
+                "data", "query", "limit", "index", "store", "batch", "threads", "build-threads",
+                "report",
+            ]
         }
-        "reverse-search" => vec!["data", "query", "limit", "index", "build-threads", "report"],
+        "reverse-search" => {
+            vec!["data", "query", "limit", "index", "store", "build-threads", "report"]
+        }
         "partial-search" => vec!["data", "query", "sigma", "limit"],
         "top-k" => vec!["data", "query", "k", "index", "build-threads"],
         "explain" => vec!["data", "lhs", "rhs"],
         "index" => vec!["data", "out", "m", "reverse", "build-threads", "report"],
         "explore" => vec!["data", "index", "build-threads"],
         "serve" => vec![
-            "data", "host", "port", "port-file", "workers", "readers", "queue", "coalesce",
-            "deadline-ms", "max-deadline-ms", "read-timeout-ms", "write-timeout-ms",
-            "max-body-bytes", "memory-limit", "drain-grace-ms", "build-threads", "report",
-            "quiet",
+            "data", "store", "host", "port", "port-file", "workers", "readers", "queue",
+            "coalesce", "deadline-ms", "max-deadline-ms", "read-timeout-ms", "write-timeout-ms",
+            "max-body-bytes", "memory-limit", "drain-grace-ms", "reverify-ms", "build-threads",
+            "report", "quiet",
+        ],
+        "store" => vec![
+            "data", "index", "out", "store", "shards", "m", "reverse", "build-threads", "report",
         ],
         "all-pairs" => vec![
             "data", "threads", "checkpoint", "checkpoint-every", "deadline", "memory-limit",
@@ -149,6 +158,7 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             | "index"
             | "all-pairs"
             | "serve"
+            | "store"
     ) {
         allowed.extend_from_slice(PARAMS);
     }
@@ -200,6 +210,7 @@ fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
         "index" => cmd_index(args),
         "explore" => cmd_explore(args),
         "serve" => cmd_serve(args),
+        "store" => cmd_store(args),
         "all-pairs" => cmd_all_pairs(args),
         "verify" => cmd_verify(args),
         "pipeline" => cmd_pipeline(args),
@@ -286,23 +297,57 @@ fn build_options(args: &Args) -> Result<BuildOptions, CliError> {
     Ok(BuildOptions { threads: args.opt_or("build-threads", 0usize)?, ..BuildOptions::default() })
 }
 
+/// Maps a store failure onto the CLI's exit-code taxonomy: container
+/// corruption is data (3), filesystem trouble is I/O (4), everything
+/// else (quarantined shards, fingerprint drift) is a plain message (1).
+fn store_error(e: StoreError) -> CliError {
+    match e {
+        StoreError::Bin(b) => CliError::Data(b),
+        StoreError::Io(io) => CliError::Io(io),
+        other => CliError::Message(format!("store error: {other}")),
+    }
+}
+
 /// Builds the index for ad-hoc queries, or loads a persisted one when
-/// `--index FILE` is given (the file's fingerprint must match the data).
+/// `--index FILE` or `--store DIR` is given (the fingerprint must match
+/// the data either way). A degraded store open succeeds with a warning:
+/// searches over live attributes stay exact, masked ones are excluded.
 fn obtain_index(
     args: &Args,
     dataset: &Arc<Dataset>,
     config: IndexConfig,
 ) -> Result<(TindIndex, std::time::Duration), CliError> {
     let _phase = tind_obs::span("phase.index_build");
-    let obtained = match args.opt::<String>("index")? {
-        Some(path) => {
+    if args.opt::<String>("index")?.is_some() && args.opt::<String>("store")?.is_some() {
+        return Err(CliError::Args(ArgError::Conflict { a: "index", b: "store" }));
+    }
+    let obtained = match (args.opt::<String>("index")?, args.opt::<String>("store")?) {
+        (Some(path), _) => {
             let path: PathBuf = path.into();
             Ok(tind_eval::stats::time_it(|| {
                 tind_core::persist::read_index_file(&path, dataset.clone())
             }))
             .and_then(|(res, d)| res.map(|i| (i, d)).map_err(CliError::Data))
         }
-        None => {
+        (None, Some(dir)) => {
+            let dir: PathBuf = dir.into();
+            let (res, d) = tind_eval::stats::time_it(|| open_store(&dir, dataset.clone()));
+            let (index, report) = res.map_err(store_error)?;
+            if !report.is_clean() {
+                eprintln!(
+                    "warning: store at {} is degraded ({} of {} shards quarantined); \
+                     masked attributes are excluded from results",
+                    dir.display(),
+                    report.quarantined.len(),
+                    report.shards_total
+                );
+                for fault in &report.quarantined {
+                    eprintln!("  {fault}");
+                }
+            }
+            Ok((index, d))
+        }
+        (None, None) => {
             let options = build_options(args)?;
             Ok(tind_eval::stats::time_it(|| {
                 TindIndex::build_with(dataset.clone(), config, &options)
@@ -358,6 +403,20 @@ fn record_index_gauges(index: &TindIndex) {
         .set(live_fraction_sum / slices.len() as f64);
 }
 
+/// A query over an attribute whose index columns live in a quarantined
+/// store shard would silently come back empty; refuse it with a pointer
+/// at `tind store repair` instead.
+fn reject_masked_query(index: &TindIndex, dataset: &Dataset, id: AttrId) -> Result<(), CliError> {
+    if index.is_masked(id) {
+        return Err(CliError::Message(format!(
+            "query attribute '{}' is covered by a quarantined store shard; \
+             run `tind store repair` to restore it",
+            dataset.attribute(id).name()
+        )));
+    }
+    Ok(())
+}
+
 /// Parses the `--batch` value: comma-separated attribute names or ids.
 fn parse_batch(spec: &str, dataset: &Dataset) -> Result<Vec<AttrId>, CliError> {
     let queries: Vec<AttrId> = spec
@@ -398,9 +457,15 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         }
     };
     let (index, build) = obtain_index(args, &dataset, config)?;
+    if let Some(id) = query {
+        reject_masked_query(&index, &dataset, id)?;
+    }
 
     if let Some(spec) = batch {
         let queries = parse_batch(&spec, &dataset)?;
+        for &qid in &queries {
+            reject_masked_query(&index, &dataset, qid)?;
+        }
         let options =
             BatchOptions { threads: args.opt_or("threads", 0usize)?, ..BatchOptions::default() };
         let phase = tind_obs::span("phase.search");
@@ -668,6 +733,9 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
         Some(p) => p.clone().into(),
         None => args.required::<String>("file")?.into(),
     };
+    if path.is_dir() {
+        return verify_store_dir(&path);
+    }
     let raw = std::fs::read(&path)?;
     let size = raw.len();
     let bytes = bytes::Bytes::from(raw);
@@ -726,6 +794,20 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
             q.revisions_dropped + q.revisions_kept,
             q.source_fingerprint,
         )
+    } else if kind == &tind_core::store::MANIFEST_MAGIC[..7] {
+        // A bare manifest: streaming CRC check pins the failing byte
+        // offset; shard digests need the whole directory.
+        let payload = tind_model::checksum::stream_verify_file(&path)?;
+        format!(
+            "store manifest: container intact ({payload} payload bytes); \
+             run `tind store verify` on its directory to check shard digests"
+        )
+    } else if kind == &tind_core::store::SHARD_MAGIC[..7] {
+        let payload = tind_model::checksum::stream_verify_file(&path)?;
+        format!(
+            "store shard: container intact ({payload} payload bytes); \
+             run `tind store verify` on its directory to check it against the manifest"
+        )
     } else if kind == &tind_wiki::ingest::INGEST_CHECKPOINT_MAGIC[..7] {
         let cp = tind_wiki::IngestCheckpoint::decode(bytes)?;
         // The embedded dataset blob is opaque to checkpoint decoding;
@@ -743,11 +825,40 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
     } else {
         return Err(CliError::Data(BinIoError::Corrupt(
             "unrecognized file type (not a tind dataset, index, checkpoint, \
-             ingest checkpoint, or quarantine report)"
+             ingest checkpoint, quarantine report, or store artifact)"
                 .into(),
         )));
     };
     Ok(format!("OK {} ({size} bytes)\n{detail}\n", path.display()))
+}
+
+/// `tind verify DIR` / `tind store verify` on a sharded store: checks
+/// the manifest CRC, every shard's size, digest and header bindings,
+/// and reports each fault with the shard id and expected/actual CRC.
+fn verify_store_dir(dir: &std::path::Path) -> Result<String, CliError> {
+    let report = verify_store(dir).map_err(store_error)?;
+    if report.faults.is_empty() {
+        return Ok(format!(
+            "OK {} (store)\nstore: generation {}, {} shard(s) verified, \
+             dataset fingerprint {:#018x}\n",
+            dir.display(),
+            report.generation,
+            report.shards_total,
+            report.fingerprint,
+        ));
+    }
+    let mut msg = format!(
+        "store at {}: {} of {} shard(s) faulty (generation {})\n",
+        dir.display(),
+        report.faults.len(),
+        report.shards_total,
+        report.generation,
+    );
+    for fault in &report.faults {
+        let _ = writeln!(msg, "  {fault}");
+    }
+    msg.push_str("run `tind store repair --store DIR --data FILE` to rebuild the lost shards");
+    Err(CliError::Message(msg))
 }
 
 /// Looks up a gauge value in a report payload's `metrics.gauges` section.
@@ -952,6 +1063,133 @@ fn cmd_index(args: &Args) -> Result<String, CliError> {
         tind_eval::report::fmt_duration(build),
         out.display(),
         index.diagnostics(),
+    ))
+}
+
+/// `tind store <pack|verify|repair>` — manage a crash-safe sharded
+/// index store directory ([`tind_core::store`]).
+fn cmd_store(args: &Args) -> Result<String, CliError> {
+    let verb = args.positional().first().map(String::as_str).unwrap_or("");
+    match verb {
+        "pack" => cmd_store_pack(args),
+        "verify" => verify_store_dir(&store_dir(args)?),
+        "repair" => cmd_store_repair(args),
+        "" => Err(CliError::Message(
+            "store requires a verb: tind store <pack|verify|repair>".into(),
+        )),
+        other => Err(CliError::Message(format!(
+            "unknown store verb '{other}' (expected pack, verify, or repair)"
+        ))),
+    }
+}
+
+/// The store directory: `--store DIR`, or the positional after the verb.
+fn store_dir(args: &Args) -> Result<PathBuf, CliError> {
+    if let Some(dir) = args.opt::<String>("store")? {
+        return Ok(dir.into());
+    }
+    match args.positional().get(1) {
+        Some(dir) => Ok(dir.clone().into()),
+        None => Err(CliError::Message(
+            "store directory required (--store DIR or a positional argument)".into(),
+        )),
+    }
+}
+
+/// `tind store pack`: build (or load via `--index`) an index and commit
+/// it into `--out DIR` as an atomically-written sharded store.
+fn cmd_store_pack(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let out: PathBuf = match args.opt::<String>("out")? {
+        Some(dir) => dir.into(),
+        None => store_dir(args)?,
+    };
+    let m = args.opt_or("m", 4096u32)?;
+    let eps = args.opt_or("eps", 3.0f64)?;
+    let delta = args.opt_or("delta", 7u32)?;
+    let reverse = args.opt_or("reverse", false)?;
+    let config = if reverse {
+        IndexConfig {
+            m,
+            slices: SliceConfig::reverse_default(eps, tind_model::WeightFn::constant_one(), delta),
+            build_reverse: true,
+            ..IndexConfig::reverse_default()
+        }
+    } else {
+        IndexConfig {
+            m,
+            slices: SliceConfig::search_default(eps, tind_model::WeightFn::constant_one(), delta),
+            ..IndexConfig::default()
+        }
+    };
+    // `--store` names the pack *target* here, so bypass `obtain_index`
+    // (which treats it as a load source): `--index FILE` loads a
+    // monolithic index to re-shard, otherwise build fresh.
+    let (index, build) = {
+        let _phase = tind_obs::span("phase.index_build");
+        match args.opt::<String>("index")? {
+            Some(path) => {
+                let path: PathBuf = path.into();
+                let (res, d) = tind_eval::stats::time_it(|| {
+                    tind_core::persist::read_index_file(&path, dataset.clone())
+                });
+                (res.map_err(CliError::Data)?, d)
+            }
+            None => {
+                let options = build_options(args)?;
+                tind_eval::stats::time_it(|| TindIndex::build_with(dataset.clone(), config, &options))
+            }
+        }
+    };
+    record_index_gauges(&index);
+    let _phase = tind_obs::span("phase.store_pack");
+    let shards = args.opt_or("shards", 0usize)?;
+    let options = PackOptions { shards, ..PackOptions::default() };
+    let (res, took) = tind_eval::stats::time_it(|| pack_store(&index, &out, &options));
+    let report = res.map_err(store_error)?;
+    Ok(format!(
+        "packed generation {} into {} — {} shard(s), {} bytes, in {} (index build {}){}\n",
+        report.generation,
+        out.display(),
+        report.shards,
+        report.bytes_written,
+        tind_eval::report::fmt_duration(took),
+        tind_eval::report::fmt_duration(build),
+        if report.swept_temps + report.swept_stale > 0 {
+            format!(
+                "; swept {} orphan temp(s) and {} stale file(s)",
+                report.swept_temps, report.swept_stale
+            )
+        } else {
+            String::new()
+        },
+    ))
+}
+
+/// `tind store repair`: rebuild quarantined shards from the dataset,
+/// byte-identical to the manifest's digests; the generation is kept.
+fn cmd_store_repair(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let dir = store_dir(args)?;
+    let _phase = tind_obs::span("phase.store_repair");
+    let (res, took) =
+        tind_eval::stats::time_it(|| repair_store(&dir, &dataset, &RepairOptions::default()));
+    let report = res.map_err(store_error)?;
+    if report.rebuilt.is_empty() {
+        return Ok(format!(
+            "store at {} already intact — generation {}, {} shard(s), nothing to repair\n",
+            dir.display(),
+            report.generation,
+            report.intact,
+        ));
+    }
+    Ok(format!(
+        "repaired store at {} — generation {}, rebuilt shard(s) {:?}, {} intact, in {}\n",
+        dir.display(),
+        report.generation,
+        report.rebuilt,
+        report.intact,
+        tind_eval::report::fmt_duration(took),
     ))
 }
 
@@ -1313,6 +1551,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     config.memory_budget = args.opt::<usize>("memory-limit")?.map(MemoryBudget::new);
     config.drain_grace =
         Duration::from_millis(args.opt_or("drain-grace-ms", config.drain_grace.as_millis() as u64)?);
+    config.reverify_interval = Duration::from_millis(
+        args.opt_or("reverify-ms", config.reverify_interval.as_millis() as u64)?,
+    );
+    let store: Option<PathBuf> = args.opt::<String>("store")?.map(Into::into);
 
     let eps = args.opt_or("eps", 3.0)?;
     let delta = args.opt_or("delta", 7u32)?;
@@ -1342,7 +1584,25 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
                     Arc::new(read_dataset_file(&data).map_err(|e| format!("dataset error: {e}"))?);
                 drop(load);
                 let _build = tind_obs::span("phase.build");
-                Ok(Engine::build(dataset, eps, delta, decay, build_threads))
+                match &store {
+                    // From a sharded store: a degraded open still serves
+                    // (status `degraded`; re-verify promotes later).
+                    Some(dir) => {
+                        let (engine, report) =
+                            Engine::from_store(dir, dataset, eps, delta, decay, build_threads)?;
+                        if !quiet && !report.is_clean() {
+                            eprintln!(
+                                "warning: store at {} is degraded ({} of {} shards \
+                                 quarantined); serving partial results",
+                                dir.display(),
+                                report.quarantined.len(),
+                                report.shards_total,
+                            );
+                        }
+                        Ok(engine)
+                    }
+                    None => Ok(Engine::build(dataset, eps, delta, decay, build_threads)),
+                }
             },
             shutdown.clone(),
         )
@@ -1530,6 +1790,100 @@ mod tests {
         assert!(b1 == b3, "index files differ between --build-threads 1 and 3");
         std::fs::remove_file(&out1).ok();
         std::fs::remove_file(&out3).ok();
+    }
+
+    #[test]
+    fn verify_names_the_failing_byte_offset() {
+        let data = temp_file("cli-verify-offset.tind");
+        let data_str = data.to_str().expect("utf8 path");
+        run(&[
+            "generate", "--attributes", "40", "--seed", "5", "--preset", "small", "--out",
+            data_str,
+        ])
+        .expect("generates");
+        let idx = temp_file("cli-verify-offset.idx");
+        let idx_str = idx.to_str().expect("utf8");
+        run(&["index", "--data", data_str, "--out", idx_str, "--m", "256"]).expect("indexes");
+        run(&["verify", idx_str]).expect("pristine index verifies");
+
+        let len = std::fs::metadata(&idx).expect("metadata").len() as usize;
+        tind_core::fault::flip_file_byte(&idx, len / 2).expect("flip");
+        let err = run(&["verify", idx_str]).expect_err("corrupt index must fail");
+        assert_eq!(err.exit_code(), 3, "corruption is a data error");
+        let msg = err.to_string();
+        let trailer_offset = len - tind_model::checksum::TRAILER_LEN;
+        assert!(
+            msg.contains(&format!("byte offset {trailer_offset}")),
+            "verify must name the failing byte offset; got: {msg}"
+        );
+        std::fs::remove_file(&idx).ok();
+    }
+
+    #[test]
+    fn store_pack_verify_search_repair_roundtrip() {
+        // ≥3 shards needs ≥3 column blocks of 64 attributes each.
+        let data = temp_file("cli-store.tind");
+        let data_str = data.to_str().expect("utf8 path");
+        run(&[
+            "generate", "--attributes", "200", "--seed", "9", "--preset", "small", "--out",
+            data_str,
+        ])
+        .expect("generates");
+        let dir = temp_file("cli-store.store");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().expect("utf8");
+
+        let packed = run(&[
+            "store", "pack", "--data", data_str, "--out", dir_str, "--shards", "3", "--eps",
+            "10", "--delta", "14",
+        ])
+        .expect("packs");
+        assert!(packed.contains("packed generation 1"), "{packed}");
+        assert!(packed.contains("3 shard(s)"), "{packed}");
+        assert!(run(&["store", "verify", dir_str]).expect("verifies").contains("3 shard(s)"));
+        assert!(run(&["verify", dir_str]).expect("verify accepts a store dir").contains("store"));
+
+        // A store-backed search answers exactly like a fresh build.
+        let built = run(&[
+            "search", "--data", data_str, "--query", "source-0", "--eps", "10", "--delta", "14",
+        ])
+        .expect("built search");
+        let stored = run(&[
+            "search", "--data", data_str, "--store", dir_str, "--query", "source-0", "--eps",
+            "10", "--delta", "14",
+        ])
+        .expect("stored search");
+        assert_eq!(
+            built.split_whitespace().next(),
+            stored.split_whitespace().next(),
+            "result counts must match\n{built}\n{stored}"
+        );
+
+        // Corrupt one shard: verify fails naming it, repair restores it.
+        let shard = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "shard"))
+            .expect("a shard file");
+        let shard_len = std::fs::metadata(&shard).expect("metadata").len() as usize;
+        tind_core::fault::flip_file_byte(&shard, shard_len / 2).expect("flip");
+        let err = run(&["store", "verify", dir_str]).expect_err("corrupt shard must fail");
+        assert!(err.to_string().contains("shard"), "{err}");
+        let repaired =
+            run(&["store", "repair", "--store", dir_str, "--data", data_str]).expect("repairs");
+        assert!(repaired.contains("rebuilt shard(s)"), "{repaired}");
+        run(&["store", "verify", dir_str]).expect("verifies after repair");
+
+        // --index with --store is ambiguous and must be rejected.
+        assert!(matches!(
+            run(&[
+                "search", "--data", data_str, "--index", "x.idx", "--store", dir_str, "--query",
+                "source-0",
+            ]),
+            Err(CliError::Args(ArgError::Conflict { .. }))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

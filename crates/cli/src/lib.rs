@@ -10,6 +10,7 @@
 //! tind search --data data.tind --query source-3 --eps 3 --delta 7
 //! tind reverse-search --data data.tind --query source-3
 //! tind all-pairs --data data.tind --threads 8
+//! tind store pack --data data.tind --out data.store --shards 4
 //! tind serve --data data.tind --port 0 --port-file port.txt
 //! tind pipeline --demo --attributes 200
 //! tind experiment fig7 --scale quick
@@ -72,7 +73,10 @@ COMMANDS:
   verify            check a persisted artifact's magic and checksum
                       <FILE> [--data FILE]   dataset, index, checkpoint,
                                              ingest-checkpoint, quarantine,
-                                             or TINDRR run-report file
+                                             store manifest/shard, or
+                                             TINDRR run-report file
+                      <DIR>                  a store directory: verifies the
+                                             manifest and every shard digest
                       [--schema FILE]        validate a run report against a
                                              JSON schema (devtools/report-schema.json)
                       [--quarantine FILE]    cross-check a run report's
@@ -82,10 +86,26 @@ COMMANDS:
                       --data FILE --out FILE [--m M=4096] [--eps E=3] [--delta D=7]
                       [--reverse true] [--build-threads T=0] [--report FILE]
                     (search/reverse-search/top-k/explore accept --index FILE)
+  store             crash-safe sharded index store (atomic commits, CRC-bound
+                    shards, corrupt-shard quarantine and repair)
+                      pack    --data FILE --out DIR [--shards N=auto] [--m M=4096]
+                              [--eps E=3] [--delta D=7] [--reverse true]
+                              [--index FILE]  re-shard a monolithic index file
+                      verify  <DIR> (or --store DIR) — manifest + shard digests
+                      repair  --store DIR --data FILE — rebuild quarantined
+                              shards byte-identical to the manifest digests
+                    (search/reverse-search/serve accept --store DIR; a store
+                    with quarantined shards opens degraded: live attributes
+                    stay exact, masked ones are excluded until repair)
   explore           interactive query loop on stdin
                       --data FILE [--index FILE]
   serve             fault-contained HTTP query daemon on a hot index
                       --data FILE [--host H=127.0.0.1] [--port P=7171]
+                      [--store DIR]        load the index from a sharded store;
+                                           quarantined shards serve degraded
+                                           (typed shard_unavailable 503s) and a
+                                           background re-verify promotes back
+                      [--reverify-ms MS=500]  degraded re-verify poll interval
                       [--port-file FILE]   write the bound port (0 = ephemeral)
                       [--eps E=3] [--delta D=7] [--decay A]  index sizing defaults
                       [--workers N=0] [--readers N=0] [--queue N=64]

@@ -48,6 +48,25 @@ pub fn flip_bit(bytes: &mut [u8], bit_index: usize) {
     bytes[bit_index / 8] ^= 1 << (bit_index % 8);
 }
 
+/// Inverts byte `byte_index` of the file at `path` in place (XOR `0xFF`),
+/// simulating on-disk media corruption of an already-published artifact.
+/// Flipping the same byte twice restores the original file.
+///
+/// # Errors
+/// Fails if the file cannot be read or written, or is shorter than
+/// `byte_index + 1` bytes.
+pub fn flip_file_byte(path: &std::path::Path, byte_index: usize) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if byte_index >= bytes.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("byte {byte_index} out of range for {}-byte file", bytes.len()),
+        ));
+    }
+    bytes[byte_index] ^= 0xFF;
+    std::fs::write(path, bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +92,19 @@ mod tests {
         assert_eq!(flipped[0], 0b1010_1011);
         flip_bit(&mut flipped, 0);
         assert_eq!(flipped, data, "flipping twice restores");
+    }
+
+    #[test]
+    fn flip_file_byte_inverts_in_place_and_bounds_checks() {
+        let dir = std::env::temp_dir().join("tind-core-fault-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("flip.bin");
+        std::fs::write(&path, [1u8, 2, 3]).expect("write");
+        flip_file_byte(&path, 1).expect("flip");
+        assert_eq!(std::fs::read(&path).expect("read"), vec![1, 2 ^ 0xFF, 3]);
+        flip_file_byte(&path, 1).expect("unflip");
+        assert_eq!(std::fs::read(&path).expect("read"), vec![1, 2, 3]);
+        assert!(flip_file_byte(&path, 3).is_err(), "out of range rejected");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tind_bloom::{BloomColumnStrip, BloomMatrix, BloomMatrixBuilder};
+use tind_bloom::{BitVec, BloomColumnStrip, BloomMatrix, BloomMatrixBuilder};
 use tind_model::{
     AttrId, AttributeHistory, Dataset, Interval, MemoryBudget, ValueSet, WeightFn,
 };
@@ -105,7 +105,7 @@ pub struct BuildOptions {
 
 /// One indexed time slice: the interval, its δ-expansion, and the Bloom
 /// matrix over every attribute's values within the expansion.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TimeSlice {
     /// The slice interval `I_j`.
     pub interval: Interval,
@@ -146,8 +146,84 @@ impl std::fmt::Display for IndexDiagnostics {
     }
 }
 
+/// One quarantined shard's footprint in a [`ShardMask`]: the shard id and
+/// the attribute range whose index columns it carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedShard {
+    /// Shard id within the store generation.
+    pub shard: usize,
+    /// First attribute covered by the shard.
+    pub attr_start: u32,
+    /// One past the last attribute covered by the shard.
+    pub attr_end: u32,
+}
+
+/// Attribute-availability mask carried by an index loaded **degraded** from
+/// a sharded store (`core::store`) in which some shards were quarantined.
+///
+/// A quarantined shard leaves its word columns zeroed in every Bloom matrix
+/// and its value universes empty. Zero columns are *not* a safe fallback —
+/// an all-zero column looks like "contains nothing" and would be silently
+/// pruned from superset candidates — so the mask is consulted by the search
+/// layers instead: masked attributes are excluded from candidate sets up
+/// front, and a masked *query* attribute is the caller's signal to answer
+/// `shard_unavailable` rather than fabricate an empty result.
+#[derive(Debug, Clone)]
+pub struct ShardMask {
+    shards_total: usize,
+    quarantined: Vec<MaskedShard>,
+    bits: BitVec,
+}
+
+impl ShardMask {
+    /// Builds a mask over `num_attrs` attributes from the quarantined
+    /// shards of a `shards_total`-shard store.
+    pub fn new(num_attrs: usize, shards_total: usize, quarantined: Vec<MaskedShard>) -> Self {
+        let mut bits = BitVec::zeros(num_attrs);
+        for q in &quarantined {
+            for attr in q.attr_start..q.attr_end.min(num_attrs as u32) {
+                bits.set(attr as usize);
+            }
+        }
+        ShardMask { shards_total, quarantined, bits }
+    }
+
+    /// Whether attribute `id`'s index columns are unavailable.
+    pub fn is_masked(&self, id: AttrId) -> bool {
+        self.bits.get(id as usize)
+    }
+
+    /// The quarantined shards, ascending by shard id.
+    pub fn quarantined(&self) -> &[MaskedShard] {
+        &self.quarantined
+    }
+
+    /// Total shards in the store generation the index was loaded from.
+    pub fn shards_total(&self) -> usize {
+        self.shards_total
+    }
+
+    /// Fraction of shards that loaded cleanly, in `[0, 1]`.
+    pub fn live_fraction(&self) -> f64 {
+        if self.shards_total == 0 {
+            return 1.0;
+        }
+        1.0 - self.quarantined.len() as f64 / self.shards_total as f64
+    }
+
+    /// Number of masked attributes.
+    pub fn masked_attrs(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// The raw mask bits (bit `a` set ⇔ attribute `a` unavailable).
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
 /// The tIND search index over a dataset.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TindIndex {
     pub(crate) dataset: Arc<Dataset>,
     pub(crate) config: IndexConfig,
@@ -155,6 +231,10 @@ pub struct TindIndex {
     pub(crate) time_slices: Vec<TimeSlice>,
     pub(crate) universes: Vec<ValueSet>,
     pub(crate) m_r: Option<BloomMatrix>,
+    /// Present iff the index was loaded degraded from a sharded store;
+    /// `None` means every attribute is live (the only state non-store
+    /// construction paths ever produce).
+    pub(crate) masked: Option<Arc<ShardMask>>,
 }
 
 impl TindIndex {
@@ -211,7 +291,7 @@ impl TindIndex {
             b.build()
         });
 
-        TindIndex { dataset, config, m_t, time_slices, universes, m_r }
+        TindIndex { dataset, config, m_t, time_slices, universes, m_r, masked: None }
     }
 
     /// Builds the index over a worker pool; output is bit-identical to
@@ -363,7 +443,7 @@ impl TindIndex {
             .collect();
         let m_r = mr.map(BloomMatrixBuilder::build);
 
-        TindIndex { dataset, config, m_t, time_slices, universes, m_r }
+        TindIndex { dataset, config, m_t, time_slices, universes, m_r, masked: None }
     }
 
     /// The indexed dataset.
@@ -394,6 +474,19 @@ impl TindIndex {
     /// Cached exact value universe `A[T]` of an attribute.
     pub fn universe(&self, id: AttrId) -> &ValueSet {
         &self.universes[id as usize]
+    }
+
+    /// The shard-availability mask, present only when the index was loaded
+    /// degraded from a sharded store with quarantined shards.
+    pub fn shard_mask(&self) -> Option<&ShardMask> {
+        self.masked.as_deref()
+    }
+
+    /// Whether attribute `id`'s index columns are unavailable (its store
+    /// shard was quarantined). Always `false` for indexes not loaded from
+    /// a degraded store.
+    pub fn is_masked(&self, id: AttrId) -> bool {
+        self.masked.as_ref().is_some_and(|m| m.is_masked(id))
     }
 
     /// The maximum query δ the time slices support.

@@ -22,6 +22,7 @@
 //! | [`reverse`] | §4.5 | reverse tIND search (`A ⊆ Q`) |
 //! | [`allpairs`] | §3.5 | parallel all-pairs discovery (fault-tolerant: checkpoint/resume, panic quarantine, cancellation) |
 //! | [`checkpoint`] | — | checksummed, fingerprint-guarded progress checkpoints |
+//! | [`store`] | — | crash-safe sharded index store: atomic commits, quarantine, repair |
 //! | [`cancel`] | — | cooperative cancellation tokens (incl. Ctrl-C wiring) |
 //! | [`fault`] | — | deterministic fault injection for tests |
 //!
@@ -56,6 +57,7 @@ pub mod required;
 pub mod reverse;
 pub mod search;
 pub mod slices;
+pub mod store;
 pub mod topk;
 pub mod validate;
 
@@ -66,8 +68,12 @@ pub use allpairs::{
 };
 pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::Checkpoint;
-pub use index::{BuildOptions, IndexConfig, TindIndex};
+pub use index::{BuildOptions, IndexConfig, MaskedShard, ShardMask, TindIndex};
 pub use params::TindParams;
 pub use search::{BatchOptions, BatchOutcome, SearchOptions, SearchOutcome, SearchStats};
 pub use slices::{SliceConfig, SliceStrategy};
+pub use store::{
+    open_store, pack_store, repair_store, verify_store, LoadReport, PackOptions, PackReport,
+    RepairOptions, RepairReport, ShardFault, StoreError, VerifyReport,
+};
 pub use validate::{QueryPlan, ValidationCounters, ValidationScratch};

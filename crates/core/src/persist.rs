@@ -25,22 +25,22 @@ use crate::slices::{SliceConfig, SliceStrategy};
 /// [`tind_model::checksum`]).
 pub const INDEX_MAGIC: &[u8; 8] = b"TINDIX\x00\x02";
 
-fn corrupt(msg: impl Into<String>) -> BinIoError {
+pub(crate) fn corrupt(msg: impl Into<String>) -> BinIoError {
     BinIoError::Corrupt(msg.into())
 }
 
-fn put_interval(buf: &mut BytesMut, i: Interval) {
+pub(crate) fn put_interval(buf: &mut BytesMut, i: Interval) {
     put_varint(buf, u64::from(i.start));
     put_varint(buf, u64::from(i.end - i.start));
 }
 
-fn get_interval(buf: &mut Bytes) -> Result<Interval, BinIoError> {
+pub(crate) fn get_interval(buf: &mut Bytes) -> Result<Interval, BinIoError> {
     let start = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("interval start overflow"))?;
     let len = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("interval length overflow"))?;
     Ok(Interval::new(start, start + len))
 }
 
-fn put_value_set(buf: &mut BytesMut, set: &[ValueId]) {
+pub(crate) fn put_value_set(buf: &mut BytesMut, set: &[ValueId]) {
     put_varint(buf, set.len() as u64);
     let mut prev = 0u64;
     for &v in set {
@@ -49,7 +49,7 @@ fn put_value_set(buf: &mut BytesMut, set: &[ValueId]) {
     }
 }
 
-fn get_value_set(buf: &mut Bytes) -> Result<ValueSet, BinIoError> {
+pub(crate) fn get_value_set(buf: &mut Bytes) -> Result<ValueSet, BinIoError> {
     let len = get_varint(buf)? as usize;
     let mut out = Vec::with_capacity(len);
     let mut acc = 0u64;
@@ -64,30 +64,82 @@ fn get_value_set(buf: &mut Bytes) -> Result<ValueSet, BinIoError> {
     Ok(out)
 }
 
-/// Serializes `index` into a byte buffer.
-pub fn encode_index(index: &TindIndex) -> Bytes {
-    let mut buf = BytesMut::with_capacity(index.bloom_bytes() + (1 << 16));
-    buf.put_slice(INDEX_MAGIC);
-    buf.put_u64_le(dataset_fingerprint(index.dataset()));
-
-    // Configuration.
-    let cfg = index.config();
-    put_varint(&mut buf, u64::from(cfg.m));
-    put_varint(&mut buf, u64::from(cfg.k_hashes));
-    put_varint(&mut buf, cfg.seed);
+/// Encodes an [`IndexConfig`] in the exact byte layout the monolithic index
+/// file uses; shared with the sharded store manifest (`core::store`) so the
+/// two formats stay byte-compatible on the config section.
+pub(crate) fn put_config(buf: &mut BytesMut, cfg: &IndexConfig) {
+    put_varint(buf, u64::from(cfg.m));
+    put_varint(buf, u64::from(cfg.k_hashes));
+    put_varint(buf, cfg.seed);
     buf.put_u8(u8::from(cfg.build_reverse));
     let s = &cfg.slices;
-    put_varint(&mut buf, s.k as u64);
+    put_varint(buf, s.k as u64);
     buf.put_u8(match s.strategy {
         SliceStrategy::Random => 0,
         SliceStrategy::WeightedRandom => 1,
     });
     buf.put_f64(s.sizing_eps);
-    put_weight_fn(&mut buf, &s.sizing_weights);
-    put_varint(&mut buf, u64::from(s.max_delta));
+    put_weight_fn(buf, &s.sizing_weights);
+    put_varint(buf, u64::from(s.max_delta));
     buf.put_u8(u8::from(s.expanded_disjoint));
-    put_varint(&mut buf, u64::from(s.start_stride));
-    put_varint(&mut buf, s.attr_sample as u64);
+    put_varint(buf, u64::from(s.start_stride));
+    put_varint(buf, s.attr_sample as u64);
+}
+
+/// Decodes an [`IndexConfig`] written by [`put_config`].
+pub(crate) fn get_config(buf: &mut Bytes) -> Result<IndexConfig, BinIoError> {
+    let m = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("m overflow"))?;
+    let k_hashes = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("k overflow"))?;
+    let seed = get_varint(buf)?;
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated config"));
+    }
+    let build_reverse = buf.get_u8() != 0;
+    let k = get_varint(buf)? as usize;
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated strategy"));
+    }
+    let strategy = match buf.get_u8() {
+        0 => SliceStrategy::Random,
+        1 => SliceStrategy::WeightedRandom,
+        other => return Err(corrupt(format!("unknown slice strategy {other}"))),
+    };
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated sizing eps"));
+    }
+    let sizing_eps = buf.get_f64();
+    let sizing_weights = get_weight_fn(buf)?;
+    let max_delta = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("δ overflow"))?;
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated disjoint flag"));
+    }
+    let expanded_disjoint = buf.get_u8() != 0;
+    let start_stride = u32::try_from(get_varint(buf)?).map_err(|_| corrupt("stride overflow"))?;
+    let attr_sample = get_varint(buf)? as usize;
+    Ok(IndexConfig {
+        m,
+        k_hashes,
+        seed,
+        build_reverse,
+        slices: SliceConfig {
+            k,
+            strategy,
+            sizing_eps,
+            sizing_weights,
+            max_delta,
+            expanded_disjoint,
+            start_stride,
+            attr_sample,
+        },
+    })
+}
+
+/// Serializes `index` into a byte buffer.
+pub fn encode_index(index: &TindIndex) -> Bytes {
+    let mut buf = BytesMut::with_capacity(index.bloom_bytes() + (1 << 16));
+    buf.put_slice(INDEX_MAGIC);
+    buf.put_u64_le(dataset_fingerprint(index.dataset()));
+    put_config(&mut buf, index.config());
 
     // Structures.
     index.m_t.encode(&mut buf);
@@ -142,52 +194,7 @@ pub fn decode_index(bytes: Bytes, dataset: Arc<Dataset>) -> Result<TindIndex, Bi
         ));
     }
 
-    let m = u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("m overflow"))?;
-    let k_hashes = u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("k overflow"))?;
-    let seed = get_varint(&mut buf)?;
-    if !buf.has_remaining() {
-        return Err(corrupt("truncated config"));
-    }
-    let build_reverse = buf.get_u8() != 0;
-    let k = get_varint(&mut buf)? as usize;
-    if !buf.has_remaining() {
-        return Err(corrupt("truncated strategy"));
-    }
-    let strategy = match buf.get_u8() {
-        0 => SliceStrategy::Random,
-        1 => SliceStrategy::WeightedRandom,
-        other => return Err(corrupt(format!("unknown slice strategy {other}"))),
-    };
-    if buf.remaining() < 8 {
-        return Err(corrupt("truncated sizing eps"));
-    }
-    let sizing_eps = buf.get_f64();
-    let sizing_weights = get_weight_fn(&mut buf)?;
-    let max_delta = u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("δ overflow"))?;
-    if !buf.has_remaining() {
-        return Err(corrupt("truncated disjoint flag"));
-    }
-    let expanded_disjoint = buf.get_u8() != 0;
-    let start_stride =
-        u32::try_from(get_varint(&mut buf)?).map_err(|_| corrupt("stride overflow"))?;
-    let attr_sample = get_varint(&mut buf)? as usize;
-
-    let config = IndexConfig {
-        m,
-        k_hashes,
-        seed,
-        build_reverse,
-        slices: SliceConfig {
-            k,
-            strategy,
-            sizing_eps,
-            sizing_weights,
-            max_delta,
-            expanded_disjoint,
-            start_stride,
-            attr_sample,
-        },
-    };
+    let config = get_config(&mut buf)?;
 
     let m_t = BloomMatrix::decode(&mut buf)?;
     let num_slices = get_varint(&mut buf)? as usize;
@@ -220,7 +227,7 @@ pub fn decode_index(bytes: Bytes, dataset: Arc<Dataset>) -> Result<TindIndex, Bi
     if m_t.num_cols() != dataset.len() {
         return Err(corrupt("matrix width does not match dataset"));
     }
-    Ok(TindIndex { dataset, config, m_t, time_slices, universes, m_r })
+    Ok(TindIndex { dataset, config, m_t, time_slices, universes, m_r, masked: None })
 }
 
 /// Writes `index` to the file at `path`.
@@ -230,10 +237,17 @@ pub fn write_index_file(index: &TindIndex, path: &std::path::Path) -> Result<(),
 }
 
 /// Reads an index from `path`, binding it to `dataset`.
+///
+/// The CRC-32 trailer is verified first by streaming the file through a
+/// fixed 64 KiB buffer ([`checksum::stream_verify_file`]), so a truncated
+/// or corrupted multi-GB index is rejected after one sequential pass
+/// without ever allocating its full size; only a clean file is then read
+/// into memory and decoded.
 pub fn read_index_file(
     path: &std::path::Path,
     dataset: Arc<Dataset>,
 ) -> Result<TindIndex, BinIoError> {
+    checksum::stream_verify_file(path)?;
     let raw = std::fs::read(path)?;
     decode_index(Bytes::from(raw), dataset)
 }
@@ -294,6 +308,40 @@ mod tests {
             let t = bytes.slice(0..cut);
             assert!(decode_index(t, d.clone()).is_err(), "cut at {cut} must fail");
         }
+    }
+
+    #[test]
+    fn truncated_file_fails_fast_with_offset() {
+        // The streaming pre-verify must reject a truncated index file with
+        // a typed checksum error naming the cut point — without the decode
+        // path ever seeing the bytes.
+        let d = dataset();
+        let index = TindIndex::build(d.clone(), IndexConfig { m: 256, ..IndexConfig::default() });
+        let dir = std::env::temp_dir().join("tind-core-persist-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("truncated.tidx");
+        let full = encode_index(&index);
+        for cut in [full.len() / 3, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).expect("write fixture");
+            let err = read_index_file(&path, d.clone()).expect_err("truncation rejected");
+            match err {
+                BinIoError::Checksum { offset, .. } => {
+                    assert_eq!(
+                        offset,
+                        (cut - checksum::TRAILER_LEN) as u64,
+                        "offset names the streamed payload length at cut {cut}"
+                    );
+                }
+                other => panic!("cut {cut}: expected checksum error, got {other}"),
+            }
+        }
+        // Shorter than the trailer itself: typed corrupt, not a panic.
+        std::fs::write(&path, b"ab").expect("write fixture");
+        assert!(matches!(
+            read_index_file(&path, d.clone()),
+            Err(BinIoError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub(crate) fn run_reverse(
     if let Some(x) = exclude {
         candidates.clear(x as usize);
     }
+    // Attributes masked by a quarantined store shard have all-zero M_R
+    // columns and empty universes; like forward search, they must leave
+    // the candidate set before stage 1 can misread zero as "empty set".
+    if let Some(mask) = index.shard_mask() {
+        candidates.andnot_assign_words(mask.bits().words());
+    }
 
     let q_universe = q.value_universe();
 

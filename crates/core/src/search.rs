@@ -230,11 +230,21 @@ pub(crate) fn run_search_scratch(
     finish_search(index, q, exclude, params, options, &required, candidates, scratch)
 }
 
-/// The full candidate set before any pruning (minus the reflexive self).
+/// The full candidate set before any pruning (minus the reflexive self,
+/// minus any attributes masked by a quarantined store shard).
+///
+/// Masked attributes must be excluded *here*, not discovered later: their
+/// matrix columns are all-zero, which stage 1 would misread as "contains
+/// nothing" and silently prune — a false negative dressed up as an answer.
+/// Dropping them from the candidate set up front keeps every stage honest,
+/// and the caller reports the excluded range via the shard mask.
 fn initial_candidates(index: &TindIndex, exclude: Option<AttrId>) -> BitVec {
     let mut candidates = BitVec::ones(index.dataset().len());
     if let Some(x) = exclude {
         candidates.clear(x as usize);
+    }
+    if let Some(mask) = index.shard_mask() {
+        candidates.andnot_assign_words(mask.bits().words());
     }
     candidates
 }

@@ -1,0 +1,1145 @@
+//! Crash-safe sharded index store (`TINDIS` manifest + `TINDSH` shards).
+//!
+//! The monolithic index file of [`crate::persist`] is all-or-nothing: one
+//! torn write or flipped bit loses the whole artifact. This module stores
+//! the same index as a **directory** of independently checksummed shards —
+//! each shard a contiguous range of the parallel builder's 64-column
+//! blocks — bound together by a manifest that carries the dataset
+//! fingerprint, the build configuration, per-shard digests, and a
+//! generation number.
+//!
+//! Durability discipline (the `.tcp` checkpoint rules applied to the index
+//! itself):
+//!
+//! * every file is published via temp-file → fsync → atomic rename, so a
+//!   killed writer can never leave a half-written shard under its final
+//!   name;
+//! * the manifest rename is the *single commit point* of a pack: until it
+//!   lands, the previous generation is untouched and fully servable;
+//! * opening a store sweeps orphan `*.tmp` files and shards of stale
+//!   generations, so a crashed pack leaves no debris behind.
+//!
+//! On the read side the store degrades instead of dying: a missing or
+//! corrupt shard is **quarantined** (typed [`StoreError::ShardCorrupt`]
+//! with the expected/actual CRC), its attribute range is recorded in a
+//! [`crate::index::ShardMask`] on the returned [`TindIndex`], and every
+//! other shard keeps serving. [`repair_store`] rebuilds quarantined shards
+//! from the dataset and proves byte-identity against the manifest digest
+//! before publishing them.
+//!
+//! With zero quarantined shards the loaded index is byte-identical
+//! (`persist::encode_index`) to the index that was packed, at any shard
+//! count — the differential contract pinned by `tests/store_roundtrip.rs`.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tind_bloom::{BloomColumnStrip, BloomMatrix, BloomMatrixBuilder};
+use tind_model::binio::{check_magic, dataset_fingerprint, get_varint, put_varint, BinIoError};
+use tind_model::checksum::{self, crc32};
+use tind_model::{AttrId, Dataset, Interval, ValueSet};
+
+use crate::index::{MaskedShard, ShardMask, TimeSlice, TindIndex};
+use crate::params::TindParams;
+use crate::persist::{
+    corrupt, get_config, get_interval, get_value_set, put_config, put_interval, put_value_set,
+};
+use crate::required::required_values;
+
+/// Magic bytes of the store manifest, including a format version.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"TINDIS\x00\x01";
+
+/// Magic bytes of one store shard, including a format version.
+pub const SHARD_MAGIC: &[u8; 8] = b"TINDSH\x00\x01";
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "index.manifest";
+
+/// Errors arising from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (including a missing shard file).
+    Io(std::io::Error),
+    /// A store file does not conform to its format or fails its own
+    /// checksum trailer.
+    Bin(BinIoError),
+    /// A shard's bytes do not hash to the digest the manifest committed —
+    /// bit rot, a torn write, or a file swapped in from another store.
+    ShardCorrupt {
+        /// Shard id within the store generation.
+        shard: usize,
+        /// CRC-32 the manifest recorded at pack time.
+        expected: u32,
+        /// CRC-32 the shard file actually hashes to.
+        actual: u32,
+    },
+    /// The store and the caller disagree on identity: wrong dataset
+    /// fingerprint, wrong attribute count, inconsistent shard geometry, or
+    /// an operation that is not meaningful in the current state.
+    Mismatch(String),
+    /// Injected kill: the operation stopped after the configured number of
+    /// write/fsync/rename steps, leaving the directory exactly as a
+    /// SIGKILL at that boundary would.
+    Killed {
+        /// Steps performed before the kill.
+        ops: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Bin(e) => write!(f, "{e}"),
+            StoreError::ShardCorrupt { shard, expected, actual } => write!(
+                f,
+                "shard {shard} corrupt: manifest digest {expected:#010x} but file hashes to \
+                 {actual:#010x}"
+            ),
+            StoreError::Mismatch(msg) => write!(f, "store mismatch: {msg}"),
+            StoreError::Killed { ops } => {
+                write!(f, "injected kill after {ops} store write operations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Bin(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<BinIoError> for StoreError {
+    fn from(e: BinIoError) -> Self {
+        StoreError::Bin(e)
+    }
+}
+
+fn mismatch(msg: impl Into<String>) -> StoreError {
+    StoreError::Mismatch(msg.into())
+}
+
+/// One quarantined (or otherwise unloadable) shard, with the attribute
+/// range its loss masks and the typed error that condemned it.
+#[derive(Debug)]
+pub struct ShardFault {
+    /// Shard id within the store generation.
+    pub shard: usize,
+    /// First attribute the shard covered.
+    pub attr_start: u32,
+    /// One past the last attribute the shard covered.
+    pub attr_end: u32,
+    /// Why the shard was rejected.
+    pub error: StoreError,
+}
+
+impl std::fmt::Display for ShardFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} (attributes {}..{}): {}",
+            self.shard, self.attr_start, self.attr_end, self.error
+        )
+    }
+}
+
+/// Options for [`pack_store`].
+#[derive(Debug, Clone, Default)]
+pub struct PackOptions {
+    /// Desired shard count; clamped to `[1, column blocks]`. `0` picks
+    /// `min(8, blocks)`.
+    pub shards: usize,
+    /// Fault injection: stop (with [`StoreError::Killed`]) after this many
+    /// write/fsync/rename steps, leaving the directory as a SIGKILL at
+    /// that boundary would. `None` disables.
+    pub kill_after_ops: Option<u64>,
+}
+
+/// Options for [`repair_store`].
+#[derive(Debug, Clone, Default)]
+pub struct RepairOptions {
+    /// Fault injection, as in [`PackOptions::kill_after_ops`].
+    pub kill_after_ops: Option<u64>,
+}
+
+/// Outcome of a successful [`pack_store`].
+#[derive(Debug)]
+pub struct PackReport {
+    /// Generation number the pack committed.
+    pub generation: u64,
+    /// Number of shards written.
+    pub shards: usize,
+    /// Total bytes across shards and manifest.
+    pub bytes_written: u64,
+    /// Orphan temp files swept after commit.
+    pub swept_temps: usize,
+    /// Stale-generation shard files swept after commit.
+    pub swept_stale: usize,
+}
+
+/// Outcome of a successful [`open_store`] — including a degraded one.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Generation that was opened.
+    pub generation: u64,
+    /// Shards the manifest committed.
+    pub shards_total: usize,
+    /// Shards that failed to load and were quarantined (empty for a clean
+    /// load).
+    pub quarantined: Vec<ShardFault>,
+    /// Orphan temp files swept during recovery.
+    pub swept_temps: usize,
+    /// Stale-generation shard files swept during recovery.
+    pub swept_stale: usize,
+}
+
+impl LoadReport {
+    /// Whether every shard loaded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+/// Outcome of [`verify_store`].
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Generation the manifest commits.
+    pub generation: u64,
+    /// Dataset fingerprint the store was packed against.
+    pub fingerprint: u64,
+    /// Shards the manifest commits.
+    pub shards_total: usize,
+    /// Shards that fail verification.
+    pub faults: Vec<ShardFault>,
+}
+
+/// Outcome of a successful [`repair_store`].
+#[derive(Debug)]
+pub struct RepairReport {
+    /// Generation that was repaired (repair never changes it).
+    pub generation: u64,
+    /// Ids of the shards that were rebuilt and republished.
+    pub rebuilt: Vec<usize>,
+    /// Shards that were already intact.
+    pub intact: usize,
+}
+
+/// Decoded manifest, internal to the module.
+struct Manifest {
+    generation: u64,
+    fingerprint: u64,
+    config: crate::index::IndexConfig,
+    num_attrs: usize,
+    /// Per slice: `(interval, expanded)` — expansion is persisted so
+    /// repair never re-runs the seeded slice selection.
+    slices: Vec<(Interval, Interval)>,
+    has_m_r: bool,
+    shards: Vec<ShardEntry>,
+}
+
+struct ShardEntry {
+    id: usize,
+    block_start: usize,
+    block_count: usize,
+    byte_len: u64,
+    digest: u32,
+}
+
+impl ShardEntry {
+    fn attr_range(&self, num_attrs: usize) -> (u32, u32) {
+        let start = (self.block_start * 64).min(num_attrs) as u32;
+        let end = ((self.block_start + self.block_count) * 64).min(num_attrs) as u32;
+        (start, end)
+    }
+}
+
+impl Manifest {
+    fn num_targets(&self) -> usize {
+        1 + self.slices.len() + usize::from(self.has_m_r)
+    }
+
+    fn blocks(&self) -> usize {
+        self.num_attrs.div_ceil(64)
+    }
+}
+
+fn shard_name(generation: u64, id: usize) -> String {
+    format!("g{generation}-s{id}.shard")
+}
+
+/// Parses `g{gen}-s{id}.shard`, returning the generation.
+fn parse_shard_gen(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix('g')?;
+    let dash = rest.find('-')?;
+    let gen: u64 = rest[..dash].parse().ok()?;
+    let id = rest[dash + 1..].strip_prefix('s')?.strip_suffix(".shard")?;
+    let _: u64 = id.parse().ok()?;
+    Some(gen)
+}
+
+/// Counted write/fsync/rename steps for kill injection.
+struct OpBudget {
+    limit: Option<u64>,
+    performed: u64,
+}
+
+impl OpBudget {
+    fn new(limit: Option<u64>) -> Self {
+        OpBudget { limit, performed: 0 }
+    }
+
+    /// Checked *before* each primitive: `kill_after_ops = n` allows
+    /// exactly `n` primitives, so every write/fsync/rename boundary is
+    /// reachable by sweeping `n`.
+    fn step(&mut self) -> Result<(), StoreError> {
+        if let Some(limit) = self.limit {
+            if self.performed >= limit {
+                return Err(StoreError::Killed { ops: self.performed });
+            }
+        }
+        self.performed += 1;
+        Ok(())
+    }
+}
+
+/// Publishes `bytes` at `final_path` via temp-file → fsync → atomic
+/// rename; each primitive is one killable step.
+fn write_atomic(
+    final_path: &Path,
+    bytes: &[u8],
+    budget: &mut OpBudget,
+) -> Result<(), StoreError> {
+    use std::io::Write;
+    let mut tmp = final_path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    budget.step()?;
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    budget.step()?;
+    file.sync_all()?;
+    drop(file);
+    budget.step()?;
+    std::fs::rename(&tmp, final_path)?;
+    Ok(())
+}
+
+/// Removes orphan `*.tmp` files and shards of generations other than
+/// `live_gen`; returns `(temps, stale)` counts.
+fn sweep(dir: &Path, live_gen: u64) -> Result<(usize, usize), StoreError> {
+    let (mut temps, mut stale) = (0, 0);
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".tmp") {
+            std::fs::remove_file(entry.path())?;
+            temps += 1;
+        } else if let Some(gen) = parse_shard_gen(&name) {
+            if gen != live_gen {
+                std::fs::remove_file(entry.path())?;
+                stale += 1;
+            }
+        }
+    }
+    Ok((temps, stale))
+}
+
+fn encode_manifest(m: &Manifest) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 12);
+    buf.put_slice(MANIFEST_MAGIC);
+    put_varint(&mut buf, m.generation);
+    buf.put_u64_le(m.fingerprint);
+    put_config(&mut buf, &m.config);
+    put_varint(&mut buf, m.num_attrs as u64);
+    put_varint(&mut buf, m.slices.len() as u64);
+    for &(interval, expanded) in &m.slices {
+        put_interval(&mut buf, interval);
+        put_interval(&mut buf, expanded);
+    }
+    buf.put_u8(u8::from(m.has_m_r));
+    put_varint(&mut buf, m.shards.len() as u64);
+    for s in &m.shards {
+        put_varint(&mut buf, s.id as u64);
+        put_varint(&mut buf, s.block_start as u64);
+        put_varint(&mut buf, s.block_count as u64);
+        put_varint(&mut buf, s.byte_len);
+        buf.put_u32_le(s.digest);
+    }
+    checksum::append_trailer(&mut buf);
+    buf.freeze()
+}
+
+fn decode_manifest(bytes: Bytes) -> Result<Manifest, StoreError> {
+    check_magic(&bytes, MANIFEST_MAGIC, "store manifest")?;
+    let mut buf = checksum::verify_and_strip(bytes)?;
+    buf.advance(MANIFEST_MAGIC.len());
+    let generation = get_varint(&mut buf)?;
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated manifest fingerprint").into());
+    }
+    let fingerprint = buf.get_u64_le();
+    let config = get_config(&mut buf)?;
+    let num_attrs = get_varint(&mut buf)? as usize;
+    if num_attrs == 0 {
+        return Err(corrupt("manifest over zero attributes").into());
+    }
+    let num_slices = get_varint(&mut buf)? as usize;
+    let mut slices = Vec::with_capacity(num_slices);
+    for _ in 0..num_slices {
+        let interval = get_interval(&mut buf)?;
+        let expanded = get_interval(&mut buf)?;
+        slices.push((interval, expanded));
+    }
+    if !buf.has_remaining() {
+        return Err(corrupt("truncated m_r flag").into());
+    }
+    let has_m_r = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(format!("bad m_r flag {other}")).into()),
+    };
+    let shard_count = get_varint(&mut buf)? as usize;
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let id = get_varint(&mut buf)? as usize;
+        let block_start = get_varint(&mut buf)? as usize;
+        let block_count = get_varint(&mut buf)? as usize;
+        let byte_len = get_varint(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(corrupt("truncated shard digest").into());
+        }
+        let digest = buf.get_u32_le();
+        shards.push(ShardEntry { id, block_start, block_count, byte_len, digest });
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes after manifest").into());
+    }
+    let manifest =
+        Manifest { generation, fingerprint, config, num_attrs, slices, has_m_r, shards };
+    // Shards must partition the column blocks: ids 0..n in order, each
+    // range starting where the previous ended, covering every block.
+    let mut next_block = 0usize;
+    for (i, s) in manifest.shards.iter().enumerate() {
+        if s.id != i || s.block_start != next_block || s.block_count == 0 {
+            return Err(mismatch(format!(
+                "shard table is not a partition of the column blocks at shard {i}"
+            )));
+        }
+        next_block += s.block_count;
+    }
+    if next_block != manifest.blocks() {
+        return Err(mismatch(format!(
+            "shard table covers {next_block} blocks but the index has {}",
+            manifest.blocks()
+        )));
+    }
+    Ok(manifest)
+}
+
+fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+    let raw = std::fs::read(dir.join(MANIFEST_NAME))?;
+    decode_manifest(Bytes::from(raw))
+}
+
+/// Encodes one shard's payload. `strip_words` is called once per
+/// `(target, block)` in ascending target-major order and must yield the
+/// strip's `m` row words; `universe` once per attribute in the shard's
+/// range. Shared by pack (strips extracted from built matrices) and repair
+/// (strips re-rendered from the dataset) so the two paths are byte-equal
+/// by construction.
+fn encode_shard_with<FS, FU>(
+    manifest: &Manifest,
+    entry_id: usize,
+    block_start: usize,
+    block_count: usize,
+    mut strip_words: FS,
+    mut universe: FU,
+) -> Bytes
+where
+    FS: FnMut(usize, usize) -> Vec<u64>,
+    FU: FnMut(usize, &mut BytesMut),
+{
+    let m = manifest.config.m as usize;
+    let estimated =
+        manifest.num_targets() * block_count * m * 8 + block_count * 64 * 16 + (1 << 10);
+    let mut buf = BytesMut::with_capacity(estimated);
+    buf.put_slice(SHARD_MAGIC);
+    put_varint(&mut buf, manifest.generation);
+    put_varint(&mut buf, entry_id as u64);
+    put_varint(&mut buf, block_start as u64);
+    put_varint(&mut buf, block_count as u64);
+    buf.put_u64_le(manifest.fingerprint);
+    for target in 0..manifest.num_targets() {
+        for block in block_start..block_start + block_count {
+            let words = strip_words(target, block);
+            debug_assert_eq!(words.len(), m, "one lane word per matrix row");
+            for &w in &words {
+                buf.put_u64_le(w);
+            }
+        }
+    }
+    let attr_lo = block_start * 64;
+    let attr_hi = ((block_start + block_count) * 64).min(manifest.num_attrs);
+    for attr in attr_lo..attr_hi {
+        universe(attr, &mut buf);
+    }
+    checksum::append_trailer(&mut buf);
+    buf.freeze()
+}
+
+/// Content digest of an encoded shard: CRC-32 over the payload *excluding*
+/// its own integrity trailer. The trailer must stay outside the hash — the
+/// CRC of any message with its own CRC appended is the fixed residue
+/// `0x2144df1c`, so hashing the whole file would give every valid shard the
+/// same "digest" and bind nothing beyond what the trailer already checks.
+fn shard_digest(payload: &[u8]) -> u32 {
+    crc32(&payload[..payload.len().saturating_sub(checksum::TRAILER_LEN)])
+}
+
+/// Decoded shard contents: `strips[target][i]` holds the row words of
+/// block `block_start + i`, plus the exact universes of the shard's
+/// attribute range.
+struct ShardPayload {
+    strips: Vec<Vec<Vec<u64>>>,
+    universes: Vec<ValueSet>,
+}
+
+/// Reads and fully validates one shard file against its manifest entry.
+fn load_shard(dir: &Path, manifest: &Manifest, entry: &ShardEntry) -> Result<ShardPayload, StoreError> {
+    let path = dir.join(shard_name(manifest.generation, entry.id));
+    let raw = std::fs::read(&path)?;
+    if raw.len() as u64 != entry.byte_len {
+        return Err(mismatch(format!(
+            "shard {} is {} bytes but the manifest committed {}",
+            entry.id,
+            raw.len(),
+            entry.byte_len
+        )));
+    }
+    // The manifest digest is a true content hash (payload minus trailer):
+    // it catches a structurally-valid shard copied in from another store
+    // as well as plain corruption, independently of the file's own trailer.
+    let actual = shard_digest(&raw);
+    if actual != entry.digest {
+        return Err(StoreError::ShardCorrupt { shard: entry.id, expected: entry.digest, actual });
+    }
+    check_magic(&raw, SHARD_MAGIC, "store shard")?;
+    let mut buf = checksum::verify_and_strip(Bytes::from(raw)).map_err(|e| match e {
+        BinIoError::Checksum { stored, computed, .. } => {
+            StoreError::ShardCorrupt { shard: entry.id, expected: stored, actual: computed }
+        }
+        other => StoreError::Bin(other),
+    })?;
+    buf.advance(SHARD_MAGIC.len());
+    let generation = get_varint(&mut buf)?;
+    let id = get_varint(&mut buf)? as usize;
+    let block_start = get_varint(&mut buf)? as usize;
+    let block_count = get_varint(&mut buf)? as usize;
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated shard fingerprint").into());
+    }
+    let fingerprint = buf.get_u64_le();
+    if generation != manifest.generation
+        || id != entry.id
+        || block_start != entry.block_start
+        || block_count != entry.block_count
+        || fingerprint != manifest.fingerprint
+    {
+        return Err(mismatch(format!(
+            "shard {} header disagrees with the manifest entry",
+            entry.id
+        )));
+    }
+    let m = manifest.config.m as usize;
+    let mut strips = Vec::with_capacity(manifest.num_targets());
+    for _ in 0..manifest.num_targets() {
+        let mut blocks = Vec::with_capacity(block_count);
+        for _ in 0..block_count {
+            if buf.remaining() < m * 8 {
+                return Err(corrupt("truncated shard strip words").into());
+            }
+            let mut words = Vec::with_capacity(m);
+            for _ in 0..m {
+                words.push(buf.get_u64_le());
+            }
+            blocks.push(words);
+        }
+        strips.push(blocks);
+    }
+    let (attr_lo, attr_hi) = entry.attr_range(manifest.num_attrs);
+    let mut universes = Vec::with_capacity((attr_hi - attr_lo) as usize);
+    for _ in attr_lo..attr_hi {
+        universes.push(get_value_set(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes after shard").into());
+    }
+    Ok(ShardPayload { strips, universes })
+}
+
+/// Splits `blocks` column blocks into `shards` near-equal contiguous
+/// ranges.
+fn partition_blocks(blocks: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, blocks);
+    let base = blocks / shards;
+    let extra = blocks % shards;
+    let mut parts = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let count = base + usize::from(i < extra);
+        parts.push((start, count));
+        start += count;
+    }
+    parts
+}
+
+/// Highest generation any artifact in `dir` claims — used to pick the next
+/// generation even when the manifest itself is unreadable.
+fn scan_max_generation(dir: &Path) -> u64 {
+    let from_manifest = read_manifest(dir).map(|m| m.generation).unwrap_or(0);
+    let from_shards = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| parse_shard_gen(&e.file_name().to_string_lossy()))
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    from_manifest.max(from_shards)
+}
+
+/// Packs `index` into the store directory `dir` as a new generation.
+///
+/// Every shard and the manifest are published atomically; the manifest
+/// rename is the commit point. A crash (or injected kill) at any step
+/// leaves either the previous generation fully intact or the new one
+/// fully committed — never a mix — and [`open_store`] sweeps whatever
+/// temps or stale shards the crash stranded.
+pub fn pack_store(
+    index: &TindIndex,
+    dir: &Path,
+    options: &PackOptions,
+) -> Result<PackReport, StoreError> {
+    let _span = tind_obs::span("core.store.pack");
+    if index.shard_mask().is_some() {
+        return Err(mismatch(
+            "refusing to pack a degraded index (quarantined shards would be persisted as zeros); \
+             repair its store first",
+        ));
+    }
+    let num_attrs = index.dataset().len();
+    if num_attrs == 0 {
+        return Err(mismatch("cannot pack an index over an empty dataset"));
+    }
+    std::fs::create_dir_all(dir)?;
+    let generation = scan_max_generation(dir) + 1;
+    let blocks = num_attrs.div_ceil(64);
+    let shards = if options.shards == 0 { blocks.min(8) } else { options.shards };
+    let parts = partition_blocks(blocks, shards);
+    let fingerprint = dataset_fingerprint(index.dataset());
+
+    let mut manifest = Manifest {
+        generation,
+        fingerprint,
+        config: index.config().clone(),
+        num_attrs,
+        slices: index.time_slices().iter().map(|s| (s.interval, s.expanded)).collect(),
+        has_m_r: index.m_r().is_some(),
+        shards: Vec::with_capacity(parts.len()),
+    };
+
+    let matrices: Vec<&BloomMatrix> = std::iter::once(index.m_t())
+        .chain(index.time_slices().iter().map(|s| &s.matrix))
+        .chain(index.m_r())
+        .collect();
+
+    let mut budget = OpBudget::new(options.kill_after_ops);
+    let mut bytes_written = 0u64;
+    for (id, &(block_start, block_count)) in parts.iter().enumerate() {
+        let payload = encode_shard_with(
+            &manifest,
+            id,
+            block_start,
+            block_count,
+            |target, block| matrices[target].extract_strip(block).words().to_vec(),
+            |attr, buf| put_value_set(buf, index.universe(attr as AttrId)),
+        );
+        let digest = shard_digest(&payload);
+        write_atomic(&dir.join(shard_name(generation, id)), &payload, &mut budget)?;
+        bytes_written += payload.len() as u64;
+        manifest.shards.push(ShardEntry {
+            id,
+            block_start,
+            block_count,
+            byte_len: payload.len() as u64,
+            digest,
+        });
+    }
+
+    let manifest_bytes = encode_manifest(&manifest);
+    bytes_written += manifest_bytes.len() as u64;
+    write_atomic(&dir.join(MANIFEST_NAME), &manifest_bytes, &mut budget)?;
+    // Make the renames themselves durable before declaring success.
+    budget.step()?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    let (swept_temps, swept_stale) = sweep(dir, generation)?;
+    Ok(PackReport {
+        generation,
+        shards: parts.len(),
+        bytes_written,
+        swept_temps,
+        swept_stale,
+    })
+}
+
+/// Opens the store at `dir`, binding it to `dataset`.
+///
+/// Recovery runs first: orphan temps and stale-generation shards are
+/// swept. Each manifest-committed shard is then loaded and verified
+/// independently; a shard that is missing, truncated, bit-rotted, or
+/// inconsistent with the manifest is **quarantined** — its attribute range
+/// is masked on the returned index (see [`crate::index::ShardMask`]) and
+/// reported in the [`LoadReport`] — while every other shard loads
+/// normally. With zero quarantined shards the result is byte-identical to
+/// the packed index.
+pub fn open_store(
+    dir: &Path,
+    dataset: Arc<Dataset>,
+) -> Result<(TindIndex, LoadReport), StoreError> {
+    let _span = tind_obs::span("core.store.open");
+    let manifest = read_manifest(dir)?;
+    if manifest.fingerprint != dataset_fingerprint(&dataset) {
+        return Err(mismatch(
+            "store fingerprint does not match the dataset (stale or mismatched files)",
+        ));
+    }
+    if manifest.num_attrs != dataset.len() {
+        return Err(mismatch("store attribute count does not match the dataset"));
+    }
+    let (swept_temps, swept_stale) = sweep(dir, manifest.generation)?;
+
+    let num_attrs = manifest.num_attrs;
+    let (m, k_hashes) = (manifest.config.m, manifest.config.k_hashes);
+    let mut mt = BloomMatrixBuilder::new(m, num_attrs, k_hashes);
+    let mut slice_builders: Vec<BloomMatrixBuilder> = (0..manifest.slices.len())
+        .map(|_| BloomMatrixBuilder::new(m, num_attrs, k_hashes))
+        .collect();
+    let mut mr = manifest.has_m_r.then(|| BloomMatrixBuilder::new(m, num_attrs, k_hashes));
+    let mut universes = vec![ValueSet::new(); num_attrs];
+    let mut quarantined = Vec::new();
+
+    for entry in &manifest.shards {
+        let started = Instant::now();
+        match load_shard(dir, &manifest, entry) {
+            Ok(payload) => {
+                for (target, blocks) in payload.strips.into_iter().enumerate() {
+                    let builder = if target == 0 {
+                        &mut mt
+                    } else if target <= slice_builders.len() {
+                        &mut slice_builders[target - 1]
+                    } else {
+                        mr.as_mut().expect("m_r strip implies builder")
+                    };
+                    for (i, words) in blocks.into_iter().enumerate() {
+                        let strip = BloomColumnStrip::from_words(m, k_hashes, words);
+                        builder.merge_strip(entry.block_start + i, &strip);
+                    }
+                }
+                let (attr_lo, _) = entry.attr_range(num_attrs);
+                for (offset, u) in payload.universes.into_iter().enumerate() {
+                    universes[attr_lo as usize + offset] = u;
+                }
+            }
+            Err(error) => {
+                let (attr_start, attr_end) = entry.attr_range(num_attrs);
+                quarantined.push(ShardFault { shard: entry.id, attr_start, attr_end, error });
+            }
+        }
+        tind_obs::histogram("store.shard.load_ns")
+            .record(started.elapsed().as_nanos() as u64);
+    }
+
+    tind_obs::gauge("store.shards.total").set(manifest.shards.len() as f64);
+    tind_obs::gauge("store.shards.quarantined").set(quarantined.len() as f64);
+
+    let masked = (!quarantined.is_empty()).then(|| {
+        Arc::new(ShardMask::new(
+            num_attrs,
+            manifest.shards.len(),
+            quarantined
+                .iter()
+                .map(|f| MaskedShard {
+                    shard: f.shard,
+                    attr_start: f.attr_start,
+                    attr_end: f.attr_end,
+                })
+                .collect(),
+        ))
+    });
+
+    let time_slices = manifest
+        .slices
+        .iter()
+        .zip(slice_builders)
+        .map(|(&(interval, expanded), b)| TimeSlice { interval, expanded, matrix: b.build() })
+        .collect();
+    let index = TindIndex {
+        dataset,
+        config: manifest.config.clone(),
+        m_t: mt.build(),
+        time_slices,
+        universes,
+        m_r: mr.map(BloomMatrixBuilder::build),
+        masked,
+    };
+    let report = LoadReport {
+        generation: manifest.generation,
+        shards_total: manifest.shards.len(),
+        quarantined,
+        swept_temps,
+        swept_stale,
+    };
+    Ok((index, report))
+}
+
+/// Verifies the store at `dir` without binding it to a dataset: manifest
+/// container integrity, then every shard against its committed digest and
+/// structure. Read-only — performs no recovery sweep.
+pub fn verify_store(dir: &Path) -> Result<VerifyReport, StoreError> {
+    let _span = tind_obs::span("core.store.verify");
+    let manifest = read_manifest(dir)?;
+    let mut faults = Vec::new();
+    for entry in &manifest.shards {
+        if let Err(error) = load_shard(dir, &manifest, entry) {
+            let (attr_start, attr_end) = entry.attr_range(manifest.num_attrs);
+            faults.push(ShardFault { shard: entry.id, attr_start, attr_end, error });
+        }
+    }
+    Ok(VerifyReport {
+        generation: manifest.generation,
+        fingerprint: manifest.fingerprint,
+        shards_total: manifest.shards.len(),
+        faults,
+    })
+}
+
+/// Rebuilds every quarantined shard of the store at `dir` from `dataset`
+/// and republishes it atomically.
+///
+/// A rebuilt shard must hash to the digest the manifest committed — the
+/// per-lane render is deterministic, so anything else means the dataset or
+/// build config drifted and the repair is refused rather than silently
+/// rewriting history. The manifest (and generation) never changes: a crash
+/// mid-repair leaves the store exactly as recoverable as before.
+pub fn repair_store(
+    dir: &Path,
+    dataset: &Dataset,
+    options: &RepairOptions,
+) -> Result<RepairReport, StoreError> {
+    let _span = tind_obs::span("core.store.repair");
+    let manifest = read_manifest(dir)?;
+    if manifest.fingerprint != dataset_fingerprint(dataset) {
+        return Err(mismatch(
+            "store fingerprint does not match the dataset (stale or mismatched files)",
+        ));
+    }
+    if manifest.num_attrs != dataset.len() {
+        return Err(mismatch("store attribute count does not match the dataset"));
+    }
+    sweep(dir, manifest.generation)?;
+    let timeline = dataset.timeline();
+    let sizing = manifest.has_m_r.then(|| {
+        TindParams::weighted(
+            manifest.config.slices.sizing_eps,
+            0,
+            manifest.config.slices.sizing_weights.clone(),
+        )
+    });
+    let (m, k_hashes) = (manifest.config.m, manifest.config.k_hashes);
+    let num_slices = manifest.slices.len();
+    let mut budget = OpBudget::new(options.kill_after_ops);
+    let mut rebuilt = Vec::new();
+    let mut intact = 0;
+    let mut strip = BloomColumnStrip::new(m, k_hashes);
+    for entry in &manifest.shards {
+        if load_shard(dir, &manifest, entry).is_ok() {
+            intact += 1;
+            continue;
+        }
+        // Re-render the shard with the exact per-lane fill of the parallel
+        // builder: M_T from value universes, each slice from its persisted
+        // expanded window, M_R from required values under the manifest's
+        // sizing parameters.
+        let payload = encode_shard_with(
+            &manifest,
+            entry.id,
+            entry.block_start,
+            entry.block_count,
+            |target, block| {
+                strip.clear();
+                let lo = block * 64;
+                let hi = (lo + 64).min(manifest.num_attrs);
+                for id in lo..hi {
+                    let hist = dataset.attribute(id as AttrId);
+                    let lane = id - lo;
+                    if target == 0 {
+                        strip.insert_lane(lane, &hist.value_universe());
+                    } else if target <= num_slices {
+                        let values = hist.values_in(manifest.slices[target - 1].1);
+                        if !values.is_empty() {
+                            strip.insert_lane(lane, &values);
+                        }
+                    } else {
+                        let req =
+                            required_values(hist, sizing.as_ref().expect("m_r sizing"), timeline);
+                        if !req.is_empty() {
+                            strip.insert_lane(lane, &req);
+                        }
+                    }
+                }
+                strip.words().to_vec()
+            },
+            |attr, buf| put_value_set(buf, &dataset.attribute(attr as AttrId).value_universe()),
+        );
+        let digest = shard_digest(&payload);
+        if digest != entry.digest || payload.len() as u64 != entry.byte_len {
+            return Err(mismatch(format!(
+                "rebuilt shard {} hashes to {digest:#010x} but the manifest committed \
+                 {:#010x} — dataset or config drift; re-pack instead of repairing",
+                entry.id, entry.digest
+            )));
+        }
+        write_atomic(&dir.join(shard_name(manifest.generation, entry.id)), &payload, &mut budget)?;
+        rebuilt.push(entry.id);
+    }
+    budget.step()?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(RepairReport { generation: manifest.generation, rebuilt, intact })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use tind_model::{DatasetBuilder, Timeline};
+
+    fn dataset() -> Arc<Dataset> {
+        let mut b = DatasetBuilder::new(Timeline::new(80));
+        b.add_attribute("q", &[(0, vec!["a", "b"]), (40, vec!["a", "b", "c"])], 79);
+        b.add_attribute("big", &[(0, vec!["a", "b", "c", "d"])], 79);
+        b.add_attribute("other", &[(5, vec!["x", "y"])], 60);
+        Arc::new(b.build())
+    }
+
+    fn store_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tind-core-store-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn pack_open_roundtrip_is_byte_identical() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("roundtrip");
+        let report = pack_store(&index, &dir, &PackOptions::default()).expect("pack");
+        assert_eq!(report.generation, 1);
+        let (loaded, load) = open_store(&dir, d.clone()).expect("open");
+        assert!(load.is_clean());
+        assert!(loaded.shard_mask().is_none());
+        assert_eq!(
+            crate::persist::encode_index(&loaded),
+            crate::persist::encode_index(&index),
+            "store round-trip must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_digests_are_content_hashes_not_the_crc_residue() {
+        // CRC-32 of any message with its own CRC appended is the constant
+        // residue 0x2144df1c; if digests were taken over the whole file
+        // every valid shard would share it and a swapped-in shard from
+        // another store would pass. Pin that digests vary with content and
+        // that a foreign shard of identical geometry is rejected by the
+        // digest alone.
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("digest-content");
+        pack_store(&index, &dir, &PackOptions::default()).expect("pack");
+        let manifest = read_manifest(&dir).expect("manifest");
+        for entry in &manifest.shards {
+            assert_ne!(entry.digest, 0x2144df1c, "digest must not be the CRC residue");
+        }
+
+        // Doctor the shard: flip a Bloom-strip byte, then *re-sign* the
+        // file's own trailer. The result is the same length and fully
+        // self-consistent — only a real content digest can reject it.
+        let shard_path = dir.join(shard_name(1, 0));
+        let mut raw = std::fs::read(&shard_path).expect("read shard");
+        let body = raw.len() - checksum::TRAILER_LEN;
+        raw[body / 2] ^= 0xff;
+        let resigned = crc32(&raw[..body]).to_le_bytes();
+        raw[body..].copy_from_slice(&resigned);
+        std::fs::write(&shard_path, &raw).expect("write doctored shard");
+        let report = verify_store(&dir).expect("verify runs");
+        assert_eq!(report.faults.len(), 1, "doctored shard must fail verification");
+        assert!(
+            matches!(report.faults[0].error, StoreError::ShardCorrupt { .. }),
+            "digest mismatch, not a structural error: {}",
+            report.faults[0].error
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_is_quarantined_and_masked() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("missing-shard");
+        // 3 attrs → 1 block → 1 shard; delete it.
+        pack_store(&index, &dir, &PackOptions::default()).expect("pack");
+        std::fs::remove_file(dir.join(shard_name(1, 0))).expect("remove shard");
+        let (loaded, load) = open_store(&dir, d.clone()).expect("open degraded");
+        assert_eq!(load.quarantined.len(), 1);
+        assert_eq!(load.quarantined[0].shard, 0);
+        let mask = loaded.shard_mask().expect("mask present");
+        assert_eq!(mask.masked_attrs(), 3);
+        assert_eq!(mask.live_fraction(), 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_reports_expected_and_actual_crc() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("corrupt-shard");
+        pack_store(&index, &dir, &PackOptions::default()).expect("pack");
+        let shard_path = dir.join(shard_name(1, 0));
+        crate::fault::flip_file_byte(&shard_path, 40).expect("flip");
+        let (_, load) = open_store(&dir, d.clone()).expect("open degraded");
+        assert_eq!(load.quarantined.len(), 1);
+        match &load.quarantined[0].error {
+            StoreError::ShardCorrupt { shard, expected, actual } => {
+                assert_eq!(*shard, 0);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected ShardCorrupt, got {other}"),
+        }
+        // Repair restores byte-identity.
+        let repair = repair_store(&dir, &d, &RepairOptions::default()).expect("repair");
+        assert_eq!(repair.rebuilt, vec![0]);
+        let (loaded, load) = open_store(&dir, d.clone()).expect("open clean");
+        assert!(load.is_clean());
+        assert_eq!(
+            crate::persist::encode_index(&loaded),
+            crate::persist::encode_index(&index)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_pack_bumps_generation_and_sweeps_stale() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("generations");
+        pack_store(&index, &dir, &PackOptions::default()).expect("pack 1");
+        let report = pack_store(&index, &dir, &PackOptions::default()).expect("pack 2");
+        assert_eq!(report.generation, 2);
+        assert!(report.swept_stale >= 1, "generation-1 shards swept");
+        let (_, load) = open_store(&dir, d.clone()).expect("open");
+        assert_eq!(load.generation, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_pack_leaves_previous_generation_intact() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("killed-pack");
+        pack_store(&index, &dir, &PackOptions::default()).expect("pack 1");
+        let err = pack_store(
+            &index,
+            &dir,
+            &PackOptions { kill_after_ops: Some(1), ..PackOptions::default() },
+        )
+        .expect_err("killed");
+        assert!(matches!(err, StoreError::Killed { .. }));
+        // Generation 1 still opens cleanly; the stranded temp is swept.
+        let (loaded, load) = open_store(&dir, d.clone()).expect("open");
+        assert_eq!(load.generation, 1);
+        assert!(load.is_clean());
+        assert!(load.swept_temps >= 1, "orphan temp swept");
+        assert_eq!(
+            crate::persist::encode_index(&loaded),
+            crate::persist::encode_index(&index)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_reports_faults_without_sweeping() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("verify");
+        pack_store(&index, &dir, &PackOptions::default()).expect("pack");
+        let clean = verify_store(&dir).expect("verify");
+        assert!(clean.faults.is_empty());
+        assert_eq!(clean.generation, 1);
+        crate::fault::flip_file_byte(&dir.join(shard_name(1, 0)), 12).expect("flip");
+        let report = verify_store(&dir).expect("verify");
+        assert_eq!(report.faults.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_name_parses_back() {
+        assert_eq!(parse_shard_gen(&shard_name(12, 3)), Some(12));
+        assert_eq!(parse_shard_gen("index.manifest"), None);
+        assert_eq!(parse_shard_gen("g12-s3.shard.tmp"), None);
+        assert_eq!(parse_shard_gen("gX-s3.shard"), None);
+    }
+
+    #[test]
+    fn partition_covers_all_blocks_contiguously() {
+        for blocks in 1..40 {
+            for shards in 1..10 {
+                let parts = partition_blocks(blocks, shards);
+                assert_eq!(parts.len(), shards.min(blocks));
+                let mut next = 0;
+                for &(start, count) in &parts {
+                    assert_eq!(start, next);
+                    assert!(count >= 1);
+                    next += count;
+                }
+                assert_eq!(next, blocks);
+            }
+        }
+    }
+}

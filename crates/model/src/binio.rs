@@ -30,6 +30,11 @@ pub enum BinIoError {
         stored: u32,
         /// CRC-32 recomputed over the payload.
         computed: u32,
+        /// Byte offset of the trailer within the file — everything before
+        /// this offset is covered by the checksum, so this is also the
+        /// payload length the verifier hashed. Operators use it to locate
+        /// where a file was cut or copied short.
+        offset: u64,
     },
 }
 
@@ -38,10 +43,11 @@ impl std::fmt::Display for BinIoError {
         match self {
             BinIoError::Io(e) => write!(f, "i/o error: {e}"),
             BinIoError::Corrupt(msg) => write!(f, "corrupt dataset file: {msg}"),
-            BinIoError::Checksum { stored, computed } => write!(
+            BinIoError::Checksum { stored, computed, offset } => write!(
                 f,
-                "checksum mismatch: trailer says {stored:#010x} but payload hashes to \
-                 {computed:#010x} (file truncated or corrupted)"
+                "checksum mismatch over bytes 0..{offset}: trailer at byte offset {offset} says \
+                 {stored:#010x} but payload hashes to {computed:#010x} (file truncated or \
+                 corrupted)"
             ),
         }
     }

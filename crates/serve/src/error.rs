@@ -85,6 +85,25 @@ impl ServeError {
         Self::new(503, "draining", "server is draining, not accepting new queries")
     }
 
+    /// 503 — the query attribute's index columns live in a store shard
+    /// that was quarantined at load; the daemon is serving degraded and
+    /// cannot answer for this attribute until `tind store repair` (or a
+    /// background re-verify) restores the shard. Queries outside the lost
+    /// range answer normally.
+    pub fn shard_unavailable(attr: &str, shard: usize) -> ServeError {
+        ServeError {
+            retry_after_ms: Some(1000),
+            ..Self::new(
+                503,
+                "shard_unavailable",
+                format!(
+                    "attribute '{attr}' is covered by quarantined store shard {shard}; \
+                     repair the store to restore it"
+                ),
+            )
+        }
+    }
+
     /// 503 — the memory budget cannot cover even an uncoalesced request.
     pub fn overloaded_memory(retry_after_ms: u64) -> ServeError {
         ServeError {
@@ -149,6 +168,17 @@ mod tests {
         let e = ServeError::deadline_exceeded();
         assert_eq!(e.retry_after_ms, None);
         assert!(!e.to_value().to_json().contains("retry_after_ms"));
+    }
+
+    #[test]
+    fn shard_unavailable_names_the_shard_and_attribute() {
+        let e = ServeError::shard_unavailable("prices", 3);
+        assert_eq!(e.status, 503);
+        let body = e.to_value().to_json();
+        assert!(body.contains("\"code\":\"shard_unavailable\""));
+        assert!(body.contains("shard 3"));
+        assert!(body.contains("'prices'"));
+        assert!(body.contains("retry_after_ms"));
     }
 
     #[test]

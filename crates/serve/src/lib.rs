@@ -24,6 +24,13 @@
 //! * **Graceful drain** — SIGINT/SIGTERM stops admission, finishes or
 //!   deadline-cancels in-flight work (reason `Drain` past the grace
 //!   period), and reports whether the drain was clean.
+//! * **Degraded serving** — an index loaded from a sharded store
+//!   (`tind_core::store`) with quarantined shards still comes up:
+//!   `/healthz` reports `degraded` with the live-shard fraction, queries
+//!   over lost attribute ranges answer a typed `shard_unavailable` 503,
+//!   everything else answers normally (marked `partial`), and background
+//!   re-verification promotes back to `serving` once the store is
+//!   repaired.
 //!
 //! Responses are deterministic modulo the `elapsed_ms` field: the
 //! differential suite pins serve output byte-equal to one-shot CLI

@@ -32,13 +32,14 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use tind_core::{
-    BatchOptions, BuildOptions, CancelReason, CancelToken, IndexConfig, SearchOutcome,
-    SliceConfig, TindIndex, TindParams,
+    open_store, verify_store, BatchOptions, BuildOptions, CancelReason, CancelToken, IndexConfig,
+    LoadReport, SearchOutcome, ShardMask, SliceConfig, TindIndex, TindParams,
 };
 use tind_model::{AttrId, Dataset, MemoryBudget, WeightFn};
 use tind_obs::Value;
@@ -89,6 +90,9 @@ pub struct ServeConfig {
     pub drain_grace: Duration,
     /// Unit for `retry_after_ms` hints: `retry_unit × (depth + 1)`.
     pub retry_unit: Duration,
+    /// How often a **degraded** engine re-verifies its store, looking to
+    /// promote back to `serving` once the quarantined shards are repaired.
+    pub reverify_interval: Duration,
     /// Test-only fault injection hook.
     pub fault_hook: Option<ServeFaultHook>,
 }
@@ -110,6 +114,7 @@ impl Default for ServeConfig {
             memory_budget: None,
             drain_grace: Duration::from_secs(5),
             retry_unit: Duration::from_millis(25),
+            reverify_interval: Duration::from_millis(500),
             fault_hook: None,
         }
     }
@@ -132,6 +137,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("memory_budget", &self.memory_budget)
             .field("drain_grace", &self.drain_grace)
             .field("retry_unit", &self.retry_unit)
+            .field("reverify_interval", &self.reverify_interval)
             .field("fault_hook", &self.fault_hook.is_some())
             .finish()
     }
@@ -145,8 +151,14 @@ impl std::fmt::Debug for ServeConfig {
 /// serve responses differentially comparable to one-shot runs.
 pub struct Engine {
     dataset: Arc<Dataset>,
-    forward: TindIndex,
+    /// Behind a lock because a degraded engine swaps in a clean copy when
+    /// background re-verification finds the store repaired. Readers clone
+    /// the `Arc`, so a swap never stalls an in-flight wave.
+    forward: RwLock<Arc<TindIndex>>,
     reverse: TindIndex,
+    /// Present iff `forward` was loaded from a sharded store; enables
+    /// [`Engine::try_promote`].
+    store_dir: Option<PathBuf>,
     default_eps: f64,
     default_delta: u32,
     default_decay: Option<f64>,
@@ -179,12 +191,50 @@ impl Engine {
         let reverse = TindIndex::build_with(dataset.clone(), reverse_config, &options);
         Engine {
             dataset,
-            forward,
+            forward: RwLock::new(Arc::new(forward)),
             reverse,
+            store_dir: None,
             default_eps: eps,
             default_delta: delta,
             default_decay: decay,
         }
+    }
+
+    /// Loads the forward index from the sharded store at `dir` — accepting
+    /// a **degraded** load with quarantined shards — and builds the
+    /// reverse index in memory. The returned [`LoadReport`] says whether
+    /// the engine starts degraded; the server then re-verifies the store
+    /// periodically and promotes itself once repaired.
+    pub fn from_store(
+        dir: &Path,
+        dataset: Arc<Dataset>,
+        eps: f64,
+        delta: u32,
+        decay: Option<f64>,
+        build_threads: usize,
+    ) -> Result<(Engine, LoadReport), String> {
+        let (forward, report) = open_store(dir, dataset.clone())
+            .map_err(|e| format!("store at {}: {e}", dir.display()))?;
+        let weights = match decay {
+            Some(a) => WeightFn::exponential(a, dataset.timeline()),
+            None => WeightFn::constant_one(),
+        };
+        let options = BuildOptions { threads: build_threads, ..BuildOptions::default() };
+        let reverse_config = IndexConfig {
+            slices: SliceConfig::reverse_default(eps, weights, delta),
+            ..IndexConfig::reverse_default()
+        };
+        let reverse = TindIndex::build_with(dataset.clone(), reverse_config, &options);
+        let engine = Engine {
+            dataset,
+            forward: RwLock::new(Arc::new(forward)),
+            reverse,
+            store_dir: Some(dir.to_path_buf()),
+            default_eps: eps,
+            default_delta: delta,
+            default_decay: decay,
+        };
+        Ok((engine, report))
     }
 
     /// The dataset this engine serves.
@@ -192,14 +242,59 @@ impl Engine {
         &self.dataset
     }
 
-    /// The forward-direction index.
-    pub fn forward(&self) -> &TindIndex {
-        &self.forward
+    /// The forward-direction index (a cheap `Arc` clone; a degraded
+    /// engine may swap the underlying index after promotion, but a held
+    /// clone stays consistent for the wave using it).
+    pub fn forward(&self) -> Arc<TindIndex> {
+        lock_read(&self.forward).clone()
     }
 
     /// The reverse-direction index.
     pub fn reverse(&self) -> &TindIndex {
         &self.reverse
+    }
+
+    /// Whether the forward index currently has quarantined shards.
+    pub fn is_degraded(&self) -> bool {
+        self.forward().shard_mask().is_some()
+    }
+
+    /// `(live shard fraction, quarantined shard ids)` while degraded.
+    pub fn degraded_status(&self) -> Option<(f64, Vec<usize>)> {
+        let forward = self.forward();
+        let mask = forward.shard_mask()?;
+        Some((
+            mask.live_fraction(),
+            mask.quarantined().iter().map(|q| q.shard).collect(),
+        ))
+    }
+
+    /// Re-opens the store and swaps in the freshly loaded forward index if
+    /// — and only if — every shard now verifies. Returns `true` on
+    /// promotion. A no-op for engines not loaded from a store or already
+    /// clean.
+    pub fn try_promote(&self) -> bool {
+        let Some(dir) = &self.store_dir else { return false };
+        if !self.is_degraded() {
+            return false;
+        }
+        // Probe with the read-only verifier first: `open_store` runs the
+        // recovery sweep, and sweeping every poll tick would race an
+        // out-of-band `tind store repair` — deleting its in-flight temp
+        // file out from under the rename. Only a store that already
+        // verifies clean is worth (and safe for) a full reopen.
+        match verify_store(dir) {
+            Ok(report) if report.faults.is_empty() => {}
+            _ => return false,
+        }
+        match open_store(dir, self.dataset.clone()) {
+            Ok((index, report)) if report.is_clean() => {
+                *self.forward.write().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Arc::new(index);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Resolve request parameters against the defaults. The key
@@ -248,6 +343,11 @@ type ParamsKey = (u64, u32, Option<u64>);
 const STATE_LOADING: u8 = 0;
 const STATE_SERVING: u8 = 1;
 const STATE_DRAINING: u8 = 2;
+/// Serving, but from a store with quarantined shards: queries over live
+/// attributes answer normally (marked partial), queries over lost ranges
+/// get a typed `shard_unavailable`, and background re-verification
+/// promotes back to [`STATE_SERVING`] once the store is repaired.
+const STATE_DEGRADED: u8 = 3;
 
 /// One admitted request waiting for (or undergoing) execution.
 struct Job {
@@ -414,10 +514,25 @@ impl Server {
 
             match loader() {
                 Ok(engine) => {
+                    let degraded = engine.is_degraded();
                     let _ = rt.engine.set(engine);
-                    rt.set_state(STATE_SERVING);
+                    rt.set_state(if degraded { STATE_DEGRADED } else { STATE_SERVING });
+                    let mut next_reverify = Instant::now() + rt.config.reverify_interval;
                     while !rt.shutdown.is_cancelled() {
                         std::thread::sleep(Duration::from_millis(10));
+                        // Background re-verification: while degraded, poll
+                        // the store; once every shard verifies again
+                        // (e.g. after `tind store repair`), swap in the
+                        // clean index and promote to `serving`.
+                        if rt.state() == STATE_DEGRADED && Instant::now() >= next_reverify {
+                            next_reverify = Instant::now() + rt.config.reverify_interval;
+                            let promoted =
+                                rt.engine.get().is_some_and(Engine::try_promote);
+                            if promoted {
+                                tind_obs::counter("serve.promotions").incr();
+                                rt.set_state(STATE_SERVING);
+                            }
+                        }
                     }
                 }
                 Err(e) => load_error = Some(e),
@@ -567,14 +682,26 @@ fn healthz_body(rt: &Runtime) -> Value {
     let status = match state {
         STATE_LOADING => "loading",
         STATE_SERVING => "serving",
+        STATE_DEGRADED => "degraded",
         _ => "draining",
     };
-    Value::obj([
+    let mut body = Value::obj([
         ("status", Value::str(status)),
-        ("ready", Value::Bool(state == STATE_SERVING)),
+        // Degraded still accepts queries — `status` carries the nuance.
+        ("ready", Value::Bool(state == STATE_SERVING || state == STATE_DEGRADED)),
         ("queue_depth", Value::num(rt.jobs.depth() as f64)),
         ("uptime_ms", Value::num(rt.started.elapsed().as_millis() as f64)),
-    ])
+    ]);
+    if state == STATE_DEGRADED {
+        if let Some((fraction, shards)) = rt.engine.get().and_then(Engine::degraded_status) {
+            body.set("live_shard_fraction", Value::num(fraction));
+            body.set(
+                "quarantined_shards",
+                Value::Arr(shards.into_iter().map(|s| Value::num(s as f64)).collect()),
+            );
+        }
+    }
+    body
 }
 
 /// Whether two queued calls may share one batch wave: same direction,
@@ -768,13 +895,35 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
         engine.resolve_params(head.eps, head.delta, head.decay)
     };
 
+    // Pin the forward index for the whole wave: a concurrent promotion
+    // swap cannot change results mid-wave.
+    let forward = engine.forward();
+
     // Resolve every member's query attribute; unknown names answer 400
-    // and leave the wave.
+    // and leave the wave. A query whose own index columns were lost with
+    // a quarantined shard answers a typed 503 — a degraded index cannot
+    // say anything about that attribute, and an empty 200 would be a lie.
     let mut members: Vec<(Job, QuerySpec, AttrId)> = Vec::with_capacity(wave.len());
     for mut job in wave.drain(..) {
         let spec = spec_of(&job.call);
         match engine.resolve_attr(&spec.query) {
-            Ok(id) => members.push((job, spec, id)),
+            Ok(id) => {
+                let lost = (!reverse)
+                    .then(|| forward.shard_mask())
+                    .flatten()
+                    .and_then(|m| {
+                        m.quarantined().iter().find(|q| id >= q.attr_start && id < q.attr_end)
+                    });
+                if let Some(q) = lost {
+                    tind_obs::counter("serve.shard_unavailable").incr();
+                    rt.respond_error(
+                        &mut job.stream,
+                        &ServeError::shard_unavailable(&spec.query, q.shard),
+                    );
+                } else {
+                    members.push((job, spec, id));
+                }
+            }
             Err(e) => rt.respond_error(&mut job.stream, &e),
         }
     }
@@ -804,8 +953,7 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
                 })
                 .collect()
         } else {
-            engine
-                .forward
+            forward
                 .search_batch_with(
                     &ids,
                     &params,
@@ -827,11 +975,15 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
         }
         Ok(outcomes) => {
             let direction = if reverse { "reverse" } else { "forward" };
+            // Reverse queries run on the always-in-memory reverse index,
+            // so only forward results can be partial.
+            let mask = if reverse { None } else { forward.shard_mask() };
             for ((mut job, spec, id), outcome) in members.into_iter().zip(outcomes) {
                 match outcome {
                     Some(outcome) => {
-                        let body =
-                            search_body(engine, &spec, id, direction, &params, &outcome, &job);
+                        let body = search_body(
+                            engine, &spec, id, direction, &params, &outcome, mask, &job,
+                        );
                         finish_ok(rt, &mut job, &body);
                     }
                     None => respond_cancelled(rt, &mut job, wave_token.reason()),
@@ -843,7 +995,10 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
 
 /// Renders the canonical search response. Everything except
 /// `elapsed_ms` is deterministic for a given index and parameter set —
-/// the differential suite strips that one field and byte-compares.
+/// the differential suite strips that one field and byte-compares. The
+/// `partial`/`quarantined_shards` markers appear **only** when `mask` is
+/// present (degraded serving), so clean responses stay byte-stable.
+#[allow(clippy::too_many_arguments)]
 fn search_body(
     engine: &Engine,
     spec: &QuerySpec,
@@ -851,6 +1006,7 @@ fn search_body(
     direction: &str,
     params: &TindParams,
     outcome: &SearchOutcome,
+    mask: Option<&ShardMask>,
     job: &Job,
 ) -> Value {
     let limit = spec.limit.unwrap_or(DEFAULT_LIMIT);
@@ -866,7 +1022,7 @@ fn search_body(
         })
         .collect();
     let s = &outcome.stats;
-    Value::obj([
+    let mut body = Value::obj([
         ("query", Value::str(engine.dataset.attribute(id).name())),
         ("direction", Value::str(direction)),
         ("eps", Value::num(params.eps)),
@@ -888,7 +1044,17 @@ fn search_body(
             ]),
         ),
         ("elapsed_ms", Value::num(elapsed_ms(job))),
-    ])
+    ]);
+    if let Some(mask) = mask {
+        body.set("partial", Value::Bool(true));
+        body.set(
+            "quarantined_shards",
+            Value::Arr(
+                mask.quarantined().iter().map(|q| Value::num(q.shard as f64)).collect(),
+            ),
+        );
+    }
+    body
 }
 
 fn elapsed_ms(job: &Job) -> f64 {
@@ -953,4 +1119,8 @@ fn drain_watchdog(rt: &Runtime) {
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -175,6 +175,12 @@ if [ "$CHECK_ONLY" = 0 ]; then
     # the flushed report (see devtools/serve-smoke.sh).
     echo "smoke tind serve (ephemeral port, SIGINT drain)"
     devtools/serve-smoke.sh "$OUT/tind" "$OUT"
+
+    # Store smoke: pack a sharded store, recover from simulated crash
+    # debris, corrupt a shard, serve degraded, repair out-of-band, and
+    # watch the daemon promote back (see devtools/store-smoke.sh).
+    echo "smoke sharded store (pack, crash debris, degraded serve, repair)"
+    devtools/store-smoke.sh "$OUT/tind" "$OUT"
 fi
 
 echo "offline check passed"

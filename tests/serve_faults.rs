@@ -374,3 +374,102 @@ fn metrics_endpoint_exposes_serve_families() {
     }
     h.stop();
 }
+
+/// Degraded serving: a store with one quarantined shard still comes up,
+/// answers everything outside the lost attribute range, returns typed
+/// `shard_unavailable` 503s inside it, and the background re-verify
+/// promotes back to `serving` once `tind store repair` restores the
+/// shard.
+#[test]
+fn quarantined_shard_serves_degraded_and_repair_promotes() {
+    use tind_core::{pack_store, repair_store, PackOptions, RepairOptions};
+
+    let dataset = Arc::new(generate(&GeneratorConfig::small(200, 21)).dataset);
+    let dir = std::env::temp_dir().join("tind-serve-faults-degraded.store");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        // Pack with the same config the daemon resolves from (eps=3, δ=7)
+        // so store-backed answers match built ones.
+        let eng = Engine::build(dataset.clone(), 3.0, 7, None, 0);
+        pack_store(&eng.forward(), &dir, &PackOptions { shards: 4, ..Default::default() })
+            .expect("pack");
+    }
+    // Corrupt shard 1 → attributes 64..128 are lost.
+    let victim = dir.join("g1-s1.shard");
+    let len = std::fs::metadata(&victim).expect("shard exists").len() as usize;
+    tind_core::fault::flip_file_byte(&victim, len / 2).expect("flip");
+
+    let config = ServeConfig {
+        reverify_interval: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = CancelToken::new();
+    let handle = {
+        let shutdown = shutdown.clone();
+        let dataset = dataset.clone();
+        let dir = dir.clone();
+        std::thread::spawn(move || {
+            server.run(|| Engine::from_store(&dir, dataset, 3.0, 7, None, 0).map(|(e, _)| e), shutdown)
+        })
+    };
+
+    // Comes up degraded — ready, but flagged, with the live fraction.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let health = loop {
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        if status == 200 && body.contains("\"degraded\"") {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "server never reached degraded; last: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(health.contains("\"ready\":true"), "{health}");
+    assert!(health.contains("\"live_shard_fraction\":0.75"), "{health}");
+    assert!(health.contains("\"quarantined_shards\":[1]"), "{health}");
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("\"name\":\"store.shards.quarantined\",\"value\":1"),
+        "metrics must pin the quarantined count: {metrics}"
+    );
+
+    // Outside the lost range: normal answer, marked partial.
+    let (status, body) = request(addr, "POST", "/search", "{\"query\":\"5\"}");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"partial\":true"), "{body}");
+    assert!(body.contains("\"quarantined_shards\":[1]"), "{body}");
+
+    // Inside the lost range: typed shard_unavailable, not a 500.
+    let (status, body) = request(addr, "POST", "/search", "{\"query\":\"70\"}");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"shard_unavailable\""), "{body}");
+    assert!(body.contains("quarantined store shard 1"), "{body}");
+
+    // Reverse search never depends on the store (its index is built in
+    // memory), so even the lost range answers.
+    let (status, body) = request(addr, "POST", "/reverse-search", "{\"query\":\"70\"}");
+    assert_eq!(status, 200, "{body}");
+
+    // Repair the store out-of-band; the re-verify loop promotes.
+    repair_store(&dir, &dataset, &RepairOptions::default()).expect("repair");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        if status == 200 && body.contains("\"serving\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "repair never promoted; last: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The formerly-lost attribute answers cleanly, with no partial marker.
+    let (status, body) = request(addr, "POST", "/search", "{\"query\":\"70\"}");
+    assert_eq!(status, 200, "{body}");
+    assert!(!body.contains("\"partial\""), "{body}");
+
+    shutdown.cancel();
+    handle.join().expect("thread").expect("outcome");
+    std::fs::remove_dir_all(&dir).ok();
+}
