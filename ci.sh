@@ -49,6 +49,10 @@ if cargo metadata --format-version 1 >/dev/null 2>&1; then
     # Store smoke: pack a sharded store, recover from simulated crash
     # debris, corrupt a shard, serve degraded, repair, promote.
     devtools/store-smoke.sh target/release/tind target
+    # Update smoke: ingest a base dump, apply a delta dump with in-place
+    # index maintenance, and pin the result byte-identical to a cold
+    # rebuild (plus TINDUC kill/resume and the TINDRR report).
+    devtools/update-smoke.sh target/release/tind target
     echo "ci: full cargo gate passed"
 else
     echo "ci: cargo cannot reach a registry (offline, nothing vendored);"

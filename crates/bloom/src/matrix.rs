@@ -376,6 +376,51 @@ impl BloomMatrix {
         BloomColumnStrip { m: self.m, k_hashes: self.k_hashes, words }
     }
 
+    /// Overwrites word-block `block` (columns `64·block .. 64·block + 64`)
+    /// with a freshly rendered strip — the in-place update primitive of the
+    /// delta path. Unlike [`BloomMatrixBuilder::merge_strip`]'s OR, bits set
+    /// by superseded column contents are cleared too, so the block ends up
+    /// exactly as if the matrix had been built cold from the strip's
+    /// current contents. Lanes past `num_cols` (a ragged final block) are
+    /// masked off.
+    ///
+    /// # Panics
+    /// Panics if `block` is past the matrix's word width or the strip's
+    /// `(m, k_hashes)` disagree with the matrix.
+    pub fn replace_strip(&mut self, block: usize, strip: &BloomColumnStrip) {
+        assert!(block < self.words_per_row, "block {block} out of range");
+        assert_eq!(strip.m, self.m, "strip row count must match matrix");
+        assert_eq!(strip.k_hashes, self.k_hashes, "strip probe count must match matrix");
+        let lanes = self.num_cols - block * 64;
+        let mask = if lanes >= 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        for (row, &w) in strip.words.iter().enumerate() {
+            self.rows[row * self.words_per_row + block] = w & mask;
+        }
+    }
+
+    /// Widens the matrix to `new_num_cols` columns; appended columns start
+    /// all-zero and existing column bits are preserved row by row. Used by
+    /// the delta path when a revision batch introduces new attributes.
+    ///
+    /// # Panics
+    /// Panics if `new_num_cols < num_cols` (matrices only grow).
+    pub fn grow_cols(&mut self, new_num_cols: usize) {
+        assert!(new_num_cols >= self.num_cols, "matrices only grow");
+        let new_words_per_row = new_num_cols.div_ceil(64);
+        if new_words_per_row != self.words_per_row {
+            let mut rows = vec![0u64; self.m as usize * new_words_per_row];
+            for row in 0..self.m as usize {
+                let src = row * self.words_per_row;
+                let dst = row * new_words_per_row;
+                rows[dst..dst + self.words_per_row]
+                    .copy_from_slice(&self.rows[src..src + self.words_per_row]);
+            }
+            self.rows = rows;
+            self.words_per_row = new_words_per_row;
+        }
+        self.num_cols = new_num_cols;
+    }
+
     /// Serializes the matrix (for index persistence).
     pub fn encode(&self, buf: &mut bytes::BytesMut) {
         use bytes::BufMut;
@@ -657,6 +702,78 @@ mod tests {
         let strip = original.extract_strip(1);
         let copy = BloomColumnStrip::from_words(m, k, strip.words().to_vec());
         assert_eq!(strip.words(), copy.words());
+    }
+
+    #[test]
+    fn replace_strip_equals_cold_rebuild_of_the_block() {
+        // 150 columns: two full blocks plus a ragged 22-lane block. Start
+        // from stale contents everywhere, replace each block with its
+        // current strip, and demand byte-identity with a cold build — the
+        // exact contract the delta path relies on (stale bits cleared).
+        let (m, n, k) = (512u32, 150usize, 2u32);
+        let mut stale = BloomMatrixBuilder::new(m, n, k);
+        let mut fresh = BloomMatrixBuilder::new(m, n, k);
+        for col in 0..n {
+            stale.insert_column(col, &[(col * 31 + 5) as ValueId]);
+            fresh.insert_column(col, &strip_test_values(col));
+        }
+        let mut updated = stale.build();
+        let fresh = fresh.build();
+        for block in 0..n.div_ceil(64) {
+            let mut strip = BloomColumnStrip::new(m, k);
+            for col in block * 64..((block + 1) * 64).min(n) {
+                strip.insert_lane(col - block * 64, &strip_test_values(col));
+            }
+            updated.replace_strip(block, &strip);
+        }
+        let (mut a, mut b) = (bytes::BytesMut::new(), bytes::BytesMut::new());
+        updated.encode(&mut a);
+        fresh.encode(&mut b);
+        assert_eq!(a, b, "replace_strip must leave the block as a cold build would");
+    }
+
+    #[test]
+    fn replace_strip_masks_ragged_lanes() {
+        let b = BloomMatrixBuilder::new(64, 70, 2);
+        let mut strip = BloomColumnStrip::new(64, 2);
+        for lane in 0..64 {
+            strip.insert_lane(lane, &[lane as ValueId]);
+        }
+        let mut m = b.build();
+        m.replace_strip(1, &strip);
+        for col in 64..70 {
+            assert!(m.column_filter(col).count_ones() > 0, "column {col} populated");
+        }
+        // Lanes 6..64 of block 1 must have been masked off: the block's
+        // word carries no bits past lane 5 in any row.
+        let masked = m.extract_strip(1);
+        for &w in masked.words() {
+            assert_eq!(w & !((1u64 << 6) - 1), 0, "masked lanes leaked");
+        }
+    }
+
+    #[test]
+    fn grow_cols_preserves_existing_columns_and_appends_zeros() {
+        // 60 → 70 columns crosses a word boundary; 70 → 100 does not.
+        let (m, k) = (256u32, 2u32);
+        let mut b = BloomMatrixBuilder::new(m, 60, k);
+        for col in 0..60 {
+            b.insert_column(col, &strip_test_values(col));
+        }
+        let mut grown = b.build();
+        grown.grow_cols(70);
+        grown.grow_cols(100);
+        assert_eq!(grown.num_cols(), 100);
+
+        let mut cold = BloomMatrixBuilder::new(m, 100, k);
+        for col in 0..60 {
+            cold.insert_column(col, &strip_test_values(col));
+        }
+        let cold = cold.build();
+        let (mut a, mut c) = (bytes::BytesMut::new(), bytes::BytesMut::new());
+        grown.encode(&mut a);
+        cold.encode(&mut c);
+        assert_eq!(a, c, "grown matrix must equal a cold build with zero new columns");
     }
 
     #[test]

@@ -127,8 +127,8 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         "serve" => vec![
             "data", "store", "host", "port", "port-file", "workers", "readers", "queue",
             "coalesce", "deadline-ms", "max-deadline-ms", "read-timeout-ms", "write-timeout-ms",
-            "max-body-bytes", "memory-limit", "drain-grace-ms", "reverify-ms", "build-threads",
-            "report", "quiet",
+            "max-body-bytes", "memory-limit", "drain-grace-ms", "reverify-ms", "cache",
+            "build-threads", "report", "quiet",
         ],
         "store" => vec![
             "data", "index", "out", "store", "shards", "m", "reverse", "build-threads", "report",
@@ -143,6 +143,11 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "dump", "out", "timeline", "epoch", "max-page-bytes", "max-error-rate",
             "memory-limit", "checkpoint", "checkpoint-every", "deadline", "quarantine-report",
             "resume", "quiet", "progress", "report",
+        ],
+        "update" => vec![
+            "dump", "data", "out", "index", "index-out", "compact", "epoch", "max-page-bytes",
+            "max-error-rate", "memory-limit", "checkpoint", "checkpoint-every", "deadline",
+            "quarantine-report", "resume", "quiet", "progress", "report",
         ],
         "experiment" => vec!["scale", "seed", "threads", "attributes", "queries", "csv-dir"],
         "list-experiments" | "help" | "--help" | "-h" => vec![],
@@ -215,6 +220,7 @@ fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
         "verify" => cmd_verify(args),
         "pipeline" => cmd_pipeline(args),
         "ingest" => cmd_ingest(args),
+        "update" => cmd_update(args),
         "experiment" => cmd_experiment(args),
         "list-experiments" => Ok(list_experiments()),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
@@ -822,10 +828,27 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
             partial.len(),
             cp.source_fingerprint,
         )
+    } else if kind == &tind_wiki::delta::UPDATE_CHECKPOINT_MAGIC[..7] {
+        let cp = tind_wiki::UpdateCheckpoint::decode(bytes)?;
+        // Like the ingest arm: the embedded dataset blob is opaque to
+        // checkpoint decoding, so verify digs all the way in.
+        let partial = tind_model::binio::decode_dataset(cp.dataset_bytes.clone())?;
+        format!(
+            "update checkpoint: resume offset {}, {} delta pages seen ({} quarantined), \
+             {} attribute(s) touched, partial dataset {} attributes, \
+             base fingerprint {:#018x}, source fingerprint {:#018x}",
+            cp.resume_offset,
+            cp.quarantine.pages_seen,
+            cp.quarantine.pages_quarantined,
+            cp.touched.len(),
+            partial.len(),
+            cp.base_fingerprint,
+            cp.source_fingerprint,
+        )
     } else {
         return Err(CliError::Data(BinIoError::Corrupt(
             "unrecognized file type (not a tind dataset, index, checkpoint, \
-             ingest checkpoint, quarantine report, or store artifact)"
+             ingest checkpoint, update checkpoint, quarantine report, or store artifact)"
                 .into(),
         )));
     };
@@ -1526,6 +1549,233 @@ fn cmd_ingest(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// `tind update`: incremental (delta) ingestion on top of an existing
+/// dataset — and, with `--index`, semi-naive maintenance of its index via
+/// `core::delta` instead of a cold rebuild. Shares the ingest failure
+/// model: quarantine, error budget, page-granular `TINDUC` checkpoints,
+/// Ctrl-C exits 130 with progress preserved.
+fn cmd_update(args: &Args) -> Result<String, CliError> {
+    use tind_wiki::ingest::{IngestCheckpointPolicy, IngestProgress, StopSignal};
+    use tind_wiki::{update_stream, IngestConfig, IngestError, IngestOptions, IngestStatus};
+
+    let dump_path: PathBuf = args.required::<String>("dump")?.into();
+    let data_path: PathBuf = args.required::<String>("data")?.into();
+    let out: PathBuf = args.required::<String>("out")?.into();
+    let index_path: Option<PathBuf> = args.opt::<String>("index")?.map(Into::into);
+    let index_out: Option<PathBuf> = args.opt::<String>("index-out")?.map(Into::into);
+    if index_out.is_some() && index_path.is_none() {
+        return Err(CliError::Message("--index-out requires --index FILE".into()));
+    }
+    // Updating in place is safe: the write is atomic only at the fs layer,
+    // but the source index stays valid until the final rename-free write,
+    // and a torn write is caught by the CRC on next load. Still, default
+    // to requiring an explicit output so operators opt into overwriting.
+    let index_out = match (&index_path, index_out) {
+        (Some(p), None) => Some(p.clone()),
+        (_, explicit) => explicit,
+    };
+    let compact = args.switch("compact");
+
+    let base = {
+        let _phase = tind_obs::span("phase.load");
+        read_dataset_file(&data_path)?
+    };
+    // The delta rides the base's timeline: it may only add revisions
+    // within the indexed window, so there is no --timeline knob here.
+    let mut config = IngestConfig::new(base.timeline().len() as u32);
+    config.pipeline.drop_vandalism = true; // match `tind ingest`
+    if let Some(epoch) = args.opt::<String>("epoch")? {
+        let mut parts = epoch.splitn(3, '-');
+        let parsed = (
+            parts.next().and_then(|v| v.parse::<i64>().ok()),
+            parts.next().and_then(|v| v.parse::<u32>().ok()),
+            parts.next().and_then(|v| v.parse::<u32>().ok()),
+        );
+        match parsed {
+            (Some(y), Some(m), Some(d)) if (1..=12).contains(&m) && (1..=31).contains(&d) => {
+                config.dump.epoch = (y, m, d);
+            }
+            _ => {
+                return Err(CliError::Message(format!(
+                    "--epoch must be YYYY-MM-DD, got '{epoch}'"
+                )))
+            }
+        }
+    }
+    config.max_page_bytes = args.opt_or("max-page-bytes", config.max_page_bytes)?;
+    config.max_error_rate = args.opt_or("max-error-rate", config.max_error_rate)?;
+
+    let checkpoint_path: Option<PathBuf> = args.opt::<String>("checkpoint")?.map(Into::into);
+    let checkpoint_every = args.opt_or("checkpoint-every", 512u64)?;
+    let resume = args.switch("resume");
+    if resume && checkpoint_path.is_none() {
+        return Err(CliError::Message("--resume requires --checkpoint FILE".into()));
+    }
+    let resume = resume && checkpoint_path.as_ref().is_some_and(|p| p.exists());
+
+    let fingerprint = tind_wiki::fingerprint_source(&dump_path)?;
+    let total_bytes = std::fs::metadata(&dump_path)?.len();
+    let src = std::io::BufReader::new(std::fs::File::open(&dump_path)?);
+
+    let deadline = args.opt::<f64>("deadline")?.map(Duration::from_secs_f64);
+    let started = std::time::Instant::now();
+    let cancel = {
+        let token = CancelToken::install_ctrl_c();
+        match deadline {
+            Some(d) => token.with_deadline(started + d),
+            None => token,
+        }
+    };
+    let stop: StopSignal = {
+        let cancel = cancel.clone();
+        Arc::new(move || cancel.is_cancelled())
+    };
+    let reporter =
+        tind_obs::Reporter::new(args.switch("quiet"), args.opt_or("progress", 1000usize)?);
+    let progress: Option<Box<dyn FnMut(&IngestProgress)>> = if reporter.every() == 0 {
+        None
+    } else {
+        Some(Box::new(move |p: &IngestProgress| {
+            if !reporter.tick(p.pages_seen as usize) {
+                return;
+            }
+            let secs = started.elapsed().as_secs_f64().max(1e-6);
+            let bytes_per_sec = p.offset as f64 / secs;
+            let eta = if bytes_per_sec > 0.0 {
+                total_bytes.saturating_sub(p.offset) as f64 / bytes_per_sec
+            } else {
+                f64::NAN
+            };
+            reporter.progress(format!(
+                "update: {} pages, {} quarantined, {}, {}",
+                p.pages_seen,
+                p.pages_quarantined,
+                tind_obs::fmt_rate(p.pages_seen, secs, "pages"),
+                tind_obs::fmt_eta_secs(eta),
+            ));
+        }))
+    };
+
+    let options = IngestOptions {
+        checkpoint: checkpoint_path
+            .clone()
+            .map(|path| IngestCheckpointPolicy { path, every_pages: checkpoint_every }),
+        resume,
+        memory_budget: match args.opt::<usize>("memory-limit")? {
+            Some(limit) => MemoryBudget::new(limit),
+            None => MemoryBudget::unlimited(),
+        },
+        should_stop: Some(stop),
+        progress,
+        fault_hook: None,
+    };
+
+    let update_phase = tind_obs::span("phase.update");
+    let outcome =
+        update_stream(src, fingerprint, base.clone(), &config, options).map_err(|e| match e {
+            IngestError::Io(e) => CliError::Io(e),
+            IngestError::Checkpoint(e) => CliError::Data(e),
+            IngestError::ResumeMismatch(m) => CliError::Message(format!("cannot resume: {m}")),
+        })?;
+    drop(update_phase);
+
+    let q = &outcome.quarantine;
+    if let Some(report_path) = args.opt::<String>("quarantine-report")? {
+        q.write_file(std::path::Path::new(&report_path))?;
+    }
+    let checkpoint_note = match &checkpoint_path {
+        Some(p) => format!("; progress checkpointed to {}", p.display()),
+        None => "; no checkpoint configured — progress lost (pass --checkpoint FILE)".into(),
+    };
+    match outcome.status {
+        IngestStatus::Cancelled => {
+            let why = cancel.reason().map_or("stopped", |r| r.label());
+            Err(CliError::Interrupted {
+                summary: format!(
+                    "update stopped ({why}) after {} pages ({} quarantined){checkpoint_note}",
+                    q.pages_seen, q.pages_quarantined,
+                ),
+            })
+        }
+        IngestStatus::ErrorBudgetExceeded => {
+            let mut msg = format!(
+                "error budget exceeded: {} of {} pages quarantined ({:.1}% > {:.1}% allowed){checkpoint_note}",
+                q.pages_quarantined,
+                q.pages_seen,
+                q.error_rate() * 100.0,
+                config.max_error_rate * 100.0,
+            );
+            for entry in q.entries.iter().take(5) {
+                let _ = write!(msg, "\n  @{} {}: {}", entry.byte_offset, entry.page, entry.error);
+            }
+            Err(CliError::Message(msg))
+        }
+        IngestStatus::Completed => {
+            let Some(merged) = outcome.dataset else {
+                return Err(CliError::Message(
+                    "internal: update reported completion without a dataset".into(),
+                ));
+            };
+            let merged = Arc::new(merged);
+            let mut text = format!(
+                "updated: {} delta pages ({} quarantined), {} attribute(s) touched \
+                 ({} filter downgrade(s)); dataset {} -> {} attributes\n",
+                q.pages_kept,
+                q.pages_quarantined,
+                outcome.touched.len(),
+                outcome.filter_downgrades,
+                base.len(),
+                merged.len(),
+            );
+            // Maintain the index incrementally before publishing anything,
+            // so a refused delta leaves both artifacts untouched.
+            let index_note = match &index_path {
+                Some(idx_path) => {
+                    let _phase = tind_obs::span("phase.apply_delta");
+                    let mut index = tind_core::persist::read_index_file(
+                        idx_path,
+                        Arc::new(base.clone()),
+                    )?;
+                    let delta = tind_core::DatasetDelta::diff(&base, Arc::clone(&merged))
+                        .map_err(|e| CliError::Message(format!("delta rejected: {e}")))?;
+                    let report = index
+                        .apply_delta(&delta)
+                        .map_err(|e| CliError::Message(format!("delta rejected: {e}")))?;
+                    if compact {
+                        index = index.compact();
+                    }
+                    let index_out = index_out.as_ref().expect("derived from --index");
+                    tind_core::persist::write_index_file(&index, index_out)?;
+                    Some(format!(
+                        "index: {} column(s) updated ({} new), {} block(s) rewritten across \
+                         {} matrice(s){}{}; written to {}",
+                        report.touched_attrs,
+                        report.new_attrs,
+                        report.blocks_rewritten,
+                        report.matrices_updated,
+                        if report.grew { ", index grown" } else { "" },
+                        if compact { ", compacted (cold rebuild)" } else { "" },
+                        index_out.display(),
+                    ))
+                }
+                None => None,
+            };
+            {
+                let _phase = tind_obs::span("phase.write_output");
+                write_dataset_file(&merged, &out)?;
+            }
+            let _ = writeln!(text, "dataset written to {}", out.display());
+            if let Some(note) = index_note {
+                let _ = writeln!(text, "{note}");
+            }
+            if let Some(offset) = outcome.resumed_from {
+                let _ = writeln!(text, "resumed from byte offset {offset}");
+            }
+            Ok(text)
+        }
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let data: PathBuf = args.required::<String>("data")?.into();
     let host = args.opt_or("host", "127.0.0.1".to_string())?;
@@ -1554,6 +1804,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     config.reverify_interval = Duration::from_millis(
         args.opt_or("reverify-ms", config.reverify_interval.as_millis() as u64)?,
     );
+    config.cache = args.opt_or("cache", config.cache)?;
     let store: Option<PathBuf> = args.opt::<String>("store")?.map(Into::into);
 
     let eps = args.opt_or("eps", 3.0)?;
@@ -2334,6 +2585,132 @@ mod tests {
         let verified = run(&["verify", report_str]).expect("quarantine report verifies");
         assert!(verified.contains("quarantine report: 1/3 pages quarantined"), "{verified}");
         for f in [&dump, &report, &out2, &out_path] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    /// A delta variant of [`ingest_page_xml`]: the page's full revision
+    /// history, extended to `versions` revisions (months 2..9).
+    fn update_page_xml(title: &str, id: u32, versions: usize) -> String {
+        let games = [
+            "Red", "Blue", "Gold", "Silver", "Crystal", "Ruby", "Sapphire", "Emerald", "Pearl",
+            "Diamond", "Platinum", "Black",
+        ];
+        let mut page = format!("<page><title>{title}</title><id>{id}</id>");
+        for i in 0..versions.min(8) {
+            let mut table = String::from("{|\n! Game\n");
+            for g in &games[..5 + i] {
+                table.push_str(&format!("|-\n| {g}\n"));
+            }
+            table.push_str("|}");
+            page.push_str(&format!(
+                "<revision><timestamp>2001-0{}-01T00:00:00Z</timestamp><text>{table}</text></revision>",
+                i + 2,
+            ));
+        }
+        page.push_str("</page>");
+        page
+    }
+
+    #[test]
+    fn update_applies_delta_and_maintained_index_matches_cold_rebuild() {
+        // Base: two pages, ingested and indexed.
+        let dump = temp_file("cli-update-base.xml");
+        let xml = format!(
+            "<mediawiki>\n{}\n{}\n</mediawiki>",
+            ingest_page_xml("Alpha", 1),
+            ingest_page_xml("Beta", 2),
+        );
+        std::fs::write(&dump, xml).expect("write base dump");
+        let base = temp_file("cli-update-base.tind");
+        let base_str = base.to_str().expect("utf8");
+        run(&["ingest", "--dump", dump.to_str().expect("utf8"), "--out", base_str, "--quiet"])
+            .expect("base ingests");
+        let idx = temp_file("cli-update-base.tix");
+        let idx_str = idx.to_str().expect("utf8");
+        run(&["index", "--data", base_str, "--out", idx_str, "--m", "256"]).expect("indexes");
+
+        // Delta: Alpha revised (full history, now 8 revisions) + new Gamma.
+        let delta = temp_file("cli-update-delta.xml");
+        let delta_xml = format!(
+            "<mediawiki>\n{}\n{}\n</mediawiki>",
+            update_page_xml("Alpha", 1, 8),
+            update_page_xml("Gamma", 3, 6),
+        );
+        std::fs::write(&delta, delta_xml).expect("write delta dump");
+        let delta_str = delta.to_str().expect("utf8");
+
+        let merged = temp_file("cli-update-merged.tind");
+        let merged_str = merged.to_str().expect("utf8");
+        let idx2 = temp_file("cli-update-incr.tix");
+        let idx2_str = idx2.to_str().expect("utf8");
+        let out = run(&["update", "--dump", delta_str, "--data", base_str, "--out", merged_str,
+            "--index", idx_str, "--index-out", idx2_str, "--quiet"])
+        .expect("update completes");
+        assert!(out.contains("2 attribute(s) touched"), "{out}");
+        assert!(out.contains("index:"), "{out}");
+        assert!(out.contains("dataset written to"), "{out}");
+
+        // The incrementally maintained index is byte-identical to a cold
+        // rebuild over the merged dataset (the delta-oracle pin).
+        let idx_cold = temp_file("cli-update-cold.tix");
+        let idx_cold_str = idx_cold.to_str().expect("utf8");
+        run(&["index", "--data", merged_str, "--out", idx_cold_str, "--m", "256"])
+            .expect("cold index");
+        assert_eq!(
+            std::fs::read(&idx2).expect("incremental"),
+            std::fs::read(&idx_cold).expect("cold"),
+            "incrementally maintained index must be byte-identical to a cold rebuild"
+        );
+
+        // Kill/resume: a zero deadline checkpoints before the first page
+        // (exit 130, TINDUC artifact), and the resumed run produces a
+        // byte-identical merged dataset.
+        let ckpt = temp_file("cli-update.tuc");
+        let ckpt_str = ckpt.to_str().expect("utf8");
+        let _ = std::fs::remove_file(&ckpt);
+        let sink = temp_file("cli-update-sink.tind");
+        let err = run(&["update", "--dump", delta_str, "--data", base_str, "--out",
+            sink.to_str().expect("utf8"), "--checkpoint", ckpt_str, "--deadline", "0", "--quiet"])
+        .expect_err("zero deadline must interrupt");
+        let CliError::Interrupted { summary } = &err else {
+            panic!("expected Interrupted, got {err}");
+        };
+        assert!(summary.contains("checkpointed"), "{summary}");
+        assert_eq!(err.exit_code(), 130);
+        let verified = run(&["verify", ckpt_str]).expect("update checkpoint verifies");
+        assert!(verified.contains("update checkpoint:"), "{verified}");
+
+        let resumed = temp_file("cli-update-resumed.tind");
+        let resumed_str = resumed.to_str().expect("utf8");
+        let out = run(&["update", "--dump", delta_str, "--data", base_str, "--out", resumed_str,
+            "--checkpoint", ckpt_str, "--resume", "--quiet"])
+        .expect("resume completes");
+        assert!(out.contains("resumed from byte offset"), "{out}");
+        assert_eq!(
+            std::fs::read(&merged).expect("merged"),
+            std::fs::read(&resumed).expect("resumed"),
+            "resumed update must be byte-identical to the uninterrupted one"
+        );
+
+        // A corrupted update checkpoint is refused with a checksum error
+        // (exit 3) that names the failing byte offset.
+        let mut rotten = std::fs::read(&ckpt).expect("read checkpoint");
+        let mid = rotten.len() / 2;
+        rotten[mid] ^= 0xFF;
+        std::fs::write(&ckpt, rotten).expect("write corrupted");
+        let err = run(&["verify", ckpt_str]).expect_err("corrupt checkpoint refused");
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("offset"), "offset missing from: {err}");
+
+        // --index-out without --index is a usage error.
+        assert!(matches!(
+            run(&["update", "--dump", delta_str, "--data", base_str, "--out", resumed_str,
+                "--index-out", idx2_str]),
+            Err(CliError::Message(_))
+        ));
+
+        for f in [&dump, &base, &idx, &delta, &merged, &idx2, &idx_cold, &ckpt, &resumed, &sink] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -114,6 +114,9 @@ COMMANDS:
                       [--read-timeout-ms MS=2000] [--write-timeout-ms MS=2000]
                       [--max-body-bytes B=1048576] [--memory-limit BYTES]
                       [--drain-grace-ms MS=5000] [--build-threads T=0]
+                      [--cache N=0]        result-cache capacity in entries (0 = off);
+                                           Engine::apply_delta invalidates only the
+                                           entries a delta affected
                       [--quiet] [--report FILE]
                     (POST /search /reverse-search /explain, GET /healthz /metrics;
                     overload sheds with 429 + retry_after_ms, deadlines return 504,
@@ -135,6 +138,22 @@ COMMANDS:
                       [--progress N=1000] [--report FILE]
                     (Ctrl-C checkpoints and exits 130; resumed runs produce
                     byte-identical datasets; bad pages are quarantined, not fatal)
+  update            incremental delta ingestion on top of an existing dataset,
+                    with semi-naive index maintenance (no cold rebuild)
+                      --dump FILE --data BASE --out FILE
+                      [--index FILE]      update this index in place via
+                                          core::delta (refused when the delta
+                                          touches a quarantined store shard)
+                      [--index-out FILE]  write the updated index here instead
+                      [--compact]         cold-rebuild the index after applying
+                                          the delta (realigns drifted slices)
+                      [--epoch YYYY-MM-DD] [--max-page-bytes B] [--max-error-rate F]
+                      [--memory-limit BYTES] [--checkpoint FILE] [--checkpoint-every N=512]
+                      [--resume] [--deadline SECS] [--quarantine-report FILE]
+                      [--quiet] [--progress N=1000] [--report FILE]
+                    (delta pages carry the FULL revision history of changed or
+                    new pages; Ctrl-C checkpoints (TINDUC) and exits 130;
+                    kill/resume is byte-identical)
   experiment        run a paper experiment (or 'all')
                       <id|all> [--scale quick|standard|full] [--seed S]
                       [--threads T] [--attributes N] [--queries Q] [--csv-dir DIR]

@@ -1,0 +1,701 @@
+//! Semi-naive incremental maintenance of a [`TindIndex`] (live updates).
+//!
+//! The matrices of [`crate::index`] are built batch-style: every new batch
+//! of revisions used to mean a cold rebuild. This module updates an
+//! existing index **in place** from a page-granular delta and re-derives
+//! only the dependency pairs the delta can have changed — the semi-naive
+//! pattern of Datalog evaluation applied to tIND discovery.
+//!
+//! It differs from [`crate::incremental`] (the earlier main+delta
+//! side-buffer, which answers queries by consulting a base index plus a
+//! brute-forced overlay): here the delta is folded *into* the matrices, so
+//! post-update searches run the full four-stage pipeline at full speed and
+//! the updated index can be re-persisted.
+//!
+//! # Why replace, not OR
+//!
+//! Bloom inserts are monotone, which suggests OR-ing new values into the
+//! touched columns. That is sound for `M_T` (value universes only grow)
+//! but **unsound** for the slice matrices and `M_R`: appending a version
+//! truncates the validity of its predecessor, so `A[I^δ]` can *shrink* for
+//! a touched attribute, and `R_{ε,w}(A)` can change arbitrarily. A stale
+//! extra bit in a slice column hides a genuine violation only until stage
+//! 3/4 re-checks it (slow, not wrong) — but a stale bit in `M_R` wrongly
+//! *keeps* reverse candidates, and a missing recompute wrongly *prunes*
+//! forward ones. So [`TindIndex::apply_delta`] recomputes every touched
+//! 64-column block **exactly** from the new histories and swaps it in with
+//! [`tind_bloom::BloomMatrix::replace_strip`]; untouched blocks are never
+//! read or written.
+//!
+//! Because strip contents are a pure function of `(config, history)` and
+//! the forward-default slice selection consumes only the timeline and the
+//! seeded RNG (never the data), the incrementally maintained index is
+//! **byte-identical** (`persist::encode_index`) to a cold build over the
+//! merged dataset. The weighted-random reverse strategy sizes slices from
+//! the data, so its intervals may drift from what a cold build would pick;
+//! results stay correct for the intervals actually held (every pruning
+//! stage reads interval and matrix together), and [`TindIndex::compact`]
+//! realigns byte-identity when wanted.
+//!
+//! # Semi-naive pair maintenance
+//!
+//! Validation of a pair `(Q, A)` depends only on the two histories, the
+//! timeline, and `(ε, δ, w)`. A delta therefore partitions the all-pairs
+//! result: pairs with **neither** side touched are still valid verbatim;
+//! pairs with a touched side are recomputed — touched queries by a full
+//! search, untouched queries by a search whose candidate set is restricted
+//! to the touched attributes ([`refresh_pairs`]). Both reuse the standard
+//! pipeline, so the refreshed set equals a cold all-pairs run (the
+//! CALM-style argument is spelled out in DESIGN.md).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tind_bloom::{BitVec, BloomColumnStrip};
+use tind_model::{AttrId, Dataset, ValueSet};
+
+use crate::index::TindIndex;
+use crate::params::TindParams;
+use crate::required::required_values;
+use crate::search::{finish_search, initial_candidates, record_search_metrics, SearchOptions};
+use crate::validate::ValidationScratch;
+
+/// Errors from computing or applying a dataset delta.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// The new dataset is not a valid successor of the old one (timeline
+    /// change, renamed or dropped attribute id, re-interned dictionary).
+    Incompatible(String),
+    /// The delta touches an attribute whose index columns were lost with a
+    /// quarantined store shard. Applying it would silently diverge the
+    /// in-memory index from the store manifest digest; repair first.
+    Masked {
+        /// The touched attribute.
+        attr: AttrId,
+        /// Its name (for the operator-facing message).
+        name: String,
+        /// The quarantined shard holding its columns.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Incompatible(msg) => write!(f, "incompatible delta: {msg}"),
+            DeltaError::Masked { attr, name, shard } => write!(
+                f,
+                "delta touches attribute '{name}' (id {attr}) whose index columns live in \
+                 quarantined store shard {shard}; run `tind store repair` before applying updates"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+fn incompatible(msg: impl Into<String>) -> DeltaError {
+    DeltaError::Incompatible(msg.into())
+}
+
+/// A validated transition `old → new` between two dataset snapshots: the
+/// merged dataset plus the set of attribute ids whose histories changed
+/// (including every appended attribute).
+///
+/// Construction via [`DatasetDelta::diff`] enforces the successor
+/// contract that makes in-place maintenance sound: same timeline, old ids
+/// keep their names, and the dictionary only ever extends (Bloom hashes
+/// are id-stable, so re-interning would scramble every column).
+#[derive(Debug, Clone)]
+pub struct DatasetDelta {
+    new_dataset: Arc<Dataset>,
+    touched: Vec<AttrId>,
+    old_len: usize,
+}
+
+impl DatasetDelta {
+    /// Diffs `new` against `old`, returning the touched-attribute set.
+    ///
+    /// # Errors
+    /// [`DeltaError::Incompatible`] if `new` is not a successor of `old`.
+    pub fn diff(old: &Dataset, new: Arc<Dataset>) -> Result<Self, DeltaError> {
+        if old.timeline() != new.timeline() {
+            return Err(incompatible(format!(
+                "timeline changed from {} to {} timestamps; deltas may only add revisions \
+                 within the indexed timeline",
+                old.timeline().len(),
+                new.timeline().len()
+            )));
+        }
+        if new.len() < old.len() {
+            return Err(incompatible(format!(
+                "dataset shrank from {} to {} attributes; attribute ids must stay stable",
+                old.len(),
+                new.len()
+            )));
+        }
+        let (od, nd) = (old.dictionary(), new.dictionary());
+        if nd.len() < od.len() {
+            return Err(incompatible(format!(
+                "dictionary shrank from {} to {} values; value ids must stay stable",
+                od.len(),
+                nd.len()
+            )));
+        }
+        for (id, s) in od.iter() {
+            if nd.resolve(id) != s {
+                return Err(incompatible(format!(
+                    "value id {id} changed from '{s}' to '{}'; the dictionary may only be \
+                     extended, never re-interned",
+                    nd.resolve(id)
+                )));
+            }
+        }
+        let mut touched = Vec::new();
+        for (id, hist) in old.iter() {
+            let new_hist = new.attribute(id);
+            if new_hist.name() != hist.name() {
+                return Err(incompatible(format!(
+                    "attribute id {id} renamed from '{}' to '{}'; ids must keep their names",
+                    hist.name(),
+                    new_hist.name()
+                )));
+            }
+            if new_hist != hist {
+                touched.push(id);
+            }
+        }
+        touched.extend(old.len() as AttrId..new.len() as AttrId);
+        Ok(DatasetDelta { old_len: old.len(), new_dataset: new, touched })
+    }
+
+    /// The merged dataset the delta transitions to.
+    pub fn new_dataset(&self) -> &Arc<Dataset> {
+        &self.new_dataset
+    }
+
+    /// Ids of attributes whose histories changed, ascending; appended
+    /// attributes are always included.
+    pub fn touched(&self) -> &[AttrId] {
+        &self.touched
+    }
+
+    /// `|D|` of the old snapshot the delta was diffed against.
+    pub fn old_len(&self) -> usize {
+        self.old_len
+    }
+
+    /// Number of appended attributes.
+    pub fn new_attrs(&self) -> usize {
+        self.new_dataset.len() - self.old_len
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+}
+
+/// What [`TindIndex::apply_delta`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Attributes whose histories changed (including appended ones).
+    pub touched_attrs: usize,
+    /// Attributes appended by the delta.
+    pub new_attrs: usize,
+    /// 64-column blocks recomputed and replaced, per matrix.
+    pub blocks_rewritten: usize,
+    /// Matrices updated per rewritten block (`M_T` + slices + `M_R`).
+    pub matrices_updated: usize,
+    /// Whether the matrices grew new columns.
+    pub grew: bool,
+}
+
+impl TindIndex {
+    /// Folds `delta` into the index in place: touched 64-column blocks of
+    /// `M_T`, every slice matrix, and `M_R` (when present) are recomputed
+    /// exactly from the new histories and swapped in; value universes are
+    /// replaced; matrices grow columns for appended attributes. Untouched
+    /// blocks are not read or written.
+    ///
+    /// Slice intervals are **kept** — see the module docs for when that
+    /// preserves byte-identity with a cold rebuild and when
+    /// [`TindIndex::compact`] is needed.
+    ///
+    /// # Errors
+    /// * [`DeltaError::Masked`] if a touched attribute's columns belong to
+    ///   a quarantined store shard (repair first; updating around the hole
+    ///   would diverge from the manifest digest).
+    /// * [`DeltaError::Incompatible`] if the delta was diffed against a
+    ///   different snapshot than this index holds, or if it would grow a
+    ///   degraded index.
+    pub fn apply_delta(&mut self, delta: &DatasetDelta) -> Result<DeltaReport, DeltaError> {
+        let _span = tind_obs::span("core.delta.apply");
+        let old_len = delta.old_len();
+        if self.dataset.len() != old_len {
+            return Err(incompatible(format!(
+                "delta was diffed against a {old_len}-attribute snapshot but the index holds \
+                 {} attributes",
+                self.dataset.len()
+            )));
+        }
+        if self.dataset.timeline() != delta.new_dataset.timeline() {
+            return Err(incompatible("delta timeline differs from the indexed timeline"));
+        }
+        for &id in delta.touched() {
+            if (id as usize) < old_len
+                && self.dataset.attribute(id).name() != delta.new_dataset.attribute(id).name()
+            {
+                return Err(incompatible(format!(
+                    "attribute id {id} is '{}' in the index but '{}' in the delta; the delta \
+                     was diffed against a different snapshot",
+                    self.dataset.attribute(id).name(),
+                    delta.new_dataset.attribute(id).name()
+                )));
+            }
+        }
+        if let Some(mask) = self.masked.clone() {
+            for &id in delta.touched() {
+                if (id as usize) < old_len && mask.is_masked(id) {
+                    let shard = mask
+                        .quarantined()
+                        .iter()
+                        .find(|s| (s.attr_start..s.attr_end).contains(&id))
+                        .map_or(usize::MAX, |s| s.shard);
+                    return Err(DeltaError::Masked {
+                        attr: id,
+                        name: self.dataset.attribute(id).name().to_owned(),
+                        shard,
+                    });
+                }
+            }
+            if delta.new_attrs() > 0 {
+                return Err(incompatible(format!(
+                    "refusing to grow a degraded index ({} quarantined shards) by {} \
+                     attributes; run `tind store repair` first",
+                    mask.quarantined().len(),
+                    delta.new_attrs()
+                )));
+            }
+        }
+
+        let new = Arc::clone(delta.new_dataset());
+        let new_len = new.len();
+        let timeline = new.timeline();
+        let grew = new_len > old_len;
+        if grew {
+            self.m_t.grow_cols(new_len);
+            for slice in &mut self.time_slices {
+                slice.matrix.grow_cols(new_len);
+            }
+            if let Some(mr) = self.m_r.as_mut() {
+                mr.grow_cols(new_len);
+            }
+            self.universes.resize(new_len, ValueSet::new());
+        }
+
+        let mut touched_bits = BitVec::zeros(new_len);
+        for &id in delta.touched() {
+            touched_bits.set(id as usize);
+        }
+        let blocks: BTreeSet<usize> = delta.touched().iter().map(|&id| id as usize / 64).collect();
+        let sizing = self.m_r.is_some().then(|| {
+            TindParams::weighted(
+                self.config.slices.sizing_eps,
+                0,
+                self.config.slices.sizing_weights.clone(),
+            )
+        });
+
+        // One strip buffer reused across every (matrix, block) pair — the
+        // same work unit as the parallel builder, replayed sequentially
+        // (delta batches touch few blocks; rendering is the cheap part).
+        let mut strip = BloomColumnStrip::new(self.config.m, self.config.k_hashes);
+        for &block in &blocks {
+            let lo = block * 64;
+            let hi = (lo + 64).min(new_len);
+
+            strip.clear();
+            for id in lo..hi {
+                // Untouched lanes reuse the cached exact universe (equal
+                // by construction); touched lanes recompute it.
+                let universe = if touched_bits.get(id) {
+                    new.attribute(id as AttrId).value_universe()
+                } else {
+                    std::mem::take(&mut self.universes[id])
+                };
+                strip.insert_lane(id - lo, &universe);
+                self.universes[id] = universe;
+            }
+            self.m_t.replace_strip(block, &strip);
+
+            for slice in &mut self.time_slices {
+                strip.clear();
+                for id in lo..hi {
+                    let values = new.attribute(id as AttrId).values_in(slice.expanded);
+                    if !values.is_empty() {
+                        strip.insert_lane(id - lo, &values);
+                    }
+                }
+                slice.matrix.replace_strip(block, &strip);
+            }
+
+            if let Some(mr) = self.m_r.as_mut() {
+                let sizing = sizing.as_ref().expect("M_R implies sizing params");
+                strip.clear();
+                for id in lo..hi {
+                    let req = required_values(new.attribute(id as AttrId), sizing, timeline);
+                    if !req.is_empty() {
+                        strip.insert_lane(id - lo, &req);
+                    }
+                }
+                mr.replace_strip(block, &strip);
+            }
+        }
+        self.dataset = new;
+
+        let matrices_updated = 1 + self.time_slices.len() + usize::from(self.m_r.is_some());
+        tind_obs::counter("delta.applied").incr();
+        tind_obs::counter("delta.touched_attrs").add(delta.touched().len() as u64);
+        tind_obs::counter("delta.blocks_rewritten").add(blocks.len() as u64);
+        Ok(DeltaReport {
+            touched_attrs: delta.touched().len(),
+            new_attrs: delta.new_attrs(),
+            blocks_rewritten: blocks.len(),
+            matrices_updated,
+            grew,
+        })
+    }
+
+    /// Cold-rebuilds the index from its current dataset and configuration
+    /// — the compaction step after a run of [`TindIndex::apply_delta`]
+    /// calls. Realigns slice intervals with what a from-scratch build
+    /// would select (relevant for data-dependent slice strategies) and
+    /// drops any shard mask; the result is byte-identical
+    /// (`persist::encode_index`) to an independent cold build.
+    pub fn compact(&self) -> TindIndex {
+        let _span = tind_obs::span("core.delta.compact");
+        tind_obs::counter("delta.compactions").incr();
+        TindIndex::build(Arc::clone(&self.dataset), self.config.clone())
+    }
+}
+
+/// What [`refresh_pairs`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Pairs removed because a side was touched (they are re-derived).
+    pub pairs_dropped: usize,
+    /// Pairs inserted by the re-derivation.
+    pub pairs_added: usize,
+    /// Touched queries re-searched against the full candidate set.
+    pub full_queries: usize,
+    /// Untouched queries searched with candidates restricted to the
+    /// touched attributes.
+    pub restricted_queries: usize,
+    /// Worker threads used.
+    pub threads_used: usize,
+}
+
+/// One search with an optional candidate restriction — the standard
+/// four-stage pipeline, seeded with `initial ∧ restrict`.
+fn run_restricted(
+    index: &TindIndex,
+    q: AttrId,
+    restrict: Option<&BitVec>,
+    params: &TindParams,
+    scratch: &mut ValidationScratch,
+) -> Vec<AttrId> {
+    let hist = index.dataset().attribute(q);
+    let mut candidates = initial_candidates(index, Some(q));
+    if let Some(r) = restrict {
+        candidates.and_assign(r);
+        if candidates.is_zero() {
+            return Vec::new();
+        }
+    }
+    let required = required_values(hist, params, index.dataset().timeline());
+    if !required.is_empty() {
+        let qf = index.m_t().query_filter(&required);
+        index.m_t().narrow_to_supersets(&qf, &mut candidates);
+    }
+    let outcome = finish_search(
+        index,
+        hist,
+        Some(q),
+        params,
+        &SearchOptions::default(),
+        &required,
+        candidates,
+        scratch,
+    );
+    record_search_metrics(&outcome.stats);
+    outcome.results
+}
+
+/// Semi-naive maintenance of an all-pairs result set across a delta.
+///
+/// `pairs` must hold the valid `(query, candidate)` pairs of the
+/// **pre-delta** dataset under the same `params`; `index` must already
+/// have the delta applied; `touched` is [`DatasetDelta::touched`]. On
+/// return, `pairs` equals what a cold all-pairs discovery over the merged
+/// dataset would produce:
+///
+/// * pairs with neither side touched are kept verbatim (validation is a
+///   pure function of the two unchanged histories);
+/// * pairs with a touched side are dropped and re-derived — touched
+///   queries by a full search, untouched queries by a search restricted to
+///   touched candidates (pruning stages only ever *remove* candidates, so
+///   restricting the seed set cannot create false positives, and
+///   validation is authoritative for everything that survives).
+///
+/// The result is independent of `threads` (pair-set union is
+/// order-insensitive).
+pub fn refresh_pairs(
+    index: &TindIndex,
+    pairs: &mut BTreeSet<(AttrId, AttrId)>,
+    touched: &[AttrId],
+    params: &TindParams,
+    threads: usize,
+) -> RefreshReport {
+    let _span = tind_obs::span("core.delta.refresh");
+    let num_attrs = index.dataset().len();
+    let mut touched_bits = BitVec::zeros(num_attrs);
+    for &id in touched {
+        touched_bits.set(id as usize);
+    }
+
+    let before = pairs.len();
+    pairs.retain(|&(q, a)| !touched_bits.get(q as usize) && !touched_bits.get(a as usize));
+    let pairs_dropped = before - pairs.len();
+
+    let queries: Vec<AttrId> = (0..num_attrs as AttrId).filter(|&q| !index.is_masked(q)).collect();
+    let full_queries = queries.iter().filter(|&&q| touched_bits.get(q as usize)).count();
+    let restricted_queries = queries.len() - full_queries;
+    let threads_used = threads.max(1).min(queries.len().max(1));
+
+    let cursor = AtomicUsize::new(0);
+    let found: Mutex<Vec<(AttrId, Vec<AttrId>)>> = Mutex::new(Vec::new());
+    let run_worker = || {
+        let mut scratch = ValidationScratch::new();
+        let mut local: Vec<(AttrId, Vec<AttrId>)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= queries.len() {
+                break;
+            }
+            let q = queries[i];
+            let restrict = (!touched_bits.get(q as usize)).then_some(&touched_bits);
+            let results = run_restricted(index, q, restrict, params, &mut scratch);
+            if !results.is_empty() {
+                local.push((q, results));
+            }
+        }
+        found.lock().extend(local);
+    };
+    if threads_used <= 1 {
+        run_worker();
+    } else {
+        crossbeam::scope(|scope| {
+            for _ in 0..threads_used {
+                scope.spawn(|_| run_worker());
+            }
+        })
+        .expect("delta refresh worker panicked");
+    }
+
+    let mut pairs_added = 0usize;
+    for (q, results) in found.into_inner() {
+        for a in results {
+            if pairs.insert((q, a)) {
+                pairs_added += 1;
+            }
+        }
+    }
+    tind_obs::counter("delta.pairs_dropped").add(pairs_dropped as u64);
+    tind_obs::counter("delta.pairs_added").add(pairs_added as u64);
+    RefreshReport { pairs_dropped, pairs_added, full_queries, restricted_queries, threads_used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allpairs::{discover_all_pairs, AllPairsOptions};
+    use crate::index::{IndexConfig, MaskedShard, ShardMask};
+    use crate::persist::encode_index;
+    use tind_model::{DatasetBuilder, Timeline};
+
+    /// Base dataset: 70 attributes (crosses a 64-column block boundary)
+    /// over interned ids with overlapping value sets.
+    fn base_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new(Timeline::new(40));
+        for i in 0..70u32 {
+            let vals: Vec<String> = (0..=(i % 5)).map(|v| format!("v{}", (i + v) % 9)).collect();
+            let later: Vec<String> = vals.iter().take(1 + (i as usize) % 3).cloned().collect();
+            b.add_attribute(
+                &format!("attr-{i}"),
+                &[(0, vals.clone()), (10 + (i % 7), later)],
+                39,
+            );
+        }
+        b.build()
+    }
+
+    /// Applies an update to `base`: rewrite some existing histories and
+    /// append `appended` new attributes.
+    fn updated_dataset(base: &Dataset, rewrite: &[u32], appended: usize) -> Dataset {
+        let mut b = base.clone().into_builder();
+        let names: Vec<String> =
+            rewrite.iter().map(|&id| base.attribute(id).name().to_owned()).collect();
+        for name in &names {
+            let mut h = tind_model::HistoryBuilder::new(name);
+            let v0 = b.dictionary_mut().intern("v1");
+            let fresh = b.dictionary_mut().intern("fresh-value");
+            h.push(0, vec![v0]);
+            h.push(20, vec![v0, fresh]);
+            b.upsert_history(h.finish(39));
+        }
+        for n in 0..appended {
+            let mut h = tind_model::HistoryBuilder::new(format!("appended-{n}"));
+            let v = b.dictionary_mut().intern("v2");
+            h.push(5, vec![v]);
+            b.upsert_history(h.finish(39));
+        }
+        b.build()
+    }
+
+    fn config() -> IndexConfig {
+        IndexConfig { m: 256, ..IndexConfig::default() }
+    }
+
+    #[test]
+    fn diff_finds_touched_and_appended_attributes() {
+        let base = base_dataset();
+        let new = Arc::new(updated_dataset(&base, &[3, 65], 2));
+        let delta = DatasetDelta::diff(&base, Arc::clone(&new)).expect("valid successor");
+        assert_eq!(delta.touched(), &[3, 65, 70, 71]);
+        assert_eq!(delta.new_attrs(), 2);
+        assert!(!delta.is_empty());
+
+        let noop = DatasetDelta::diff(&base, Arc::new(base.clone())).expect("identity");
+        assert!(noop.is_empty());
+    }
+
+    #[test]
+    fn diff_rejects_non_successors() {
+        let base = base_dataset();
+        let other_timeline = DatasetBuilder::new(Timeline::new(10)).build();
+        let err = DatasetDelta::diff(&base, Arc::new(other_timeline)).unwrap_err();
+        assert!(err.to_string().contains("timeline"), "{err}");
+
+        let mut shrunk = base.clone();
+        shrunk.retain(|h| h.name() != "attr-0");
+        let err = DatasetDelta::diff(&base, Arc::new(shrunk)).unwrap_err();
+        assert!(err.to_string().contains("ids must stay stable"), "{err}");
+    }
+
+    #[test]
+    fn apply_delta_is_byte_identical_to_cold_rebuild() {
+        let base = Arc::new(base_dataset());
+        // Touch both blocks, grow into the ragged block, and cross it.
+        for (rewrite, appended) in
+            [(vec![0u32, 5], 0usize), (vec![69], 3), (vec![7, 64], 60), (vec![], 1)]
+        {
+            let new = Arc::new(updated_dataset(&base, &rewrite, appended));
+            let delta = DatasetDelta::diff(&base, Arc::clone(&new)).expect("valid successor");
+            for cfg in [config(), IndexConfig { build_reverse: true, ..config() }] {
+                let mut index = TindIndex::build(Arc::clone(&base), cfg.clone());
+                let report = index.apply_delta(&delta).expect("delta applies");
+                assert_eq!(report.touched_attrs, delta.touched().len());
+                assert_eq!(report.grew, appended > 0);
+                let cold = TindIndex::build(Arc::clone(&new), cfg);
+                assert_eq!(
+                    encode_index(&index),
+                    encode_index(&cold),
+                    "incremental index must equal cold rebuild (rewrite={rewrite:?}, \
+                     appended={appended})"
+                );
+                // compact() of the incrementally maintained index equals
+                // the cold build too.
+                assert_eq!(encode_index(&index.compact()), encode_index(&cold));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_wrong_snapshot() {
+        let base = Arc::new(base_dataset());
+        let step1 = Arc::new(updated_dataset(&base, &[1], 1));
+        let delta1 = DatasetDelta::diff(&base, Arc::clone(&step1)).expect("diff");
+        let mut index = TindIndex::build(Arc::clone(&base), config());
+        index.apply_delta(&delta1).expect("first delta applies");
+        // Re-applying the same delta: the index now holds 71 attributes.
+        let err = index.apply_delta(&delta1).unwrap_err();
+        assert!(err.to_string().contains("snapshot"), "{err}");
+    }
+
+    #[test]
+    fn apply_delta_refuses_quarantined_attributes() {
+        let base = Arc::new(base_dataset());
+        let new = Arc::new(updated_dataset(&base, &[65], 0));
+        let delta = DatasetDelta::diff(&base, Arc::clone(&new)).expect("diff");
+        let mut index = TindIndex::build(Arc::clone(&base), config());
+        index.masked = Some(Arc::new(ShardMask::new(
+            base.len(),
+            2,
+            vec![MaskedShard { shard: 1, attr_start: 64, attr_end: 70 }],
+        )));
+        let err = index.apply_delta(&delta).unwrap_err();
+        match &err {
+            DeltaError::Masked { attr, shard, .. } => {
+                assert_eq!((*attr, *shard), (65, 1));
+            }
+            other => panic!("expected Masked, got {other:?}"),
+        }
+        assert!(err.to_string().contains("tind store repair"), "{err}");
+
+        // Growth while degraded is refused even when no masked attribute
+        // is touched.
+        let grown = Arc::new(updated_dataset(&base, &[], 2));
+        let delta = DatasetDelta::diff(&base, grown).expect("diff");
+        let err = index.apply_delta(&delta).unwrap_err();
+        assert!(err.to_string().contains("degraded"), "{err}");
+
+        // Deltas touching only live attributes still apply.
+        let live = Arc::new(updated_dataset(&base, &[2], 0));
+        let delta = DatasetDelta::diff(&base, live).expect("diff");
+        index.apply_delta(&delta).expect("live-shard delta applies");
+    }
+
+    #[test]
+    fn refresh_pairs_matches_cold_all_pairs_at_any_thread_count() {
+        let params = TindParams::paper_default();
+        let base = Arc::new(base_dataset());
+        let base_index = TindIndex::build(Arc::clone(&base), config());
+        let cold_pairs = |index: &TindIndex| -> BTreeSet<(AttrId, AttrId)> {
+            discover_all_pairs(index, &params, &AllPairsOptions::default())
+                .expect("all-pairs discovery")
+                .pairs
+                .into_iter()
+                .collect()
+        };
+        let mut pairs = cold_pairs(&base_index);
+
+        let new = Arc::new(updated_dataset(&base, &[3, 65, 69], 2));
+        let delta = DatasetDelta::diff(&base, Arc::clone(&new)).expect("diff");
+        let mut index = base_index.clone();
+        index.apply_delta(&delta).expect("applies");
+        let expected = cold_pairs(&index);
+
+        for threads in [1usize, 4] {
+            let mut incremental = pairs.clone();
+            let report =
+                refresh_pairs(&index, &mut incremental, delta.touched(), &params, threads);
+            assert_eq!(incremental, expected, "threads={threads}");
+            assert_eq!(report.full_queries, delta.touched().len());
+        }
+        pairs = expected;
+        assert!(!pairs.is_empty(), "oracle should not be vacuous");
+    }
+}

@@ -46,6 +46,7 @@
 pub mod allpairs;
 pub mod cancel;
 pub mod checkpoint;
+pub mod delta;
 pub mod explain;
 pub mod fault;
 pub mod incremental;
@@ -68,6 +69,7 @@ pub use allpairs::{
 };
 pub use cancel::{CancelReason, CancelToken};
 pub use checkpoint::Checkpoint;
+pub use delta::{refresh_pairs, DatasetDelta, DeltaError, DeltaReport, RefreshReport};
 pub use index::{BuildOptions, IndexConfig, MaskedShard, ShardMask, TindIndex};
 pub use params::TindParams;
 pub use search::{BatchOptions, BatchOutcome, SearchOptions, SearchOutcome, SearchStats};

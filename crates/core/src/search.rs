@@ -238,7 +238,7 @@ pub(crate) fn run_search_scratch(
 /// nothing" and silently prune — a false negative dressed up as an answer.
 /// Dropping them from the candidate set up front keeps every stage honest,
 /// and the caller reports the excluded range via the shard mask.
-fn initial_candidates(index: &TindIndex, exclude: Option<AttrId>) -> BitVec {
+pub(crate) fn initial_candidates(index: &TindIndex, exclude: Option<AttrId>) -> BitVec {
     let mut candidates = BitVec::ones(index.dataset().len());
     if let Some(x) = exclude {
         candidates.clear(x as usize);
@@ -253,7 +253,7 @@ fn initial_candidates(index: &TindIndex, exclude: Option<AttrId>) -> BitVec {
 /// `candidates` arrives already narrowed by the stage-1 required-values
 /// pass (or untouched when that stage is disabled).
 #[allow(clippy::too_many_arguments)]
-fn finish_search(
+pub(crate) fn finish_search(
     index: &TindIndex,
     q: &AttributeHistory,
     exclude: Option<AttrId>,

@@ -41,6 +41,7 @@ use tind_model::binio::{check_magic, dataset_fingerprint, get_varint, put_varint
 use tind_model::checksum::{self, crc32};
 use tind_model::{AttrId, Dataset, Interval, ValueSet};
 
+use crate::fault::OpBudget;
 use crate::index::{MaskedShard, ShardMask, TimeSlice, TindIndex};
 use crate::params::TindParams;
 use crate::persist::{
@@ -290,29 +291,12 @@ fn parse_shard_gen(name: &str) -> Option<u64> {
     Some(gen)
 }
 
-/// Counted write/fsync/rename steps for kill injection.
-struct OpBudget {
-    limit: Option<u64>,
-    performed: u64,
-}
-
-impl OpBudget {
-    fn new(limit: Option<u64>) -> Self {
-        OpBudget { limit, performed: 0 }
-    }
-
-    /// Checked *before* each primitive: `kill_after_ops = n` allows
-    /// exactly `n` primitives, so every write/fsync/rename boundary is
-    /// reachable by sweeping `n`.
-    fn step(&mut self) -> Result<(), StoreError> {
-        if let Some(limit) = self.limit {
-            if self.performed >= limit {
-                return Err(StoreError::Killed { ops: self.performed });
-            }
-        }
-        self.performed += 1;
-        Ok(())
-    }
+/// Counted write/fsync/rename steps for kill injection; the counting
+/// lives in [`crate::fault::OpBudget`] so other crash-safe writers (the
+/// delta-update checkpoint path) share the same sweep semantics. This
+/// wrapper only translates the kill into a [`StoreError::Killed`].
+fn step(budget: &mut OpBudget) -> Result<(), StoreError> {
+    budget.step().map_err(|ops| StoreError::Killed { ops })
 }
 
 /// Publishes `bytes` at `final_path` via temp-file → fsync → atomic
@@ -326,13 +310,13 @@ fn write_atomic(
     let mut tmp = final_path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    budget.step()?;
+    step(budget)?;
     let mut file = std::fs::File::create(&tmp)?;
     file.write_all(bytes)?;
-    budget.step()?;
+    step(budget)?;
     file.sync_all()?;
     drop(file);
-    budget.step()?;
+    step(budget)?;
     std::fs::rename(&tmp, final_path)?;
     Ok(())
 }
@@ -694,7 +678,7 @@ pub fn pack_store(
     bytes_written += manifest_bytes.len() as u64;
     write_atomic(&dir.join(MANIFEST_NAME), &manifest_bytes, &mut budget)?;
     // Make the renames themselves durable before declaring success.
-    budget.step()?;
+    step(&mut budget)?;
     if let Ok(d) = std::fs::File::open(dir) {
         let _ = d.sync_all();
     }
@@ -928,7 +912,7 @@ pub fn repair_store(
         write_atomic(&dir.join(shard_name(manifest.generation, entry.id)), &payload, &mut budget)?;
         rebuilt.push(entry.id);
     }
-    budget.step()?;
+    step(&mut budget)?;
     if let Ok(d) = std::fs::File::open(dir) {
         let _ = d.sync_all();
     }

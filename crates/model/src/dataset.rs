@@ -156,6 +156,35 @@ impl DatasetBuilder {
         id
     }
 
+    /// Adds `history`, or replaces the existing history of the same name
+    /// in place, keeping its [`AttrId`]. Returns `(id, replaced)`.
+    ///
+    /// This is the delta-ingestion primitive: a page re-staged with newer
+    /// revisions yields fresh histories for columns that already have ids,
+    /// and those ids must stay stable so an incrementally maintained index
+    /// can update the touched columns instead of appending duplicates.
+    ///
+    /// Name lookup is a linear scan — callers batch at page granularity,
+    /// where the handful of columns per page is dwarfed by re-staging cost.
+    ///
+    /// # Panics
+    /// Panics if the history extends beyond the timeline.
+    pub fn upsert_history(&mut self, history: AttributeHistory) -> (AttrId, bool) {
+        if let Some(pos) = self.attributes.iter().position(|h| h.name() == history.name()) {
+            assert!(
+                self.timeline.contains(history.last_observed()),
+                "history '{}' ends at {} beyond timeline of length {}",
+                history.name(),
+                history.last_observed(),
+                self.timeline.len()
+            );
+            self.attributes[pos] = history;
+            (pos as AttrId, true)
+        } else {
+            (self.add_history(history), false)
+        }
+    }
+
     /// Convenience: builds and adds a history from `(start, values)` string
     /// versions, observed through `last_observed`.
     pub fn add_attribute<S: AsRef<str>>(
@@ -237,6 +266,27 @@ mod tests {
     fn rejects_history_past_timeline() {
         let mut b = DatasetBuilder::new(Timeline::new(5));
         b.add_attribute::<&str>("x", &[(0, vec!["a"])], 5);
+    }
+
+    #[test]
+    fn upsert_replaces_in_place_and_appends_new() {
+        let mut b = small_dataset().into_builder();
+        let mut fresh = crate::history::HistoryBuilder::new("games");
+        fresh.push(0, vec![0, 1]);
+        fresh.push(6, vec![0, 1, 2]);
+        let (id, replaced) = b.upsert_history(fresh.finish(9));
+        assert_eq!((id, replaced), (0, true), "existing name keeps its id");
+
+        let mut new = crate::history::HistoryBuilder::new("brand-new");
+        new.push(2, vec![3]);
+        let (id, replaced) = b.upsert_history(new.finish(9));
+        assert_eq!((id, replaced), (2, false), "new name appends");
+
+        let d = b.build();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.attribute(0).change_count(), 1);
+        assert_eq!(d.attribute(0).versions().len(), 2);
+        assert_eq!(d.attribute_by_name("brand-new").map(|(i, _)| i), Some(2));
     }
 
     #[test]

@@ -44,4 +44,6 @@ pub mod server;
 
 pub use error::{reason_phrase, ServeError};
 pub use router::{ApiCall, ExplainSpec, QuerySpec};
-pub use server::{Engine, ServeConfig, ServeFaultHook, ServeOutcome, Server};
+pub use server::{
+    Engine, EngineDeltaReport, EngineHook, ServeConfig, ServeFaultHook, ServeOutcome, Server,
+};

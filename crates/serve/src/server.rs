@@ -30,6 +30,7 @@
 //!   and past `drain_grace` the watchdog force-cancels in-flight waves
 //!   with reason `Drain` and sheds the rest.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -38,10 +39,12 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use tind_core::{
-    open_store, verify_store, BatchOptions, BuildOptions, CancelReason, CancelToken, IndexConfig,
-    LoadReport, SearchOutcome, ShardMask, SliceConfig, TindIndex, TindParams,
+    open_store, pack_store, verify_store, BatchOptions, BuildOptions, CancelReason, CancelToken,
+    DatasetDelta, DeltaReport, IndexConfig, LoadReport, PackOptions, SearchOutcome, ShardMask,
+    SliceConfig, TindIndex, TindParams,
 };
-use tind_model::{AttrId, Dataset, MemoryBudget, WeightFn};
+use tind_model::hash::FastMap;
+use tind_model::{AttrId, Dataset, MemoryBudget, Timeline, WeightFn};
 use tind_obs::Value;
 
 use crate::admission::Admission;
@@ -53,6 +56,11 @@ use crate::router::{self, ApiCall, ExplainSpec, QuerySpec};
 /// executes on a worker (inside the panic quarantine, so a panicking
 /// hook exercises containment end to end).
 pub type ServeFaultHook = Arc<dyn Fn(&ApiCall) + Send + Sync>;
+
+/// Invoked once with a shared handle to the engine right after the
+/// loader completes — the handle is how embedders drive live-update
+/// APIs ([`Engine::apply_delta`]) against a running server.
+pub type EngineHook = Arc<dyn Fn(Arc<Engine>) + Send + Sync>;
 
 /// Results rendered per response when the request doesn't say.
 const DEFAULT_LIMIT: usize = 20;
@@ -93,8 +101,16 @@ pub struct ServeConfig {
     /// How often a **degraded** engine re-verifies its store, looking to
     /// promote back to `serving` once the quarantined shards are repaired.
     pub reverify_interval: Duration,
+    /// Result-cache capacity in entries; `0` (the default) disables
+    /// caching. Entries are keyed by direction, resolved parameters, and
+    /// query attribute; [`Engine::apply_delta`] invalidates exactly the
+    /// entries the delta affected.
+    pub cache: usize,
     /// Test-only fault injection hook.
     pub fault_hook: Option<ServeFaultHook>,
+    /// Handed a shared engine handle once loading completes (live
+    /// updates; see [`EngineHook`]).
+    pub engine_hook: Option<EngineHook>,
 }
 
 impl Default for ServeConfig {
@@ -115,7 +131,9 @@ impl Default for ServeConfig {
             drain_grace: Duration::from_secs(5),
             retry_unit: Duration::from_millis(25),
             reverify_interval: Duration::from_millis(500),
+            cache: 0,
             fault_hook: None,
+            engine_hook: None,
         }
     }
 }
@@ -138,9 +156,21 @@ impl std::fmt::Debug for ServeConfig {
             .field("drain_grace", &self.drain_grace)
             .field("retry_unit", &self.retry_unit)
             .field("reverify_interval", &self.reverify_interval)
+            .field("cache", &self.cache)
             .field("fault_hook", &self.fault_hook.is_some())
+            .field("engine_hook", &self.engine_hook.is_some())
             .finish()
     }
+}
+
+/// The live query state: the dataset and both index directions always
+/// swap together, so a wave pinning one snapshot never resolves names
+/// against a dataset newer (or older) than the index it searches.
+#[derive(Clone)]
+struct HotState {
+    dataset: Arc<Dataset>,
+    forward: Arc<TindIndex>,
+    reverse: Arc<TindIndex>,
 }
 
 /// The hot query state: one dataset, both index directions, and the
@@ -149,19 +179,24 @@ impl std::fmt::Debug for ServeConfig {
 /// The configs mirror the one-shot CLI exactly (`tind search` /
 /// `tind reverse-search` with the same ε/δ/decay), which is what makes
 /// serve responses differentially comparable to one-shot runs.
+///
+/// The state lives behind one lock because it swaps as a unit: a
+/// degraded engine promotes a clean forward index once its store is
+/// repaired, and [`Engine::apply_delta`] folds a dataset delta into both
+/// directions without a cold rebuild. Readers clone the `Arc`s, so a
+/// swap never stalls an in-flight wave.
 pub struct Engine {
-    dataset: Arc<Dataset>,
-    /// Behind a lock because a degraded engine swaps in a clean copy when
-    /// background re-verification finds the store repaired. Readers clone
-    /// the `Arc`, so a swap never stalls an in-flight wave.
-    forward: RwLock<Arc<TindIndex>>,
-    reverse: TindIndex,
+    state: RwLock<HotState>,
     /// Present iff `forward` was loaded from a sharded store; enables
-    /// [`Engine::try_promote`].
+    /// [`Engine::try_promote`] and the store flip in
+    /// [`Engine::apply_delta`].
     store_dir: Option<PathBuf>,
+    /// Shard count the store was packed with, preserved across flips.
+    store_shards: usize,
     default_eps: f64,
     default_delta: u32,
     default_decay: Option<f64>,
+    cache: ResultCache,
 }
 
 impl Engine {
@@ -190,14 +225,27 @@ impl Engine {
         let forward = TindIndex::build_with(dataset.clone(), forward_config, &options);
         let reverse = TindIndex::build_with(dataset.clone(), reverse_config, &options);
         Engine {
-            dataset,
-            forward: RwLock::new(Arc::new(forward)),
-            reverse,
+            state: RwLock::new(HotState {
+                dataset,
+                forward: Arc::new(forward),
+                reverse: Arc::new(reverse),
+            }),
             store_dir: None,
+            store_shards: 0,
             default_eps: eps,
             default_delta: delta,
             default_decay: decay,
+            cache: ResultCache::new(0),
         }
+    }
+
+    /// Enables the result cache with room for `capacity` outcomes
+    /// (`0` keeps it disabled). Entries are invalidated delta-aware by
+    /// [`Engine::apply_delta`] and cleared on store promotion.
+    #[must_use]
+    pub fn with_cache(mut self, capacity: usize) -> Engine {
+        self.cache = ResultCache::new(capacity);
+        self
     }
 
     /// Loads the forward index from the sharded store at `dir` — accepting
@@ -226,32 +274,43 @@ impl Engine {
         };
         let reverse = TindIndex::build_with(dataset.clone(), reverse_config, &options);
         let engine = Engine {
-            dataset,
-            forward: RwLock::new(Arc::new(forward)),
-            reverse,
+            state: RwLock::new(HotState {
+                dataset,
+                forward: Arc::new(forward),
+                reverse: Arc::new(reverse),
+            }),
             store_dir: Some(dir.to_path_buf()),
+            store_shards: report.shards_total,
             default_eps: eps,
             default_delta: delta,
             default_decay: decay,
+            cache: ResultCache::new(0),
         };
         Ok((engine, report))
     }
 
-    /// The dataset this engine serves.
-    pub fn dataset(&self) -> &Arc<Dataset> {
-        &self.dataset
+    /// One coherent snapshot of the live state.
+    fn snapshot(&self) -> HotState {
+        lock_read(&self.state).clone()
     }
 
-    /// The forward-direction index (a cheap `Arc` clone; a degraded
-    /// engine may swap the underlying index after promotion, but a held
-    /// clone stays consistent for the wave using it).
+    /// The dataset this engine currently serves (a cheap `Arc` clone;
+    /// [`Engine::apply_delta`] may swap the underlying dataset, but a
+    /// held clone stays consistent for the wave using it).
+    pub fn dataset(&self) -> Arc<Dataset> {
+        lock_read(&self.state).dataset.clone()
+    }
+
+    /// The forward-direction index (a cheap `Arc` clone; promotion or a
+    /// delta may swap the underlying index, but a held clone stays
+    /// consistent for the wave using it).
     pub fn forward(&self) -> Arc<TindIndex> {
-        lock_read(&self.forward).clone()
+        lock_read(&self.state).forward.clone()
     }
 
     /// The reverse-direction index.
-    pub fn reverse(&self) -> &TindIndex {
-        &self.reverse
+    pub fn reverse(&self) -> Arc<TindIndex> {
+        lock_read(&self.state).reverse.clone()
     }
 
     /// Whether the forward index currently has quarantined shards.
@@ -287,14 +346,77 @@ impl Engine {
             Ok(report) if report.faults.is_empty() => {}
             _ => return false,
         }
-        match open_store(dir, self.dataset.clone()) {
+        match open_store(dir, self.dataset()) {
             Ok((index, report)) if report.is_clean() => {
-                *self.forward.write().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                    Arc::new(index);
+                lock_write(&self.state).forward = Arc::new(index);
+                // Results cached while degraded would be wrong anyway
+                // (the cache is bypassed then), but entries filled before
+                // the store went bad may describe a different generation.
+                self.cache.clear();
                 true
             }
             _ => false,
         }
+    }
+
+    /// Folds a page-granular dataset delta into the live engine without
+    /// a cold rebuild: both index directions are updated semi-naively
+    /// via [`tind_core::DatasetDelta`], the sharded store (when the
+    /// engine is store-backed) is flipped to a new generation through
+    /// the same atomic-commit-and-sweep machinery that quarantine→repair
+    /// rides, and only the result-cache entries the delta could have
+    /// affected are invalidated.
+    ///
+    /// In-flight waves keep answering from the pre-delta snapshot they
+    /// pinned; waves admitted after the swap see the merged dataset.
+    ///
+    /// # Errors
+    /// Refused (with a repair hint) while the store has quarantined
+    /// shards — updating around the hole would diverge from the manifest
+    /// digests — and when `new_dataset` is not a valid successor of the
+    /// served dataset. A refused delta leaves engine, store, and cache
+    /// untouched.
+    pub fn apply_delta(&self, new_dataset: Arc<Dataset>) -> Result<EngineDeltaReport, String> {
+        let _span = tind_obs::span("serve.apply_delta");
+        let snap = self.snapshot();
+        if let Some(mask) = snap.forward.shard_mask() {
+            let shards: Vec<usize> = mask.quarantined().iter().map(|q| q.shard).collect();
+            return Err(format!(
+                "delta rejected: store shard(s) {shards:?} are quarantined; run \
+                 `tind store repair` before applying updates"
+            ));
+        }
+        let delta = DatasetDelta::diff(&snap.dataset, new_dataset.clone())
+            .map_err(|e| format!("delta rejected: {e}"))?;
+        let mut forward = (*snap.forward).clone();
+        let index = forward.apply_delta(&delta).map_err(|e| format!("delta rejected: {e}"))?;
+        let mut reverse = (*snap.reverse).clone();
+        reverse.apply_delta(&delta).map_err(|e| format!("delta rejected: {e}"))?;
+
+        // Persist before swapping: pack_store commits the new generation
+        // atomically (manifest rename is the commit point), so a crash
+        // leaves either the old store or the new one — and a pack error
+        // leaves the engine serving the old snapshot untouched.
+        let mut store_generation = None;
+        if let Some(dir) = &self.store_dir {
+            let packed = pack_store(
+                &forward,
+                dir,
+                &PackOptions { shards: self.store_shards, ..PackOptions::default() },
+            )
+            .map_err(|e| format!("store flip at {} failed: {e}", dir.display()))?;
+            store_generation = Some(packed.generation);
+        }
+
+        let (cache_evicted, cache_retained) = self.cache.invalidate(&new_dataset, delta.touched());
+        {
+            let mut state = lock_write(&self.state);
+            state.dataset = new_dataset;
+            state.forward = Arc::new(forward);
+            state.reverse = Arc::new(reverse);
+        }
+        tind_obs::counter("serve.deltas_applied").incr();
+        Ok(EngineDeltaReport { index, cache_evicted, cache_retained, store_generation })
     }
 
     /// Resolve request parameters against the defaults. The key
@@ -310,19 +432,19 @@ impl Engine {
         let delta = delta.unwrap_or(self.default_delta);
         let decay = decay.or(self.default_decay);
         let weights = match decay {
-            Some(a) => WeightFn::exponential(a, self.dataset.timeline()),
+            Some(a) => WeightFn::exponential(a, self.dataset().timeline()),
             None => WeightFn::constant_one(),
         };
         (TindParams::weighted(eps, delta, weights), (eps.to_bits(), delta, decay.map(f64::to_bits)))
     }
 
     /// Resolve an attribute by name or numeric id, as the CLI does.
-    fn resolve_attr(&self, raw: &str) -> Result<AttrId, ServeError> {
-        if let Some((id, _)) = self.dataset.attribute_by_name(raw) {
+    fn resolve_attr(&self, dataset: &Dataset, raw: &str) -> Result<AttrId, ServeError> {
+        if let Some((id, _)) = dataset.attribute_by_name(raw) {
             return Ok(id);
         }
         if let Ok(id) = raw.parse::<AttrId>() {
-            if (id as usize) < self.dataset.len() {
+            if (id as usize) < dataset.len() {
                 return Ok(id);
             }
         }
@@ -332,12 +454,164 @@ impl Engine {
     /// Rough per-request scratch estimate charged against the memory
     /// budget: candidate tracking is O(|D|), plus a fixed overhead.
     fn request_cost(&self) -> usize {
-        self.dataset.len() * 64 + 4096
+        self.dataset().len() * 64 + 4096
     }
+}
+
+/// Outcome of [`Engine::apply_delta`].
+#[derive(Debug)]
+pub struct EngineDeltaReport {
+    /// The core index-maintenance report (forward direction).
+    pub index: DeltaReport,
+    /// Result-cache entries dropped because the delta affected them.
+    pub cache_evicted: usize,
+    /// Result-cache entries proven unaffected and kept.
+    pub cache_retained: usize,
+    /// Store generation the flip committed, when store-backed.
+    pub store_generation: Option<u64>,
 }
 
 /// Bit-exact identity of a resolved parameter set.
 type ParamsKey = (u64, u32, Option<u64>);
+
+/// `(reverse?, resolved parameters, query attribute)`.
+type CacheKey = (bool, ParamsKey, AttrId);
+
+/// Rebuilds the [`TindParams`] a [`ParamsKey`] encodes.
+fn params_from_key(key: ParamsKey, timeline: Timeline) -> TindParams {
+    let (eps_bits, delta, decay_bits) = key;
+    let weights = match decay_bits {
+        Some(a) => WeightFn::exponential(f64::from_bits(a), timeline),
+        None => WeightFn::constant_one(),
+    };
+    TindParams::weighted(f64::from_bits(eps_bits), delta, weights)
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: FastMap<CacheKey, Arc<SearchOutcome>>,
+    /// Insertion order, for FIFO eviction at capacity.
+    order: VecDeque<CacheKey>,
+}
+
+/// Opt-in cache of search outcomes, keyed by direction, bit-exact
+/// resolved parameters, and query attribute.
+///
+/// Delta-aware invalidation: a delta can change an entry's *result set*
+/// only through the touched attributes — either the query itself changed
+/// (full eviction), a touched attribute sits in the cached results and
+/// may have dropped out, or a touched attribute newly validates against
+/// the query and is missing from them. [`ResultCache::invalidate`]
+/// checks exactly those memberships with the exact validator against the
+/// merged dataset and keeps every entry it proves unaffected. Kept
+/// entries' `stats` still describe the computation that filled them —
+/// results are the contract, stats are diagnostics.
+///
+/// Degraded serving bypasses the cache entirely: partial results are
+/// never cached and clean cached results never leak past a quarantine.
+struct ResultCache {
+    /// `0` disables the cache; every operation is then a no-op.
+    capacity: usize,
+    hot: Mutex<CacheInner>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache { capacity, hot: Mutex::new(CacheInner::default()) }
+    }
+
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn len(&self) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        lock(&self.hot).map.len()
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<Arc<SearchOutcome>> {
+        if !self.enabled() {
+            return None;
+        }
+        lock(&self.hot).map.get(key).cloned()
+    }
+
+    fn insert(&self, key: CacheKey, outcome: Arc<SearchOutcome>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = lock(&self.hot);
+        if inner.map.insert(key, outcome).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                }
+            }
+        }
+        tind_obs::gauge("serve.cache_entries").set(inner.map.len() as f64);
+    }
+
+    fn clear(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = lock(&self.hot);
+        inner.map.clear();
+        inner.order.clear();
+        tind_obs::gauge("serve.cache_entries").set(0.0);
+    }
+
+    /// Evicts every entry whose result set the delta to `dataset` (the
+    /// merged successor) could have changed, returns
+    /// `(evicted, retained)`. `touched` is ascending, as produced by
+    /// [`DatasetDelta::touched`].
+    fn invalidate(&self, dataset: &Dataset, touched: &[AttrId]) -> (usize, usize) {
+        if !self.enabled() {
+            return (0, 0);
+        }
+        let timeline = dataset.timeline();
+        let mut inner = lock(&self.hot);
+        let keys: Vec<CacheKey> = inner.map.keys().copied().collect();
+        let mut evicted = 0;
+        for key in keys {
+            let (rev, pkey, query) = key;
+            let stale = if touched.binary_search(&query).is_ok() {
+                true
+            } else {
+                let outcome = Arc::clone(&inner.map[&key]);
+                let params = params_from_key(pkey, timeline);
+                // A forward entry lists {B : query ⊆ B}; a reverse entry
+                // lists {B : B ⊆ query}. Only touched B can enter or
+                // leave — re-validate their membership exactly.
+                touched.iter().any(|&b| {
+                    let was = outcome.results.binary_search(&b).is_ok();
+                    let (lhs, rhs) = if rev { (b, query) } else { (query, b) };
+                    let now = tind_core::explain::explain(
+                        dataset.attribute(lhs),
+                        dataset.attribute(rhs),
+                        &params,
+                        timeline,
+                    )
+                    .valid;
+                    was != now
+                })
+            };
+            if stale {
+                inner.map.remove(&key);
+                evicted += 1;
+            }
+        }
+        let CacheInner { map, order } = &mut *inner;
+        order.retain(|k| map.contains_key(k));
+        let retained = map.len();
+        tind_obs::counter("serve.cache_invalidated").add(evicted as u64);
+        tind_obs::gauge("serve.cache_entries").set(retained as f64);
+        (evicted, retained)
+    }
+}
 
 /// Lifecycle states surfaced by `/healthz`.
 const STATE_LOADING: u8 = 0;
@@ -397,7 +671,7 @@ pub struct ServeOutcome {
 /// Shared state of one running server; borrowed by every pipeline thread.
 struct Runtime {
     config: ServeConfig,
-    engine: OnceLock<Engine>,
+    engine: OnceLock<Arc<Engine>>,
     state: AtomicU8,
     conns: Admission<TcpStream>,
     jobs: Admission<Job>,
@@ -514,7 +788,16 @@ impl Server {
 
             match loader() {
                 Ok(engine) => {
+                    let engine = if rt.config.cache > 0 {
+                        engine.with_cache(rt.config.cache)
+                    } else {
+                        engine
+                    };
                     let degraded = engine.is_degraded();
+                    let engine = Arc::new(engine);
+                    if let Some(hook) = &rt.config.engine_hook {
+                        hook(Arc::clone(&engine));
+                    }
                     let _ = rt.engine.set(engine);
                     rt.set_state(if degraded { STATE_DEGRADED } else { STATE_SERVING });
                     let mut next_reverify = Instant::now() + rt.config.reverify_interval;
@@ -527,7 +810,7 @@ impl Server {
                         if rt.state() == STATE_DEGRADED && Instant::now() >= next_reverify {
                             next_reverify = Instant::now() + rt.config.reverify_interval;
                             let promoted =
-                                rt.engine.get().is_some_and(Engine::try_promote);
+                                rt.engine.get().is_some_and(|e| e.try_promote());
                             if promoted {
                                 tind_obs::counter("serve.promotions").incr();
                                 rt.set_state(STATE_SERVING);
@@ -693,12 +976,17 @@ fn healthz_body(rt: &Runtime) -> Value {
         ("uptime_ms", Value::num(rt.started.elapsed().as_millis() as f64)),
     ]);
     if state == STATE_DEGRADED {
-        if let Some((fraction, shards)) = rt.engine.get().and_then(Engine::degraded_status) {
+        if let Some((fraction, shards)) = rt.engine.get().and_then(|e| e.degraded_status()) {
             body.set("live_shard_fraction", Value::num(fraction));
             body.set(
                 "quarantined_shards",
                 Value::Arr(shards.into_iter().map(|s| Value::num(s as f64)).collect()),
             );
+        }
+    }
+    if let Some(engine) = rt.engine.get() {
+        if engine.cache.enabled() {
+            body.set("cache_entries", Value::num(engine.cache.len() as f64));
         }
     }
     body
@@ -836,7 +1124,11 @@ fn run_explain(
     wave_token: &CancelToken,
 ) {
     let (params, _) = engine.resolve_params(spec.eps, spec.delta, spec.decay);
-    let (lhs, rhs) = match (engine.resolve_attr(&spec.lhs), engine.resolve_attr(&spec.rhs)) {
+    let dataset = engine.dataset();
+    let (lhs, rhs) = match (
+        engine.resolve_attr(&dataset, &spec.lhs),
+        engine.resolve_attr(&dataset, &spec.rhs),
+    ) {
         (Ok(l), Ok(r)) => (l, r),
         (Err(e), _) | (_, Err(e)) => {
             rt.respond_error(&mut job.stream, &e);
@@ -845,7 +1137,6 @@ fn run_explain(
     };
     let hook = rt.config.fault_hook.clone();
     let call = job.call.clone();
-    let dataset = engine.dataset().clone();
     let result = catch_unwind(AssertUnwindSafe(|| {
         if let Some(hook) = &hook {
             hook(&call);
@@ -867,8 +1158,8 @@ fn run_explain(
                 return;
             }
             let body = Value::obj([
-                ("lhs", Value::str(engine.dataset.attribute(lhs).name())),
-                ("rhs", Value::str(engine.dataset.attribute(rhs).name())),
+                ("lhs", Value::str(dataset.attribute(lhs).name())),
+                ("rhs", Value::str(dataset.attribute(rhs).name())),
                 ("eps", Value::num(params.eps)),
                 ("delta", Value::num(f64::from(params.delta))),
                 ("valid", Value::Bool(explanation.valid)),
@@ -890,14 +1181,15 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
             _ => unreachable!("search wave holds only searches"),
         }
     };
-    let (params, _) = {
+    let (params, params_key) = {
         let head = spec_of(&wave[0].call);
         engine.resolve_params(head.eps, head.delta, head.decay)
     };
 
-    // Pin the forward index for the whole wave: a concurrent promotion
-    // swap cannot change results mid-wave.
-    let forward = engine.forward();
+    // Pin one coherent snapshot for the whole wave: a concurrent
+    // promotion or delta swap cannot change results mid-wave.
+    let snap = engine.snapshot();
+    let (dataset, forward) = (&snap.dataset, &snap.forward);
 
     // Resolve every member's query attribute; unknown names answer 400
     // and leave the wave. A query whose own index columns were lost with
@@ -906,7 +1198,7 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
     let mut members: Vec<(Job, QuerySpec, AttrId)> = Vec::with_capacity(wave.len());
     for mut job in wave.drain(..) {
         let spec = spec_of(&job.call);
-        match engine.resolve_attr(&spec.query) {
+        match engine.resolve_attr(dataset, &spec.query) {
             Ok(id) => {
                 let lost = (!reverse)
                     .then(|| forward.shard_mask())
@@ -926,6 +1218,32 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
             }
             Err(e) => rt.respond_error(&mut job.stream, &e),
         }
+    }
+
+    // Answer cache hits without touching the index. Degraded serving
+    // bypasses the cache in both directions: partial results must never
+    // be cached, and a cached clean result would omit the `partial`
+    // marker a fresh degraded answer carries.
+    let direction = if reverse { "reverse" } else { "forward" };
+    let cache_live = engine.cache.enabled() && forward.shard_mask().is_none();
+    if cache_live {
+        let mut misses = Vec::with_capacity(members.len());
+        for (mut job, spec, id) in members {
+            match engine.cache.get(&(reverse, params_key, id)) {
+                Some(outcome) => {
+                    tind_obs::counter("serve.cache_hits").incr();
+                    let body = search_body(
+                        dataset, &spec, id, direction, &params, &outcome, None, &job,
+                    );
+                    finish_ok(rt, &mut job, &body);
+                }
+                None => {
+                    tind_obs::counter("serve.cache_misses").incr();
+                    misses.push((job, spec, id));
+                }
+            }
+        }
+        members = misses;
     }
     if members.is_empty() {
         return;
@@ -948,7 +1266,7 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
                     if wave_token.is_cancelled() {
                         None
                     } else {
-                        Some(engine.reverse.reverse_search(id, &params))
+                        Some(snap.reverse.reverse_search(id, &params))
                     }
                 })
                 .collect()
@@ -974,15 +1292,18 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
             quarantine(rt, &mut jobs);
         }
         Ok(outcomes) => {
-            let direction = if reverse { "reverse" } else { "forward" };
             // Reverse queries run on the always-in-memory reverse index,
             // so only forward results can be partial.
             let mask = if reverse { None } else { forward.shard_mask() };
             for ((mut job, spec, id), outcome) in members.into_iter().zip(outcomes) {
                 match outcome {
                     Some(outcome) => {
+                        let outcome = Arc::new(outcome);
+                        if cache_live {
+                            engine.cache.insert((reverse, params_key, id), outcome.clone());
+                        }
                         let body = search_body(
-                            engine, &spec, id, direction, &params, &outcome, mask, &job,
+                            dataset, &spec, id, direction, &params, &outcome, mask, &job,
                         );
                         finish_ok(rt, &mut job, &body);
                     }
@@ -1000,7 +1321,7 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
 /// present (degraded serving), so clean responses stay byte-stable.
 #[allow(clippy::too_many_arguments)]
 fn search_body(
-    engine: &Engine,
+    dataset: &Dataset,
     spec: &QuerySpec,
     id: AttrId,
     direction: &str,
@@ -1017,13 +1338,13 @@ fn search_body(
         .map(|&r| {
             Value::obj([
                 ("id", Value::num(f64::from(r))),
-                ("name", Value::str(engine.dataset.attribute(r).name())),
+                ("name", Value::str(dataset.attribute(r).name())),
             ])
         })
         .collect();
     let s = &outcome.stats;
     let mut body = Value::obj([
-        ("query", Value::str(engine.dataset.attribute(id).name())),
+        ("query", Value::str(dataset.attribute(id).name())),
         ("direction", Value::str(direction)),
         ("eps", Value::num(params.eps)),
         ("delta", Value::num(f64::from(params.delta))),
@@ -1123,4 +1444,8 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 fn lock_read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -18,6 +18,7 @@
 //! | [`pipeline`] | end-to-end: revisions → [`tind_model::Dataset`] |
 //! | [`dump`] | bounded-memory streaming reader for XML-style dump exports |
 //! | [`ingest`] | resilient ingestion: quarantine, error budget, checkpoint/resume |
+//! | [`delta`] | delta ingestion: page-granular updates of an existing dataset |
 //!
 //! Real Wikipedia dumps are not available in this environment; the
 //! `tind-datagen` crate renders synthetic revision streams with the same
@@ -25,6 +26,7 @@
 
 pub mod aggregate;
 pub mod column_match;
+pub mod delta;
 pub mod dump;
 pub mod ingest;
 pub mod pipeline;
@@ -35,6 +37,7 @@ pub mod tables;
 pub mod vandalism;
 pub mod wikitext;
 
+pub use delta::{update_stream, DeltaExtractor, UpdateCheckpoint, UpdateOutcome};
 pub use dump::{DumpConfig, DumpItem, DumpReader};
 pub use ingest::{
     fingerprint_source, ingest_stream, IngestCheckpoint, IngestCheckpointPolicy, IngestConfig,

@@ -101,27 +101,27 @@ struct TableState {
 
 /// Result of the pure, panic-isolated stage of one page: everything the
 /// commit stage needs, with no references into the builder.
-struct StagedPage {
-    vandalism_dropped: usize,
-    duplicate_dropped: usize,
-    revisions: usize,
-    out_of_range_dropped: usize,
-    tables_tracked: usize,
-    columns_tracked: usize,
-    columns: Vec<StagedColumn>,
+pub(crate) struct StagedPage {
+    pub(crate) vandalism_dropped: usize,
+    pub(crate) duplicate_dropped: usize,
+    pub(crate) revisions: usize,
+    pub(crate) out_of_range_dropped: usize,
+    pub(crate) tables_tracked: usize,
+    pub(crate) columns_tracked: usize,
+    pub(crate) columns: Vec<StagedColumn>,
 }
 
 /// One column's aggregated daily states, with values still as strings
 /// (interning happens at commit so a panic never leaves the dictionary
 /// half-updated).
-struct StagedColumn {
-    name: String,
-    daily: Vec<(Timestamp, Option<Vec<String>>)>,
+pub(crate) struct StagedColumn {
+    pub(crate) name: String,
+    pub(crate) daily: Vec<(Timestamp, Option<Vec<String>>)>,
 }
 
 /// Stage A: canonicalize, filter, parse, match, and aggregate one page.
 /// Pure except for allocation — safe to run under `catch_unwind`.
-fn stage_page(page_revs: Vec<PageRevision>, config: &PipelineConfig) -> StagedPage {
+pub(crate) fn stage_page(page_revs: Vec<PageRevision>, config: &PipelineConfig) -> StagedPage {
     let (revs, duplicate_dropped) = canonicalize_stream_lossy(page_revs);
     let total = revs.len();
     let revs = if config.drop_vandalism {

@@ -181,6 +181,12 @@ if [ "$CHECK_ONLY" = 0 ]; then
     # watch the daemon promote back (see devtools/store-smoke.sh).
     echo "smoke sharded store (pack, crash debris, degraded serve, repair)"
     devtools/store-smoke.sh "$OUT/tind" "$OUT"
+
+    # Update smoke: delta ingest with in-place index maintenance, pinned
+    # byte-identical to a cold rebuild; TINDUC interrupt → verify →
+    # resume (see devtools/update-smoke.sh).
+    echo "smoke live updates (delta ingest, maintained index vs cold rebuild)"
+    devtools/update-smoke.sh "$OUT/tind" "$OUT"
 fi
 
 echo "offline check passed"

@@ -1,0 +1,246 @@
+//! Differential delta-oracle for semi-naive incremental maintenance
+//! (`core::delta`).
+//!
+//! The contract under test: an index maintained through a randomized
+//! schedule of page-granular deltas is indistinguishable from a cold
+//! rebuild over the merged dataset — for `search`, `search_batch` at
+//! worker counts {1, N}, `reverse_search`, and all-pairs discovery
+//! (`refresh_pairs`, also at {1, N}) — and where data-dependent slice
+//! selection may drift (the weighted-random reverse strategy),
+//! `compact()` restores byte-identity. The serve layer's
+//! `Engine::apply_delta` then inherits the same oracle: a store-backed
+//! engine flips to a new committed generation, and a degraded engine
+//! refuses deltas until repaired.
+
+mod common;
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use common::strategies::{shard_files, world};
+use tind_core::persist::encode_index;
+use tind_core::{
+    discover_all_pairs, open_store, pack_store, refresh_pairs, repair_store, AllPairsOptions,
+    BatchOptions, DatasetDelta, IndexConfig, PackOptions, RepairOptions, TindIndex,
+};
+use tind_model::{Dataset, HistoryBuilder, ValueId};
+use tind_serve::Engine;
+
+/// Deterministic split-mix style generator: the schedule must be
+/// reproducible everywhere (no `rand` dependency, identical under the
+/// offline harness and cargo).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One page-granular update batch: rewrites `rewrites` randomly chosen
+/// existing attributes with fresh version runs and appends `appends` new
+/// attributes. Returns a valid successor (same timeline, stable ids,
+/// append-only dictionary), exactly what `tind update` produces from a
+/// delta dump.
+fn evolve(base: &Dataset, rng: &mut Rng, rewrites: usize, appends: usize, step: usize) -> Arc<Dataset> {
+    let tl = base.timeline();
+    let mut b = base.clone().into_builder();
+    let mut chosen: BTreeSet<u32> = BTreeSet::new();
+    while chosen.len() < rewrites {
+        chosen.insert(rng.below(base.len() as u64) as u32);
+    }
+    let names: Vec<String> =
+        chosen.iter().map(|&id| base.attribute(id).name().to_owned()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let mut h = HistoryBuilder::new(name.as_str());
+        let mut day = rng.below(u64::from(tl.len()) / 2) as u32;
+        for _ in 0..=rng.below(3) {
+            let width = rng.below(5) as usize;
+            let values: Vec<ValueId> = (0..width)
+                .map(|_| {
+                    if rng.below(2) == 0 {
+                        // An id the base dictionary already interned.
+                        rng.below(10) as ValueId
+                    } else {
+                        b.dictionary_mut().intern(&format!("delta-{step}-{i}-{}", rng.below(24)))
+                    }
+                })
+                .collect();
+            h.push(day, values);
+            day += 1 + rng.below(8) as u32;
+            if day > tl.last() {
+                break;
+            }
+        }
+        b.upsert_history(h.finish(tl.last()));
+    }
+    for n in 0..appends {
+        let mut h = HistoryBuilder::new(format!("delta-attr-{step}-{n}"));
+        let v = b.dictionary_mut().intern(&format!("delta-{step}-new-{n}"));
+        h.push(rng.below(u64::from(tl.len())) as u32, vec![v, rng.below(10) as ValueId]);
+        b.upsert_history(h.finish(tl.last()));
+    }
+    Arc::new(b.build())
+}
+
+fn pair_set(index: &TindIndex, params: &tind_core::TindParams) -> BTreeSet<(u32, u32)> {
+    discover_all_pairs(index, params, &AllPairsOptions { threads: 2, ..Default::default() })
+        .expect("all-pairs")
+        .pairs
+        .into_iter()
+        .collect()
+}
+
+/// The tentpole oracle: three-step randomized schedules, two seeds, every
+/// query surface compared against cold rebuilds of the merged dataset.
+#[test]
+fn randomized_delta_schedules_match_cold_rebuilds() {
+    for seed in [21u64, 77] {
+        let (base, mut forward, params) = world(seed);
+        let forward_config = IndexConfig { m: 256, ..IndexConfig::default() };
+        let mut reverse = TindIndex::build(base.clone(), IndexConfig::reverse_default());
+        let mut pairs = pair_set(&forward, &params);
+        let mut current = base;
+        let mut rng = Rng(seed ^ 0xde17a);
+
+        for step in 0..3usize {
+            let rewrites = 1 + rng.below(4) as usize;
+            let appends = rng.below(3) as usize;
+            let next = evolve(&current, &mut rng, rewrites, appends, step);
+            let delta = DatasetDelta::diff(&current, next.clone()).expect("valid successor");
+            assert_eq!(delta.touched().len(), rewrites + appends, "seed {seed} step {step}");
+
+            forward.apply_delta(&delta).expect("forward apply");
+            reverse.apply_delta(&delta).expect("reverse apply");
+            let cold_forward = TindIndex::build(next.clone(), forward_config.clone());
+            let cold_reverse = TindIndex::build(next.clone(), IndexConfig::reverse_default());
+
+            // Forward-default slicing is data-independent, so incremental
+            // maintenance must keep the *encoding* byte-identical, not
+            // just the answers.
+            assert_eq!(
+                encode_index(&forward),
+                encode_index(&cold_forward),
+                "seed {seed} step {step}: forward index diverged from cold build"
+            );
+
+            // Every query surface answers exactly like the cold build —
+            // including against the reverse index, whose drifted slices
+            // may differ byte-wise but must never change results.
+            let queries: Vec<u32> = (0..next.len() as u32).step_by(9).collect();
+            for &q in &queries {
+                assert_eq!(
+                    forward.search(q, &params).results,
+                    cold_forward.search(q, &params).results,
+                    "seed {seed} step {step} query {q}"
+                );
+                assert_eq!(
+                    reverse.reverse_search(q, &params).results,
+                    cold_reverse.reverse_search(q, &params).results,
+                    "seed {seed} step {step} reverse query {q}"
+                );
+            }
+            for threads in [1usize, 4] {
+                let options = BatchOptions { threads, ..Default::default() };
+                let live = forward.search_batch_with(&queries, &params, &options);
+                let cold = cold_forward.search_batch_with(&queries, &params, &options);
+                for (got, want) in live.outcomes.iter().zip(&cold.outcomes) {
+                    assert_eq!(
+                        got.as_ref().map(|o| &o.results),
+                        want.as_ref().map(|o| &o.results),
+                        "seed {seed} step {step} threads {threads}"
+                    );
+                }
+            }
+
+            // Semi-naive all-pairs maintenance equals cold discovery, and
+            // is worker-count independent.
+            let mut pairs_parallel = pairs.clone();
+            refresh_pairs(&forward, &mut pairs, delta.touched(), &params, 1);
+            refresh_pairs(&forward, &mut pairs_parallel, delta.touched(), &params, 4);
+            assert_eq!(pairs, pairs_parallel, "seed {seed} step {step}: thread-count dependence");
+            assert_eq!(
+                pairs,
+                pair_set(&cold_forward, &params),
+                "seed {seed} step {step}: maintained pair set diverged"
+            );
+
+            current = next;
+        }
+
+        // Compaction realigns the reverse index's data-dependent slices
+        // with a from-scratch build, byte for byte.
+        let cold_reverse = TindIndex::build(current.clone(), IndexConfig::reverse_default());
+        assert_eq!(encode_index(&reverse.compact()), encode_index(&cold_reverse));
+        let cold_forward = TindIndex::build(current, forward_config);
+        assert_eq!(encode_index(&forward.compact()), encode_index(&cold_forward));
+    }
+}
+
+/// A store-backed engine flips its store to a freshly committed
+/// generation before swapping the hot index: the directory afterwards
+/// opens clean against the merged dataset and holds exactly the bytes
+/// the engine serves.
+#[test]
+fn engine_apply_delta_flips_the_store_generation_atomically() {
+    let (base, index, _) = world(33);
+    let dir = common::strategies::store_dir("delta-equivalence", "engine-flip");
+    pack_store(&index, &dir, &PackOptions { shards: 4, ..Default::default() }).expect("pack");
+    let (engine, report) =
+        Engine::from_store(&dir, base.clone(), 3.0, 7, None, 0).expect("from_store");
+    assert!(report.is_clean());
+
+    let merged = evolve(&base, &mut Rng(0xfeed), 3, 2, 0);
+    let outcome = engine.apply_delta(merged.clone()).expect("delta applies");
+    assert_eq!(outcome.index.touched_attrs, 5);
+    assert_eq!(outcome.index.new_attrs, 2);
+    assert_eq!(outcome.store_generation, Some(2), "store must advance one generation");
+
+    let (reloaded, load) = open_store(&dir, merged).expect("flipped store opens");
+    assert!(load.is_clean(), "flip left faults: {load:?}");
+    assert_eq!(load.generation, 2);
+    assert_eq!(
+        encode_index(&reloaded),
+        encode_index(&engine.forward()),
+        "store bytes must match the hot index"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A degraded engine (quarantined store shard) refuses every delta with a
+/// repair hint — updating around the hole would silently diverge the hot
+/// index from the manifest digests — and accepts the same delta after
+/// repair + promotion.
+#[test]
+fn degraded_engine_refuses_deltas_until_repaired() {
+    let (base, index, _) = world(35);
+    let dir = common::strategies::store_dir("delta-equivalence", "degraded-refusal");
+    pack_store(&index, &dir, &PackOptions { shards: 4, ..Default::default() }).expect("pack");
+    let shard = &shard_files(&dir)[2];
+    let len = std::fs::metadata(shard).expect("len").len() as usize;
+    tind_core::fault::flip_file_byte(shard, len / 2).expect("flip");
+
+    let (engine, report) =
+        Engine::from_store(&dir, base.clone(), 3.0, 7, None, 0).expect("degraded open");
+    assert_eq!(report.quarantined.len(), 1);
+    assert!(engine.is_degraded());
+
+    let merged = evolve(&base, &mut Rng(0xbeef), 2, 1, 0);
+    let err = engine.apply_delta(merged.clone()).expect_err("degraded engine must refuse");
+    assert!(err.contains("quarantined"), "{err}");
+    assert!(err.contains("repair"), "refusal must carry the repair hint: {err}");
+
+    repair_store(&dir, &base, &RepairOptions::default()).expect("repair");
+    assert!(engine.try_promote(), "repaired store must promote");
+    let outcome = engine.apply_delta(merged).expect("post-repair delta applies");
+    assert_eq!(outcome.store_generation, Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

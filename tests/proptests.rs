@@ -2,53 +2,16 @@
 //! generated attribute histories (not the workload generator — raw
 //! arbitrary version structures, to hit edge cases the simulator avoids).
 
-use proptest::prelude::*;
-use std::sync::Arc;
+mod common;
 
+use proptest::prelude::*;
+
+use common::strategies::{build_history, dataset_of, history_strategy, TIMELINE};
 use tind::bloom::{BitVec, BloomFilter};
 use tind::core::search::brute_force_search;
 use tind::core::validate::{naive_violation_weight, validate, violation_weight};
 use tind::core::{IndexConfig, SliceConfig, TindIndex, TindParams};
-use tind::model::{
-    binio, DatasetBuilder, Dataset, HistoryBuilder, Interval, Timeline, ValueId, WeightFn,
-};
-
-const TIMELINE: u32 = 60;
-
-/// Strategy: one attribute history over a fixed small timeline and value
-/// universe, as (start, value-set) runs.
-fn history_strategy() -> impl Strategy<Value = Vec<(u32, Vec<ValueId>)>> {
-    // Between 1 and 6 versions; starts in 0..TIMELINE-5; values from 0..12.
-    proptest::collection::vec(
-        (0u32..TIMELINE - 5, proptest::collection::vec(0u32..12, 0..6)),
-        1..6,
-    )
-    .prop_map(|mut versions| {
-        versions.sort_by_key(|(t, _)| *t);
-        versions.dedup_by_key(|(t, _)| *t);
-        versions
-    })
-}
-
-fn build_history(name: &str, versions: &[(u32, Vec<ValueId>)], last: u32) -> tind::model::AttributeHistory {
-    let mut b = HistoryBuilder::new(name);
-    for (t, values) in versions {
-        b.push(*t, values.clone());
-    }
-    b.finish(last.max(versions.last().expect("non-empty").0))
-}
-
-fn dataset_of(histories: Vec<Vec<(u32, Vec<ValueId>)>>) -> Arc<Dataset> {
-    let mut builder = DatasetBuilder::new(Timeline::new(TIMELINE));
-    // Intern ids 0..12 so ValueIds used in strategies are dictionary-valid.
-    for v in 0..12 {
-        builder.dictionary_mut().intern(&format!("value-{v}"));
-    }
-    for (i, versions) in histories.into_iter().enumerate() {
-        builder.add_history(build_history(&format!("attr-{i}"), &versions, TIMELINE - 1));
-    }
-    Arc::new(builder.build())
-}
+use tind::model::{binio, Interval, Timeline, ValueId, WeightFn};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -57,8 +20,8 @@ proptest! {
     /// on arbitrary history pairs and parameters.
     #[test]
     fn algorithm2_equals_naive(
-        q in history_strategy(),
-        a in history_strategy(),
+        q in history_strategy!(),
+        a in history_strategy!(),
         delta in 0u32..20,
         eps in 0.0f64..10.0,
         decay in proptest::option::of(0.5f64..0.99),
@@ -82,7 +45,7 @@ proptest! {
     /// Reflexivity (Section 3.4): every attribute is included in itself
     /// under every parameter setting.
     #[test]
-    fn reflexivity(q in history_strategy(), delta in 0u32..10, eps in 0.0f64..5.0) {
+    fn reflexivity(q in history_strategy!(), delta in 0u32..10, eps in 0.0f64..5.0) {
         let d = dataset_of(vec![q]);
         let params = TindParams::weighted(eps, delta, WeightFn::constant_one());
         prop_assert!(validate(d.attribute(0), d.attribute(0), &params, d.timeline()));
@@ -90,7 +53,7 @@ proptest! {
 
     /// Violation weight is monotone: growing δ never increases it.
     #[test]
-    fn delta_monotonicity(q in history_strategy(), a in history_strategy()) {
+    fn delta_monotonicity(q in history_strategy!(), a in history_strategy!()) {
         let d = dataset_of(vec![q, a]);
         let tl = d.timeline();
         let mut prev = f64::INFINITY;
@@ -106,7 +69,7 @@ proptest! {
     /// the index may prune only provably invalid candidates.
     #[test]
     fn index_search_equals_brute_force(
-        histories in proptest::collection::vec(history_strategy(), 2..8),
+        histories in proptest::collection::vec(history_strategy!(), 2..8),
         delta in 0u32..8,
         eps in 0.0f64..6.0,
     ) {
@@ -191,7 +154,7 @@ proptest! {
 
     /// History ↔ delta-stream conversion round-trips arbitrary histories.
     #[test]
-    fn diff_roundtrip(q in history_strategy()) {
+    fn diff_roundtrip(q in history_strategy!()) {
         let h = build_history("h", &q, TIMELINE - 1);
         let (initial, deltas) = tind::model::diff::to_deltas(&h);
         let back = tind::model::diff::from_deltas(
@@ -214,8 +177,8 @@ proptest! {
     /// σ-partial validity is monotone in σ: lowering σ never invalidates.
     #[test]
     fn partial_sigma_monotone(
-        q in history_strategy(),
-        a in history_strategy(),
+        q in history_strategy!(),
+        a in history_strategy!(),
         delta in 0u32..6,
     ) {
         use tind::core::partial::{partial_validate, PartialParams};
@@ -233,7 +196,7 @@ proptest! {
 
     /// Binary serialization round-trips arbitrary datasets.
     #[test]
-    fn binio_roundtrip(histories in proptest::collection::vec(history_strategy(), 1..6)) {
+    fn binio_roundtrip(histories in proptest::collection::vec(history_strategy!(), 1..6)) {
         let d = dataset_of(histories);
         let bytes = binio::encode_dataset(&d);
         let d2 = binio::decode_dataset(bytes).expect("roundtrip decodes");

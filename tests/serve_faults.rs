@@ -375,6 +375,148 @@ fn metrics_endpoint_exposes_serve_families() {
     h.stop();
 }
 
+/// The opt-in result cache must be transparent: a hit returns a body
+/// byte-identical (modulo the one wall-clock field) to the miss that
+/// filled it, hit/miss counters are exported, and `/healthz` reports
+/// the entry count.
+#[test]
+fn result_cache_is_transparent_and_counts_hits() {
+    use tind_obs::json;
+
+    let strip = |body: &str| match json::parse(body).expect("serve responses are valid JSON") {
+        json::Value::Obj(fields) => {
+            json::Value::Obj(fields.into_iter().filter(|(k, _)| k != "elapsed_ms").collect())
+                .to_json()
+        }
+        other => other.to_json(),
+    };
+    let h = Harness::start(ServeConfig { cache: 32, ..ServeConfig::default() });
+    for (path, body) in [
+        ("/search", "{\"query\":\"source-1\"}"),
+        ("/reverse-search", "{\"query\":\"source-2\"}"),
+    ] {
+        let (status, miss) = request(h.addr, "POST", path, body);
+        assert_eq!(status, 200, "{miss}");
+        let (status, hit) = request(h.addr, "POST", path, body);
+        assert_eq!(status, 200, "{hit}");
+        assert_eq!(strip(&miss), strip(&hit), "cache hit must be transparent ({path})");
+    }
+    // Different resolved parameters are a different key, not a stale hit.
+    let (status, body) =
+        request(h.addr, "POST", "/search", "{\"query\":\"source-1\",\"delta\":0}");
+    assert_eq!(status, 200, "{body}");
+    let (_, health) = request(h.addr, "GET", "/healthz", "");
+    assert!(health.contains("\"cache_entries\":3"), "{health}");
+    let (_, metrics) = request(h.addr, "GET", "/metrics", "");
+    assert!(metrics.contains("serve.cache_hits"), "{metrics}");
+    assert!(metrics.contains("serve.cache_misses"), "{metrics}");
+    h.stop();
+}
+
+/// Live delta maintenance against a running daemon: `Engine::apply_delta`
+/// swaps in the merged dataset without a restart, new answers reflect the
+/// update, and the result cache drops exactly the affected entries.
+#[test]
+fn live_delta_updates_answers_and_prunes_cache_selectively() {
+    use std::sync::OnceLock;
+    use tind_model::{Dataset, DatasetBuilder, HistoryBuilder, Timeline};
+
+    // Hand-built histories with unambiguous containments: q={a} ⊆
+    // sup1={a,b}; p={c} ⊆ other={c}; nothing else holds.
+    fn base() -> Dataset {
+        let mut b = DatasetBuilder::new(Timeline::new(40));
+        for (name, values) in
+            [("q", vec!["a"]), ("sup1", vec!["a", "b"]), ("p", vec!["c"]), ("other", vec!["c"])]
+        {
+            let mut h = HistoryBuilder::new(name);
+            let ids: Vec<_> = values.iter().map(|v| b.dictionary_mut().intern(v)).collect();
+            h.push(0, ids);
+            b.upsert_history(h.finish(39));
+        }
+        b.build()
+    }
+    // The delta drops `a` from sup1 (q ⊄ sup1 afterwards) and appends
+    // sup2={a,d} (a new superset of q). p and other are untouched.
+    fn merged(base: &Dataset) -> Dataset {
+        let mut b = base.clone().into_builder();
+        let mut h = HistoryBuilder::new("sup1");
+        let bv = b.dictionary_mut().intern("b");
+        h.push(0, vec![bv]);
+        b.upsert_history(h.finish(39));
+        let mut h = HistoryBuilder::new("sup2");
+        let av = b.dictionary_mut().intern("a");
+        let dv = b.dictionary_mut().intern("d");
+        h.push(0, vec![av, dv]);
+        b.upsert_history(h.finish(39));
+        b.build()
+    }
+
+    let base = Arc::new(base());
+    let engine_slot: Arc<OnceLock<Arc<Engine>>> = Arc::new(OnceLock::new());
+    let config = ServeConfig {
+        cache: 32,
+        engine_hook: Some(Arc::new({
+            let slot = Arc::clone(&engine_slot);
+            move |engine| {
+                let _ = slot.set(engine);
+            }
+        })),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = CancelToken::new();
+    let handle = {
+        let shutdown = shutdown.clone();
+        let base = base.clone();
+        std::thread::spawn(move || {
+            server.run(move || Ok(Engine::build(base, 3.0, 7, None, 0)), shutdown)
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        if status == 200 && body.contains("\"serving\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Fill two cache entries; the oracle is membership by name.
+    let (status, before) = request(addr, "POST", "/search", "{\"query\":\"q\"}");
+    assert_eq!(status, 200, "{before}");
+    assert!(before.contains("\"sup1\""), "{before}");
+    let (status, p_before) = request(addr, "POST", "/search", "{\"query\":\"p\"}");
+    assert_eq!(status, 200, "{p_before}");
+    assert!(p_before.contains("\"other\""), "{p_before}");
+
+    let engine = engine_slot.get().expect("engine hook ran").clone();
+    let report = engine.apply_delta(Arc::new(merged(&base))).expect("delta applies");
+    assert_eq!(report.index.touched_attrs, 2, "sup1 rewritten + sup2 appended");
+    assert_eq!(report.index.new_attrs, 1);
+    assert!(report.store_generation.is_none(), "built engine has no store");
+    assert_eq!(report.cache_evicted, 1, "only q's entry lost/gained a result");
+    assert_eq!(report.cache_retained, 1, "p's entry is provably unaffected");
+
+    // New answers reflect the merged dataset without a restart.
+    let (status, after) = request(addr, "POST", "/search", "{\"query\":\"q\"}");
+    assert_eq!(status, 200, "{after}");
+    assert!(after.contains("\"sup2\""), "{after}");
+    assert!(!after.contains("\"sup1\""), "{after}");
+    let (status, sup2) = request(addr, "POST", "/search", "{\"query\":\"sup2\"}");
+    assert_eq!(status, 200, "appended attribute must resolve: {sup2}");
+
+    // A non-successor is refused and leaves the engine serving.
+    let err = engine.apply_delta(base.clone()).expect_err("shrinking delta must be refused");
+    assert!(err.contains("delta rejected"), "{err}");
+    let (status, _) = request(addr, "POST", "/search", "{\"query\":\"p\"}");
+    assert_eq!(status, 200);
+
+    shutdown.cancel();
+    handle.join().expect("thread").expect("outcome");
+}
+
 /// Degraded serving: a store with one quarantined shard still comes up,
 /// answers everything outside the lost attribute range, returns typed
 /// `shard_unavailable` 503s inside it, and the background re-verify

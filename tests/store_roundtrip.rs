@@ -10,41 +10,25 @@
 //! leaves either the previous generation intact or the new one
 //! complete — never a readable mix.
 
-use std::path::{Path, PathBuf};
+mod common;
+
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use tind_core::{
     discover_all_pairs, open_store, pack_store, repair_store, verify_store, AllPairsOptions,
-    BatchOptions, IndexConfig, PackOptions, RepairOptions, StoreError, TindIndex, TindParams,
+    BatchOptions, DatasetDelta, DeltaError, IndexConfig, PackOptions, RepairOptions, StoreError,
+    TindIndex,
 };
-use tind_datagen::{generate, GeneratorConfig};
 use tind_model::Dataset;
+// Only used inside `proptest!` blocks, which the offline shim discards.
+#[allow(unused_imports)]
+use tind_datagen::{generate, GeneratorConfig};
 
-/// 200 attributes → four 64-column blocks, so shard counts 1, 2, 4 are
-/// all distinct partitions (and 4 is the maximum the layout allows).
-fn world(seed: u64) -> (Arc<Dataset>, TindIndex, TindParams) {
-    let dataset = Arc::new(generate(&GeneratorConfig::small(200, seed)).dataset);
-    let config = IndexConfig { m: 256, ..IndexConfig::default() };
-    let index = TindIndex::build(dataset.clone(), config);
-    (dataset, index, TindParams::paper_default())
-}
+use common::strategies::{shard_files, world};
 
-fn store_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join("tind-store-roundtrip-tests").join(name);
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn shard_files(dir: &Path) -> Vec<PathBuf> {
-    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
-        .expect("readdir")
-        .filter_map(Result::ok)
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|e| e == "shard"))
-        .collect();
-    files.sort();
-    files
+fn store_dir(name: &str) -> std::path::PathBuf {
+    common::strategies::store_dir("store-roundtrip", name)
 }
 
 #[test]
@@ -304,6 +288,88 @@ fn store_refuses_the_wrong_dataset() {
         matches!(err, StoreError::Mismatch(_)),
         "expected a fingerprint mismatch, got {err}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Successor of `base` with attribute `id`'s history rewritten (valid
+/// delta input: same timeline, stable ids, append-only dictionary).
+fn rewrite(base: &Arc<Dataset>, id: u32) -> Arc<Dataset> {
+    let mut b = (**base).clone().into_builder();
+    let name = base.attribute(id).name().to_owned();
+    let mut h = tind_model::HistoryBuilder::new(name.as_str());
+    let v = b.dictionary_mut().intern(&format!("masked-regression-{id}"));
+    h.push(0, vec![v]);
+    b.upsert_history(h.finish(base.timeline().last()));
+    Arc::new(b.build())
+}
+
+/// Regression: `ShardMask` × delta. A degraded index (quarantined store
+/// shard) must refuse deltas touching masked attributes with a typed
+/// error naming the shard and carrying the `tind store repair` hint, and
+/// must refuse to grow at all — while a delta confined to live shards
+/// still applies, with live results staying exact.
+#[test]
+fn degraded_index_refuses_masked_deltas_but_applies_live_ones() {
+    let (dataset, index, params) = world(17);
+    let dir = store_dir("masked-delta");
+    pack_store(&index, &dir, &PackOptions { shards: 4, ..Default::default() }).expect("pack");
+    // Lose the second shard (attributes 64..128).
+    std::fs::remove_file(&shard_files(&dir)[1]).expect("lose shard");
+    let (mut degraded, report) = open_store(&dir, dataset.clone()).expect("degraded open");
+    assert_eq!(report.quarantined.len(), 1);
+
+    // Touching an attribute inside the lost range: typed refusal.
+    let delta = DatasetDelta::diff(&dataset, rewrite(&dataset, 70)).expect("diff");
+    let err = degraded.apply_delta(&delta).expect_err("masked delta must be refused");
+    match &err {
+        DeltaError::Masked { attr, shard, .. } => {
+            assert_eq!(*attr, 70);
+            assert_eq!(*shard, 1);
+        }
+        other => panic!("expected DeltaError::Masked, got {other}"),
+    }
+    assert!(err.to_string().contains("tind store repair"), "missing repair hint: {err}");
+
+    // Growing a degraded index is refused outright (new columns would
+    // have no home in the quarantined layout).
+    let mut grower = (*dataset).clone().into_builder();
+    let mut h = tind_model::HistoryBuilder::new("masked-regression-appended");
+    let v = grower.dictionary_mut().intern("masked-regression-new");
+    h.push(3, vec![v]);
+    grower.upsert_history(h.finish(dataset.timeline().last()));
+    let grow_delta =
+        DatasetDelta::diff(&dataset, Arc::new(grower.build())).expect("grow diff");
+    let err = degraded.apply_delta(&grow_delta).expect_err("growth must be refused");
+    assert!(err.to_string().contains("refusing to grow"), "{err}");
+
+    // A delta confined to live shards applies; the refusals above must
+    // not have mutated anything, so it diffs cleanly against the
+    // original snapshot.
+    let merged = rewrite(&dataset, 5);
+    let applied = degraded
+        .apply_delta(&DatasetDelta::diff(&dataset, merged.clone()).expect("diff"))
+        .expect("live-shard delta applies");
+    assert_eq!(applied.touched_attrs, 1);
+
+    // Live results over the merged dataset stay exact: equal to a cold
+    // build with masked attributes filtered out.
+    let mask = degraded.shard_mask().expect("still degraded");
+    let cold = TindIndex::build(merged.clone(), IndexConfig { m: 256, ..IndexConfig::default() });
+    let mut compared = 0;
+    for q in (0..merged.len() as u32).step_by(13) {
+        if mask.is_masked(q) {
+            continue;
+        }
+        let expected: Vec<u32> = cold
+            .search(q, &params)
+            .results
+            .into_iter()
+            .filter(|&rhs| !mask.is_masked(rhs))
+            .collect();
+        assert_eq!(degraded.search(q, &params).results, expected, "query {q}");
+        compared += 1;
+    }
+    assert!(compared > 5, "the sweep must have compared real queries");
     std::fs::remove_dir_all(&dir).ok();
 }
 

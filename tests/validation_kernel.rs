@@ -8,55 +8,22 @@
 //! `proptest!` block additionally fuzzes raw version structures under real
 //! `cargo test`.
 
+mod common;
+
 use proptest::prelude::*;
 use std::sync::Arc;
 
+use common::strategies::{dataset_of, weight_grid};
+// Only expanded inside `proptest!` blocks, which the offline shim discards.
+#[allow(unused_imports)]
+use common::strategies::history_strategy;
 use tind::core::validate::{
     naive_validate, naive_violation_weight, validate, violation_weight, QueryPlan,
     ValidationScratch,
 };
 use tind::core::TindParams;
 use tind::datagen::{generate, GeneratorConfig};
-use tind::model::{Dataset, DatasetBuilder, HistoryBuilder, Timeline, ValueId, WeightFn};
-
-const TIMELINE: u32 = 60;
-
-fn build_history(
-    name: &str,
-    versions: &[(u32, Vec<ValueId>)],
-    last: u32,
-) -> tind::model::AttributeHistory {
-    let mut b = HistoryBuilder::new(name);
-    for (t, values) in versions {
-        b.push(*t, values.clone());
-    }
-    b.finish(last.max(versions.last().expect("non-empty").0))
-}
-
-fn dataset_of(histories: Vec<Vec<(u32, Vec<ValueId>)>>) -> Arc<Dataset> {
-    let mut builder = DatasetBuilder::new(Timeline::new(TIMELINE));
-    for v in 0..12 {
-        builder.dictionary_mut().intern(&format!("value-{v}"));
-    }
-    for (i, versions) in histories.into_iter().enumerate() {
-        builder.add_history(build_history(&format!("attr-{i}"), &versions, TIMELINE - 1));
-    }
-    Arc::new(builder.build())
-}
-
-/// The weight-function grid every differential check sweeps: the three
-/// closed-form families plus an arbitrary per-timestamp table.
-fn weight_grid(tl: Timeline) -> Vec<WeightFn> {
-    let custom: Vec<f64> =
-        (0..tl.len()).map(|t| 0.25 + 1.5 * f64::from(t % 7) / 7.0).collect();
-    vec![
-        WeightFn::constant_one(),
-        WeightFn::uniform_normalized(tl),
-        WeightFn::exponential(0.9, tl),
-        WeightFn::linear(tl),
-        WeightFn::piecewise(&custom),
-    ]
-}
+use tind::model::{Timeline, WeightFn};
 
 /// Asserts the kernel agrees with both reference tiers on one pair under
 /// one parameter setting: exact violation weight (no early exit) and
@@ -211,24 +178,13 @@ proptest! {
     /// structures × {δ, ε, weight-fn}, exact weights and verdicts alike.
     #[test]
     fn kernel_equals_references_on_random_histories(
-        q in proptest::collection::vec(
-            (0u32..TIMELINE - 5, proptest::collection::vec(0u32..12, 0..6)),
-            1..6,
-        ),
-        a in proptest::collection::vec(
-            (0u32..TIMELINE - 5, proptest::collection::vec(0u32..12, 0..6)),
-            1..6,
-        ),
+        q in history_strategy!(),
+        a in history_strategy!(),
         delta in 0u32..20,
         eps in 0.0f64..10.0,
         weight_sel in 0usize..5,
     ) {
-        let canon = |mut v: Vec<(u32, Vec<u32>)>| {
-            v.sort_by_key(|(t, _)| *t);
-            v.dedup_by_key(|(t, _)| *t);
-            v
-        };
-        let d = dataset_of(vec![canon(q), canon(a)]);
+        let d = dataset_of(vec![q, a]);
         let tl = d.timeline();
         let weights = weight_grid(tl).swap_remove(weight_sel);
         let params = TindParams::weighted(eps, delta, weights);
@@ -250,17 +206,11 @@ proptest! {
     /// Reflexivity survives the kernel under every weight family.
     #[test]
     fn kernel_reflexivity(
-        q in proptest::collection::vec(
-            (0u32..TIMELINE - 5, proptest::collection::vec(0u32..12, 0..6)),
-            1..6,
-        ),
+        q in history_strategy!(),
         delta in 0u32..10,
         eps in 0.0f64..5.0,
         weight_sel in 0usize..5,
     ) {
-        let mut q = q;
-        q.sort_by_key(|(t, _)| *t);
-        q.dedup_by_key(|(t, _)| *t);
         let d = dataset_of(vec![q]);
         let tl = d.timeline();
         let params = TindParams::weighted(eps, delta, weight_grid(tl).swap_remove(weight_sel));
