@@ -16,7 +16,9 @@
 pub mod bitvec;
 pub mod filter;
 pub mod matrix;
+pub mod region;
 
 pub use bitvec::BitVec;
 pub use filter::BloomFilter;
-pub use matrix::{BloomColumnStrip, BloomMatrix, BloomMatrixBuilder};
+pub use matrix::{BloomColumnStrip, BloomMatrix, BloomMatrixBuilder, Segment};
+pub use region::{MmapFile, RegionGuard, WindowFile, WindowPool, WindowSlot, WindowStats, WordRegion};

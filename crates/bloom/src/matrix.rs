@@ -9,11 +9,42 @@
 //! * **Subset candidates** (who may be contained in `Q`): AND together the
 //!   *complements* of the rows where `h(Q)` is 0. A column that survives has
 //!   no bit outside `h(Q)`.
+//!
+//! ## Storage backings
+//!
+//! A matrix owns its words (`MatrixStorage::Owned`, the classic heap
+//! layout) or borrows them as a sequence of column-range **segments**
+//! ([`Segment`]), each backed by a [`WordRegion`] — owned words, an
+//! mmap'd arena window, or a `pread`-on-demand window. Every search
+//! kernel runs unchanged over either backing and produces bit-identical
+//! candidate sets; mutating operations ([`BloomMatrix::replace_strip`],
+//! [`BloomMatrix::grow_cols`]) first materialize borrowed segments into
+//! owned words via [`BloomMatrix::ensure_owned`].
 
 use crate::bitvec::BitVec;
 use crate::filter::BloomFilter;
+use crate::region::WordRegion;
 use tind_model::hash::Hash128;
 use tind_model::ValueId;
+
+/// One column-range slice of a segmented matrix: `width` words of every
+/// row (columns `64·word_start .. 64·(word_start+width)`), stored
+/// row-major inside a [`WordRegion`] of exactly `m × width` words.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// First word column this segment covers.
+    pub word_start: usize,
+    /// Words per row in this segment.
+    pub width: usize,
+    /// The segment's `m × width` row-major words.
+    pub words: WordRegion,
+}
+
+#[derive(Debug, Clone)]
+enum MatrixStorage {
+    Owned(Vec<u64>),
+    Segmented(Vec<Segment>),
+}
 
 /// An immutable `m × num_cols` Bloom filter matrix.
 ///
@@ -40,7 +71,7 @@ pub struct BloomMatrix {
     num_cols: usize,
     k_hashes: u32,
     words_per_row: usize,
-    rows: Vec<u64>,
+    storage: MatrixStorage,
 }
 
 /// Mutable assembly stage for a [`BloomMatrix`].
@@ -64,7 +95,7 @@ impl BloomMatrixBuilder {
                 num_cols,
                 k_hashes,
                 words_per_row,
-                rows: vec![0u64; m as usize * words_per_row],
+                storage: MatrixStorage::Owned(vec![0u64; m as usize * words_per_row]),
             },
         }
     }
@@ -74,12 +105,15 @@ impl BloomMatrixBuilder {
     pub fn insert_column(&mut self, col: usize, values: &[ValueId]) {
         assert!(col < self.matrix.num_cols, "column {col} out of range");
         let m = self.matrix.m;
+        let k = self.matrix.k_hashes;
+        let words_per_row = self.matrix.words_per_row;
         let (word, bit) = (col / 64, col % 64);
+        let rows = self.matrix.owned_rows_mut();
         for &v in values {
             let h = Hash128::of_key(u64::from(v));
-            for i in 0..self.matrix.k_hashes {
+            for i in 0..k {
                 let row = h.probe(i, m) as usize;
-                self.matrix.rows[row * self.matrix.words_per_row + word] |= 1u64 << bit;
+                rows[row * words_per_row + word] |= 1u64 << bit;
             }
         }
     }
@@ -106,8 +140,10 @@ impl BloomMatrixBuilder {
         assert_eq!(strip.k_hashes, m.k_hashes, "strip probe count must match matrix");
         let lanes = m.num_cols - block * 64;
         let mask = if lanes >= 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        let words_per_row = m.words_per_row;
+        let rows = m.owned_rows_mut();
         for (row, &w) in strip.words.iter().enumerate() {
-            m.rows[row * m.words_per_row + block] |= w & mask;
+            rows[row * words_per_row + block] |= w & mask;
         }
     }
 }
@@ -196,14 +232,85 @@ impl BloomMatrix {
         self.k_hashes
     }
 
-    /// Hashes a value set into a query filter compatible with this matrix.
-    pub fn query_filter(&self, values: &[ValueId]) -> BloomFilter {
-        BloomFilter::from_values(values, self.m, self.k_hashes)
+    /// Assembles a matrix whose words are borrowed from `segments` instead
+    /// of owned — the zero-copy open path of the arena store. Segments may
+    /// arrive in any order but must tile the row width exactly: sorted by
+    /// `word_start` they must be contiguous from word 0 through
+    /// `num_cols.div_ceil(64)`, and each must hold `m × width` words.
+    ///
+    /// # Panics
+    /// Panics on degenerate dimensions or a gap / overlap / length
+    /// mismatch in the segment tiling.
+    pub fn from_segments(
+        m: u32,
+        num_cols: usize,
+        k_hashes: u32,
+        mut segments: Vec<Segment>,
+    ) -> Self {
+        assert!(m > 0, "matrix needs at least one row");
+        assert!(k_hashes > 0, "need at least one hash probe");
+        let words_per_row = num_cols.div_ceil(64);
+        segments.sort_by_key(|s| s.word_start);
+        let mut expect = 0usize;
+        for seg in &segments {
+            assert_eq!(seg.word_start, expect, "segments must tile the row width contiguously");
+            assert!(seg.width > 0, "segment must cover at least one word");
+            assert_eq!(
+                seg.words.len_words(),
+                m as usize * seg.width,
+                "segment must hold m × width words"
+            );
+            expect += seg.width;
+        }
+        assert_eq!(expect, words_per_row, "segments must cover the full row width");
+        BloomMatrix { m, num_cols, k_hashes, words_per_row, storage: MatrixStorage::Segmented(segments) }
+    }
+
+    /// Whether the matrix owns its words (vs. borrowing segments).
+    pub fn is_owned(&self) -> bool {
+        matches!(self.storage, MatrixStorage::Owned(_))
+    }
+
+    /// Materializes borrowed segments into owned words; a no-op on an
+    /// already-owned matrix. Mutating operations call this first, which is
+    /// what keeps `apply_delta`'s exact strip replacement sound over
+    /// zero-copy backings: the mutation happens on a private copy, never
+    /// on the shared (possibly mmap'd) arena bytes.
+    pub fn ensure_owned(&mut self) {
+        if let MatrixStorage::Segmented(segments) = &self.storage {
+            let mut rows = vec![0u64; self.m as usize * self.words_per_row];
+            for seg in segments {
+                let guard = seg.words.load();
+                for row in 0..self.m as usize {
+                    rows[row * self.words_per_row + seg.word_start..][..seg.width]
+                        .copy_from_slice(&guard[row * seg.width..][..seg.width]);
+                }
+            }
+            self.storage = MatrixStorage::Owned(rows);
+        }
     }
 
     #[inline]
-    fn row_words(&self, row: usize) -> &[u64] {
-        &self.rows[row * self.words_per_row..(row + 1) * self.words_per_row]
+    fn owned_rows_mut(&mut self) -> &mut Vec<u64> {
+        self.ensure_owned();
+        match &mut self.storage {
+            MatrixStorage::Owned(rows) => rows,
+            MatrixStorage::Segmented(_) => unreachable!("ensure_owned materialized"),
+        }
+    }
+
+    /// The segment covering word column `word` (segmented storage only).
+    #[inline]
+    fn segment_for(segments: &[Segment], word: usize) -> &Segment {
+        let idx = segments.partition_point(|s| s.word_start + s.width <= word);
+        let seg = &segments[idx];
+        debug_assert!(word >= seg.word_start && word < seg.word_start + seg.width);
+        seg
+    }
+
+    /// Hashes a value set into a query filter compatible with this matrix.
+    pub fn query_filter(&self, values: &[ValueId]) -> BloomFilter {
+        BloomFilter::from_values(values, self.m, self.k_hashes)
     }
 
     /// Narrows `candidates` to columns that may be **supersets** of the
@@ -213,10 +320,32 @@ impl BloomMatrix {
     /// set is never cleared.
     pub fn narrow_to_supersets(&self, query: &BloomFilter, candidates: &mut BitVec) {
         self.check_query(query, candidates);
-        for row in query.set_rows() {
-            candidates.and_assign_words(self.row_words(row));
-            if candidates.is_zero() {
-                return;
+        match &self.storage {
+            MatrixStorage::Owned(rows) => {
+                for row in query.set_rows() {
+                    candidates
+                        .and_assign_words(&rows[row * self.words_per_row..][..self.words_per_row]);
+                    if candidates.is_zero() {
+                        return;
+                    }
+                }
+            }
+            MatrixStorage::Segmented(segments) => {
+                // AND is commutative, so sweeping segment-major instead of
+                // row-major yields the identical candidate set while
+                // touching each segment's backing exactly once.
+                for seg in segments {
+                    let guard = seg.words.load();
+                    for row in query.set_rows() {
+                        candidates.and_assign_words_at(
+                            seg.word_start,
+                            &guard[row * seg.width..][..seg.width],
+                        );
+                    }
+                    if candidates.is_zero() {
+                        return;
+                    }
+                }
             }
         }
     }
@@ -225,10 +354,30 @@ impl BloomMatrix {
     /// queried value set: `candidates &= ⋀_{r: h(Q)[r]=0} ¬M[r]`.
     pub fn narrow_to_subsets(&self, query: &BloomFilter, candidates: &mut BitVec) {
         self.check_query(query, candidates);
-        for row in query.zero_rows() {
-            candidates.andnot_assign_words(self.row_words(row));
-            if candidates.is_zero() {
-                return;
+        match &self.storage {
+            MatrixStorage::Owned(rows) => {
+                for row in query.zero_rows() {
+                    candidates.andnot_assign_words(
+                        &rows[row * self.words_per_row..][..self.words_per_row],
+                    );
+                    if candidates.is_zero() {
+                        return;
+                    }
+                }
+            }
+            MatrixStorage::Segmented(segments) => {
+                for seg in segments {
+                    let guard = seg.words.load();
+                    for row in query.zero_rows() {
+                        candidates.andnot_assign_words_at(
+                            seg.word_start,
+                            &guard[row * seg.width..][..seg.width],
+                        );
+                    }
+                    if candidates.is_zero() {
+                        return;
+                    }
+                }
             }
         }
     }
@@ -265,36 +414,80 @@ impl BloomMatrix {
         let strip_live = |c: &BitVec, lo: usize, hi: usize| -> bool {
             c.words()[lo..hi].iter().any(|&w| w != 0)
         };
-        let mut strip_start = 0;
-        while strip_start < self.words_per_row {
-            let strip_end = (strip_start + STRIP_WORDS).min(self.words_per_row);
-            for (query, c) in queries.iter().zip(candidates.iter_mut()) {
-                // Candidate words that are all zero in this strip can
-                // never come back under AND / AND-NOT — skip or stop
-                // early, the blocked analogue of the single-query early
-                // exit on an emptied candidate set.
-                if !strip_live(c, strip_start, strip_end) {
-                    continue;
-                }
-                if complement {
-                    for row in query.zero_rows() {
-                        let words = &self.row_words(row)[strip_start..strip_end];
-                        c.andnot_assign_words_at(strip_start, words);
+        match &self.storage {
+            MatrixStorage::Owned(rows) => {
+                let mut strip_start = 0;
+                while strip_start < self.words_per_row {
+                    let strip_end = (strip_start + STRIP_WORDS).min(self.words_per_row);
+                    for (query, c) in queries.iter().zip(candidates.iter_mut()) {
+                        // Candidate words that are all zero in this strip can
+                        // never come back under AND / AND-NOT — skip or stop
+                        // early, the blocked analogue of the single-query
+                        // early exit on an emptied candidate set.
                         if !strip_live(c, strip_start, strip_end) {
-                            break;
+                            continue;
+                        }
+                        if complement {
+                            for row in query.zero_rows() {
+                                let base = row * self.words_per_row;
+                                let words = &rows[base + strip_start..base + strip_end];
+                                c.andnot_assign_words_at(strip_start, words);
+                                if !strip_live(c, strip_start, strip_end) {
+                                    break;
+                                }
+                            }
+                        } else {
+                            for row in query.set_rows() {
+                                let base = row * self.words_per_row;
+                                let words = &rows[base + strip_start..base + strip_end];
+                                c.and_assign_words_at(strip_start, words);
+                                if !strip_live(c, strip_start, strip_end) {
+                                    break;
+                                }
+                            }
                         }
                     }
-                } else {
-                    for row in query.set_rows() {
-                        let words = &self.row_words(row)[strip_start..strip_end];
-                        c.and_assign_words_at(strip_start, words);
-                        if !strip_live(c, strip_start, strip_end) {
-                            break;
+                    strip_start = strip_end;
+                }
+            }
+            MatrixStorage::Segmented(segments) => {
+                // Same blocked sweep, with strips confined to one segment at
+                // a time so each backing is pinned once per batch.
+                for seg in segments {
+                    let guard = seg.words.load();
+                    let mut local_start = 0;
+                    while local_start < seg.width {
+                        let local_end = (local_start + STRIP_WORDS).min(seg.width);
+                        let off = seg.word_start + local_start;
+                        let len = local_end - local_start;
+                        for (query, c) in queries.iter().zip(candidates.iter_mut()) {
+                            if !strip_live(c, off, off + len) {
+                                continue;
+                            }
+                            if complement {
+                                for row in query.zero_rows() {
+                                    let base = row * seg.width;
+                                    let words = &guard[base + local_start..base + local_end];
+                                    c.andnot_assign_words_at(off, words);
+                                    if !strip_live(c, off, off + len) {
+                                        break;
+                                    }
+                                }
+                            } else {
+                                for row in query.set_rows() {
+                                    let base = row * seg.width;
+                                    let words = &guard[base + local_start..base + local_end];
+                                    c.and_assign_words_at(off, words);
+                                    if !strip_live(c, off, off + len) {
+                                        break;
+                                    }
+                                }
+                            }
                         }
+                        local_start = local_end;
                     }
                 }
             }
-            strip_start = strip_end;
         }
     }
 
@@ -310,16 +503,35 @@ impl BloomMatrix {
     pub fn column_may_contain_all(&self, col: usize, values: &[ValueId]) -> bool {
         debug_assert!(col < self.num_cols);
         let (word, bit) = (col / 64, col % 64);
-        for &v in values {
-            let h = Hash128::of_key(u64::from(v));
-            for i in 0..self.k_hashes {
-                let row = h.probe(i, self.m) as usize;
-                if self.rows[row * self.words_per_row + word] >> bit & 1 == 0 {
-                    return false;
+        match &self.storage {
+            MatrixStorage::Owned(rows) => {
+                for &v in values {
+                    let h = Hash128::of_key(u64::from(v));
+                    for i in 0..self.k_hashes {
+                        let row = h.probe(i, self.m) as usize;
+                        if rows[row * self.words_per_row + word] >> bit & 1 == 0 {
+                            return false;
+                        }
+                    }
                 }
+                true
+            }
+            MatrixStorage::Segmented(segments) => {
+                let seg = Self::segment_for(segments, word);
+                let guard = seg.words.load();
+                let local = word - seg.word_start;
+                for &v in values {
+                    let h = Hash128::of_key(u64::from(v));
+                    for i in 0..self.k_hashes {
+                        let row = h.probe(i, self.m) as usize;
+                        if guard[row * seg.width + local] >> bit & 1 == 0 {
+                            return false;
+                        }
+                    }
+                }
+                true
             }
         }
-        true
     }
 
     /// Whether every set bit of column `col` lies within `filter` — the
@@ -330,14 +542,29 @@ impl BloomMatrix {
         debug_assert!(col < self.num_cols);
         debug_assert_eq!(filter.m(), self.m);
         let (word, bit) = (col / 64, col % 64);
-        for row in 0..self.m as usize {
-            if self.rows[row * self.words_per_row + word] >> bit & 1 == 1
-                && !filter.bits().get(row)
-            {
-                return false;
+        match &self.storage {
+            MatrixStorage::Owned(rows) => {
+                for row in 0..self.m as usize {
+                    if rows[row * self.words_per_row + word] >> bit & 1 == 1
+                        && !filter.bits().get(row)
+                    {
+                        return false;
+                    }
+                }
+                true
+            }
+            MatrixStorage::Segmented(segments) => {
+                let seg = Self::segment_for(segments, word);
+                let guard = seg.words.load();
+                let local = word - seg.word_start;
+                for row in 0..self.m as usize {
+                    if guard[row * seg.width + local] >> bit & 1 == 1 && !filter.bits().get(row) {
+                        return false;
+                    }
+                }
+                true
             }
         }
-        true
     }
 
     /// Extracts column `col` as a standalone Bloom filter (diagnostics and
@@ -346,18 +573,41 @@ impl BloomMatrix {
         debug_assert!(col < self.num_cols);
         let (word, bit) = (col / 64, col % 64);
         let mut f = BloomFilter::new(self.m, self.k_hashes);
-        for row in 0..self.m as usize {
-            if self.rows[row * self.words_per_row + word] >> bit & 1 == 1 {
-                f.set_raw_bit(row);
+        match &self.storage {
+            MatrixStorage::Owned(rows) => {
+                for row in 0..self.m as usize {
+                    if rows[row * self.words_per_row + word] >> bit & 1 == 1 {
+                        f.set_raw_bit(row);
+                    }
+                }
+            }
+            MatrixStorage::Segmented(segments) => {
+                let seg = Self::segment_for(segments, word);
+                let guard = seg.words.load();
+                let local = word - seg.word_start;
+                for row in 0..self.m as usize {
+                    if guard[row * seg.width + local] >> bit & 1 == 1 {
+                        f.set_raw_bit(row);
+                    }
+                }
             }
         }
         f
     }
 
-    /// Heap bytes used by the row storage — the `(k+1)·|D|·m / 8` of the
-    /// paper's memory-tradeoff discussion (Section 4.2.2).
+    /// Heap bytes *resident* for the row storage — the `(k+1)·|D|·m / 8`
+    /// of the paper's memory-tradeoff discussion (Section 4.2.2) when
+    /// owned. Borrowed segments report only what is currently on our heap:
+    /// mmap'd windows are the kernel's pages (0 here) and `pread` windows
+    /// count only while resident — those bytes are charged to the
+    /// `MemoryBudget` by the window pool itself.
     pub fn heap_bytes(&self) -> usize {
-        self.rows.len() * std::mem::size_of::<u64>()
+        match &self.storage {
+            MatrixStorage::Owned(rows) => rows.len() * std::mem::size_of::<u64>(),
+            MatrixStorage::Segmented(segments) => {
+                segments.iter().map(|s| s.words.resident_bytes()).sum()
+            }
+        }
     }
 
     /// Extracts word-block `block` (columns `64·block .. 64·block + 64`) as
@@ -371,8 +621,17 @@ impl BloomMatrix {
     /// Panics if `block` is past the matrix's word width.
     pub fn extract_strip(&self, block: usize) -> BloomColumnStrip {
         assert!(block < self.words_per_row, "block {block} out of range");
-        let words =
-            (0..self.m as usize).map(|row| self.rows[row * self.words_per_row + block]).collect();
+        let words = match &self.storage {
+            MatrixStorage::Owned(rows) => (0..self.m as usize)
+                .map(|row| rows[row * self.words_per_row + block])
+                .collect(),
+            MatrixStorage::Segmented(segments) => {
+                let seg = Self::segment_for(segments, block);
+                let guard = seg.words.load();
+                let local = block - seg.word_start;
+                (0..self.m as usize).map(|row| guard[row * seg.width + local]).collect()
+            }
+        };
         BloomColumnStrip { m: self.m, k_hashes: self.k_hashes, words }
     }
 
@@ -382,7 +641,9 @@ impl BloomMatrix {
     /// by superseded column contents are cleared too, so the block ends up
     /// exactly as if the matrix had been built cold from the strip's
     /// current contents. Lanes past `num_cols` (a ragged final block) are
-    /// masked off.
+    /// masked off. On a borrowed (segmented) matrix the words are first
+    /// materialized into a private owned copy — arena bytes are never
+    /// written through.
     ///
     /// # Panics
     /// Panics if `block` is past the matrix's word width or the strip's
@@ -393,43 +654,66 @@ impl BloomMatrix {
         assert_eq!(strip.k_hashes, self.k_hashes, "strip probe count must match matrix");
         let lanes = self.num_cols - block * 64;
         let mask = if lanes >= 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        let words_per_row = self.words_per_row;
+        let rows = self.owned_rows_mut();
         for (row, &w) in strip.words.iter().enumerate() {
-            self.rows[row * self.words_per_row + block] = w & mask;
+            rows[row * words_per_row + block] = w & mask;
         }
     }
 
     /// Widens the matrix to `new_num_cols` columns; appended columns start
     /// all-zero and existing column bits are preserved row by row. Used by
     /// the delta path when a revision batch introduces new attributes.
+    /// Materializes borrowed segments first.
     ///
     /// # Panics
     /// Panics if `new_num_cols < num_cols` (matrices only grow).
     pub fn grow_cols(&mut self, new_num_cols: usize) {
         assert!(new_num_cols >= self.num_cols, "matrices only grow");
+        self.ensure_owned();
         let new_words_per_row = new_num_cols.div_ceil(64);
         if new_words_per_row != self.words_per_row {
-            let mut rows = vec![0u64; self.m as usize * new_words_per_row];
-            for row in 0..self.m as usize {
-                let src = row * self.words_per_row;
+            let old_words_per_row = self.words_per_row;
+            let m = self.m as usize;
+            let rows = self.owned_rows_mut();
+            let mut new_rows = vec![0u64; m * new_words_per_row];
+            for row in 0..m {
+                let src = row * old_words_per_row;
                 let dst = row * new_words_per_row;
-                rows[dst..dst + self.words_per_row]
-                    .copy_from_slice(&self.rows[src..src + self.words_per_row]);
+                new_rows[dst..dst + old_words_per_row]
+                    .copy_from_slice(&rows[src..src + old_words_per_row]);
             }
-            self.rows = rows;
+            *rows = new_rows;
             self.words_per_row = new_words_per_row;
         }
         self.num_cols = new_num_cols;
     }
 
-    /// Serializes the matrix (for index persistence).
+    /// Serializes the matrix (for index persistence). Byte-identical
+    /// across backings: a segmented matrix encodes exactly as its owned
+    /// materialization would.
     pub fn encode(&self, buf: &mut bytes::BytesMut) {
         use bytes::BufMut;
         use tind_model::binio::put_varint;
         put_varint(buf, u64::from(self.m));
         put_varint(buf, self.num_cols as u64);
         put_varint(buf, u64::from(self.k_hashes));
-        for &w in &self.rows {
-            buf.put_u64_le(w);
+        match &self.storage {
+            MatrixStorage::Owned(rows) => {
+                for &w in rows {
+                    buf.put_u64_le(w);
+                }
+            }
+            MatrixStorage::Segmented(segments) => {
+                let guards: Vec<_> = segments.iter().map(|s| s.words.load()).collect();
+                for row in 0..self.m as usize {
+                    for (seg, guard) in segments.iter().zip(&guards) {
+                        for &w in &guard[row * seg.width..][..seg.width] {
+                            buf.put_u64_le(w);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -456,13 +740,14 @@ impl BloomMatrix {
         for _ in 0..total_words {
             rows.push(buf.get_u64_le());
         }
-        Ok(BloomMatrix { m, num_cols, k_hashes, words_per_row, rows })
+        Ok(BloomMatrix { m, num_cols, k_hashes, words_per_row, storage: MatrixStorage::Owned(rows) })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     /// Three attributes: 0 = {0..10}, 1 = {0..5}, 2 = {100..110}.
     fn sample_matrix(m: u32) -> BloomMatrix {
@@ -826,5 +1111,145 @@ mod tests {
         let mut empty = vec![BitVec::zeros(3)];
         m.narrow_batch_to_subsets(&[qf], &mut empty);
         assert!(empty[0].is_zero());
+    }
+
+    /// Rebuilds `owned` as a segmented matrix whose row width is split into
+    /// heap-backed segments at the given word boundaries.
+    fn segmented_copy(owned: &BloomMatrix, cuts: &[usize]) -> BloomMatrix {
+        let wpr = owned.words_per_row;
+        let mut bounds = vec![0usize];
+        bounds.extend(cuts.iter().copied().filter(|&c| c > 0 && c < wpr));
+        bounds.push(wpr);
+        bounds.dedup();
+        let segments = bounds
+            .windows(2)
+            .map(|w| {
+                let (start, end) = (w[0], w[1]);
+                let width = end - start;
+                let mut words = Vec::with_capacity(owned.m as usize * width);
+                for row in 0..owned.m as usize {
+                    for block in start..end {
+                        words.push(owned.extract_strip(block).words()[row]);
+                    }
+                }
+                Segment { word_start: start, width, words: WordRegion::Heap(Arc::new(words)) }
+            })
+            .collect();
+        BloomMatrix::from_segments(owned.m, owned.num_cols, owned.k_hashes, segments)
+    }
+
+    #[test]
+    fn segmented_matrix_matches_owned_on_every_kernel() {
+        let n = 200; // 4 word blocks, ragged tail
+        let mut b = BloomMatrixBuilder::new(256, n, 2);
+        for col in 0..n {
+            b.insert_column(col, &strip_test_values(col));
+        }
+        let owned = b.build();
+        for cuts in [vec![], vec![1], vec![2, 3], vec![1, 2, 3]] {
+            let seg = segmented_copy(&owned, &cuts);
+            assert!(!seg.is_owned());
+
+            // Encode byte-identity across backings.
+            let (mut a, mut c) = (bytes::BytesMut::new(), bytes::BytesMut::new());
+            owned.encode(&mut a);
+            seg.encode(&mut c);
+            assert_eq!(a, c, "encode differs for cuts {cuts:?}");
+
+            // Single-query and batch narrowing, both directions.
+            let queries: Vec<Vec<ValueId>> =
+                vec![(0..5).collect(), vec![], (100..120).collect(), (13..26).collect()];
+            let filters: Vec<BloomFilter> = queries.iter().map(|q| owned.query_filter(q)).collect();
+            for qf in &filters {
+                for subsets in [false, true] {
+                    let mut co = BitVec::ones(n);
+                    let mut cs = BitVec::ones(n);
+                    if subsets {
+                        owned.narrow_to_subsets(qf, &mut co);
+                        seg.narrow_to_subsets(qf, &mut cs);
+                    } else {
+                        owned.narrow_to_supersets(qf, &mut co);
+                        seg.narrow_to_supersets(qf, &mut cs);
+                    }
+                    assert_eq!(co, cs, "cuts {cuts:?} subsets={subsets}");
+                }
+            }
+            let mut batch_o: Vec<BitVec> = filters.iter().map(|_| BitVec::ones(n)).collect();
+            let mut batch_s = batch_o.clone();
+            owned.narrow_batch_to_supersets(&filters, &mut batch_o);
+            seg.narrow_batch_to_supersets(&filters, &mut batch_s);
+            assert_eq!(batch_o, batch_s, "batch supersets, cuts {cuts:?}");
+            let mut batch_o: Vec<BitVec> = filters.iter().map(|_| BitVec::ones(n)).collect();
+            let mut batch_s = batch_o.clone();
+            owned.narrow_batch_to_subsets(&filters, &mut batch_o);
+            seg.narrow_batch_to_subsets(&filters, &mut batch_s);
+            assert_eq!(batch_o, batch_s, "batch subsets, cuts {cuts:?}");
+
+            // Column-granular ops.
+            for col in [0usize, 63, 64, 127, 128, n - 1] {
+                assert_eq!(owned.column_filter(col), seg.column_filter(col), "col {col}");
+                assert_eq!(
+                    owned.column_may_contain_all(col, &[13, 14]),
+                    seg.column_may_contain_all(col, &[13, 14])
+                );
+                let qf = owned.query_filter(&(0..40).collect::<Vec<_>>());
+                assert_eq!(
+                    owned.column_within_filter(col, &qf),
+                    seg.column_within_filter(col, &qf)
+                );
+            }
+            for block in 0..owned.words_per_row {
+                assert_eq!(
+                    owned.extract_strip(block).words(),
+                    seg.extract_strip(block).words(),
+                    "strip {block}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_owned_materializes_byte_identically_and_allows_mutation() {
+        let n = 150;
+        let mut b = BloomMatrixBuilder::new(128, n, 2);
+        for col in 0..n {
+            b.insert_column(col, &strip_test_values(col));
+        }
+        let owned = b.build();
+        let mut seg = segmented_copy(&owned, &[1, 2]);
+        seg.ensure_owned();
+        assert!(seg.is_owned());
+        let (mut a, mut c) = (bytes::BytesMut::new(), bytes::BytesMut::new());
+        owned.encode(&mut a);
+        seg.encode(&mut c);
+        assert_eq!(a, c);
+
+        // A mutation on a segmented matrix must transparently materialize
+        // and match the same mutation on the owned twin.
+        let mut seg = segmented_copy(&owned, &[2]);
+        let mut owned_mut = owned.clone();
+        let mut strip = BloomColumnStrip::new(128, 2);
+        strip.insert_lane(3, &[999]);
+        seg.replace_strip(1, &strip);
+        owned_mut.replace_strip(1, &strip);
+        seg.grow_cols(200);
+        owned_mut.grow_cols(200);
+        let (mut a, mut c) = (bytes::BytesMut::new(), bytes::BytesMut::new());
+        owned_mut.encode(&mut a);
+        seg.encode(&mut c);
+        assert_eq!(a, c, "mutations over a materialized segmented matrix diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the row width")]
+    fn from_segments_rejects_gaps() {
+        let m = 16u32;
+        let seg = |start: usize, width: usize| Segment {
+            word_start: start,
+            width,
+            words: WordRegion::Heap(Arc::new(vec![0u64; m as usize * width])),
+        };
+        // Words 0 and 2 present, word 1 missing.
+        BloomMatrix::from_segments(m, 192, 2, vec![seg(0, 1), seg(2, 1)]);
     }
 }

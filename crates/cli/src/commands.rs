@@ -7,9 +7,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tind_core::{
-    discover_all_pairs, open_store, pack_store, repair_store, verify_store, AllPairsError,
-    AllPairsOptions, BatchOptions, BuildOptions, CancelToken, Checkpoint, CheckpointPolicy,
-    IndexConfig, PackOptions, RepairOptions, SliceConfig, StoreError, TindIndex, TindParams,
+    discover_all_pairs, migrate_store, open_store, pack_store, repair_store, verify_store,
+    AllPairsError, AllPairsOptions, BatchOptions, BuildOptions, CancelToken, Checkpoint,
+    CheckpointPolicy, IndexConfig, OpenOptions, PackOptions, RepairOptions, ShardFormat,
+    SliceConfig, StoreBacking, StoreError, TindIndex, TindParams,
 };
 use tind_datagen::{generate, GeneratorConfig};
 use tind_eval::{ExpContext, Scale};
@@ -128,10 +129,11 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "data", "store", "host", "port", "port-file", "workers", "readers", "queue",
             "coalesce", "deadline-ms", "max-deadline-ms", "read-timeout-ms", "write-timeout-ms",
             "max-body-bytes", "memory-limit", "drain-grace-ms", "reverify-ms", "cache",
-            "build-threads", "report", "quiet",
+            "plan-cache", "store-backing", "build-threads", "report", "quiet",
         ],
         "store" => vec![
-            "data", "index", "out", "store", "shards", "m", "reverse", "build-threads", "report",
+            "data", "index", "out", "store", "shards", "m", "reverse", "format", "build-threads",
+            "report",
         ],
         "all-pairs" => vec![
             "data", "threads", "checkpoint", "checkpoint-every", "deadline", "memory-limit",
@@ -809,9 +811,17 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
              run `tind store verify` on its directory to check shard digests"
         )
     } else if kind == &tind_core::store::SHARD_MAGIC[..7] {
+        // v1 and v2 share the 7-byte prefix; the version byte picks the
+        // layout. Either way the streaming CRC pins the failing byte
+        // offset on mismatch (surfaced through BinIoError::Checksum).
+        let layout = if bytes.get(7) == Some(&tind_core::store::SHARD_MAGIC_V2[7]) {
+            "arena (zero-copy mmap)"
+        } else {
+            "legacy"
+        };
         let payload = tind_model::checksum::stream_verify_file(&path)?;
         format!(
-            "store shard: container intact ({payload} payload bytes); \
+            "store shard: {layout} layout, container intact ({payload} payload bytes); \
              run `tind store verify` on its directory to check it against the manifest"
         )
     } else if kind == &tind_wiki::ingest::INGEST_CHECKPOINT_MAGIC[..7] {
@@ -1097,12 +1107,45 @@ fn cmd_store(args: &Args) -> Result<String, CliError> {
         "pack" => cmd_store_pack(args),
         "verify" => verify_store_dir(&store_dir(args)?),
         "repair" => cmd_store_repair(args),
+        "migrate" => cmd_store_migrate(args),
         "" => Err(CliError::Message(
-            "store requires a verb: tind store <pack|verify|repair>".into(),
+            "store requires a verb: tind store <pack|verify|repair|migrate>".into(),
         )),
         other => Err(CliError::Message(format!(
-            "unknown store verb '{other}' (expected pack, verify, or repair)"
+            "unknown store verb '{other}' (expected pack, verify, repair, or migrate)"
         ))),
+    }
+}
+
+/// Parses `--format legacy|arena` (default: the workspace default layout).
+fn shard_format(args: &Args) -> Result<ShardFormat, CliError> {
+    match args.get("format") {
+        None => Ok(ShardFormat::default()),
+        Some("legacy") => Ok(ShardFormat::Legacy),
+        Some("arena") => Ok(ShardFormat::Arena),
+        Some(other) => Err(ArgError::BadValue {
+            option: "format".into(),
+            value: other.into(),
+            expected: "legacy|arena",
+        }
+        .into()),
+    }
+}
+
+/// Parses `--store-backing auto|heap|mmap|windowed` (default auto).
+fn store_backing(args: &Args) -> Result<StoreBacking, CliError> {
+    match args.get("store-backing") {
+        None => Ok(StoreBacking::Auto),
+        Some("auto") => Ok(StoreBacking::Auto),
+        Some("heap") => Ok(StoreBacking::Heap),
+        Some("mmap") => Ok(StoreBacking::Mmap),
+        Some("windowed") => Ok(StoreBacking::Windowed),
+        Some(other) => Err(ArgError::BadValue {
+            option: "store-backing".into(),
+            value: other.into(),
+            expected: "auto|heap|mmap|windowed",
+        }
+        .into()),
     }
 }
 
@@ -1167,11 +1210,12 @@ fn cmd_store_pack(args: &Args) -> Result<String, CliError> {
     record_index_gauges(&index);
     let _phase = tind_obs::span("phase.store_pack");
     let shards = args.opt_or("shards", 0usize)?;
-    let options = PackOptions { shards, ..PackOptions::default() };
+    let format = shard_format(args)?;
+    let options = PackOptions { shards, format, ..PackOptions::default() };
     let (res, took) = tind_eval::stats::time_it(|| pack_store(&index, &out, &options));
     let report = res.map_err(store_error)?;
     Ok(format!(
-        "packed generation {} into {} — {} shard(s), {} bytes, in {} (index build {}){}\n",
+        "packed generation {} ({format} layout) into {} — {} shard(s), {} bytes, in {} (index build {}){}\n",
         report.generation,
         out.display(),
         report.shards,
@@ -1212,6 +1256,34 @@ fn cmd_store_repair(args: &Args) -> Result<String, CliError> {
         report.generation,
         report.rebuilt,
         report.intact,
+        tind_eval::report::fmt_duration(took),
+    ))
+}
+
+/// `tind store migrate`: rewrite an intact store's shards in another
+/// on-disk layout (arena by default) as a new generation, through the
+/// same atomic manifest-rename commit point as `pack`.
+fn cmd_store_migrate(args: &Args) -> Result<String, CliError> {
+    let dataset = load_dataset(args)?;
+    let dir = store_dir(args)?;
+    // Unlike pack, migrate exists to move *to* the zero-copy layout, so
+    // an absent --format means arena rather than the workspace default.
+    let format = match args.get("format") {
+        None => ShardFormat::Arena,
+        Some(_) => shard_format(args)?,
+    };
+    let shards = args.opt_or("shards", 0usize)?;
+    let _phase = tind_obs::span("phase.store_migrate");
+    let options = PackOptions { shards, format, ..PackOptions::default() };
+    let (res, took) =
+        tind_eval::stats::time_it(|| migrate_store(&dir, dataset, format, &options));
+    let report = res.map_err(store_error)?;
+    Ok(format!(
+        "migrated store at {} to the {format} layout — generation {}, {} shard(s), {} bytes, in {}\n",
+        dir.display(),
+        report.generation,
+        report.shards,
+        report.bytes_written,
         tind_eval::report::fmt_duration(took),
     ))
 }
@@ -1805,7 +1877,16 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         args.opt_or("reverify-ms", config.reverify_interval.as_millis() as u64)?,
     );
     config.cache = args.opt_or("cache", config.cache)?;
+    config.plan_cache = args.opt_or("plan-cache", config.plan_cache)?;
+    config.store_backing = store_backing(args)?;
     let store: Option<PathBuf> = args.opt::<String>("store")?.map(Into::into);
+    // Windowed shard sections are charged to (and evicted under) the
+    // same budget the admission controller uses, so `--memory-limit`
+    // below the index size serves from disk instead of failing to load.
+    let open = OpenOptions {
+        backing: config.store_backing,
+        memory_budget: config.memory_budget.clone(),
+    };
 
     let eps = args.opt_or("eps", 3.0)?;
     let delta = args.opt_or("delta", 7u32)?;
@@ -1839,8 +1920,15 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
                     // From a sharded store: a degraded open still serves
                     // (status `degraded`; re-verify promotes later).
                     Some(dir) => {
-                        let (engine, report) =
-                            Engine::from_store(dir, dataset, eps, delta, decay, build_threads)?;
+                        let (engine, report) = Engine::from_store_with(
+                            dir,
+                            dataset,
+                            eps,
+                            delta,
+                            decay,
+                            build_threads,
+                            &open,
+                        )?;
                         if !quiet && !report.is_clean() {
                             eprintln!(
                                 "warning: store at {} is degraded ({} of {} shards \

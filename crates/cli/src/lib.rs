@@ -90,10 +90,15 @@ COMMANDS:
                     shards, corrupt-shard quarantine and repair)
                       pack    --data FILE --out DIR [--shards N=auto] [--m M=4096]
                               [--eps E=3] [--delta D=7] [--reverse true]
+                              [--format legacy|arena]  on-disk shard layout;
+                              arena opens zero-copy via mmap (instant start)
                               [--index FILE]  re-shard a monolithic index file
                       verify  <DIR> (or --store DIR) — manifest + shard digests
                       repair  --store DIR --data FILE — rebuild quarantined
                               shards byte-identical to the manifest digests
+                      migrate --store DIR --data FILE [--format arena]
+                              rewrite an intact store in another layout as a
+                              new generation (same atomic commit point)
                     (search/reverse-search/serve accept --store DIR; a store
                     with quarantined shards opens degraded: live attributes
                     stay exact, masked ones are excluded until repair)
@@ -117,6 +122,13 @@ COMMANDS:
                       [--cache N=0]        result-cache capacity in entries (0 = off);
                                            Engine::apply_delta invalidates only the
                                            entries a delta affected
+                      [--plan-cache N=0]   validation-plan LRU keyed by
+                                           (attribute, eps, delta, weights); delta
+                                           ingestion evicts touched entries
+                      [--store-backing auto|heap|mmap|windowed]
+                                           how --store shards back the index:
+                                           mmap borrows zero-copy, windowed preads
+                                           sections on demand under --memory-limit
                       [--quiet] [--report FILE]
                     (POST /search /reverse-search /explain, GET /healthz /metrics;
                     overload sheds with 429 + retry_after_ms, deadlines return 504,

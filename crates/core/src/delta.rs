@@ -429,6 +429,7 @@ fn run_restricted(
         &required,
         candidates,
         scratch,
+        None,
     );
     record_search_metrics(&outcome.stats);
     outcome.results

@@ -75,7 +75,8 @@ pub use params::TindParams;
 pub use search::{BatchOptions, BatchOutcome, SearchOptions, SearchOutcome, SearchStats};
 pub use slices::{SliceConfig, SliceStrategy};
 pub use store::{
-    open_store, pack_store, repair_store, verify_store, LoadReport, PackOptions, PackReport,
-    RepairOptions, RepairReport, ShardFault, StoreError, VerifyReport,
+    migrate_store, open_store, open_store_with, pack_store, repair_store, verify_store,
+    LoadReport, OpenOptions, PackOptions, PackReport, RepairOptions, RepairReport, ShardFault,
+    ShardFormat, StoreBacking, StoreError, VerifyReport,
 };
-pub use validate::{QueryPlan, ValidationCounters, ValidationScratch};
+pub use validate::{PlanArtifacts, PlanSource, QueryPlan, ValidationCounters, ValidationScratch};

@@ -20,6 +20,7 @@
 //! only at `VIO[c] > ε` to guarantee zero false negatives.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use tind_bloom::{BitVec, BloomFilter};
@@ -32,7 +33,7 @@ use crate::index::TindIndex;
 use crate::params::TindParams;
 use crate::required::required_values;
 use crate::validate;
-use crate::validate::{QueryPlan, ValidationScratch};
+use crate::validate::{PlanSource, QueryPlan, ValidationScratch};
 
 /// Cached handles into the metrics registry — resolved once, then each
 /// query pays only relaxed atomic adds (see DESIGN.md §7 for the names).
@@ -154,7 +155,7 @@ impl Default for SearchOptions {
 }
 
 /// Options for [`TindIndex::search_batch_with`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct BatchOptions {
     /// Worker threads for the per-query stages; `0` picks the machine's
     /// available parallelism.
@@ -165,8 +166,25 @@ pub struct BatchOptions {
     /// first are shed when the budget cannot cover them (same degradation
     /// rule as all-pairs discovery).
     pub memory_budget: Option<MemoryBudget>,
+    /// Optional plan cache consulted at the stage-4 plan-build seam:
+    /// hits skip the weight-table accumulation and change-point scan for
+    /// repeat `(query, parameters)` pairs. Results and statistics are
+    /// identical with or without one attached.
+    pub plans: Option<Arc<dyn PlanSource>>,
     /// Per-query stage toggles, applied to every query of the batch.
     pub search: SearchOptions,
+}
+
+impl std::fmt::Debug for BatchOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchOptions")
+            .field("threads", &self.threads)
+            .field("cancel", &self.cancel)
+            .field("memory_budget", &self.memory_budget)
+            .field("plans", &self.plans.is_some())
+            .field("search", &self.search)
+            .finish()
+    }
 }
 
 /// Result of a batched tIND search.
@@ -227,7 +245,7 @@ pub(crate) fn run_search_scratch(
         index.m_t().narrow_to_supersets(&qf, &mut candidates);
     }
 
-    finish_search(index, q, exclude, params, options, &required, candidates, scratch)
+    finish_search(index, q, exclude, params, options, &required, candidates, scratch, None)
 }
 
 /// The full candidate set before any pruning (minus the reflexive self,
@@ -262,6 +280,7 @@ pub(crate) fn finish_search(
     required: &[ValueId],
     mut candidates: BitVec,
     scratch: &mut ValidationScratch,
+    plans: Option<&dyn PlanSource>,
 ) -> SearchOutcome {
     let dataset = index.dataset();
     let timeline = dataset.timeline();
@@ -369,8 +388,24 @@ pub(crate) fn finish_search(
     let started = std::time::Instant::now();
     let plan = {
         let _plan_span = tind_obs::span("core.validate.plan_build");
-        let table = scratch.weight_table(&params.weights, timeline);
-        QueryPlan::with_table(q, params, timeline, table)
+        // Indexed queries (`exclude` carries the query's own id) can reuse
+        // cached plan artifacts; external-history queries always build
+        // fresh — there is no stable identity to key them by.
+        let cached = plans
+            .zip(exclude)
+            .and_then(|(src, qid)| src.get(qid, params, timeline))
+            .and_then(|a| QueryPlan::from_artifacts(q, params, timeline, &a));
+        match cached {
+            Some(plan) => plan,
+            None => {
+                let table = scratch.weight_table(&params.weights, timeline);
+                let plan = QueryPlan::with_table(q, params, timeline, table);
+                if let (Some(src), Some(qid)) = (plans, exclude) {
+                    src.put(qid, params, timeline, plan.artifacts());
+                }
+                plan
+            }
+        }
     };
     let before = scratch.counters();
     let mut results = Vec::new();
@@ -473,6 +508,7 @@ pub(crate) fn run_search_batch(
                 &required,
                 candidates,
                 &mut scratch,
+                options.plans.as_deref(),
             );
             slots[i].lock().outcome = Some(outcome);
         }
@@ -749,6 +785,75 @@ mod tests {
         for (base, out) in baseline.iter().zip(&unpruned.outcomes) {
             assert_eq!(base, &out.as_ref().unwrap().results);
         }
+    }
+
+    /// Minimal [`PlanSource`] for the equivalence test: keyed like the
+    /// serve cache — (query, ε bits, δ) — with `w` verified on hit.
+    #[derive(Default)]
+    struct TestPlans {
+        map: std::sync::Mutex<FastMap<(AttrId, u64, u32), crate::validate::PlanArtifacts>>,
+        hits: AtomicUsize,
+        misses: AtomicUsize,
+    }
+
+    impl PlanSource for TestPlans {
+        fn get(
+            &self,
+            query: AttrId,
+            params: &TindParams,
+            timeline: tind_model::Timeline,
+        ) -> Option<crate::validate::PlanArtifacts> {
+            let key = (query, params.eps.to_bits(), params.delta);
+            match self.map.lock().unwrap().get(&key) {
+                Some(a) if a.matches(params, timeline) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(a.clone())
+                }
+                _ => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        }
+
+        fn put(
+            &self,
+            query: AttrId,
+            params: &TindParams,
+            _timeline: tind_model::Timeline,
+            artifacts: crate::validate::PlanArtifacts,
+        ) {
+            let key = (query, params.eps.to_bits(), params.delta);
+            self.map.lock().unwrap().insert(key, artifacts);
+        }
+    }
+
+    #[test]
+    fn plan_source_never_changes_results_or_stats() {
+        let d = pokemonish();
+        let idx = index(&d);
+        let queries: Vec<AttrId> = (0..d.len() as u32).collect();
+        let plans = Arc::new(TestPlans::default());
+        for p in [TindParams::strict(), TindParams::paper_default()] {
+            let baseline = idx.search_batch(&queries, &p);
+            let opts = BatchOptions {
+                plans: Some(plans.clone() as Arc<dyn PlanSource>),
+                ..BatchOptions::default()
+            };
+            // First pass fills the cache, second pass hits it; both must
+            // be indistinguishable from the uncached baseline.
+            for pass in 0..2 {
+                let got = idx.search_batch_with(&queries, &p, &opts);
+                assert!(!got.cancelled);
+                for (a, b) in baseline.iter().zip(&got.outcomes) {
+                    let b = b.as_ref().unwrap();
+                    assert_eq!(a.results, b.results, "pass {pass} params {p:?}");
+                    assert_eq!(a.stats, b.stats, "pass {pass} params {p:?}");
+                }
+            }
+        }
+        assert!(plans.hits.load(Ordering::Relaxed) > 0, "second pass must hit");
+        assert!(plans.misses.load(Ordering::Relaxed) > 0, "first pass must miss");
     }
 
     #[test]

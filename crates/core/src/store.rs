@@ -36,10 +36,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use tind_bloom::{BloomColumnStrip, BloomMatrix, BloomMatrixBuilder};
+use tind_bloom::{
+    BloomColumnStrip, BloomMatrix, MmapFile, Segment, WindowFile, WindowPool, WordRegion,
+};
 use tind_model::binio::{check_magic, dataset_fingerprint, get_varint, put_varint, BinIoError};
 use tind_model::checksum::{self, crc32};
-use tind_model::{AttrId, Dataset, Interval, ValueSet};
+use tind_model::{AttrId, Dataset, Interval, MemoryBudget, ValueSet};
 
 use crate::fault::OpBudget;
 use crate::index::{MaskedShard, ShardMask, TimeSlice, TindIndex};
@@ -54,6 +56,84 @@ pub const MANIFEST_MAGIC: &[u8; 8] = b"TINDIS\x00\x01";
 
 /// Magic bytes of one store shard, including a format version.
 pub const SHARD_MAGIC: &[u8; 8] = b"TINDSH\x00\x01";
+
+/// Magic bytes of an arena-layout (v2) store shard. The first seven bytes
+/// match [`SHARD_MAGIC`] so format sniffers match both; the version byte
+/// distinguishes them.
+pub const SHARD_MAGIC_V2: &[u8; 8] = b"TINDSH\x00\x02";
+
+/// Section alignment of the arena layout: every matrix section starts on
+/// a 64-byte boundary so mapped word views are cache-line aligned.
+pub const ARENA_ALIGN: usize = 64;
+
+/// Fixed arena header: magic(8) + generation(8) + id(4) + block_start(4)
+/// + block_count(4) + num_targets(4) + fingerprint(8) + m(4) +
+/// section_count(4).
+const ARENA_FIXED_HEADER: usize = 48;
+
+/// One section-table entry: byte offset (u64) + byte length (u64).
+const ARENA_SECTION_ENTRY: usize = 16;
+
+/// On-disk layout of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardFormat {
+    /// v1: varint-headed column-strip stream, fully decoded at open.
+    #[default]
+    Legacy,
+    /// v2: offset-table arena with 64-byte-aligned row-major matrix
+    /// sections, borrowable straight from an mmap — open validates the
+    /// header CRC and section bounds only, never decoding the words.
+    Arena,
+}
+
+impl std::fmt::Display for ShardFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardFormat::Legacy => write!(f, "legacy"),
+            ShardFormat::Arena => write!(f, "arena"),
+        }
+    }
+}
+
+/// How matrix words of an opened store are backed in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreBacking {
+    /// Arena shards mmap on little-endian unix; everything else decodes
+    /// to the heap.
+    #[default]
+    Auto,
+    /// Copy into owned heap words (full read + digest verification, the
+    /// pre-arena behavior).
+    Heap,
+    /// Borrow matrix sections zero-copy from an mmap'd shard file.
+    /// Legacy shards fall back to heap decode.
+    Mmap,
+    /// `pread` each matrix section on demand, charged to the open's
+    /// [`MemoryBudget`] and evicted LRU under pressure. Legacy shards
+    /// fall back to heap decode.
+    Windowed,
+}
+
+impl std::fmt::Display for StoreBacking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreBacking::Auto => write!(f, "auto"),
+            StoreBacking::Heap => write!(f, "heap"),
+            StoreBacking::Mmap => write!(f, "mmap"),
+            StoreBacking::Windowed => write!(f, "windowed"),
+        }
+    }
+}
+
+/// Options for [`open_store_with`].
+#[derive(Debug, Clone, Default)]
+pub struct OpenOptions {
+    /// How matrix words are backed; see [`StoreBacking`].
+    pub backing: StoreBacking,
+    /// Budget windowed sections are charged to (and evicted under).
+    /// `None` leaves windows unaccounted. Ignored by other backings.
+    pub memory_budget: Option<MemoryBudget>,
+}
 
 /// File name of the manifest inside a store directory.
 pub const MANIFEST_NAME: &str = "index.manifest";
@@ -163,6 +243,8 @@ pub struct PackOptions {
     /// Desired shard count; clamped to `[1, column blocks]`. `0` picks
     /// `min(8, blocks)`.
     pub shards: usize,
+    /// On-disk shard layout to write; both layouts are always readable.
+    pub format: ShardFormat,
     /// Fault injection: stop (with [`StoreError::Killed`]) after this many
     /// write/fsync/rename steps, leaving the directory as a SIGKILL at
     /// that boundary would. `None` disables.
@@ -205,6 +287,15 @@ pub struct LoadReport {
     pub swept_temps: usize,
     /// Stale-generation shard files swept during recovery.
     pub swept_stale: usize,
+    /// On-disk format of the loaded shards ([`ShardFormat::Arena`] only
+    /// when every non-quarantined shard used the arena layout).
+    pub format: ShardFormat,
+    /// Backing actually used for matrix words (requested backing resolved
+    /// against the on-disk format and platform).
+    pub backing: StoreBacking,
+    /// The window pool managing `pread` windows, when the windowed
+    /// backing was used — exposes load/eviction/overcommit counters.
+    pub window_pool: Option<Arc<WindowPool>>,
 }
 
 impl LoadReport {
@@ -574,6 +665,426 @@ fn load_shard(dir: &Path, manifest: &Manifest, entry: &ShardEntry) -> Result<Sha
     Ok(ShardPayload { strips, universes })
 }
 
+/// Byte length of the arena header region before alignment padding:
+/// fixed fields, the section table, and the header CRC.
+fn arena_header_len(num_targets: usize) -> usize {
+    ARENA_FIXED_HEADER + (num_targets + 1) * ARENA_SECTION_ENTRY + 4
+}
+
+/// Encodes one shard in the arena (v2) layout. Takes the exact same
+/// `strip_words` / `universe` closures as [`encode_shard_with`] — pack and
+/// repair stay byte-equal by construction across both formats — but lays
+/// the words out row-major per target in 64-byte-aligned sections behind
+/// an offset table, so an open can borrow each section as `&[u64]`
+/// without decoding.
+fn encode_shard_arena_with<FS, FU>(
+    manifest: &Manifest,
+    entry_id: usize,
+    block_start: usize,
+    block_count: usize,
+    mut strip_words: FS,
+    mut universe: FU,
+) -> Bytes
+where
+    FS: FnMut(usize, usize) -> Vec<u64>,
+    FU: FnMut(usize, &mut BytesMut),
+{
+    let m = manifest.config.m as usize;
+    let num_targets = manifest.num_targets();
+    let matrix_bytes = m * block_count * 8;
+    let header_end = arena_header_len(num_targets).next_multiple_of(ARENA_ALIGN);
+
+    // Universes are rendered first so the section table can commit their
+    // exact byte length.
+    let mut ublob = BytesMut::new();
+    let attr_lo = block_start * 64;
+    let attr_hi = ((block_start + block_count) * 64).min(manifest.num_attrs);
+    for attr in attr_lo..attr_hi {
+        universe(attr, &mut ublob);
+    }
+
+    let mut sections = Vec::with_capacity(num_targets + 1);
+    let mut off = header_end;
+    for _ in 0..num_targets {
+        sections.push((off as u64, matrix_bytes as u64));
+        off += matrix_bytes.next_multiple_of(ARENA_ALIGN);
+    }
+    sections.push((off as u64, ublob.len() as u64));
+
+    let mut buf = BytesMut::with_capacity(off + ublob.len() + checksum::TRAILER_LEN);
+    buf.put_slice(SHARD_MAGIC_V2);
+    buf.put_u64_le(manifest.generation);
+    buf.put_u32_le(entry_id as u32);
+    buf.put_u32_le(block_start as u32);
+    buf.put_u32_le(block_count as u32);
+    buf.put_u32_le(num_targets as u32);
+    buf.put_u64_le(manifest.fingerprint);
+    buf.put_u32_le(manifest.config.m);
+    buf.put_u32_le(sections.len() as u32);
+    for &(o, l) in &sections {
+        buf.put_u64_le(o);
+        buf.put_u64_le(l);
+    }
+    let header_crc = crc32(&buf);
+    buf.put_u32_le(header_crc);
+    buf.resize(header_end, 0);
+
+    for target in 0..num_targets {
+        let strips: Vec<Vec<u64>> = (block_start..block_start + block_count)
+            .map(|block| {
+                let words = strip_words(target, block);
+                debug_assert_eq!(words.len(), m, "one lane word per matrix row");
+                words
+            })
+            .collect();
+        // Transpose the column strips into the row-major section the
+        // search kernels sweep: word (row, block) at row·width + block.
+        for row in 0..m {
+            for s in &strips {
+                buf.put_u64_le(s[row]);
+            }
+        }
+        buf.resize(buf.len().next_multiple_of(ARENA_ALIGN), 0);
+    }
+    debug_assert_eq!(buf.len(), off, "sections laid out exactly as the table commits");
+    buf.extend_from_slice(&ublob);
+    checksum::append_trailer(&mut buf);
+    buf.freeze()
+}
+
+/// Parsed and bounds-checked arena shard header.
+struct ArenaHeader {
+    generation: u64,
+    id: usize,
+    block_start: usize,
+    block_count: usize,
+    num_targets: usize,
+    fingerprint: u64,
+    m: u32,
+    /// `(byte offset, byte length)` per section: one row-major matrix per
+    /// target, then the value-universe blob.
+    sections: Vec<(usize, usize)>,
+}
+
+/// Parses the arena header from the first bytes of a shard file and
+/// validates it self-consistently: magic, header CRC, section alignment
+/// and bounds against `file_len`. This is everything an arena open
+/// checks — the matrix words themselves are never touched.
+fn parse_arena_header(raw: &[u8], file_len: u64) -> Result<ArenaHeader, StoreError> {
+    if raw.len() < ARENA_FIXED_HEADER + 4 {
+        return Err(corrupt("truncated arena shard header").into());
+    }
+    if &raw[..8] != SHARD_MAGIC_V2 {
+        return Err(corrupt("bad arena shard magic").into());
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(raw[o..o + 4].try_into().expect("4 bytes"));
+    let u64_at = |o: usize| u64::from_le_bytes(raw[o..o + 8].try_into().expect("8 bytes"));
+    let generation = u64_at(8);
+    let id = u32_at(16) as usize;
+    let block_start = u32_at(20) as usize;
+    let block_count = u32_at(24) as usize;
+    let num_targets = u32_at(28) as usize;
+    let fingerprint = u64_at(32);
+    let m = u32_at(40);
+    let section_count = u32_at(44) as usize;
+    if num_targets == 0 || section_count != num_targets + 1 || section_count > 1 << 20 {
+        return Err(corrupt("arena section count disagrees with target count").into());
+    }
+    let table_end = ARENA_FIXED_HEADER + section_count * ARENA_SECTION_ENTRY;
+    if raw.len() < table_end + 4 {
+        return Err(corrupt("truncated arena section table").into());
+    }
+    let stored = u32_at(table_end);
+    let computed = crc32(&raw[..table_end]);
+    if stored != computed {
+        // Carries the offset of the failing check so `tind verify` can
+        // report exactly where the header went bad.
+        return Err(BinIoError::Checksum { stored, computed, offset: table_end as u64 }.into());
+    }
+    let payload_end = (file_len as usize).saturating_sub(checksum::TRAILER_LEN);
+    let matrix_bytes = (m as usize)
+        .checked_mul(block_count)
+        .and_then(|w| w.checked_mul(8))
+        .ok_or_else(|| StoreError::from(corrupt("arena matrix section overflows")))?;
+    let mut sections = Vec::with_capacity(section_count);
+    let mut prev_end = table_end + 4;
+    for s in 0..section_count {
+        let off = u64_at(ARENA_FIXED_HEADER + s * ARENA_SECTION_ENTRY) as usize;
+        let len = u64_at(ARENA_FIXED_HEADER + s * ARENA_SECTION_ENTRY + 8) as usize;
+        if off % ARENA_ALIGN != 0 {
+            return Err(mismatch(format!(
+                "arena section {s} at byte offset {off} is not {ARENA_ALIGN}-byte aligned"
+            )));
+        }
+        if off < prev_end || off.checked_add(len).map_or(true, |end| end > payload_end) {
+            return Err(corrupt(format!(
+                "arena section {s} (offset {off}, {len} bytes) overruns the file"
+            ))
+            .into());
+        }
+        if s < num_targets && len != matrix_bytes {
+            return Err(corrupt(format!(
+                "arena matrix section {s} is {len} bytes but m×blocks needs {matrix_bytes}"
+            ))
+            .into());
+        }
+        prev_end = off + len;
+        sections.push((off, len));
+    }
+    Ok(ArenaHeader {
+        generation,
+        id,
+        block_start,
+        block_count,
+        num_targets,
+        fingerprint,
+        m,
+        sections,
+    })
+}
+
+/// Rejects an arena header whose identity fields disagree with the
+/// manifest entry the shard was opened under.
+fn check_arena_binding(
+    h: &ArenaHeader,
+    manifest: &Manifest,
+    entry: &ShardEntry,
+) -> Result<(), StoreError> {
+    if h.generation != manifest.generation
+        || h.id != entry.id
+        || h.block_start != entry.block_start
+        || h.block_count != entry.block_count
+        || h.fingerprint != manifest.fingerprint
+        || h.num_targets != manifest.num_targets()
+        || h.m != manifest.config.m
+    {
+        return Err(mismatch(format!(
+            "shard {} arena header disagrees with the manifest entry",
+            entry.id
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes the value-universe blob of an arena shard.
+fn arena_universes(
+    blob: &[u8],
+    manifest: &Manifest,
+    entry: &ShardEntry,
+) -> Result<Vec<ValueSet>, StoreError> {
+    let (attr_lo, attr_hi) = entry.attr_range(manifest.num_attrs);
+    let mut buf = Bytes::copy_from_slice(blob);
+    let mut universes = Vec::with_capacity((attr_hi - attr_lo) as usize);
+    for _ in attr_lo..attr_hi {
+        universes.push(get_value_set(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes after arena universes").into());
+    }
+    Ok(universes)
+}
+
+/// One loaded shard, normalized to per-target word regions: `targets[t]`
+/// holds the shard's `m × block_count` row-major words, regardless of
+/// on-disk format or backing.
+struct ShardRegions {
+    targets: Vec<WordRegion>,
+    universes: Vec<ValueSet>,
+}
+
+/// Converts a fully-decoded legacy payload into row-major heap regions.
+fn legacy_regions(payload: ShardPayload, m: usize, block_count: usize) -> ShardRegions {
+    let targets = payload
+        .strips
+        .into_iter()
+        .map(|blocks| {
+            debug_assert_eq!(blocks.len(), block_count);
+            let mut words = vec![0u64; m * block_count];
+            for (i, strip) in blocks.iter().enumerate() {
+                for (row, &w) in strip.iter().enumerate() {
+                    words[row * block_count + i] = w;
+                }
+            }
+            WordRegion::Heap(Arc::new(words))
+        })
+        .collect();
+    ShardRegions { targets, universes: payload.universes }
+}
+
+/// Loads an arena shard onto the heap: full read, manifest-digest and
+/// trailer verification, then a word-by-word copy out of the sections.
+/// This is the deep path — `verify_store` uses it, and it doubles as the
+/// slow baseline the cold-start bench compares mapped opens against.
+fn arena_load_heap(
+    dir: &Path,
+    manifest: &Manifest,
+    entry: &ShardEntry,
+) -> Result<ShardRegions, StoreError> {
+    let path = dir.join(shard_name(manifest.generation, entry.id));
+    let raw = std::fs::read(&path)?;
+    if raw.len() as u64 != entry.byte_len {
+        return Err(mismatch(format!(
+            "shard {} is {} bytes but the manifest committed {}",
+            entry.id,
+            raw.len(),
+            entry.byte_len
+        )));
+    }
+    let actual = shard_digest(&raw);
+    if actual != entry.digest {
+        return Err(StoreError::ShardCorrupt { shard: entry.id, expected: entry.digest, actual });
+    }
+    if raw.len() < checksum::TRAILER_LEN {
+        return Err(corrupt("arena shard shorter than its trailer").into());
+    }
+    // The digest excludes the trailer, so check the file's own integrity
+    // trailer too — a rotted trailer is corruption even when the payload
+    // is intact.
+    let split = raw.len() - checksum::TRAILER_LEN;
+    let stored = u32::from_le_bytes(raw[split..].try_into().expect("4-byte trailer"));
+    let computed = crc32(&raw[..split]);
+    if stored != computed {
+        return Err(BinIoError::Checksum { stored, computed, offset: split as u64 }.into());
+    }
+    let h = parse_arena_header(&raw, raw.len() as u64)?;
+    check_arena_binding(&h, manifest, entry)?;
+    let targets = h.sections[..h.num_targets]
+        .iter()
+        .map(|&(off, len)| {
+            let mut words = vec![0u64; len / 8];
+            for (w, chunk) in words.iter_mut().zip(raw[off..off + len].chunks_exact(8)) {
+                *w = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            }
+            WordRegion::Heap(Arc::new(words))
+        })
+        .collect();
+    let (uoff, ulen) = h.sections[h.num_targets];
+    let universes = arena_universes(&raw[uoff..uoff + ulen], manifest, entry)?;
+    Ok(ShardRegions { targets, universes })
+}
+
+/// Opens an arena shard zero-copy: maps the file, validates header CRC +
+/// bounds + manifest binding, and hands out borrowed word windows. No
+/// matrix word is read until a kernel touches its page.
+fn arena_load_mmap(
+    dir: &Path,
+    manifest: &Manifest,
+    entry: &ShardEntry,
+) -> Result<ShardRegions, StoreError> {
+    let path = dir.join(shard_name(manifest.generation, entry.id));
+    let file = Arc::new(MmapFile::map(&path)?);
+    if file.len() as u64 != entry.byte_len {
+        return Err(mismatch(format!(
+            "shard {} is {} bytes but the manifest committed {}",
+            entry.id,
+            file.len(),
+            entry.byte_len
+        )));
+    }
+    let bytes = file.bytes();
+    let h = parse_arena_header(bytes, file.len() as u64)?;
+    check_arena_binding(&h, manifest, entry)?;
+    let targets = h.sections[..h.num_targets]
+        .iter()
+        .map(|&(off, len)| {
+            file.words_at(off, len / 8)
+                .map(|_| WordRegion::Mapped {
+                    file: Arc::clone(&file),
+                    byte_off: off,
+                    len_words: len / 8,
+                })
+                .ok_or_else(|| mismatch(format!("arena section at {off} cannot be mapped")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let (uoff, ulen) = h.sections[h.num_targets];
+    let universes = arena_universes(&bytes[uoff..uoff + ulen], manifest, entry)?;
+    Ok(ShardRegions { targets, universes })
+}
+
+/// Opens an arena shard with `pread`-on-demand windows: only the header
+/// and universes are read eagerly; each matrix section becomes a
+/// [`WindowPool`] slot loaded lazily and evicted under memory pressure.
+fn arena_load_windowed(
+    dir: &Path,
+    manifest: &Manifest,
+    entry: &ShardEntry,
+    pool: &Arc<WindowPool>,
+) -> Result<ShardRegions, StoreError> {
+    let path = dir.join(shard_name(manifest.generation, entry.id));
+    let file_len = std::fs::metadata(&path)?.len();
+    if file_len != entry.byte_len {
+        return Err(mismatch(format!(
+            "shard {} is {file_len} bytes but the manifest committed {}",
+            entry.id, entry.byte_len
+        )));
+    }
+    let file = Arc::new(WindowFile::open(&path)?);
+    let hlen = arena_header_len(manifest.num_targets()).min(file_len as usize);
+    let mut header = vec![0u8; hlen];
+    file.read_exact_at(&mut header, 0)?;
+    let h = parse_arena_header(&header, file_len)?;
+    check_arena_binding(&h, manifest, entry)?;
+    let targets = h.sections[..h.num_targets]
+        .iter()
+        .map(|&(off, len)| WordRegion::Windowed(pool.slot(Arc::clone(&file), off as u64, len / 8)))
+        .collect();
+    let (uoff, ulen) = h.sections[h.num_targets];
+    let mut ublob = vec![0u8; ulen];
+    file.read_exact_at(&mut ublob, uoff as u64)?;
+    let universes = arena_universes(&ublob, manifest, entry)?;
+    Ok(ShardRegions { targets, universes })
+}
+
+/// Sniffs a shard file's on-disk format from its magic bytes.
+fn shard_format_of(path: &Path) -> Result<ShardFormat, StoreError> {
+    use std::io::Read;
+    let mut magic = [0u8; 8];
+    std::fs::File::open(path)?.read_exact(&mut magic)?;
+    if &magic == SHARD_MAGIC {
+        Ok(ShardFormat::Legacy)
+    } else if &magic == SHARD_MAGIC_V2 {
+        Ok(ShardFormat::Arena)
+    } else {
+        Err(corrupt("unknown shard magic").into())
+    }
+}
+
+/// Resolves a requested backing against a shard's on-disk format. Legacy
+/// shards always decode to the heap; `Auto` maps arenas where zero-copy
+/// word views are sound (little-endian unix) and copies elsewhere.
+fn effective_backing(requested: StoreBacking, format: ShardFormat) -> StoreBacking {
+    if format == ShardFormat::Legacy || cfg!(target_endian = "big") {
+        return StoreBacking::Heap;
+    }
+    match requested {
+        StoreBacking::Auto => {
+            if cfg!(unix) {
+                StoreBacking::Mmap
+            } else {
+                StoreBacking::Heap
+            }
+        }
+        other => other,
+    }
+}
+
+/// Full deep verification of one shard in either format: digest, trailer,
+/// structure, universes.
+fn deep_check_shard(
+    dir: &Path,
+    manifest: &Manifest,
+    entry: &ShardEntry,
+) -> Result<(), StoreError> {
+    let path = dir.join(shard_name(manifest.generation, entry.id));
+    match shard_format_of(&path)? {
+        ShardFormat::Legacy => load_shard(dir, manifest, entry).map(|_| ()),
+        ShardFormat::Arena => {
+            checksum::stream_verify_file(&path)?;
+            arena_load_heap(dir, manifest, entry).map(|_| ())
+        }
+    }
+}
+
 /// Splits `blocks` column blocks into `shards` near-equal contiguous
 /// ranges.
 fn partition_blocks(blocks: usize, shards: usize) -> Vec<(usize, usize)> {
@@ -654,14 +1165,19 @@ pub fn pack_store(
     let mut budget = OpBudget::new(options.kill_after_ops);
     let mut bytes_written = 0u64;
     for (id, &(block_start, block_count)) in parts.iter().enumerate() {
-        let payload = encode_shard_with(
-            &manifest,
-            id,
-            block_start,
-            block_count,
-            |target, block| matrices[target].extract_strip(block).words().to_vec(),
-            |attr, buf| put_value_set(buf, index.universe(attr as AttrId)),
-        );
+        let strips = |target: usize, block: usize| -> Vec<u64> {
+            matrices[target].extract_strip(block).words().to_vec()
+        };
+        let universes =
+            |attr: usize, buf: &mut BytesMut| put_value_set(buf, index.universe(attr as AttrId));
+        let payload = match options.format {
+            ShardFormat::Legacy => {
+                encode_shard_with(&manifest, id, block_start, block_count, strips, universes)
+            }
+            ShardFormat::Arena => {
+                encode_shard_arena_with(&manifest, id, block_start, block_count, strips, universes)
+            }
+        };
         let digest = shard_digest(&payload);
         write_atomic(&dir.join(shard_name(generation, id)), &payload, &mut budget)?;
         bytes_written += payload.len() as u64;
@@ -706,6 +1222,20 @@ pub fn open_store(
     dir: &Path,
     dataset: Arc<Dataset>,
 ) -> Result<(TindIndex, LoadReport), StoreError> {
+    open_store_with(dir, dataset, &OpenOptions::default())
+}
+
+/// [`open_store`] with an explicit [`StoreBacking`] and memory budget.
+///
+/// Arena shards opened `Mmap` or `Windowed` validate only the header CRC,
+/// section bounds, and manifest binding — matrix words are borrowed, not
+/// decoded, so open time is independent of index size. `Heap` (and every
+/// legacy shard) keeps the deep read-and-verify path.
+pub fn open_store_with(
+    dir: &Path,
+    dataset: Arc<Dataset>,
+    options: &OpenOptions,
+) -> Result<(TindIndex, LoadReport), StoreError> {
     let _span = tind_obs::span("core.store.open");
     let manifest = read_manifest(dir)?;
     if manifest.fingerprint != dataset_fingerprint(&dataset) {
@@ -719,40 +1249,64 @@ pub fn open_store(
     let (swept_temps, swept_stale) = sweep(dir, manifest.generation)?;
 
     let num_attrs = manifest.num_attrs;
+    let num_targets = manifest.num_targets();
     let (m, k_hashes) = (manifest.config.m, manifest.config.k_hashes);
-    let mut mt = BloomMatrixBuilder::new(m, num_attrs, k_hashes);
-    let mut slice_builders: Vec<BloomMatrixBuilder> = (0..manifest.slices.len())
-        .map(|_| BloomMatrixBuilder::new(m, num_attrs, k_hashes))
-        .collect();
-    let mut mr = manifest.has_m_r.then(|| BloomMatrixBuilder::new(m, num_attrs, k_hashes));
+    let pool = WindowPool::new(options.memory_budget.clone());
+    let mut target_segments: Vec<Vec<Segment>> = vec![Vec::new(); num_targets];
     let mut universes = vec![ValueSet::new(); num_attrs];
     let mut quarantined = Vec::new();
+    let mut arena_shards = 0usize;
+    let mut backing_used = StoreBacking::Heap;
 
     for entry in &manifest.shards {
         let started = Instant::now();
-        match load_shard(dir, &manifest, entry) {
-            Ok(payload) => {
-                for (target, blocks) in payload.strips.into_iter().enumerate() {
-                    let builder = if target == 0 {
-                        &mut mt
-                    } else if target <= slice_builders.len() {
-                        &mut slice_builders[target - 1]
-                    } else {
-                        mr.as_mut().expect("m_r strip implies builder")
-                    };
-                    for (i, words) in blocks.into_iter().enumerate() {
-                        let strip = BloomColumnStrip::from_words(m, k_hashes, words);
-                        builder.merge_strip(entry.block_start + i, &strip);
-                    }
+        let path = dir.join(shard_name(manifest.generation, entry.id));
+        let loaded = shard_format_of(&path).and_then(|format| {
+            let regions = match (format, effective_backing(options.backing, format)) {
+                (ShardFormat::Legacy, _) => load_shard(dir, &manifest, entry)
+                    .map(|p| legacy_regions(p, m as usize, entry.block_count))?,
+                (ShardFormat::Arena, StoreBacking::Mmap) => {
+                    arena_load_mmap(dir, &manifest, entry)?
+                }
+                (ShardFormat::Arena, StoreBacking::Windowed) => {
+                    arena_load_windowed(dir, &manifest, entry, &pool)?
+                }
+                (ShardFormat::Arena, _) => arena_load_heap(dir, &manifest, entry)?,
+            };
+            Ok((format, regions))
+        });
+        match loaded {
+            Ok((format, regions)) => {
+                if format == ShardFormat::Arena {
+                    arena_shards += 1;
+                    backing_used = effective_backing(options.backing, format);
+                }
+                for (target, words) in regions.targets.into_iter().enumerate() {
+                    target_segments[target].push(Segment {
+                        word_start: entry.block_start,
+                        width: entry.block_count,
+                        words,
+                    });
                 }
                 let (attr_lo, _) = entry.attr_range(num_attrs);
-                for (offset, u) in payload.universes.into_iter().enumerate() {
+                for (offset, u) in regions.universes.into_iter().enumerate() {
                     universes[attr_lo as usize + offset] = u;
                 }
             }
             Err(error) => {
                 let (attr_start, attr_end) = entry.attr_range(num_attrs);
                 quarantined.push(ShardFault { shard: entry.id, attr_start, attr_end, error });
+                // A quarantined shard's range serves as zeros (masked on
+                // the index) so the segment tiling stays complete.
+                let zeros =
+                    Arc::new(vec![0u64; m as usize * entry.block_count]);
+                for segments in &mut target_segments {
+                    segments.push(Segment {
+                        word_start: entry.block_start,
+                        width: entry.block_count,
+                        words: WordRegion::Heap(Arc::clone(&zeros)),
+                    });
+                }
             }
         }
         tind_obs::histogram("store.shard.load_ns")
@@ -777,27 +1331,37 @@ pub fn open_store(
         ))
     });
 
+    let mut segments = target_segments.into_iter();
+    let mut next_matrix = || {
+        BloomMatrix::from_segments(m, num_attrs, k_hashes, segments.next().expect("target"))
+    };
+    let m_t = next_matrix();
     let time_slices = manifest
         .slices
         .iter()
-        .zip(slice_builders)
-        .map(|(&(interval, expanded), b)| TimeSlice { interval, expanded, matrix: b.build() })
+        .map(|&(interval, expanded)| TimeSlice { interval, expanded, matrix: next_matrix() })
         .collect();
+    let m_r = manifest.has_m_r.then(next_matrix);
     let index = TindIndex {
         dataset,
         config: manifest.config.clone(),
-        m_t: mt.build(),
+        m_t,
         time_slices,
         universes,
-        m_r: mr.map(BloomMatrixBuilder::build),
+        m_r,
         masked,
     };
+    let all_arena = arena_shards == manifest.shards.len() && arena_shards > 0;
     let report = LoadReport {
         generation: manifest.generation,
         shards_total: manifest.shards.len(),
         quarantined,
         swept_temps,
         swept_stale,
+        format: if all_arena { ShardFormat::Arena } else { ShardFormat::Legacy },
+        backing: if arena_shards > 0 { backing_used } else { StoreBacking::Heap },
+        window_pool: (arena_shards > 0 && backing_used == StoreBacking::Windowed)
+            .then_some(pool),
     };
     Ok((index, report))
 }
@@ -810,7 +1374,7 @@ pub fn verify_store(dir: &Path) -> Result<VerifyReport, StoreError> {
     let manifest = read_manifest(dir)?;
     let mut faults = Vec::new();
     for entry in &manifest.shards {
-        if let Err(error) = load_shard(dir, &manifest, entry) {
+        if let Err(error) = deep_check_shard(dir, &manifest, entry) {
             let (attr_start, attr_end) = entry.attr_range(manifest.num_attrs);
             faults.push(ShardFault { shard: entry.id, attr_start, attr_end, error });
         }
@@ -860,22 +1424,19 @@ pub fn repair_store(
     let mut budget = OpBudget::new(options.kill_after_ops);
     let mut rebuilt = Vec::new();
     let mut intact = 0;
-    let mut strip = BloomColumnStrip::new(m, k_hashes);
     for entry in &manifest.shards {
-        if load_shard(dir, &manifest, entry).is_ok() {
+        if deep_check_shard(dir, &manifest, entry).is_ok() {
             intact += 1;
             continue;
         }
         // Re-render the shard with the exact per-lane fill of the parallel
         // builder: M_T from value universes, each slice from its persisted
         // expanded window, M_R from required values under the manifest's
-        // sizing parameters.
-        let payload = encode_shard_with(
-            &manifest,
-            entry.id,
-            entry.block_start,
-            entry.block_count,
-            |target, block| {
+        // sizing parameters. The render is format-independent; the digest
+        // committed at pack time picks which encoding reproduces the file.
+        let attempt = |format: ShardFormat| -> Bytes {
+            let mut strip = BloomColumnStrip::new(m, k_hashes);
+            let strip_fn = |target: usize, block: usize| -> Vec<u64> {
                 strip.clear();
                 let lo = block * 64;
                 let hi = (lo + 64).min(manifest.num_attrs);
@@ -898,11 +1459,37 @@ pub fn repair_store(
                     }
                 }
                 strip.words().to_vec()
-            },
-            |attr, buf| put_value_set(buf, &dataset.attribute(attr as AttrId).value_universe()),
-        );
-        let digest = shard_digest(&payload);
-        if digest != entry.digest || payload.len() as u64 != entry.byte_len {
+            };
+            let universe_fn = |attr: usize, buf: &mut BytesMut| {
+                put_value_set(buf, &dataset.attribute(attr as AttrId).value_universe())
+            };
+            match format {
+                ShardFormat::Legacy => encode_shard_with(
+                    &manifest,
+                    entry.id,
+                    entry.block_start,
+                    entry.block_count,
+                    strip_fn,
+                    universe_fn,
+                ),
+                ShardFormat::Arena => encode_shard_arena_with(
+                    &manifest,
+                    entry.id,
+                    entry.block_start,
+                    entry.block_count,
+                    strip_fn,
+                    universe_fn,
+                ),
+            }
+        };
+        let matches_entry =
+            |p: &Bytes| shard_digest(p) == entry.digest && p.len() as u64 == entry.byte_len;
+        let mut payload = attempt(ShardFormat::Legacy);
+        if !matches_entry(&payload) {
+            payload = attempt(ShardFormat::Arena);
+        }
+        if !matches_entry(&payload) {
+            let digest = shard_digest(&payload);
             return Err(mismatch(format!(
                 "rebuilt shard {} hashes to {digest:#010x} but the manifest committed \
                  {:#010x} — dataset or config drift; re-pack instead of repairing",
@@ -917,6 +1504,40 @@ pub fn repair_store(
         let _ = d.sync_all();
     }
     Ok(RepairReport { generation: manifest.generation, rebuilt, intact })
+}
+
+/// Converts the store at `dir` to `format` in place.
+///
+/// The conversion is a full open (heap-backed, deep-verified) followed by
+/// a pack of the new generation through the same atomic-rename commit
+/// point: the old generation stays fully servable until the new manifest
+/// lands, and a crash at any step leaves one generation or the other
+/// intact. Refuses a degraded store — repair it first, since packing
+/// would persist the quarantined ranges as zeros.
+pub fn migrate_store(
+    dir: &Path,
+    dataset: Arc<Dataset>,
+    format: ShardFormat,
+    options: &PackOptions,
+) -> Result<PackReport, StoreError> {
+    let _span = tind_obs::span("core.store.migrate");
+    let (index, report) = open_store_with(
+        dir,
+        dataset,
+        &OpenOptions { backing: StoreBacking::Heap, memory_budget: None },
+    )?;
+    if !report.is_clean() {
+        return Err(mismatch(
+            "refusing to migrate a degraded store (quarantined shards would be persisted as \
+             zeros); repair it first",
+        ));
+    }
+    let shards = if options.shards == 0 { report.shards_total } else { options.shards };
+    pack_store(
+        &index,
+        dir,
+        &PackOptions { shards, format, kill_after_ops: options.kill_after_ops },
+    )
 }
 
 #[cfg(test)]
@@ -1125,5 +1746,188 @@ mod tests {
                 assert_eq!(next, blocks);
             }
         }
+    }
+
+    fn arena_pack(index: &TindIndex, dir: &Path) -> PackReport {
+        pack_store(
+            index,
+            dir,
+            &PackOptions { format: ShardFormat::Arena, ..PackOptions::default() },
+        )
+        .expect("arena pack")
+    }
+
+    #[test]
+    fn arena_pack_open_is_byte_identical_across_backings() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("arena-roundtrip");
+        arena_pack(&index, &dir);
+        let golden = crate::persist::encode_index(&index);
+        for backing in [
+            StoreBacking::Auto,
+            StoreBacking::Heap,
+            StoreBacking::Mmap,
+            StoreBacking::Windowed,
+        ] {
+            let (loaded, load) = open_store_with(
+                &dir,
+                d.clone(),
+                &OpenOptions { backing, memory_budget: None },
+            )
+            .expect("open");
+            assert!(load.is_clean(), "{backing}: clean load");
+            assert_eq!(load.format, ShardFormat::Arena);
+            assert_eq!(
+                crate::persist::encode_index(&loaded),
+                golden,
+                "{backing}: arena round-trip must be byte-identical"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn migrate_converts_between_formats_preserving_bytes() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("migrate");
+        pack_store(&index, &dir, &PackOptions::default()).expect("legacy pack");
+        let golden = crate::persist::encode_index(&index);
+
+        let report = migrate_store(&dir, d.clone(), ShardFormat::Arena, &PackOptions::default())
+            .expect("migrate to arena");
+        assert_eq!(report.generation, 2);
+        let (loaded, load) = open_store(&dir, d.clone()).expect("open arena");
+        assert!(load.is_clean());
+        assert_eq!(load.format, ShardFormat::Arena);
+        assert_eq!(crate::persist::encode_index(&loaded), golden);
+
+        let report = migrate_store(&dir, d.clone(), ShardFormat::Legacy, &PackOptions::default())
+            .expect("migrate back");
+        assert_eq!(report.generation, 3);
+        let (loaded, load) = open_store(&dir, d.clone()).expect("open legacy");
+        assert!(load.is_clean());
+        assert_eq!(load.format, ShardFormat::Legacy);
+        assert_eq!(crate::persist::encode_index(&loaded), golden);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn arena_header_corruption_quarantines_with_checksum_offset() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("arena-head-corrupt");
+        arena_pack(&index, &dir);
+        // Flip a generation byte: the header CRC must catch it at open,
+        // before any word is trusted.
+        crate::fault::flip_file_byte(&dir.join(shard_name(1, 0)), 9).expect("flip");
+        let (loaded, load) = open_store(&dir, d.clone()).expect("open degraded");
+        assert_eq!(load.quarantined.len(), 1);
+        match &load.quarantined[0].error {
+            StoreError::Bin(BinIoError::Checksum { offset, .. }) => {
+                assert!(*offset > 0, "failing offset reported");
+            }
+            other => panic!("expected header checksum error, got {other}"),
+        }
+        assert!(loaded.shard_mask().is_some());
+        // Repair re-renders the arena shard byte-identically.
+        let repair = repair_store(&dir, &d, &RepairOptions::default()).expect("repair");
+        assert_eq!(repair.rebuilt, vec![0]);
+        let (loaded, load) = open_store(&dir, d.clone()).expect("open clean");
+        assert!(load.is_clean());
+        assert_eq!(
+            crate::persist::encode_index(&loaded),
+            crate::persist::encode_index(&index)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn misaligned_arena_section_is_refused() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("arena-misaligned");
+        arena_pack(&index, &dir);
+        // Doctor section 0's offset to a non-64-multiple and re-sign the
+        // header CRC so only the alignment check can refuse it.
+        let path = dir.join(shard_name(1, 0));
+        let mut raw = std::fs::read(&path).expect("read");
+        let off = u64::from_le_bytes(raw[48..56].try_into().expect("8"));
+        raw[48..56].copy_from_slice(&(off + 8).to_le_bytes());
+        let section_count = u32::from_le_bytes(raw[44..48].try_into().expect("4")) as usize;
+        let table_end = ARENA_FIXED_HEADER + section_count * ARENA_SECTION_ENTRY;
+        let crc = crc32(&raw[..table_end]).to_le_bytes();
+        raw[table_end..table_end + 4].copy_from_slice(&crc);
+        std::fs::write(&path, &raw).expect("write");
+        let (_, load) = open_store_with(
+            &dir,
+            d.clone(),
+            &OpenOptions { backing: StoreBacking::Mmap, memory_budget: None },
+        )
+        .expect("open degraded");
+        assert_eq!(load.quarantined.len(), 1);
+        assert!(
+            matches!(load.quarantined[0].error, StoreError::Mismatch(_)),
+            "alignment refusal is typed: {}",
+            load.quarantined[0].error
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_arena_shard_is_refused_at_open() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("arena-truncated");
+        arena_pack(&index, &dir);
+        let path = dir.join(shard_name(1, 0));
+        let raw = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &raw[..raw.len() / 2]).expect("truncate");
+        for backing in [StoreBacking::Mmap, StoreBacking::Windowed, StoreBacking::Heap] {
+            let (_, load) = open_store_with(
+                &dir,
+                d.clone(),
+                &OpenOptions { backing, memory_budget: None },
+            )
+            .expect("open degraded");
+            assert_eq!(load.quarantined.len(), 1, "{backing}: truncated shard quarantined");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_open_respects_memory_budget() {
+        let d = dataset();
+        let index =
+            TindIndex::build(d.clone(), IndexConfig { m: 128, ..IndexConfig::default() });
+        let dir = store_dir("arena-windowed-budget");
+        arena_pack(&index, &dir);
+        // Budget far below the index's word footprint: windows must load,
+        // evict, and reload rather than fail.
+        let budget = MemoryBudget::new(128 * 8 + 1);
+        let (loaded, load) = open_store_with(
+            &dir,
+            d.clone(),
+            &OpenOptions {
+                backing: StoreBacking::Windowed,
+                memory_budget: Some(budget.clone()),
+            },
+        )
+        .expect("open windowed");
+        assert!(load.is_clean());
+        assert_eq!(
+            crate::persist::encode_index(&loaded),
+            crate::persist::encode_index(&index),
+            "every window readable under a tiny budget"
+        );
+        let pool = load.window_pool.expect("windowed pool");
+        assert!(pool.stats().loads > 0, "windows were demand-loaded");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

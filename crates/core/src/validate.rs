@@ -28,9 +28,12 @@
 //!    remaining suffix weight cannot reach ε).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use tind_model::hash::FastMap;
-use tind_model::{AttributeHistory, Interval, Timeline, Timestamp, ValueId, WeightFn, WeightTable};
+use tind_model::{
+    AttrId, AttributeHistory, Interval, Timeline, Timestamp, ValueId, WeightFn, WeightTable,
+};
 
 use crate::params::TindParams;
 
@@ -435,11 +438,59 @@ pub struct QueryPlan<'q> {
     timeline: Timeline,
     table: WeightTable,
     /// `Q`'s critical starts: 0 plus its change points, ascending, `< n`.
-    q_starts: Vec<Timestamp>,
+    /// Shared so [`QueryPlan::artifacts`] detaches them without a copy.
+    q_starts: Arc<Vec<Timestamp>>,
     /// `q_values[i]` is `Q`'s value slice on `[q_starts[i], q_starts[i+1])`.
     q_values: Vec<&'q [ValueId]>,
     /// Dense-array capacity needed for `Q`'s side (max value id + 1).
     q_capacity: usize,
+}
+
+/// The query-only precomputation of a [`QueryPlan`], detached from the
+/// plan's borrow of the query history so a cache can hold it across
+/// requests: the prefix-sum weight table and the critical-start stream.
+/// Rebuilding a plan from artifacts skips the O(timeline) table
+/// accumulation and the change-point scan; only the per-start value-slice
+/// lookups are redone against the live history, so plans built either way
+/// are observationally identical.
+///
+/// Artifacts bind to the exact `(query history, weights, timeline)` they
+/// were built from. [`QueryPlan::from_artifacts`] re-verifies the weights
+/// and timeline; the *history* binding is the cache owner's contract —
+/// evict every entry whose query attribute a dataset delta touched.
+#[derive(Debug, Clone)]
+pub struct PlanArtifacts {
+    weights: WeightFn,
+    timeline: Timeline,
+    table: WeightTable,
+    q_starts: Arc<Vec<Timestamp>>,
+    q_capacity: usize,
+}
+
+impl PlanArtifacts {
+    /// Whether these artifacts were built for `params.weights` over
+    /// `timeline` — the two bindings a plan rebuild can verify itself.
+    pub fn matches(&self, params: &TindParams, timeline: Timeline) -> bool {
+        self.timeline == timeline && self.weights == params.weights
+    }
+
+    /// The timeline these artifacts were built over.
+    pub fn timeline(&self) -> Timeline {
+        self.timeline
+    }
+}
+
+/// A plan cache consulted by the batched search path at the stage-4
+/// plan-build seam (see [`crate::BatchOptions::plans`]): `get` before
+/// building, `put` after a miss. Implementations own keying, eviction,
+/// and delta-invalidation; verdicts and statistics are identical with or
+/// without a source attached — only the plan-build work differs.
+pub trait PlanSource: Send + Sync {
+    /// Cached artifacts for `(query, params)` over `timeline`, if any.
+    fn get(&self, query: AttrId, params: &TindParams, timeline: Timeline)
+        -> Option<PlanArtifacts>;
+    /// Offers freshly built artifacts for `(query, params)` over `timeline`.
+    fn put(&self, query: AttrId, params: &TindParams, timeline: Timeline, artifacts: PlanArtifacts);
 }
 
 impl<'q> QueryPlan<'q> {
@@ -478,7 +529,47 @@ impl<'q> QueryPlan<'q> {
         }
         let q_values: Vec<&[ValueId]> = q_starts.iter().map(|&s| q.values_at(s)).collect();
         let q_capacity = max_value_capacity(q);
+        let q_starts = Arc::new(q_starts);
         QueryPlan { q, params: params.clone(), timeline, table, q_starts, q_values, q_capacity }
+    }
+
+    /// Rebuilds a plan for `q` from cached [`PlanArtifacts`]. Returns
+    /// `None` when the artifacts were built for different weights or a
+    /// different timeline (the caller then builds fresh). The caller must
+    /// guarantee `q` is the same history the artifacts were built from.
+    pub fn from_artifacts(
+        q: &'q AttributeHistory,
+        params: &TindParams,
+        timeline: Timeline,
+        artifacts: &PlanArtifacts,
+    ) -> Option<QueryPlan<'q>> {
+        if !artifacts.matches(params, timeline) {
+            return None;
+        }
+        let q_values: Vec<&[ValueId]> =
+            artifacts.q_starts.iter().map(|&s| q.values_at(s)).collect();
+        Some(QueryPlan {
+            q,
+            params: params.clone(),
+            timeline,
+            table: artifacts.table.clone(),
+            q_starts: Arc::clone(&artifacts.q_starts),
+            q_values,
+            q_capacity: artifacts.q_capacity,
+        })
+    }
+
+    /// Detaches this plan's query-only precomputation for caching — see
+    /// [`PlanArtifacts`]. Cheap: the table and starts are shared, not
+    /// copied.
+    pub fn artifacts(&self) -> PlanArtifacts {
+        PlanArtifacts {
+            weights: self.params.weights.clone(),
+            timeline: self.timeline,
+            table: self.table.clone(),
+            q_starts: Arc::clone(&self.q_starts),
+            q_capacity: self.q_capacity,
+        }
     }
 
     /// The query this plan was built for.
@@ -1009,6 +1100,51 @@ mod tests {
         // The breach is recorded either way, before the assertion fires.
         assert_eq!(scratch.counters().invariant_breaches, 1);
         assert!(invariant_breaches() > before);
+    }
+
+    #[test]
+    fn plan_from_artifacts_matches_fresh_plan() {
+        let (d, tl) = kernel_fixture();
+        let mut scratch = ValidationScratch::new();
+        for q in 0..2u32 {
+            let q = d.attribute(q);
+            for p in [
+                TindParams::strict(),
+                TindParams::paper_default(),
+                TindParams::weighted(3.0, 2, WeightFn::exponential(0.9, tl)),
+            ] {
+                let fresh = QueryPlan::new(q, &p, tl);
+                let artifacts = fresh.artifacts();
+                assert!(artifacts.matches(&p, tl));
+                assert_eq!(artifacts.timeline(), tl);
+                let rebuilt = QueryPlan::from_artifacts(q, &p, tl, &artifacts)
+                    .expect("matching artifacts rebuild");
+                for a in 2..6u32 {
+                    let a = d.attribute(a);
+                    assert_eq!(
+                        fresh.violation_weight(a, &mut scratch).to_bits(),
+                        rebuilt.violation_weight(a, &mut scratch).to_bits(),
+                        "rebuilt plan must be bit-identical"
+                    );
+                    assert_eq!(fresh.validate(a, &mut scratch), rebuilt.validate(a, &mut scratch));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_artifacts_are_refused() {
+        let (d, tl) = kernel_fixture();
+        let q = d.attribute(0);
+        let p1 = TindParams::weighted(1.0, 2, WeightFn::constant_one());
+        let artifacts = QueryPlan::new(q, &p1, tl).artifacts();
+        // Different weights under the same (ε, δ) → refuse.
+        let p2 = TindParams::weighted(1.0, 2, WeightFn::exponential(0.5, tl));
+        assert!(QueryPlan::from_artifacts(q, &p2, tl, &artifacts).is_none());
+        // Different timeline → refuse.
+        let other = Timeline::new(tl.len() + 5);
+        assert!(!artifacts.matches(&p1, other));
+        assert!(QueryPlan::from_artifacts(q, &p1, other, &artifacts).is_none());
     }
 
     #[test]

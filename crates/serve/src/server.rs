@@ -39,12 +39,13 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use tind_core::{
-    open_store, pack_store, verify_store, BatchOptions, BuildOptions, CancelReason, CancelToken,
-    DatasetDelta, DeltaReport, IndexConfig, LoadReport, PackOptions, SearchOutcome, ShardMask,
-    SliceConfig, TindIndex, TindParams,
+    open_store_with, pack_store, verify_store, BatchOptions, BuildOptions, CancelReason,
+    CancelToken, DatasetDelta, DeltaReport, IndexConfig, LoadReport, OpenOptions, PackOptions,
+    PlanArtifacts, PlanSource, SearchOutcome, ShardFormat, ShardMask, SliceConfig, StoreBacking,
+    TindIndex, TindParams,
 };
 use tind_model::hash::FastMap;
-use tind_model::{AttrId, Dataset, MemoryBudget, Timeline, WeightFn};
+use tind_model::{AttrId, Charge, Dataset, MemoryBudget, Timeline, WeightFn};
 use tind_obs::Value;
 
 use crate::admission::Admission;
@@ -106,6 +107,17 @@ pub struct ServeConfig {
     /// query attribute; [`Engine::apply_delta`] invalidates exactly the
     /// entries the delta affected.
     pub cache: usize,
+    /// Plan-cache capacity in entries; `0` (the default) disables it.
+    /// Entries are keyed by query attribute and resolved (ε, δ, w), hold
+    /// the query's reusable [`PlanArtifacts`], and are evicted LRU. The
+    /// same delta-invalidation hook that scrubs the result cache scrubs
+    /// plans whose query a delta touched.
+    pub plan_cache: usize,
+    /// How store shards are backed when the engine loads from a store:
+    /// `Auto` (the default) memory-maps arena shards and heap-decodes
+    /// legacy ones; `Windowed` serves beyond-RAM indices through
+    /// budget-charged pread windows.
+    pub store_backing: StoreBacking,
     /// Test-only fault injection hook.
     pub fault_hook: Option<ServeFaultHook>,
     /// Handed a shared engine handle once loading completes (live
@@ -132,6 +144,8 @@ impl Default for ServeConfig {
             retry_unit: Duration::from_millis(25),
             reverify_interval: Duration::from_millis(500),
             cache: 0,
+            plan_cache: 0,
+            store_backing: StoreBacking::Auto,
             fault_hook: None,
             engine_hook: None,
         }
@@ -157,6 +171,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("retry_unit", &self.retry_unit)
             .field("reverify_interval", &self.reverify_interval)
             .field("cache", &self.cache)
+            .field("plan_cache", &self.plan_cache)
+            .field("store_backing", &self.store_backing)
             .field("fault_hook", &self.fault_hook.is_some())
             .field("engine_hook", &self.engine_hook.is_some())
             .finish()
@@ -193,10 +209,33 @@ pub struct Engine {
     store_dir: Option<PathBuf>,
     /// Shard count the store was packed with, preserved across flips.
     store_shards: usize,
+    /// Shard payload format the store was loaded with; delta flips repack
+    /// in the same format so a migration survives live updates.
+    store_format: ShardFormat,
+    /// Backing/budget the store was opened with, reused verbatim by
+    /// [`Engine::try_promote`]'s reopen.
+    open_options: OpenOptions,
     default_eps: f64,
     default_delta: u32,
     default_decay: Option<f64>,
     cache: ResultCache,
+    plans: Arc<PlanCache>,
+    /// Accountant the engine charges its resident index bytes to, plus
+    /// the RAII charges currently held. During a delta swap only the
+    /// *increment* over the old generation is charged while the two
+    /// generations briefly coexist — the overlap is counted once, never
+    /// twice (pinned by `delta_swap_never_double_counts_index_bytes`).
+    budget: Option<MemoryBudget>,
+    index_charge: Mutex<IndexCharge>,
+}
+
+/// The engine's held index-byte charges and the byte total they aim for
+/// (the two differ only after an overcommit, when the budget could not
+/// cover the target and the engine proceeds partially uncharged).
+#[derive(Default)]
+struct IndexCharge {
+    charges: Vec<Charge>,
+    bytes: usize,
 }
 
 impl Engine {
@@ -232,10 +271,15 @@ impl Engine {
             }),
             store_dir: None,
             store_shards: 0,
+            store_format: ShardFormat::default(),
+            open_options: OpenOptions::default(),
             default_eps: eps,
             default_delta: delta,
             default_decay: decay,
             cache: ResultCache::new(0),
+            plans: Arc::new(PlanCache::new(0)),
+            budget: None,
+            index_charge: Mutex::new(IndexCharge::default()),
         }
     }
 
@@ -246,6 +290,38 @@ impl Engine {
     pub fn with_cache(mut self, capacity: usize) -> Engine {
         self.cache = ResultCache::new(capacity);
         self
+    }
+
+    /// Enables the plan cache with room for `capacity` entries (`0`
+    /// keeps it disabled). Entries are evicted LRU, invalidated
+    /// delta-aware by [`Engine::apply_delta`], and cleared on store
+    /// promotion.
+    #[must_use]
+    pub fn with_plan_cache(mut self, capacity: usize) -> Engine {
+        self.plans = Arc::new(PlanCache::new(capacity));
+        self
+    }
+
+    /// Charges the engine's resident index bytes (both directions)
+    /// against `budget` and keeps the accountant for delta swaps, which
+    /// then charge only the increment over the old generation. A budget
+    /// too small for the index logs an overcommit and serves uncharged
+    /// rather than refusing to start.
+    #[must_use]
+    pub fn with_memory_accounting(self, budget: Option<MemoryBudget>) -> Engine {
+        let mut engine = self;
+        engine.budget = budget;
+        if let Some(b) = &engine.budget {
+            let snap = engine.snapshot();
+            let bytes = snap.forward.bloom_bytes() + snap.reverse.bloom_bytes();
+            let mut held = lock(&engine.index_charge);
+            held.bytes = bytes;
+            match b.try_charge(bytes) {
+                Some(c) => held.charges.push(c),
+                None => tind_obs::counter("serve.index_overcommits").incr(),
+            }
+        }
+        engine
     }
 
     /// Loads the forward index from the sharded store at `dir` — accepting
@@ -261,7 +337,26 @@ impl Engine {
         decay: Option<f64>,
         build_threads: usize,
     ) -> Result<(Engine, LoadReport), String> {
-        let (forward, report) = open_store(dir, dataset.clone())
+        Self::from_store_with(dir, dataset, eps, delta, decay, build_threads, &OpenOptions::default())
+    }
+
+    /// [`Engine::from_store`] with explicit [`OpenOptions`]: choose the
+    /// shard backing (heap decode, zero-copy mmap, or budget-charged
+    /// pread windows) and the budget windowed sections are charged to.
+    /// The loaded format and options are remembered — delta flips repack
+    /// in the same shard format, and [`Engine::try_promote`] reopens with
+    /// the same backing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_store_with(
+        dir: &Path,
+        dataset: Arc<Dataset>,
+        eps: f64,
+        delta: u32,
+        decay: Option<f64>,
+        build_threads: usize,
+        open: &OpenOptions,
+    ) -> Result<(Engine, LoadReport), String> {
+        let (forward, report) = open_store_with(dir, dataset.clone(), open)
             .map_err(|e| format!("store at {}: {e}", dir.display()))?;
         let weights = match decay {
             Some(a) => WeightFn::exponential(a, dataset.timeline()),
@@ -281,10 +376,15 @@ impl Engine {
             }),
             store_dir: Some(dir.to_path_buf()),
             store_shards: report.shards_total,
+            store_format: report.format,
+            open_options: open.clone(),
             default_eps: eps,
             default_delta: delta,
             default_decay: decay,
             cache: ResultCache::new(0),
+            plans: Arc::new(PlanCache::new(0)),
+            budget: None,
+            index_charge: Mutex::new(IndexCharge::default()),
         };
         Ok((engine, report))
     }
@@ -346,16 +446,39 @@ impl Engine {
             Ok(report) if report.faults.is_empty() => {}
             _ => return false,
         }
-        match open_store(dir, self.dataset()) {
+        match open_store_with(dir, self.dataset(), &self.open_options) {
             Ok((index, report)) if report.is_clean() => {
                 lock_write(&self.state).forward = Arc::new(index);
                 // Results cached while degraded would be wrong anyway
                 // (the cache is bypassed then), but entries filled before
                 // the store went bad may describe a different generation.
                 self.cache.clear();
+                self.plans.clear();
+                // Resident bytes can change shape across the swap (a
+                // quarantined shard's zero-fill gives way to real words,
+                // or the backing changes residency) — resettle the charge
+                // at the fresh index's footprint.
+                self.settle_index_charge();
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Re-points the engine's held index charge at the *current*
+    /// snapshot's resident bytes: drops the old charges, then charges the
+    /// new total. Overcommits (budget too small, or a racing request
+    /// claimed the freed bytes first) are logged and served uncharged.
+    fn settle_index_charge(&self) {
+        let Some(budget) = &self.budget else { return };
+        let snap = self.snapshot();
+        let bytes = snap.forward.bloom_bytes() + snap.reverse.bloom_bytes();
+        let mut held = lock(&self.index_charge);
+        held.charges.clear();
+        held.bytes = bytes;
+        match budget.try_charge(bytes) {
+            Some(c) => held.charges.push(c),
+            None => tind_obs::counter("serve.index_overcommits").incr(),
         }
     }
 
@@ -393,30 +516,70 @@ impl Engine {
         let mut reverse = (*snap.reverse).clone();
         reverse.apply_delta(&delta).map_err(|e| format!("delta rejected: {e}"))?;
 
+        // While old and new generations coexist, charge only the
+        // *increment* over the already-charged old footprint — the
+        // overlap is counted once, never twice. The held old charge plus
+        // this increment sums to exactly the new generation's bytes, so
+        // the post-swap settle is a push, not a release-and-recharge.
+        let old_bytes = lock(&self.index_charge).bytes;
+        let new_bytes = forward.bloom_bytes() + reverse.bloom_bytes();
+        let mut overlap = None;
+        if let Some(budget) = &self.budget {
+            let increment = new_bytes.saturating_sub(old_bytes);
+            if increment > 0 {
+                match budget.try_charge(increment) {
+                    Some(c) => overlap = Some(c),
+                    None => tind_obs::counter("serve.index_overcommits").incr(),
+                }
+            }
+        }
+
         // Persist before swapping: pack_store commits the new generation
         // atomically (manifest rename is the commit point), so a crash
         // leaves either the old store or the new one — and a pack error
-        // leaves the engine serving the old snapshot untouched.
+        // leaves the engine serving the old snapshot untouched. The flip
+        // repacks in the same shard format the store was loaded with, so
+        // an arena migration survives live updates.
         let mut store_generation = None;
         if let Some(dir) = &self.store_dir {
             let packed = pack_store(
                 &forward,
                 dir,
-                &PackOptions { shards: self.store_shards, ..PackOptions::default() },
+                &PackOptions {
+                    shards: self.store_shards,
+                    format: self.store_format,
+                    ..PackOptions::default()
+                },
             )
             .map_err(|e| format!("store flip at {} failed: {e}", dir.display()))?;
             store_generation = Some(packed.generation);
         }
 
         let (cache_evicted, cache_retained) = self.cache.invalidate(&new_dataset, delta.touched());
+        let plans_evicted = self.plans.invalidate(&new_dataset, delta.touched());
         {
             let mut state = lock_write(&self.state);
             state.dataset = new_dataset;
             state.forward = Arc::new(forward);
             state.reverse = Arc::new(reverse);
         }
+        if self.budget.is_some() {
+            let mut held = lock(&self.index_charge);
+            if new_bytes >= old_bytes {
+                if let Some(c) = overlap {
+                    held.charges.push(c);
+                }
+                held.bytes = new_bytes;
+            } else {
+                // The new generation shrank: release everything and
+                // charge the smaller footprint fresh.
+                drop(held);
+                drop(overlap);
+                self.settle_index_charge();
+            }
+        }
         tind_obs::counter("serve.deltas_applied").incr();
-        Ok(EngineDeltaReport { index, cache_evicted, cache_retained, store_generation })
+        Ok(EngineDeltaReport { index, cache_evicted, cache_retained, plans_evicted, store_generation })
     }
 
     /// Resolve request parameters against the defaults. The key
@@ -467,6 +630,8 @@ pub struct EngineDeltaReport {
     pub cache_evicted: usize,
     /// Result-cache entries proven unaffected and kept.
     pub cache_retained: usize,
+    /// Plan-cache entries dropped because the delta touched their query.
+    pub plans_evicted: usize,
     /// Store generation the flip committed, when store-backed.
     pub store_generation: Option<u64>,
 }
@@ -610,6 +775,140 @@ impl ResultCache {
         tind_obs::counter("serve.cache_invalidated").add(evicted as u64);
         tind_obs::gauge("serve.cache_entries").set(retained as f64);
         (evicted, retained)
+    }
+}
+
+/// `(query attribute, ε bits, δ)` — the `w` component of the paper's
+/// parameter triple is carried inside the stored [`PlanArtifacts`] and
+/// verified on every hit (two weight functions rarely share ε and δ, and
+/// a false share is just a rebuild, never a wrong answer).
+type PlanKey = (AttrId, u64, u32);
+
+#[derive(Default)]
+struct PlanInner {
+    map: FastMap<PlanKey, PlanArtifacts>,
+    /// Recency order, least-recent first (true LRU: hits re-append).
+    order: VecDeque<PlanKey>,
+}
+
+/// Opt-in LRU of reusable [`PlanArtifacts`], consulted by the batched
+/// search path at the stage-4 plan-build seam. A hit skips the
+/// O(timeline) weight-table accumulation and the query's change-point
+/// scan; results and statistics are pinned identical either way by the
+/// core equivalence tests.
+///
+/// Shares the result cache's delta-invalidation hook: a delta evicts
+/// exactly the entries whose query attribute it touched (plan artifacts
+/// depend only on the query's own history, ε, δ, and w — not on
+/// candidates), and a stale timeline clears everything.
+struct PlanCache {
+    /// `0` disables the cache; every operation is then a no-op.
+    capacity: usize,
+    hot: Mutex<PlanInner>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache { capacity, hot: Mutex::new(PlanInner::default()) }
+    }
+
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn len(&self) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        lock(&self.hot).map.len()
+    }
+
+    fn clear(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = lock(&self.hot);
+        inner.map.clear();
+        inner.order.clear();
+        tind_obs::gauge("serve.plans.entries").set(0.0);
+    }
+
+    /// Evicts entries whose query a delta touched (ascending ids, as
+    /// produced by [`DatasetDelta::touched`]) plus any built over a
+    /// different timeline than `dataset`'s; returns the eviction count.
+    fn invalidate(&self, dataset: &Dataset, touched: &[AttrId]) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        let timeline = dataset.timeline();
+        let mut inner = lock(&self.hot);
+        let before = inner.map.len();
+        inner.map.retain(|&(query, _, _), artifacts| {
+            touched.binary_search(&query).is_err() && artifacts.timeline() == timeline
+        });
+        let PlanInner { map, order } = &mut *inner;
+        order.retain(|k| map.contains_key(k));
+        let evicted = before - map.len();
+        tind_obs::counter("serve.plans.evicted").add(evicted as u64);
+        tind_obs::gauge("serve.plans.entries").set(map.len() as f64);
+        evicted
+    }
+}
+
+impl PlanSource for PlanCache {
+    fn get(
+        &self,
+        query: AttrId,
+        params: &TindParams,
+        timeline: Timeline,
+    ) -> Option<PlanArtifacts> {
+        if !self.enabled() {
+            return None;
+        }
+        let key = (query, params.eps.to_bits(), params.delta);
+        let mut inner = lock(&self.hot);
+        match inner.map.get(&key) {
+            Some(artifacts) if artifacts.matches(params, timeline) => {
+                let artifacts = artifacts.clone();
+                // Refresh recency: move the key to the back.
+                if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+                    inner.order.remove(pos);
+                }
+                inner.order.push_back(key);
+                tind_obs::counter("serve.plans.hits").incr();
+                Some(artifacts)
+            }
+            Some(_) => {
+                // Same (ε, δ) under different weights or timeline: the
+                // entry can never serve this key shape again — drop it.
+                inner.map.remove(&key);
+                inner.order.retain(|k| *k != key);
+                tind_obs::counter("serve.plans.misses").incr();
+                None
+            }
+            None => {
+                tind_obs::counter("serve.plans.misses").incr();
+                None
+            }
+        }
+    }
+
+    fn put(&self, query: AttrId, params: &TindParams, _timeline: Timeline, artifacts: PlanArtifacts) {
+        if !self.enabled() {
+            return;
+        }
+        let key = (query, params.eps.to_bits(), params.delta);
+        let mut inner = lock(&self.hot);
+        if inner.map.insert(key, artifacts).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.capacity {
+                if let Some(coldest) = inner.order.pop_front() {
+                    inner.map.remove(&coldest);
+                    tind_obs::counter("serve.plans.evicted").incr();
+                }
+            }
+        }
+        tind_obs::gauge("serve.plans.entries").set(inner.map.len() as f64);
     }
 }
 
@@ -788,11 +1087,17 @@ impl Server {
 
             match loader() {
                 Ok(engine) => {
-                    let engine = if rt.config.cache > 0 {
-                        engine.with_cache(rt.config.cache)
-                    } else {
-                        engine
-                    };
+                    let mut engine = engine;
+                    if rt.config.cache > 0 {
+                        engine = engine.with_cache(rt.config.cache);
+                    }
+                    if rt.config.plan_cache > 0 {
+                        engine = engine.with_plan_cache(rt.config.plan_cache);
+                    }
+                    if rt.config.memory_budget.is_some() && engine.budget.is_none() {
+                        engine =
+                            engine.with_memory_accounting(rt.config.memory_budget.clone());
+                    }
                     let degraded = engine.is_degraded();
                     let engine = Arc::new(engine);
                     if let Some(hook) = &rt.config.engine_hook {
@@ -987,6 +1292,9 @@ fn healthz_body(rt: &Runtime) -> Value {
     if let Some(engine) = rt.engine.get() {
         if engine.cache.enabled() {
             body.set("cache_entries", Value::num(engine.cache.len() as f64));
+        }
+        if engine.plans.enabled() {
+            body.set("plan_entries", Value::num(engine.plans.len() as f64));
         }
     }
     body
@@ -1279,6 +1587,10 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
                         threads: 1, // the worker itself is the unit of parallelism
                         cancel: Some(wave_token.clone()),
                         memory_budget: rt.config.memory_budget.clone(),
+                        plans: engine
+                            .plans
+                            .enabled()
+                            .then(|| Arc::clone(&engine.plans) as Arc<dyn PlanSource>),
                         ..BatchOptions::default()
                     },
                 )
@@ -1448,4 +1760,101 @@ fn lock_read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
 
 fn lock_write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tind_core::QueryPlan;
+    use tind_model::{DatasetBuilder, HistoryBuilder, Timeline};
+
+    fn small_dataset() -> Arc<Dataset> {
+        let mut b = DatasetBuilder::new(Timeline::new(40));
+        b.add_attribute("games", &[(0, vec!["red", "blue"]), (20, vec!["red", "blue", "gold"])], 39);
+        b.add_attribute("titles", &[(0, vec!["red", "blue", "gold", "pinball"])], 39);
+        b.add_attribute("cities", &[(0, vec!["pallet", "viridian"])], 39);
+        Arc::new(b.build())
+    }
+
+    /// Successor rewriting attribute 0 and appending one new attribute.
+    fn successor(base: &Dataset) -> Arc<Dataset> {
+        let tl = base.timeline();
+        let mut b = base.clone().into_builder();
+        let mut h = HistoryBuilder::new("games");
+        let red = base.dictionary().get("red").expect("interned");
+        let v = b.dictionary_mut().intern("silver");
+        h.push(0, vec![red, v]);
+        b.upsert_history(h.finish(tl.last()));
+        let mut extra = HistoryBuilder::new("remakes");
+        let w = b.dictionary_mut().intern("firered");
+        extra.push(5, vec![red, w]);
+        b.upsert_history(extra.finish(tl.last()));
+        Arc::new(b.build())
+    }
+
+    fn constant_params() -> TindParams {
+        TindParams::weighted(0.0, 0, WeightFn::constant_one())
+    }
+
+    #[test]
+    fn delta_swap_never_double_counts_index_bytes() {
+        let d = small_dataset();
+        let budget = MemoryBudget::new(1 << 30);
+        let engine = Engine::build(d.clone(), 0.0, 0, None, 1)
+            .with_memory_accounting(Some(budget.clone()));
+        let old_bytes = engine.forward().bloom_bytes() + engine.reverse().bloom_bytes();
+        assert!(old_bytes > 0);
+        assert_eq!(budget.used_bytes(), old_bytes, "initial charge covers the index");
+
+        engine.apply_delta(successor(&d)).expect("valid successor applies");
+        let new_bytes = engine.forward().bloom_bytes() + engine.reverse().bloom_bytes();
+        assert_eq!(budget.used_bytes(), new_bytes, "post-swap charge tracks the new generation");
+        // The regression: while old and new generations coexist, only the
+        // increment is charged on top of the old footprint — the peak is
+        // the larger generation, never the sum of both.
+        assert_eq!(budget.peak_bytes(), old_bytes.max(new_bytes));
+        assert!(budget.peak_bytes() < old_bytes + new_bytes, "overlap must be charged once");
+    }
+
+    #[test]
+    fn plan_cache_is_lru_and_verifies_weights() {
+        let d = small_dataset();
+        let tl = d.timeline();
+        let params = constant_params();
+        let cache = PlanCache::new(2);
+        let artifacts =
+            |id: AttrId| QueryPlan::new(d.attribute(id), &params, tl).artifacts();
+
+        cache.put(0, &params, tl, artifacts(0));
+        cache.put(1, &params, tl, artifacts(1));
+        assert!(cache.get(0, &params, tl).is_some(), "recency refresh for 0");
+        cache.put(2, &params, tl, artifacts(2));
+        assert!(cache.get(1, &params, tl).is_none(), "1 was least recent — evicted");
+        assert!(cache.get(0, &params, tl).is_some());
+        assert!(cache.get(2, &params, tl).is_some());
+
+        // Same (ε, δ) under different weights never serves stale plans.
+        let other = TindParams::weighted(0.0, 0, WeightFn::exponential(0.5, tl));
+        assert!(cache.get(0, &other, tl).is_none());
+        assert!(cache.get(0, &params, tl).is_none(), "mismatched entry was dropped");
+    }
+
+    #[test]
+    fn apply_delta_evicts_touched_plans_and_result_cache_together() {
+        let d = small_dataset();
+        let tl = d.timeline();
+        let params = constant_params();
+        let engine = Engine::build(d.clone(), 0.0, 0, None, 1).with_plan_cache(8);
+        let plan = |id: AttrId| QueryPlan::new(d.attribute(id), &params, tl).artifacts();
+        engine.plans.put(0, &params, tl, plan(0));
+        engine.plans.put(2, &params, tl, plan(2));
+        assert_eq!(engine.plans.len(), 2);
+
+        let report = engine.apply_delta(successor(&d)).expect("valid successor applies");
+        // The successor rewrites attribute 0 (touched) and appends a new
+        // one; the untouched attribute 2's plan survives.
+        assert_eq!(report.plans_evicted, 1);
+        assert!(engine.plans.get(0, &params, tl).is_none());
+        assert!(engine.plans.get(2, &params, tl).is_some());
+    }
 }

@@ -160,6 +160,12 @@ if [ "$CHECK_ONLY" = 0 ]; then
         "$OUT/bench_obs_overhead"
     "$OUT/tind" verify "$OUT/BENCH_obs.json" \
         --schema devtools/report-schema.json
+    # One reduced-scale pass of the cold-start bench: pins backing
+    # equality and the zero-resident mmap open; the >=10x speedup bound
+    # only applies to optimized full-scale runs (see BENCH_coldstart.json).
+    echo "smoke bench_cold_start (TIND_BENCH_ATTRS=200)"
+    TIND_BENCH_ATTRS=200 TIND_BENCH_COLDSTART_OUT="$OUT/BENCH_coldstart.json" \
+        "$OUT/bench_cold_start"
 
     # Run-report smoke: an all-pairs run must emit a TINDRR report that
     # passes checksum + schema verification end to end through the CLI.

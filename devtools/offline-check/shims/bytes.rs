@@ -26,6 +26,10 @@ impl Bytes {
         Bytes::from(s.to_vec())
     }
 
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
     pub fn len(&self) -> usize {
         self.end - self.start
     }
@@ -201,6 +205,10 @@ impl BytesMut {
 
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
     }
 
     pub fn freeze(self) -> Bytes {

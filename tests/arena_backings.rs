@@ -1,0 +1,239 @@
+//! Differential oracle for the zero-copy arena shard layout
+//! (`tind_core::store`, `TINDSH` v2).
+//!
+//! The arena's contract extends the store's byte-identity guarantee
+//! across *backings*: an index packed in the arena layout and opened
+//! onto the heap, borrowed from an mmap, or served through `pread`
+//! windows must encode to exactly the bytes of the in-memory build and
+//! answer `search`, `search_batch`, `reverse_search`, and all-pairs
+//! discovery identically at every worker count. The windowed backing is
+//! additionally pinned under a memory budget *below* the index size:
+//! eviction pressure must never change an answer.
+
+mod common;
+
+use std::sync::Arc;
+
+use tind_core::{
+    discover_all_pairs, migrate_store, open_store_with, pack_store, verify_store,
+    AllPairsOptions, BatchOptions, IndexConfig, OpenOptions, PackOptions, ShardFormat,
+    StoreBacking, TindIndex, TindParams,
+};
+use tind_datagen::{generate, GeneratorConfig};
+use tind_model::{Dataset, MemoryBudget};
+
+fn store_dir(name: &str) -> std::path::PathBuf {
+    common::strategies::store_dir("arena-backings", name)
+}
+
+/// A generated world with both search directions indexed, so the
+/// reverse leg of the oracle is real (M_R is packed into the shards).
+fn reverse_world(seed: u64) -> (Arc<Dataset>, TindIndex, TindParams) {
+    let dataset = Arc::new(generate(&GeneratorConfig::small(200, seed)).dataset);
+    let config = IndexConfig { m: 256, build_reverse: true, ..IndexConfig::default() };
+    let index = TindIndex::build(dataset.clone(), config);
+    (dataset, index, TindParams::paper_default())
+}
+
+const BACKINGS: [StoreBacking; 3] =
+    [StoreBacking::Heap, StoreBacking::Mmap, StoreBacking::Windowed];
+
+fn open_options(backing: StoreBacking) -> OpenOptions {
+    OpenOptions {
+        backing,
+        // The windowed backing needs *a* budget to charge against; a
+        // generous one keeps this roundtrip free of eviction effects
+        // (the under-budget test below applies the pressure).
+        memory_budget: (backing == StoreBacking::Windowed)
+            .then(|| MemoryBudget::new(1 << 30)),
+    }
+}
+
+#[test]
+fn arena_roundtrip_is_byte_identical_across_backings_and_shard_counts() {
+    let (dataset, index, _params) = reverse_world(21);
+    let baseline = tind_core::persist::encode_index(&index);
+
+    // 0 = the store's own default split.
+    for shards in [1usize, 2, 4, 0] {
+        let dir = store_dir(&format!("roundtrip-{shards}"));
+        let report = pack_store(
+            &index,
+            &dir,
+            &PackOptions { shards, format: ShardFormat::Arena, ..Default::default() },
+        )
+        .expect("pack");
+        for backing in BACKINGS {
+            let (loaded, load) =
+                open_store_with(&dir, dataset.clone(), &open_options(backing)).expect("open");
+            assert!(load.is_clean(), "{backing:?}: clean arena store loads clean: {load:?}");
+            assert_eq!(load.format, ShardFormat::Arena);
+            assert_eq!(load.shards_total, report.shards);
+            assert_eq!(
+                tind_core::persist::encode_index(&loaded),
+                baseline,
+                "{shards}-shard arena store via {backing:?} must round-trip byte-identically"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn searches_are_identical_across_backings_at_multiple_worker_counts() {
+    let (dataset, index, params) = reverse_world(23);
+    let dir = store_dir("differential");
+    pack_store(
+        &index,
+        &dir,
+        &PackOptions { shards: 4, format: ShardFormat::Arena, ..Default::default() },
+    )
+    .expect("pack");
+
+    let queries: Vec<u32> = (0..dataset.len() as u32).step_by(11).collect();
+    let expected_single: Vec<Vec<u32>> =
+        queries.iter().map(|&q| index.search(q, &params).results).collect();
+    let expected_reverse: Vec<Vec<u32>> =
+        queries.iter().map(|&q| index.reverse_search(q, &params).results).collect();
+    let expected_pairs =
+        discover_all_pairs(&index, &params, &AllPairsOptions::default()).expect("all-pairs").pairs;
+
+    for backing in BACKINGS {
+        let (loaded, _) =
+            open_store_with(&dir, dataset.clone(), &open_options(backing)).expect("open");
+        for (&q, expected) in queries.iter().zip(&expected_single) {
+            assert_eq!(&loaded.search(q, &params).results, expected, "{backing:?} query {q}");
+        }
+        for (&q, expected) in queries.iter().zip(&expected_reverse) {
+            assert_eq!(
+                &loaded.reverse_search(q, &params).results,
+                expected,
+                "{backing:?} reverse query {q}"
+            );
+        }
+        for threads in [1usize, 4] {
+            let batch = loaded.search_batch_with(
+                &queries,
+                &params,
+                &BatchOptions { threads, ..Default::default() },
+            );
+            for ((got, want), &q) in batch.outcomes.iter().zip(&expected_single).zip(&queries) {
+                assert_eq!(
+                    got.as_ref().map(|o| &o.results),
+                    Some(want),
+                    "{backing:?} batch query {q} at {threads} workers"
+                );
+            }
+            let pairs = discover_all_pairs(
+                &loaded,
+                &params,
+                &AllPairsOptions { threads, ..Default::default() },
+            )
+            .expect("all-pairs on loaded")
+            .pairs;
+            assert_eq!(pairs, expected_pairs, "{backing:?} all-pairs at {threads} workers");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The beyond-RAM acceptance pin: a memory budget well below the index's
+/// resident size must still answer every query exactly — windows evict
+/// and reload (or overcommit) under pressure, never degrade results.
+#[test]
+fn windowed_backing_below_index_size_still_answers_exactly() {
+    let (dataset, index, params) = reverse_world(25);
+    let dir = store_dir("tiny-budget");
+    pack_store(
+        &index,
+        &dir,
+        &PackOptions { shards: 4, format: ShardFormat::Arena, ..Default::default() },
+    )
+    .expect("pack");
+
+    let full_bytes = index.bloom_bytes();
+    assert!(full_bytes > 0);
+    let budget = MemoryBudget::new(full_bytes / 8);
+    let options = OpenOptions {
+        backing: StoreBacking::Windowed,
+        memory_budget: Some(budget.clone()),
+    };
+    let (loaded, report) = open_store_with(&dir, dataset.clone(), &options).expect("open");
+    assert!(report.is_clean());
+    assert_eq!(report.backing, StoreBacking::Windowed);
+    let pool = report.window_pool.clone().expect("windowed open exposes its pool");
+
+    let queries: Vec<u32> = (0..dataset.len() as u32).step_by(7).collect();
+    for &q in &queries {
+        assert_eq!(
+            loaded.search(q, &params).results,
+            index.search(q, &params).results,
+            "query {q} under budget pressure"
+        );
+        assert_eq!(
+            loaded.reverse_search(q, &params).results,
+            index.reverse_search(q, &params).results,
+            "reverse query {q} under budget pressure"
+        );
+    }
+    let batch =
+        loaded.search_batch_with(&queries, &params, &BatchOptions { threads: 4, ..Default::default() });
+    for (got, &q) in batch.outcomes.iter().zip(&queries) {
+        assert_eq!(
+            got.as_ref().map(|o| o.results.clone()),
+            Some(index.search(q, &params).results),
+            "batched query {q} under budget pressure"
+        );
+    }
+
+    let stats = pool.stats();
+    assert!(stats.loads > 0, "windows must actually have been read: {stats:?}");
+    assert!(
+        stats.evictions > 0 || stats.overcommits > 0,
+        "a budget below the index size must have exercised eviction pressure: {stats:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `migrate` converts a legacy store in place (new generation, same
+/// atomic commit point) and the result is byte-identical in both
+/// directions: legacy → arena → legacy.
+#[test]
+fn migrate_roundtrips_between_layouts_byte_identically() {
+    let (dataset, index, params) = reverse_world(27);
+    let baseline = tind_core::persist::encode_index(&index);
+    let dir = store_dir("migrate");
+    pack_store(&index, &dir, &PackOptions { shards: 2, ..Default::default() }).expect("pack legacy");
+
+    let to_arena = migrate_store(&dir, dataset.clone(), ShardFormat::Arena, &PackOptions {
+        shards: 2,
+        ..Default::default()
+    })
+    .expect("migrate to arena");
+    assert_eq!(to_arena.generation, 2);
+    verify_store(&dir).expect("arena store verifies deep");
+    let (arena, load) = open_store_with(
+        &dir,
+        dataset.clone(),
+        &open_options(StoreBacking::Mmap),
+    )
+    .expect("open migrated");
+    assert!(load.is_clean());
+    assert_eq!(load.format, ShardFormat::Arena);
+    assert_eq!(tind_core::persist::encode_index(&arena), baseline);
+    let probe = 17u32;
+    assert_eq!(arena.search(probe, &params).results, index.search(probe, &params).results);
+
+    let back = migrate_store(&dir, dataset.clone(), ShardFormat::Legacy, &PackOptions {
+        shards: 2,
+        ..Default::default()
+    })
+    .expect("migrate back to legacy");
+    assert_eq!(back.generation, 3);
+    let (legacy, load) =
+        open_store_with(&dir, dataset, &OpenOptions::default()).expect("open legacy again");
+    assert!(load.is_clean());
+    assert_eq!(load.format, ShardFormat::Legacy);
+    assert_eq!(tind_core::persist::encode_index(&legacy), baseline);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -411,6 +411,31 @@ fn every_persisted_format_detects_single_byte_corruption() {
         store_detector(store_dir.clone()),
     ));
 
+    // The arena layout (TINDSH v2) gets its own rows: its open path is
+    // header-CRC-only, so deep verification must still catch head, body,
+    // and trailer flips.
+    let arena_dir = dir.join("arena.store");
+    pack_store(
+        &index,
+        &arena_dir,
+        &PackOptions {
+            shards: 2,
+            format: tind::core::store::ShardFormat::Arena,
+            ..Default::default()
+        },
+    )
+    .expect("pack arena store");
+    formats.push((
+        "arena shard (TINDSH v2)",
+        arena_dir.join("g1-s0.shard"),
+        store_detector(arena_dir.clone()),
+    ));
+    formats.push((
+        "arena shard (TINDSH v2, second)",
+        arena_dir.join("g1-s1.shard"),
+        store_detector(arena_dir.clone()),
+    ));
+
     for (name, path, detects) in &formats {
         assert!(!detects(), "{name}: pristine file must verify");
         let len = std::fs::metadata(path).expect("metadata").len() as usize;
@@ -427,6 +452,109 @@ fn every_persisted_format_detects_single_byte_corruption() {
             assert!(!detects(), "{name}: restored file must verify again");
         }
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Arena-specific refusal matrix. Body and trailer corruption must
+/// surface as the *typed* [`BinIoError::Checksum`] carrying the failing
+/// byte offset (that is what `tind verify` prints), and the zero-copy
+/// open path — which never reads matrix words — must still refuse
+/// truncated and misaligned mappings up front.
+#[test]
+fn arena_corruption_is_typed_with_offsets_and_bad_maps_are_refused() {
+    use tind::core::fault::flip_file_byte;
+    use tind::core::store::{
+        open_store_with, pack_store, verify_store, OpenOptions, PackOptions, ShardFormat,
+        StoreBacking, StoreError,
+    };
+    use tind::model::checksum::{crc32, TRAILER_LEN};
+
+    let (dataset, index, _params) = small_world(80, 11);
+    let dir = std::env::temp_dir().join("tind-fault-tolerance-arena");
+    let _ = std::fs::remove_dir_all(&dir);
+    pack_store(
+        &index,
+        &dir,
+        &PackOptions { shards: 2, format: ShardFormat::Arena, ..Default::default() },
+    )
+    .expect("pack arena");
+    let shard = dir.join("g1-s0.shard");
+    let pristine = std::fs::read(&shard).expect("read shard");
+    let len = pristine.len();
+    let mmap_open = |expect_fault: bool| {
+        let options =
+            OpenOptions { backing: StoreBacking::Mmap, ..OpenOptions::default() };
+        let (_, report) =
+            open_store_with(&dir, dataset.clone(), &options).expect("open never hard-fails");
+        assert_eq!(
+            !report.is_clean(),
+            expect_fault,
+            "mmap open quarantine state: {report:?}"
+        );
+    };
+
+    // Body flip: deep verify pins the trailer offset (the whole payload
+    // hashes wrong, reported against the trailer position).
+    flip_file_byte(&shard, len / 2).expect("flip body");
+    let report = verify_store(&dir).expect("verify runs");
+    assert_eq!(report.faults.len(), 1);
+    match &report.faults[0].error {
+        StoreError::Bin(BinIoError::Checksum { offset, .. }) => {
+            assert_eq!(*offset, (len - TRAILER_LEN) as u64, "offset names the failing check");
+        }
+        // The manifest digest check may fire first, which is equally
+        // typed — but the streaming CRC must be what names an offset.
+        StoreError::ShardCorrupt { shard, .. } => assert_eq!(*shard, 0),
+        other => panic!("body flip: expected a typed checksum fault, got {other}"),
+    }
+    std::fs::write(&shard, &pristine).expect("restore");
+
+    // Trailer flip: same typed rejection.
+    flip_file_byte(&shard, len - 1).expect("flip trailer");
+    let report = verify_store(&dir).expect("verify runs");
+    assert_eq!(report.faults.len(), 1, "trailer flip detected");
+    std::fs::write(&shard, &pristine).expect("restore");
+
+    // Header flip (inside the section table): the *open* path itself
+    // refuses via the header CRC — zero-copy never trusts an unverified
+    // header — and the shard is quarantined, not fatal.
+    flip_file_byte(&shard, 50).expect("flip header");
+    mmap_open(true);
+    std::fs::write(&shard, &pristine).expect("restore");
+    mmap_open(false);
+
+    // Truncated map: the file no longer matches the manifest's committed
+    // byte length, refused before any section is handed out.
+    std::fs::write(&shard, &pristine[..len / 2]).expect("truncate");
+    mmap_open(true);
+    std::fs::write(&shard, &pristine).expect("restore");
+
+    // Misaligned map: re-point section 0 at an offset that is not
+    // 64-byte aligned and re-seal the header CRC so *only* the alignment
+    // check can object. ARENA_FIXED_HEADER is 48; the section table's
+    // first entry is its offset at byte 48.
+    let mut warped = pristine.clone();
+    let off = u64::from_le_bytes(warped[48..56].try_into().expect("8 bytes"));
+    warped[48..56].copy_from_slice(&(off + 8).to_le_bytes());
+    let table_end = (1usize..1024)
+        .find(|&e| {
+            // Recover the header-CRC position: fixed header + (targets+1)
+            // section entries; scanning is cheap and avoids hardcoding
+            // the target count.
+            let end = 48 + e * 16;
+            end + 4 <= pristine.len()
+                && crc32(&pristine[..end])
+                    == u32::from_le_bytes(pristine[end..end + 4].try_into().expect("4 bytes"))
+        })
+        .map(|e| 48 + e * 16)
+        .expect("header CRC located");
+    let seal = crc32(&warped[..table_end]);
+    warped[table_end..table_end + 4].copy_from_slice(&seal.to_le_bytes());
+    std::fs::write(&shard, &warped).expect("write misaligned");
+    mmap_open(true);
+    std::fs::write(&shard, &pristine).expect("restore");
+    mmap_open(false);
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

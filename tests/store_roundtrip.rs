@@ -95,7 +95,8 @@ fn pack_killed_at_every_boundary_recovers_to_a_whole_generation() {
 
     let mut ops = 0u64;
     let completed = loop {
-        let options = PackOptions { shards: 4, kill_after_ops: Some(ops) };
+        let options =
+            PackOptions { shards: 4, kill_after_ops: Some(ops), ..Default::default() };
         match pack_store(&index, &dir, &options) {
             Err(StoreError::Killed { .. }) => {
                 // The torn commit must be invisible: the store still
@@ -393,7 +394,8 @@ proptest! {
             .expect("gen 1");
         let baseline = tind_core::persist::encode_index(&index);
 
-        let options = PackOptions { shards, kill_after_ops: Some(kill_after) };
+        let options =
+            PackOptions { shards, kill_after_ops: Some(kill_after), ..Default::default() };
         match pack_store(&index, &dir, &options) {
             Err(StoreError::Killed { .. }) | Ok(_) => {}
             Err(other) => prop_assert!(false, "unexpected error {other}"),
