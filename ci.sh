@@ -46,6 +46,9 @@ if cargo metadata --format-version 1 >/dev/null 2>&1; then
     # Serve smoke: boot the query daemon, hit it over TCP, SIGINT-drain
     # it, and schema-verify the report it flushes on the way down.
     devtools/serve-smoke.sh target/release/tind target
+    # Trace smoke: force-sample a /search trace, export it through
+    # /debug/trace, and render + checksum-verify it with the CLI.
+    devtools/trace-smoke.sh target/release/tind target
     # Store smoke: pack a sharded store, recover from simulated crash
     # debris, corrupt a shard, serve degraded, repair, promote.
     devtools/store-smoke.sh target/release/tind target

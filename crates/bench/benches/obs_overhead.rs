@@ -75,6 +75,33 @@ fn sweep_instrumented(dataset: &Dataset, queries: &[u32], params: &TindParams) -
     valid
 }
 
+/// The same sweep with a *live* trace context — the request-tracing hot
+/// path a forced-sample `/search` pays: one bounded-ring write per query
+/// span on top of the span/metric instrumentation, no allocation. Ring
+/// overflow degrades to a dropped-event count, so long sweeps stay O(1)
+/// per record either way.
+fn sweep_traced(dataset: &Dataset, queries: &[u32], params: &TindParams) -> usize {
+    use tind_obs::trace;
+    let timeline = dataset.timeline();
+    let candidates_hist = tind_obs::histogram("bench.candidates_validated");
+    let validations = tind_obs::counter("bench.validations");
+    let root = trace::alloc_context();
+    let mut scratch = ValidationScratch::new();
+    let mut valid = 0usize;
+    for &qid in queries {
+        let _span = tind_obs::span("bench.validate.query");
+        let _trace = trace::TraceSpan::start(Some(root), "bench.validate.query");
+        let table = scratch.weight_table(&params.weights, timeline);
+        let plan = QueryPlan::with_table(dataset.attribute(qid), params, timeline, table);
+        for aid in 0..dataset.len() as u32 {
+            valid += usize::from(plan.validate(dataset.attribute(aid), &mut scratch));
+        }
+        validations.add(dataset.len() as u64);
+        candidates_hist.record(dataset.len() as u64);
+    }
+    valid
+}
+
 /// Mean time per sweep, repeating until at least [`MIN_MEASURE`] has been
 /// accumulated.
 fn measure(mut sweep: impl FnMut() -> usize) -> Duration {
@@ -115,21 +142,26 @@ fn main() {
     let validate_phase = tind_obs::span("phase.validate");
     let expected = sweep_plain(&dataset, &queries, &params);
     assert_eq!(expected, sweep_instrumented(&dataset, &queries, &params), "sweeps must agree");
+    assert_eq!(expected, sweep_traced(&dataset, &queries, &params), "traced sweep must agree");
 
-    let (mut best_plain, mut best_obs) = (Duration::MAX, Duration::MAX);
+    let (mut best_plain, mut best_obs, mut best_traced) =
+        (Duration::MAX, Duration::MAX, Duration::MAX);
     for _ in 0..5 {
         best_plain = best_plain.min(measure(|| sweep_plain(&dataset, &queries, &params)));
         best_obs = best_obs.min(measure(|| sweep_instrumented(&dataset, &queries, &params)));
+        best_traced = best_traced.min(measure(|| sweep_traced(&dataset, &queries, &params)));
     }
     drop(validate_phase);
 
     let plain_ns = best_plain.as_nanos().max(1) as f64;
     let overhead_pct = 100.0 * (best_obs.as_nanos() as f64 - plain_ns) / plain_ns;
+    let traced_pct = 100.0 * (best_traced.as_nanos() as f64 - plain_ns) / plain_ns;
     println!(
-        "obs_overhead: {attrs} attrs, {} queries/sweep — plain {}, instrumented {}, overhead {overhead_pct:+.2}%",
+        "obs_overhead: {attrs} attrs, {} queries/sweep — plain {}, instrumented {} ({overhead_pct:+.2}%), traced {} ({traced_pct:+.2}%)",
         queries.len(),
         tind_obs::fmt_duration_ns(best_plain.as_nanos() as u64),
         tind_obs::fmt_duration_ns(best_obs.as_nanos() as u64),
+        tind_obs::fmt_duration_ns(best_traced.as_nanos() as u64),
     );
     // The 2% bound is an optimized-build property: without -O (the offline
     // shim harness smoke-runs this unoptimized at reduced scale) the
@@ -140,6 +172,11 @@ fn main() {
         overhead_pct < tolerance,
         "per-query span+metric instrumentation must stay under {tolerance}% of the validate \
          kernel (measured {overhead_pct:+.2}%)"
+    );
+    assert!(
+        traced_pct < tolerance,
+        "live request tracing must stay under {tolerance}% of the validate kernel \
+         (measured {traced_pct:+.2}%)"
     );
 
     let out = std::env::var("TIND_BENCH_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());

@@ -114,7 +114,7 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         "search" => {
             vec![
                 "data", "query", "limit", "index", "store", "batch", "threads", "build-threads",
-                "report",
+                "report", "trace",
             ]
         }
         "reverse-search" => {
@@ -129,7 +129,8 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "data", "store", "host", "port", "port-file", "workers", "readers", "queue",
             "coalesce", "deadline-ms", "max-deadline-ms", "read-timeout-ms", "write-timeout-ms",
             "max-body-bytes", "memory-limit", "drain-grace-ms", "reverify-ms", "cache",
-            "plan-cache", "store-backing", "build-threads", "report", "quiet",
+            "plan-cache", "store-backing", "trace-last", "metrics-tick-ms", "build-threads",
+            "report", "quiet",
         ],
         "store" => vec![
             "data", "index", "out", "store", "shards", "m", "reverse", "format", "build-threads",
@@ -137,8 +138,9 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         ],
         "all-pairs" => vec![
             "data", "threads", "checkpoint", "checkpoint-every", "deadline", "memory-limit",
-            "resume", "quiet", "progress", "build-threads", "report",
+            "resume", "quiet", "progress", "build-threads", "report", "trace",
         ],
+        "trace" => vec!["file", "diff", "chrome"],
         "verify" => vec!["file", "data", "schema", "quarantine", "report"],
         "pipeline" => vec!["dump", "timeline", "out", "demo", "attributes", "seed"],
         "ingest" => vec![
@@ -220,6 +222,7 @@ fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
         "store" => cmd_store(args),
         "all-pairs" => cmd_all_pairs(args),
         "verify" => cmd_verify(args),
+        "trace" => cmd_trace(args),
         "pipeline" => cmd_pipeline(args),
         "ingest" => cmd_ingest(args),
         "update" => cmd_update(args),
@@ -447,6 +450,10 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
     let dataset = load_dataset(args)?;
     let params = parse_params(args, &dataset)?;
     let limit = args.opt_or("limit", 20usize)?;
+    // `--trace FILE` writes a TINDTF timeline of the run. Reverse search
+    // has no batch kernel seam to trace, so the option is forward-only.
+    let trace_out: Option<PathBuf> =
+        if reverse { None } else { args.opt::<String>("trace")?.map(Into::into) };
     let batch = if reverse { None } else { args.opt::<String>("batch")? };
     if batch.is_some() && args.opt::<String>("query")?.is_some() {
         return Err(CliError::Args(ArgError::Conflict { a: "batch", b: "query" }));
@@ -474,13 +481,28 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
         for &qid in &queries {
             reject_masked_query(&index, &dataset, qid)?;
         }
-        let options =
-            BatchOptions { threads: args.opt_or("threads", 0usize)?, ..BatchOptions::default() };
+        let root = trace_out.as_ref().map(|_| tind_obs::trace::alloc_context());
+        let options = BatchOptions {
+            threads: args.opt_or("threads", 0usize)?,
+            trace: root,
+            ..BatchOptions::default()
+        };
         let phase = tind_obs::span("phase.search");
         let start = std::time::Instant::now();
+        let trace_start = tind_obs::trace::now_ns();
         let outcome = index.search_batch_with(&queries, &params, &options);
         let elapsed = start.elapsed();
         drop(phase);
+        if let (Some(path), Some(root)) = (&trace_out, root) {
+            tind_obs::trace::record_span(
+                root,
+                0,
+                "cli.search",
+                trace_start,
+                elapsed.as_nanos() as u64,
+            );
+            write_trace_file(path, root)?;
+        }
 
         let mut out = String::new();
         let _ = writeln!(
@@ -537,10 +559,36 @@ fn cmd_search(args: &Args, reverse: bool) -> Result<String, CliError> {
     };
     let phase = tind_obs::span("phase.search");
     let start = std::time::Instant::now();
-    let outcome =
-        if reverse { index.reverse_search(query, &params) } else { index.search(query, &params) };
+    let trace_start = tind_obs::trace::now_ns();
+    let root = trace_out.as_ref().map(|_| tind_obs::trace::alloc_context());
+    let outcome = if reverse {
+        index.reverse_search(query, &params)
+    } else if let Some(root) = root {
+        // Traced: route the single query through a size-1 batch — the
+        // batch path carries the trace seam, and its results are pinned
+        // byte-identical to per-query search by the core equivalence
+        // tests.
+        let mut batch = index.search_batch_with(
+            &[query],
+            &params,
+            &BatchOptions { threads: 1, trace: Some(root), ..BatchOptions::default() },
+        );
+        batch.outcomes.pop().flatten().ok_or_else(|| {
+            CliError::Message(
+                "internal: traced search skipped its query although no \
+                 cancellation was configured"
+                    .into(),
+            )
+        })?
+    } else {
+        index.search(query, &params)
+    };
     let elapsed = start.elapsed();
     drop(phase);
+    if let (Some(path), Some(root)) = (&trace_out, root) {
+        tind_obs::trace::record_span(root, 0, "cli.search", trace_start, elapsed.as_nanos() as u64);
+        write_trace_file(path, root)?;
+    }
 
     let mut out = String::new();
     let direction = if reverse { "⊇" } else { "⊆" };
@@ -662,6 +710,8 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
         args.switch("quiet"),
         args.opt_or("progress", (dataset.len() / 10).max(1))?,
     );
+    let trace_out: Option<PathBuf> = args.opt::<String>("trace")?.map(Into::into);
+    let root = trace_out.as_ref().map(|_| tind_obs::trace::alloc_context());
     let options = AllPairsOptions {
         threads,
         checkpoint: checkpoint_path
@@ -672,11 +722,23 @@ fn cmd_all_pairs(args: &Args) -> Result<String, CliError> {
         deadline: deadline_secs.map(Duration::from_secs_f64),
         memory_budget: memory_limit.map(MemoryBudget::new),
         progress_every: reporter.every(),
+        trace: root,
         fault_hook: None,
     };
     let discover_phase = tind_obs::span("phase.discover");
+    let trace_start = tind_obs::trace::now_ns();
     let outcome = discover_all_pairs(&index, &params, &options)?;
     drop(discover_phase);
+    if let (Some(path), Some(root)) = (&trace_out, root) {
+        tind_obs::trace::record_span(
+            root,
+            0,
+            "cli.all_pairs",
+            trace_start,
+            tind_obs::trace::now_ns().saturating_sub(trace_start),
+        );
+        write_trace_file(path, root)?;
+    }
 
     if outcome.cancelled {
         let checkpoint_note = match (&checkpoint_path, outcome.checkpoint_written) {
@@ -754,6 +816,9 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
     }
     if bytes.starts_with(tind_obs::REPORT_PREFIX.as_bytes()) {
         return verify_run_report(args, &path, &bytes, size);
+    }
+    if bytes.starts_with(tind_obs::TRACE_PREFIX.as_bytes()) {
+        return verify_trace_file(&path, &bytes, size);
     }
     let kind = &bytes[..7];
     let detail = if kind == &tind_model::binio::MAGIC[..7] {
@@ -982,6 +1047,234 @@ fn verify_run_report(
     }
 
     Ok(format!("OK {} ({size} bytes)\n{detail}\n", path.display()))
+}
+
+/// `tind verify` on a `TINDTF` trace file (or one line of a multi-trace
+/// export): checks the CRC envelope of every line and summarizes the
+/// first trace. Corruption is refused with the failing byte offset.
+fn verify_trace_file(
+    path: &std::path::Path,
+    bytes: &[u8],
+    size: usize,
+) -> Result<String, CliError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| CliError::Data(BinIoError::Corrupt(format!("trace file is not UTF-8: {e}"))))?;
+    let mut first: Option<tind_obs::ParsedTrace> = None;
+    let mut lines = 0usize;
+    let mut offset = 0usize;
+    for line in text.lines() {
+        if !line.trim().is_empty() {
+            let payload = tind_obs::verify_trace(line).map_err(|e| {
+                CliError::Data(BinIoError::Corrupt(format!(
+                    "trace (line starting at byte offset {offset}): {e}"
+                )))
+            })?;
+            let parsed = tind_obs::ParsedTrace::from_payload(&payload)
+                .map_err(|e| CliError::Data(BinIoError::Corrupt(format!("trace: {e}"))))?;
+            lines += 1;
+            first.get_or_insert(parsed);
+        }
+        offset += line.len() + 1;
+    }
+    let Some(trace) = first else {
+        return Err(CliError::Data(BinIoError::Corrupt("trace file holds no traces".into())));
+    };
+    let spans = trace.events.iter().filter(|e| e.kind == "span").count();
+    let links = trace.events.len() - spans;
+    let mut detail = format!(
+        "trace: {} — {spans} span(s), {links} link(s), {} dropped",
+        trace.trace_id, trace.dropped,
+    );
+    if let Some(cov) = trace.coverage() {
+        let _ = write!(detail, ", coverage {:.0}%", cov * 100.0);
+    }
+    if lines > 1 {
+        let _ = write!(detail, " (+{} more trace(s) verified)", lines - 1);
+    }
+    Ok(format!("OK {} ({size} bytes)\n{detail}\n", path.display()))
+}
+
+/// Collect `root`'s trace from the rings and write it as a one-line
+/// checksummed `TINDTF` file.
+fn write_trace_file(path: &std::path::Path, root: tind_obs::TraceContext) -> Result<(), CliError> {
+    let snapshot = tind_obs::collect_trace(root, &[]);
+    std::fs::write(path, snapshot.to_json())?;
+    Ok(())
+}
+
+/// Reads a `TINDTF` file (first trace of a multi-trace export).
+fn read_trace_file(path: &std::path::Path) -> Result<tind_obs::ParsedTrace, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let line = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| CliError::Data(BinIoError::Corrupt("trace file holds no traces".into())))?;
+    let payload = tind_obs::verify_trace(line)
+        .map_err(|e| CliError::Data(BinIoError::Corrupt(format!("trace: {e}"))))?;
+    tind_obs::ParsedTrace::from_payload(&payload)
+        .map_err(|e| CliError::Data(BinIoError::Corrupt(format!("trace: {e}"))))
+}
+
+/// `tind trace FILE`: renders a `TINDTF` trace as a per-stage waterfall;
+/// `--chrome OUT` additionally exports Chrome `trace_event` JSON, and
+/// `--diff FILE2` compares per-stage totals between two traces.
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let _phase = tind_obs::span("phase.trace");
+    let path: PathBuf = match args.positional().first() {
+        Some(p) => p.clone().into(),
+        None => args.required::<String>("file")?.into(),
+    };
+    let trace = read_trace_file(&path)?;
+    let mut out = render_waterfall(&trace);
+
+    if let Some(chrome_path) = args.opt::<String>("chrome")? {
+        std::fs::write(&chrome_path, trace.to_chrome_json())?;
+        let _ = writeln!(out, "chrome trace_event JSON written to {chrome_path}");
+    }
+    if let Some(other_path) = args.opt::<String>("diff")? {
+        let other = read_trace_file(std::path::Path::new(&other_path))?;
+        out.push('\n');
+        out.push_str(&render_diff(&trace, &other, &path, std::path::Path::new(&other_path)));
+    }
+    Ok(out)
+}
+
+/// Per-stage waterfall of one trace: each span on its own line, indented
+/// by parent depth, with a bar positioned against the root interval.
+fn render_waterfall(trace: &tind_obs::ParsedTrace) -> String {
+    use std::collections::HashMap;
+    const BAR: usize = 40;
+
+    let spans: Vec<&tind_obs::ParsedEvent> =
+        trace.events.iter().filter(|e| e.kind == "span").collect();
+    let links = trace.events.len() - spans.len();
+    let mut out = format!(
+        "trace {} — {} span(s), {links} link(s)",
+        trace.trace_id,
+        spans.len(),
+    );
+    if let Some(cov) = trace.coverage() {
+        let _ = write!(out, ", coverage {:.0}% of root", cov * 100.0);
+    }
+    out.push('\n');
+    if trace.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} event(s) dropped to ring overflow — this trace may be incomplete",
+            trace.dropped,
+        );
+    }
+    let missing = trace.missing_parents();
+    if missing > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {missing} event(s) reference spans recorded nowhere — \
+             parent edges or link targets are missing",
+        );
+    }
+    if spans.is_empty() {
+        out.push_str("(no spans recorded — was the producer built with obs-off?)\n");
+        return out;
+    }
+
+    // Scale bars to the full recorded interval (root included).
+    let lo = spans.iter().map(|e| e.start_ns).min().unwrap_or(0);
+    let hi = spans.iter().map(|e| e.start_ns + e.dur_ns).max().unwrap_or(lo + 1);
+    let total = (hi - lo).max(1);
+
+    // Depth via parent edges, memoized; unknown parents sit at depth 0.
+    let by_id: HashMap<&str, &tind_obs::ParsedEvent> =
+        spans.iter().map(|e| (e.span.as_str(), *e)).collect();
+    fn depth_of(
+        id: &str,
+        by_id: &HashMap<&str, &tind_obs::ParsedEvent>,
+        memo: &mut HashMap<String, usize>,
+        hops: usize,
+    ) -> usize {
+        if hops > 64 {
+            return 0; // cycle guard — corrupt parent edges must not hang
+        }
+        if let Some(d) = memo.get(id) {
+            return *d;
+        }
+        let d = match by_id.get(id) {
+            Some(e) if e.parent != "0x0" && by_id.contains_key(e.parent.as_str()) => {
+                1 + depth_of(&e.parent, by_id, memo, hops + 1)
+            }
+            _ => 0,
+        };
+        memo.insert(id.to_string(), d);
+        d
+    }
+    let mut memo = HashMap::new();
+
+    let mut rows: Vec<(&tind_obs::ParsedEvent, usize)> = spans
+        .iter()
+        .map(|e| {
+            let d = depth_of(&e.span, &by_id, &mut memo, 0);
+            (*e, d)
+        })
+        .collect();
+    rows.sort_by_key(|(e, _)| (e.start_ns, e.span.clone()));
+
+    for (e, depth) in rows {
+        let from = ((e.start_ns - lo) as u128 * BAR as u128 / total as u128) as usize;
+        let width =
+            ((e.dur_ns as u128 * BAR as u128).div_ceil(total as u128) as usize).clamp(1, BAR);
+        let from = from.min(BAR - 1);
+        let width = width.min(BAR - from);
+        let mut bar = String::with_capacity(BAR);
+        bar.extend(std::iter::repeat_n(' ', from));
+        bar.extend(std::iter::repeat_n('#', width));
+        bar.extend(std::iter::repeat_n(' ', BAR - from - width));
+        let _ = writeln!(
+            out,
+            "  [{bar}] {:indent$}{} {} (tid {})",
+            "",
+            e.name,
+            tind_obs::fmt_duration_ns(e.dur_ns),
+            e.tid,
+            indent = depth * 2,
+        );
+    }
+    out
+}
+
+/// Aggregate per-stage comparison of two traces: for every span name in
+/// either, total duration and count side by side with the delta.
+fn render_diff(
+    a: &tind_obs::ParsedTrace,
+    b: &tind_obs::ParsedTrace,
+    a_path: &std::path::Path,
+    b_path: &std::path::Path,
+) -> String {
+    use std::collections::BTreeMap;
+    fn totals(t: &tind_obs::ParsedTrace) -> BTreeMap<String, (u64, u64)> {
+        let mut m: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for e in t.events.iter().filter(|e| e.kind == "span") {
+            let entry = m.entry(e.name.clone()).or_insert((0, 0));
+            entry.0 += e.dur_ns;
+            entry.1 += 1;
+        }
+        m
+    }
+    let (ta, tb) = (totals(a), totals(b));
+    let mut out = format!("diff {} → {}\n", a_path.display(), b_path.display());
+    let names: std::collections::BTreeSet<&String> = ta.keys().chain(tb.keys()).collect();
+    for name in names {
+        let (da, ca) = ta.get(name).copied().unwrap_or((0, 0));
+        let (db, cb) = tb.get(name).copied().unwrap_or((0, 0));
+        let delta = db as i128 - da as i128;
+        let sign = if delta >= 0 { "+" } else { "-" };
+        let _ = writeln!(
+            out,
+            "  {name}: {} ({ca}×) → {} ({cb}×)  {sign}{}",
+            tind_obs::fmt_duration_ns(da),
+            tind_obs::fmt_duration_ns(db),
+            tind_obs::fmt_duration_ns(delta.unsigned_abs() as u64),
+        );
+    }
+    out
 }
 
 fn cmd_top_k(args: &Args) -> Result<String, CliError> {
@@ -1879,6 +2172,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     config.cache = args.opt_or("cache", config.cache)?;
     config.plan_cache = args.opt_or("plan-cache", config.plan_cache)?;
     config.store_backing = store_backing(args)?;
+    config.trace_last = args.opt_or("trace-last", config.trace_last)?;
+    config.metrics_tick = Duration::from_millis(
+        args.opt_or("metrics-tick-ms", config.metrics_tick.as_millis() as u64)?,
+    );
     let store: Option<PathBuf> = args.opt::<String>("store")?.map(Into::into);
     // Windowed shard sections are charged to (and evicted under) the
     // same budget the admission controller uses, so `--memory-limit`
@@ -1947,7 +2244,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         )
         .map_err(CliError::Message)?;
 
-    let summary = format!(
+    let mut summary = format!(
         "served {} requests ({} ok, {} errors, {} shed, {} panics quarantined, \
          {} deadline timeouts; {} waves, {} coalesced) in {}; drain {}",
         outcome.requests,
@@ -1961,6 +2258,27 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         tind_obs::fmt_duration_ns(started.elapsed().as_nanos() as u64),
         if outcome.drained_clean { "clean" } else { "forced after grace period" },
     );
+    // Per-endpoint latency attribution: where answered requests spent
+    // their time (queue wait / wave formation / execution), as quantiles
+    // over the whole run.
+    for endpoint in ["search", "reverse_search", "explain"] {
+        let stage = |which: &str| format!("serve.latency.{endpoint}.{which}_ns");
+        let exec = tind_obs::histogram(&stage("exec"));
+        if exec.count() == 0 {
+            continue;
+        }
+        let _ = write!(summary, "\n  {endpoint}:");
+        for which in ["queued", "coalesced", "exec"] {
+            let h = tind_obs::histogram(&stage(which));
+            let _ = write!(
+                summary,
+                " {which} p50/p90/p99 {}/{}/{}",
+                tind_obs::fmt_duration_ns(h.quantile(0.50)),
+                tind_obs::fmt_duration_ns(h.quantile(0.90)),
+                tind_obs::fmt_duration_ns(h.quantile(0.99)),
+            );
+        }
+    }
     // `run` only returns after the shutdown token tripped, so a serve
     // run always "ends interrupted" — exit 130, like every other
     // gracefully-stopped long-running command. `--report` still flushes

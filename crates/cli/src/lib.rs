@@ -48,6 +48,8 @@ COMMANDS:
                       [--build-threads T=0]  index build workers (0 = all cores;
                                         output is identical at any count)
                       [--report FILE]   write a TINDRR run report (see below)
+                      [--trace FILE]    write a TINDTF trace of the query's
+                                        stage 1–4 timeline (render: tind trace)
   reverse-search    reverse tIND search (who is contained in the query)
                       same options as search
   partial-search    σ-partial tIND search (future-work extension: only a
@@ -68,6 +70,7 @@ COMMANDS:
                       [--quiet]              suppress periodic progress lines
                       [--progress N]         progress line every N queries
                       [--report FILE]        write a TINDRR run report
+                      [--trace FILE]         write a TINDTF trace of the run
                     (Ctrl-C checkpoints and exits 130; resumed runs produce
                     byte-identical results)
   verify            check a persisted artifact's magic and checksum
@@ -77,6 +80,7 @@ COMMANDS:
                                              TINDRR run-report file
                       <DIR>                  a store directory: verifies the
                                              manifest and every shard digest
+                                             (TINDTF trace files verify too)
                       [--schema FILE]        validate a run report against a
                                              JSON schema (devtools/report-schema.json)
                       [--quarantine FILE]    cross-check a run report's
@@ -129,11 +133,18 @@ COMMANDS:
                                            how --store shards back the index:
                                            mmap borrows zero-copy, windowed preads
                                            sections on demand under --memory-limit
+                      [--trace-last N=4]   tail-sample N slowest + N most recent
+                                           request traces for GET /debug/trace
+                                           (0 = retain none)
+                      [--metrics-tick-ms MS=1000]  metrics-history snapshot
+                                           period (0 = off); GET /metrics/history
                       [--quiet] [--report FILE]
-                    (POST /search /reverse-search /explain, GET /healthz /metrics;
-                    overload sheds with 429 + retry_after_ms, deadlines return 504,
-                    panics are quarantined as 500; SIGINT/SIGTERM drains, flushes
-                    --report, and exits 130)
+                    (POST /search /reverse-search /explain, GET /healthz /metrics
+                    /metrics/history /debug/trace?last=N&format=json|tindtf;
+                    request header `X-Tind-Trace: 1` force-samples a trace and
+                    returns its id in X-Tind-Trace-Id; overload sheds with 429 +
+                    retry_after_ms, deadlines return 504, panics are quarantined
+                    as 500; SIGINT/SIGTERM drains, flushes --report, and exits 130)
   pipeline          run the wiki extraction pipeline
                       --demo [--attributes N=200] [--seed S]
                       --dump FILE [--timeline N=6148] [--out FILE]
@@ -166,6 +177,13 @@ COMMANDS:
                     (delta pages carry the FULL revision history of changed or
                     new pages; Ctrl-C checkpoints (TINDUC) and exits 130;
                     kill/resume is byte-identical)
+  trace             render a TINDTF trace file as a span waterfall
+                      <FILE> (or --file FILE)
+                      [--chrome OUT]  export Chrome trace_event JSON
+                                      (load in chrome://tracing or Perfetto)
+                      [--diff FILE2]  per-span-name duration comparison
+                    (produce traces with search/all-pairs --trace FILE, or from
+                    a daemon via GET /debug/trace?format=tindtf)
   experiment        run a paper experiment (or 'all')
                       <id|all> [--scale quick|standard|full] [--seed S]
                       [--threads T] [--attributes N] [--queries Q] [--csv-dir DIR]
@@ -177,6 +195,9 @@ OBSERVABILITY:
   report (magic TINDRR1): phase timings, span aggregates, and the full
   metrics registry. `tind verify report.json --schema devtools/report-schema.json`
   checks it; DESIGN.md §Observability documents the span and metric names.
+  Commands accepting --trace FILE write a checksummed TINDTF trace of the
+  request timeline; `tind trace FILE` renders it, `tind verify FILE`
+  checks it, and `tind trace FILE --chrome OUT` exports Chrome JSON.
 
 EXIT CODES:
   0 ok · 1 error · 2 bad usage · 3 corrupt or mismatched data · 4 i/o

@@ -187,3 +187,73 @@ fn sigterm_is_honoured_like_sigint() {
     assert_eq!(exit.code(), Some(130), "serve must exit 130 on SIGTERM");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `--trace` → `verify` → `trace` round-trip against the real binary:
+/// each invocation is its own process, so the trace file must carry the
+/// full story across process boundaries.
+#[test]
+fn search_trace_roundtrips_through_verify_and_render() {
+    let Some(bin) = tind_bin() else {
+        eprintln!("skipped: no tind binary (set TIND_BIN)");
+        return;
+    };
+    let dir = scratch("trace");
+    let data = generate_dataset(&bin, &dir);
+    let trace = dir.join("query.tindtf");
+
+    let run = |args: &[&std::ffi::OsStr]| -> (bool, String) {
+        let out = Command::new(&bin).args(args).output().expect("run tind");
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.status.success(), text)
+    };
+    let os = |s: &str| -> std::ffi::OsString { s.into() };
+
+    // A traced search writes the TINDTF file and answers normally.
+    let args: Vec<std::ffi::OsString> = vec![
+        os("search"), os("--data"), data.clone().into(), os("--query"), os("source-1"),
+        os("--trace"), trace.clone().into(),
+    ];
+    let (ok, out) = run(&args.iter().map(AsRef::as_ref).collect::<Vec<_>>());
+    assert!(ok, "traced search failed: {out}");
+    assert!(trace.is_file(), "trace file written");
+
+    // `tind verify` sniffs the TINDTF envelope and summarizes it.
+    let args: Vec<std::ffi::OsString> = vec![os("verify"), trace.clone().into()];
+    let (ok, out) = run(&args.iter().map(AsRef::as_ref).collect::<Vec<_>>());
+    assert!(ok, "verify failed: {out}");
+    assert!(out.contains("trace:"), "{out}");
+    assert!(out.contains("coverage"), "{out}");
+
+    // `tind trace` renders a waterfall with the stage spans.
+    let args: Vec<std::ffi::OsString> = vec![os("trace"), trace.clone().into()];
+    let (ok, out) = run(&args.iter().map(AsRef::as_ref).collect::<Vec<_>>());
+    assert!(ok, "render failed: {out}");
+    assert!(out.contains("cli.search"), "root span rendered: {out}");
+    assert!(out.contains("core.search"), "stage spans rendered: {out}");
+
+    // Chrome export + self-diff exercise the remaining verbs.
+    let chrome = dir.join("chrome.json");
+    let args: Vec<std::ffi::OsString> = vec![
+        os("trace"), trace.clone().into(), os("--chrome"), chrome.clone().into(),
+        os("--diff"), trace.clone().into(),
+    ];
+    let (ok, out) = run(&args.iter().map(AsRef::as_ref).collect::<Vec<_>>());
+    assert!(ok, "chrome/diff failed: {out}");
+    let chrome_text = std::fs::read_to_string(&chrome).expect("chrome file");
+    assert!(chrome_text.contains("\"ph\":\"X\""), "{chrome_text}");
+
+    // A corrupted trace is refused with the failing byte offset named.
+    let mut bytes = std::fs::read(&trace).expect("read trace");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&trace, &bytes).expect("corrupt trace");
+    let args: Vec<std::ffi::OsString> = vec![os("verify"), trace.clone().into()];
+    let (ok, out) = run(&args.iter().map(AsRef::as_ref).collect::<Vec<_>>());
+    assert!(!ok, "corrupt trace must be refused");
+    assert!(out.contains("byte offset"), "refusal names the offset: {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -122,6 +122,9 @@ pub struct AllPairsOptions {
     /// Test-only fault injection: invoked with each query id right before
     /// its search (see [`crate::fault`]).
     pub fault_hook: Option<FaultHook>,
+    /// Optional trace context: each query's search records per-stage
+    /// trace spans parented to it. Purely observational.
+    pub trace: Option<tind_obs::TraceContext>,
 }
 
 impl std::fmt::Debug for AllPairsOptions {
@@ -135,6 +138,7 @@ impl std::fmt::Debug for AllPairsOptions {
             .field("memory_budget", &self.memory_budget)
             .field("progress_every", &self.progress_every)
             .field("fault_hook", &self.fault_hook.is_some())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -386,6 +390,7 @@ pub fn discover_all_pairs(
                             params,
                             &search_options,
                             &mut scratch,
+                            options.trace,
                         )
                     }));
 

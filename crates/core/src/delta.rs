@@ -430,6 +430,7 @@ fn run_restricted(
         candidates,
         scratch,
         None,
+        None,
     );
     record_search_metrics(&outcome.stats);
     outcome.results

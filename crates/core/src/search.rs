@@ -171,6 +171,11 @@ pub struct BatchOptions {
     /// repeat `(query, parameters)` pairs. Results and statistics are
     /// identical with or without one attached.
     pub plans: Option<Arc<dyn PlanSource>>,
+    /// Optional trace context: when set, the batched stage-1 pass and
+    /// each query's stage 2–4 kernels record trace spans parented to it
+    /// (the serve daemon passes its coalesced-wave span here). Purely
+    /// observational — results and statistics are identical either way.
+    pub trace: Option<tind_obs::TraceContext>,
     /// Per-query stage toggles, applied to every query of the batch.
     pub search: SearchOptions,
 }
@@ -182,6 +187,7 @@ impl std::fmt::Debug for BatchOptions {
             .field("cancel", &self.cancel)
             .field("memory_budget", &self.memory_budget)
             .field("plans", &self.plans.is_some())
+            .field("trace", &self.trace)
             .field("search", &self.search)
             .finish()
     }
@@ -219,7 +225,7 @@ pub(crate) fn run_search_with(
     options: &SearchOptions,
 ) -> SearchOutcome {
     let mut scratch = ValidationScratch::new();
-    run_search_scratch(index, q, exclude, params, options, &mut scratch)
+    run_search_scratch(index, q, exclude, params, options, &mut scratch, None)
 }
 
 /// [`run_search_with`] against a caller-owned [`ValidationScratch`] — the
@@ -232,8 +238,11 @@ pub(crate) fn run_search_scratch(
     params: &TindParams,
     options: &SearchOptions,
     scratch: &mut ValidationScratch,
+    trace: Option<tind_obs::TraceContext>,
 ) -> SearchOutcome {
     let _query_span = tind_obs::span("core.search.query");
+    let query_trace = tind_obs::TraceSpan::start(trace, "core.search.query");
+    let trace = query_trace.child_ctx();
     let timeline = index.dataset().timeline();
     let mut candidates = initial_candidates(index, exclude);
 
@@ -241,11 +250,12 @@ pub(crate) fn run_search_scratch(
     let required = required_values(q, params, timeline);
     if options.use_required_values && !required.is_empty() {
         let _s1 = tind_obs::span("core.search.stage1");
+        let _t1 = tind_obs::TraceSpan::start(trace, "core.search.stage1");
         let qf = index.m_t().query_filter(&required);
         index.m_t().narrow_to_supersets(&qf, &mut candidates);
     }
 
-    finish_search(index, q, exclude, params, options, &required, candidates, scratch, None)
+    finish_search(index, q, exclude, params, options, &required, candidates, scratch, None, trace)
 }
 
 /// The full candidate set before any pruning (minus the reflexive self,
@@ -281,6 +291,7 @@ pub(crate) fn finish_search(
     mut candidates: BitVec,
     scratch: &mut ValidationScratch,
     plans: Option<&dyn PlanSource>,
+    trace: Option<tind_obs::TraceContext>,
 ) -> SearchOutcome {
     let dataset = index.dataset();
     let timeline = dataset.timeline();
@@ -304,6 +315,7 @@ pub(crate) fn finish_search(
     stats.slices_used = options.use_time_slices && params.slices_usable(index.max_delta());
     if stats.slices_used && !candidates.is_zero() {
         let _s2 = tind_obs::span("core.search.stage2");
+        let _t2 = tind_obs::TraceSpan::start(trace, "core.search.stage2");
         let probe_threshold = (num_attrs / 64).max(8);
         let mut violations: FastMap<u32, f64> = FastMap::default();
         let mut scratch = BitVec::zeros(num_attrs);
@@ -371,6 +383,7 @@ pub(crate) fn finish_search(
     // expensive full validation (Algorithm 1, line 16).
     if options.use_exact_filter && !required.is_empty() {
         let _s3 = tind_obs::span("core.search.stage3");
+        let _t3 = tind_obs::TraceSpan::start(trace, "core.search.stage3");
         let survivors: Vec<usize> = candidates.iter_ones().collect();
         for c in survivors {
             if !tind_model::value::is_subset(&required, index.universe(c as u32)) {
@@ -385,9 +398,11 @@ pub(crate) fn finish_search(
     // scratch (and its cached weight table) persists across queries on the
     // same worker thread.
     let _s4 = tind_obs::span("core.search.stage4");
+    let t4 = tind_obs::TraceSpan::start(trace, "core.search.stage4");
     let started = std::time::Instant::now();
     let plan = {
         let _plan_span = tind_obs::span("core.validate.plan_build");
+        let _plan_trace = tind_obs::TraceSpan::start(t4.child_ctx(), "core.validate.plan_build");
         // Indexed queries (`exclude` carries the query's own id) can reuse
         // cached plan artifacts; external-history queries always build
         // fresh — there is no stable identity to key them by.
@@ -451,6 +466,8 @@ pub(crate) fn run_search_batch(
 
     // Batched stage 1.
     let batch_stage1 = tind_obs::span("core.search.batch_stage1");
+    let batch_stage1_trace =
+        tind_obs::TraceSpan::start(options.trace, "core.search.batch_stage1");
     let required: Vec<ValueSet> = queries
         .iter()
         .map(|&qid| required_values(dataset.attribute(qid), params, timeline))
@@ -465,6 +482,7 @@ pub(crate) fn run_search_batch(
             required.iter().map(|r| index.m_t().query_filter(r)).collect();
         index.m_t().narrow_batch_to_supersets(&filters, &mut candidates);
     }
+    drop(batch_stage1_trace);
     drop(batch_stage1);
 
     let requested = if options.threads == 0 {
@@ -499,6 +517,8 @@ pub(crate) fn run_search_batch(
             }
             let (required, candidates) =
                 slots[i].lock().input.take().expect("each slot is claimed exactly once");
+            let query_trace =
+                tind_obs::TraceSpan::start(options.trace, "core.search.query");
             let outcome = finish_search(
                 index,
                 dataset.attribute(queries[i]),
@@ -509,7 +529,9 @@ pub(crate) fn run_search_batch(
                 candidates,
                 &mut scratch,
                 options.plans.as_deref(),
+                query_trace.child_ctx(),
             );
+            drop(query_trace);
             slots[i].lock().outcome = Some(outcome);
         }
     };

@@ -6,8 +6,14 @@
 //!
 //! * [`span`] — hierarchical wall-time spans with allocation-free
 //!   enter/exit; per-thread ring buffers + aggregates, merged at run end.
+//! * [`trace`] — request-scoped tracing: explicit-parent interval events
+//!   under a propagated [`TraceContext`], per-thread bounded rings, and
+//!   the checksummed `TINDTF` / Chrome `trace_event` exporters.
 //! * [`metrics`] — named counters (sharded atomics), gauges, and
-//!   log2-bucket histograms behind an interning registry.
+//!   log2-bucket histograms (with p50/p90/p99 estimation) behind an
+//!   interning registry.
+//! * [`history`] — a fixed-size ring of periodic registry snapshots
+//!   (delta-encoded counters) for `GET /metrics/history` and TINDRR.
 //! * [`report`] — the `TINDRR` JSON artifact (`--report <path>`): phase
 //!   timings, span aggregates, metric values, CRC-32 checksum, plus a
 //!   schema-subset validator for `devtools/report-schema.json`.
@@ -28,9 +34,14 @@
 //! `serve.shed_queue`, `serve.shed_memory`, `serve.panics`,
 //! `serve.deadline_timeouts`, `serve.draining_rejects`, `serve.waves`,
 //! `serve.coalesced_requests` (counters), `serve.queue_depth` (gauge),
-//! and `serve.wave_size` / `serve.request_latency_ns` (histograms).
-//! [`metrics_value`] snapshots the registry in the exact JSON shape the
-//! `TINDRR` report embeds, which is also what `/metrics` serves.
+//! and `serve.wave_size` / `serve.request_latency_ns` plus the
+//! per-endpoint attribution split
+//! `serve.latency.{search,reverse_search,explain}.{queued,coalesced,exec}_ns`
+//! (histograms). The observability layer reports on itself through
+//! `obs.spans.dropped_total`, counting events lost to span- or
+//! trace-ring overflow. [`metrics_value`] snapshots the registry in the
+//! exact JSON shape the `TINDRR` report embeds, which is also what
+//! `/metrics` serves.
 //!
 //! Building with the `obs-off` feature compiles spans and metrics down to
 //! no-ops (zero-sized guards, inert shared metric handles); reports can
@@ -38,27 +49,34 @@
 //! (`crates/bench/benches/obs_overhead.rs`) asserts the enabled layer
 //! stays under 2% of stage-4 validation cost.
 
+pub mod history;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod reporter;
 pub mod span;
+pub mod trace;
 
+pub use history::{history_tick, history_value, set_history_capacity};
 pub use json::Value;
-pub use metrics::{counter, gauge, histogram, metrics_snapshot, Counter, Gauge, Histogram,
-    MetricSnapshot, MetricValue};
+pub use metrics::{counter, gauge, histogram, histogram_quantile, metrics_snapshot, Counter,
+    Gauge, Histogram, MetricSnapshot, MetricValue};
 pub use report::{crc32, metrics_value, validate_schema, verify_report, RunReport, REPORT_MAGIC,
     REPORT_PREFIX, SCHEMA_VERSION};
 pub use reporter::{fmt_duration_ns, fmt_eta_secs, fmt_pipeline, fmt_rate,
     fmt_validation_summary, Reporter};
 pub use span::{recent_spans, span, span_snapshot, SpanEvent, SpanGuard, SpanStats};
+pub use trace::{collect_trace, verify_trace, ParsedEvent, ParsedTrace, TraceContext,
+    TraceEvent, TraceEventKind, TraceSnapshot, TraceSpan, TRACE_MAGIC, TRACE_PREFIX};
 
-/// Clear all recorded spans and zero all metrics. Call once at the start
-/// of a run (the CLI does this in `dispatch`); `&'static` metric handles
-/// stay valid.
+/// Clear all recorded spans, trace events, metrics, and history ticks.
+/// Call once at the start of a run (the CLI does this in `dispatch`);
+/// `&'static` metric handles stay valid.
 pub fn reset() {
     span::reset_spans();
+    trace::reset_traces();
     metrics::reset_metrics();
+    history::reset_history();
 }
 
 /// Serializes tests that touch the process-global span/metric state.

@@ -213,6 +213,11 @@ mod enabled {
                 .collect()
         }
 
+        /// Estimated `q`-quantile (see [`super::histogram_quantile`]).
+        pub fn quantile(&self, q: f64) -> u64 {
+            super::histogram_quantile(&self.nonzero_buckets(), q)
+        }
+
         fn reset(&self) {
             for b in &self.buckets {
                 b.store(0, Ordering::Relaxed);
@@ -333,6 +338,50 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Smallest value a bucket with upper bound `bound` admits (the bound of
+/// the previous log2 bucket plus one).
+fn bucket_lower_bound(bound: u64) -> u64 {
+    if bound == 0 {
+        0
+    } else {
+        bound / 2 + 1
+    }
+}
+
+/// Estimate the `q`-quantile (0.0 ≤ q ≤ 1.0) of a log2-bucketed sample
+/// set given ascending `(upper_bound, count)` pairs, as produced by
+/// [`Histogram::nonzero_buckets`] or parsed back from a TINDRR report.
+///
+/// Nearest-rank selection locates the bucket; the value is then
+/// log-linearly interpolated between the bucket's lower and upper bound
+/// by the rank's position within it. Exact for single-value buckets
+/// (0 and 1), at most one octave off otherwise — plenty for the p50/p90/
+/// p99 latency attribution this feeds. Returns 0 for an empty histogram.
+pub fn histogram_quantile(buckets: &[(u64, u64)], q: f64) -> u64 {
+    let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Nearest-rank: the k-th smallest sample, 1-based.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for &(bound, n) in buckets {
+        if seen + n >= rank {
+            let lo = bucket_lower_bound(bound);
+            if bound <= lo || n == 0 {
+                return bound;
+            }
+            // Position of the rank inside this bucket, in (0, 1].
+            let frac = (rank - seen) as f64 / n as f64;
+            let est = lo as f64 + frac * (bound - lo) as f64;
+            return est.round().min(bound as f64) as u64;
+        }
+        seen += n;
+    }
+    buckets.last().map_or(0, |&(bound, _)| bound)
+}
+
 #[cfg(feature = "obs-off")]
 mod disabled {
     use super::{MetricSnapshot, COUNTER_SHARDS};
@@ -381,6 +430,9 @@ mod disabled {
         }
         pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
             Vec::new()
+        }
+        pub fn quantile(&self, _q: f64) -> u64 {
+            0
         }
     }
 
@@ -507,6 +559,39 @@ mod tests {
         assert!(buckets.contains(&(7, 1)));
         assert!(buckets.contains(&(1023, 1)));
         assert!(buckets.contains(&(u64::MAX, 1)));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let _g = crate::test_guard();
+        // Degenerate cases first: empty, and single-value buckets.
+        assert_eq!(histogram_quantile(&[], 0.5), 0);
+        assert_eq!(histogram_quantile(&[(0, 10)], 0.99), 0);
+        assert_eq!(histogram_quantile(&[(1, 4)], 0.5), 1);
+
+        // 100 samples in the [512, 1023] bucket: every quantile lands
+        // inside the bucket, ordered by rank.
+        let b = [(1023u64, 100u64)];
+        let p50 = histogram_quantile(&b, 0.50);
+        let p90 = histogram_quantile(&b, 0.90);
+        let p99 = histogram_quantile(&b, 0.99);
+        assert!((512..=1023).contains(&p50));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= 1023);
+
+        // Two buckets, 90 low + 10 high: p50 stays low, p99 lands high.
+        let b = [(15u64, 90u64), (1023u64, 10u64)];
+        assert!(histogram_quantile(&b, 0.50) <= 15);
+        assert!(histogram_quantile(&b, 0.99) >= 512);
+
+        // Live histogram agrees with the free function on its own buckets.
+        let h = histogram("test.metrics.quantile");
+        for v in [1u64, 2, 4, 8, 16, 700, 700, 700, 700, 70_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), histogram_quantile(&h.nonzero_buckets(), 0.5));
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+        assert!(h.quantile(1.0) >= 65_536, "max quantile reaches the top bucket");
     }
 
     #[test]

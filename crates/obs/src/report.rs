@@ -60,6 +60,10 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// serve daemon's `/metrics` endpoint returns it directly so a scrape
 /// and a final report agree field-for-field.
 pub fn metrics_value() -> Value {
+    // Intern the ring-overflow drop counter up front so scrapes and
+    // reports always list it — a 0 reading is the "no data was lost"
+    // signal, which matters as much as a nonzero one.
+    crate::metrics::counter(crate::span::DROPPED_COUNTER);
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
     let mut histograms = Vec::new();
@@ -82,6 +86,18 @@ pub fn metrics_value() -> Value {
                     ("name", Value::str(m.name)),
                     ("count", Value::num(count as f64)),
                     ("sum", Value::num(sum as f64)),
+                    (
+                        "p50",
+                        Value::num(crate::metrics::histogram_quantile(&buckets, 0.50) as f64),
+                    ),
+                    (
+                        "p90",
+                        Value::num(crate::metrics::histogram_quantile(&buckets, 0.90) as f64),
+                    ),
+                    (
+                        "p99",
+                        Value::num(crate::metrics::histogram_quantile(&buckets, 0.99) as f64),
+                    ),
                     (
                         "buckets",
                         Value::Arr(
@@ -149,7 +165,7 @@ impl RunReport {
             .map(|s| span_value(s.name, s.count, s.total_ns, s.max_ns))
             .collect();
 
-        let payload = Value::obj([
+        let mut payload = Value::obj([
             ("schema_version", Value::num(SCHEMA_VERSION as f64)),
             ("command", Value::str(command)),
             ("args", Value::Arr(args.iter().map(Value::str).collect())),
@@ -159,6 +175,11 @@ impl RunReport {
             ("spans", Value::Arr(all_spans)),
             ("metrics", metrics_value()),
         ]);
+        // Long-running commands that ticked the metrics-history ring get
+        // their time series embedded; one-shot commands stay compact.
+        if crate::history::history_len() > 0 {
+            payload.set("metrics_history", crate::history::history_value());
+        }
         RunReport { payload }
     }
 

@@ -9,14 +9,29 @@
 //! allocates nothing (names are `&'static str`, aggregate slots are
 //! reused, the ring is preallocated).
 //!
+//! Ring overflow is counted, never silent: each overwritten event bumps
+//! the owning thread's drop count and the shared
+//! `obs.spans.dropped_total` counter (also fed by the trace-event rings
+//! in [`crate::trace`]), so `/metrics` and TINDRR reports reveal when
+//! recent-event data is incomplete.
+//!
 //! With the `obs-off` feature the guard is a zero-sized no-op and every
 //! query function returns empty data.
 
 #[cfg(not(feature = "obs-off"))]
-pub use enabled::{recent_spans, reset_spans, span, span_snapshot, SpanGuard};
+pub use enabled::{
+    recent_spans, reset_spans, span, span_drops_total, span_snapshot, SpanGuard,
+};
+
+#[cfg(not(feature = "obs-off"))]
+pub(crate) use enabled::{drop_counter, epoch_elapsed_ns};
 
 #[cfg(feature = "obs-off")]
-pub use disabled::{recent_spans, reset_spans, span, span_snapshot, SpanGuard};
+pub use disabled::{recent_spans, reset_spans, span, span_drops_total, span_snapshot, SpanGuard};
+
+/// Name of the counter tracking ring-overflow event drops across both
+/// the span rings and the trace-event rings.
+pub const DROPPED_COUNTER: &str = "obs.spans.dropped_total";
 
 /// Capacity of each thread's ring buffer of raw span events.
 pub const RING_CAPACITY: usize = 1024;
@@ -59,12 +74,20 @@ mod enabled {
         ring: Vec<SpanEvent>,
         /// Next ring slot to overwrite once the ring is full.
         ring_next: usize,
+        /// Raw events overwritten before any snapshot saw them.
+        dropped: u64,
         aggs: Vec<Agg>,
     }
 
     impl ThreadSpans {
         fn new() -> Self {
-            ThreadSpans { depth: 0, ring: Vec::new(), ring_next: 0, aggs: Vec::new() }
+            ThreadSpans {
+                depth: 0,
+                ring: Vec::new(),
+                ring_next: 0,
+                dropped: 0,
+                aggs: Vec::new(),
+            }
         }
 
         fn record(&mut self, event: SpanEvent) {
@@ -93,8 +116,18 @@ mod enabled {
             } else {
                 self.ring[self.ring_next] = event;
                 self.ring_next = (self.ring_next + 1) % RING_CAPACITY;
+                self.dropped += 1;
+                drop_counter().incr();
             }
         }
+    }
+
+    /// Cached handle to the shared overflow counter (also bumped by the
+    /// trace-event rings). Interned once so the overflow path stays
+    /// allocation-free after the first drop.
+    pub(crate) fn drop_counter() -> &'static crate::metrics::Counter {
+        static HANDLE: OnceLock<&'static crate::metrics::Counter> = OnceLock::new();
+        HANDLE.get_or_init(|| crate::metrics::counter(super::DROPPED_COUNTER))
     }
 
     type Shared = Arc<Mutex<ThreadSpans>>;
@@ -107,6 +140,12 @@ mod enabled {
     fn epoch() -> Instant {
         static EPOCH: OnceLock<Instant> = OnceLock::new();
         *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Nanoseconds elapsed since the shared epoch — the same timebase
+    /// span events use, exposed so trace events land on the same clock.
+    pub(crate) fn epoch_elapsed_ns() -> u64 {
+        Instant::now().saturating_duration_since(epoch()).as_nanos() as u64
     }
 
     /// A poisoned lock only means a panic elsewhere while holding it; the
@@ -198,6 +237,12 @@ mod enabled {
         events
     }
 
+    /// Total raw span events lost to ring overflow across all threads
+    /// since the last reset (aggregates keep counting regardless).
+    pub fn span_drops_total() -> u64 {
+        lock(registry()).iter().map(|s| lock(s).dropped).sum()
+    }
+
     /// Clear all recorded spans and drop state for threads that have
     /// exited. Call at the start of a run; active depth on live threads is
     /// preserved so in-flight guards stay balanced.
@@ -209,6 +254,7 @@ mod enabled {
             let mut state = lock(shared);
             state.ring.clear();
             state.ring_next = 0;
+            state.dropped = 0;
             state.aggs.clear();
         }
     }
@@ -232,6 +278,10 @@ mod disabled {
 
     pub fn recent_spans(_limit: usize) -> Vec<SpanEvent> {
         Vec::new()
+    }
+
+    pub fn span_drops_total() -> u64 {
+        0
     }
 
     pub fn reset_spans() {}
@@ -313,6 +363,23 @@ mod tests {
         let s = stats.iter().find(|s| s.name == "test.flood").unwrap();
         // Aggregates keep counting even after the ring wraps.
         assert_eq!(s.count, (RING_CAPACITY + 50) as u64);
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_not_silent() {
+        let _g = guard();
+        reset_spans();
+        crate::metrics::reset_metrics();
+        assert_eq!(span_drops_total(), 0);
+        for _ in 0..(RING_CAPACITY + 50) {
+            let _s = span("test.drop_count");
+        }
+        // This thread's ring overflowed exactly 50 times (other live
+        // threads may add more if their rings wrap concurrently).
+        assert!(span_drops_total() >= 50);
+        assert!(crate::metrics::counter(crate::span::DROPPED_COUNTER).value() >= 50);
+        reset_spans();
+        assert_eq!(span_drops_total(), 0, "reset clears per-thread drop counts");
     }
 
     #[test]

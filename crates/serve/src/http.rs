@@ -35,6 +35,9 @@ pub struct Request {
     pub method: String,
     pub path: String,
     pub body: Vec<u8>,
+    /// The client sent `X-Tind-Trace: 1` — force-sample this request's
+    /// trace and echo the allocated trace id back in the response.
+    pub force_trace: bool,
 }
 
 /// Why a request could not be read.
@@ -109,15 +112,21 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
     }
 
     let mut content_length = 0usize;
+    let mut force_trace = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::Malformed("bad header line"));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
                 .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("x-tind-trace") {
+            // Anything except an explicit opt-out forces the sample; the
+            // documented spelling is `X-Tind-Trace: 1`.
+            force_trace = !matches!(value.trim(), "0" | "false" | "");
         }
     }
     // The oversize check runs on the *declared* length, before the body
@@ -143,7 +152,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
     }
     body.truncate(content_length);
 
-    Ok(Request { method: method.to_string(), path: path.to_string(), body })
+    Ok(Request { method: method.to_string(), path: path.to_string(), body, force_trace })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -158,10 +167,27 @@ pub fn write_response(
     reason: &str,
     body: &str,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, reason, body, &[])
+}
+
+/// [`write_response`] plus extra response headers (e.g. the
+/// `X-Tind-Trace-Id` echo on force-sampled requests). Header names and
+/// values are caller-controlled constants, never client input.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
-    );
+    ));
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -238,6 +264,29 @@ mod tests {
     }
 
     #[test]
+    fn trace_header_is_captured_case_insensitively() {
+        let req = roundtrip(|c| {
+            c.write_all(b"POST /search HTTP/1.1\r\nx-tind-TRACE: 1\r\nContent-Length: 2\r\n\r\n{}")
+                .expect("write");
+        })
+        .expect("parse");
+        assert!(req.force_trace);
+
+        let req = roundtrip(|c| {
+            c.write_all(b"POST /search HTTP/1.1\r\nX-Tind-Trace: 0\r\nContent-Length: 2\r\n\r\n{}")
+                .expect("write");
+        })
+        .expect("parse");
+        assert!(!req.force_trace, "explicit opt-out is honored");
+
+        let req = roundtrip(|c| {
+            c.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").expect("write");
+        })
+        .expect("parse");
+        assert!(!req.force_trace, "absent header defaults off");
+    }
+
+    #[test]
     fn slow_loris_hits_the_read_budget() {
         let err = roundtrip(|c| {
             // Dribble a valid prefix, then stall past the budget.
@@ -289,5 +338,25 @@ mod tests {
         assert!(out.contains("Content-Length: 7\r\n"));
         assert!(out.contains("Connection: close\r\n"));
         assert!(out.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn response_writer_carries_extra_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            let mut out = String::new();
+            c.read_to_string(&mut out).expect("read");
+            out
+        });
+        let (mut server, _) = listener.accept().expect("accept");
+        write_response_with(&mut server, 200, "OK", "{}", &[("X-Tind-Trace-Id", "0xabc")])
+            .expect("write");
+        drop(server);
+        let out = handle.join().expect("client");
+        assert!(out.contains("X-Tind-Trace-Id: 0xabc\r\n"));
+        assert!(out.contains("Connection: close\r\n"));
+        assert!(out.ends_with("{}"));
     }
 }

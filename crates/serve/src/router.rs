@@ -9,10 +9,14 @@
 //! | POST   | `/search`         | forward tIND search           |
 //! | POST   | `/reverse-search` | reverse tIND search           |
 //! | POST   | `/explain`        | pairwise violation narrative  |
+//! | GET    | `/metrics/history`| time-series registry snapshots|
+//! | GET    | `/debug/trace`    | tail-sampled request traces   |
 //!
 //! Bodies are strict JSON: unknown fields are rejected the same way the
 //! CLI rejects unknown options (a typo'd `"epd"` must not silently run
-//! with defaults), and every parse failure is a typed 400.
+//! with defaults), and every parse failure is a typed 400. The one route
+//! that accepts a query string — `/debug/trace?last=N&format=tindtf` —
+//! applies the same strictness to its parameters.
 
 use tind_obs::json;
 
@@ -24,9 +28,29 @@ use crate::http::Request;
 pub enum ApiCall {
     Healthz,
     Metrics,
+    MetricsHistory,
+    DebugTrace(TraceSpec),
     Search(QuerySpec),
     ReverseSearch(QuerySpec),
     Explain(ExplainSpec),
+}
+
+/// Export format for `/debug/trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// JSON array of trace payloads (human/browser friendly).
+    #[default]
+    Json,
+    /// Newline-delimited checksummed `TINDTF` envelopes, one per trace.
+    Tindtf,
+}
+
+/// Query parameters of `GET /debug/trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceSpec {
+    /// Cap on the number of traces returned (newest/slowest first).
+    pub last: Option<usize>,
+    pub format: TraceFormat,
 }
 
 /// Body of `/search` and `/reverse-search`. Parameters left `None` take
@@ -68,17 +92,69 @@ impl ApiCall {
 
 /// Resolves a request to a call, or to the typed error the client gets.
 pub fn route(req: &Request) -> Result<ApiCall, ServeError> {
+    if let Some((path, query)) = split_trace_path(&req.path) {
+        return match req.method.as_str() {
+            "GET" => Ok(ApiCall::DebugTrace(parse_trace_spec(query)?)),
+            _ => Err(ServeError::method_not_allowed(&req.method, path)),
+        };
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(ApiCall::Healthz),
         ("GET", "/metrics") => Ok(ApiCall::Metrics),
+        ("GET", "/metrics/history") => Ok(ApiCall::MetricsHistory),
         ("POST", "/search") => Ok(ApiCall::Search(parse_query_spec(&req.body)?)),
         ("POST", "/reverse-search") => Ok(ApiCall::ReverseSearch(parse_query_spec(&req.body)?)),
         ("POST", "/explain") => Ok(ApiCall::Explain(parse_explain_spec(&req.body)?)),
-        (_, "/healthz" | "/metrics" | "/search" | "/reverse-search" | "/explain") => {
-            Err(ServeError::method_not_allowed(&req.method, &req.path))
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/metrics/history" | "/search" | "/reverse-search"
+            | "/explain",
+        ) => Err(ServeError::method_not_allowed(&req.method, &req.path)),
         _ => Err(ServeError::not_found(&req.path)),
     }
+}
+
+/// Splits `/debug/trace[?query]` into path and query string. Query strings
+/// are only recognised on this route; everywhere else `?` stays part of
+/// the (unroutable) path.
+fn split_trace_path(raw: &str) -> Option<(&str, &str)> {
+    let (path, query) = match raw.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (raw, ""),
+    };
+    (path == "/debug/trace").then_some((path, query))
+}
+
+fn parse_trace_spec(query: &str) -> Result<TraceSpec, ServeError> {
+    let mut spec = TraceSpec::default();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "last" => {
+                let n: usize = value.parse().map_err(|_| {
+                    ServeError::bad_request(format!(
+                        "parameter 'last' must be a non-negative integer, got '{value}'"
+                    ))
+                })?;
+                spec.last = Some(n);
+            }
+            "format" => {
+                spec.format = match value {
+                    "json" => TraceFormat::Json,
+                    "tindtf" => TraceFormat::Tindtf,
+                    other => {
+                        return Err(ServeError::bad_request(format!(
+                            "parameter 'format' must be 'json' or 'tindtf', got '{other}'"
+                        )));
+                    }
+                };
+            }
+            other => {
+                return Err(ServeError::bad_request(format!("unknown parameter '{other}'")));
+            }
+        }
+    }
+    Ok(spec)
 }
 
 fn parse_body(body: &[u8]) -> Result<Vec<(String, json::Value)>, ServeError> {
@@ -204,13 +280,23 @@ mod tests {
     use super::*;
 
     fn req(method: &str, path: &str, body: &str) -> Request {
-        Request { method: method.into(), path: path.into(), body: body.as_bytes().to_vec() }
+        Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+            force_trace: false,
+        }
     }
 
     #[test]
     fn routes_the_full_table() {
         assert_eq!(route(&req("GET", "/healthz", "")), Ok(ApiCall::Healthz));
         assert_eq!(route(&req("GET", "/metrics", "")), Ok(ApiCall::Metrics));
+        assert_eq!(route(&req("GET", "/metrics/history", "")), Ok(ApiCall::MetricsHistory));
+        assert_eq!(
+            route(&req("GET", "/debug/trace", "")),
+            Ok(ApiCall::DebugTrace(TraceSpec::default()))
+        );
         assert!(matches!(
             route(&req("POST", "/search", "{\"query\":\"a\"}")),
             Ok(ApiCall::Search(_))
@@ -229,7 +315,34 @@ mod tests {
     fn wrong_method_is_405_and_unknown_path_404() {
         assert_eq!(route(&req("POST", "/healthz", "")).unwrap_err().status, 405);
         assert_eq!(route(&req("GET", "/search", "")).unwrap_err().status, 405);
+        assert_eq!(route(&req("POST", "/metrics/history", "")).unwrap_err().status, 405);
+        assert_eq!(route(&req("POST", "/debug/trace?last=3", "")).unwrap_err().status, 405);
         assert_eq!(route(&req("GET", "/nope", "")).unwrap_err().status, 404);
+        // Query strings are only meaningful on /debug/trace.
+        assert_eq!(route(&req("GET", "/metrics?last=3", "")).unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn debug_trace_query_parameters_parse_strictly() {
+        let call = route(&req("GET", "/debug/trace?last=7&format=tindtf", "")).expect("route");
+        assert_eq!(
+            call,
+            ApiCall::DebugTrace(TraceSpec { last: Some(7), format: TraceFormat::Tindtf })
+        );
+        let call = route(&req("GET", "/debug/trace?format=json", "")).expect("route");
+        assert_eq!(
+            call,
+            ApiCall::DebugTrace(TraceSpec { last: None, format: TraceFormat::Json })
+        );
+        for path in [
+            "/debug/trace?last=x",
+            "/debug/trace?last=-1",
+            "/debug/trace?format=xml",
+            "/debug/trace?lsat=3",
+        ] {
+            let err = route(&req("GET", path, "")).unwrap_err();
+            assert_eq!(err.status, 400, "path {path:?} → {err:?}");
+        }
     }
 
     #[test]

@@ -46,12 +46,12 @@ use tind_core::{
 };
 use tind_model::hash::FastMap;
 use tind_model::{AttrId, Charge, Dataset, MemoryBudget, Timeline, WeightFn};
-use tind_obs::Value;
+use tind_obs::{trace, TraceContext, Value};
 
 use crate::admission::Admission;
 use crate::error::{reason_phrase, ServeError};
 use crate::http::{self, HttpError, HttpLimits};
-use crate::router::{self, ApiCall, ExplainSpec, QuerySpec};
+use crate::router::{self, ApiCall, ExplainSpec, QuerySpec, TraceFormat, TraceSpec};
 
 /// Test-only fault injection: invoked with each call right before it
 /// executes on a worker (inside the panic quarantine, so a panicking
@@ -118,6 +118,14 @@ pub struct ServeConfig {
     /// legacy ones; `Windowed` serves beyond-RAM indices through
     /// budget-charged pread windows.
     pub store_backing: StoreBacking,
+    /// Tail-sample capacity for `GET /debug/trace`: the K slowest and the
+    /// K most recent completed request traces are retained (`0` disables
+    /// retention; `X-Tind-Trace: 1` force-samples regardless and returns
+    /// the trace id, but the trace is only fetchable while retained).
+    pub trace_last: usize,
+    /// Period between metrics-history snapshots (`GET /metrics/history`);
+    /// zero disables ticking.
+    pub metrics_tick: Duration,
     /// Test-only fault injection hook.
     pub fault_hook: Option<ServeFaultHook>,
     /// Handed a shared engine handle once loading completes (live
@@ -146,6 +154,8 @@ impl Default for ServeConfig {
             cache: 0,
             plan_cache: 0,
             store_backing: StoreBacking::Auto,
+            trace_last: 4,
+            metrics_tick: Duration::from_secs(1),
             fault_hook: None,
             engine_hook: None,
         }
@@ -173,6 +183,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("cache", &self.cache)
             .field("plan_cache", &self.plan_cache)
             .field("store_backing", &self.store_backing)
+            .field("trace_last", &self.trace_last)
+            .field("metrics_tick", &self.metrics_tick)
             .field("fault_hook", &self.fault_hook.is_some())
             .field("engine_hook", &self.engine_hook.is_some())
             .finish()
@@ -929,6 +941,105 @@ struct Job {
     token: CancelToken,
     deadline: Instant,
     received: Instant,
+    /// Trace identity of this request; `trace.span_id` is the root
+    /// (`serve.request`) span every stage span parents into. Zeroed
+    /// under `obs-off`, which turns every recording below into a no-op.
+    trace: TraceContext,
+    /// `X-Tind-Trace: 1` was sent: collect the trace unconditionally and
+    /// return the id in `X-Tind-Trace-Id`.
+    force_trace: bool,
+    /// Static endpoint label for the per-endpoint latency histograms.
+    endpoint: &'static str,
+    /// Obs-epoch timestamps stamped as the request crosses pipeline
+    /// stages: admission, queue pop, wave formation.
+    received_ns: u64,
+    popped_ns: u64,
+    exec_start_ns: u64,
+    /// Identity of the wave span this request's `serve.exec` span parents
+    /// to (the wave is its own trace; members link to it).
+    wave_trace: u128,
+    wave_span: u64,
+}
+
+/// One completed, collected request trace retained for `/debug/trace`.
+struct StoredTrace {
+    trace_id: u128,
+    dur_ns: u64,
+    payload: Value,
+}
+
+#[derive(Default)]
+struct TraceStoreInner {
+    /// Newest-last ring of the K most recent completed traces.
+    recent: VecDeque<StoredTrace>,
+    /// The K slowest traces, kept sorted slowest-first.
+    slowest: Vec<StoredTrace>,
+}
+
+/// Tail-sampling trace retention: every completed (or force-sampled)
+/// request trace is offered; the store keeps the K most recent and the
+/// K slowest, which is what `GET /debug/trace` serves. Collection runs
+/// off the hot path — after the response-worthy work, before the write.
+struct TraceStore {
+    /// `0` disables retention; offers are then dropped.
+    capacity: usize,
+    inner: Mutex<TraceStoreInner>,
+}
+
+impl TraceStore {
+    fn new(capacity: usize) -> TraceStore {
+        TraceStore { capacity, inner: Mutex::new(TraceStoreInner::default()) }
+    }
+
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn offer(&self, trace: StoredTrace) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = lock(&self.inner);
+        let slow_slot = inner.slowest.len() < self.capacity
+            || inner.slowest.last().is_some_and(|t| t.dur_ns < trace.dur_ns);
+        if slow_slot {
+            let at = inner
+                .slowest
+                .partition_point(|t| t.dur_ns >= trace.dur_ns);
+            inner.slowest.insert(
+                at,
+                StoredTrace {
+                    trace_id: trace.trace_id,
+                    dur_ns: trace.dur_ns,
+                    payload: trace.payload.clone(),
+                },
+            );
+            inner.slowest.truncate(self.capacity);
+        }
+        inner.recent.push_back(trace);
+        if inner.recent.len() > self.capacity {
+            inner.recent.pop_front();
+        }
+    }
+
+    /// Retained trace payloads, slowest first then most-recent-first,
+    /// deduplicated by trace id and capped at `last` when given.
+    fn export(&self, last: Option<usize>) -> Vec<Value> {
+        let inner = lock(&self.inner);
+        let mut seen: Vec<u128> = Vec::new();
+        let mut out = Vec::new();
+        let cap = last.unwrap_or(usize::MAX);
+        for t in inner.slowest.iter().chain(inner.recent.iter().rev()) {
+            if out.len() >= cap {
+                break;
+            }
+            if !seen.contains(&t.trace_id) {
+                seen.push(t.trace_id);
+                out.push(t.payload.clone());
+            }
+        }
+        out
+    }
 }
 
 #[derive(Default)]
@@ -981,6 +1092,8 @@ struct Runtime {
     workers_live: AtomicUsize,
     forced_drain: AtomicBool,
     started: Instant,
+    /// Tail-sampled completed request traces served at `/debug/trace`.
+    traces: TraceStore,
     c: Counters,
 }
 
@@ -1007,9 +1120,15 @@ impl Runtime {
 
     /// Writes a 200 response and counts it.
     fn respond_ok(&self, stream: &mut TcpStream, body: &Value) {
+        self.respond_ok_text(stream, &body.to_json());
+    }
+
+    /// [`Runtime::respond_ok`] for pre-rendered bodies (the newline-
+    /// delimited `TINDTF` export of `/debug/trace?format=tindtf`).
+    fn respond_ok_text(&self, stream: &mut TcpStream, body: &str) {
         self.c.ok.fetch_add(1, Ordering::Relaxed);
         tind_obs::counter("serve.responses_ok").incr();
-        let _ = http::write_response(stream, 200, reason_phrase(200), &body.to_json());
+        let _ = http::write_response(stream, 200, reason_phrase(200), body);
     }
 
     fn shed(&self, stream: &mut TcpStream, err: &ServeError, counter: &'static str) {
@@ -1060,6 +1179,7 @@ impl Server {
         let rt = Runtime {
             conns: Admission::new(self.config.conn_capacity),
             jobs: Admission::new(self.config.queue_capacity),
+            traces: TraceStore::new(self.config.trace_last),
             config: self.config,
             engine: OnceLock::new(),
             state: AtomicU8::new(STATE_LOADING),
@@ -1106,8 +1226,16 @@ impl Server {
                     let _ = rt.engine.set(engine);
                     rt.set_state(if degraded { STATE_DEGRADED } else { STATE_SERVING });
                     let mut next_reverify = Instant::now() + rt.config.reverify_interval;
+                    let mut next_tick = Instant::now() + rt.config.metrics_tick;
                     while !rt.shutdown.is_cancelled() {
                         std::thread::sleep(Duration::from_millis(10));
+                        // Periodic metrics-history snapshot: feeds the
+                        // fixed-size ring behind `GET /metrics/history`
+                        // and the TINDRR `metrics_history` section.
+                        if !rt.config.metrics_tick.is_zero() && Instant::now() >= next_tick {
+                            next_tick = Instant::now() + rt.config.metrics_tick;
+                            tind_obs::history_tick();
+                        }
                         // Background re-verification: while degraded, poll
                         // the store; once every shard verifies again
                         // (e.g. after `tind store repair`), swap in the
@@ -1227,6 +1355,11 @@ fn reader_loop(rt: &Runtime) {
                 let body = tind_obs::metrics_value();
                 rt.respond_ok(&mut stream, &body);
             }
+            Ok(ApiCall::MetricsHistory) => {
+                let body = tind_obs::history_value();
+                rt.respond_ok(&mut stream, &body);
+            }
+            Ok(ApiCall::DebugTrace(spec)) => respond_debug_trace(rt, &mut stream, &spec),
             Ok(call) => match rt.state() {
                 STATE_LOADING => rt.respond_error(&mut stream, &ServeError::loading()),
                 STATE_DRAINING => {
@@ -1239,12 +1372,21 @@ fn reader_loop(rt: &Runtime) {
                         .map_or(rt.config.default_deadline, Duration::from_millis)
                         .min(rt.config.max_deadline);
                     let deadline = Instant::now() + timeout;
+                    let received_ns = trace::now_ns();
                     let job = Job {
+                        endpoint: endpoint_label(&call),
                         call,
                         stream,
                         token: CancelToken::new().with_deadline(deadline),
                         deadline,
                         received: Instant::now(),
+                        trace: trace::alloc_context(),
+                        force_trace: req.force_trace,
+                        received_ns,
+                        popped_ns: received_ns,
+                        exec_start_ns: received_ns,
+                        wave_trace: 0,
+                        wave_span: 0,
                     };
                     match rt.jobs.try_push(job) {
                         Ok(depth) => {
@@ -1300,6 +1442,67 @@ fn healthz_body(rt: &Runtime) -> Value {
     body
 }
 
+/// Static endpoint label used by trace payloads and the per-endpoint
+/// latency-attribution histograms.
+fn endpoint_label(call: &ApiCall) -> &'static str {
+    match call {
+        ApiCall::Search(_) => "search",
+        ApiCall::ReverseSearch(_) => "reverse_search",
+        ApiCall::Explain(_) => "explain",
+        _ => "inline",
+    }
+}
+
+/// Per-endpoint latency-attribution histogram names:
+/// `serve.latency.<endpoint>.{queued,coalesced,exec}_ns`. Static so the
+/// hot path never formats a metric name.
+fn latency_names(endpoint: &str) -> (&'static str, &'static str, &'static str) {
+    match endpoint {
+        "search" => (
+            "serve.latency.search.queued_ns",
+            "serve.latency.search.coalesced_ns",
+            "serve.latency.search.exec_ns",
+        ),
+        "reverse_search" => (
+            "serve.latency.reverse_search.queued_ns",
+            "serve.latency.reverse_search.coalesced_ns",
+            "serve.latency.reverse_search.exec_ns",
+        ),
+        _ => (
+            "serve.latency.explain.queued_ns",
+            "serve.latency.explain.coalesced_ns",
+            "serve.latency.explain.exec_ns",
+        ),
+    }
+}
+
+/// Answers `GET /debug/trace`: the retained tail-sampled traces, either
+/// as one JSON document or as newline-delimited `TINDTF` envelopes (each
+/// line is exactly what `tind trace` and `tind verify` accept).
+fn respond_debug_trace(rt: &Runtime, stream: &mut TcpStream, spec: &TraceSpec) {
+    let traces = rt.traces.export(spec.last);
+    match spec.format {
+        TraceFormat::Json => {
+            let body = Value::obj([
+                ("count", Value::num(traces.len() as f64)),
+                (
+                    "dropped_spans_total",
+                    Value::num(trace::trace_drops_total() as f64),
+                ),
+                ("traces", Value::Arr(traces)),
+            ]);
+            rt.respond_ok(stream, &body);
+        }
+        TraceFormat::Tindtf => {
+            let mut body = String::new();
+            for payload in &traces {
+                body.push_str(&trace::trace_envelope(payload));
+            }
+            rt.respond_ok_text(stream, &body);
+        }
+    }
+}
+
 /// Whether two queued calls may share one batch wave: same direction,
 /// bit-identical resolved parameters.
 fn compatible(engine: &Engine, a: &ApiCall, b: &ApiCall) -> bool {
@@ -1313,7 +1516,9 @@ fn compatible(engine: &Engine, a: &ApiCall, b: &ApiCall) -> bool {
 
 fn worker_loop(rt: &Runtime, slot: usize) {
     rt.workers_live.fetch_add(1, Ordering::AcqRel);
-    while let Some(job) = rt.jobs.pop_wait() {
+    while let Some(mut job) = rt.jobs.pop_wait() {
+        job.popped_ns = trace::now_ns();
+        let job = job;
         tind_obs::gauge("serve.queue_depth").set(rt.jobs.depth() as f64);
         let Some(engine) = rt.engine.get() else {
             // Unreachable in practice: jobs are only admitted once the
@@ -1358,7 +1563,8 @@ fn worker_loop(rt: &Runtime, slot: usize) {
                 let mut more =
                     rt.jobs.drain_matching(|j| compatible(engine, &j.call, &wave[0].call), 1);
                 match more.pop() {
-                    Some(j) => {
+                    Some(mut j) => {
+                        j.popped_ns = trace::now_ns();
                         rt.c.coalesced.fetch_add(1, Ordering::Relaxed);
                         tind_obs::counter("serve.coalesced_requests").incr();
                         wave.push(j);
@@ -1408,19 +1614,67 @@ fn execute_wave(rt: &Runtime, engine: &Engine, slot: usize, mut wave: Vec<Job>) 
     let wave_token = CancelToken::new().with_deadline(max_deadline);
     *lock(&rt.active[slot]) = Some(wave_token.clone());
 
-    match &pending[0].call {
+    // The wave is its own trace: one `serve.wave` span shared by every
+    // member. Each member records its queue time (`serve.queued`) and
+    // wave-formation time (`serve.coalesced`) under its own root, links
+    // to the wave span, and later parents its `serve.exec` span to it —
+    // the three stage spans tile [received, responded] exactly.
+    let wave_ctx = trace::alloc_context();
+    let exec_start_ns = trace::now_ns();
+    for job in &mut pending {
+        job.exec_start_ns = exec_start_ns;
+        job.wave_trace = wave_ctx.trace_id;
+        job.wave_span = wave_ctx.span_id;
+        let t = job.trace;
+        if t.trace_id != 0 {
+            trace::record_span(
+                t.child(trace::alloc_span_id()),
+                t.span_id,
+                "serve.queued",
+                job.received_ns,
+                job.popped_ns.saturating_sub(job.received_ns),
+            );
+            trace::record_span(
+                t.child(trace::alloc_span_id()),
+                t.span_id,
+                "serve.coalesced",
+                job.popped_ns,
+                exec_start_ns.saturating_sub(job.popped_ns),
+            );
+            trace::record_link(t, wave_ctx.span_id, "serve.wave_link", exec_start_ns);
+        }
+    }
+
+    let completed = match &pending[0].call {
         ApiCall::Explain(_) => {
             // Explain never coalesces: `pending` is a single member.
             let mut job = pending.pop().expect("nonempty wave");
             let ApiCall::Explain(spec) = job.call.clone() else { unreachable!() };
-            run_explain(rt, engine, &mut job, &spec, &wave_token);
+            run_explain(rt, engine, &mut job, &spec, &wave_token).into_iter().collect()
         }
         ApiCall::Search(_) | ApiCall::ReverseSearch(_) => {
-            run_search_wave(rt, engine, pending, &wave_token);
+            run_search_wave(rt, engine, pending, &wave_token, wave_ctx)
         }
-        ApiCall::Healthz | ApiCall::Metrics => unreachable!("answered by readers"),
-    }
+        _ => unreachable!("answered by readers"),
+    };
 
+    // The wave span must close before any member trace is collected:
+    // every completed member's `serve.exec` span parents to it.
+    trace::record_span(
+        wave_ctx,
+        0,
+        "serve.wave",
+        exec_start_ns,
+        trace::now_ns().saturating_sub(exec_start_ns),
+    );
+    for p in completed {
+        let snapshot = trace::collect_trace(p.ctx, &[p.wave_trace]);
+        rt.traces.offer(StoredTrace {
+            trace_id: p.ctx.trace_id,
+            dur_ns: p.dur_ns,
+            payload: snapshot.to_value(),
+        });
+    }
     *lock(&rt.active[slot]) = None;
 }
 
@@ -1430,7 +1684,7 @@ fn run_explain(
     job: &mut Job,
     spec: &ExplainSpec,
     wave_token: &CancelToken,
-) {
+) -> Option<PendingTrace> {
     let (params, _) = engine.resolve_params(spec.eps, spec.delta, spec.decay);
     let dataset = engine.dataset();
     let (lhs, rhs) = match (
@@ -1440,7 +1694,7 @@ fn run_explain(
         (Ok(l), Ok(r)) => (l, r),
         (Err(e), _) | (_, Err(e)) => {
             rt.respond_error(&mut job.stream, &e);
-            return;
+            return None;
         }
     };
     let hook = rt.config.fault_hook.clone();
@@ -1459,11 +1713,14 @@ fn run_explain(
         (explanation, rendered)
     }));
     match result {
-        Err(_) => quarantine(rt, std::slice::from_mut(job)),
+        Err(_) => {
+            quarantine(rt, std::slice::from_mut(job));
+            None
+        }
         Ok((explanation, rendered)) => {
             if wave_token.is_cancelled() {
                 respond_cancelled(rt, job, wave_token.reason());
-                return;
+                return None;
             }
             let body = Value::obj([
                 ("lhs", Value::str(dataset.attribute(lhs).name())),
@@ -1476,12 +1733,19 @@ fn run_explain(
                 ("rendered", Value::str(rendered)),
                 ("elapsed_ms", Value::num(elapsed_ms(job))),
             ]);
-            finish_ok(rt, job, &body);
+            finish_ok(rt, job, &body)
         }
     }
 }
 
-fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token: &CancelToken) {
+fn run_search_wave(
+    rt: &Runtime,
+    engine: &Engine,
+    mut wave: Vec<Job>,
+    wave_token: &CancelToken,
+    wave_ctx: TraceContext,
+) -> Vec<PendingTrace> {
+    let mut completed = Vec::new();
     let reverse = matches!(wave[0].call, ApiCall::ReverseSearch(_));
     let spec_of = |call: &ApiCall| -> QuerySpec {
         match call {
@@ -1543,7 +1807,7 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
                     let body = search_body(
                         dataset, &spec, id, direction, &params, &outcome, None, &job,
                     );
-                    finish_ok(rt, &mut job, &body);
+                    completed.extend(finish_ok(rt, &mut job, &body));
                 }
                 None => {
                     tind_obs::counter("serve.cache_misses").incr();
@@ -1554,7 +1818,7 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
         members = misses;
     }
     if members.is_empty() {
-        return;
+        return completed;
     }
 
     let ids: Vec<AttrId> = members.iter().map(|(_, _, id)| *id).collect();
@@ -1574,6 +1838,8 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
                     if wave_token.is_cancelled() {
                         None
                     } else {
+                        let _t =
+                            trace::TraceSpan::start(Some(wave_ctx), "core.search.query");
                         Some(snap.reverse.reverse_search(id, &params))
                     }
                 })
@@ -1591,6 +1857,9 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
                             .plans
                             .enabled()
                             .then(|| Arc::clone(&engine.plans) as Arc<dyn PlanSource>),
+                        // Stage spans land in the wave's trace, under the
+                        // shared `serve.wave` span.
+                        trace: (wave_ctx.trace_id != 0).then_some(wave_ctx),
                         ..BatchOptions::default()
                     },
                 )
@@ -1617,13 +1886,14 @@ fn run_search_wave(rt: &Runtime, engine: &Engine, mut wave: Vec<Job>, wave_token
                         let body = search_body(
                             dataset, &spec, id, direction, &params, &outcome, mask, &job,
                         );
-                        finish_ok(rt, &mut job, &body);
+                        completed.extend(finish_ok(rt, &mut job, &body));
                     }
                     None => respond_cancelled(rt, &mut job, wave_token.reason()),
                 }
             }
         }
     }
+    completed
 }
 
 /// Renders the canonical search response. Everything except
@@ -1694,10 +1964,69 @@ fn elapsed_ms(job: &Job) -> f64 {
     job.received.elapsed().as_secs_f64() * 1e3
 }
 
-fn finish_ok(rt: &Runtime, job: &mut Job, body: &Value) {
+/// A completed request whose trace is collected only after the wave
+/// span closes (see [`execute_wave`]): the member's `serve.exec` span
+/// parents to `serve.wave`, so collecting before the wave span is
+/// recorded would export a trace with a dangling parent edge.
+struct PendingTrace {
+    ctx: TraceContext,
+    wave_trace: u128,
+    dur_ns: u64,
+}
+
+fn finish_ok(rt: &Runtime, job: &mut Job, body: &Value) -> Option<PendingTrace> {
     tind_obs::histogram("serve.request_latency_ns")
         .record(job.received.elapsed().as_nanos() as u64);
+    let end_ns = trace::now_ns();
+    let (queued, coalesced, exec) = latency_names(job.endpoint);
+    tind_obs::histogram(queued).record(job.popped_ns.saturating_sub(job.received_ns));
+    tind_obs::histogram(coalesced).record(job.exec_start_ns.saturating_sub(job.popped_ns));
+    tind_obs::histogram(exec).record(end_ns.saturating_sub(job.exec_start_ns));
+
+    let t = job.trace;
+    let mut pending = None;
+    if t.trace_id != 0 {
+        // `serve.exec` parents to the *wave* span — the edge that ties a
+        // coalesced member to the shared execution it rode.
+        trace::record_span(
+            t.child(trace::alloc_span_id()),
+            job.wave_span,
+            "serve.exec",
+            job.exec_start_ns,
+            end_ns.saturating_sub(job.exec_start_ns),
+        );
+        // The root `serve.request` span closes last, covering the whole
+        // [received, responded] interval.
+        trace::record_span(
+            t,
+            0,
+            "serve.request",
+            job.received_ns,
+            end_ns.saturating_sub(job.received_ns),
+        );
+        if job.force_trace || rt.traces.enabled() {
+            pending = Some(PendingTrace {
+                ctx: t,
+                wave_trace: job.wave_trace,
+                dur_ns: end_ns.saturating_sub(job.received_ns),
+            });
+        }
+        if job.force_trace {
+            let id = format!("0x{:032x}", t.trace_id);
+            rt.c.ok.fetch_add(1, Ordering::Relaxed);
+            tind_obs::counter("serve.responses_ok").incr();
+            let _ = http::write_response_with(
+                &mut job.stream,
+                200,
+                reason_phrase(200),
+                &body.to_json(),
+                &[("X-Tind-Trace-Id", &id)],
+            );
+            return pending;
+        }
+    }
     rt.respond_ok(&mut job.stream, body);
+    pending
 }
 
 /// Answers a cancelled member by the token's latched reason: drain →

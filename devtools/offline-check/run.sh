@@ -182,6 +182,12 @@ if [ "$CHECK_ONLY" = 0 ]; then
     echo "smoke tind serve (ephemeral port, SIGINT drain)"
     devtools/serve-smoke.sh "$OUT/tind" "$OUT"
 
+    # Trace smoke: force-sample a /search trace, export it via
+    # /debug/trace, render + checksum-verify it with the CLI, and check
+    # the one-shot `search --trace` path (see devtools/trace-smoke.sh).
+    echo "smoke request tracing (forced sample, TINDTF export, waterfall)"
+    devtools/trace-smoke.sh "$OUT/tind" "$OUT"
+
     # Store smoke: pack a sharded store, recover from simulated crash
     # debris, corrupt a shard, serve degraded, repair out-of-band, and
     # watch the daemon promote back (see devtools/store-smoke.sh).

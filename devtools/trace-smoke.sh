@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke for request tracing: boot the daemon, force-sample a
+# /search trace (X-Tind-Trace: 1), pull it back through
+# /debug/trace?format=tindtf and /metrics/history, then render and
+# checksum-verify the exported TINDTF file with the CLI. Also exercises
+# the one-shot path: `tind search --trace` → `tind trace` → `tind verify`.
+#
+# Usage: devtools/trace-smoke.sh path/to/tind [scratch-dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIND="$1"
+SCRATCH="${2:-$(dirname "$TIND")}"
+DATA="$SCRATCH/trace-smoke.tind"
+PORT_FILE="$SCRATCH/trace-smoke-port.txt"
+TRACE="$SCRATCH/trace-smoke.tindtf"
+CLI_TRACE="$SCRATCH/trace-smoke-cli.tindtf"
+CHROME="$SCRATCH/trace-smoke-chrome.json"
+rm -f "$PORT_FILE" "$TRACE" "$CLI_TRACE" "$CHROME"
+
+fail() { echo "trace-smoke: $1" >&2; exit 1; }
+
+"$TIND" generate --attributes 80 --preset small --seed 7 \
+    --out "$DATA" >/dev/null
+
+# --- One-shot CLI path -------------------------------------------------
+"$TIND" search --data "$DATA" --query source-1 --trace "$CLI_TRACE" \
+    >/dev/null
+[ -s "$CLI_TRACE" ] || fail "search --trace wrote no file"
+"$TIND" verify "$CLI_TRACE" | grep -q 'trace:' \
+    || fail "CLI trace failed verification"
+"$TIND" trace "$CLI_TRACE" | grep -q 'cli.search' \
+    || fail "CLI trace waterfall missing the root span"
+
+# --- Daemon path -------------------------------------------------------
+"$TIND" serve --data "$DATA" --port 0 --port-file "$PORT_FILE" \
+    --trace-last 4 --quiet &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
+
+PORT=""
+for _ in $(seq 1 200); do
+    kill -0 "$PID" 2>/dev/null || fail "daemon died during startup"
+    if [ -s "$PORT_FILE" ]; then
+        PORT=$(tr -d '[:space:]' <"$PORT_FILE")
+        [ -n "$PORT" ] && break
+    fi
+    sleep 0.05
+done
+[ -n "$PORT" ] || fail "no port published within 10s"
+
+http() { # method path body [extra-header]
+    local body="${3:-}" extra="${4:-}"
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    printf '%s %s HTTP/1.1\r\nContent-Length: %s\r\n%s\r\n%s' \
+        "$1" "$2" "${#body}" "${extra:+$extra$'\r\n'}" "$body" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+for _ in $(seq 1 200); do
+    http GET /healthz | grep -q '"serving"' && break
+    sleep 0.05
+done
+http GET /healthz | grep -q '"serving"' || fail "daemon never reached serving"
+
+# Force-sample one search; the response must name its trace id.
+RESPONSE=$(http POST /search '{"query":"source-1","limit":5}' 'X-Tind-Trace: 1')
+echo "$RESPONSE" | grep -q '"result_count"' || fail "traced search malformed"
+TRACE_ID=$(echo "$RESPONSE" | tr -d '\r' \
+    | sed -n 's/^X-Tind-Trace-Id: //p' | head -1)
+[ -n "$TRACE_ID" ] || fail "forced sample returned no X-Tind-Trace-Id"
+
+# The trace becomes exportable once its wave closes; poll briefly.
+FOUND=""
+for _ in $(seq 1 100); do
+    BODY=$(http GET '/debug/trace?format=tindtf' || true)
+    if echo "$BODY" | grep -q "$TRACE_ID"; then
+        FOUND=1
+        break
+    fi
+    sleep 0.05
+done
+[ -n "$FOUND" ] || fail "forced trace $TRACE_ID never appeared in /debug/trace"
+echo "$BODY" | sed -n '/^{"magic":"TINDTF/p' | grep "$TRACE_ID" | head -1 >"$TRACE"
+[ -s "$TRACE" ] || fail "could not extract the TINDTF line"
+
+http GET '/debug/trace?format=json' | grep -q '"dropped_spans_total"' \
+    || fail "/debug/trace json missing loss accounting"
+http GET /metrics/history | grep -q '"ticks"' \
+    || fail "/metrics/history malformed"
+http GET /metrics | grep -q 'serve\.latency\.search\.exec_ns' \
+    || fail "per-endpoint latency histograms missing"
+
+kill -INT "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+trap - EXIT
+[ "$EXIT" = 130 ] || fail "expected exit 130 after SIGINT, got $EXIT"
+
+# The exported daemon trace verifies, renders, and exports Chrome JSON.
+"$TIND" verify "$TRACE" | grep -q 'trace:' || fail "exported trace corrupt"
+"$TIND" trace "$TRACE" | grep -q 'serve.request' \
+    || fail "waterfall missing serve.request"
+"$TIND" trace "$TRACE" | grep -q 'serve.wave' \
+    || fail "waterfall missing the shared wave span"
+"$TIND" trace "$TRACE" --chrome "$CHROME" >/dev/null
+grep -q '"ph":"X"' "$CHROME" || fail "Chrome export malformed"
+
+echo "trace-smoke: passed (port $PORT, trace $TRACE_ID verified + rendered)"

@@ -386,6 +386,38 @@ fn every_persisted_format_detects_single_byte_corruption() {
         }),
     ));
 
+    let tf_path = dir.join("trace.tindtf");
+    {
+        use tind::obs::trace as tr;
+        let root = tr::alloc_context();
+        let start = tr::now_ns();
+        tr::record_span(
+            root.child(tr::alloc_span_id()),
+            root.span_id,
+            "fault.matrix.child",
+            start,
+            10_000,
+        );
+        tr::record_span(root, 0, "fault.matrix.root", start, 50_000);
+        std::fs::write(&tf_path, tind::obs::collect_trace(root, &[]).to_json())
+            .expect("write trace");
+    }
+    let p = tf_path.clone();
+    formats.push((
+        "trace (TINDTF)",
+        tf_path.clone(),
+        Box::new(move || {
+            let text = match std::fs::read(&p) {
+                Ok(raw) => match String::from_utf8(raw) {
+                    Ok(text) => text,
+                    Err(_) => return true,
+                },
+                Err(_) => return true,
+            };
+            tind::obs::verify_trace(&text).is_err()
+        }),
+    ));
+
     let store_dir = dir.join("index.store");
     pack_store(&index, &store_dir, &PackOptions { shards: 2, ..Default::default() })
         .expect("pack store");
@@ -453,6 +485,28 @@ fn every_persisted_format_detects_single_byte_corruption() {
         }
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A payload-corrupted TINDTF trace must be refused with the failing
+/// byte offset named in the error, mirroring every other checksummed
+/// format's refusal contract.
+#[test]
+fn corrupt_trace_refusal_names_the_byte_offset() {
+    use tind::obs::trace as tr;
+    let root = tr::alloc_context();
+    tr::record_span(root, 0, "fault.offset.root", tr::now_ns(), 1_000);
+    let text = tind::obs::collect_trace(root, &[]).to_json();
+    assert!(tind::obs::verify_trace(&text).is_ok(), "pristine trace verifies");
+
+    // Corrupt one payload byte without breaking JSON syntax: the stored
+    // CRC no longer matches, and the refusal must name where.
+    let corrupted = text.replacen("\"dropped\":", "\"dropPed\":", 1);
+    assert_ne!(corrupted, text, "trace payload carries a `dropped` field");
+    let err = tind::obs::verify_trace(&corrupted).expect_err("corruption detected");
+    assert!(
+        err.contains("byte offset"),
+        "refusal must name the byte offset: {err}"
+    );
 }
 
 /// Arena-specific refusal matrix. Body and trailer corruption must
